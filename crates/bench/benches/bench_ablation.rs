@@ -1,0 +1,87 @@
+//! Ablation benchmarks (EXP-X1, EXP-X2): the cost knobs the design
+//! section calls out.
+//!
+//! * `detector_overhead/<n>` — DetectOnly vs NoDetection run time on the
+//!   same workload: the paper's §6.2 "the more tasks in the system, the
+//!   more sensors" observation as a measurable delta;
+//! * `treatment_cost/<name>` — per-treatment pipeline cost at the paper's
+//!   operating point;
+//! * `quantization` — exact vs jRate timer grids (same workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtft_core::task::TaskId;
+use rtft_core::time::{Duration, Instant};
+use rtft_ft::harness::{run_scenario, Scenario};
+use rtft_ft::treatment::Treatment;
+use rtft_sim::fault::FaultPlan;
+use rtft_sim::timer::TimerModel;
+use rtft_taskgen::paper;
+use rtft_taskgen::GeneratorConfig;
+use std::hint::black_box;
+
+fn bench_detector_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_overhead");
+    for n in [4usize, 16, 64] {
+        let set = GeneratorConfig::new(n)
+            .with_utilization(0.5)
+            .with_periods(Duration::millis(50), Duration::millis(500))
+            .generate(42);
+        for (label, treatment) in [
+            ("off", Treatment::NoDetection),
+            ("on", Treatment::DetectOnly),
+        ] {
+            let sc = Scenario::new(
+                format!("{label}-{n}"),
+                set.clone(),
+                FaultPlan::none(),
+                treatment,
+                Instant::from_millis(5_000),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &sc,
+                |b, sc| b.iter(|| run_scenario(black_box(sc)).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_treatments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treatment_cost");
+    for treatment in Treatment::paper_lineup() {
+        let sc = Scenario::new(
+            treatment.name(),
+            paper::table2_figure_window(),
+            FaultPlan::none().overrun(TaskId(1), paper::FAULTY_JOB_OF_TAU1, paper::injected_overrun()),
+            treatment,
+            Instant::from_millis(1300),
+        )
+        .with_timer_model(TimerModel::jrate());
+        group.bench_function(BenchmarkId::from_parameter(treatment.name()), |b| {
+            b.iter(|| run_scenario(black_box(&sc)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantization");
+    for (label, model) in [("exact", TimerModel::EXACT), ("jrate", TimerModel::jrate())] {
+        let sc = Scenario::new(
+            label,
+            paper::table2_figure_window(),
+            FaultPlan::none().overrun(TaskId(1), paper::FAULTY_JOB_OF_TAU1, paper::injected_overrun()),
+            Treatment::DetectOnly,
+            Instant::from_millis(1300),
+        )
+        .with_timer_model(model);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| run_scenario(black_box(&sc)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detector_overhead, bench_treatments, bench_quantization);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Analysis benchmarks: the computations behind the paper's tables.
+//!
+//! * `table1_wcrt` — EXP-T1: the per-job analysis on the Table 1 system;
+//! * `table2_wcrt` / `table2_equitable` / `table2_system` — EXP-T2: every
+//!   Table 2 number;
+//! * `table3_inflated` — EXP-T3: the inflated-WCRT column;
+//! * `wcrt_scaling/<n>` — EXP-X3: the general algorithm on UUniFast sets
+//!   of growing size (constrained + arbitrary deadlines);
+//! * `admission_scaling/<n>` — full admission (load test + WCRTs) as the
+//!   paper's `addToFeasibility` would run it online;
+//! * `allowance_scaling/<n>` — the binary-search allowance on random sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtft_core::allowance::{equitable_allowance, system_allowance, SlackPolicy};
+use rtft_core::feasibility::analyze_set;
+use rtft_core::response::{analyze, wcrt_all};
+use rtft_taskgen::paper;
+use rtft_taskgen::{DeadlineKind, GeneratorConfig};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let t1 = paper::table1();
+    c.bench_function("table1_wcrt", |b| {
+        b.iter(|| analyze(black_box(&t1), 1).unwrap().wcrt)
+    });
+
+    let t2 = paper::table2();
+    c.bench_function("table2_wcrt", |b| b.iter(|| wcrt_all(black_box(&t2)).unwrap()));
+    c.bench_function("table2_equitable", |b| {
+        b.iter(|| equitable_allowance(black_box(&t2)).unwrap().unwrap().allowance)
+    });
+    c.bench_function("table2_system", |b| {
+        b.iter(|| {
+            system_allowance(black_box(&t2), SlackPolicy::ProtectAll)
+                .unwrap()
+                .unwrap()
+                .max_overrun
+        })
+    });
+    c.bench_function("table3_inflated", |b| {
+        b.iter(|| equitable_allowance(black_box(&t2)).unwrap().unwrap().inflated_wcrt)
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wcrt_scaling");
+    for n in [8usize, 16, 32, 64, 128] {
+        let constrained = GeneratorConfig::new(n)
+            .with_utilization(0.7)
+            .with_deadlines(DeadlineKind::Constrained)
+            .generate(7);
+        group.bench_with_input(BenchmarkId::new("constrained", n), &constrained, |b, set| {
+            b.iter(|| wcrt_all(black_box(set)))
+        });
+        let arbitrary = GeneratorConfig::new(n)
+            .with_utilization(0.7)
+            .with_deadlines(DeadlineKind::Arbitrary)
+            .generate(7);
+        group.bench_with_input(BenchmarkId::new("arbitrary", n), &arbitrary, |b, set| {
+            b.iter(|| wcrt_all(black_box(set)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("admission_scaling");
+    for n in [8usize, 32, 128] {
+        let set = GeneratorConfig::new(n).with_utilization(0.7).generate(11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| analyze_set(black_box(set)).unwrap().is_feasible())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("allowance_scaling");
+    group.sample_size(20);
+    for n in [8usize, 16, 32] {
+        let set = GeneratorConfig::new(n).with_utilization(0.6).generate(13);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| equitable_allowance(black_box(set)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_scaling);
+criterion_main!(benches);

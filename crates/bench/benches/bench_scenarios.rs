@@ -1,0 +1,73 @@
+//! Scenario benchmarks: one per paper figure (EXP-F1, EXP-F3 … EXP-F7).
+//!
+//! Each benchmark runs the complete pipeline the figure needed — analysis,
+//! detector placement, simulated execution on the jRate-quantized
+//! platform, verdict extraction — so the timings measure the cost of
+//! regenerating the figure, not just the simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtft_core::task::TaskId;
+use rtft_core::time::Instant;
+use rtft_ft::harness::{run_scenario, Scenario};
+use rtft_ft::treatment::Treatment;
+use rtft_sim::engine::run_plain;
+use rtft_sim::fault::FaultPlan;
+use rtft_sim::stop::StopMode;
+use rtft_sim::timer::TimerModel;
+use rtft_taskgen::paper;
+use std::hint::black_box;
+
+fn fault() -> FaultPlan {
+    FaultPlan::none().overrun(TaskId(1), paper::FAULTY_JOB_OF_TAU1, paper::injected_overrun())
+}
+
+fn figure(treatment: Treatment) -> Scenario {
+    Scenario::new(
+        treatment.name(),
+        paper::table2_figure_window(),
+        fault(),
+        treatment,
+        Instant::from_millis(1300),
+    )
+    .with_timer_model(TimerModel::jrate())
+}
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("fig1_timeline", |b| {
+        b.iter(|| run_plain(black_box(paper::table1()), Instant::from_millis(12)))
+    });
+    c.bench_function("fig3_no_detection", |b| {
+        b.iter(|| run_scenario(black_box(&figure(Treatment::NoDetection))).unwrap())
+    });
+    c.bench_function("fig4_detect_only", |b| {
+        b.iter(|| run_scenario(black_box(&figure(Treatment::DetectOnly))).unwrap())
+    });
+    c.bench_function("fig5_immediate_stop", |b| {
+        b.iter(|| {
+            run_scenario(black_box(&figure(Treatment::ImmediateStop {
+                mode: StopMode::Permanent,
+            })))
+            .unwrap()
+        })
+    });
+    c.bench_function("fig6_equitable", |b| {
+        b.iter(|| {
+            run_scenario(black_box(&figure(Treatment::EquitableAllowance {
+                mode: StopMode::Permanent,
+            })))
+            .unwrap()
+        })
+    });
+    c.bench_function("fig7_system_allowance", |b| {
+        b.iter(|| {
+            run_scenario(black_box(&figure(Treatment::SystemAllowance {
+                mode: StopMode::Permanent,
+                policy: rtft_core::allowance::SlackPolicy::ProtectAll,
+            })))
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,358 @@
+//! Allowance (tolerance-factor) computation — the paper's Section 4.2/4.3.
+//!
+//! A *fault* is a job exceeding its declared cost. The paper's key idea is
+//! that the admission-control analysis already quantifies how much extra
+//! execution the system can absorb before any deadline is endangered, and
+//! that this **allowance** can parameterize the fault treatment:
+//!
+//! * **Equitable allowance** (§4.2): the largest uniform increment `A` that
+//!   can be added to *every* task's cost with the system staying feasible,
+//!   found by binary search over the exact response-time analysis. Each
+//!   faulty task is then stopped `A` past its *inflated* WCRT.
+//! * **System allowance** (§4.3): "the higher the task priority, the more
+//!   right it has to make a fault" — the first faulty task receives the
+//!   whole slack `M_i`, the largest overrun it can make *alone* while the
+//!   system stays feasible. Remainder redistribution at run time is
+//!   implemented by `rtft-ft::manager` on top of these static numbers.
+//!
+//! All searches are exact (integer nanoseconds): feasibility is monotone in
+//! the inflation, so binary search returns the true maximum, not an
+//! approximation.
+
+use crate::error::AnalysisError;
+use crate::response::ResponseAnalysis;
+use crate::task::{TaskId, TaskSet};
+use crate::time::Duration;
+
+/// Whose deadlines the single-task overrun search must protect.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SlackPolicy {
+    /// Every task — including the faulty one — must stay feasible. This is
+    /// the paper's formulation ("the maximum value which can be added …
+    /// so that the system remains feasible").
+    #[default]
+    ProtectAll,
+    /// Only the *other* tasks must stay feasible: the faulty task is
+    /// already compromised, the goal (paper §4) is to stop it before it
+    /// fails non-faulty lower-priority tasks. With this policy the faulty
+    /// task's own deadline does not cap its grant.
+    ProtectOthers,
+}
+
+/// Result of the equitable-allowance computation (paper §4.2 + Table 3).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EquitableAllowance {
+    /// The uniform allowance `A` granted to every task.
+    pub allowance: Duration,
+    /// WCRT of each task (rank order) when **all** costs are inflated by
+    /// `A` — the stop thresholds of treatment §4.2, the paper's Table 3
+    /// (`WCRT_i + Σ_{j: rank ≤ i} A`).
+    pub inflated_wcrt: Vec<Duration>,
+    /// Baseline WCRTs (rank order) for reference.
+    pub base_wcrt: Vec<Duration>,
+}
+
+impl EquitableAllowance {
+    /// Slack left to task at `rank` between inflated WCRT and deadline.
+    pub fn residual_slack(&self, set: &TaskSet, rank: usize) -> Duration {
+        set.by_rank(rank).deadline - self.inflated_wcrt[rank]
+    }
+}
+
+/// Static per-task system-allowance numbers (paper §4.3).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SystemAllowance {
+    /// `M_i` per rank: the largest overrun task `i` may make alone.
+    pub max_overrun: Vec<Duration>,
+    /// Baseline WCRTs (rank order).
+    pub base_wcrt: Vec<Duration>,
+    /// Policy used for the search.
+    pub policy: SlackPolicy,
+}
+
+/// Binary search for the largest `x` in `[0, hi]` such that
+/// `feasible(x)` holds, given that feasibility is monotone (downward
+/// closed). Returns `None` when even `x = 0` fails.
+fn max_feasible(
+    hi: Duration,
+    mut feasible: impl FnMut(Duration) -> Result<bool, AnalysisError>,
+) -> Result<Option<Duration>, AnalysisError> {
+    if !feasible(Duration::ZERO)? {
+        return Ok(None);
+    }
+    if feasible(hi)? {
+        return Ok(Some(hi));
+    }
+    // Invariant: feasible(lo) ∧ ¬feasible(hi).
+    let mut lo = Duration::ZERO;
+    let mut hi = hi;
+    while hi - lo > Duration::NANO {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(lo))
+}
+
+/// Largest uniform cost increment keeping the whole set feasible
+/// (paper §4.2). Returns [`AnalysisError::Divergent`]-style errors from the
+/// underlying analysis; an infeasible *base* system yields `Ok(None)`.
+pub fn equitable_allowance(set: &TaskSet) -> Result<Option<EquitableAllowance>, AnalysisError> {
+    let base = ResponseAnalysis::new(set);
+    let base_wcrt = match base.wcrt_all() {
+        Ok(w) => w,
+        Err(AnalysisError::Divergent { .. }) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    // The tightest own-deadline constraint caps the search: for any task,
+    // R_i ≥ C_i + A, so A > min_i (D_i − C_i) is certainly infeasible.
+    let hi = set
+        .tasks()
+        .iter()
+        .map(|t| t.deadline - t.cost)
+        .fold(Duration::MAX, Duration::min)
+        .max(Duration::ZERO);
+    let feasible = |a: Duration| -> Result<bool, AnalysisError> {
+        let mut r = ResponseAnalysis::new(set);
+        r.inflate_all(a);
+        r.is_feasible()
+    };
+    let Some(allowance) = max_feasible(hi, feasible)? else {
+        return Ok(None);
+    };
+    let mut inflated = ResponseAnalysis::new(set);
+    inflated.inflate_all(allowance);
+    let inflated_wcrt = inflated.wcrt_all()?;
+    Ok(Some(EquitableAllowance { allowance, inflated_wcrt, base_wcrt }))
+}
+
+/// Largest overrun the task at `rank` can make **alone** with the rest of
+/// the system staying feasible (paper §4.3's `M_i`). `Ok(None)` when the
+/// base system is already infeasible.
+pub fn max_single_overrun(
+    set: &TaskSet,
+    rank: usize,
+    policy: SlackPolicy,
+) -> Result<Option<Duration>, AnalysisError> {
+    let task = set.by_rank(rank);
+    // Own-deadline cap under ProtectAll; otherwise cap by the largest
+    // deadline of the tasks the overrun can interfere with (it cannot delay
+    // anybody beyond that), plus own period as a conservative margin.
+    let hi = match policy {
+        SlackPolicy::ProtectAll => (task.deadline - task.cost).max(Duration::ZERO),
+        SlackPolicy::ProtectOthers => set.max_deadline() + task.period,
+    };
+    let feasible = |delta: Duration| -> Result<bool, AnalysisError> {
+        let mut r = ResponseAnalysis::new(set);
+        r.set_cost(rank, task.cost + delta);
+        for k in 0..set.len() {
+            if policy == SlackPolicy::ProtectOthers && k == rank {
+                continue;
+            }
+            match r.wcrt(k) {
+                Ok(w) => {
+                    if w > set.by_rank(k).deadline {
+                        return Ok(false);
+                    }
+                }
+                Err(AnalysisError::Divergent { .. }) => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    };
+    max_feasible(hi, feasible)
+}
+
+/// `M_i` for every task (paper §4.3). `Ok(None)` when the base system is
+/// infeasible.
+pub fn system_allowance(
+    set: &TaskSet,
+    policy: SlackPolicy,
+) -> Result<Option<SystemAllowance>, AnalysisError> {
+    let base = ResponseAnalysis::new(set);
+    let base_wcrt = match base.wcrt_all() {
+        Ok(w) => w,
+        Err(AnalysisError::Divergent { .. }) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut max_overrun = Vec::with_capacity(set.len());
+    for rank in 0..set.len() {
+        match max_single_overrun(set, rank, policy)? {
+            Some(m) => max_overrun.push(m),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(SystemAllowance { max_overrun, base_wcrt, policy }))
+}
+
+/// How much of a lower-priority task's slack a set of simultaneous
+/// higher-priority overruns consumes: the WCRT of `victim` when each
+/// `(rank, overrun)` pair inflates the corresponding cost.
+///
+/// Used by the run-time allowance manager to subtract "the more priority
+/// tasks overrun" (paper §4.3) when granting a later faulty task.
+pub fn wcrt_under_overruns(
+    set: &TaskSet,
+    victim: usize,
+    overruns: &[(usize, Duration)],
+) -> Result<Duration, AnalysisError> {
+    let mut r = ResponseAnalysis::new(set);
+    for &(rank, delta) in overruns {
+        let base = set.by_rank(rank).cost;
+        r.set_cost(rank, base + delta);
+    }
+    r.wcrt(victim)
+}
+
+/// Identify which task's deadline is the *binding constraint* for the
+/// equitable allowance: the task whose inflated WCRT sits closest to its
+/// deadline. Returns `(TaskId, residual slack)`.
+pub fn binding_task(set: &TaskSet, eq: &EquitableAllowance) -> (TaskId, Duration) {
+    let mut best = (set.by_rank(0).id, Duration::MAX);
+    for rank in 0..set.len() {
+        let slack = eq.residual_slack(set, rank);
+        if slack < best.1 {
+            best = (set.by_rank(rank).id, slack);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskBuilder;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn table2() -> TaskSet {
+        TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+        ])
+    }
+
+    #[test]
+    fn equitable_allowance_matches_paper_table2() {
+        // Paper Table 2, column A_i: eleven milliseconds for every task.
+        let eq = equitable_allowance(&table2()).unwrap().unwrap();
+        assert_eq!(eq.allowance, ms(11));
+        // Paper Table 3: inflated WCRTs 40 / 80 / 120 ms.
+        assert_eq!(eq.inflated_wcrt, vec![ms(40), ms(80), ms(120)]);
+        assert_eq!(eq.base_wcrt, vec![ms(29), ms(58), ms(87)]);
+    }
+
+    #[test]
+    fn equitable_allowance_is_exactly_maximal() {
+        // With A the system is feasible; with A + 1 ns it is not (exactness
+        // of the integer binary search).
+        let set = table2();
+        let eq = equitable_allowance(&set).unwrap().unwrap();
+        let mut r = ResponseAnalysis::new(&set);
+        r.inflate_all(eq.allowance);
+        assert!(r.is_feasible().unwrap());
+        r.inflate_all(eq.allowance + Duration::NANO);
+        assert!(!r.is_feasible().unwrap());
+    }
+
+    #[test]
+    fn binding_constraint_is_tau3() {
+        // For the paper's system the equitable allowance is capped by τ3:
+        // its inflated WCRT lands exactly on its deadline.
+        let set = table2();
+        let eq = equitable_allowance(&set).unwrap().unwrap();
+        let (id, slack) = binding_task(&set, &eq);
+        assert_eq!(id, TaskId(3));
+        assert_eq!(slack, Duration::ZERO);
+    }
+
+    #[test]
+    fn system_allowance_matches_paper_33ms() {
+        // Paper §6.5: "all the system time available in the worst execution
+        // case, that is to say thirty three milliseconds" for τ1.
+        let sa = system_allowance(&table2(), SlackPolicy::ProtectAll)
+            .unwrap()
+            .unwrap();
+        assert_eq!(sa.max_overrun[0], ms(33));
+        // τ2 alone can also overrun 33 ms (τ3's deadline binds it too);
+        // τ3's own slack is 120 − 87 = 33.
+        assert_eq!(sa.max_overrun[1], ms(33));
+        assert_eq!(sa.max_overrun[2], ms(33));
+    }
+
+    #[test]
+    fn protect_others_relaxes_own_deadline() {
+        // Make τ1's own deadline the binding constraint under ProtectAll.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(40)).build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(200)).build(),
+        ]);
+        let all = max_single_overrun(&set, 0, SlackPolicy::ProtectAll)
+            .unwrap()
+            .unwrap();
+        let others = max_single_overrun(&set, 0, SlackPolicy::ProtectOthers)
+            .unwrap()
+            .unwrap();
+        assert_eq!(all, ms(11), "capped by own 40 ms deadline");
+        // τ2's deadline allows 200 − 58 = 142 ms of τ1 overrun.
+        assert_eq!(others, ms(142));
+        assert!(others > all);
+    }
+
+    #[test]
+    fn infeasible_base_yields_none() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 10, ms(10), ms(8)).build(),
+            TaskBuilder::new(2, 5, ms(10), ms(8)).build(),
+        ]);
+        assert_eq!(equitable_allowance(&set).unwrap(), None);
+        assert_eq!(system_allowance(&set, SlackPolicy::ProtectAll).unwrap(), None);
+    }
+
+    #[test]
+    fn zero_allowance_when_exactly_tight() {
+        // τ2's WCRT equals its deadline: no slack at all, allowance 0 —
+        // still Some (the system itself is feasible).
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 10, ms(10), ms(5)).build(),
+            TaskBuilder::new(2, 5, ms(20), ms(5)).deadline(ms(10)).build(),
+        ]);
+        let eq = equitable_allowance(&set).unwrap().unwrap();
+        assert_eq!(eq.allowance, Duration::ZERO);
+    }
+
+    #[test]
+    fn wcrt_under_overruns_accumulates() {
+        let set = table2();
+        // τ1 overruns 20 ms: τ3 sees 87 + 20 = 107.
+        assert_eq!(
+            wcrt_under_overruns(&set, 2, &[(0, ms(20))]).unwrap(),
+            ms(107)
+        );
+        // τ1 and τ2 overrun 20 ms each: τ3 sees 127 (> deadline).
+        assert_eq!(
+            wcrt_under_overruns(&set, 2, &[(0, ms(20)), (1, ms(20))]).unwrap(),
+            ms(127)
+        );
+    }
+
+    #[test]
+    fn max_feasible_handles_hi_feasible() {
+        // feasible everywhere in range → returns hi.
+        let r = max_feasible(ms(5), |_| Ok(true)).unwrap();
+        assert_eq!(r, Some(ms(5)));
+        let r = max_feasible(ms(5), |x| Ok(x <= ms(2))).unwrap();
+        assert_eq!(r, Some(ms(2)));
+        let r = max_feasible(ms(5), |x| Ok(x.is_zero())).unwrap();
+        assert_eq!(r, Some(Duration::ZERO));
+        let r = max_feasible(ms(5), |_| Ok(false)).unwrap();
+        assert_eq!(r, None);
+    }
+}

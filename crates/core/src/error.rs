@@ -1,0 +1,91 @@
+//! Error types for model construction and analysis.
+
+use crate::task::TaskId;
+use std::fmt;
+
+/// Errors raised while constructing or editing a task model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelError {
+    /// A task set must contain at least one task.
+    Empty,
+    /// Two tasks share the same [`TaskId`].
+    DuplicateId(TaskId),
+    /// A parameter violates its domain (non-positive period, …).
+    InvalidParameter {
+        /// Offending task.
+        task: TaskId,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// The referenced task is not part of the set.
+    UnknownTask(TaskId),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Empty => write!(f, "task set is empty"),
+            ModelError::DuplicateId(id) => write!(f, "duplicate task id {id}"),
+            ModelError::InvalidParameter { task, what } => {
+                write!(f, "invalid parameter for {task}: {what}")
+            }
+            ModelError::UnknownTask(id) => write!(f, "unknown task {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Errors raised by the feasibility / allowance analyses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnalysisError {
+    /// The response-time recurrence did not converge: the level-i busy
+    /// period never closes because the workload saturates the processor.
+    Divergent {
+        /// Task whose analysis diverged.
+        task: TaskId,
+    },
+    /// An iteration guard tripped before convergence; the result would be
+    /// unreliable. Carries the bound that was exceeded.
+    IterationLimit {
+        /// Task under analysis.
+        task: TaskId,
+        /// The configured bound.
+        limit: u64,
+    },
+    /// The referenced task is not part of the analysed set.
+    UnknownTask(TaskId),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Divergent { task } => {
+                write!(f, "response-time analysis diverges for {task} (overload)")
+            }
+            AnalysisError::IterationLimit { task, limit } => {
+                write!(f, "analysis iteration limit {limit} exceeded for {task}")
+            }
+            AnalysisError::UnknownTask(id) => write!(f, "unknown task {id}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(ModelError::Empty.to_string(), "task set is empty");
+        assert!(ModelError::DuplicateId(TaskId(3)).to_string().contains("τ3"));
+        assert!(AnalysisError::Divergent { task: TaskId(1) }
+            .to_string()
+            .contains("diverges"));
+        assert!(AnalysisError::IterationLimit { task: TaskId(1), limit: 10 }
+            .to_string()
+            .contains("10"));
+    }
+}

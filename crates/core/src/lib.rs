@@ -1,0 +1,86 @@
+//! # rtft-core — feasibility analysis and allowance computation
+//!
+//! Analytical core of the `rtft` workspace, a Rust reproduction of
+//! Masson & Midonnet, *"Fault Tolerance with Real-Time Java"* (WPDRTS 2006).
+//!
+//! The paper builds fault tolerance for fixed-priority preemptive periodic
+//! systems out of the numbers that admission control already computes:
+//!
+//! 1. admission control ([`feasibility`]) runs the processor-load test
+//!    ([`utilization`]) and the exact worst-case response-time analysis
+//!    ([`response`], the paper's Figure 2 algorithm, valid for arbitrary
+//!    deadlines);
+//! 2. a job overrunning its task's WCRT has necessarily overrun its
+//!    declared cost — a **temporal fault** — so the WCRTs double as fault
+//!    detector thresholds (realized in `rtft-ft`);
+//! 3. the slack the analysis proves unused is redistributed as an
+//!    **allowance** ([`allowance`]): equitably, or wholly to the first
+//!    faulty task.
+//!
+//! Extensions the paper lists as future work are implemented alongside:
+//! blocking terms under priority-ceiling resource sharing ([`blocking`]),
+//! parameter sensitivity ([`sensitivity`]), and aperiodic servers
+//! ([`server`]).
+//!
+//! Everything here is pure, deterministic, exact integer-nanosecond
+//! computation with no dependency on the simulator; the `rtft-sim` crate
+//! provides the executable counterpart used to validate these numbers
+//! experimentally.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rtft_core::prelude::*;
+//!
+//! // The paper's Table 2 system.
+//! let set = TaskSet::from_specs(vec![
+//!     TaskBuilder::new(1, 20, Duration::millis(200), Duration::millis(29))
+//!         .deadline(Duration::millis(70)).build(),
+//!     TaskBuilder::new(2, 18, Duration::millis(250), Duration::millis(29))
+//!         .deadline(Duration::millis(120)).build(),
+//!     TaskBuilder::new(3, 16, Duration::millis(1500), Duration::millis(29))
+//!         .deadline(Duration::millis(120)).build(),
+//! ]);
+//!
+//! let report = analyze_set(&set).unwrap();
+//! assert!(report.is_feasible());
+//!
+//! let wcrt: Vec<i64> = report.per_task.iter()
+//!     .map(|t| t.wcrt.unwrap().as_millis()).collect();
+//! assert_eq!(wcrt, vec![29, 58, 87]);           // paper Table 2
+//!
+//! let eq = equitable_allowance(&set).unwrap().unwrap();
+//! assert_eq!(eq.allowance, Duration::millis(11)); // paper Table 2, A_i
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod allowance;
+pub mod blocking;
+pub mod error;
+pub mod feasibility;
+pub mod jitter;
+pub mod priority;
+pub mod response;
+pub mod sensitivity;
+pub mod server;
+pub mod task;
+pub mod time;
+pub mod utilization;
+
+/// One-stop imports for the common API surface.
+pub mod prelude {
+    pub use crate::allowance::{
+        equitable_allowance, max_single_overrun, system_allowance, EquitableAllowance,
+        SlackPolicy, SystemAllowance,
+    };
+    pub use crate::error::{AnalysisError, ModelError};
+    pub use crate::feasibility::{
+        analyze_set, Admission, AdmissionController, FeasibilityReport,
+    };
+    pub use crate::response::{analyze, wcrt, wcrt_all, ResponseAnalysis, TaskResponse};
+    pub use crate::task::{Priority, TaskBuilder, TaskId, TaskSet, TaskSpec};
+    pub use crate::time::{Duration, Instant};
+    pub use crate::utilization::{load_test, LoadVerdict};
+}

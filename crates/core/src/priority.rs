@@ -1,0 +1,308 @@
+//! Priority-assignment policies for fixed-priority scheduling.
+//!
+//! The paper takes the priorities as given (its tables list explicit `P_i`),
+//! but admission control in a real system must often *choose* them. Three
+//! classical policies are provided:
+//!
+//! * **Rate monotonic** (Liu & Layland, paper ref \[11\]) — shorter period,
+//!   higher priority; optimal for synchronous implicit-deadline sets;
+//! * **Deadline monotonic** (Audsley et al., paper ref \[1\]) — shorter
+//!   relative deadline, higher priority; optimal for `D ≤ T`;
+//! * **Audsley's optimal priority assignment** — bottom-up search that is
+//!   optimal whenever feasibility of a task only depends on the *set* of
+//!   higher-priority tasks, which holds for the response-time test used
+//!   here (synchronous arbitrary-deadline sets).
+
+use crate::error::AnalysisError;
+use crate::response::ResponseAnalysis;
+use crate::task::{Priority, TaskSet, TaskSpec};
+
+/// Reassign priorities rate-monotonically: shortest period gets the highest
+/// priority. Ties keep the original id order. Returns a new set; ids, costs
+/// and deadlines are untouched.
+pub fn rate_monotonic(set: &TaskSet) -> TaskSet {
+    assign_by_key(set, |t| t.period.as_nanos())
+}
+
+/// Reassign priorities deadline-monotonically: shortest relative deadline
+/// gets the highest priority.
+pub fn deadline_monotonic(set: &TaskSet) -> TaskSet {
+    assign_by_key(set, |t| t.deadline.as_nanos())
+}
+
+fn assign_by_key(set: &TaskSet, key: impl Fn(&TaskSpec) -> i64) -> TaskSet {
+    let mut specs: Vec<TaskSpec> = set.tasks().to_vec();
+    specs.sort_by_key(|t| (key(t), t.id));
+    let n = specs.len() as i32;
+    for (i, t) in specs.iter_mut().enumerate() {
+        // Highest priority = n, descending.
+        t.priority = Priority(n - i as i32);
+    }
+    TaskSet::from_specs(specs)
+}
+
+/// Audsley's optimal priority assignment.
+///
+/// Tries to find *some* priority order making the set feasible: repeatedly
+/// pick, for the lowest unassigned priority level, any task that is
+/// feasible at that level given all still-unassigned tasks above it.
+/// Returns `Ok(Some(set))` with priorities `1..=n` assigned on success,
+/// `Ok(None)` when no fixed-priority order is feasible.
+pub fn audsley(set: &TaskSet) -> Result<Option<TaskSet>, AnalysisError> {
+    let n = set.len();
+    let mut remaining: Vec<TaskSpec> = set.tasks().to_vec();
+    let mut assigned: Vec<TaskSpec> = Vec::with_capacity(n);
+
+    for level in (1..=n as i32).rev() {
+        // `level` counts down the *rank*: we assign the LOWEST priority
+        // first, so the numeric priority value is (n - level + 1)… simpler:
+        // we assign numeric priority = number of levels still to fill.
+        let prio = Priority(n as i32 - level + 1);
+        let mut chosen: Option<usize> = None;
+        for cand in 0..remaining.len() {
+            // Candidate at the lowest free priority; all other remaining
+            // tasks sit above it, all previously assigned below.
+            let mut trial: Vec<TaskSpec> = Vec::with_capacity(n);
+            for (k, t) in remaining.iter().enumerate() {
+                let mut t = t.clone();
+                t.priority = if k == cand { prio } else { Priority(i32::MAX / 2) };
+                trial.push(t);
+            }
+            // Previously assigned tasks are below the candidate and cannot
+            // interfere with it; leave them out of the trial set entirely.
+            let trial_set = TaskSet::from_specs(trial);
+            let rank = trial_set
+                .rank_of(remaining[cand].id)
+                .expect("candidate in trial set");
+            let analysis = ResponseAnalysis::new(&trial_set);
+            let feasible = match analysis.wcrt(rank) {
+                Ok(w) => w <= remaining[cand].deadline,
+                Err(AnalysisError::Divergent { .. }) => false,
+                Err(e) => return Err(e),
+            };
+            if feasible {
+                chosen = Some(cand);
+                break;
+            }
+        }
+        match chosen {
+            Some(c) => {
+                let mut t = remaining.remove(c);
+                t.priority = prio;
+                assigned.push(t);
+            }
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(TaskSet::from_specs(assigned)))
+}
+
+
+/// Search every priority order of a (small) task set for the one
+/// maximizing the **equitable allowance** — an allowance-aware twist on
+/// optimal priority assignment. Feasibility-optimal orders (DM, Audsley)
+/// maximize *schedulability*; this maximizes the *tolerance factor* the
+/// paper builds its treatments on, which can prefer a different order.
+///
+/// Exhaustive over `n!` permutations; intended for `n ≤ 8`.
+///
+/// Returns `Ok(None)` when no order is feasible.
+///
+/// # Panics
+/// Panics when the set has more than 8 tasks.
+pub fn maximize_allowance(
+    set: &TaskSet,
+) -> Result<Option<(TaskSet, crate::time::Duration)>, AnalysisError> {
+    use crate::allowance::equitable_allowance;
+    assert!(set.len() <= 8, "exhaustive search is for n ≤ 8");
+    let specs: Vec<TaskSpec> = set.tasks().to_vec();
+    let n = specs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut best: Option<(TaskSet, crate::time::Duration)> = None;
+
+    // Heap's algorithm over permutations.
+    let mut c = vec![0usize; n];
+    let evaluate = |order: &[usize],
+                        best: &mut Option<(TaskSet, crate::time::Duration)>|
+     -> Result<(), AnalysisError> {
+        let mut candidate: Vec<TaskSpec> = Vec::with_capacity(n);
+        for (rank, &idx) in order.iter().enumerate() {
+            let mut spec = specs[idx].clone();
+            spec.priority = Priority(n as i32 - rank as i32);
+            candidate.push(spec);
+        }
+        let candidate = TaskSet::from_specs(candidate);
+        if let Some(eq) = equitable_allowance(&candidate)? {
+            if best.as_ref().is_none_or(|(_, a)| eq.allowance > *a) {
+                *best = Some((candidate, eq.allowance));
+            }
+        }
+        Ok(())
+    };
+    evaluate(&order, &mut best)?;
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                order.swap(0, i);
+            } else {
+                order.swap(c[i], i);
+            }
+            evaluate(&order, &mut best)?;
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    Ok(Some(match best {
+        Some(b) => b,
+        None => return Ok(None),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::ResponseAnalysis;
+    use crate::task::{TaskBuilder, TaskId};
+    use crate::time::Duration;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    #[test]
+    fn rm_orders_by_period() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 0, ms(1500), ms(29)).build(),
+            TaskBuilder::new(2, 0, ms(200), ms(29)).build(),
+            TaskBuilder::new(3, 0, ms(250), ms(29)).build(),
+        ]);
+        let rm = rate_monotonic(&set);
+        assert_eq!(rm.by_rank(0).id, TaskId(2)); // T=200 highest
+        assert_eq!(rm.by_rank(1).id, TaskId(3)); // T=250
+        assert_eq!(rm.by_rank(2).id, TaskId(1)); // T=1500
+    }
+
+    #[test]
+    fn dm_orders_by_deadline() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 0, ms(100), ms(5)).deadline(ms(90)).build(),
+            TaskBuilder::new(2, 0, ms(50), ms(5)).deadline(ms(95)).build(),
+        ]);
+        let dm = deadline_monotonic(&set);
+        assert_eq!(dm.by_rank(0).id, TaskId(1));
+        let rm = rate_monotonic(&set);
+        assert_eq!(rm.by_rank(0).id, TaskId(2));
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(5, 0, ms(100), ms(5)).build(),
+            TaskBuilder::new(2, 0, ms(100), ms(5)).build(),
+        ]);
+        let rm = rate_monotonic(&set);
+        assert_eq!(rm.by_rank(0).id, TaskId(2));
+    }
+
+    #[test]
+    fn audsley_finds_feasible_assignment() {
+        // DM-infeasible orderings exist; Audsley must find the working one.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 1, ms(10), ms(4)).build(),
+            TaskBuilder::new(2, 2, ms(15), ms(5)).build(),
+        ]);
+        // As given (τ2 higher) τ1 sees R = 4 + 5 = 9 ≤ 10, τ2 = 5: feasible
+        // either way; Audsley should return some feasible assignment.
+        let out = audsley(&set).unwrap().expect("feasible assignment exists");
+        let a = ResponseAnalysis::new(&out);
+        assert!(a.is_feasible().unwrap());
+    }
+
+    #[test]
+    fn audsley_rejects_infeasible_sets() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 1, ms(10), ms(7)).build(),
+            TaskBuilder::new(2, 2, ms(10), ms(7)).build(),
+        ]);
+        assert_eq!(audsley(&set).unwrap(), None);
+    }
+
+    #[test]
+    fn audsley_agrees_with_dm_on_constrained_sets() {
+        // For D ≤ T both DM and Audsley are optimal: they accept the same
+        // sets. Verify on a set only schedulable with the right order.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 0, ms(100), ms(40)).deadline(ms(100)).build(),
+            TaskBuilder::new(2, 0, ms(100), ms(40)).deadline(ms(50)).build(),
+        ]);
+        // τ2 must be on top (D=50): R2=40 ≤ 50, R1=80 ≤ 100.
+        let dm = deadline_monotonic(&set);
+        assert!(ResponseAnalysis::new(&dm).is_feasible().unwrap());
+        let aud = audsley(&set).unwrap().unwrap();
+        assert!(ResponseAnalysis::new(&aud).is_feasible().unwrap());
+        assert_eq!(aud.by_rank(0).id, TaskId(2));
+    }
+
+    #[test]
+    fn maximize_allowance_at_least_matches_dm() {
+        // On the paper's system the DM order is already optimal; the
+        // search must find an allowance ≥ the DM one.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+        ]);
+        let dm = deadline_monotonic(&set);
+        let dm_allowance = crate::allowance::equitable_allowance(&dm)
+            .unwrap()
+            .unwrap()
+            .allowance;
+        let (best_set, best_a) = maximize_allowance(&set).unwrap().unwrap();
+        assert!(best_a >= dm_allowance);
+        assert_eq!(best_a, ms(11), "paper system: 11 ms is optimal");
+        assert!(crate::response::ResponseAnalysis::new(&best_set)
+            .is_feasible()
+            .unwrap());
+    }
+
+    #[test]
+    fn maximize_allowance_can_beat_rm() {
+        // Two tasks, same period: RM ties (id order), but giving the
+        // tight-deadline task priority yields more allowance.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 5, ms(100), ms(10)).deadline(ms(100)).build(),
+            TaskBuilder::new(2, 9, ms(100), ms(10)).deadline(ms(40)).build(),
+        ]);
+        // As given, τ2 (tight) is on top: A from τ2: 10+x ≤ 40 → 30;
+        // τ1: 20+2x ≤ 100 → 40 ⇒ A = 30.
+        // Swapped, τ2 underneath: 20+2x ≤ 40 → 10 ⇒ A = 10.
+        let (_, best) = maximize_allowance(&set).unwrap().unwrap();
+        assert_eq!(best, ms(30));
+    }
+
+    #[test]
+    fn maximize_allowance_none_when_infeasible() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 2, ms(10), ms(8)).build(),
+            TaskBuilder::new(2, 1, ms(10), ms(8)).build(),
+        ]);
+        assert_eq!(maximize_allowance(&set).unwrap(), None);
+    }
+
+    #[test]
+    fn audsley_priorities_are_contiguous() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 9, ms(100), ms(10)).build(),
+            TaskBuilder::new(2, 9, ms(200), ms(10)).build(),
+            TaskBuilder::new(3, 9, ms(400), ms(10)).build(),
+        ]);
+        let out = audsley(&set).unwrap().unwrap();
+        let mut prios: Vec<i32> = out.tasks().iter().map(|t| t.priority.0).collect();
+        prios.sort_unstable();
+        assert_eq!(prios, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Sensitivity analysis — how far the declared parameters can drift before
+//! feasibility is lost.
+//!
+//! The paper's §7 observes that costs "obtained by a statistical work"
+//! may be under- *or* over-estimated. The allowance of [`crate::allowance`]
+//! answers "how much *extra* execution can be absorbed"; this module
+//! answers the complementary calibration questions:
+//!
+//! * [`cost_scaling_margin`] — the largest multiplicative factor `f` such
+//!   that the system with costs `f·C_i` stays feasible (the classical
+//!   *critical scaling factor*);
+//! * [`task_cost_slack`] — per-task additive slack (alias of the
+//!   single-task overrun search, exposed here under its sensitivity name);
+//! * [`min_feasible_cost`] — how far a cost can be *reduced* before the
+//!   analysis stops being the binding certificate (always 1 ns: feasibility
+//!   is monotone, so reduction never hurts — provided as an explicit,
+//!   testable statement of that monotonicity);
+//! * [`underrun_reclaim`] — given observed under-runs (paper §7: "it is
+//!   also possible to overestimate it"), how much allowance the *remaining*
+//!   tasks gain if the measured costs replace the declared ones.
+
+use crate::allowance::{equitable_allowance, max_single_overrun, SlackPolicy};
+use crate::error::AnalysisError;
+use crate::response::ResponseAnalysis;
+use crate::task::{TaskId, TaskSet};
+use crate::time::Duration;
+
+/// Precision of the scaling-factor binary search.
+const SCALE_EPSILON: f64 = 1e-9;
+
+/// Largest factor `f ≥ 1` (within `1e-9`) such that scaling every cost by
+/// `f` keeps the set feasible; `None` when the set is infeasible as-is.
+/// A result of exactly `1.0` means there is no multiplicative headroom.
+pub fn cost_scaling_margin(set: &TaskSet) -> Result<Option<f64>, AnalysisError> {
+    let feasible = |f: f64| -> Result<bool, AnalysisError> {
+        let mut a = ResponseAnalysis::new(set);
+        for rank in 0..set.len() {
+            let c = set.by_rank(rank).cost.as_nanos() as f64 * f;
+            if c > i64::MAX as f64 {
+                return Ok(false);
+            }
+            a.set_cost(rank, Duration::nanos(c.ceil() as i64));
+        }
+        a.is_feasible()
+    };
+    if !feasible(1.0)? {
+        return Ok(None);
+    }
+    // Exponential probe for an infeasible upper bound.
+    let mut hi = 2.0;
+    let mut lo = 1.0;
+    while feasible(hi)? {
+        lo = hi;
+        hi *= 2.0;
+        if hi > 1e6 {
+            // Utilization bounds the factor at 1/U; reaching 1e6 means U is
+            // degenerate-small but deadlines never bind — treat as capped.
+            return Ok(Some(lo));
+        }
+    }
+    while hi - lo > SCALE_EPSILON {
+        let mid = 0.5 * (lo + hi);
+        if feasible(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(lo))
+}
+
+/// Additive cost slack of one task: how much its cost may grow, everything
+/// else fixed, with the whole system staying feasible. Sensitivity-analysis
+/// name for [`max_single_overrun`] with [`SlackPolicy::ProtectAll`].
+pub fn task_cost_slack(set: &TaskSet, rank: usize) -> Result<Option<Duration>, AnalysisError> {
+    max_single_overrun(set, rank, SlackPolicy::ProtectAll)
+}
+
+/// Monotonicity witness: reducing any cost keeps a feasible system
+/// feasible. Returns the response-time vector after the reduction so tests
+/// (and callers reclaiming budget) can observe the improvement.
+pub fn min_feasible_cost(
+    set: &TaskSet,
+    rank: usize,
+    reduced: Duration,
+) -> Result<Vec<Duration>, AnalysisError> {
+    assert!(reduced.is_positive(), "cost must stay positive");
+    assert!(
+        reduced <= set.by_rank(rank).cost,
+        "min_feasible_cost is for reductions"
+    );
+    let mut a = ResponseAnalysis::new(set);
+    a.set_cost(rank, reduced);
+    a.wcrt_all()
+}
+
+/// Result of reclaiming observed under-runs (paper §7 "detect these costs
+/// under-run and reassign resources").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnderrunReclaim {
+    /// Equitable allowance with declared costs.
+    pub declared_allowance: Duration,
+    /// Equitable allowance with the measured (smaller) costs.
+    pub measured_allowance: Duration,
+    /// The gain, `measured − declared` (never negative).
+    pub gained: Duration,
+}
+
+/// Recompute the equitable allowance after substituting measured costs
+/// (`(task, observed_cost)` pairs, each at most the declared cost) for the
+/// declared ones. Quantifies how much extra tolerance under-running tasks
+/// hand back to the system.
+pub fn underrun_reclaim(
+    set: &TaskSet,
+    measured: &[(TaskId, Duration)],
+) -> Result<Option<UnderrunReclaim>, AnalysisError> {
+    let Some(declared) = equitable_allowance(set)? else {
+        return Ok(None);
+    };
+    let mut adjusted = set.clone();
+    for &(id, observed) in measured {
+        let Some(spec) = adjusted.by_id(id) else { continue };
+        assert!(
+            observed <= spec.cost,
+            "underrun_reclaim expects observed ≤ declared for {id}"
+        );
+        assert!(observed.is_positive(), "observed cost must be positive");
+        let mut spec = spec.clone();
+        spec.cost = observed;
+        adjusted = adjusted.with_replaced(spec);
+    }
+    let Some(measured_eq) = equitable_allowance(&adjusted)? else {
+        return Ok(None);
+    };
+    Ok(Some(UnderrunReclaim {
+        declared_allowance: declared.allowance,
+        measured_allowance: measured_eq.allowance,
+        gained: measured_eq.allowance - declared.allowance,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskBuilder;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn table2() -> TaskSet {
+        TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+        ])
+    }
+
+    #[test]
+    fn scaling_margin_of_paper_system() {
+        // Scaling all costs by f: R3 = 3·29f ≤ 120 → f ≤ 120/87 ≈ 1.3793.
+        let f = cost_scaling_margin(&table2()).unwrap().unwrap();
+        assert!((f - 120.0 / 87.0).abs() < 1e-6, "got {f}");
+    }
+
+    #[test]
+    fn scaling_margin_none_when_infeasible() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 2, ms(10), ms(8)).build(),
+            TaskBuilder::new(2, 1, ms(10), ms(8)).build(),
+        ]);
+        assert_eq!(cost_scaling_margin(&set).unwrap(), None);
+    }
+
+    #[test]
+    fn scaling_margin_exactly_one_when_tight() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 2, ms(4), ms(2)).build(),
+            TaskBuilder::new(2, 1, ms(8), ms(4)).build(),
+        ]);
+        let f = cost_scaling_margin(&set).unwrap().unwrap();
+        assert!((f - 1.0).abs() < 1e-6, "got {f}");
+    }
+
+    #[test]
+    fn per_task_slack_matches_allowance_module() {
+        let set = table2();
+        assert_eq!(task_cost_slack(&set, 0).unwrap(), Some(ms(33)));
+        assert_eq!(task_cost_slack(&set, 2).unwrap(), Some(ms(33)));
+    }
+
+    #[test]
+    fn reduction_only_improves() {
+        let set = table2();
+        let base = ResponseAnalysis::new(&set).wcrt_all().unwrap();
+        let reduced = min_feasible_cost(&set, 0, ms(10)).unwrap();
+        for (b, r) in base.iter().zip(&reduced) {
+            assert!(r <= b, "reduction must not increase any response time");
+        }
+        assert_eq!(reduced, vec![ms(10), ms(39), ms(68)]);
+    }
+
+    #[test]
+    fn underrun_reclaim_gains_allowance() {
+        let set = table2();
+        // τ1 actually runs 9 ms instead of 29: R3 base becomes 9+29+29 = 67,
+        // allowance rises accordingly.
+        let r = underrun_reclaim(&set, &[(TaskId(1), ms(9))])
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.declared_allowance, ms(11));
+        // New constraint: 3A + 67 ≤ 120 → A ≤ 17.666… ms; exact integer-ns
+        // search: ⌊53 ms / 3⌋ = 17_666_666 ns.
+        assert!(r.measured_allowance > r.declared_allowance);
+        assert_eq!(r.measured_allowance.as_nanos(), 17_666_666);
+        assert_eq!(r.gained, r.measured_allowance - ms(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects observed ≤ declared")]
+    fn underrun_reclaim_rejects_overrun_input() {
+        let set = table2();
+        let _ = underrun_reclaim(&set, &[(TaskId(1), ms(30))]);
+    }
+}

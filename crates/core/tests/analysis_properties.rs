@@ -1,0 +1,142 @@
+//! Property tests of the analytical core: exactness and monotonicity laws
+//! the paper's construction rests on.
+
+use proptest::prelude::*;
+use rtft_core::allowance::{equitable_allowance, max_single_overrun, SlackPolicy};
+use rtft_core::prelude::*;
+use rtft_core::response::wcrt_constrained;
+
+fn arb_set(max_tasks: usize) -> impl Strategy<Value = TaskSet> {
+    proptest::collection::vec((2i64..=80, 1i64..=12), 1..=max_tasks).prop_map(|params| {
+        let n = params.len() as i64;
+        let specs = params
+            .into_iter()
+            .enumerate()
+            .map(|(i, (period_raw, cost_raw))| {
+                let period = Duration::millis(period_raw * n);
+                let cost = Duration::millis(cost_raw.min((period_raw * n * 4 / (5 * n)).max(1)));
+                TaskBuilder::new(i as u32 + 1, -(i as i32), period, cost).build()
+            })
+            .collect();
+        TaskSet::from_specs(specs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The general (arbitrary-deadline) algorithm agrees with the classic
+    /// single-job recurrence whenever the busy period closes at job 0.
+    #[test]
+    fn general_equals_classic_on_constrained_sets(set in arb_set(6)) {
+        let analysis = ResponseAnalysis::new(&set);
+        for rank in 0..set.len() {
+            match (analysis.analyze(rank), wcrt_constrained(&set, rank)) {
+                (Ok(full), Ok(classic)) => {
+                    // Implicit deadlines here: busy period may still span
+                    // jobs if R > T; the classic value is job 0's response.
+                    prop_assert_eq!(full.jobs[0].response, classic);
+                    prop_assert!(full.wcrt >= classic);
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "divergence disagreement: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    /// Equitable allowance maximality: A is feasible, A + 1 ns is not.
+    #[test]
+    fn allowance_is_exactly_maximal(set in arb_set(5)) {
+        let Ok(Some(eq)) = equitable_allowance(&set) else { return Ok(()); };
+        let mut at = ResponseAnalysis::new(&set);
+        at.inflate_all(eq.allowance);
+        prop_assert!(at.is_feasible().unwrap());
+        at.inflate_all(eq.allowance + Duration::NANO);
+        prop_assert!(!at.is_feasible().unwrap());
+    }
+
+    /// Single-task slack maximality under ProtectAll.
+    #[test]
+    fn single_overrun_is_exactly_maximal(set in arb_set(4), pick in 0usize..4) {
+        let rank = pick % set.len();
+        let Ok(Some(m)) = max_single_overrun(&set, rank, SlackPolicy::ProtectAll) else {
+            return Ok(());
+        };
+        let base = set.by_rank(rank).cost;
+        let mut a = ResponseAnalysis::new(&set);
+        a.set_cost(rank, base + m);
+        prop_assert!(a.is_feasible().unwrap());
+        a.set_cost(rank, base + m + Duration::NANO);
+        prop_assert!(!a.is_feasible().unwrap());
+    }
+
+    /// WCRT is monotone in costs: inflating any cost never shrinks any
+    /// response time.
+    #[test]
+    fn wcrt_monotone_in_costs(set in arb_set(5), pick in 0usize..5, bump in 1i64..10) {
+        let rank = pick % set.len();
+        let base = match wcrt_all(&set) { Ok(w) => w, Err(_) => return Ok(()) };
+        let mut a = ResponseAnalysis::new(&set);
+        a.set_cost(rank, set.by_rank(rank).cost + Duration::millis(bump));
+        for (r, b) in base.iter().enumerate() {
+            // A wcrt error here means the bump pushed the level into
+            // divergence, which is fine for the monotonicity claim.
+            if let Ok(w) = a.wcrt(r) {
+                prop_assert!(w >= *b, "rank {r} shrank");
+            }
+        }
+    }
+
+    /// Busy period bounds the WCRT.
+    #[test]
+    fn busy_period_bounds_wcrt(set in arb_set(5)) {
+        let analysis = ResponseAnalysis::new(&set);
+        for rank in 0..set.len() {
+            if let (Ok(w), Ok(l)) = (analysis.wcrt(rank), analysis.level_busy_period(rank)) {
+                prop_assert!(w <= l, "WCRT {w} beyond busy period {l}");
+            }
+        }
+    }
+
+    /// Audsley never rejects a set whose given order is feasible.
+    #[test]
+    fn audsley_accepts_feasible_sets(set in arb_set(4)) {
+        if !ResponseAnalysis::new(&set).is_feasible().unwrap_or(false) {
+            return Ok(());
+        }
+        let result = rtft_core::priority::audsley(&set).unwrap();
+        prop_assert!(result.is_some(), "Audsley rejected a feasible set");
+        let assigned = result.unwrap();
+        prop_assert!(ResponseAnalysis::new(&assigned).is_feasible().unwrap());
+    }
+
+    /// Utilization consistency: feasible ⇒ U ≤ 1.
+    #[test]
+    fn feasible_implies_unit_load(set in arb_set(6)) {
+        if ResponseAnalysis::new(&set).is_feasible().unwrap_or(false) {
+            prop_assert!(set.utilization() <= 1.0 + 1e-12);
+        }
+    }
+
+    /// Jitter analysis degenerates to the base analysis at zero jitter
+    /// (constrained-deadline sets).
+    #[test]
+    fn jitter_zero_degenerates(set in arb_set(5)) {
+        use rtft_core::jitter::{wcrt_all_with_jitter, JitterModel};
+        let zero = JitterModel::zero(&set);
+        match (wcrt_all_with_jitter(&set, &zero), wcrt_all(&set)) {
+            (Ok(a), Ok(b)) => {
+                // The jitter analysis is the single-job recurrence; compare
+                // against job-0 responses.
+                let analysis = ResponseAnalysis::new(&set);
+                for (rank, ja) in a.iter().enumerate() {
+                    let job0 = analysis.analyze(rank).unwrap().jobs[0].response;
+                    prop_assert_eq!(*ja, job0);
+                }
+                let _ = b;
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergence disagreement: {a:?} vs {b:?}"),
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Ablation experiments beyond the paper's fixed scenario
+//! (EXP-X1, EXP-X2, EXP-X3).
+
+use rtft_core::response::wcrt_all;
+use rtft_core::task::TaskId;
+use rtft_core::time::{Duration, Instant};
+use rtft_ft::harness::{run_scenario, Scenario};
+use rtft_ft::treatment::Treatment;
+use rtft_sim::fault::FaultPlan;
+use rtft_sim::stop::StopMode;
+use rtft_sim::timer::TimerModel;
+use rtft_taskgen::paper;
+use rtft_taskgen::GeneratorConfig;
+use std::fmt::Write as _;
+
+fn ms(v: i64) -> Duration {
+    Duration::millis(v)
+}
+
+/// EXP-X2 — treatment sweep: which tasks fail as the injected overrun Δ
+/// grows, per treatment. Regenerates the crossovers the paper narrates:
+/// Δ ≤ 33 hurts nobody even untreated; above it, only treatments confine
+/// the damage.
+pub fn treatment_sweep() -> String {
+    let set = paper::table2_figure_window();
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== EXP-X2: failed tasks vs injected overrun Δ, per treatment ==\n"
+    );
+    let deltas: Vec<i64> = vec![5, 15, 25, 33, 34, 40, 50, 60];
+    let _ = write!(text, "{:<22}", "Δ (ms) →");
+    for d in &deltas {
+        let _ = write!(text, "{d:>10}");
+    }
+    text.push('\n');
+    for treatment in Treatment::paper_lineup() {
+        let _ = write!(text, "{:<22}", treatment.name());
+        for &d in &deltas {
+            let faults = FaultPlan::none().overrun(TaskId(1), paper::FAULTY_JOB_OF_TAU1, ms(d));
+            let sc = Scenario::new(
+                format!("{}-d{}", treatment.name(), d),
+                set.clone(),
+                faults,
+                treatment,
+                Instant::from_millis(1300),
+            )
+            .with_timer_model(TimerModel::jrate());
+            let out = run_scenario(&sc).expect("feasible base");
+            let failed = out.verdict.failed_tasks();
+            let cell = if failed.is_empty() {
+                "-".to_string()
+            } else {
+                failed
+                    .iter()
+                    .map(|t| format!("{}", t.0))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let _ = write!(text, "{cell:>10}");
+        }
+        text.push('\n');
+    }
+    let _ = writeln!(
+        text,
+        "\n(cells list the failing task ids; '-' = all deadlines met)\n\
+         expected shape: without detection τ3 (and for huge Δ also τ2)\n\
+         fails once Δ > 33 ms; with any stopping treatment only τ1 ever\n\
+         fails, and it survives Δ up to its granted allowance."
+    );
+    text
+}
+
+/// EXP-X1 — detector overhead: number of detector firings (each one
+/// preemption-equivalent, paper §6.2) per hyperperiod as the task count
+/// grows.
+pub fn detector_overhead() -> String {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== EXP-X1: detector activity vs task count (paper §6.2) ==\n"
+    );
+    let _ = writeln!(
+        text,
+        "{:>6} {:>12} {:>16} {:>22}",
+        "tasks", "horizon", "detector fires", "fires/task/second"
+    );
+    for n in [3usize, 8, 16, 32, 64] {
+        let set = GeneratorConfig::new(n)
+            .with_utilization(0.5)
+            .with_periods(ms(50), ms(500))
+            .generate(42);
+        if wcrt_all(&set).is_err() {
+            continue;
+        }
+        let horizon = Instant::from_millis(5_000);
+        let sc = Scenario::new(
+            format!("overhead-{n}"),
+            set,
+            FaultPlan::none(),
+            Treatment::DetectOnly,
+            horizon,
+        );
+        let Ok(out) = run_scenario(&sc) else {
+            let _ = writeln!(text, "{n:>6} {:>12} {:>16} {:>22}", "-", "infeasible", "-");
+            continue;
+        };
+        let fires = out.log.count(|e| {
+            matches!(e.kind, rtft_trace::EventKind::DetectorRelease { .. })
+        });
+        let per_task_per_sec = fires as f64 / n as f64 / 5.0;
+        let _ = writeln!(
+            text,
+            "{n:>6} {:>12} {fires:>16} {per_task_per_sec:>22.2}",
+            "5000ms"
+        );
+    }
+    let _ = writeln!(
+        text,
+        "\npaper claim: the overhead is one preemption per detector release\n\
+         and 'the more tasks in the system, the more sensors, hence the\n\
+         higher the influence of this overrun' — firings grow linearly\n\
+         with the task count."
+    );
+    text
+}
+
+/// EXP-X3 — stop-model ablation: how the polled stop of §4.1 delays the
+/// effective stop relative to the idealized immediate stop.
+pub fn stop_model_ablation() -> String {
+    let set = paper::table2_figure_window();
+    let faults = FaultPlan::none().overrun(TaskId(1), paper::FAULTY_JOB_OF_TAU1, ms(40));
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== EXP-X3: polled-stop granularity vs effective stop time ==\n"
+    );
+    let _ = writeln!(text, "{:>12} {:>16}", "poll (ms)", "τ1 stopped at");
+    for poll in [0i64, 1, 2, 5, 10] {
+        let stop_model = if poll == 0 {
+            rtft_sim::stop::StopModel::IMMEDIATE
+        } else {
+            rtft_sim::stop::StopModel::polled(ms(poll))
+        };
+        let sc = Scenario::new(
+            format!("stop-poll-{poll}"),
+            set.clone(),
+            faults.clone(),
+            Treatment::ImmediateStop { mode: StopMode::Permanent },
+            Instant::from_millis(1300),
+        )
+        .with_timer_model(TimerModel::jrate())
+        .with_stop_model(stop_model);
+        let out = run_scenario(&sc).expect("feasible base");
+        let stop = out.log.stops().first().map(|s| s.2);
+        let _ = writeln!(
+            text,
+            "{poll:>12} {:>16}",
+            stop.map_or("-".into(), |s| s.to_string())
+        );
+    }
+    let _ = writeln!(
+        text,
+        "\nexpected shape: the stop lands at the next poll boundary of the\n\
+         job's consumed CPU — coarser polling delays it, the effect the\n\
+         paper's §4.1 observes as 'small cost overruns … below the\n\
+         precision of our detectors'."
+    );
+    text
+}
+
+/// EXP-X4 — overhead sensitivity: how charged context switches and
+/// detector firings inflate observed responses (paper §6.2: the detection
+/// overhead is "that of a pre-emption"; "the more tasks … the higher the
+/// influence").
+pub fn overhead_sensitivity() -> String {
+    use rtft_sim::overhead::Overheads;
+    let set = paper::table2();
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== EXP-X4: observed worst responses vs charged overheads ==\n"
+    );
+    let _ = writeln!(
+        text,
+        "{:>16} {:>16} {:>12} {:>12} {:>12}",
+        "ctx switch", "detector fire", "τ1 maxresp", "τ2 maxresp", "τ3 maxresp"
+    );
+    let cases: Vec<(i64, i64)> = vec![(0, 0), (100, 0), (500, 0), (0, 100), (500, 100), (1000, 500)];
+    for (ctx_us, det_us) in cases {
+        let overheads = Overheads::dispatch_cost(rtft_core::time::Duration::micros(ctx_us))
+            .with_detector_fire(rtft_core::time::Duration::micros(det_us));
+        let sc = Scenario::new(
+            format!("ovh-{ctx_us}-{det_us}"),
+            set.clone(),
+            FaultPlan::none(),
+            Treatment::DetectOnly,
+            Instant::from_millis(3_000),
+        )
+        .with_overheads(overheads);
+        let out = run_scenario(&sc).expect("feasible base");
+        let resp = |id: u32| {
+            out.stats
+                .observed_wcrt(rtft_core::task::TaskId(id))
+                .map_or("-".to_string(), |d| d.to_string())
+        };
+        let _ = writeln!(
+            text,
+            "{:>14}us {:>14}us {:>12} {:>12} {:>12}",
+            ctx_us,
+            det_us,
+            resp(1),
+            resp(2),
+            resp(3),
+        );
+    }
+    let _ = writeln!(
+        text,
+        "\nexpected shape: responses grow with both charges; the detector\n\
+         charge hits every task once per watched period (one\n\
+         preemption-equivalent each, the paper's §6.2 estimate)."
+    );
+    text
+}
+
+/// EXP-X5 — allowance-aware priority assignment: compare the equitable
+/// allowance under RM, DM and the exhaustive-best order.
+pub fn priority_ablation() -> String {
+    use rtft_core::allowance::equitable_allowance;
+    use rtft_core::priority::{deadline_monotonic, maximize_allowance, rate_monotonic};
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "== EXP-X5: equitable allowance vs priority assignment ==\n"
+    );
+    let systems: Vec<(&str, rtft_core::task::TaskSet)> = vec![
+        ("paper-table2", paper::table2()),
+        (
+            "tight-deadline-pair",
+            rtft_core::task::TaskSet::from_specs(vec![
+                rtft_core::task::TaskBuilder::new(1, 5, ms(100), ms(10)).deadline(ms(100)).build(),
+                rtft_core::task::TaskBuilder::new(2, 9, ms(100), ms(10)).deadline(ms(40)).build(),
+            ]),
+        ),
+    ];
+    let _ = writeln!(text, "{:<22} {:>10} {:>10} {:>10}", "system", "RM", "DM", "best");
+    for (name, set) in systems {
+        let a = |s: &rtft_core::task::TaskSet| {
+            equitable_allowance(s)
+                .ok()
+                .flatten()
+                .map_or("-".to_string(), |e| e.allowance.to_string())
+        };
+        let best = maximize_allowance(&set)
+            .ok()
+            .flatten()
+            .map_or("-".to_string(), |(_, d)| d.to_string());
+        let _ = writeln!(
+            text,
+            "{name:<22} {:>10} {:>10} {best:>10}",
+            a(&rate_monotonic(&set)),
+            a(&deadline_monotonic(&set)),
+        );
+    }
+    let _ = writeln!(
+        text,
+        "\nexpected shape: the exhaustive-best allowance is never below the\n\
+         DM one, and exceeds it when deadline order and slack order differ."
+    );
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_expected_crossover() {
+        let s = treatment_sweep();
+        assert!(s.contains("no-detection"));
+        // At Δ = 40 the untreated system loses τ3.
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn overhead_grows_with_tasks() {
+        let s = detector_overhead();
+        assert!(s.contains("64"));
+        assert!(s.contains("detector fires"));
+    }
+
+    #[test]
+    fn overhead_sensitivity_renders() {
+        let s = overhead_sensitivity();
+        assert!(s.contains("ctx switch"));
+        assert!(s.contains("29ms"), "zero-overhead row shows the base WCRT:\n{s}");
+    }
+
+    #[test]
+    fn priority_ablation_renders() {
+        let s = priority_ablation();
+        assert!(s.contains("paper-table2"));
+        assert!(s.contains("11ms"));
+        assert!(s.contains("30ms"), "tight pair best order:\n{s}");
+    }
+
+    #[test]
+    fn stop_ablation_renders() {
+        let s = stop_model_ablation();
+        assert!(s.contains("t=1030ms"), "immediate stop at the detection point:\n{s}");
+    }
+}

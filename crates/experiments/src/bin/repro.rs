@@ -1,0 +1,68 @@
+//! Regenerates every table and figure of the paper into
+//! `experiments/out/`, printing each artifact and a summary.
+//!
+//! ```text
+//! cargo run -p rtft-experiments --bin repro [--quiet] [out_dir]
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let out_dir: PathBuf = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("experiments/out"));
+
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let mut summary: Vec<String> = Vec::new();
+    for (name, generate) in rtft_experiments::all_experiments() {
+        let started = std::time::Instant::now();
+        let text = generate();
+        let elapsed = started.elapsed();
+        let path = out_dir.join(name);
+        fs::write(&path, &text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        if !quiet {
+            println!("{text}\n");
+        }
+        let verdict = if text.contains("Reproduced: NO") || text.contains("match: NO") {
+            "MISMATCH"
+        } else {
+            "ok"
+        };
+        summary.push(format!(
+            "{name:<28} {verdict:<10} {:>8.1?}  -> {}",
+            elapsed,
+            path.display()
+        ));
+    }
+
+    // SVG renditions of the five figures.
+    {
+        use rtft_ft::treatment::Treatment;
+        use rtft_trace::svg::SvgConfig;
+        let set = rtft_taskgen::paper::table2_figure_window();
+        let (from, to) = rtft_taskgen::paper::figure_window();
+        for (i, treatment) in Treatment::paper_lineup().into_iter().enumerate() {
+            let out = rtft_experiments::figures::figure_scenario(treatment);
+            let svg = rtft_trace::render_svg(&out.log, &set, &SvgConfig::window(from, to));
+            let path = out_dir.join(format!("figure{}.svg", i + 3));
+            fs::write(&path, svg).expect("write svg");
+            summary.push(format!("figure{}.svg{:<16} ok          -> {}", i + 3, "", path.display()));
+        }
+    }
+
+    println!("=== reproduction summary ===");
+    for line in &summary {
+        println!("{line}");
+    }
+    if summary.iter().any(|l| l.contains("MISMATCH")) {
+        eprintln!("some experiments did not reproduce the paper's values");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,49 @@
+//! # rtft-experiments — the paper's tables and figures, regenerated
+//!
+//! Each module returns a text artifact; the `repro` binary writes them to
+//! `experiments/out/` and prints a one-line verdict per experiment.
+//! EXPERIMENTS.md records the paper-vs-measured comparison.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod figures;
+pub mod tables;
+
+/// An experiment artifact: file name plus generator.
+pub type Experiment = (&'static str, fn() -> String);
+
+/// All experiments, as `(artifact file name, generator)` pairs, in paper
+/// order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("table1.txt", tables::table1 as fn() -> String),
+        ("figure1.txt", figures::figure1),
+        ("table2.txt", tables::table2),
+        ("table3.txt", tables::table3),
+        ("figure3.txt", figures::figure3),
+        ("figure4.txt", figures::figure4),
+        ("figure5.txt", figures::figure5),
+        ("figure6.txt", figures::figure6),
+        ("figure7.txt", figures::figure7),
+        ("comparison.txt", figures::comparison),
+        ("ablation_sweep.txt", ablation::treatment_sweep),
+        ("ablation_detectors.txt", ablation::detector_overhead),
+        ("ablation_stop_model.txt", ablation::stop_model_ablation),
+        ("ablation_overheads.txt", ablation::overhead_sensitivity),
+        ("ablation_priority.txt", ablation::priority_ablation),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_experiment_produces_output() {
+        for (name, gen) in super::all_experiments() {
+            let text = gen();
+            assert!(!text.is_empty(), "{name} produced nothing");
+            assert!(text.contains("=="), "{name} missing header");
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Dynamic systems — the paper's §7 first objective: "reach the same
+//! results in a more dynamic system where tasks can be added or removed
+//! 'in real-time' by adapting the behavior of our detectors".
+//!
+//! [`DynamicSystem`] keeps an [`AdmissionController`] and, after every
+//! accepted change, recomputes the detector thresholds and allowances the
+//! treatments need. Workloads are executed epoch by epoch: each epoch runs
+//! the *current* set on the simulator with freshly derived detector
+//! parameters, exactly what an online re-admission would install.
+
+use crate::harness::{run_scenario, HarnessError, Scenario, ScenarioOutcome};
+use crate::treatment::Treatment;
+use rtft_core::allowance::equitable_allowance;
+use rtft_core::feasibility::{Admission, AdmissionController, AdmissionError};
+use rtft_core::response::wcrt_all;
+use rtft_core::task::{TaskId, TaskSet, TaskSpec};
+use rtft_core::time::{Duration, Instant};
+use rtft_sim::fault::FaultPlan;
+use rtft_sim::timer::TimerModel;
+
+/// Snapshot of detector parameters after a change.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DetectorPlan {
+    /// Tasks in priority order.
+    pub tasks: Vec<TaskId>,
+    /// Detection threshold (WCRT) per rank.
+    pub wcrt: Vec<Duration>,
+    /// Equitable allowance of the current set.
+    pub equitable: Option<Duration>,
+}
+
+/// An online system: admission control plus detector re-planning.
+#[derive(Clone, Debug, Default)]
+pub struct DynamicSystem {
+    controller: AdmissionController,
+}
+
+impl DynamicSystem {
+    /// Empty system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// System pre-loaded with `set`.
+    pub fn with_set(set: &TaskSet) -> Self {
+        DynamicSystem { controller: AdmissionController::with_set(set) }
+    }
+
+    /// Current task set, if any task is admitted.
+    pub fn current_set(&self) -> Option<TaskSet> {
+        self.controller.current_set()
+    }
+
+    /// Try to admit a task at run time. On success the new detector plan
+    /// is returned — thresholds of *existing* tasks may have changed (a
+    /// new high-priority task inflates everyone's WCRT below it), which is
+    /// precisely why detectors must adapt.
+    pub fn admit(&mut self, spec: TaskSpec) -> Result<Option<DetectorPlan>, AdmissionError> {
+        match self.controller.add_to_feasibility(spec)? {
+            Admission::Admitted(_) => Ok(Some(self.plan()?)),
+            Admission::Rejected(_) => Ok(None),
+        }
+    }
+
+    /// Remove a task; returns the refreshed plan (thresholds shrink, the
+    /// allowance grows — freed slack is redistributed).
+    pub fn remove(&mut self, id: TaskId) -> Result<DetectorPlan, AdmissionError> {
+        self.controller.remove_from_feasibility(id)?;
+        self.plan()
+    }
+
+    /// Detector plan of the current set.
+    pub fn plan(&self) -> Result<DetectorPlan, AdmissionError> {
+        let set = self
+            .controller
+            .current_set()
+            .expect("plan() on an empty system");
+        let wcrt = wcrt_all(&set).map_err(AdmissionError::Analysis)?;
+        let equitable = equitable_allowance(&set)
+            .map_err(AdmissionError::Analysis)?
+            .map(|e| e.allowance);
+        Ok(DetectorPlan {
+            tasks: set.tasks().iter().map(|t| t.id).collect(),
+            wcrt,
+            equitable,
+        })
+    }
+}
+
+/// One epoch of a dynamic workload: a set change followed by a simulated
+/// interval.
+#[derive(Clone, Debug)]
+pub enum EpochChange {
+    /// Start from (or reset to) this exact set.
+    Reset(TaskSet),
+    /// Add a task (must pass admission).
+    Add(TaskSpec),
+    /// Remove a task.
+    Remove(TaskId),
+}
+
+/// Run a sequence of epochs, each `epoch_len` long, under `treatment`.
+/// Returns one [`ScenarioOutcome`] per epoch (time restarts at 0 in each —
+/// the detectors are re-armed from scratch, as an online system would).
+pub fn run_epochs(
+    changes: &[(EpochChange, FaultPlan)],
+    epoch_len: Duration,
+    treatment: Treatment,
+    timer_model: TimerModel,
+) -> Result<Vec<ScenarioOutcome>, DynamicError> {
+    let mut system = DynamicSystem::new();
+    let mut outcomes = Vec::new();
+    for (i, (change, faults)) in changes.iter().enumerate() {
+        match change {
+            EpochChange::Reset(set) => {
+                system = DynamicSystem::with_set(set);
+            }
+            EpochChange::Add(spec) => {
+                let admitted = system.admit(spec.clone()).map_err(DynamicError::Admission)?;
+                if admitted.is_none() {
+                    return Err(DynamicError::Rejected(spec.id));
+                }
+            }
+            EpochChange::Remove(id) => {
+                system.remove(*id).map_err(DynamicError::Admission)?;
+            }
+        }
+        let set = system.current_set().ok_or(DynamicError::EmptySystem)?;
+        let sc = Scenario::new(
+            format!("epoch-{i}"),
+            set,
+            faults.clone(),
+            treatment,
+            Instant::EPOCH + epoch_len,
+        )
+        .with_timer_model(timer_model);
+        outcomes.push(run_scenario(&sc).map_err(DynamicError::Harness)?);
+    }
+    Ok(outcomes)
+}
+
+/// Dynamic-workload errors.
+#[derive(Debug)]
+pub enum DynamicError {
+    /// Admission layer failed.
+    Admission(AdmissionError),
+    /// The task was rejected by admission control.
+    Rejected(TaskId),
+    /// No tasks remain.
+    EmptySystem,
+    /// The per-epoch run failed.
+    Harness(HarnessError),
+}
+
+impl std::fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicError::Admission(e) => write!(f, "{e}"),
+            DynamicError::Rejected(id) => write!(f, "admission rejected {id}"),
+            DynamicError::EmptySystem => write!(f, "no tasks in the system"),
+            DynamicError::Harness(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DynamicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::task::TaskBuilder;
+    use rtft_sim::stop::StopMode;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn base_specs() -> Vec<TaskSpec> {
+        vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+        ]
+    }
+
+    #[test]
+    fn thresholds_adapt_on_admission() {
+        let mut sys = DynamicSystem::new();
+        for spec in base_specs() {
+            sys.admit(spec).unwrap().unwrap();
+        }
+        let before = sys.plan().unwrap();
+        assert_eq!(before.wcrt, vec![ms(29), ms(58)]);
+        // Admit a mid-priority task: τ2's threshold must shift.
+        let plan = sys
+            .admit(TaskBuilder::new(9, 19, ms(300), ms(10)).deadline(ms(300)).build())
+            .unwrap()
+            .unwrap();
+        assert_eq!(plan.tasks, vec![TaskId(1), TaskId(9), TaskId(2)]);
+        assert_eq!(plan.wcrt, vec![ms(29), ms(39), ms(68)]);
+    }
+
+    #[test]
+    fn removal_grows_allowance() {
+        let mut sys = DynamicSystem::new();
+        for spec in base_specs() {
+            sys.admit(spec).unwrap().unwrap();
+        }
+        sys.admit(
+            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+        )
+        .unwrap()
+        .unwrap();
+        let with_tau3 = sys.plan().unwrap();
+        assert_eq!(with_tau3.equitable, Some(ms(11)));
+        let without = sys.remove(TaskId(3)).unwrap();
+        // Slack freed by τ3's departure: A jumps from 11 to 31
+        // (R2 = 58 + 2A ≤ 120 binds).
+        assert_eq!(without.equitable, Some(ms(31)));
+    }
+
+    #[test]
+    fn over_admission_is_rejected_and_state_preserved() {
+        let mut sys = DynamicSystem::new();
+        for spec in base_specs() {
+            sys.admit(spec).unwrap().unwrap();
+        }
+        let hog = TaskBuilder::new(8, 19, ms(100), ms(60)).build();
+        assert_eq!(sys.admit(hog).unwrap(), None);
+        assert_eq!(sys.plan().unwrap().tasks, vec![TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn epochs_run_with_adapting_detectors() {
+        let base = TaskSet::from_specs(base_specs());
+        let changes = vec![
+            (EpochChange::Reset(base), FaultPlan::none()),
+            (
+                EpochChange::Add(
+                    TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+                ),
+                FaultPlan::none().overrun(TaskId(1), 0, ms(40)),
+            ),
+            (EpochChange::Remove(TaskId(3)), FaultPlan::none()),
+        ];
+        let outs = run_epochs(
+            &changes,
+            ms(1000),
+            Treatment::ImmediateStop { mode: StopMode::JobOnly },
+            TimerModel::EXACT,
+        )
+        .unwrap();
+        assert_eq!(outs.len(), 3);
+        // Epoch 0: clean.
+        assert!(outs[0].verdict.all_ok());
+        // Epoch 1: τ1 overruns at its first job and is stopped at its WCRT;
+        // nobody else suffers.
+        assert_eq!(outs[1].verdict.failed_tasks(), vec![TaskId(1)]);
+        assert!(outs[1].collateral_failures().is_empty());
+        // Epoch 2: τ3 gone, clean again.
+        assert!(outs[2].verdict.all_ok());
+        assert_eq!(outs[2].verdict.per_task().len(), 2);
+    }
+
+    #[test]
+    fn rejected_epoch_change_errors() {
+        let base = TaskSet::from_specs(base_specs());
+        let changes = vec![
+            (EpochChange::Reset(base), FaultPlan::none()),
+            (
+                EpochChange::Add(TaskBuilder::new(8, 19, ms(100), ms(60)).build()),
+                FaultPlan::none(),
+            ),
+        ];
+        let err = run_epochs(
+            &changes,
+            ms(500),
+            Treatment::DetectOnly,
+            TimerModel::EXACT,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DynamicError::Rejected(TaskId(8))));
+    }
+}

@@ -1,0 +1,153 @@
+//! Run-time allowance bookkeeping for the system-allowance treatment
+//! (paper §4.3).
+//!
+//! Statically, [`rtft_core::allowance::system_allowance`] computes `M_i`,
+//! the largest overrun task `i` can make **alone**. At run time the paper
+//! grants the *first* faulty task its whole `M`; "if the first faulty task
+//! finishes before having consumed all its allowance, the remainder is
+//! allocated to the other faulty tasks. A task allowance is obtained
+//! looking for the maximum cost overrun this task can do and subtracting
+//! the more priority tasks overrun."
+//!
+//! [`AllowanceManager`] keeps the consumed-overrun ledger and answers
+//! grant queries with exactly that rule.
+
+use rtft_core::time::Duration;
+
+/// Ledger of overruns consumed per task (by rank) against the static
+/// maxima `M_i`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AllowanceManager {
+    max_overrun: Vec<Duration>,
+    consumed: Vec<Duration>,
+}
+
+impl AllowanceManager {
+    /// Build from the static per-rank maxima.
+    pub fn new(max_overrun: Vec<Duration>) -> Self {
+        let n = max_overrun.len();
+        AllowanceManager { max_overrun, consumed: vec![Duration::ZERO; n] }
+    }
+
+    /// Number of tasks tracked.
+    pub fn len(&self) -> usize {
+        self.max_overrun.len()
+    }
+
+    /// `true` when tracking no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.max_overrun.is_empty()
+    }
+
+    /// Static maximum for a rank.
+    pub fn max_overrun(&self, rank: usize) -> Duration {
+        self.max_overrun[rank]
+    }
+
+    /// Overrun consumed so far by a rank.
+    pub fn consumed(&self, rank: usize) -> Duration {
+        self.consumed[rank]
+    }
+
+    /// Grant available to `rank` right now: its own maximum minus the
+    /// overrun already consumed by strictly higher-priority tasks (lower
+    /// ranks) and by itself. Never negative.
+    pub fn grant(&self, rank: usize) -> Duration {
+        let higher: Duration = self.consumed[..rank].iter().copied().sum();
+        let own = self.consumed[rank];
+        (self.max_overrun[rank] - higher - own).max(Duration::ZERO)
+    }
+
+    /// Record that `rank` consumed `overrun` of extra execution (a faulty
+    /// job that finished late or was stopped).
+    ///
+    /// # Panics
+    /// Panics on a negative amount.
+    pub fn record(&mut self, rank: usize, overrun: Duration) {
+        assert!(!overrun.is_negative(), "overrun must be ≥ 0");
+        self.consumed[rank] += overrun;
+    }
+
+    /// Total overrun consumed across all ranks.
+    pub fn total_consumed(&self) -> Duration {
+        self.consumed.iter().copied().sum()
+    }
+
+    /// Reset the ledger (the dynamic extension re-arms it after a
+    /// re-admission cycle).
+    pub fn reset(&mut self) {
+        self.consumed.fill(Duration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn paper_manager() -> AllowanceManager {
+        // Table 2 system: M_i = 33 ms for every task.
+        AllowanceManager::new(vec![ms(33), ms(33), ms(33)])
+    }
+
+    #[test]
+    fn first_faulty_task_gets_everything() {
+        let m = paper_manager();
+        assert_eq!(m.grant(0), ms(33));
+        assert_eq!(m.grant(1), ms(33));
+        assert_eq!(m.grant(2), ms(33));
+    }
+
+    #[test]
+    fn remainder_flows_to_later_faults() {
+        let mut m = paper_manager();
+        // τ1 faults but finishes after consuming only 20 ms of overrun.
+        m.record(0, ms(20));
+        // A later τ2 fault gets its max minus the higher-priority overrun.
+        assert_eq!(m.grant(1), ms(13));
+        assert_eq!(m.grant(2), ms(13));
+        // τ1 itself has 13 left too (its own consumption also counts).
+        assert_eq!(m.grant(0), ms(13));
+    }
+
+    #[test]
+    fn exhausted_grant_is_zero_not_negative() {
+        let mut m = paper_manager();
+        m.record(0, ms(33));
+        assert_eq!(m.grant(1), Duration::ZERO);
+        m.record(1, ms(5)); // over-consumption (e.g. polled-stop slop)
+        assert_eq!(m.grant(2), Duration::ZERO);
+    }
+
+    #[test]
+    fn lower_priority_consumption_does_not_charge_higher() {
+        let mut m = paper_manager();
+        m.record(2, ms(30));
+        // τ1's grant only subtracts *higher*-priority consumption: none.
+        assert_eq!(m.grant(0), ms(33));
+        assert_eq!(m.grant(1), ms(33));
+        assert_eq!(m.grant(2), ms(3));
+    }
+
+    #[test]
+    fn ledger_and_reset() {
+        let mut m = paper_manager();
+        m.record(0, ms(10));
+        m.record(1, ms(4));
+        assert_eq!(m.consumed(0), ms(10));
+        assert_eq!(m.total_consumed(), ms(14));
+        m.reset();
+        assert_eq!(m.total_consumed(), Duration::ZERO);
+        assert_eq!(m.grant(1), ms(33));
+    }
+
+    #[test]
+    #[should_panic(expected = "overrun must be")]
+    fn negative_record_rejected() {
+        let mut m = paper_manager();
+        m.record(0, -ms(1));
+    }
+}

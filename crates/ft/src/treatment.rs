@@ -1,0 +1,133 @@
+//! The fault treatments of the paper's Section 4.
+
+use rtft_core::allowance::SlackPolicy;
+use rtft_sim::stop::StopMode;
+
+/// Which of the paper's configurations to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Treatment {
+    /// No detection mechanism at all — the Figure 3 baseline.
+    NoDetection,
+    /// Detectors installed, faults logged, nothing done — Figure 4.
+    DetectOnly,
+    /// §4.1: stop the faulty task as soon as its WCRT overrun is detected
+    /// — Figure 5. "Very pessimistic."
+    ImmediateStop {
+        /// Job-only or thread-permanent stop.
+        mode: StopMode,
+    },
+    /// §4.2: every task owns an equal allowance `A`; detectors sit at the
+    /// *inflated* WCRTs and stop on overrun — Figure 6.
+    EquitableAllowance {
+        /// Job-only or thread-permanent stop.
+        mode: StopMode,
+    },
+    /// §4.3: the first faulty task receives the whole system slack `M`;
+    /// unconsumed remainder flows to later faulty tasks — Figure 7.
+    SystemAllowance {
+        /// Job-only or thread-permanent stop.
+        mode: StopMode,
+        /// Whose deadlines the slack search protects.
+        policy: SlackPolicy,
+    },
+}
+
+impl Treatment {
+    /// The paper's five evaluated configurations, in Figure 3→7 order,
+    /// with the paper's stop semantics (permanent thread stop).
+    pub fn paper_lineup() -> [Treatment; 5] {
+        [
+            Treatment::NoDetection,
+            Treatment::DetectOnly,
+            Treatment::ImmediateStop { mode: StopMode::Permanent },
+            Treatment::EquitableAllowance { mode: StopMode::Permanent },
+            Treatment::SystemAllowance {
+                mode: StopMode::Permanent,
+                policy: SlackPolicy::ProtectAll,
+            },
+        ]
+    }
+
+    /// `true` iff detectors are installed.
+    pub fn has_detection(&self) -> bool {
+        !matches!(self, Treatment::NoDetection)
+    }
+
+    /// `true` iff faulty tasks get stopped.
+    pub fn stops_faulty_tasks(&self) -> bool {
+        matches!(
+            self,
+            Treatment::ImmediateStop { .. }
+                | Treatment::EquitableAllowance { .. }
+                | Treatment::SystemAllowance { .. }
+        )
+    }
+
+    /// Stop mode, when the treatment stops tasks.
+    pub fn stop_mode(&self) -> Option<StopMode> {
+        match *self {
+            Treatment::ImmediateStop { mode }
+            | Treatment::EquitableAllowance { mode }
+            | Treatment::SystemAllowance { mode, .. } => Some(mode),
+            _ => None,
+        }
+    }
+
+    /// Short stable name (experiment artifacts, bench labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Treatment::NoDetection => "no-detection",
+            Treatment::DetectOnly => "detect-only",
+            Treatment::ImmediateStop { .. } => "immediate-stop",
+            Treatment::EquitableAllowance { .. } => "equitable-allowance",
+            Treatment::SystemAllowance { .. } => "system-allowance",
+        }
+    }
+}
+
+impl std::fmt::Display for Treatment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_matches_paper_order() {
+        let lineup = Treatment::paper_lineup();
+        let names: Vec<&str> = lineup.iter().map(Treatment::name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "no-detection",
+                "detect-only",
+                "immediate-stop",
+                "equitable-allowance",
+                "system-allowance"
+            ]
+        );
+    }
+
+    #[test]
+    fn capability_flags() {
+        assert!(!Treatment::NoDetection.has_detection());
+        assert!(Treatment::DetectOnly.has_detection());
+        assert!(!Treatment::DetectOnly.stops_faulty_tasks());
+        let stop = Treatment::ImmediateStop { mode: StopMode::Permanent };
+        assert!(stop.stops_faulty_tasks());
+        assert_eq!(stop.stop_mode(), Some(StopMode::Permanent));
+        assert_eq!(Treatment::NoDetection.stop_mode(), None);
+    }
+
+    #[test]
+    fn display_is_name() {
+        let t = Treatment::SystemAllowance {
+            mode: StopMode::JobOnly,
+            policy: SlackPolicy::ProtectAll,
+        };
+        assert_eq!(t.to_string(), "system-allowance");
+    }
+}

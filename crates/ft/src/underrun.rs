@@ -1,0 +1,229 @@
+//! Cost under-run detection and resource reassignment — the paper's §7:
+//! "if the cost of a task can be underestimated, it is also possible to
+//! overestimate it. Consequently, we can consider to dynamically study the
+//! system in order to detect these costs under-run and to reassign
+//! resources for faulty tasks."
+//!
+//! [`ObservedCosts`] reconstructs each job's *actual CPU consumption* from
+//! a trace (execution intervals between start/resume and preempt/end) and
+//! derives per-task observed maxima. [`suggest_reassignment`] then re-runs
+//! the equitable-allowance analysis with the observed costs, quantifying
+//! the tolerance the system wins back.
+
+use rtft_core::sensitivity::{underrun_reclaim, UnderrunReclaim};
+use rtft_core::error::AnalysisError;
+use rtft_core::task::{TaskId, TaskSet};
+use rtft_core::time::{Duration, Instant};
+use rtft_trace::{EventKind, TraceLog};
+use std::collections::BTreeMap;
+
+/// Measured per-task execution costs.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ObservedCosts {
+    /// Per-job consumed CPU: `(task, job) → duration`. Only completed
+    /// jobs are counted (an abandoned job's consumption is not a cost
+    /// sample).
+    per_job: BTreeMap<(TaskId, u64), Duration>,
+}
+
+impl ObservedCosts {
+    /// Reconstruct consumption from a trace by summing the execution
+    /// intervals of each job.
+    pub fn from_log(log: &TraceLog) -> Self {
+        let mut live: BTreeMap<TaskId, (u64, Instant)> = BTreeMap::new();
+        let mut acc: BTreeMap<(TaskId, u64), Duration> = BTreeMap::new();
+        let mut finished: Vec<(TaskId, u64)> = Vec::new();
+        for e in log.events() {
+            match e.kind {
+                EventKind::JobStart { task, job } | EventKind::Resumed { task, job } => {
+                    live.insert(task, (job, e.at));
+                }
+                EventKind::Preempted { task, job, .. } => {
+                    if let Some((j, since)) = live.remove(&task) {
+                        debug_assert_eq!(j, job);
+                        *acc.entry((task, job)).or_default() += e.at - since;
+                    }
+                }
+                EventKind::JobEnd { task, job } => {
+                    if let Some((j, since)) = live.remove(&task) {
+                        debug_assert_eq!(j, job);
+                        *acc.entry((task, job)).or_default() += e.at - since;
+                    }
+                    finished.push((task, job));
+                }
+                EventKind::TaskStopped { task, .. } => {
+                    live.remove(&task);
+                }
+                _ => {}
+            }
+        }
+        let per_job = finished
+            .into_iter()
+            .filter_map(|key| acc.get(&key).map(|d| (key, *d)))
+            .collect();
+        ObservedCosts { per_job }
+    }
+
+    /// Consumption of one completed job.
+    pub fn job_cost(&self, task: TaskId, job: u64) -> Option<Duration> {
+        self.per_job.get(&(task, job)).copied()
+    }
+
+    /// Number of completed-job samples.
+    pub fn samples(&self) -> usize {
+        self.per_job.len()
+    }
+
+    /// Largest observed cost of a task — the measured execution-time
+    /// envelope.
+    pub fn max_cost(&self, task: TaskId) -> Option<Duration> {
+        self.per_job
+            .iter()
+            .filter(|((t, _), _)| *t == task)
+            .map(|(_, d)| *d)
+            .max()
+    }
+
+    /// Tasks whose **every** observed job ran *strictly* more than
+    /// `margin` below the declared cost — the §7 under-run candidates.
+    pub fn underrunning_tasks(&self, set: &TaskSet, margin: Duration) -> Vec<(TaskId, Duration)> {
+        set.tasks()
+            .iter()
+            .filter_map(|spec| {
+                let max = self.max_cost(spec.id)?;
+                (max + margin < spec.cost).then_some((spec.id, max))
+            })
+            .collect()
+    }
+}
+
+/// Proposed reassignment: replace declared costs of under-running tasks by
+/// their observed maxima (plus `safety_margin`) and recompute the
+/// equitable allowance. `Ok(None)` if no task under-runs by more than the
+/// margin or the system is infeasible.
+pub fn suggest_reassignment(
+    set: &TaskSet,
+    observed: &ObservedCosts,
+    safety_margin: Duration,
+) -> Result<Option<UnderrunReclaim>, AnalysisError> {
+    let candidates: Vec<(TaskId, Duration)> = observed
+        .underrunning_tasks(set, safety_margin)
+        .into_iter()
+        .map(|(id, max)| (id, max + safety_margin))
+        .collect();
+    if candidates.is_empty() {
+        return Ok(None);
+    }
+    underrun_reclaim(set, &candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::task::TaskBuilder;
+    use rtft_sim::engine::run_plain;
+    use rtft_sim::fault::FaultPlan;
+    use rtft_sim::engine::{SimConfig, Simulator};
+    use rtft_sim::supervisor::NullSupervisor;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn t(v: i64) -> Instant {
+        Instant::from_millis(v)
+    }
+
+    fn table2() -> TaskSet {
+        TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+        ])
+    }
+
+    #[test]
+    fn observed_costs_match_demands() {
+        let log = run_plain(table2(), t(3000));
+        let obs = ObservedCosts::from_log(&log);
+        // Every completed job consumed exactly its declared 29 ms, even
+        // across preemptions.
+        assert_eq!(obs.max_cost(TaskId(1)), Some(ms(29)));
+        assert_eq!(obs.max_cost(TaskId(2)), Some(ms(29)));
+        assert_eq!(obs.max_cost(TaskId(3)), Some(ms(29)));
+        assert!(obs.samples() >= 15 + 12 + 2);
+    }
+
+    #[test]
+    fn underruns_are_measured() {
+        // τ1 actually runs 9 ms every job.
+        let mut plan = FaultPlan::none();
+        for job in 0..15 {
+            plan = plan.underrun(TaskId(1), job, ms(20));
+        }
+        let mut sim = Simulator::new(table2(), SimConfig::until(t(3000))).with_faults(plan);
+        let mut sup = NullSupervisor;
+        sim.run(&mut sup);
+        let obs = ObservedCosts::from_log(sim.trace());
+        assert_eq!(obs.max_cost(TaskId(1)), Some(ms(9)));
+        let under = obs.underrunning_tasks(&table2(), ms(1));
+        assert_eq!(under, vec![(TaskId(1), ms(9))]);
+    }
+
+    #[test]
+    fn reassignment_reclaims_allowance() {
+        let mut plan = FaultPlan::none();
+        for job in 0..15 {
+            plan = plan.underrun(TaskId(1), job, ms(20));
+        }
+        let mut sim = Simulator::new(table2(), SimConfig::until(t(3000))).with_faults(plan);
+        let mut sup = NullSupervisor;
+        sim.run(&mut sup);
+        let obs = ObservedCosts::from_log(sim.trace());
+        // Zero-margin reassignment: τ1's declared cost drops 29 → 9 and
+        // the equitable allowance grows beyond the paper's 11 ms.
+        let reclaim = suggest_reassignment(&table2(), &obs, Duration::ZERO)
+            .unwrap()
+            .unwrap();
+        assert_eq!(reclaim.declared_allowance, ms(11));
+        assert!(reclaim.measured_allowance > ms(17));
+        assert!(reclaim.gained.is_positive());
+    }
+
+    #[test]
+    fn no_underrun_no_suggestion() {
+        let log = run_plain(table2(), t(3000));
+        let obs = ObservedCosts::from_log(&log);
+        assert_eq!(
+            suggest_reassignment(&table2(), &obs, Duration::ZERO).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn abandoned_jobs_are_not_cost_samples() {
+        use rtft_trace::TraceLog;
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
+        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
+        log.push(t(10), EventKind::TaskStopped { task: TaskId(1), job: 0 });
+        let obs = ObservedCosts::from_log(&log);
+        assert_eq!(obs.samples(), 0);
+        assert_eq!(obs.max_cost(TaskId(1)), None);
+    }
+
+    #[test]
+    fn margin_filters_small_underruns() {
+        let mut plan = FaultPlan::none();
+        for job in 0..15 {
+            plan = plan.underrun(TaskId(1), job, ms(2));
+        }
+        let mut sim = Simulator::new(table2(), SimConfig::until(t(3000))).with_faults(plan);
+        let mut sup = NullSupervisor;
+        sim.run(&mut sup);
+        let obs = ObservedCosts::from_log(sim.trace());
+        // A 5 ms margin ignores the 2 ms under-run.
+        assert!(obs.underrunning_tasks(&table2(), ms(5)).is_empty());
+        assert_eq!(suggest_reassignment(&table2(), &obs, ms(5)).unwrap(), None);
+    }
+}

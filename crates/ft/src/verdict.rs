@@ -1,0 +1,212 @@
+//! Run verdicts: which tasks survived, which failed, and how.
+//!
+//! The paper's comparison criterion across Figures 3–7 is exactly this:
+//! which tasks miss deadlines or get stopped under each treatment, and how
+//! much execution the faulty task obtained before being stopped.
+
+use rtft_core::task::{TaskId, TaskSet};
+use rtft_core::time::Duration;
+use rtft_trace::{TraceLog, TraceStats};
+use std::fmt;
+
+/// Outcome of one task over a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TaskVerdict {
+    /// The task.
+    pub task: TaskId,
+    /// Jobs released.
+    pub released: usize,
+    /// Jobs completed normally.
+    pub completed: usize,
+    /// Deadline misses.
+    pub missed: usize,
+    /// Jobs stopped by the treatment.
+    pub stopped: usize,
+    /// Faults detected against this task.
+    pub faults: usize,
+    /// Largest observed response time.
+    pub max_response: Option<Duration>,
+    /// `true` iff the task neither missed a deadline nor was stopped.
+    pub ok: bool,
+}
+
+/// Verdict over the whole run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Verdict {
+    per_task: Vec<TaskVerdict>,
+}
+
+impl Verdict {
+    /// Build from reconstructed statistics (tasks in priority order).
+    pub fn new(set: &TaskSet, stats: &TraceStats) -> Self {
+        let per_task = set
+            .tasks()
+            .iter()
+            .map(|spec| {
+                let s = stats.summary(spec.id).copied().unwrap_or_default();
+                TaskVerdict {
+                    task: spec.id,
+                    released: s.released,
+                    completed: s.completed,
+                    missed: s.missed,
+                    stopped: s.stopped,
+                    faults: s.faults,
+                    max_response: s.max_response,
+                    ok: s.missed == 0 && s.stopped == 0,
+                }
+            })
+            .collect();
+        Verdict { per_task }
+    }
+
+    /// Build straight from a log.
+    pub fn from_log(set: &TaskSet, log: &TraceLog) -> Self {
+        Verdict::new(set, &TraceStats::from_log(log, Some(set)))
+    }
+
+    /// Per-task verdicts in priority order.
+    pub fn per_task(&self) -> &[TaskVerdict] {
+        &self.per_task
+    }
+
+    /// Verdict of one task.
+    pub fn of(&self, task: TaskId) -> Option<&TaskVerdict> {
+        self.per_task.iter().find(|v| v.task == task)
+    }
+
+    /// Tasks that failed (missed or stopped).
+    pub fn failed_tasks(&self) -> Vec<TaskId> {
+        self.per_task
+            .iter()
+            .filter(|v| !v.ok)
+            .map(|v| v.task)
+            .collect()
+    }
+
+    /// `true` iff every task is clean.
+    pub fn all_ok(&self) -> bool {
+        self.per_task.iter().all(|v| v.ok)
+    }
+
+    /// The paper's headline criterion: did any task that was **not** one
+    /// of the ground-truth faulty tasks fail? (`truly_faulty` comes from
+    /// the injected fault plan — the detector-level `faults` counter
+    /// cannot distinguish an originator from a victim whose WCRT was
+    /// overrun by inherited delay.)
+    pub fn collateral_failures(&self, truly_faulty: &[TaskId]) -> Vec<TaskId> {
+        self.per_task
+            .iter()
+            .filter(|v| !v.ok && !truly_faulty.contains(&v.task))
+            .map(|v| v.task)
+            .collect()
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<6} {:>8} {:>9} {:>7} {:>8} {:>7} {:>12}  verdict",
+            "task", "released", "completed", "missed", "stopped", "faults", "maxresp"
+        )?;
+        for v in &self.per_task {
+            writeln!(
+                f,
+                "{:<6} {:>8} {:>9} {:>7} {:>8} {:>7} {:>12}  {}",
+                v.task.to_string(),
+                v.released,
+                v.completed,
+                v.missed,
+                v.stopped,
+                v.faults,
+                v.max_response.map_or("-".into(), |d| d.to_string()),
+                if v.ok { "OK" } else { "FAILED" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::task::TaskBuilder;
+    use rtft_core::time::Instant;
+    use rtft_trace::EventKind;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn t(v: i64) -> Instant {
+        Instant::from_millis(v)
+    }
+
+    fn set() -> TaskSet {
+        TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+        ])
+    }
+
+    fn log() -> TraceLog {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
+        log.push(t(0), EventKind::JobRelease { task: TaskId(3), job: 0 });
+        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
+        log.push(t(30), EventKind::FaultDetected { task: TaskId(1), job: 0 });
+        log.push(t(49), EventKind::JobEnd { task: TaskId(1), job: 0 });
+        log.push(t(49), EventKind::JobStart { task: TaskId(3), job: 0 });
+        log.push(t(78), EventKind::JobEnd { task: TaskId(3), job: 0 });
+        log
+    }
+
+    #[test]
+    fn clean_task_is_ok() {
+        let v = Verdict::from_log(&set(), &log());
+        let v3 = v.of(TaskId(3)).unwrap();
+        assert!(v3.ok);
+        assert_eq!(v3.max_response, Some(ms(78)));
+        assert!(v.all_ok());
+        assert!(v.failed_tasks().is_empty());
+    }
+
+    #[test]
+    fn faulty_but_surviving_task_is_ok() {
+        // τ1 was flagged faulty yet finished in time: counted OK.
+        let v = Verdict::from_log(&set(), &log());
+        let v1 = v.of(TaskId(1)).unwrap();
+        assert_eq!(v1.faults, 1);
+        assert!(v1.ok);
+    }
+
+    #[test]
+    fn collateral_failure_detection() {
+        let mut l = log();
+        l.push(t(120), EventKind::DeadlineMiss { task: TaskId(3), job: 0 });
+        let v = Verdict::from_log(&set(), &l);
+        assert!(!v.all_ok());
+        assert_eq!(v.failed_tasks(), vec![TaskId(3)]);
+        // τ3 failed without being faulty: collateral damage — exactly what
+        // the paper's treatments exist to prevent. The injected fault was
+        // τ1's.
+        assert_eq!(v.collateral_failures(&[TaskId(1)]), vec![TaskId(3)]);
+    }
+
+    #[test]
+    fn stopped_faulty_task_is_not_collateral() {
+        let mut l = log();
+        l.push(t(130), EventKind::TaskStopped { task: TaskId(1), job: 0 });
+        let v = Verdict::from_log(&set(), &l);
+        assert_eq!(v.failed_tasks(), vec![TaskId(1)]);
+        assert!(v.collateral_failures(&[TaskId(1)]).is_empty());
+    }
+
+    #[test]
+    fn display_table() {
+        let s = Verdict::from_log(&set(), &log()).to_string();
+        assert!(s.contains("OK"));
+        assert!(s.contains("τ1"));
+        assert!(s.contains("verdict"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Analysis–execution cross-checking.
+//!
+//! The paper validates its feasibility methods by executing the analysed
+//! system "on true Real-time Java systems of tasks, and not the awaited
+//! theoretical behaviors" (§5). This module packages that methodology:
+//! run the task set fault-free on the simulator over (a bounded piece of)
+//! its hyperperiod and compare the observed response times against the
+//! analytical WCRTs.
+//!
+//! For a *synchronous* set the critical-instant theorem makes the check
+//! tight: the first job of every task must attain exactly its analytic
+//! level-fixed-point response. For offset sets the observed values are
+//! only bounded above. Both directions are reported.
+
+use crate::harness::HarnessError;
+use rtft_core::error::AnalysisError;
+use rtft_core::response::ResponseAnalysis;
+use rtft_core::task::{TaskId, TaskSet};
+use rtft_core::time::{Duration, Instant};
+use rtft_sim::engine::run_plain;
+use rtft_trace::TraceStats;
+
+/// Per-task line of a verification report.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TaskVerification {
+    /// The task.
+    pub task: TaskId,
+    /// Analytic WCRT.
+    pub analytic: Duration,
+    /// Largest response observed in execution (`None`: no job completed).
+    pub observed: Option<Duration>,
+    /// First-job response observed (the critical-instant probe).
+    pub first_job: Option<Duration>,
+    /// Analytic first-job response (job 0 of the busy period).
+    pub analytic_first: Duration,
+    /// `observed ≤ analytic` — the soundness direction.
+    pub sound: bool,
+    /// For synchronous sets: `first_job == analytic_first` — the
+    /// exactness direction.
+    pub exact: bool,
+}
+
+/// Verification outcome over a whole set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerificationReport {
+    /// Per-task lines, rank order.
+    pub per_task: Vec<TaskVerification>,
+    /// The simulated horizon.
+    pub horizon: Instant,
+    /// Whether the set was synchronous (exactness meaningful).
+    pub synchronous: bool,
+}
+
+impl VerificationReport {
+    /// `true` iff no observation exceeded its analytic bound.
+    pub fn is_sound(&self) -> bool {
+        self.per_task.iter().all(|t| t.sound)
+    }
+
+    /// `true` iff (synchronous set) every first-job probe matched exactly.
+    pub fn is_exact(&self) -> bool {
+        self.synchronous && self.per_task.iter().all(|t| t.exact)
+    }
+}
+
+impl std::fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<6} {:>12} {:>12} {:>12} {:>8} {:>7}",
+            "task", "analytic", "observed", "first-job", "sound", "exact"
+        )?;
+        for t in &self.per_task {
+            writeln!(
+                f,
+                "{:<6} {:>12} {:>12} {:>12} {:>8} {:>7}",
+                t.task.to_string(),
+                t.analytic.to_string(),
+                t.observed.map_or("-".into(), |d| d.to_string()),
+                t.first_job.map_or("-".into(), |d| d.to_string()),
+                t.sound,
+                t.exact,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Default cap on the verification horizon (hyperperiods can explode).
+pub const DEFAULT_HORIZON_CAP: Duration = Duration::secs(60);
+
+/// Execute `set` fault-free and compare against its analysis.
+///
+/// The horizon is `min(hyperperiod + max offset, cap)` — one full pattern
+/// where representable.
+pub fn verify_analysis(
+    set: &TaskSet,
+    cap: Duration,
+) -> Result<VerificationReport, HarnessError> {
+    let analysis = ResponseAnalysis::new(set);
+    let mut analytic = Vec::with_capacity(set.len());
+    for rank in 0..set.len() {
+        match analysis.analyze(rank) {
+            Ok(r) => analytic.push(r),
+            Err(AnalysisError::Divergent { .. }) => {
+                return Err(HarnessError::InfeasibleBase)
+            }
+            Err(e) => return Err(HarnessError::Analysis(e)),
+        }
+    }
+
+    let horizon = Instant::EPOCH
+        + set
+            .hyperperiod()
+            .saturating_add(set.max_offset())
+            .min(cap);
+    let log = run_plain(set.clone(), horizon);
+    let stats = TraceStats::from_log(&log, Some(set));
+    let synchronous = set.is_synchronous();
+
+    let per_task = (0..set.len())
+        .map(|rank| {
+            let spec = set.by_rank(rank);
+            let observed = stats.observed_wcrt(spec.id);
+            let first_job = stats.job(spec.id, 0).and_then(|j| j.response());
+            let analytic_wcrt = analytic[rank].wcrt;
+            let analytic_first = analytic[rank].jobs[0].response;
+            TaskVerification {
+                task: spec.id,
+                analytic: analytic_wcrt,
+                observed,
+                first_job,
+                analytic_first,
+                sound: observed.is_none_or(|o| o <= analytic_wcrt),
+                exact: !synchronous || first_job == Some(analytic_first),
+            }
+        })
+        .collect();
+
+    Ok(VerificationReport { per_task, horizon, synchronous })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::task::TaskBuilder;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn table2() -> TaskSet {
+        TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+        ])
+    }
+
+    #[test]
+    fn paper_system_verifies_exactly() {
+        let report = verify_analysis(&table2(), DEFAULT_HORIZON_CAP).unwrap();
+        assert!(report.synchronous);
+        assert!(report.is_sound());
+        assert!(report.is_exact(), "{report}");
+        assert_eq!(report.horizon, Instant::from_millis(3000));
+        // The critical-instant probes hit the analytic values exactly.
+        let first: Vec<i64> = report
+            .per_task
+            .iter()
+            .map(|t| t.first_job.unwrap().as_millis())
+            .collect();
+        assert_eq!(first, vec![29, 58, 87]);
+    }
+
+    #[test]
+    fn offset_sets_are_sound_but_not_probed_for_exactness() {
+        let mut tau3 = table2().by_id(TaskId(3)).unwrap().clone();
+        tau3.offset = ms(1000);
+        let set = table2().with_replaced(tau3);
+        let report = verify_analysis(&set, DEFAULT_HORIZON_CAP).unwrap();
+        assert!(!report.synchronous);
+        assert!(report.is_sound());
+        assert!(!report.is_exact(), "exactness is a synchronous-only claim");
+    }
+
+    #[test]
+    fn divergent_sets_rejected() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 5, ms(10), ms(8)).build(),
+            TaskBuilder::new(2, 4, ms(10), ms(8)).build(),
+        ]);
+        assert_eq!(
+            verify_analysis(&set, DEFAULT_HORIZON_CAP).unwrap_err(),
+            HarnessError::InfeasibleBase
+        );
+    }
+
+    #[test]
+    fn cap_bounds_the_horizon() {
+        // Co-prime periods make the hyperperiod big; the cap kicks in.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 5, ms(997), ms(1)).build(),
+            TaskBuilder::new(2, 4, ms(1009), ms(1)).build(),
+            TaskBuilder::new(3, 3, ms(1013), ms(1)).build(),
+        ]);
+        let report = verify_analysis(&set, ms(5_000)).unwrap();
+        assert_eq!(report.horizon, Instant::from_millis(5_000));
+        assert!(report.is_sound());
+    }
+
+    #[test]
+    fn report_renders() {
+        let report = verify_analysis(&table2(), DEFAULT_HORIZON_CAP).unwrap();
+        let s = report.to_string();
+        assert!(s.contains("analytic"));
+        assert!(s.contains("29ms"));
+        assert!(s.contains("true"));
+    }
+}

@@ -1,0 +1,380 @@
+//! Region memory model — the RTSJ `MemoryArea` concepts, ported.
+//!
+//! The RTSJ gives real-time threads GC-free allocation through
+//! `ImmortalMemory` (never collected) and `ScopedMemory` (region freed
+//! when the last thread exits the scope), with two runtime-checked rules:
+//!
+//! * **single parent rule** — a scope entered from some scope stack keeps
+//!   that parent until fully exited;
+//! * **assignment rules** — a reference may only point to memory that
+//!   lives at least as long: scoped objects may reference outer scopes,
+//!   immortal and heap; never inner scopes.
+//!
+//! In Rust the *motivation* (no GC pauses) disappears — the simulator has
+//! no GC and ownership is static — but the reproduction keeps the model
+//! because the paper's substrate (RTSJ) defines it and downstream code
+//! may want to check designs against the same rules. This is a
+//! *checker/model*, not an allocator: areas track byte budgets and scope
+//! nesting, and [`ScopeStack::check_assignment`] validates reference
+//! directions exactly as an RTSJ VM would at store time.
+
+use std::fmt;
+
+/// Identifier of a memory area inside a [`MemoryModel`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AreaId(usize);
+
+/// Kind of memory area.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AreaKind {
+    /// `HeapMemory` — GC-managed (forbidden to `NoHeapRealtimeThread`s).
+    Heap,
+    /// `ImmortalMemory` — lives forever.
+    Immortal,
+    /// `ScopedMemory(size)` — region with a byte budget.
+    Scoped,
+}
+
+#[derive(Clone, Debug)]
+struct Area {
+    kind: AreaKind,
+    size: usize,
+    used: usize,
+    /// Single-parent bookkeeping: the scope below this one on the first
+    /// entry, `None` while unentered.
+    parent: Option<AreaId>,
+    enter_count: usize,
+}
+
+/// Errors raised by the model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemoryError {
+    /// Allocation exceeded the area's budget (RTSJ `OutOfMemoryError`).
+    OutOfMemory {
+        /// The exhausted area.
+        area: AreaId,
+    },
+    /// Entering a scope from a different parent while it is still in use
+    /// (RTSJ `ScopedCycleException`).
+    SingleParentViolation {
+        /// The scope being entered.
+        area: AreaId,
+    },
+    /// A store that would outlive its target (RTSJ
+    /// `IllegalAssignmentError`).
+    IllegalAssignment {
+        /// Area holding the reference.
+        from: AreaId,
+        /// Area holding the referent.
+        to: AreaId,
+    },
+    /// Operated on a scope that is not the current innermost one.
+    NotInnermost(AreaId),
+    /// Exited a scope that was never entered.
+    NotEntered(AreaId),
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfMemory { area } => write!(f, "out of memory in area {area:?}"),
+            MemoryError::SingleParentViolation { area } => {
+                write!(f, "single parent rule violated entering {area:?}")
+            }
+            MemoryError::IllegalAssignment { from, to } => {
+                write!(f, "illegal assignment from {from:?} to {to:?}")
+            }
+            MemoryError::NotInnermost(a) => write!(f, "{a:?} is not the innermost scope"),
+            MemoryError::NotEntered(a) => write!(f, "{a:?} was not entered"),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// The set of areas known to a "VM".
+#[derive(Clone, Debug)]
+pub struct MemoryModel {
+    areas: Vec<Area>,
+    heap: AreaId,
+    immortal: AreaId,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryModel {
+    /// A model with the two ambient areas (heap, immortal).
+    pub fn new() -> Self {
+        let areas = vec![
+            Area { kind: AreaKind::Heap, size: usize::MAX, used: 0, parent: None, enter_count: 0 },
+            Area {
+                kind: AreaKind::Immortal,
+                size: usize::MAX,
+                used: 0,
+                parent: None,
+                enter_count: 0,
+            },
+        ];
+        MemoryModel { areas, heap: AreaId(0), immortal: AreaId(1) }
+    }
+
+    /// The ambient heap.
+    pub fn heap(&self) -> AreaId {
+        self.heap
+    }
+
+    /// `ImmortalMemory.instance()`.
+    pub fn immortal(&self) -> AreaId {
+        self.immortal
+    }
+
+    /// Create a `ScopedMemory` with a byte budget (`LTMemory(size)`).
+    pub fn new_scoped(&mut self, size: usize) -> AreaId {
+        let id = AreaId(self.areas.len());
+        self.areas.push(Area {
+            kind: AreaKind::Scoped,
+            size,
+            used: 0,
+            parent: None,
+            enter_count: 0,
+        });
+        id
+    }
+
+    /// Kind of an area.
+    pub fn kind(&self, id: AreaId) -> AreaKind {
+        self.areas[id.0].kind
+    }
+
+    /// `memoryConsumed()`.
+    pub fn consumed(&self, id: AreaId) -> usize {
+        self.areas[id.0].used
+    }
+
+    /// `memoryRemaining()`.
+    pub fn remaining(&self, id: AreaId) -> usize {
+        self.areas[id.0].size - self.areas[id.0].used
+    }
+
+    /// Allocate `bytes` in `area`.
+    pub fn allocate(&mut self, area: AreaId, bytes: usize) -> Result<(), MemoryError> {
+        let a = &mut self.areas[area.0];
+        if a.used.saturating_add(bytes) > a.size {
+            return Err(MemoryError::OutOfMemory { area });
+        }
+        a.used += bytes;
+        Ok(())
+    }
+}
+
+/// A thread's scope stack: heap/immortal at the bottom, entered scopes
+/// above. Enforces the single-parent rule on entry and answers
+/// assignment-rule queries.
+#[derive(Debug)]
+pub struct ScopeStack<'m> {
+    model: &'m mut MemoryModel,
+    stack: Vec<AreaId>,
+}
+
+impl<'m> ScopeStack<'m> {
+    /// A fresh stack over `model` (ambient areas implicitly at bottom).
+    pub fn new(model: &'m mut MemoryModel) -> Self {
+        ScopeStack { model, stack: Vec::new() }
+    }
+
+    /// Current allocation context (innermost scope, or the heap).
+    pub fn current(&self) -> AreaId {
+        self.stack.last().copied().unwrap_or_else(|| self.model_heap())
+    }
+
+    fn model_heap(&self) -> AreaId {
+        AreaId(0)
+    }
+
+    /// Nesting depth of an area on this stack: ambient areas are depth 0;
+    /// entered scopes are 1-based from the bottom. `None` if not on the
+    /// stack.
+    fn depth(&self, id: AreaId) -> Option<usize> {
+        match self.model.kind(id) {
+            AreaKind::Heap | AreaKind::Immortal => Some(0),
+            AreaKind::Scoped => self.stack.iter().position(|&s| s == id).map(|p| p + 1),
+        }
+    }
+
+    /// `enter()` — push a scope, checking the single-parent rule: while a
+    /// scope is in use (entered anywhere), it may only be re-entered from
+    /// the same parent.
+    pub fn enter(&mut self, id: AreaId) -> Result<(), MemoryError> {
+        assert!(
+            matches!(self.model.kind(id), AreaKind::Scoped),
+            "only scoped memory can be entered"
+        );
+        let parent = self.stack.last().copied().unwrap_or(self.model.immortal());
+        {
+            let a = &self.model.areas[id.0];
+            if a.enter_count > 0
+                && a.parent != Some(parent) {
+                    return Err(MemoryError::SingleParentViolation { area: id });
+                }
+        }
+        let a = &mut self.model.areas[id.0];
+        a.parent = Some(parent);
+        a.enter_count += 1;
+        self.stack.push(id);
+        Ok(())
+    }
+
+    /// Leave the innermost scope. When the last enterer leaves, the
+    /// region's objects die: consumption resets and the parent pin drops.
+    pub fn exit(&mut self, id: AreaId) -> Result<(), MemoryError> {
+        if self.stack.last() != Some(&id) {
+            return if self.stack.contains(&id) {
+                Err(MemoryError::NotInnermost(id))
+            } else {
+                Err(MemoryError::NotEntered(id))
+            };
+        }
+        self.stack.pop();
+        let a = &mut self.model.areas[id.0];
+        a.enter_count -= 1;
+        if a.enter_count == 0 {
+            a.used = 0;
+            a.parent = None;
+        }
+        Ok(())
+    }
+
+    /// Allocate in the current context.
+    pub fn allocate(&mut self, bytes: usize) -> Result<AreaId, MemoryError> {
+        let area = self.current();
+        self.model.allocate(area, bytes)?;
+        Ok(area)
+    }
+
+    /// The RTSJ assignment rules: a field living in `from` may reference
+    /// an object living in `to` iff `to` lives at least as long — i.e.
+    /// `to` is an ambient area or an *outer* (or equal) scope on this
+    /// stack.
+    pub fn check_assignment(&self, from: AreaId, to: AreaId) -> Result<(), MemoryError> {
+        let from_depth = self
+            .depth(from)
+            .unwrap_or(usize::MAX); // not on stack: treat as innermost-est
+        let to_depth = match self.depth(to) {
+            Some(d) => d,
+            None => return Err(MemoryError::IllegalAssignment { from, to }),
+        };
+        if to_depth <= from_depth {
+            Ok(())
+        } else {
+            Err(MemoryError::IllegalAssignment { from, to })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_and_budget() {
+        let mut m = MemoryModel::new();
+        let s = m.new_scoped(100);
+        let mut stack = ScopeStack::new(&mut m);
+        stack.enter(s).unwrap();
+        assert_eq!(stack.current(), s);
+        stack.allocate(60).unwrap();
+        stack.allocate(40).unwrap();
+        assert_eq!(
+            stack.allocate(1),
+            Err(MemoryError::OutOfMemory { area: s })
+        );
+        stack.exit(s).unwrap();
+        // Region reclaimed on last exit.
+        assert_eq!(m.consumed(s), 0);
+    }
+
+    #[test]
+    fn heap_is_default_context() {
+        let mut m = MemoryModel::new();
+        let heap = m.heap();
+        let mut stack = ScopeStack::new(&mut m);
+        assert_eq!(stack.current(), heap);
+        stack.allocate(1_000_000).unwrap();
+    }
+
+    #[test]
+    fn single_parent_rule() {
+        let mut m = MemoryModel::new();
+        let outer_a = m.new_scoped(100);
+        let outer_b = m.new_scoped(100);
+        let shared = m.new_scoped(100);
+        // First entry pins shared's parent to outer_a…
+        let mut s1 = ScopeStack::new(&mut m);
+        s1.enter(outer_a).unwrap();
+        s1.enter(shared).unwrap();
+        // …entering it again under outer_b (same stack, without exiting)
+        // violates the rule.
+        s1.exit(shared).unwrap();
+        s1.exit(outer_a).unwrap();
+        // Fully exited: the pin dropped, a new parent is fine.
+        s1.enter(outer_b).unwrap();
+        s1.enter(shared).unwrap();
+        assert_eq!(s1.current(), shared);
+    }
+
+    #[test]
+    fn single_parent_violation_detected() {
+        let mut m = MemoryModel::new();
+        let outer_a = m.new_scoped(100);
+        let shared = m.new_scoped(100);
+        let mut s = ScopeStack::new(&mut m);
+        s.enter(outer_a).unwrap();
+        s.enter(shared).unwrap();
+        // Nested re-entry from a different parent (shared itself is now
+        // the would-be parent): violation.
+        let nested = s.enter(shared);
+        assert_eq!(
+            nested,
+            Err(MemoryError::SingleParentViolation { area: shared })
+        );
+    }
+
+    #[test]
+    fn assignment_rules() {
+        let mut m = MemoryModel::new();
+        let heap = m.heap();
+        let immortal = m.immortal();
+        let outer = m.new_scoped(100);
+        let inner = m.new_scoped(100);
+        let mut s = ScopeStack::new(&mut m);
+        s.enter(outer).unwrap();
+        s.enter(inner).unwrap();
+        // Inner may reference outer, immortal, heap.
+        s.check_assignment(inner, outer).unwrap();
+        s.check_assignment(inner, immortal).unwrap();
+        s.check_assignment(inner, heap).unwrap();
+        s.check_assignment(inner, inner).unwrap();
+        // Outer (or ambient) may NOT reference inner.
+        assert!(s.check_assignment(outer, inner).is_err());
+        assert!(s.check_assignment(heap, inner).is_err());
+        assert!(s.check_assignment(immortal, outer).is_err());
+    }
+
+    #[test]
+    fn exit_discipline() {
+        let mut m = MemoryModel::new();
+        let a = m.new_scoped(10);
+        let b = m.new_scoped(10);
+        let mut s = ScopeStack::new(&mut m);
+        s.enter(a).unwrap();
+        s.enter(b).unwrap();
+        assert_eq!(s.exit(a), Err(MemoryError::NotInnermost(a)));
+        s.exit(b).unwrap();
+        s.exit(a).unwrap();
+        assert_eq!(s.exit(a), Err(MemoryError::NotEntered(a)));
+    }
+}

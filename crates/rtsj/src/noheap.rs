@@ -1,0 +1,189 @@
+//! `NoHeapRealtimeThread` — the RTSJ's GC-isolation concept, ported.
+//!
+//! In the RTSJ, a `NoHeapRealtimeThread` may preempt the garbage collector
+//! at any time *because it is forbidden from touching the heap*: it must
+//! be constructed with a non-heap initial memory area (immortal or
+//! scoped) and every allocation and reference it makes is checked against
+//! the no-heap rule.
+//!
+//! In Rust there is no GC to preempt — ownership already gives the
+//! determinism `NoHeapRealtimeThread` buys — so this port keeps the
+//! *checkable contract*: a wrapper that pins a thread to a non-heap
+//! allocation context and validates allocations/references against it,
+//! raising the same errors an RTSJ VM would (`IllegalArgumentException`
+//! at construction, `MemoryAccessError` on heap touches).
+
+use crate::memory::{AreaId, AreaKind, MemoryError, MemoryModel, ScopeStack};
+use crate::thread::RealtimeThread;
+
+/// Errors specific to the no-heap contract.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NoHeapError {
+    /// Constructed with a heap initial area (RTSJ:
+    /// `IllegalArgumentException`).
+    HeapInitialArea,
+    /// The thread touched heap memory (RTSJ: `MemoryAccessError`).
+    HeapAccess,
+    /// Underlying region error.
+    Memory(MemoryError),
+}
+
+impl std::fmt::Display for NoHeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NoHeapError::HeapInitialArea => {
+                write!(f, "no-heap thread requires a non-heap initial memory area")
+            }
+            NoHeapError::HeapAccess => write!(f, "no-heap thread accessed heap memory"),
+            NoHeapError::Memory(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NoHeapError {}
+
+impl From<MemoryError> for NoHeapError {
+    fn from(e: MemoryError) -> Self {
+        NoHeapError::Memory(e)
+    }
+}
+
+/// A real-time thread pinned to non-heap memory.
+#[derive(Debug)]
+pub struct NoHeapRealtimeThread {
+    thread: RealtimeThread,
+    initial_area: AreaId,
+}
+
+impl NoHeapRealtimeThread {
+    /// Construct with an initial area, which must not be the heap.
+    pub fn new(
+        thread: RealtimeThread,
+        model: &MemoryModel,
+        initial_area: AreaId,
+    ) -> Result<Self, NoHeapError> {
+        if matches!(model.kind(initial_area), AreaKind::Heap) {
+            return Err(NoHeapError::HeapInitialArea);
+        }
+        Ok(NoHeapRealtimeThread { thread, initial_area })
+    }
+
+    /// The wrapped thread.
+    pub fn thread(&self) -> &RealtimeThread {
+        &self.thread
+    }
+
+    /// The pinned allocation context.
+    pub fn initial_area(&self) -> AreaId {
+        self.initial_area
+    }
+
+    /// Validate an allocation the thread wants to make in `area`.
+    pub fn check_allocation(
+        &self,
+        model: &MemoryModel,
+        area: AreaId,
+    ) -> Result<(), NoHeapError> {
+        if matches!(model.kind(area), AreaKind::Heap) {
+            return Err(NoHeapError::HeapAccess);
+        }
+        Ok(())
+    }
+
+    /// Validate a reference the thread wants to follow or store: neither
+    /// end may live on the heap, and the store must satisfy the normal
+    /// assignment rules of the scope stack.
+    pub fn check_reference(
+        &self,
+        model: &MemoryModel,
+        stack: &ScopeStack<'_>,
+        from: AreaId,
+        to: AreaId,
+    ) -> Result<(), NoHeapError> {
+        if matches!(model.kind(from), AreaKind::Heap)
+            || matches!(model.kind(to), AreaKind::Heap)
+        {
+            return Err(NoHeapError::HeapAccess);
+        }
+        stack.check_assignment(from, to)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{PeriodicParameters, PriorityParameters};
+    use rtft_core::time::Duration;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn thread() -> RealtimeThread {
+        RealtimeThread::new(
+            "nhrt",
+            PriorityParameters::new(25),
+            PeriodicParameters::new(ms(0), ms(100), ms(10), ms(100)),
+        )
+    }
+
+    #[test]
+    fn requires_non_heap_initial_area() {
+        let mut model = MemoryModel::new();
+        let heap = model.heap();
+        let immortal = model.immortal();
+        let scoped = model.new_scoped(256);
+        assert_eq!(
+            NoHeapRealtimeThread::new(thread(), &model, heap).unwrap_err(),
+            NoHeapError::HeapInitialArea
+        );
+        assert!(NoHeapRealtimeThread::new(thread(), &model, immortal).is_ok());
+        let t = NoHeapRealtimeThread::new(thread(), &model, scoped).unwrap();
+        assert_eq!(t.initial_area(), scoped);
+        assert_eq!(t.thread().name(), "nhrt");
+    }
+
+    #[test]
+    fn heap_allocation_rejected() {
+        let model = MemoryModel::new();
+        let immortal = model.immortal();
+        let heap = model.heap();
+        let t = NoHeapRealtimeThread::new(thread(), &model, immortal).unwrap();
+        assert_eq!(
+            t.check_allocation(&model, heap).unwrap_err(),
+            NoHeapError::HeapAccess
+        );
+        t.check_allocation(&model, immortal).unwrap();
+    }
+
+    #[test]
+    fn references_checked_both_ways() {
+        let mut model = MemoryModel::new();
+        let immortal = model.immortal();
+        let heap = model.heap();
+        let scoped = model.new_scoped(64);
+        let nhrt_area = model.new_scoped(64);
+        let t = NoHeapRealtimeThread::new(thread(), &model, nhrt_area).unwrap();
+        // Borrow the model mutably for the stack *after* building areas.
+        let mut model2 = model.clone();
+        let mut stack = ScopeStack::new(&mut model2);
+        stack.enter(scoped).unwrap();
+        // Heap on either end is a no-heap violation.
+        assert_eq!(
+            t.check_reference(&model, &stack, heap, immortal).unwrap_err(),
+            NoHeapError::HeapAccess
+        );
+        assert_eq!(
+            t.check_reference(&model, &stack, immortal, heap).unwrap_err(),
+            NoHeapError::HeapAccess
+        );
+        // Scoped → immortal is fine (outward reference).
+        t.check_reference(&model, &stack, scoped, immortal).unwrap();
+        // Immortal → scoped breaks the assignment rule.
+        assert!(matches!(
+            t.check_reference(&model, &stack, immortal, scoped),
+            Err(NoHeapError::Memory(MemoryError::IllegalAssignment { .. }))
+        ));
+    }
+}

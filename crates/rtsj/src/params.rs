@@ -1,0 +1,174 @@
+//! RTSJ parameter objects — `javax.realtime`'s `SchedulingParameters` /
+//! `ReleaseParameters` family, in Rust shape.
+//!
+//! The paper programs against these: a `RealtimeThread` is constructed
+//! from `PriorityParameters` and `PeriodicParameters`, and the admission
+//! control consumes exactly the `(cost, deadline, period)` triple they
+//! carry.
+
+use rtft_core::task::Priority;
+use rtft_core::time::Duration;
+
+/// `javax.realtime.PriorityParameters`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PriorityParameters {
+    priority: i32,
+}
+
+impl PriorityParameters {
+    /// A priority in the scheduler's valid range (checked at admission).
+    pub fn new(priority: i32) -> Self {
+        PriorityParameters { priority }
+    }
+
+    /// The raw priority.
+    pub fn priority(&self) -> i32 {
+        self.priority
+    }
+
+    /// `setPriority`.
+    pub fn set_priority(&mut self, p: i32) {
+        self.priority = p;
+    }
+
+    /// Conversion into the analysis model's priority.
+    pub fn as_model(&self) -> Priority {
+        Priority(self.priority)
+    }
+}
+
+/// `javax.realtime.PeriodicParameters` — the release characterization of
+/// a periodic schedulable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PeriodicParameters {
+    start: Duration,
+    period: Duration,
+    cost: Duration,
+    deadline: Duration,
+}
+
+impl PeriodicParameters {
+    /// Build with an explicit deadline. `start` is the release offset from
+    /// system start.
+    ///
+    /// # Panics
+    /// Panics on non-positive period/cost, non-positive deadline, or a
+    /// negative start (RTSJ absolute start times before "now" clamp to
+    /// now; we model offsets only).
+    pub fn new(start: Duration, period: Duration, cost: Duration, deadline: Duration) -> Self {
+        assert!(period.is_positive(), "period must be positive");
+        assert!(cost.is_positive(), "cost must be positive");
+        assert!(deadline.is_positive(), "deadline must be positive");
+        assert!(!start.is_negative(), "start must be non-negative");
+        PeriodicParameters { start, period, cost, deadline }
+    }
+
+    /// RTSJ default: deadline = period.
+    pub fn implicit(start: Duration, period: Duration, cost: Duration) -> Self {
+        Self::new(start, period, cost, period)
+    }
+
+    /// Release offset.
+    pub fn start(&self) -> Duration {
+        self.start
+    }
+
+    /// Period `T`.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Declared cost `C`.
+    pub fn cost(&self) -> Duration {
+        self.cost
+    }
+
+    /// Relative deadline `D`.
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// `setCost` — the admission-relevant mutation (the paper's faults are
+    /// precisely violations of this declared value).
+    pub fn set_cost(&mut self, c: Duration) {
+        assert!(c.is_positive(), "cost must be positive");
+        self.cost = c;
+    }
+
+    /// `setDeadline`.
+    pub fn set_deadline(&mut self, d: Duration) {
+        assert!(d.is_positive(), "deadline must be positive");
+        self.deadline = d;
+    }
+}
+
+/// `javax.realtime.ImportanceParameters` — priority plus an importance
+/// tie-breaker (unused by the base scheduler, carried for completeness).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ImportanceParameters {
+    /// The base priority.
+    pub priority: PriorityParameters,
+    /// The importance value.
+    pub importance: i32,
+}
+
+impl ImportanceParameters {
+    /// Build from priority and importance.
+    pub fn new(priority: i32, importance: i32) -> Self {
+        ImportanceParameters {
+            priority: PriorityParameters::new(priority),
+            importance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    #[test]
+    fn periodic_parameters_accessors() {
+        let p = PeriodicParameters::new(ms(0), ms(200), ms(29), ms(70));
+        assert_eq!(p.period(), ms(200));
+        assert_eq!(p.cost(), ms(29));
+        assert_eq!(p.deadline(), ms(70));
+        assert_eq!(p.start(), ms(0));
+    }
+
+    #[test]
+    fn implicit_deadline_defaults_to_period() {
+        let p = PeriodicParameters::implicit(ms(5), ms(100), ms(10));
+        assert_eq!(p.deadline(), ms(100));
+        assert_eq!(p.start(), ms(5));
+    }
+
+    #[test]
+    fn mutation() {
+        let mut p = PeriodicParameters::implicit(ms(0), ms(100), ms(10));
+        p.set_cost(ms(12));
+        p.set_deadline(ms(80));
+        assert_eq!(p.cost(), ms(12));
+        assert_eq!(p.deadline(), ms(80));
+        let mut pr = PriorityParameters::new(20);
+        pr.set_priority(25);
+        assert_eq!(pr.priority(), 25);
+        assert_eq!(pr.as_model(), Priority(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = PeriodicParameters::implicit(ms(0), ms(0), ms(1));
+    }
+
+    #[test]
+    fn importance_carries_both() {
+        let i = ImportanceParameters::new(20, 3);
+        assert_eq!(i.priority.priority(), 20);
+        assert_eq!(i.importance, 3);
+    }
+}

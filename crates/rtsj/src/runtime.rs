@@ -1,0 +1,297 @@
+//! The RTSJ-flavored runtime: admission, start, simulated execution.
+//!
+//! This is the glue the paper's measurement campaign runs through: threads
+//! are constructed from RTSJ parameters, `start()` performs admission and
+//! (per the overloaded `RealtimeThreadExtended.start()`) schedules a
+//! detector, and the "virtual machine" — our deterministic simulator —
+//! executes everything. After the run the extended threads' job counters
+//! and flags reflect what their overloaded `waitForNextPeriod()` would
+//! have accumulated.
+
+use crate::params::{PeriodicParameters, PriorityParameters};
+use crate::scheduler::{PriorityScheduler, SchedulerError};
+use crate::thread::RealtimeThreadExtended;
+use rtft_core::task::TaskId;
+use rtft_core::time::{Duration, Instant};
+use rtft_ft::harness::{run_scenario, HarnessError, Scenario, ScenarioOutcome};
+use rtft_ft::treatment::Treatment;
+use rtft_sim::fault::FaultPlan;
+use rtft_sim::timer::TimerModel;
+use std::collections::BTreeMap;
+
+/// Handle to a started thread.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct ThreadHandle(pub TaskId);
+
+/// The runtime.
+#[derive(Debug)]
+pub struct RtsjRuntime {
+    scheduler: PriorityScheduler,
+    threads: BTreeMap<TaskId, RealtimeThreadExtended>,
+    treatment: Treatment,
+    timer_model: TimerModel,
+    faults: FaultPlan,
+}
+
+impl Default for RtsjRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RtsjRuntime {
+    /// A runtime with detectors installed but no treatment (the paper's
+    /// default observation mode) and exact timers.
+    pub fn new() -> Self {
+        RtsjRuntime {
+            scheduler: PriorityScheduler::new(),
+            threads: BTreeMap::new(),
+            treatment: Treatment::DetectOnly,
+            timer_model: TimerModel::EXACT,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Select the fault treatment.
+    pub fn set_treatment(&mut self, t: Treatment) {
+        self.treatment = t;
+    }
+
+    /// Use jRate's 10 ms timer grid.
+    pub fn use_jrate_timers(&mut self) {
+        self.timer_model = TimerModel::jrate();
+    }
+
+    /// The scheduler (priority ranges, feasibility queries).
+    pub fn scheduler(&self) -> &PriorityScheduler {
+        &self.scheduler
+    }
+
+    /// The overloaded `start()`: admission control first; on success the
+    /// thread is registered and — when the treatment has detection — its
+    /// detector will be armed at `offset + WCRT` for the run.
+    /// Returns `Ok(None)` when admission rejects the thread.
+    pub fn start(
+        &mut self,
+        name: &str,
+        priority: PriorityParameters,
+        release: PeriodicParameters,
+    ) -> Result<Option<ThreadHandle>, SchedulerError> {
+        let Some(id) = self.scheduler.add_to_feasibility(name, &priority, &release)? else {
+            return Ok(None);
+        };
+        let thread = RealtimeThreadExtended::periodic(name, priority, release);
+        self.threads.insert(id, thread);
+        Ok(Some(ThreadHandle(id)))
+    }
+
+    /// Inject a cost overrun into a thread's job (the paper's §6
+    /// "voluntarily added" fault).
+    pub fn inject_overrun(&mut self, handle: ThreadHandle, job: u64, amount: Duration) {
+        self.faults = std::mem::take(&mut self.faults).overrun(handle.0, job, amount);
+    }
+
+    /// Inject a cost under-run.
+    pub fn inject_underrun(&mut self, handle: ThreadHandle, job: u64, amount: Duration) {
+        self.faults = std::mem::take(&mut self.faults).underrun(handle.0, job, amount);
+    }
+
+    /// Execute all started threads for `horizon` of virtual time, then
+    /// fold the results back into the thread objects (job counters, stop
+    /// flags). Threads remain registered; a subsequent run starts a fresh
+    /// timeline.
+    pub fn run_for(&mut self, horizon: Duration) -> Result<RunReport, RuntimeError> {
+        let set = self
+            .scheduler
+            .admitted_set()
+            .ok_or(RuntimeError::NoThreads)?;
+        let sc = Scenario::new(
+            "rtsj-runtime",
+            set,
+            self.faults.clone(),
+            self.treatment,
+            Instant::EPOCH + horizon,
+        )
+        .with_timer_model(self.timer_model);
+        let outcome = run_scenario(&sc).map_err(RuntimeError::Harness)?;
+
+        // Fold verdicts back into the API objects.
+        for (id, thread) in &mut self.threads {
+            if let Some(v) = outcome.verdict.of(*id) {
+                // The job counter counts completed jobs (what the
+                // overloaded waitForNextPeriod incremented).
+                *thread = RealtimeThreadExtended::periodic(
+                    thread.as_realtime_thread().name().to_string(),
+                    *thread.as_realtime_thread().scheduling_parameters(),
+                    *thread.as_realtime_thread().release_parameters(),
+                );
+                for _ in 0..v.completed {
+                    thread.compute_before_periodic();
+                    thread.compute_after_periodic();
+                }
+                if v.stopped > 0 {
+                    thread.request_stop();
+                }
+            }
+        }
+        Ok(RunReport { outcome })
+    }
+
+    /// Access a thread's API object (job counter, flags).
+    pub fn thread(&self, handle: ThreadHandle) -> Option<&RealtimeThreadExtended> {
+        self.threads.get(&handle.0)
+    }
+}
+
+/// A finished run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Full scenario outcome (trace, stats, verdicts, analysis).
+    pub outcome: ScenarioOutcome,
+}
+
+impl RunReport {
+    /// Deadline misses of a thread.
+    pub fn missed_deadlines(&self, handle: ThreadHandle) -> usize {
+        self.outcome
+            .verdict
+            .of(handle.0)
+            .map_or(0, |v| v.missed)
+    }
+
+    /// Completed jobs of a thread.
+    pub fn completed_jobs(&self, handle: ThreadHandle) -> usize {
+        self.outcome
+            .verdict
+            .of(handle.0)
+            .map_or(0, |v| v.completed)
+    }
+
+    /// `true` iff the treatment stopped the thread.
+    pub fn was_stopped(&self, handle: ThreadHandle) -> bool {
+        self.outcome
+            .verdict
+            .of(handle.0)
+            .is_some_and(|v| v.stopped > 0)
+    }
+}
+
+/// Runtime-level errors.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// `run_for` with no started threads.
+    NoThreads,
+    /// Scenario execution failed.
+    Harness(HarnessError),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::NoThreads => write!(f, "no threads started"),
+            RuntimeError::Harness(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_sim::stop::StopMode;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn start_paper_threads(rt: &mut RtsjRuntime) -> [ThreadHandle; 3] {
+        let t1 = rt
+            .start(
+                "tau1",
+                PriorityParameters::new(20),
+                PeriodicParameters::new(ms(0), ms(200), ms(29), ms(70)),
+            )
+            .unwrap()
+            .unwrap();
+        let t2 = rt
+            .start(
+                "tau2",
+                PriorityParameters::new(18),
+                PeriodicParameters::new(ms(0), ms(250), ms(29), ms(120)),
+            )
+            .unwrap()
+            .unwrap();
+        let t3 = rt
+            .start(
+                "tau3",
+                PriorityParameters::new(16),
+                PeriodicParameters::new(ms(1000), ms(1500), ms(29), ms(120)),
+            )
+            .unwrap()
+            .unwrap();
+        [t1, t2, t3]
+    }
+
+    #[test]
+    fn healthy_run_counts_jobs() {
+        let mut rt = RtsjRuntime::new();
+        let [t1, t2, t3] = start_paper_threads(&mut rt);
+        let report = rt.run_for(ms(1500)).unwrap();
+        // τ1: releases at 0,200,…,1400 → 8 jobs, all complete by 1500?
+        // the job at 1400 ends at 1429 < 1500: 8 complete.
+        assert_eq!(report.completed_jobs(t1), 8);
+        assert_eq!(report.completed_jobs(t2), 6);
+        assert_eq!(report.completed_jobs(t3), 1);
+        assert_eq!(report.missed_deadlines(t1), 0);
+        assert!(!report.was_stopped(t1));
+        assert_eq!(rt.thread(t1).unwrap().job_counter(), 8);
+        assert_eq!(rt.thread(t3).unwrap().job_counter(), 1);
+    }
+
+    #[test]
+    fn paper_fault_scenario_via_rtsj_api() {
+        let mut rt = RtsjRuntime::new();
+        rt.use_jrate_timers();
+        rt.set_treatment(Treatment::SystemAllowance {
+            mode: StopMode::Permanent,
+            policy: rtft_core::allowance::SlackPolicy::ProtectAll,
+        });
+        let [t1, t2, t3] = start_paper_threads(&mut rt);
+        rt.inject_overrun(t1, 5, ms(40));
+        let report = rt.run_for(ms(1300)).unwrap();
+        assert!(report.was_stopped(t1));
+        assert!(!report.was_stopped(t2));
+        assert!(!report.was_stopped(t3));
+        assert_eq!(report.missed_deadlines(t2), 0);
+        assert_eq!(report.missed_deadlines(t3), 0);
+        assert!(rt.thread(t1).unwrap().is_stop_requested());
+    }
+
+    #[test]
+    fn rejected_thread_not_registered() {
+        let mut rt = RtsjRuntime::new();
+        rt.start(
+            "hog",
+            PriorityParameters::new(20),
+            PeriodicParameters::implicit(ms(0), ms(10), ms(9)),
+        )
+        .unwrap()
+        .unwrap();
+        let rejected = rt
+            .start(
+                "victim",
+                PriorityParameters::new(19),
+                PeriodicParameters::implicit(ms(0), ms(10), ms(5)),
+            )
+            .unwrap();
+        assert!(rejected.is_none());
+        assert_eq!(rt.scheduler().len(), 1);
+    }
+
+    #[test]
+    fn empty_runtime_errors() {
+        let mut rt = RtsjRuntime::new();
+        assert!(matches!(rt.run_for(ms(100)), Err(RuntimeError::NoThreads)));
+    }
+}

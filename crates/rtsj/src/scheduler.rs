@@ -1,0 +1,260 @@
+//! The `PriorityScheduler` with a **working** feasibility implementation.
+//!
+//! The paper's starting observation: "the tested machines do not offer a
+//! valid implementation. We can easily show a non feasible set of tasks
+//! for which RI returns feasible, and we can see in the file
+//! `PriorityScheduler.java` that feasibility methods are not yet
+//! implemented in jRate." This module is the repaired scheduler: the RTSJ
+//! `isFeasible` / `addToFeasibility` / `removeFromFeasibility` contract
+//! backed by the exact analysis of `rtft-core`.
+
+use crate::params::{PeriodicParameters, PriorityParameters};
+use rtft_core::feasibility::{Admission, AdmissionController, AdmissionError};
+use rtft_core::task::{TaskBuilder, TaskId, TaskSpec};
+
+/// RTSJ's minimum real-time priority (the spec mandates at least 28
+/// consecutive real-time priorities; these bounds follow the RI).
+pub const MIN_PRIORITY: i32 = 11;
+/// RTSJ's maximum real-time priority.
+pub const MAX_PRIORITY: i32 = 38;
+
+/// The fixed-priority preemptive scheduler object.
+#[derive(Clone, Debug, Default)]
+pub struct PriorityScheduler {
+    controller: AdmissionController,
+    next_id: u32,
+}
+
+impl PriorityScheduler {
+    /// A scheduler with an empty feasibility set.
+    pub fn new() -> Self {
+        PriorityScheduler { controller: AdmissionController::new(), next_id: 1 }
+    }
+
+    /// `getMinPriority()`.
+    pub fn min_priority(&self) -> i32 {
+        MIN_PRIORITY
+    }
+
+    /// `getMaxPriority()`.
+    pub fn max_priority(&self) -> i32 {
+        MAX_PRIORITY
+    }
+
+    /// `getNormPriority()` — the midpoint, per the RTSJ formula.
+    pub fn norm_priority(&self) -> i32 {
+        MIN_PRIORITY + (MAX_PRIORITY - MIN_PRIORITY) / 3
+    }
+
+    /// Validity check on a priority value.
+    pub fn is_valid_priority(&self, p: i32) -> bool {
+        (MIN_PRIORITY..=MAX_PRIORITY).contains(&p)
+    }
+
+    /// Lower a schedulable description to the analysis model.
+    #[allow(clippy::wrong_self_convention)] // allocates the next TaskId
+    fn to_spec(
+        &mut self,
+        name: &str,
+        priority: &PriorityParameters,
+        release: &PeriodicParameters,
+    ) -> Result<TaskSpec, SchedulerError> {
+        if !self.is_valid_priority(priority.priority()) {
+            return Err(SchedulerError::InvalidPriority(priority.priority()));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        Ok(TaskBuilder::new(id, priority.priority(), release.period(), release.cost())
+            .name(name.to_string())
+            .deadline(release.deadline())
+            .offset(release.start())
+            .build())
+    }
+
+    /// `addToFeasibility` + `isFeasible`: admit iff the resulting system
+    /// passes the exact analysis. Returns the assigned [`TaskId`] on
+    /// success, `Ok(None)` on rejection (set unchanged).
+    pub fn add_to_feasibility(
+        &mut self,
+        name: &str,
+        priority: &PriorityParameters,
+        release: &PeriodicParameters,
+    ) -> Result<Option<TaskId>, SchedulerError> {
+        let spec = self.to_spec(name, priority, release)?;
+        let id = spec.id;
+        match self
+            .controller
+            .add_to_feasibility(spec)
+            .map_err(SchedulerError::Admission)?
+        {
+            Admission::Admitted(_) => Ok(Some(id)),
+            Admission::Rejected(_) => {
+                // RTSJ keeps rejected schedulables out; restore the id.
+                self.next_id -= 1;
+                Ok(None)
+            }
+        }
+    }
+
+    /// `removeFromFeasibility`.
+    pub fn remove_from_feasibility(&mut self, id: TaskId) -> Result<(), SchedulerError> {
+        self.controller
+            .remove_from_feasibility(id)
+            .map_err(SchedulerError::Admission)
+    }
+
+    /// `isFeasible()` over the currently admitted set.
+    pub fn is_feasible(&self) -> Result<bool, SchedulerError> {
+        if self.controller.is_empty() {
+            return Ok(true); // an empty system is trivially feasible
+        }
+        Ok(self
+            .controller
+            .report()
+            .map_err(SchedulerError::Admission)?
+            .is_feasible())
+    }
+
+    /// The currently admitted set (for detector planning).
+    pub fn admitted_set(&self) -> Option<rtft_core::task::TaskSet> {
+        self.controller.current_set()
+    }
+
+    /// Number of admitted schedulables.
+    pub fn len(&self) -> usize {
+        self.controller.len()
+    }
+
+    /// `true` when nothing is admitted.
+    pub fn is_empty(&self) -> bool {
+        self.controller.is_empty()
+    }
+}
+
+/// Scheduler-level errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedulerError {
+    /// Priority outside `[MIN_PRIORITY, MAX_PRIORITY]`.
+    InvalidPriority(i32),
+    /// Underlying admission failure.
+    Admission(AdmissionError),
+}
+
+impl std::fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerError::InvalidPriority(p) => {
+                write!(f, "priority {p} outside [{MIN_PRIORITY}, {MAX_PRIORITY}]")
+            }
+            SchedulerError::Admission(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::time::Duration;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn paper_params() -> Vec<(&'static str, i32, PeriodicParameters)> {
+        vec![
+            ("tau1", 20, PeriodicParameters::new(ms(0), ms(200), ms(29), ms(70))),
+            ("tau2", 18, PeriodicParameters::new(ms(0), ms(250), ms(29), ms(120))),
+            ("tau3", 16, PeriodicParameters::new(ms(0), ms(1500), ms(29), ms(120))),
+        ]
+    }
+
+    #[test]
+    fn priority_range() {
+        let s = PriorityScheduler::new();
+        assert_eq!(s.min_priority(), 11);
+        assert_eq!(s.max_priority(), 38);
+        assert!(s.is_valid_priority(s.norm_priority()));
+        assert!(!s.is_valid_priority(10));
+        assert!(!s.is_valid_priority(39));
+    }
+
+    #[test]
+    fn paper_system_admits() {
+        let mut s = PriorityScheduler::new();
+        for (name, prio, release) in paper_params() {
+            let id = s
+                .add_to_feasibility(name, &PriorityParameters::new(prio), &release)
+                .unwrap();
+            assert!(id.is_some(), "{name} must be admitted");
+        }
+        assert!(s.is_feasible().unwrap());
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn the_ri_bug_is_fixed() {
+        // "We can easily show a non feasible set of tasks for which RI
+        // returns feasible": two tasks with U > 1 must be rejected.
+        let mut s = PriorityScheduler::new();
+        let a = PeriodicParameters::implicit(ms(0), ms(10), ms(8));
+        let b = PeriodicParameters::implicit(ms(0), ms(10), ms(8));
+        assert!(s
+            .add_to_feasibility("a", &PriorityParameters::new(20), &a)
+            .unwrap()
+            .is_some());
+        let rejected = s
+            .add_to_feasibility("b", &PriorityParameters::new(19), &b)
+            .unwrap();
+        assert_eq!(rejected, None, "an infeasible addition must be rejected");
+        assert!(s.is_feasible().unwrap(), "the admitted set stays feasible");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn removal() {
+        let mut s = PriorityScheduler::new();
+        let p = PeriodicParameters::implicit(ms(0), ms(100), ms(10));
+        let id = s
+            .add_to_feasibility("x", &PriorityParameters::new(15), &p)
+            .unwrap()
+            .unwrap();
+        s.remove_from_feasibility(id).unwrap();
+        assert!(s.is_empty());
+        assert!(s.is_feasible().unwrap());
+        assert!(s.remove_from_feasibility(id).is_err());
+    }
+
+    #[test]
+    fn invalid_priority_rejected() {
+        let mut s = PriorityScheduler::new();
+        let p = PeriodicParameters::implicit(ms(0), ms(100), ms(10));
+        let err = s
+            .add_to_feasibility("x", &PriorityParameters::new(50), &p)
+            .unwrap_err();
+        assert_eq!(err, SchedulerError::InvalidPriority(50));
+    }
+
+    #[test]
+    fn ids_are_stable_after_rejection() {
+        let mut s = PriorityScheduler::new();
+        let big = PeriodicParameters::implicit(ms(0), ms(10), ms(9));
+        let small = PeriodicParameters::implicit(ms(0), ms(100), ms(1));
+        let id1 = s
+            .add_to_feasibility("a", &PriorityParameters::new(20), &big)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            s.add_to_feasibility("b", &PriorityParameters::new(19), &big)
+                .unwrap(),
+            None
+        );
+        let id3 = s
+            .add_to_feasibility("c", &PriorityParameters::new(18), &small)
+            .unwrap()
+            .unwrap();
+        assert_eq!(id1, TaskId(1));
+        assert_eq!(id3, TaskId(2), "rejected id recycled");
+    }
+}

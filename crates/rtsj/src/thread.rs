@@ -1,0 +1,215 @@
+//! `RealtimeThread` and the paper's `RealtimeThreadExtended`.
+//!
+//! The paper ships a package `javax.realtime.extended` whose
+//! `RealtimeThreadExtended extends RealtimeThread`:
+//!
+//! * `addToFeasibility()` / `removeFromFeasibility()` are overloaded to
+//!   delegate to a working `FeasibilityAnalysis` (§2.3);
+//! * `start()` is overloaded to also start a periodic detector offset by
+//!   the WCRT (§3.1);
+//! * `waitForNextPeriod()` is overloaded to bracket each job with
+//!   `computeAfterPeriodic()` / `computeBeforePeriodic()`, maintaining the
+//!   job counter and finished boolean the detectors inspect.
+//!
+//! Execution itself happens on the deterministic simulator (see
+//! [`crate::runtime::RtsjRuntime`]); these objects carry the API state —
+//! including the job counter and finished flag, updated from the executed
+//! trace exactly as the overloaded `waitForNextPeriod` would have.
+
+use crate::params::{PeriodicParameters, PriorityParameters};
+
+/// `javax.realtime.RealtimeThread` (periodic form).
+#[derive(Clone, Debug)]
+pub struct RealtimeThread {
+    name: String,
+    priority: PriorityParameters,
+    release: PeriodicParameters,
+}
+
+impl RealtimeThread {
+    /// Construct from scheduling and release parameters.
+    pub fn new(
+        name: impl Into<String>,
+        priority: PriorityParameters,
+        release: PeriodicParameters,
+    ) -> Self {
+        RealtimeThread { name: name.into(), priority, release }
+    }
+
+    /// Thread name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `getSchedulingParameters()`.
+    pub fn scheduling_parameters(&self) -> &PriorityParameters {
+        &self.priority
+    }
+
+    /// `getReleaseParameters()`.
+    pub fn release_parameters(&self) -> &PeriodicParameters {
+        &self.release
+    }
+
+    /// `setReleaseParameters` (only before start).
+    pub fn set_release_parameters(&mut self, p: PeriodicParameters) {
+        self.release = p;
+    }
+}
+
+/// The paper's `RealtimeThreadExtended`.
+#[derive(Clone, Debug)]
+pub struct RealtimeThreadExtended {
+    inner: RealtimeThread,
+    /// The job counter `waitForNextPeriod` maintains (§3.1): number of
+    /// completed jobs.
+    job_counter: u64,
+    /// The "job finished" boolean the detector checks.
+    finished_current: bool,
+    /// The stop flag of §4.1 ("a boolean field … checked after each
+    /// instruction of the loop").
+    stop_requested: bool,
+}
+
+impl RealtimeThreadExtended {
+    /// Wrap a thread with the extended bookkeeping.
+    pub fn new(inner: RealtimeThread) -> Self {
+        RealtimeThreadExtended {
+            inner,
+            job_counter: 0,
+            finished_current: true,
+            stop_requested: false,
+        }
+    }
+
+    /// Shorthand constructor.
+    pub fn periodic(
+        name: impl Into<String>,
+        priority: PriorityParameters,
+        release: PeriodicParameters,
+    ) -> Self {
+        Self::new(RealtimeThread::new(name, priority, release))
+    }
+
+    /// The wrapped thread.
+    pub fn as_realtime_thread(&self) -> &RealtimeThread {
+        &self.inner
+    }
+
+    /// Completed-job count.
+    pub fn job_counter(&self) -> u64 {
+        self.job_counter
+    }
+
+    /// `true` when no job is in flight.
+    pub fn is_finished(&self) -> bool {
+        self.finished_current
+    }
+
+    /// `true` once a treatment requested the stop.
+    pub fn is_stop_requested(&self) -> bool {
+        self.stop_requested
+    }
+
+    /// `computeBeforePeriodic()` — runs at the start of each job.
+    pub fn compute_before_periodic(&mut self) {
+        self.finished_current = false;
+    }
+
+    /// `computeAfterPeriodic()` — runs at the end of each job: bumps the
+    /// counter and sets the finished flag the detector reads.
+    pub fn compute_after_periodic(&mut self) {
+        self.finished_current = true;
+        self.job_counter += 1;
+    }
+
+    /// The overloaded `waitForNextPeriod()` of §3.1:
+    ///
+    /// ```java
+    /// public boolean waitForNextPeriod() {
+    ///     computeAfterPeriodic();
+    ///     boolean r = super.waitForNextPeriod();  // blocks to next release
+    ///     computeBeforePeriodic();
+    ///     return r;
+    /// }
+    /// ```
+    ///
+    /// In the simulated runtime the blocking happens on the virtual
+    /// timeline; this method performs the bracketing bookkeeping and
+    /// reports whether the thread may continue (false once stopped).
+    pub fn wait_for_next_period(&mut self) -> bool {
+        self.compute_after_periodic();
+        if self.stop_requested {
+            return false;
+        }
+        self.compute_before_periodic();
+        true
+    }
+
+    /// The §4.1 stop request: sets the boolean the periodic loop polls.
+    pub fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::time::Duration;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn thread() -> RealtimeThreadExtended {
+        RealtimeThreadExtended::periodic(
+            "tau1",
+            PriorityParameters::new(20),
+            PeriodicParameters::new(ms(0), ms(200), ms(29), ms(70)),
+        )
+    }
+
+    #[test]
+    fn initial_state() {
+        let t = thread();
+        assert_eq!(t.job_counter(), 0);
+        assert!(t.is_finished(), "no job in flight before start");
+        assert!(!t.is_stop_requested());
+        assert_eq!(t.as_realtime_thread().name(), "tau1");
+    }
+
+    #[test]
+    fn wait_for_next_period_bracketing() {
+        let mut t = thread();
+        // First job begins.
+        t.compute_before_periodic();
+        assert!(!t.is_finished());
+        // Job ends, next begins.
+        assert!(t.wait_for_next_period());
+        assert_eq!(t.job_counter(), 1);
+        assert!(!t.is_finished(), "next job already in flight");
+        assert!(t.wait_for_next_period());
+        assert_eq!(t.job_counter(), 2);
+    }
+
+    #[test]
+    fn stop_breaks_the_loop() {
+        let mut t = thread();
+        t.compute_before_periodic();
+        t.request_stop();
+        // The poll at the loop boundary observes the flag: loop breaks.
+        assert!(!t.wait_for_next_period());
+        assert_eq!(t.job_counter(), 1, "the interrupted job still counted its end");
+    }
+
+    #[test]
+    fn release_parameter_mutation() {
+        let mut rt = RealtimeThread::new(
+            "x",
+            PriorityParameters::new(15),
+            PeriodicParameters::implicit(ms(0), ms(100), ms(10)),
+        );
+        rt.set_release_parameters(PeriodicParameters::new(ms(0), ms(100), ms(10), ms(50)));
+        assert_eq!(rt.release_parameters().deadline(), ms(50));
+    }
+}

@@ -1,0 +1,257 @@
+//! RTSJ timers and async events — `javax.realtime.{AsyncEvent,
+//! AsyncEventHandler, OneShotTimer, PeriodicTimer}`.
+//!
+//! The paper's detectors are `PeriodicTimer`s whose handler checks the
+//! job-finished boolean. This module models the API objects (handler
+//! binding, fire counting, start/stop) and their **release schedule**
+//! including the jRate quantization; the actual firing on virtual time is
+//! performed by lowering to a simulator timer.
+
+use rtft_core::time::{Duration, Instant};
+use rtft_sim::engine::Simulator;
+use rtft_sim::timer::TimerModel;
+
+/// `javax.realtime.AsyncEvent`: something that can fire and dispatch to
+/// bound handlers.
+#[derive(Default)]
+pub struct AsyncEvent {
+    handlers: Vec<Box<dyn FnMut() + Send>>,
+    fire_count: u64,
+}
+
+impl AsyncEvent {
+    /// An event with no handlers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `addHandler`.
+    pub fn add_handler(&mut self, h: impl FnMut() + Send + 'static) {
+        self.handlers.push(Box::new(h));
+    }
+
+    /// Number of bound handlers.
+    pub fn handler_count(&self) -> usize {
+        self.handlers.len()
+    }
+
+    /// `fire()`: run every handler once.
+    pub fn fire(&mut self) {
+        self.fire_count += 1;
+        for h in &mut self.handlers {
+            h();
+        }
+    }
+
+    /// Times fired.
+    pub fn fire_count(&self) -> u64 {
+        self.fire_count
+    }
+}
+
+impl std::fmt::Debug for AsyncEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncEvent")
+            .field("handlers", &self.handlers.len())
+            .field("fire_count", &self.fire_count)
+            .finish()
+    }
+}
+
+/// `javax.realtime.PeriodicTimer`: first release `start`, then every
+/// `interval`. The platform's [`TimerModel`] quantizes the first release —
+/// jRate's measured behaviour ("if the value given for the first release
+/// is not a multiple of ten, the precision is not good", §6.2).
+#[derive(Debug)]
+pub struct PeriodicTimer {
+    start: Duration,
+    interval: Duration,
+    model: TimerModel,
+    event: AsyncEvent,
+    started: bool,
+}
+
+impl PeriodicTimer {
+    /// Build a timer (not yet started).
+    ///
+    /// # Panics
+    /// Panics on a non-positive interval or negative start.
+    pub fn new(start: Duration, interval: Duration, model: TimerModel) -> Self {
+        assert!(interval.is_positive(), "interval must be positive");
+        assert!(!start.is_negative(), "start must be non-negative");
+        PeriodicTimer { start, interval, model, event: AsyncEvent::new(), started: false }
+    }
+
+    /// Bind a handler (`addHandler` on the timer's event).
+    pub fn add_handler(&mut self, h: impl FnMut() + Send + 'static) {
+        self.event.add_handler(h);
+    }
+
+    /// `start()`.
+    pub fn start(&mut self) {
+        self.started = true;
+    }
+
+    /// `isRunning()`.
+    pub fn is_running(&self) -> bool {
+        self.started
+    }
+
+    /// Effective (quantized) first release.
+    pub fn effective_start(&self) -> Duration {
+        self.model.first_release(self.start)
+    }
+
+    /// The `n`-th release instant (0-based), on the quantized grid.
+    pub fn release_at(&self, n: u64) -> Instant {
+        Instant::EPOCH + self.effective_start() + self.interval * n as i64
+    }
+
+    /// Fire the timer's event (driven by the runtime at release times).
+    pub fn fire(&mut self) {
+        self.event.fire();
+    }
+
+    /// Times fired.
+    pub fn fire_count(&self) -> u64 {
+        self.event.fire_count()
+    }
+
+    /// Lower onto a simulator: registers a periodic sim timer with `tag`;
+    /// the caller's supervisor receives the firings. Returns the sim
+    /// timer id. The simulator applies its own timer model, so build the
+    /// `Simulator` with the same model for consistent schedules.
+    pub fn lower_to_sim(&self, sim: &mut Simulator, tag: u64) -> usize {
+        sim.add_periodic_timer(self.start, self.interval, tag)
+    }
+}
+
+/// `javax.realtime.OneShotTimer`.
+#[derive(Debug)]
+pub struct OneShotTimer {
+    at: Duration,
+    model: TimerModel,
+    event: AsyncEvent,
+    started: bool,
+}
+
+impl OneShotTimer {
+    /// Build (not yet started).
+    pub fn new(at: Duration, model: TimerModel) -> Self {
+        assert!(!at.is_negative(), "fire time must be non-negative");
+        OneShotTimer { at, model, event: AsyncEvent::new(), started: false }
+    }
+
+    /// Bind a handler.
+    pub fn add_handler(&mut self, h: impl FnMut() + Send + 'static) {
+        self.event.add_handler(h);
+    }
+
+    /// `start()`.
+    pub fn start(&mut self) {
+        self.started = true;
+    }
+
+    /// Effective (quantized) fire time.
+    pub fn effective_at(&self) -> Instant {
+        Instant::EPOCH + self.model.first_release(self.at)
+    }
+
+    /// Fire the event.
+    pub fn fire(&mut self) {
+        self.event.fire();
+    }
+
+    /// Times fired (0 or 1 in normal use).
+    pub fn fire_count(&self) -> u64 {
+        self.event.fire_count()
+    }
+
+    /// `isRunning()`.
+    pub fn is_running(&self) -> bool {
+        self.started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    #[test]
+    fn async_event_dispatch() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let mut ev = AsyncEvent::new();
+        let h1 = hits.clone();
+        ev.add_handler(move || {
+            h1.fetch_add(1, Ordering::Relaxed);
+        });
+        let h2 = hits.clone();
+        ev.add_handler(move || {
+            h2.fetch_add(10, Ordering::Relaxed);
+        });
+        assert_eq!(ev.handler_count(), 2);
+        ev.fire();
+        ev.fire();
+        assert_eq!(ev.fire_count(), 2);
+        assert_eq!(hits.load(Ordering::Relaxed), 22);
+    }
+
+    #[test]
+    fn periodic_timer_quantized_schedule() {
+        // The τ1 detector: start 29 ms, interval 200 ms, jRate grid.
+        let t = PeriodicTimer::new(ms(29), ms(200), TimerModel::jrate());
+        assert_eq!(t.effective_start(), ms(30));
+        assert_eq!(t.release_at(0), Instant::from_millis(30));
+        assert_eq!(t.release_at(5), Instant::from_millis(1030));
+        // Exact model keeps 29.
+        let e = PeriodicTimer::new(ms(29), ms(200), TimerModel::EXACT);
+        assert_eq!(e.release_at(5), Instant::from_millis(1029));
+    }
+
+    #[test]
+    fn timer_handler_and_start() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let mut t = PeriodicTimer::new(ms(10), ms(100), TimerModel::EXACT);
+        let h = hits.clone();
+        t.add_handler(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(!t.is_running());
+        t.start();
+        assert!(t.is_running());
+        t.fire();
+        t.fire();
+        assert_eq!(t.fire_count(), 2);
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn one_shot_quantization() {
+        let t = OneShotTimer::new(ms(62), TimerModel::jrate());
+        assert_eq!(t.effective_at(), Instant::from_millis(70));
+        let e = OneShotTimer::new(ms(62), TimerModel::EXACT);
+        assert_eq!(e.effective_at(), Instant::from_millis(62));
+    }
+
+    #[test]
+    fn lower_to_sim_registers_timer() {
+        use rtft_core::task::{TaskBuilder, TaskSet};
+        use rtft_sim::engine::SimConfig;
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(100), ms(10)).build(),
+        ]);
+        let mut sim = Simulator::new(
+            set,
+            SimConfig::until(Instant::from_millis(500)).with_jrate_timers(),
+        );
+        let timer = PeriodicTimer::new(ms(29), ms(200), TimerModel::jrate());
+        let id = timer.lower_to_sim(&mut sim, 7);
+        assert_eq!(id, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Aperiodic workload support — the paper's §7 closes with "studying the
+//! faults detection and tolerance in the case of aperiodic tasks".
+//!
+//! An aperiodic job is a one-shot arrival with a demand and a priority.
+//! For the engine every unit of work must belong to a task, so arrivals
+//! are lowered to **single-release tasks**: offset = arrival time, a
+//! period beyond the horizon (so exactly one release occurs), and an
+//! explicit or effectively-infinite deadline. The analytical counterparts
+//! live in `rtft-core::server` (polling/deferrable server bounds).
+
+use rtft_core::error::ModelError;
+use rtft_core::task::{TaskBuilder, TaskId, TaskSet};
+use rtft_core::time::{Duration, Instant};
+
+/// A one-shot aperiodic arrival.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AperiodicJob {
+    /// Arrival instant.
+    pub arrival: Instant,
+    /// Execution demand.
+    pub demand: Duration,
+    /// Fixed priority it executes at (background service = below every
+    /// periodic task; direct service = some higher value).
+    pub priority: i32,
+    /// Relative deadline, if the arrival has one.
+    pub deadline: Option<Duration>,
+}
+
+impl AperiodicJob {
+    /// An arrival served in the background (caller picks a priority below
+    /// the periodic tasks).
+    pub fn new(arrival: Instant, demand: Duration, priority: i32) -> Self {
+        AperiodicJob { arrival, demand, priority, deadline: None }
+    }
+
+    /// Attach a relative deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+/// Lower `jobs` into single-release tasks added to `set`. Ids are
+/// assigned from `base_id` upward; `horizon` bounds the run (each
+/// pseudo-task's period stretches past it so only one release happens).
+///
+/// # Errors
+/// Propagates [`ModelError`] for id collisions or invalid parameters.
+pub fn attach(
+    set: &TaskSet,
+    jobs: &[AperiodicJob],
+    horizon: Instant,
+    base_id: u32,
+) -> Result<(TaskSet, Vec<TaskId>), ModelError> {
+    let mut out = set.clone();
+    let mut ids = Vec::with_capacity(jobs.len());
+    for (k, job) in jobs.iter().enumerate() {
+        let id = base_id + k as u32;
+        // One release only: the period reaches past the horizon.
+        let period = (horizon.since_epoch() - job.arrival.since_epoch())
+            .max(Duration::NANO)
+            + Duration::millis(1);
+        let deadline = job.deadline.unwrap_or(period);
+        let spec = TaskBuilder::new(id, job.priority, period, job.demand)
+            .name(format!("ap{k}"))
+            .deadline(deadline)
+            .offset(job.arrival.since_epoch())
+            .build();
+        out = out.with_added(spec)?;
+        ids.push(TaskId(id));
+    }
+    Ok((out, ids))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_plain;
+    use rtft_trace::TraceStats;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn t(v: i64) -> Instant {
+        Instant::from_millis(v)
+    }
+
+    fn periodic_set() -> TaskSet {
+        TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+        ])
+    }
+
+    #[test]
+    fn background_job_runs_in_idle_time() {
+        // An arrival at t = 10 at background priority (below everything):
+        // it waits for the level-1/2 busy interval [0, 58) to drain.
+        let job = AperiodicJob::new(t(10), ms(5), 1);
+        let (set, ids) = attach(&periodic_set(), &[job], t(400), 100).unwrap();
+        let log = run_plain(set.clone(), t(400));
+        let stats = TraceStats::from_log(&log, Some(&set));
+        let rec = stats.job(ids[0], 0).unwrap();
+        assert_eq!(rec.start, Some(t(58)), "starts when the CPU frees");
+        assert_eq!(rec.end, Some(t(63)));
+        // Exactly one release within the horizon.
+        assert_eq!(stats.jobs_of(ids[0]).len(), 1);
+    }
+
+    #[test]
+    fn high_priority_arrival_preempts() {
+        let job = AperiodicJob::new(t(10), ms(5), 30); // above every task
+        let (set, ids) = attach(&periodic_set(), &[job], t(400), 100).unwrap();
+        let log = run_plain(set.clone(), t(400));
+        let stats = TraceStats::from_log(&log, Some(&set));
+        let rec = stats.job(ids[0], 0).unwrap();
+        assert_eq!(rec.response(), Some(ms(5)), "immediate service");
+        // The periodic τ1 job got pushed by 5 ms.
+        assert_eq!(log.job_end(rtft_core::task::TaskId(1), 0), Some(t(34)));
+    }
+
+    #[test]
+    fn deadline_attaches_and_is_checked() {
+        let job = AperiodicJob::new(t(10), ms(5), 1).with_deadline(ms(20));
+        let (set, ids) = attach(&periodic_set(), &[job], t(400), 100).unwrap();
+        let log = run_plain(set, t(400));
+        // Background service finishes at 63 > 10 + 20: miss recorded.
+        assert_eq!(log.misses(ids[0]), vec![0]);
+    }
+
+    #[test]
+    fn multiple_arrivals_fifo_at_equal_priority() {
+        let jobs = [
+            AperiodicJob::new(t(5), ms(4), 1),
+            AperiodicJob::new(t(6), ms(4), 1),
+        ];
+        let (set, ids) = attach(&periodic_set(), &jobs, t(500), 100).unwrap();
+        let log = run_plain(set.clone(), t(500));
+        let stats = TraceStats::from_log(&log, Some(&set));
+        let a = stats.job(ids[0], 0).unwrap().end.unwrap();
+        let b = stats.job(ids[1], 0).unwrap().end.unwrap();
+        assert!(a < b, "FIFO service among equal-priority arrivals");
+        assert_eq!(a, t(62));
+        assert_eq!(b, t(66));
+    }
+
+    #[test]
+    fn id_collision_rejected() {
+        let job = AperiodicJob::new(t(0), ms(1), 1);
+        assert!(attach(&periodic_set(), &[job], t(100), 1).is_err());
+    }
+}

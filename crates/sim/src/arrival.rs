@@ -1,0 +1,145 @@
+//! Release-jitter arrival model.
+//!
+//! Strictly periodic releases are an idealization: real activations lag
+//! their nominal instants (interrupt latency, timer grids — the same
+//! phenomenon the paper measures on its detectors). This model delays
+//! each job's activation by a deterministic pseudo-random amount in
+//! `[0, J_i]` past its nominal release `O_i + k·T_i`.
+//!
+//! The analytical counterpart is `rtft-core::jitter`: observed responses
+//! *measured from the nominal release* stay below the jitter-aware WCRT,
+//! a property the workspace test-suite checks by running both.
+
+use rtft_core::task::TaskSet;
+use rtft_core::time::Duration;
+
+/// Per-task activation-jitter bounds with a deterministic sampler.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArrivalModel {
+    /// Max jitter per rank.
+    max: Vec<Duration>,
+    /// Seed feeding the per-job hash.
+    seed: u64,
+}
+
+impl ArrivalModel {
+    /// Strictly periodic arrivals (no jitter).
+    pub fn periodic(set: &TaskSet) -> Self {
+        ArrivalModel { max: vec![Duration::ZERO; set.len()], seed: 0 }
+    }
+
+    /// Uniform jitter bound on every task.
+    pub fn uniform(set: &TaskSet, max: Duration, seed: u64) -> Self {
+        assert!(!max.is_negative(), "jitter must be ≥ 0");
+        ArrivalModel { max: vec![max; set.len()], seed }
+    }
+
+    /// Explicit per-rank bounds.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or a negative bound.
+    pub fn per_task(set: &TaskSet, max: Vec<Duration>, seed: u64) -> Self {
+        assert_eq!(max.len(), set.len(), "one bound per task");
+        assert!(max.iter().all(|j| !j.is_negative()), "jitter must be ≥ 0");
+        ArrivalModel { max, seed }
+    }
+
+    /// Bound for a rank.
+    pub fn bound(&self, rank: usize) -> Duration {
+        self.max[rank]
+    }
+
+    /// `true` iff every bound is zero.
+    pub fn is_periodic(&self) -> bool {
+        self.max.iter().all(|j| j.is_zero())
+    }
+
+    /// Deterministic jitter of job `job` of `rank`: a hash of
+    /// `(seed, rank, job)` reduced into `[0, max]` (inclusive bounds).
+    pub fn jitter(&self, rank: usize, job: u64) -> Duration {
+        let max = self.max[rank].as_nanos();
+        if max == 0 {
+            return Duration::ZERO;
+        }
+        // SplitMix64 over the tuple: high-quality, dependency-free.
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((rank as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(job.wrapping_mul(0x94d0_49bb_1331_11eb));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        Duration::nanos((x % (max as u64 + 1)) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::task::TaskBuilder;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn set() -> TaskSet {
+        TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 9, ms(10), ms(1)).build(),
+            TaskBuilder::new(2, 3, ms(20), ms(2)).build(),
+        ])
+    }
+
+    #[test]
+    fn periodic_model_is_zero() {
+        let m = ArrivalModel::periodic(&set());
+        assert!(m.is_periodic());
+        for job in 0..100 {
+            assert_eq!(m.jitter(0, job), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn jitter_within_bound_and_deterministic() {
+        let m = ArrivalModel::uniform(&set(), ms(5), 42);
+        for rank in 0..2 {
+            for job in 0..200 {
+                let j = m.jitter(rank, job);
+                assert!(!j.is_negative() && j <= ms(5), "{j}");
+                assert_eq!(j, m.jitter(rank, job), "determinism");
+            }
+        }
+        let other = ArrivalModel::uniform(&set(), ms(5), 43);
+        let differs = (0..50).any(|job| m.jitter(0, job) != other.jitter(0, job));
+        assert!(differs, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn jitter_covers_the_range() {
+        let m = ArrivalModel::uniform(&set(), ms(4), 7);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for job in 0..2000 {
+            let j = m.jitter(0, job);
+            seen_low |= j < ms(1);
+            seen_high |= j > ms(3);
+        }
+        assert!(seen_low && seen_high, "distribution should span the range");
+    }
+
+    #[test]
+    fn per_task_bounds() {
+        let m = ArrivalModel::per_task(&set(), vec![ms(0), ms(3)], 1);
+        assert_eq!(m.jitter(0, 5), Duration::ZERO);
+        assert!(m.jitter(1, 5) <= ms(3));
+        assert_eq!(m.bound(1), ms(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "one bound per task")]
+    fn wrong_length_rejected() {
+        let _ = ArrivalModel::per_task(&set(), vec![ms(1)], 0);
+    }
+}

@@ -1,0 +1,964 @@
+//! The discrete-event engine: a single-CPU fixed-priority preemptive
+//! scheduler over virtual time.
+//!
+//! This is the substrate substituting for the paper's execution platform
+//! (jRate VM on a TimeSys RT-Linux kernel): it executes a [`TaskSet`] with
+//! exact nanosecond bookkeeping, injecting faults from a [`FaultPlan`],
+//! honouring the jRate timer-quantization model and the polled-stop model,
+//! and emitting the same observable record the paper's instrumentation
+//! produced — a [`TraceLog`] of releases, starts, ends, preemptions,
+//! detector fires, misses and stops.
+//!
+//! Scheduling rules:
+//! * highest priority ready task runs; ties broken by task id (stable,
+//!   deterministic);
+//! * preemption only by *strictly* higher priority (FIFO among equals);
+//! * within a task, jobs run FIFO (required for `D > T`).
+
+use crate::event::{EventQueue, SimEventKind};
+use crate::arrival::ArrivalModel;
+use crate::fault::FaultPlan;
+use crate::overhead::Overheads;
+use crate::process::{JobOutcome, TaskProcess};
+use crate::stop::{StopMode, StopModel};
+use crate::supervisor::{Command, Occurrence, Supervisor};
+use crate::timer::{TimerModel, TimerSpec};
+use rtft_core::task::TaskSet;
+use rtft_core::time::{Duration, Instant};
+use rtft_trace::{EventKind, TraceLog};
+use std::collections::VecDeque;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Simulation horizon (events past it are not processed).
+    pub horizon: Instant,
+    /// Timer release-grid model (jRate quantization or exact).
+    pub timer_model: TimerModel,
+    /// Stop-flag poll model.
+    pub stop_model: StopModel,
+    /// Scheduling-overhead charges (context switches, detector firings).
+    pub overheads: Overheads,
+}
+
+impl SimConfig {
+    /// Exact timers, immediate stops, the given horizon.
+    pub fn until(horizon: Instant) -> Self {
+        SimConfig {
+            horizon,
+            timer_model: TimerModel::EXACT,
+            stop_model: StopModel::IMMEDIATE,
+            overheads: Overheads::NONE,
+        }
+    }
+
+    /// Use the jRate 10 ms timer grid.
+    pub fn with_jrate_timers(mut self) -> Self {
+        self.timer_model = TimerModel::jrate();
+        self
+    }
+
+    /// Use a custom timer model.
+    pub fn with_timer_model(mut self, m: TimerModel) -> Self {
+        self.timer_model = m;
+        self
+    }
+
+    /// Use a custom stop model.
+    pub fn with_stop_model(mut self, m: StopModel) -> Self {
+        self.stop_model = m;
+        self
+    }
+
+    /// Charge scheduling overheads (context switches, detector firings).
+    pub fn with_overheads(mut self, o: Overheads) -> Self {
+        self.overheads = o;
+        self
+    }
+}
+
+/// Read-only scheduler state exposed to supervisors.
+#[derive(Debug)]
+pub struct SimState {
+    set: TaskSet,
+    now: Instant,
+    procs: Vec<TaskProcess>,
+    running: Option<usize>,
+    dispatched_at: Instant,
+}
+
+impl SimState {
+    /// Current virtual time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// The task set under execution (priority-rank order).
+    pub fn task_set(&self) -> &TaskSet {
+        &self.set
+    }
+
+    /// Outcome of a job.
+    pub fn outcome(&self, rank: usize, job: u64) -> JobOutcome {
+        self.procs[rank].outcome(job)
+    }
+
+    /// `true` iff the job ran to completion.
+    pub fn is_finished(&self, rank: usize, job: u64) -> bool {
+        self.procs[rank].is_finished(job)
+    }
+
+    /// Jobs released so far for a task.
+    pub fn released(&self, rank: usize) -> u64 {
+        self.procs[rank].released()
+    }
+
+    /// `true` iff the task was permanently stopped.
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.procs[rank].is_dead()
+    }
+
+    /// Rank currently holding the CPU.
+    pub fn running(&self) -> Option<usize> {
+        self.running
+    }
+
+    /// Head job of a task and the CPU it has consumed **including** the
+    /// current dispatch interval.
+    pub fn front_job(&self, rank: usize) -> Option<(u64, Duration)> {
+        self.procs[rank].front().map(|job| {
+            let mut consumed = job.consumed;
+            if self.running == Some(rank) {
+                consumed += self.now - self.dispatched_at;
+            }
+            (job.index, consumed)
+        })
+    }
+}
+
+/// The simulator.
+pub struct Simulator {
+    state: SimState,
+    queue: EventQueue,
+    trace: TraceLog,
+    timers: Vec<TimerSpec>,
+    timer_fires: Vec<u64>,
+    fault_plan: FaultPlan,
+    arrivals: Option<ArrivalModel>,
+    config: SimConfig,
+    dispatch_gen: u64,
+    cpu_ever_busy: bool,
+    idle_since: Option<Instant>,
+    finished: bool,
+}
+
+impl Simulator {
+    /// Build a simulator for `set` under `config`.
+    pub fn new(set: TaskSet, config: SimConfig) -> Self {
+        let n = set.len();
+        Simulator {
+            state: SimState {
+                set,
+                now: Instant::EPOCH,
+                procs: (0..n).map(|_| TaskProcess::new()).collect(),
+                running: None,
+                dispatched_at: Instant::EPOCH,
+            },
+            queue: EventQueue::new(),
+            trace: TraceLog::new(),
+            timers: Vec::new(),
+            timer_fires: Vec::new(),
+            fault_plan: FaultPlan::none(),
+            arrivals: None,
+            config,
+            dispatch_gen: 0,
+            cpu_ever_busy: false,
+            idle_since: None,
+            finished: false,
+        }
+    }
+
+    /// Install a fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Install a release-jitter arrival model. Every bound must stay
+    /// below the task's period (activations never reorder within a task).
+    ///
+    /// # Panics
+    /// Panics if any jitter bound reaches the task's period.
+    pub fn with_arrivals(mut self, arrivals: ArrivalModel) -> Self {
+        for rank in 0..self.state.set.len() {
+            assert!(
+                arrivals.bound(rank) < self.state.set.by_rank(rank).period,
+                "jitter bound must stay below the period"
+            );
+        }
+        self.arrivals = Some(arrivals);
+        self
+    }
+
+    /// Register a periodic timer. `first` is relative to the epoch and is
+    /// quantized by the configured [`TimerModel`] (the jRate artifact);
+    /// `period` steps exactly. Returns the timer id.
+    pub fn add_periodic_timer(&mut self, first: Duration, period: Duration, tag: u64) -> usize {
+        assert!(period.is_positive(), "timer period must be positive");
+        let first = Instant::EPOCH + self.config.timer_model.first_release(first);
+        let id = self.timers.len();
+        self.timers.push(TimerSpec { first, period: Some(period), tag });
+        self.timer_fires.push(0);
+        id
+    }
+
+    /// Register a one-shot timer (same quantization rule).
+    pub fn add_one_shot_timer(&mut self, at: Duration, tag: u64) -> usize {
+        let first = Instant::EPOCH + self.config.timer_model.first_release(at);
+        let id = self.timers.len();
+        self.timers.push(TimerSpec { first, period: None, tag });
+        self.timer_fires.push(0);
+        id
+    }
+
+    /// Read-only state (exposed for tests and harnesses).
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Consume the simulator, returning the trace.
+    pub fn into_trace(self) -> TraceLog {
+        self.trace
+    }
+
+    /// Run to the horizon under `supervisor`. May be called once.
+    ///
+    /// # Panics
+    /// Panics on a second call.
+    pub fn run(&mut self, supervisor: &mut dyn Supervisor) -> &TraceLog {
+        assert!(!self.finished, "run() called twice");
+        // Initial releases and timer arms.
+        for rank in 0..self.state.set.len() {
+            let offset = self.state.set.by_rank(rank).offset;
+            let jitter = self
+                .arrivals
+                .as_ref()
+                .map_or(Duration::ZERO, |a| a.jitter(rank, 0));
+            self.queue
+                .push(Instant::EPOCH + offset + jitter, SimEventKind::Release { rank });
+        }
+        for (id, t) in self.timers.iter().enumerate() {
+            self.queue.push(t.first, SimEventKind::Timer { id });
+        }
+
+        let mut occurrences: VecDeque<Occurrence> = VecDeque::new();
+        while let Some(ev) = self.queue.pop() {
+            if ev.at > self.config.horizon {
+                break;
+            }
+            self.state.now = ev.at;
+            self.handle_event(ev.kind, &mut occurrences);
+            self.drain_occurrences(&mut occurrences, supervisor);
+            self.reschedule_cpu();
+        }
+        self.state.now = self.config.horizon;
+        self.trace.push(self.config.horizon, EventKind::SimEnd);
+        self.finished = true;
+        &self.trace
+    }
+
+    fn task_id(&self, rank: usize) -> rtft_core::task::TaskId {
+        self.state.set.by_rank(rank).id
+    }
+
+    fn handle_event(&mut self, kind: SimEventKind, out: &mut VecDeque<Occurrence>) {
+        match kind {
+            SimEventKind::Release { rank } => self.handle_release(rank, out),
+            SimEventKind::Completion { rank, gen } => self.handle_completion(rank, gen, out),
+            SimEventKind::DeadlineCheck { rank, job } => self.handle_deadline(rank, job, out),
+            SimEventKind::Timer { id } => {
+                // A firing preempts the running job for the handler's
+                // duration (paper §6.2: "that of a pre-emption").
+                self.charge_running(self.config.overheads.detector_fire);
+                let count = self.timer_fires[id];
+                self.timer_fires[id] += 1;
+                let spec = self.timers[id];
+                if let Some(next) = spec.fire_at(count + 1) {
+                    self.queue.push(next, SimEventKind::Timer { id });
+                }
+                out.push_back(Occurrence::TimerFired { id, tag: spec.tag, count });
+            }
+            SimEventKind::OneShot { tag } => {
+                out.push_back(Occurrence::OneShotFired { tag });
+            }
+        }
+    }
+
+    fn handle_release(&mut self, rank: usize, out: &mut VecDeque<Occurrence>) {
+        if self.state.procs[rank].is_dead() {
+            return; // a stopped thread makes no further releases
+        }
+        let now = self.state.now;
+        let spec = self.state.set.by_rank(rank).clone();
+        let job = self.state.procs[rank].released();
+        let demand = self.fault_plan.demand(&self.state.set, spec.id, job);
+        self.state.procs[rank].release(now, demand);
+        self.trace.push(now, EventKind::JobRelease { task: spec.id, job });
+        self.queue
+            .push(now + spec.deadline, SimEventKind::DeadlineCheck { rank, job });
+        // The next release steps from the NOMINAL grid, not from the
+        // (possibly jittered) activation — jitter never accumulates.
+        let nominal_next = Instant::EPOCH + spec.offset + spec.period * (job as i64 + 1);
+        let jitter = self
+            .arrivals
+            .as_ref()
+            .map_or(Duration::ZERO, |a| a.jitter(rank, job + 1));
+        self.queue
+            .push(nominal_next + jitter, SimEventKind::Release { rank });
+        out.push_back(Occurrence::JobReleased { rank, job });
+    }
+
+    fn handle_completion(&mut self, rank: usize, gen: u64, out: &mut VecDeque<Occurrence>) {
+        // Stale completions (preempted or re-dispatched since) are ignored.
+        if self.state.running != Some(rank) || gen != self.dispatch_gen {
+            return;
+        }
+        let now = self.state.now;
+        let task = self.task_id(rank);
+        let elapsed = now - self.state.dispatched_at;
+        self.state.procs[rank].account(elapsed);
+        let doomed = self.state.procs[rank].front().is_some_and(|j| j.doomed);
+        let outcome = if doomed { JobOutcome::Abandoned } else { JobOutcome::Finished };
+        let job = self.state.procs[rank].retire_front(outcome);
+        self.state.running = None;
+        if doomed {
+            self.trace.push(now, EventKind::TaskStopped { task, job: job.index });
+            out.push_back(Occurrence::JobAbandoned { rank, job: job.index });
+        } else {
+            self.trace.push(now, EventKind::JobEnd { task, job: job.index });
+            out.push_back(Occurrence::JobFinished { rank, job: job.index });
+        }
+    }
+
+    fn handle_deadline(&mut self, rank: usize, job: u64, out: &mut VecDeque<Occurrence>) {
+        if self.state.procs[rank].is_finished(job) {
+            return;
+        }
+        let task = self.task_id(rank);
+        self.trace.push(self.state.now, EventKind::DeadlineMiss { task, job });
+        out.push_back(Occurrence::DeadlineMissed { rank, job });
+    }
+
+    fn drain_occurrences(
+        &mut self,
+        occurrences: &mut VecDeque<Occurrence>,
+        supervisor: &mut dyn Supervisor,
+    ) {
+        while let Some(occ) = occurrences.pop_front() {
+            let commands = supervisor.on_occurrence(&self.state, occ);
+            for cmd in commands {
+                self.apply_command(cmd, occurrences);
+            }
+        }
+    }
+
+    fn apply_command(&mut self, cmd: Command, out: &mut VecDeque<Occurrence>) {
+        match cmd {
+            Command::Trace(kind) => self.trace.push(self.state.now, kind),
+            Command::ScheduleOneShot { at, tag } => {
+                let at = at.max(self.state.now);
+                self.queue.push(at, SimEventKind::OneShot { tag });
+            }
+            Command::Stop { rank, mode } => self.stop_task(rank, mode, out),
+        }
+    }
+
+    fn stop_task(&mut self, rank: usize, mode: StopMode, out: &mut VecDeque<Occurrence>) {
+        let now = self.state.now;
+        let task = self.task_id(rank);
+        let was_running = self.state.running == Some(rank);
+        if self.state.procs[rank].front().is_some() {
+            // CPU consumed by the head job, including the live interval.
+            let live = if was_running {
+                now - self.state.dispatched_at
+            } else {
+                Duration::ZERO
+            };
+            if was_running && live.is_positive() {
+                self.state.procs[rank].account(live);
+                self.state.dispatched_at = now;
+            }
+            let job = *self.state.procs[rank].front().expect("checked above");
+            let extra = self.config.stop_model.extra_runtime(job.consumed);
+            if extra >= job.remaining && mode == StopMode::JobOnly {
+                // The job finishes naturally before the next poll point;
+                // nothing to doom.
+            } else if extra.is_zero() {
+                let retired = self.state.procs[rank].retire_front(JobOutcome::Abandoned);
+                if was_running {
+                    self.state.running = None;
+                }
+                self.trace
+                    .push(now, EventKind::TaskStopped { task, job: retired.index });
+                out.push_back(Occurrence::JobAbandoned { rank, job: retired.index });
+            } else {
+                // Doom the job: it runs `extra` more CPU, then is abandoned
+                // (by the completion handler) — the polled stop flag.
+                let front = self.state.procs[rank].front_mut().expect("checked above");
+                front.doomed = true;
+                if extra < front.remaining {
+                    front.remaining = extra;
+                }
+                if was_running {
+                    // Re-dispatch with the shortened remaining time.
+                    self.dispatch_gen += 1;
+                    let remaining = front.remaining;
+                    self.queue.push(
+                        now + remaining,
+                        SimEventKind::Completion { rank, gen: self.dispatch_gen },
+                    );
+                }
+            }
+        }
+        if mode == StopMode::Permanent {
+            self.state.procs[rank].kill();
+        }
+    }
+
+    /// Charge `amount` of extra CPU to the currently running job and
+    /// re-arm its completion. No-op when idle or the charge is zero.
+    fn charge_running(&mut self, amount: Duration) {
+        if amount.is_zero() {
+            return;
+        }
+        let Some(rank) = self.state.running else { return };
+        let now = self.state.now;
+        let elapsed = now - self.state.dispatched_at;
+        if elapsed.is_positive() {
+            self.state.procs[rank].account(elapsed);
+            self.state.dispatched_at = now;
+        }
+        let job = self.state.procs[rank].front_mut().expect("running job present");
+        job.remaining += amount;
+        job.demand += amount;
+        let remaining = job.remaining;
+        self.dispatch_gen += 1;
+        self.queue.push(
+            now + remaining,
+            SimEventKind::Completion { rank, gen: self.dispatch_gen },
+        );
+    }
+
+    fn reschedule_cpu(&mut self) {
+        // Ranks are priority-sorted: the first ready rank is the winner
+        // among distinct priorities; equal priorities run FIFO (no
+        // preemption among peers).
+        let best = (0..self.state.procs.len()).find(|&r| self.state.procs[r].is_ready());
+        match (self.state.running, best) {
+            (_, None) => {
+                if self.state.running.is_none() {
+                    self.note_idle();
+                }
+            }
+            (None, Some(b)) => self.dispatch(b),
+            (Some(r), Some(b)) => {
+                if b != r
+                    && self.state.set.by_rank(b).priority > self.state.set.by_rank(r).priority
+                {
+                    self.preempt(r, b);
+                    self.dispatch(b);
+                }
+            }
+        }
+    }
+
+    fn note_idle(&mut self) {
+        if self.cpu_ever_busy && self.idle_since.is_none() {
+            self.idle_since = Some(self.state.now);
+            self.trace.push(self.state.now, EventKind::CpuIdle);
+        }
+    }
+
+    fn dispatch(&mut self, rank: usize) {
+        let now = self.state.now;
+        let task = self.task_id(rank);
+        self.cpu_ever_busy = true;
+        self.idle_since = None;
+        self.state.running = Some(rank);
+        self.state.dispatched_at = now;
+        self.dispatch_gen += 1;
+        let ctx = self.config.overheads.dispatch;
+        let job = self.state.procs[rank].front_mut().expect("dispatch on empty queue");
+        if ctx.is_positive() {
+            job.remaining += ctx;
+            job.demand += ctx;
+        }
+        let (index, remaining, started) = (job.index, job.remaining, job.started);
+        job.started = true;
+        if started {
+            self.trace.push(now, EventKind::Resumed { task, job: index });
+        } else {
+            self.trace.push(now, EventKind::JobStart { task, job: index });
+        }
+        self.queue.push(
+            now + remaining,
+            SimEventKind::Completion { rank, gen: self.dispatch_gen },
+        );
+    }
+
+    fn preempt(&mut self, rank: usize, by: usize) {
+        let now = self.state.now;
+        let task = self.task_id(rank);
+        let by_id = self.task_id(by);
+        let elapsed = now - self.state.dispatched_at;
+        if elapsed.is_positive() {
+            self.state.procs[rank].account(elapsed);
+        }
+        let job = self.state.procs[rank].front().expect("preempt on empty queue").index;
+        self.trace.push(now, EventKind::Preempted { task, job, by: by_id });
+        self.state.running = None;
+    }
+}
+
+/// Convenience: run `set` fault-free with no supervision until `horizon`.
+pub fn run_plain(set: TaskSet, horizon: Instant) -> TraceLog {
+    let mut sim = Simulator::new(set, SimConfig::until(horizon));
+    let mut sup = crate::supervisor::NullSupervisor;
+    sim.run(&mut sup);
+    sim.into_trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::NullSupervisor;
+    use rtft_core::task::{TaskBuilder, TaskId};
+    use rtft_trace::TraceStats;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn t(v: i64) -> Instant {
+        Instant::from_millis(v)
+    }
+
+    fn table2() -> TaskSet {
+        TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+        ])
+    }
+
+    #[test]
+    fn fault_free_table2_matches_analysis() {
+        let set = table2();
+        let log = run_plain(set.clone(), t(3000));
+        let stats = TraceStats::from_log(&log, Some(&set));
+        // Synchronous release: first responses equal the analytic WCRTs.
+        assert_eq!(
+            stats.job(TaskId(1), 0).unwrap().response(),
+            Some(ms(29))
+        );
+        assert_eq!(
+            stats.job(TaskId(2), 0).unwrap().response(),
+            Some(ms(58))
+        );
+        assert_eq!(
+            stats.job(TaskId(3), 0).unwrap().response(),
+            Some(ms(87))
+        );
+        // Observed worst responses never exceed the analytic WCRTs.
+        assert!(stats.observed_wcrt(TaskId(1)).unwrap() <= ms(29));
+        assert!(stats.observed_wcrt(TaskId(2)).unwrap() <= ms(58));
+        assert!(stats.observed_wcrt(TaskId(3)).unwrap() <= ms(87));
+        assert!(!log.any_miss());
+    }
+
+    #[test]
+    fn preemption_recorded() {
+        // τ2 long job preempted by τ1.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 9, ms(10), ms(2)).offset(ms(3)).build(),
+            TaskBuilder::new(2, 3, ms(50), ms(10)).build(),
+        ]);
+        let log = run_plain(set.clone(), t(50));
+        // τ2 runs [0,3), preempted at 3, τ1 runs [3,5), τ2 resumes [5,12).
+        let pre = log
+            .find(|e| matches!(e.kind, EventKind::Preempted { task: TaskId(2), by: TaskId(1), .. }))
+            .expect("preemption");
+        assert_eq!(pre.at, t(3));
+        let res = log
+            .find(|e| matches!(e.kind, EventKind::Resumed { task: TaskId(2), .. }))
+            .expect("resume");
+        assert_eq!(res.at, t(5));
+        assert_eq!(log.job_end(TaskId(2), 0), Some(t(12)));
+    }
+
+    #[test]
+    fn equal_priority_no_preemption() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 5, ms(100), ms(10)).build(),
+            TaskBuilder::new(2, 5, ms(100), ms(10)).offset(ms(5)).build(),
+        ]);
+        let log = run_plain(set, t(100));
+        assert_eq!(
+            log.count(|e| matches!(e.kind, EventKind::Preempted { .. })),
+            0,
+            "equal priorities must run FIFO"
+        );
+        assert_eq!(log.job_end(TaskId(1), 0), Some(t(10)));
+        assert_eq!(log.job_end(TaskId(2), 0), Some(t(20)));
+    }
+
+    #[test]
+    fn arbitrary_deadline_multi_job_responses() {
+        // The paper's Table 1 system: τ2 job responses 5, 6, 4 ms.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(6), ms(3)).deadline(ms(6)).build(),
+            TaskBuilder::new(2, 15, ms(4), ms(2)).deadline(ms(2)).build(),
+        ]);
+        let log = run_plain(set.clone(), t(12));
+        let stats = TraceStats::from_log(&log, Some(&set));
+        let responses: Vec<i64> = stats
+            .jobs_of(TaskId(2))
+            .iter()
+            .filter_map(|j| j.response())
+            .map(|d| d.as_millis())
+            .collect();
+        assert_eq!(responses, vec![5, 6, 4]);
+        // τ2's 2 ms deadline is blown by every one of those jobs.
+        assert_eq!(log.misses(TaskId(2)).len(), 3);
+        assert!(log.misses(TaskId(1)).is_empty());
+    }
+
+    #[test]
+    fn fault_injection_shifts_completions() {
+        // The Figure 3 scenario: τ3 offset 1000 ms, +40 ms on τ1's job 5.
+        let specs = table2();
+        let mut tau3 = specs.by_id(TaskId(3)).unwrap().clone();
+        tau3.offset = ms(1000);
+        let set = specs.with_replaced(tau3);
+        let plan = FaultPlan::none().overrun(TaskId(1), 5, ms(40));
+        let mut sim = Simulator::new(set.clone(), SimConfig::until(t(1500))).with_faults(plan);
+        let mut sup = NullSupervisor;
+        sim.run(&mut sup);
+        let log = sim.into_trace();
+        // τ1's job 5 (released at 1000) runs 69 ms → ends 1069 ≤ 1070. OK.
+        assert_eq!(log.job_end(TaskId(1), 5), Some(t(1069)));
+        // τ2's job 4 (released at 1000) ends at 1098 ≤ 1120. OK.
+        assert_eq!(log.job_end(TaskId(2), 4), Some(t(1098)));
+        // τ3's job 0 (released at 1000) ends at 1127 > 1120: misses.
+        assert_eq!(log.job_end(TaskId(3), 0), Some(t(1127)));
+        assert_eq!(log.misses(TaskId(3)), vec![0]);
+        assert!(log.misses(TaskId(1)).is_empty());
+        assert!(log.misses(TaskId(2)).is_empty());
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_trace() {
+        let run = || {
+            let plan = FaultPlan::none().overrun(TaskId(1), 2, ms(17));
+            let mut sim = Simulator::new(table2(), SimConfig::until(t(3000))).with_faults(plan);
+            let mut sup = NullSupervisor;
+            sim.run(&mut sup);
+            sim.into_trace().content_hash()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn timer_quantization_applies_to_first_release() {
+        let mut sim = Simulator::new(
+            table2(),
+            SimConfig::until(t(500)).with_jrate_timers(),
+        );
+        let id = sim.add_periodic_timer(ms(29), ms(200), 42);
+        assert_eq!(sim.timers[id].first, t(30), "29 ms quantized to 30 ms");
+        assert_eq!(sim.timers[id].fire_at(1), Some(t(230)), "period exact");
+    }
+
+    /// A supervisor that stops a task when a one-shot fires.
+    struct StopAt {
+        rank: usize,
+        at: Instant,
+        armed: bool,
+        mode: StopMode,
+    }
+
+    impl Supervisor for StopAt {
+        fn on_occurrence(&mut self, _state: &SimState, occ: Occurrence) -> Vec<Command> {
+            match occ {
+                Occurrence::JobReleased { .. } if !self.armed => {
+                    self.armed = true;
+                    vec![Command::ScheduleOneShot { at: self.at, tag: 1 }]
+                }
+                Occurrence::OneShotFired { tag: 1 } => {
+                    vec![Command::Stop { rank: self.rank, mode: self.mode }]
+                }
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn stop_running_task_immediately() {
+        // τ1 alone, cost 29 ms; stop it at t = 10.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+        ]);
+        let mut sim = Simulator::new(set, SimConfig::until(t(400)));
+        let mut sup = StopAt { rank: 0, at: t(10), armed: false, mode: StopMode::Permanent };
+        sim.run(&mut sup);
+        let log = sim.trace();
+        let stops = log.stops();
+        assert_eq!(stops, vec![(TaskId(1), 0, t(10))]);
+        // Permanent: no release at t = 200.
+        assert!(log.job_release(TaskId(1), 1).is_none());
+        // The unfinished job misses its deadline at t = 70.
+        assert_eq!(log.misses(TaskId(1)), vec![0]);
+    }
+
+    #[test]
+    fn stop_job_only_allows_future_releases() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+        ]);
+        let mut sim = Simulator::new(set, SimConfig::until(t(400)));
+        let mut sup = StopAt { rank: 0, at: t(10), armed: false, mode: StopMode::JobOnly };
+        sim.run(&mut sup);
+        let log = sim.trace();
+        assert_eq!(log.stops().len(), 1);
+        assert_eq!(log.job_release(TaskId(1), 1), Some(t(200)));
+        assert_eq!(log.job_end(TaskId(1), 1), Some(t(229)));
+    }
+
+    #[test]
+    fn polled_stop_runs_to_boundary() {
+        // Poll every 4 ms of consumed CPU: a stop at consumed = 10 ms bites
+        // at 12 ms.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+        ]);
+        let cfg = SimConfig::until(t(400)).with_stop_model(StopModel::polled(ms(4)));
+        let mut sim = Simulator::new(set, cfg);
+        let mut sup = StopAt { rank: 0, at: t(10), armed: false, mode: StopMode::Permanent };
+        sim.run(&mut sup);
+        let log = sim.trace();
+        assert_eq!(log.stops(), vec![(TaskId(1), 0, t(12))]);
+    }
+
+    #[test]
+    fn stop_idle_task_with_no_job_is_noop_then_dead() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(20)).deadline(ms(70)).build(),
+        ]);
+        let mut sim = Simulator::new(set, SimConfig::until(t(400)));
+        // Stop after the job completed (t = 30 > end at 20).
+        let mut sup = StopAt { rank: 0, at: t(30), armed: false, mode: StopMode::Permanent };
+        sim.run(&mut sup);
+        let log = sim.trace();
+        assert!(log.stops().is_empty(), "no job to abandon");
+        assert!(log.job_release(TaskId(1), 1).is_none(), "but the thread is dead");
+        assert!(log.misses(TaskId(1)).is_empty());
+    }
+
+    #[test]
+    fn idle_event_emitted_once_per_gap() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(100), ms(10)).build(),
+        ]);
+        let log = run_plain(set, t(250));
+        let idles: Vec<Instant> = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CpuIdle))
+            .map(|e| e.at)
+            .collect();
+        assert_eq!(idles, vec![t(10), t(110), t(210)]);
+    }
+
+    #[test]
+    fn sim_end_at_horizon() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(100), ms(10)).build(),
+        ]);
+        let log = run_plain(set, t(123));
+        assert_eq!(log.end(), Some(t(123)));
+        assert!(matches!(log.events().last().unwrap().kind, EventKind::SimEnd));
+    }
+
+    #[test]
+    fn offsets_delay_first_release() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(100), ms(10)).offset(ms(42)).build(),
+        ]);
+        let log = run_plain(set, t(200));
+        assert_eq!(log.job_release(TaskId(1), 0), Some(t(42)));
+        assert_eq!(log.job_end(TaskId(1), 0), Some(t(52)));
+        assert_eq!(log.job_release(TaskId(1), 1), Some(t(142)));
+    }
+
+    #[test]
+    fn dispatch_overhead_charges_context_switches() {
+        // τ2 preempted once by τ1: it pays the dispatch charge twice
+        // (start + resume), τ1 once.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 9, ms(10), ms(2)).offset(ms(3)).build(),
+            TaskBuilder::new(2, 3, ms(50), ms(10)).build(),
+        ]);
+        let cfg = SimConfig::until(t(50))
+            .with_overheads(crate::overhead::Overheads::dispatch_cost(ms(1)));
+        let mut sim = Simulator::new(set, cfg);
+        let mut sup = NullSupervisor;
+        sim.run(&mut sup);
+        let log = sim.trace();
+        // τ2 runs [0,3) (charged 1 at start); τ1's jobs at 3 and 13 each
+        // cost 2+1 = 3; τ2 resumes at 6 and 16, charged 1 each time:
+        // τ2's total demand = 10 + 3 charges = 13, plus 6 of interference
+        // → ends at t = 19. τ1's first job ends at 3 + 3 = 6.
+        assert_eq!(log.job_end(TaskId(1), 0), Some(t(6)));
+        assert_eq!(log.job_end(TaskId(2), 0), Some(t(19)));
+    }
+
+    #[test]
+    fn detector_fire_charges_running_job() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+        ]);
+        let cfg = SimConfig::until(t(100)).with_overheads(
+            crate::overhead::Overheads::NONE.with_detector_fire(ms(2)),
+        );
+        let mut sim = Simulator::new(set, cfg);
+        // A timer firing at t = 10 while τ1 runs: the job pays 2 ms.
+        sim.add_one_shot_timer(ms(10), 7);
+        let mut sup = NullSupervisor;
+        sim.run(&mut sup);
+        assert_eq!(sim.trace().job_end(TaskId(1), 0), Some(t(31)));
+    }
+
+    #[test]
+    fn idle_timer_fire_is_free() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+        ]);
+        let cfg = SimConfig::until(t(100)).with_overheads(
+            crate::overhead::Overheads::NONE.with_detector_fire(ms(2)),
+        );
+        let mut sim = Simulator::new(set, cfg);
+        sim.add_one_shot_timer(ms(50), 7); // fires while idle
+        let mut sup = NullSupervisor;
+        sim.run(&mut sup);
+        assert_eq!(sim.trace().job_end(TaskId(1), 0), Some(t(29)));
+    }
+
+    #[test]
+    fn polled_stop_on_preempted_task_bites_on_resume() {
+        // τ2 is preempted by τ1 when the stop request arrives; with a
+        // 4 ms poll the doomed job still runs to its next poll boundary
+        // after resuming.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 9, ms(50), ms(10)).offset(ms(5)).build(),
+            TaskBuilder::new(2, 3, ms(100), ms(30)).build(),
+        ]);
+        let cfg = SimConfig::until(t(200)).with_stop_model(StopModel::polled(ms(4)));
+        // Stop τ2 at t = 8, while τ1 runs [5, 15): τ2 consumed 5 ms →
+        // boundary at 8 ms consumed → 3 ms extra after resuming at 15.
+        let mut sup = StopAt { rank: 1, at: t(8), armed: false, mode: StopMode::Permanent };
+        let mut sim = Simulator::new(set, cfg);
+        sim.run(&mut sup);
+        let log = sim.trace();
+        assert_eq!(log.stops(), vec![(TaskId(2), 0, t(18))]);
+        // τ1 is untouched.
+        assert_eq!(log.job_end(TaskId(1), 0), Some(t(15)));
+    }
+
+    #[test]
+    fn stop_with_extra_beyond_remaining_lets_job_finish() {
+        // Poll-boundary extra ≥ remaining work: the job completes normally
+        // (JobOnly mode) — the stop flag is never observed.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(10)).build(),
+        ]);
+        let cfg = SimConfig::until(t(100)).with_stop_model(StopModel::polled(ms(50)));
+        // Stop at t = 2 (consumed 2): boundary at 50 > 10 total demand.
+        let mut sup = StopAt { rank: 0, at: t(2), armed: false, mode: StopMode::JobOnly };
+        let mut sim = Simulator::new(set, cfg);
+        sim.run(&mut sup);
+        let log = sim.trace();
+        assert!(log.stops().is_empty());
+        assert_eq!(log.job_end(TaskId(1), 0), Some(t(10)));
+    }
+
+    #[test]
+    fn arrival_jitter_delays_activations_but_not_nominal_grid() {
+        use crate::arrival::ArrivalModel;
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(100), ms(5)).build(),
+        ]);
+        let arrivals = ArrivalModel::uniform(&set, ms(9), 3);
+        let mut sim = Simulator::new(set.clone(), SimConfig::until(t(1000)))
+            .with_arrivals(arrivals.clone());
+        let mut sup = NullSupervisor;
+        sim.run(&mut sup);
+        let log = sim.trace();
+        for job in 0..9u64 {
+            let nominal = t(100 * job as i64);
+            let actual = log.job_release(TaskId(1), job).unwrap();
+            let lag = actual - nominal;
+            assert!(!lag.is_negative() && lag <= ms(9), "job {job} lag {lag}");
+            assert_eq!(lag, arrivals.jitter(0, job), "deterministic jitter");
+        }
+    }
+
+    #[test]
+    fn deep_queue_fifo_under_stress() {
+        // D > T with a task that can never keep up for a while: jobs queue
+        // and retire strictly in order.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 9, ms(7), ms(2)).build(),
+            TaskBuilder::new(2, 3, ms(10), ms(7)).deadline(ms(30)).build(),
+        ]);
+        let log = run_plain(set.clone(), t(300));
+        let mut last_end: Option<(u64, Instant)> = None;
+        for e in log.events() {
+            if let EventKind::JobEnd { task: TaskId(2), job } = e.kind {
+                if let Some((prev_job, prev_at)) = last_end {
+                    assert!(job == prev_job + 1, "FIFO order violated");
+                    assert!(e.at >= prev_at);
+                }
+                last_end = Some((job, e.at));
+            }
+        }
+        assert!(last_end.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter bound must stay below the period")]
+    fn oversized_jitter_rejected() {
+        use crate::arrival::ArrivalModel;
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(10), ms(1)).build(),
+        ]);
+        let _ = Simulator::new(set.clone(), SimConfig::until(t(100)))
+            .with_arrivals(ArrivalModel::uniform(&set, ms(10), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "run() called twice")]
+    fn double_run_panics() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(100), ms(10)).build(),
+        ]);
+        let mut sim = Simulator::new(set, SimConfig::until(t(10)));
+        let mut sup = NullSupervisor;
+        sim.run(&mut sup);
+        sim.run(&mut sup);
+    }
+}

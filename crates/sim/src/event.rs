@@ -1,0 +1,199 @@
+//! Internal simulator events and the deterministic event queue.
+//!
+//! Total ordering is the soul of a reproducible discrete-event simulator:
+//! events are ordered by `(time, kind class, sequence number)`. The kind
+//! class encodes the paper-relevant tie-breaks at equal timestamps:
+//!
+//! 1. **completions** before anything else — a job finishing exactly at its
+//!    deadline (the paper's Figure 7: τ3 ends *on* its deadline) or exactly
+//!    when a detector fires must count as finished;
+//! 2. **releases** next;
+//! 3. **timers** (detectors) after releases, so a detector landing on an
+//!    activation inspects the *previous* job;
+//! 4. **supervisor one-shots** (allowance stop points);
+//! 5. **deadline checks** last, so same-instant completions are honoured.
+
+use rtft_core::time::Instant;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What the engine scheduled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimEventKind {
+    /// Completion of the currently dispatched job of `rank`; stale if
+    /// `gen` no longer matches the dispatch generation.
+    Completion {
+        /// Task rank.
+        rank: usize,
+        /// Dispatch generation that scheduled this completion.
+        gen: u64,
+    },
+    /// Periodic release of the next job of `rank`.
+    Release {
+        /// Task rank.
+        rank: usize,
+    },
+    /// A registered timer fires (detectors use these).
+    Timer {
+        /// Timer identity.
+        id: usize,
+    },
+    /// A supervisor-scheduled one-shot (allowance stop points).
+    OneShot {
+        /// Supervisor-chosen tag.
+        tag: u64,
+    },
+    /// Absolute-deadline check of a specific job.
+    DeadlineCheck {
+        /// Task rank.
+        rank: usize,
+        /// Job index.
+        job: u64,
+    },
+}
+
+impl SimEventKind {
+    /// Tie-break class at equal timestamps (lower runs first).
+    fn class(&self) -> u8 {
+        match self {
+            SimEventKind::Completion { .. } => 0,
+            SimEventKind::Release { .. } => 1,
+            SimEventKind::Timer { .. } => 2,
+            SimEventKind::OneShot { .. } => 3,
+            SimEventKind::DeadlineCheck { .. } => 4,
+        }
+    }
+}
+
+/// A scheduled event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimEvent {
+    /// Fire time.
+    pub at: Instant,
+    /// Payload.
+    pub kind: SimEventKind,
+    /// Insertion sequence, the final tie-break.
+    pub seq: u64,
+}
+
+impl Ord for SimEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at
+            .cmp(&other.at)
+            .then(self.kind.class().cmp(&other.kind.class()))
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for SimEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-queue over [`SimEvent`] with stable sequence numbering.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<std::cmp::Reverse<SimEvent>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at `at`.
+    pub fn push(&mut self, at: Instant, kind: SimEventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(std::cmp::Reverse(SimEvent { at, kind, seq }));
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<SimEvent> {
+        self.heap.pop().map(|r| r.0)
+    }
+
+    /// Earliest event time without removing it.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|r| r.0.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(t(30), SimEventKind::Release { rank: 0 });
+        q.push(t(10), SimEventKind::Release { rank: 1 });
+        q.push(t(20), SimEventKind::Release { rank: 2 });
+        assert_eq!(q.pop().unwrap().at, t(10));
+        assert_eq!(q.pop().unwrap().at, t(20));
+        assert_eq!(q.pop().unwrap().at, t(30));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn class_tie_break_at_equal_time() {
+        let mut q = EventQueue::new();
+        q.push(t(10), SimEventKind::DeadlineCheck { rank: 0, job: 0 });
+        q.push(t(10), SimEventKind::Timer { id: 0 });
+        q.push(t(10), SimEventKind::Release { rank: 0 });
+        q.push(t(10), SimEventKind::Completion { rank: 0, gen: 0 });
+        q.push(t(10), SimEventKind::OneShot { tag: 7 });
+        let order: Vec<u8> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                SimEventKind::Completion { .. } => 0,
+                SimEventKind::Release { .. } => 1,
+                SimEventKind::Timer { .. } => 2,
+                SimEventKind::OneShot { .. } => 3,
+                SimEventKind::DeadlineCheck { .. } => 4,
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn seq_preserves_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5), SimEventKind::Release { rank: 0 });
+        q.push(t(5), SimEventKind::Release { rank: 1 });
+        q.push(t(5), SimEventKind::Release { rank: 2 });
+        let ranks: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                SimEventKind::Release { rank } => rank,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ranks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(t(9), SimEventKind::Timer { id: 1 });
+        assert_eq!(q.peek_time(), Some(t(9)));
+        assert_eq!(q.len(), 1);
+    }
+}

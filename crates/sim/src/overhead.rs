@@ -1,0 +1,78 @@
+//! Scheduling-overhead model.
+//!
+//! The paper's §6.2 discusses the cost its mechanism adds: "the overrun
+//! generated in the system by the presence of the detection mechanism is
+//! that of a pre-emption" plus the unbounded boolean-poll cost, and notes
+//! that "the more tasks in the system, the more sensors, hence the higher
+//! the influence of this overrun". The idealized simulator charges zero
+//! for dispatches; this model makes the charge explicit so experiments
+//! can quantify the claim.
+//!
+//! Each **dispatch** (first start or resumption after preemption) charges
+//! `dispatch` extra CPU to the dispatched job — the context-switch cost.
+//! Each **detector firing** charges `detector_fire` to whatever job is
+//! running when the timer fires (the preemption-equivalent the paper
+//! describes); idle-time firings are free.
+
+use rtft_core::time::Duration;
+
+/// Overhead charges.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Overheads {
+    /// CPU charged to a job at every dispatch (context switch).
+    pub dispatch: Duration,
+    /// CPU charged to the running job per timer firing.
+    pub detector_fire: Duration,
+}
+
+impl Overheads {
+    /// The idealized zero-cost platform (default).
+    pub const NONE: Overheads = Overheads {
+        dispatch: Duration::ZERO,
+        detector_fire: Duration::ZERO,
+    };
+
+    /// Context-switch cost only.
+    pub fn dispatch_cost(d: Duration) -> Self {
+        assert!(!d.is_negative(), "overhead must be ≥ 0");
+        Overheads { dispatch: d, detector_fire: Duration::ZERO }
+    }
+
+    /// Add a per-detector-firing charge.
+    pub fn with_detector_fire(mut self, d: Duration) -> Self {
+        assert!(!d.is_negative(), "overhead must be ≥ 0");
+        self.detector_fire = d;
+        self
+    }
+
+    /// `true` iff every charge is zero.
+    pub fn is_free(&self) -> bool {
+        self.dispatch.is_zero() && self.detector_fire.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_free() {
+        assert!(Overheads::default().is_free());
+        assert!(Overheads::NONE.is_free());
+    }
+
+    #[test]
+    fn builders() {
+        let o = Overheads::dispatch_cost(Duration::micros(50))
+            .with_detector_fire(Duration::micros(20));
+        assert_eq!(o.dispatch, Duration::micros(50));
+        assert_eq!(o.detector_fire, Duration::micros(20));
+        assert!(!o.is_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "overhead must be")]
+    fn negative_rejected() {
+        let _ = Overheads::dispatch_cost(-Duration::NANO);
+    }
+}

@@ -1,0 +1,282 @@
+//! Per-task process state inside the simulator.
+//!
+//! Each task is a queue of jobs (FIFO within the task — mandatory for the
+//! arbitrary-deadline case where a release can arrive while the previous
+//! job is still pending) plus the bookkeeping the engine and the
+//! supervisor need: per-job outcomes, consumed CPU, stop flags.
+
+use rtft_core::time::{Duration, Instant};
+
+/// Final state of a job.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobOutcome {
+    /// Released, not yet finished.
+    Pending,
+    /// Ran to completion.
+    Finished,
+    /// Abandoned by a stop treatment.
+    Abandoned,
+}
+
+/// One job in a task's queue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Job {
+    /// Job index within the task.
+    pub index: u64,
+    /// Release instant.
+    pub released_at: Instant,
+    /// Total execution demand (declared cost ± injected fault).
+    pub demand: Duration,
+    /// Demand not yet executed.
+    pub remaining: Duration,
+    /// CPU already consumed.
+    pub consumed: Duration,
+    /// `true` once the job has been dispatched at least once.
+    pub started: bool,
+    /// A stop was requested; when `remaining` drains the job is abandoned
+    /// rather than finished (models the polled stop flag).
+    pub doomed: bool,
+}
+
+impl Job {
+    fn new(index: u64, released_at: Instant, demand: Duration) -> Self {
+        Job {
+            index,
+            released_at,
+            demand,
+            remaining: demand,
+            consumed: Duration::ZERO,
+            started: false,
+            doomed: false,
+        }
+    }
+}
+
+/// Scheduling state of one task.
+#[derive(Clone, Debug)]
+pub struct TaskProcess {
+    /// Pending jobs, FIFO.
+    queue: std::collections::VecDeque<Job>,
+    /// Outcome per job index.
+    outcomes: Vec<JobOutcome>,
+    /// Jobs released so far.
+    released: u64,
+    /// `true` once the task is permanently stopped (no further releases).
+    dead: bool,
+}
+
+impl TaskProcess {
+    /// Fresh process with no jobs.
+    pub fn new() -> Self {
+        TaskProcess {
+            queue: std::collections::VecDeque::new(),
+            outcomes: Vec::new(),
+            released: 0,
+            dead: false,
+        }
+    }
+
+    /// Release the next job with the given demand; returns its index.
+    ///
+    /// # Panics
+    /// Panics if the task is dead (the engine must not release then).
+    pub fn release(&mut self, at: Instant, demand: Duration) -> u64 {
+        assert!(!self.dead, "release on a stopped task");
+        let index = self.released;
+        self.released += 1;
+        self.queue.push_back(Job::new(index, at, demand));
+        self.outcomes.push(JobOutcome::Pending);
+        index
+    }
+
+    /// Number of jobs released so far.
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// The job currently at the head of the queue (the one that runs).
+    pub fn front(&self) -> Option<&Job> {
+        self.queue.front()
+    }
+
+    /// Mutable head job.
+    pub fn front_mut(&mut self) -> Option<&mut Job> {
+        self.queue.front_mut()
+    }
+
+    /// `true` iff the task has work and is allowed to run. A permanently
+    /// stopped task with a *doomed* head job is still ready: the polled
+    /// stop flag (paper §4.1) is only observed by *executing* up to the
+    /// next poll boundary, so the job must run until then.
+    pub fn is_ready(&self) -> bool {
+        match self.queue.front() {
+            None => false,
+            Some(job) => !self.dead || job.doomed,
+        }
+    }
+
+    /// `true` once permanently stopped.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Permanently stop the task: pending jobs beyond the head are
+    /// abandoned immediately; the head is the caller's business (it may be
+    /// running and needs engine bookkeeping).
+    pub fn kill(&mut self) {
+        self.dead = true;
+        while self.queue.len() > 1 {
+            let job = self.queue.pop_back().expect("len checked");
+            self.outcomes[job.index as usize] = JobOutcome::Abandoned;
+        }
+    }
+
+    /// Outcome of a job.
+    pub fn outcome(&self, job: u64) -> JobOutcome {
+        self.outcomes
+            .get(job as usize)
+            .copied()
+            .unwrap_or(JobOutcome::Pending)
+    }
+
+    /// `true` iff `job` ran to completion.
+    pub fn is_finished(&self, job: u64) -> bool {
+        self.outcome(job) == JobOutcome::Finished
+    }
+
+    /// Retire the head job with the given outcome; returns it.
+    ///
+    /// # Panics
+    /// Panics if the queue is empty.
+    pub fn retire_front(&mut self, outcome: JobOutcome) -> Job {
+        let job = self.queue.pop_front().expect("retire on empty queue");
+        self.outcomes[job.index as usize] = outcome;
+        job
+    }
+
+    /// Account `delta` of execution on the head job.
+    ///
+    /// # Panics
+    /// Panics if there is no head job or the delta exceeds the remaining
+    /// demand.
+    pub fn account(&mut self, delta: Duration) {
+        let job = self.front_mut().expect("account on empty queue");
+        assert!(delta <= job.remaining, "accounting beyond remaining demand");
+        job.remaining -= delta;
+        job.consumed += delta;
+    }
+
+    /// Jobs currently queued (pending head included).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl Default for TaskProcess {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    #[test]
+    fn release_and_retire_cycle() {
+        let mut p = TaskProcess::new();
+        assert!(!p.is_ready());
+        let j0 = p.release(t(0), ms(29));
+        assert_eq!(j0, 0);
+        assert!(p.is_ready());
+        assert_eq!(p.front().unwrap().remaining, ms(29));
+        p.account(ms(29));
+        assert_eq!(p.front().unwrap().remaining, Duration::ZERO);
+        let done = p.retire_front(JobOutcome::Finished);
+        assert_eq!(done.index, 0);
+        assert!(p.is_finished(0));
+        assert!(!p.is_ready());
+    }
+
+    #[test]
+    fn fifo_across_overlapping_jobs() {
+        let mut p = TaskProcess::new();
+        p.release(t(0), ms(3));
+        p.release(t(4), ms(3)); // D > T scenario: released before job 0 done
+        assert_eq!(p.queue_len(), 2);
+        assert_eq!(p.front().unwrap().index, 0);
+        p.account(ms(3));
+        p.retire_front(JobOutcome::Finished);
+        assert_eq!(p.front().unwrap().index, 1);
+        assert_eq!(p.outcome(1), JobOutcome::Pending);
+    }
+
+    #[test]
+    fn kill_abandons_tail_jobs() {
+        let mut p = TaskProcess::new();
+        p.release(t(0), ms(3));
+        p.release(t(4), ms(3));
+        p.release(t(8), ms(3));
+        p.kill();
+        assert!(p.is_dead());
+        assert!(!p.is_ready());
+        assert_eq!(p.queue_len(), 1, "head left for engine bookkeeping");
+        assert_eq!(p.outcome(1), JobOutcome::Abandoned);
+        assert_eq!(p.outcome(2), JobOutcome::Abandoned);
+        assert_eq!(p.outcome(0), JobOutcome::Pending);
+    }
+
+    #[test]
+    fn dead_task_with_doomed_head_stays_ready() {
+        let mut p = TaskProcess::new();
+        p.release(t(0), ms(5));
+        p.front_mut().unwrap().doomed = true;
+        p.kill();
+        assert!(p.is_dead());
+        assert!(p.is_ready(), "doomed head must still run to its poll boundary");
+        p.retire_front(JobOutcome::Abandoned);
+        assert!(!p.is_ready());
+    }
+
+    #[test]
+    #[should_panic(expected = "release on a stopped task")]
+    fn dead_task_rejects_release() {
+        let mut p = TaskProcess::new();
+        p.release(t(0), ms(1));
+        p.kill();
+        p.release(t(5), ms(1));
+    }
+
+    #[test]
+    fn doomed_flag_travels_with_job() {
+        let mut p = TaskProcess::new();
+        p.release(t(0), ms(5));
+        p.front_mut().unwrap().doomed = true;
+        p.account(ms(2));
+        assert!(p.front().unwrap().doomed);
+        assert_eq!(p.front().unwrap().consumed, ms(2));
+    }
+
+    #[test]
+    fn unknown_job_outcome_is_pending() {
+        let p = TaskProcess::new();
+        assert_eq!(p.outcome(99), JobOutcome::Pending);
+        assert!(!p.is_finished(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond remaining")]
+    fn over_accounting_panics() {
+        let mut p = TaskProcess::new();
+        p.release(t(0), ms(1));
+        p.account(ms(2));
+    }
+}

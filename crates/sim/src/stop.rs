@@ -1,0 +1,116 @@
+//! The stop mechanism and its cost model.
+//!
+//! Java cannot kill a thread asynchronously, so the paper's implementation
+//! (§4.1) sets a boolean that the task's periodic loop polls "after each
+//! instruction"; when it turns true the loop breaks and the thread stops.
+//! Two measurable consequences:
+//!
+//! * the stop takes effect only at the next poll point, i.e. after the job
+//!   has consumed CPU up to a poll boundary;
+//! * the poll itself calls `RealtimeThread.currentRealtimeThread()`, "the
+//!   cost of which is not bounded", causing "small cost overruns, about a
+//!   few milliseconds" that stay below detector precision.
+//!
+//! [`StopModel`] makes both explicit and configurable: a poll granularity
+//! (0 = idealized immediate stop) and an optional per-poll overhead.
+
+use rtft_core::time::Duration;
+
+/// How long a stop request takes to bite.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StopModel {
+    /// CPU-time granularity of the stop-flag poll. A stop requested when
+    /// the job has consumed `c` takes effect once consumption reaches
+    /// `⌈c / poll⌉ · poll`. Zero = immediate.
+    pub poll: Duration,
+    /// Extra CPU the poll machinery charges each poll boundary — models
+    /// the unbounded `currentRealtimeThread()` call the paper describes.
+    pub poll_overhead: Duration,
+}
+
+impl StopModel {
+    /// Idealized immediate stop (default for the analytical scenarios).
+    pub const IMMEDIATE: StopModel = StopModel {
+        poll: Duration::ZERO,
+        poll_overhead: Duration::ZERO,
+    };
+
+    /// A polled stop with granularity `poll` and no overhead.
+    pub fn polled(poll: Duration) -> Self {
+        assert!(!poll.is_negative(), "poll granularity must be ≥ 0");
+        StopModel { poll, poll_overhead: Duration::ZERO }
+    }
+
+    /// Add a per-poll overhead.
+    pub fn with_overhead(mut self, overhead: Duration) -> Self {
+        assert!(!overhead.is_negative(), "overhead must be ≥ 0");
+        self.poll_overhead = overhead;
+        self
+    }
+
+    /// Additional CPU time the job still gets after a stop requested at
+    /// consumed CPU time `consumed`.
+    pub fn extra_runtime(&self, consumed: Duration) -> Duration {
+        if self.poll.is_zero() {
+            return self.poll_overhead;
+        }
+        let boundary = consumed.round_up_to(self.poll);
+        (boundary - consumed) + self.poll_overhead
+    }
+}
+
+impl Default for StopModel {
+    fn default() -> Self {
+        StopModel::IMMEDIATE
+    }
+}
+
+/// Whether a stop kills only the faulty job or the whole task.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StopMode {
+    /// Abandon the current job; the task keeps releasing (used by the
+    /// dynamic/sweep experiments, where the system lives on after faults).
+    JobOnly,
+    /// Stop the thread for good — the paper's §4.1 semantics ("the loop is
+    /// broken and the thread is stopped"): no further releases.
+    #[default]
+    Permanent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    #[test]
+    fn immediate_stop() {
+        let m = StopModel::IMMEDIATE;
+        assert_eq!(m.extra_runtime(ms(13)), Duration::ZERO);
+        assert_eq!(m.extra_runtime(Duration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn polled_stop_runs_to_boundary() {
+        let m = StopModel::polled(ms(5));
+        assert_eq!(m.extra_runtime(ms(13)), ms(2)); // to 15
+        assert_eq!(m.extra_runtime(ms(15)), ms(0)); // on the boundary
+        assert_eq!(m.extra_runtime(Duration::ZERO), ms(0));
+        assert_eq!(m.extra_runtime(Duration::nanos(1)), ms(5) - Duration::nanos(1));
+    }
+
+    #[test]
+    fn overhead_adds_up() {
+        let m = StopModel::polled(ms(5)).with_overhead(ms(1));
+        assert_eq!(m.extra_runtime(ms(13)), ms(3));
+        let imm = StopModel::IMMEDIATE.with_overhead(ms(2));
+        assert_eq!(imm.extra_runtime(ms(40)), ms(2));
+    }
+
+    #[test]
+    fn default_mode_is_paper_permanent() {
+        assert_eq!(StopMode::default(), StopMode::Permanent);
+    }
+}

@@ -1,0 +1,136 @@
+//! Timers and the jRate quantization model.
+//!
+//! The paper's detectors are RTSJ `PeriodicTimer`s, and jRate's
+//! implementation has a measured artifact: "if the value given for the
+//! first release is not a multiple of ten, the precision is not good. We
+//! thus voluntarily round the release values of the detectors" (§6.2).
+//! That rounding produces the 1/2/3 ms detector delays of Figure 4
+//! (WCRTs 29/58/87 ms fire at 30/60/90 ms).
+//!
+//! [`TimerModel`] captures the grid: first releases are rounded **up** to a
+//! multiple of the quantum; subsequent periodic fires step by the exact
+//! period (jRate's drift-free behaviour once started).
+
+use rtft_core::time::{Duration, Instant};
+
+/// Timer release-grid model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimerModel {
+    /// Grid quantum for first releases; `None` = exact timers.
+    pub quantum: Option<Duration>,
+}
+
+impl TimerModel {
+    /// Exact timers (an idealized RTSJ implementation).
+    pub const EXACT: TimerModel = TimerModel { quantum: None };
+
+    /// jRate's measured 10 ms grid.
+    pub fn jrate() -> Self {
+        TimerModel { quantum: Some(Duration::millis(10)) }
+    }
+
+    /// Arbitrary grid.
+    ///
+    /// # Panics
+    /// Panics on a non-positive quantum.
+    pub fn quantized(quantum: Duration) -> Self {
+        assert!(quantum.is_positive(), "quantum must be positive");
+        TimerModel { quantum: Some(quantum) }
+    }
+
+    /// Apply the model to a relative first-release value.
+    pub fn first_release(&self, requested: Duration) -> Duration {
+        match self.quantum {
+            Some(q) => requested.round_up_to(q),
+            None => requested,
+        }
+    }
+
+    /// Induced delay for a requested first release.
+    pub fn delay(&self, requested: Duration) -> Duration {
+        self.first_release(requested) - requested
+    }
+}
+
+impl Default for TimerModel {
+    fn default() -> Self {
+        TimerModel::EXACT
+    }
+}
+
+/// A registered simulator timer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimerSpec {
+    /// Absolute first fire (already quantized by the engine).
+    pub first: Instant,
+    /// Re-fire period; `None` for one-shot timers.
+    pub period: Option<Duration>,
+    /// Caller tag delivered with each fire.
+    pub tag: u64,
+}
+
+impl TimerSpec {
+    /// Fire instant of the `n`-th firing (0-based); `None` past the end of
+    /// a one-shot.
+    pub fn fire_at(&self, n: u64) -> Option<Instant> {
+        match (n, self.period) {
+            (0, _) => Some(self.first),
+            (_, Some(p)) => Some(self.first + p * n as i64),
+            (_, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    #[test]
+    fn jrate_quantization_matches_figure4() {
+        let m = TimerModel::jrate();
+        assert_eq!(m.first_release(ms(29)), ms(30));
+        assert_eq!(m.first_release(ms(58)), ms(60));
+        assert_eq!(m.first_release(ms(87)), ms(90));
+        assert_eq!(m.delay(ms(29)), ms(1));
+        assert_eq!(m.delay(ms(58)), ms(2));
+        assert_eq!(m.delay(ms(87)), ms(3));
+        // Exact multiples are untouched (Figure 6's 40 ms threshold).
+        assert_eq!(m.delay(ms(40)), ms(0));
+    }
+
+    #[test]
+    fn exact_model_is_identity() {
+        let m = TimerModel::EXACT;
+        assert_eq!(m.first_release(ms(29)), ms(29));
+        assert_eq!(m.delay(ms(87)), ms(0));
+    }
+
+    #[test]
+    fn periodic_fire_schedule() {
+        let t = TimerSpec {
+            first: Instant::from_millis(30),
+            period: Some(ms(200)),
+            tag: 1,
+        };
+        assert_eq!(t.fire_at(0), Some(Instant::from_millis(30)));
+        assert_eq!(t.fire_at(1), Some(Instant::from_millis(230)));
+        assert_eq!(t.fire_at(5), Some(Instant::from_millis(1030)));
+    }
+
+    #[test]
+    fn one_shot_fires_once() {
+        let t = TimerSpec { first: Instant::from_millis(62), period: None, tag: 9 };
+        assert_eq!(t.fire_at(0), Some(Instant::from_millis(62)));
+        assert_eq!(t.fire_at(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be positive")]
+    fn zero_quantum_rejected() {
+        let _ = TimerModel::quantized(Duration::ZERO);
+    }
+}

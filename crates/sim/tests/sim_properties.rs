@@ -1,0 +1,190 @@
+//! Property tests of the simulator itself: structural well-formedness,
+//! work conservation, and fault-plan accounting on randomized systems.
+
+use proptest::prelude::*;
+use rtft_core::task::{TaskBuilder, TaskId, TaskSet};
+use rtft_core::time::{Duration, Instant};
+use rtft_sim::prelude::*;
+use rtft_trace::validate;
+use rtft_trace::{EventKind, TraceStats};
+
+fn arb_set(max_tasks: usize) -> impl Strategy<Value = TaskSet> {
+    proptest::collection::vec((2i64..=60, 1i64..=10, 0i64..=40), 1..=max_tasks).prop_map(
+        |params| {
+            let n = params.len() as i64;
+            let specs = params
+                .into_iter()
+                .enumerate()
+                .map(|(i, (period_raw, cost_raw, offset))| {
+                    let period = Duration::millis(period_raw * n);
+                    let cost = Duration::millis(cost_raw.min((period_raw * n * 4 / (5 * n)).max(1)));
+                    TaskBuilder::new(i as u32 + 1, -(i as i32), period, cost)
+                        .offset(Duration::millis(offset))
+                        .build()
+                })
+                .collect();
+            TaskSet::from_specs(specs)
+        },
+    )
+}
+
+fn arb_faults(set: &TaskSet, seed: u64) -> FaultPlan {
+    RandomFaults {
+        overrun_probability: 0.25,
+        magnitude: (Duration::millis(1), Duration::millis(15)),
+        jobs_per_task: 16,
+    }
+    .sample(set, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every produced trace is structurally well-formed, faults or not.
+    #[test]
+    fn traces_are_well_formed(set in arb_set(5), seed in 0u64..500) {
+        let plan = arb_faults(&set, seed);
+        let mut sim = Simulator::new(set, SimConfig::until(Instant::from_millis(1_500)))
+            .with_faults(plan);
+        let mut sup = NullSupervisor;
+        sim.run(&mut sup);
+        let violations = validate::check(sim.trace());
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// Work conservation: every completed job's reconstructed consumption
+    /// equals its injected demand exactly.
+    #[test]
+    fn completed_jobs_consume_their_demand(set in arb_set(4), seed in 0u64..500) {
+        let plan = arb_faults(&set, seed);
+        let mut sim = Simulator::new(set.clone(), SimConfig::until(Instant::from_millis(1_500)))
+            .with_faults(plan.clone());
+        let mut sup = NullSupervisor;
+        sim.run(&mut sup);
+        let log = sim.trace();
+        // Rebuild per-job consumption from run intervals.
+        let mut live: std::collections::BTreeMap<TaskId, (u64, Instant)> = Default::default();
+        let mut consumed: std::collections::BTreeMap<(TaskId, u64), Duration> = Default::default();
+        let mut finished: Vec<(TaskId, u64)> = Vec::new();
+        for e in log.events() {
+            match e.kind {
+                EventKind::JobStart { task, job } | EventKind::Resumed { task, job } => {
+                    live.insert(task, (job, e.at));
+                }
+                EventKind::Preempted { task, job, .. } => {
+                    if let Some((_, since)) = live.remove(&task) {
+                        *consumed.entry((task, job)).or_default() += e.at - since;
+                    }
+                }
+                EventKind::JobEnd { task, job } => {
+                    if let Some((_, since)) = live.remove(&task) {
+                        *consumed.entry((task, job)).or_default() += e.at - since;
+                    }
+                    finished.push((task, job));
+                }
+                _ => {}
+            }
+        }
+        for (task, job) in finished {
+            let demand = plan.demand(&set, task, job);
+            prop_assert_eq!(
+                consumed[&(task, job)], demand,
+                "{} job {} consumed != demand", task, job
+            );
+        }
+    }
+
+    /// Responses are invariant under uniform time shift of all offsets.
+    #[test]
+    fn offset_shift_invariance(set in arb_set(4), shift in 1i64..50) {
+        let horizon = Instant::from_millis(2_000);
+        let base = run_plain(set.clone(), horizon);
+        let shifted_set = TaskSet::from_specs(
+            set.tasks()
+                .iter()
+                .map(|t| {
+                    let mut t = t.clone();
+                    t.offset += Duration::millis(shift);
+                    t
+                })
+                .collect(),
+        );
+        let shifted = run_plain(shifted_set.clone(), horizon + Duration::millis(shift));
+        let base_stats = TraceStats::from_log(&base, Some(&set));
+        let shifted_stats = TraceStats::from_log(&shifted, Some(&shifted_set));
+        for spec in set.tasks() {
+            // Compare the first few jobs' responses.
+            for job in 0..3u64 {
+                let a = base_stats.job(spec.id, job).and_then(|j| j.response());
+                let b = shifted_stats.job(spec.id, job).and_then(|j| j.response());
+                if let (Some(a), Some(b)) = (a, b) {
+                    prop_assert_eq!(a, b, "{} job {} shifted response differs", spec.id, job);
+                }
+            }
+        }
+    }
+
+    /// The fault-free run of a feasible set finishes exactly
+    /// ⌊(H − O_i)/T_i⌋(+1) jobs per task.
+    #[test]
+    fn job_counts_match_release_arithmetic(set in arb_set(4)) {
+        if !rtft_core::response::ResponseAnalysis::new(&set).is_feasible().unwrap_or(false) {
+            return Ok(());
+        }
+        let horizon = Instant::from_millis(1_000);
+        let log = run_plain(set.clone(), horizon);
+        let stats = TraceStats::from_log(&log, Some(&set));
+        for spec in set.tasks() {
+            let span = horizon.since_epoch() - spec.offset;
+            if span.is_negative() { continue; }
+            let releases = (span / spec.period) + 1;
+            let released = stats.jobs_of(spec.id).len() as i64;
+            prop_assert_eq!(released, releases, "{} release count", spec.id);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cross-validation of the jitter analysis: on a jittered run of a
+    /// feasible constrained-deadline set, every observed response measured
+    /// from the NOMINAL release stays at or below the jitter-aware WCRT of
+    /// `rtft_core::jitter`.
+    #[test]
+    fn jittered_runs_respect_jitter_analysis(
+        set in arb_set(4),
+        jitter_ms in 1i64..8,
+        seed in 0u64..200,
+    ) {
+        use rtft_core::jitter::{wcrt_all_with_jitter, JitterModel};
+        // Jitter must stay below every period.
+        let min_period = set.tasks().iter().map(|t| t.period).min().unwrap();
+        let j = Duration::millis(jitter_ms).min(min_period - Duration::NANO);
+        let jm = JitterModel::uniform(&set, j);
+        let Ok(bounds) = wcrt_all_with_jitter(&set, &jm) else { return Ok(()); };
+
+        let arrivals = ArrivalModel::uniform(&set, j, seed);
+        let horizon = Instant::from_millis(2_000);
+        let mut sim = Simulator::new(set.clone(), SimConfig::until(horizon))
+            .with_arrivals(arrivals);
+        let mut sup = NullSupervisor;
+        sim.run(&mut sup);
+        let stats = TraceStats::from_log(sim.trace(), Some(&set));
+
+        for (rank, spec) in set.tasks().iter().enumerate() {
+            for rec in stats.jobs_of(spec.id) {
+                let Some(end) = rec.end else { continue };
+                let nominal = Instant::EPOCH + spec.offset + spec.period * rec.job as i64;
+                let response = end - nominal;
+                prop_assert!(
+                    response <= bounds[rank],
+                    "{} job {}: observed {} from nominal exceeds jitter WCRT {}",
+                    spec.id, rec.job, response, bounds[rank]
+                );
+            }
+        }
+        // And the trace stays well-formed under jitter.
+        prop_assert!(validate::check(sim.trace()).is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Random task-set generation for sweeps, scalability benches and
+//! property tests.
+
+use crate::uunifast::uunifast_discard;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtft_core::task::{Priority, TaskBuilder, TaskSet, TaskSpec};
+use rtft_core::time::Duration;
+
+/// Deadline style of generated sets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DeadlineKind {
+    /// `D = T`.
+    #[default]
+    Implicit,
+    /// `D` uniform in `[C, T]` (constrained).
+    Constrained,
+    /// `D` uniform in `[C, 2T]` (arbitrary — exercises the paper's
+    /// general analysis).
+    Arbitrary,
+}
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Number of tasks.
+    pub n: usize,
+    /// Target total utilization in `(0, 1]` for feasible-by-load sets.
+    pub utilization: f64,
+    /// Period range `[min, max]`, sampled log-uniformly (the standard
+    /// practice so that period magnitudes spread evenly across decades).
+    pub period_range: (Duration, Duration),
+    /// Deadline style.
+    pub deadlines: DeadlineKind,
+    /// Per-task utilization cap (UUniFast-discard).
+    pub per_task_cap: f64,
+}
+
+impl GeneratorConfig {
+    /// Sensible defaults: `n` tasks, U = 0.7, periods 10 ms – 1 s,
+    /// implicit deadlines, cap 0.9.
+    pub fn new(n: usize) -> Self {
+        GeneratorConfig {
+            n,
+            utilization: 0.7,
+            period_range: (Duration::millis(10), Duration::secs(1)),
+            deadlines: DeadlineKind::Implicit,
+            per_task_cap: 0.9,
+        }
+    }
+
+    /// Set the target utilization.
+    pub fn with_utilization(mut self, u: f64) -> Self {
+        self.utilization = u;
+        self
+    }
+
+    /// Set the deadline style.
+    pub fn with_deadlines(mut self, d: DeadlineKind) -> Self {
+        self.deadlines = d;
+        self
+    }
+
+    /// Set the period range.
+    pub fn with_periods(mut self, min: Duration, max: Duration) -> Self {
+        assert!(min.is_positive() && max >= min, "bad period range");
+        self.period_range = (min, max);
+        self
+    }
+
+    /// Generate a task set. Priorities are rate-monotonic (highest for the
+    /// shortest period); task ids are `1..=n`. Deterministic per seed.
+    pub fn generate(&self, seed: u64) -> TaskSet {
+        assert!(self.n > 0, "need at least one task");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let us = uunifast_discard(self.n, self.utilization, self.per_task_cap, seed);
+        let (pmin, pmax) = self.period_range;
+        let (lmin, lmax) = ((pmin.as_nanos() as f64).ln(), (pmax.as_nanos() as f64).ln());
+        let mut specs: Vec<TaskSpec> = Vec::with_capacity(self.n);
+        for (i, &u) in us.iter().enumerate() {
+            let period_ns = (lmin + (lmax - lmin) * rng.random::<f64>()).exp();
+            let period = Duration::nanos(period_ns.round().max(1.0) as i64);
+            // Cost from utilization; at least 1 ns.
+            let cost = Duration::nanos(((period.as_nanos() as f64) * u).round().max(1.0) as i64);
+            let deadline = match self.deadlines {
+                DeadlineKind::Implicit => period,
+                DeadlineKind::Constrained => {
+                    let span = (period - cost).as_nanos().max(0);
+                    cost + Duration::nanos((span as f64 * rng.random::<f64>()).round() as i64)
+                }
+                DeadlineKind::Arbitrary => {
+                    let span = (period * 2 - cost).as_nanos().max(0);
+                    cost + Duration::nanos((span as f64 * rng.random::<f64>()).round() as i64)
+                }
+            };
+            specs.push(
+                TaskBuilder::new(i as u32 + 1, 0, period, cost)
+                    .deadline(deadline.max(Duration::NANO))
+                    .build(),
+            );
+        }
+        // Rate-monotonic priorities: shortest period highest.
+        let mut order: Vec<usize> = (0..specs.len()).collect();
+        order.sort_by_key(|&i| (specs[i].period, specs[i].id));
+        for (rank, &i) in order.iter().enumerate() {
+            specs[i].priority = Priority(self.n as i32 - rank as i32);
+        }
+        TaskSet::from_specs(specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_hits_target() {
+        let set = GeneratorConfig::new(12).with_utilization(0.66).generate(3);
+        assert_eq!(set.len(), 12);
+        // Rounding costs to whole ns distorts U negligibly.
+        assert!((set.utilization() - 0.66).abs() < 1e-3, "{}", set.utilization());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GeneratorConfig::new(8);
+        assert_eq!(cfg.generate(11), cfg.generate(11));
+        assert_ne!(cfg.generate(11), cfg.generate(12));
+    }
+
+    #[test]
+    fn priorities_are_rate_monotonic() {
+        let set = GeneratorConfig::new(10).generate(5);
+        let tasks = set.tasks();
+        for w in tasks.windows(2) {
+            assert!(
+                w[0].period <= w[1].period || w[0].priority == w[1].priority,
+                "priority order must follow period order"
+            );
+        }
+    }
+
+    #[test]
+    fn constrained_deadlines_in_range() {
+        let set = GeneratorConfig::new(20)
+            .with_deadlines(DeadlineKind::Constrained)
+            .generate(7);
+        for t in set.tasks() {
+            assert!(t.deadline >= t.cost, "{t}");
+            assert!(t.deadline <= t.period, "{t}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_deadlines_can_exceed_period() {
+        let set = GeneratorConfig::new(50)
+            .with_deadlines(DeadlineKind::Arbitrary)
+            .generate(9);
+        assert!(
+            set.tasks().iter().any(|t| t.deadline > t.period),
+            "with 50 tasks some deadline should exceed its period"
+        );
+        for t in set.tasks() {
+            assert!(t.deadline >= t.cost);
+        }
+    }
+
+    #[test]
+    fn periods_within_range() {
+        let cfg = GeneratorConfig::new(30)
+            .with_periods(Duration::millis(5), Duration::millis(50));
+        let set = cfg.generate(2);
+        for t in set.tasks() {
+            assert!(t.period >= Duration::millis(5) && t.period <= Duration::millis(50));
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Harmonic task-set generation.
+//!
+//! Harmonic sets (every period divides every longer one) are the classic
+//! best case for fixed-priority scheduling: rate-monotonic utilization
+//! bound 1.0, short hyperperiods, and tight WCRTs — the natural stress
+//! complement to the log-uniform sets of [`crate::generator`], and cheap
+//! to simulate over whole hyperperiods.
+
+use crate::uunifast::uunifast_discard;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtft_core::task::{TaskBuilder, TaskSet, TaskSpec};
+use rtft_core::time::Duration;
+
+/// Configuration for harmonic sets.
+#[derive(Clone, Debug)]
+pub struct HarmonicConfig {
+    /// Number of tasks.
+    pub n: usize,
+    /// Target utilization in `(0, 1]`.
+    pub utilization: f64,
+    /// Base (shortest) period.
+    pub base_period: Duration,
+    /// Multiplier choices between consecutive periods (sampled uniformly).
+    pub multipliers: Vec<i64>,
+}
+
+impl HarmonicConfig {
+    /// Defaults: base 10 ms, multipliers {2, 4, 5}.
+    pub fn new(n: usize) -> Self {
+        HarmonicConfig {
+            n,
+            utilization: 0.8,
+            base_period: Duration::millis(10),
+            multipliers: vec![2, 4, 5],
+        }
+    }
+
+    /// Set the utilization target.
+    pub fn with_utilization(mut self, u: f64) -> Self {
+        self.utilization = u;
+        self
+    }
+
+    /// Generate a harmonic set with rate-monotonic priorities.
+    /// Deterministic per seed.
+    ///
+    /// # Panics
+    /// Panics for `n == 0`, empty multipliers, or a non-positive base
+    /// period.
+    pub fn generate(&self, seed: u64) -> TaskSet {
+        assert!(self.n > 0, "need at least one task");
+        assert!(!self.multipliers.is_empty(), "need multiplier choices");
+        assert!(self.base_period.is_positive(), "base period must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let us = uunifast_discard(self.n, self.utilization, 0.95, seed);
+        let mut period = self.base_period;
+        let mut specs: Vec<TaskSpec> = Vec::with_capacity(self.n);
+        for (i, &u) in us.iter().enumerate() {
+            if i > 0 {
+                let pick = self.multipliers[rng.random_range(0..self.multipliers.len())];
+                period = period.saturating_mul(pick);
+            }
+            let cost =
+                Duration::nanos(((period.as_nanos() as f64) * u).round().max(1.0) as i64);
+            specs.push(
+                TaskBuilder::new(i as u32 + 1, self.n as i32 - i as i32, period, cost)
+                    .build(),
+            );
+        }
+        TaskSet::from_specs(specs)
+    }
+}
+
+/// `true` iff every period divides every longer period in the set.
+pub fn is_harmonic(set: &TaskSet) -> bool {
+    let mut periods: Vec<i64> = set.tasks().iter().map(|t| t.period.as_nanos()).collect();
+    periods.sort_unstable();
+    periods.windows(2).all(|w| w[1] % w[0] == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::response::ResponseAnalysis;
+
+    #[test]
+    fn generated_sets_are_harmonic() {
+        for seed in 0..20 {
+            let set = HarmonicConfig::new(6).generate(seed);
+            assert!(is_harmonic(&set), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn utilization_hits_target() {
+        let set = HarmonicConfig::new(8).with_utilization(0.75).generate(3);
+        assert!((set.utilization() - 0.75).abs() < 1e-3);
+    }
+
+    #[test]
+    fn harmonic_sets_are_rm_feasible_up_to_full_load() {
+        // The RM bound for harmonic sets is 1.0: U = 0.95 sets must pass
+        // the exact analysis.
+        for seed in 0..10 {
+            let set = HarmonicConfig::new(5).with_utilization(0.95).generate(seed);
+            assert!(
+                ResponseAnalysis::new(&set).is_feasible().unwrap(),
+                "harmonic U=0.95 must be feasible (seed {seed}):\n{set}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = HarmonicConfig::new(4);
+        assert_eq!(cfg.generate(9), cfg.generate(9));
+    }
+
+    #[test]
+    fn hyperperiod_is_the_longest_period() {
+        let set = HarmonicConfig::new(5).generate(2);
+        let longest = set
+            .tasks()
+            .iter()
+            .map(|t| t.period)
+            .fold(Duration::ZERO, Duration::max);
+        assert_eq!(set.hyperperiod(), longest);
+    }
+
+    #[test]
+    fn is_harmonic_rejects_coprime_periods() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 2, Duration::millis(10), Duration::millis(1)).build(),
+            TaskBuilder::new(2, 1, Duration::millis(15), Duration::millis(1)).build(),
+        ]);
+        assert!(!is_harmonic(&set));
+    }
+}

@@ -1,0 +1,23 @@
+//! # rtft-taskgen — workloads
+//!
+//! Task-set sources for the reproduction:
+//!
+//! * [`paper`] — the paper's Table 1 and Table 2 systems, exactly as
+//!   tabulated, plus the Figures 3–7 scenario configuration;
+//! * [`parser`] — the task-description file format (the paper's first
+//!   tool "parses a file which describes the tasks in the system");
+//! * [`uunifast`] / [`generator`] — unbiased random task sets for the
+//!   scalability and sweep experiments beyond the paper's fixed example.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generator;
+pub mod harmonic;
+pub mod paper;
+pub mod parser;
+pub mod uunifast;
+
+pub use generator::{DeadlineKind, GeneratorConfig};
+pub use harmonic::{is_harmonic, HarmonicConfig};
+pub use parser::{parse, to_text, SystemDescription, PAPER_SCENARIO_FILE};

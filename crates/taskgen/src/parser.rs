@@ -1,0 +1,283 @@
+//! Task-description file parser — the paper's first tool "enables us to
+//! parse a file which describes the tasks in the system. It builds and
+//! runs the tasks automatically."
+//!
+//! Format: one task per line,
+//!
+//! ```text
+//! # name  priority  period  deadline  cost  [offset]
+//! tau1    20        200ms   70ms      29ms
+//! tau2    18        250ms   120ms     29ms
+//! tau3    16        1500ms  120ms     29ms  1000ms
+//! ```
+//!
+//! plus optional fault lines,
+//!
+//! ```text
+//! fault tau1 job 5 overrun 40ms
+//! fault tau2 job 3 underrun 5ms
+//! ```
+//!
+//! Durations accept `ns`, `us`, `ms`, `s` suffixes (bare numbers = ms,
+//! matching the paper's tables). Task ids are assigned in file order
+//! starting at 1.
+
+use rtft_core::task::{TaskBuilder, TaskId, TaskSet, TaskSpec};
+use rtft_core::time::Duration;
+use rtft_sim::fault::FaultPlan;
+use std::collections::BTreeMap;
+
+/// A parsed system description: tasks plus fault plan.
+#[derive(Clone, Debug)]
+pub struct SystemDescription {
+    /// The tasks, in file order.
+    pub tasks: Vec<TaskSpec>,
+    /// Injected faults.
+    pub faults: FaultPlan,
+    /// Name → id mapping (for callers referencing tasks by name).
+    pub names: BTreeMap<String, TaskId>,
+}
+
+impl SystemDescription {
+    /// Build the validated task set.
+    pub fn task_set(&self) -> Result<TaskSet, rtft_core::error::ModelError> {
+        TaskSet::new(self.tasks.clone())
+    }
+}
+
+/// Parse failure with its 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Offending line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task file parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a duration token: integer plus optional `ns`/`us`/`ms`/`s`
+/// suffix; a bare integer means milliseconds.
+pub fn parse_duration(token: &str) -> Result<Duration, String> {
+    let (digits, mult) = if let Some(v) = token.strip_suffix("ns") {
+        (v, 1i64)
+    } else if let Some(v) = token.strip_suffix("us") {
+        (v, 1_000)
+    } else if let Some(v) = token.strip_suffix("ms") {
+        (v, 1_000_000)
+    } else if let Some(v) = token.strip_suffix('s') {
+        (v, 1_000_000_000)
+    } else {
+        (token, 1_000_000)
+    };
+    let n: i64 = digits
+        .parse()
+        .map_err(|e| format!("bad duration `{token}`: {e}"))?;
+    n.checked_mul(mult)
+        .map(Duration::nanos)
+        .ok_or_else(|| format!("duration `{token}` overflows"))
+}
+
+/// Parse a full system description.
+pub fn parse(text: &str) -> Result<SystemDescription, ParseError> {
+    let mut tasks: Vec<TaskSpec> = Vec::new();
+    let mut names: BTreeMap<String, TaskId> = BTreeMap::new();
+    let mut faults = FaultPlan::none();
+    let mut next_id: u32 = 1;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let words: Vec<&str> = line.split_ascii_whitespace().collect();
+        let err = |message: String| ParseError { line: line_no, message };
+
+        if words[0] == "fault" {
+            // fault <name> job <n> overrun|underrun <dur>
+            if words.len() != 6 || words[2] != "job" {
+                return Err(err(
+                    "expected: fault <task> job <n> overrun|underrun <duration>".into(),
+                ));
+            }
+            let id = *names
+                .get(words[1])
+                .ok_or_else(|| err(format!("unknown task `{}`", words[1])))?;
+            let job: u64 = words[3]
+                .parse()
+                .map_err(|e| err(format!("bad job index: {e}")))?;
+            let amount = parse_duration(words[5]).map_err(&err)?;
+            faults = match words[4] {
+                "overrun" => faults.overrun(id, job, amount),
+                "underrun" => faults.underrun(id, job, amount),
+                other => return Err(err(format!("unknown fault kind `{other}`"))),
+            };
+            continue;
+        }
+
+        // <name> <priority> <period> <deadline> <cost> [offset]
+        if !(5..=6).contains(&words.len()) {
+            return Err(err(
+                "expected: <name> <priority> <period> <deadline> <cost> [offset]".into(),
+            ));
+        }
+        let name = words[0].to_string();
+        if names.contains_key(&name) {
+            return Err(err(format!("duplicate task name `{name}`")));
+        }
+        let priority: i32 = words[1]
+            .parse()
+            .map_err(|e| err(format!("bad priority: {e}")))?;
+        let period = parse_duration(words[2]).map_err(&err)?;
+        let deadline = parse_duration(words[3]).map_err(&err)?;
+        let cost = parse_duration(words[4]).map_err(&err)?;
+        let mut b = TaskBuilder::new(next_id, priority, period, cost)
+            .name(name.clone())
+            .deadline(deadline);
+        if words.len() == 6 {
+            b = b.offset(parse_duration(words[5]).map_err(&err)?);
+        }
+        names.insert(name, TaskId(next_id));
+        next_id += 1;
+        tasks.push(b.build());
+    }
+
+    Ok(SystemDescription { tasks, faults, names })
+}
+
+/// Serialize a description back to the file format (round-trips with
+/// [`parse`]).
+pub fn to_text(desc: &SystemDescription) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("# name priority period deadline cost [offset]\n");
+    let name_of = |id: TaskId| -> String {
+        desc.names
+            .iter()
+            .find(|(_, v)| **v == id)
+            .map(|(k, _)| k.clone())
+            .unwrap_or_else(|| format!("t{}", id.0))
+    };
+    for t in &desc.tasks {
+        let _ = write!(
+            out,
+            "{} {} {}ns {}ns {}ns",
+            t.name,
+            t.priority.0,
+            t.period.as_nanos(),
+            t.deadline.as_nanos(),
+            t.cost.as_nanos()
+        );
+        if !t.offset.is_zero() {
+            let _ = write!(out, " {}ns", t.offset.as_nanos());
+        }
+        out.push('\n');
+    }
+    for (task, job, delta) in desc.faults.entries() {
+        let (kind, amount) = if delta.is_negative() {
+            ("underrun", -delta)
+        } else {
+            ("overrun", delta)
+        };
+        let _ = writeln!(
+            out,
+            "fault {} job {} {} {}ns",
+            name_of(task),
+            job,
+            kind,
+            amount.as_nanos()
+        );
+    }
+    out
+}
+
+/// The paper's Table 2 + Figures 3–7 scenario, in the file format — used
+/// by the quickstart example and as a parser fixture.
+pub const PAPER_SCENARIO_FILE: &str = "\
+# The evaluated system of Masson & Midonnet 2006 (Table 2), with tau3
+# phased into the Figures 3-7 observation window.
+tau1 20 200ms  70ms  29ms
+tau2 18 250ms  120ms 29ms
+tau3 16 1500ms 120ms 29ms 1000ms
+# the voluntary cost overrun on tau1's job released at t = 1000 ms
+fault tau1 job 5 overrun 40ms
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_scenario() {
+        let desc = parse(PAPER_SCENARIO_FILE).unwrap();
+        assert_eq!(desc.tasks.len(), 3);
+        let set = desc.task_set().unwrap();
+        assert_eq!(set.by_id(TaskId(1)).unwrap().name, "tau1");
+        assert_eq!(set.by_id(TaskId(3)).unwrap().offset, Duration::millis(1000));
+        assert_eq!(
+            desc.faults.delta(TaskId(1), 5),
+            Duration::millis(40)
+        );
+        assert_eq!(desc.names["tau2"], TaskId(2));
+    }
+
+    #[test]
+    fn duration_suffixes() {
+        assert_eq!(parse_duration("5").unwrap(), Duration::millis(5));
+        assert_eq!(parse_duration("5ms").unwrap(), Duration::millis(5));
+        assert_eq!(parse_duration("5us").unwrap(), Duration::micros(5));
+        assert_eq!(parse_duration("5ns").unwrap(), Duration::nanos(5));
+        assert_eq!(parse_duration("2s").unwrap(), Duration::secs(2));
+        assert!(parse_duration("abc").is_err());
+        assert!(parse_duration("9999999999999s").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let desc = parse(PAPER_SCENARIO_FILE).unwrap();
+        let text = to_text(&desc);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.tasks, desc.tasks);
+        assert_eq!(back.faults, desc.faults);
+    }
+
+    #[test]
+    fn underrun_faults() {
+        let desc = parse("a 1 10ms 10ms 2ms\nfault a job 0 underrun 1ms\n").unwrap();
+        assert_eq!(desc.faults.delta(TaskId(1), 0), -Duration::millis(1));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let desc = parse("# full comment\n\na 1 10 10 2 # trailing comment\n").unwrap();
+        assert_eq!(desc.tasks.len(), 1);
+        assert_eq!(desc.tasks[0].period, Duration::millis(10));
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let err = parse("a 1 10 10 2\nbogus\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse("a x 10 10 2\n").unwrap_err();
+        assert!(err.message.contains("bad priority"));
+        let err = parse("fault nosuch job 0 overrun 5ms\n").unwrap_err();
+        assert!(err.message.contains("unknown task"));
+        let err = parse("a 1 10 10 2\na 2 20 20 3\n").unwrap_err();
+        assert!(err.message.contains("duplicate task name"));
+        let err = parse("fault a job 0 sideways 5ms\n").unwrap_err();
+        assert!(err.message.contains("unknown task") || err.message.contains("unknown fault"));
+    }
+
+    #[test]
+    fn offset_field_is_optional() {
+        let desc = parse("a 1 10 10 2 3ms\nb 2 20 20 3\n").unwrap();
+        assert_eq!(desc.tasks[0].offset, Duration::millis(3));
+        assert_eq!(desc.tasks[1].offset, Duration::ZERO);
+    }
+}

@@ -1,0 +1,93 @@
+//! UUniFast utilization generation (Bini & Buttazzo) — the standard way to
+//! sample `n` per-task utilizations summing exactly to a target `U`
+//! without bias, used by the scalability and sweep experiments.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Sample `n` utilizations summing to `total` (classic UUniFast).
+/// Deterministic for a given seed.
+///
+/// # Panics
+/// Panics when `n == 0`, or `total` is not in `(0, n]`.
+pub fn uunifast(n: usize, total: f64, seed: u64) -> Vec<f64> {
+    assert!(n > 0, "need at least one task");
+    assert!(total > 0.0 && total <= n as f64, "total out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let next = sum * rng.random::<f64>().powf(1.0 / (n - i) as f64);
+        out.push(sum - next);
+        sum = next;
+    }
+    out.push(sum);
+    out
+}
+
+/// UUniFast-discard: resample until every utilization is at most `cap`
+/// (needed when `total ≤ 1` must also bound each task, e.g. to keep
+/// single-task feasibility). Gives the same distribution as rejection
+/// sampling on plain UUniFast.
+///
+/// # Panics
+/// Panics when the cap makes the target impossible (`n · cap < total`) or
+/// after an excessive number of rejections.
+pub fn uunifast_discard(n: usize, total: f64, cap: f64, seed: u64) -> Vec<f64> {
+    assert!(cap > 0.0, "cap must be positive");
+    assert!(n as f64 * cap >= total, "cap makes the target impossible");
+    for attempt in 0..100_000u64 {
+        let candidate = uunifast(n, total, seed.wrapping_add(attempt));
+        if candidate.iter().all(|&u| u <= cap) {
+            return candidate;
+        }
+    }
+    panic!("uunifast_discard: rejection sampling did not converge");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_to_target() {
+        for n in [1usize, 2, 5, 20, 100] {
+            let us = uunifast(n, 0.8, 42);
+            assert_eq!(us.len(), n);
+            let sum: f64 = us.iter().sum();
+            assert!((sum - 0.8).abs() < 1e-9, "n={n}: sum={sum}");
+            assert!(us.iter().all(|&u| u >= 0.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(uunifast(10, 0.7, 1), uunifast(10, 0.7, 1));
+        assert_ne!(uunifast(10, 0.7, 1), uunifast(10, 0.7, 2));
+    }
+
+    #[test]
+    fn single_task_gets_everything() {
+        assert_eq!(uunifast(1, 0.65, 9), vec![0.65]);
+    }
+
+    #[test]
+    fn discard_respects_cap() {
+        let us = uunifast_discard(8, 0.9, 0.4, 7);
+        assert!(us.iter().all(|&u| u <= 0.4));
+        let sum: f64 = us.iter().sum();
+        assert!((sum - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "total out of range")]
+    fn rejects_overload_target() {
+        let _ = uunifast(2, 2.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible")]
+    fn rejects_impossible_cap() {
+        let _ = uunifast_discard(2, 1.0, 0.4, 0);
+    }
+}

@@ -1,0 +1,448 @@
+//! Time-series chart rendering — the paper's second tool.
+//!
+//! The paper plots each run as a per-task timeline where ↑ marks periods
+//! (releases), ↓ deadlines, ◆ detector firings and `>` worst-case response
+//! times. This renderer produces the same picture as text: one row per
+//! task, one character per time cell, execution drawn as a solid bar and
+//! the paper's markers overlaid.
+//!
+//! ```text
+//! τ1 ↑██████████████✕···↓
+//! τ2 ↑░░░░░░░░░█████████████░░░
+//! ```
+
+use crate::event::EventKind;
+use crate::log::TraceLog;
+use rtft_core::task::{TaskId, TaskSet};
+use rtft_core::time::{Duration, Instant};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Glyphs used by the renderer, in increasing overlay precedence.
+pub mod glyph {
+    /// Task inactive.
+    pub const BLANK: char = '·';
+    /// Job ready but preempted.
+    pub const READY: char = '░';
+    /// Job executing.
+    pub const RUN: char = '█';
+    /// Job release (the paper's ↑).
+    pub const RELEASE: char = '↑';
+    /// Absolute deadline (the paper's ↓).
+    pub const DEADLINE: char = '↓';
+    /// Analytic worst-case response time (the paper's >).
+    pub const WCRT: char = '>';
+    /// Detector firing (the paper's ▪/diamond).
+    pub const DETECTOR: char = '◆';
+    /// Deadline miss.
+    pub const MISS: char = '!';
+    /// Task stopped by the treatment.
+    pub const STOP: char = '✕';
+}
+
+/// Chart configuration.
+#[derive(Clone, Debug)]
+pub struct ChartConfig {
+    /// Start of the rendered window (inclusive).
+    pub from: Instant,
+    /// End of the rendered window (exclusive).
+    pub to: Instant,
+    /// Width of one character cell.
+    pub cell: Duration,
+    /// Extra analytic markers `(task, instant, glyph)` — the paper's `>`
+    /// WCRT annotations are injected this way by the experiment harness.
+    pub annotations: Vec<(TaskId, Instant, char)>,
+}
+
+impl ChartConfig {
+    /// Window with a cell size chosen to fit roughly 100 columns.
+    pub fn window(from: Instant, to: Instant) -> Self {
+        let span = (to - from).max(Duration::NANO);
+        let cell = Duration::nanos((span.as_nanos() / 100).max(1));
+        ChartConfig { from, to, cell, annotations: Vec::new() }
+    }
+
+    /// Override the cell duration.
+    pub fn with_cell(mut self, cell: Duration) -> Self {
+        assert!(cell.is_positive(), "cell must be positive");
+        self.cell = cell;
+        self
+    }
+
+    /// Add an analytic marker.
+    pub fn annotate(mut self, task: TaskId, at: Instant, glyph: char) -> Self {
+        self.annotations.push((task, at, glyph));
+        self
+    }
+
+    fn columns(&self) -> usize {
+        let span = self.to - self.from;
+        if !span.is_positive() {
+            return 0;
+        }
+        span.div_ceil(self.cell) as usize
+    }
+
+    fn column_of(&self, at: Instant) -> Option<usize> {
+        if at < self.from || at >= self.to {
+            return None;
+        }
+        Some(((at - self.from) / self.cell) as usize)
+    }
+}
+
+fn precedence(c: char) -> u8 {
+    match c {
+        glyph::BLANK => 0,
+        glyph::READY => 1,
+        glyph::RUN => 2,
+        glyph::RELEASE => 3,
+        glyph::WCRT => 4,
+        glyph::DETECTOR => 5,
+        glyph::DEADLINE => 6,
+        glyph::MISS => 7,
+        glyph::STOP => 8,
+        _ => 4, // caller-supplied annotations sit with WCRT
+    }
+}
+
+#[derive(Default)]
+struct Row {
+    cells: Vec<char>,
+}
+
+impl Row {
+    fn new(columns: usize) -> Self {
+        Row { cells: vec![glyph::BLANK; columns] }
+    }
+
+    fn set(&mut self, col: usize, c: char) {
+        if let Some(cell) = self.cells.get_mut(col) {
+            if precedence(c) >= precedence(*cell) {
+                *cell = c;
+            }
+        }
+    }
+
+    fn fill(&mut self, from: usize, to: usize, c: char) {
+        for col in from..to.min(self.cells.len()) {
+            self.set(col, c);
+        }
+    }
+}
+
+/// Render a chart of `log` over `config`'s window. When `set` is given,
+/// rows follow priority order and deadline markers are derived from the
+/// releases; otherwise rows are ordered by task id and only explicit
+/// events are drawn.
+pub fn render(log: &TraceLog, set: Option<&TaskSet>, config: &ChartConfig) -> String {
+    let columns = config.columns();
+    let task_ids: Vec<TaskId> = match set {
+        Some(s) => s.tasks().iter().map(|t| t.id).collect(),
+        None => {
+            let mut ids: Vec<TaskId> = log
+                .events()
+                .iter()
+                .filter_map(|e| e.kind.task())
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        }
+    };
+
+    let mut rows: BTreeMap<TaskId, Row> = task_ids
+        .iter()
+        .map(|&id| (id, Row::new(columns)))
+        .collect();
+
+    // Pass 1: execution and ready spans.
+    // running_since / ready_since per task.
+    let mut running_since: BTreeMap<TaskId, Instant> = BTreeMap::new();
+    let mut ready_since: BTreeMap<TaskId, Instant> = BTreeMap::new();
+    // Clamp a half-open span [since, until) into window columns; `None`
+    // when the span misses the window entirely.
+    let span_columns =
+        |since: Instant, until: Instant, cfg: &ChartConfig| -> Option<(usize, usize)> {
+            if until <= cfg.from || since >= cfg.to {
+                return None;
+            }
+            let a = cfg.column_of(since.max(cfg.from)).unwrap_or(0);
+            let b = if until >= cfg.to {
+                cfg.columns()
+            } else {
+                cfg.column_of(until).unwrap_or(0)
+            };
+            Some((a, b.max(a)))
+        };
+    let close_run = |rows: &mut BTreeMap<TaskId, Row>,
+                     running_since: &mut BTreeMap<TaskId, Instant>,
+                     task: TaskId,
+                     until: Instant,
+                     cfg: &ChartConfig| {
+        if let Some(since) = running_since.remove(&task) {
+            if let Some((a, b)) = span_columns(since, until, cfg) {
+                if let Some(row) = rows.get_mut(&task) {
+                    row.fill(a, b, glyph::RUN);
+                }
+            }
+        }
+    };
+    let close_ready = |rows: &mut BTreeMap<TaskId, Row>,
+                       ready_since: &mut BTreeMap<TaskId, Instant>,
+                       task: TaskId,
+                       until: Instant,
+                       cfg: &ChartConfig| {
+        if let Some(since) = ready_since.remove(&task) {
+            if let Some((a, b)) = span_columns(since, until, cfg) {
+                if let Some(row) = rows.get_mut(&task) {
+                    row.fill(a, b, glyph::READY);
+                }
+            }
+        }
+    };
+
+    for e in log.events() {
+        match e.kind {
+            EventKind::JobRelease { task, .. } => {
+                ready_since.entry(task).or_insert(e.at);
+            }
+            EventKind::JobStart { task, .. } | EventKind::Resumed { task, .. } => {
+                close_ready(&mut rows, &mut ready_since, task, e.at, config);
+                running_since.entry(task).or_insert(e.at);
+            }
+            EventKind::Preempted { task, .. } => {
+                close_run(&mut rows, &mut running_since, task, e.at, config);
+                ready_since.entry(task).or_insert(e.at);
+            }
+            EventKind::JobEnd { task, .. } | EventKind::TaskStopped { task, .. } => {
+                close_run(&mut rows, &mut running_since, task, e.at, config);
+                close_ready(&mut rows, &mut ready_since, task, e.at, config);
+            }
+            _ => {}
+        }
+    }
+    // Close spans still open at the window end.
+    let horizon = config.to;
+    let open_runs: Vec<TaskId> = running_since.keys().copied().collect();
+    for task in open_runs {
+        close_run(&mut rows, &mut running_since, task, horizon, config);
+    }
+    let open_readies: Vec<TaskId> = ready_since.keys().copied().collect();
+    for task in open_readies {
+        close_ready(&mut rows, &mut ready_since, task, horizon, config);
+    }
+
+    // Pass 2: point markers.
+    for e in log.events() {
+        let Some(col) = config.column_of(e.at) else { continue };
+        match e.kind {
+            EventKind::JobRelease { task, .. } => {
+                if let Some(row) = rows.get_mut(&task) {
+                    row.set(col, glyph::RELEASE);
+                }
+                // Derived deadline marker.
+                if let Some(set) = set {
+                    if let Some(spec) = set.by_id(task) {
+                        if let Some(dcol) = config.column_of(e.at + spec.deadline) {
+                            if let Some(row) = rows.get_mut(&task) {
+                                row.set(dcol, glyph::DEADLINE);
+                            }
+                        }
+                    }
+                }
+            }
+            EventKind::DetectorRelease { task, .. } => {
+                if let Some(row) = rows.get_mut(&task) {
+                    row.set(col, glyph::DETECTOR);
+                }
+            }
+            EventKind::DeadlineMiss { task, .. } => {
+                if let Some(row) = rows.get_mut(&task) {
+                    row.set(col, glyph::MISS);
+                }
+            }
+            EventKind::TaskStopped { task, .. } => {
+                if let Some(row) = rows.get_mut(&task) {
+                    row.set(col, glyph::STOP);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 3: caller annotations.
+    for &(task, at, c) in &config.annotations {
+        if let (Some(col), Some(row)) = (config.column_of(at), rows.get_mut(&task)) {
+            row.set(col, c);
+        }
+    }
+
+    // Assemble: header, axis, rows, legend.
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "window [{} .. {}], cell = {}",
+        config.from, config.to, config.cell
+    );
+    // Axis with a tick every 10 cells.
+    let name_width = task_ids
+        .iter()
+        .map(|id| id.to_string().chars().count())
+        .max()
+        .unwrap_or(2)
+        .max(2);
+    let mut axis = format!("{:>width$} ", "", width = name_width);
+    let mut col = 0usize;
+    while col < columns {
+        if col.is_multiple_of(10) {
+            let label = format!("|{}", (config.from + config.cell * col as i64).as_millis());
+            let take = label.chars().take(10.min(columns - col)).collect::<String>();
+            axis.push_str(&take);
+            col += take.chars().count();
+        } else {
+            axis.push(' ');
+            col += 1;
+        }
+    }
+    let _ = writeln!(out, "{axis}");
+    for id in &task_ids {
+        let row = &rows[id];
+        let _ = writeln!(
+            out,
+            "{:>width$} {}",
+            id.to_string(),
+            row.cells.iter().collect::<String>(),
+            width = name_width
+        );
+    }
+    let _ = writeln!(
+        out,
+        "legend: {} run  {} ready  {} release  {} deadline  {} detector  {} wcrt  {} miss  {} stopped",
+        glyph::RUN,
+        glyph::READY,
+        glyph::RELEASE,
+        glyph::DEADLINE,
+        glyph::DETECTOR,
+        glyph::WCRT,
+        glyph::MISS,
+        glyph::STOP
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::task::TaskBuilder;
+
+    fn t(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn set() -> TaskSet {
+        TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+        ])
+    }
+
+    fn log() -> TraceLog {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
+        log.push(t(0), EventKind::JobRelease { task: TaskId(2), job: 0 });
+        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
+        log.push(t(29), EventKind::JobEnd { task: TaskId(1), job: 0 });
+        log.push(t(29), EventKind::JobStart { task: TaskId(2), job: 0 });
+        log.push(t(30), EventKind::DetectorRelease { task: TaskId(1), job: 0 });
+        log.push(t(58), EventKind::JobEnd { task: TaskId(2), job: 0 });
+        log
+    }
+
+    fn row_of(chart: &str, task: &str) -> String {
+        chart
+            .lines()
+            .find(|l| l.trim_start().starts_with(task))
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn basic_rendering() {
+        let cfg = ChartConfig::window(t(0), t(130)).with_cell(ms(1));
+        let chart = render(&log(), Some(&set()), &cfg);
+        let r1 = row_of(&chart, "τ1");
+        let cells: Vec<char> = r1.chars().collect();
+        // Row starts with the name and a space: find offset of first cell.
+        let offset = r1.chars().position(|c| c == ' ').unwrap() + 1;
+        assert_eq!(cells[offset], glyph::RELEASE, "release at t=0");
+        assert_eq!(cells[offset + 10], glyph::RUN, "running at t=10");
+        assert_eq!(cells[offset + 30], glyph::DETECTOR, "detector at t=30");
+        assert_eq!(cells[offset + 70], glyph::DEADLINE, "deadline at t=70");
+
+        let r2 = row_of(&chart, "τ2");
+        let cells2: Vec<char> = r2.chars().collect();
+        let offset2 = r2.chars().position(|c| c == ' ').unwrap() + 1;
+        assert_eq!(cells2[offset2 + 10], glyph::READY, "τ2 preempted-ready at t=10");
+        assert_eq!(cells2[offset2 + 40], glyph::RUN, "τ2 running at t=40");
+        assert_eq!(cells2[offset2 + 120], glyph::DEADLINE);
+    }
+
+    #[test]
+    fn annotations_and_stops() {
+        let mut l = log();
+        l.push(t(90), EventKind::TaskStopped { task: TaskId(2), job: 0 });
+        l.push(t(120), EventKind::DeadlineMiss { task: TaskId(2), job: 0 });
+        let cfg = ChartConfig::window(t(0), t(130))
+            .with_cell(ms(1))
+            .annotate(TaskId(1), t(29), glyph::WCRT);
+        let chart = render(&l, Some(&set()), &cfg);
+        let r1 = row_of(&chart, "τ1");
+        let off = r1.chars().position(|c| c == ' ').unwrap() + 1;
+        assert_eq!(r1.chars().nth(off + 29).unwrap(), glyph::WCRT);
+        let r2 = row_of(&chart, "τ2");
+        let off2 = r2.chars().position(|c| c == ' ').unwrap() + 1;
+        assert_eq!(r2.chars().nth(off2 + 90).unwrap(), glyph::STOP);
+        // Miss beats the deadline marker at the same column.
+        assert_eq!(r2.chars().nth(off2 + 120).unwrap(), glyph::MISS);
+    }
+
+    #[test]
+    fn window_clips_events() {
+        let cfg = ChartConfig::window(t(10), t(40)).with_cell(ms(1));
+        let chart = render(&log(), Some(&set()), &cfg);
+        let r1 = row_of(&chart, "τ1");
+        // Release at t=0 is outside; first cells show the ongoing run.
+        let off = r1.chars().position(|c| c == ' ').unwrap() + 1;
+        assert_eq!(r1.chars().nth(off).unwrap(), glyph::RUN);
+    }
+
+    #[test]
+    fn without_task_set() {
+        let cfg = ChartConfig::window(t(0), t(100)).with_cell(ms(1));
+        let chart = render(&log(), None, &cfg);
+        assert!(chart.contains("τ1"));
+        assert!(chart.contains("τ2"));
+        // No deadline glyph without the set.
+        let r1 = row_of(&chart, "τ1");
+        assert!(!r1.contains(glyph::DEADLINE));
+    }
+
+    #[test]
+    fn legend_present() {
+        let cfg = ChartConfig::window(t(0), t(10));
+        let chart = render(&TraceLog::new(), None, &cfg);
+        assert!(chart.contains("legend:"));
+    }
+
+    #[test]
+    fn degenerate_window() {
+        let cfg = ChartConfig::window(t(5), t(5));
+        let chart = render(&log(), Some(&set()), &cfg);
+        assert!(chart.contains("legend:"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Virtual time-stamp counter.
+//!
+//! The paper reads the Pentium 4's `RDTSC` cycle counter through a JNI
+//! shim to timestamp events with nanosecond precision. The simulator's
+//! clock is already exact virtual time, but experiments that want to
+//! reproduce the paper's *measurement pipeline* (cycle counts in the log,
+//! converted back to nanoseconds by the chart tool) use this converter.
+
+use rtft_core::time::{Duration, Instant};
+
+/// A virtual TSC: converts between virtual time and CPU cycles at a fixed
+/// frequency. The paper's machine was a 2 GHz Pentium 4.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VirtualTsc {
+    /// Clock frequency in Hz.
+    hz: u64,
+}
+
+impl VirtualTsc {
+    /// The paper's 2 GHz testbed.
+    pub const PENTIUM4_2GHZ: VirtualTsc = VirtualTsc { hz: 2_000_000_000 };
+
+    /// A TSC at `hz` cycles per second.
+    ///
+    /// # Panics
+    /// Panics when `hz` is zero.
+    pub fn new(hz: u64) -> Self {
+        assert!(hz > 0, "frequency must be positive");
+        VirtualTsc { hz }
+    }
+
+    /// Frequency in Hz.
+    pub fn hz(&self) -> u64 {
+        self.hz
+    }
+
+    /// `RDTSC` at instant `at`: cycles elapsed since the epoch.
+    pub fn rdtsc(&self, at: Instant) -> u64 {
+        let ns = at.as_nanos();
+        assert!(ns >= 0, "instant precedes the epoch");
+        // cycles = ns * hz / 1e9, computed in u128 to avoid overflow.
+        ((ns as u128 * self.hz as u128) / 1_000_000_000) as u64
+    }
+
+    /// Convert a cycle count back to an instant (truncating to the
+    /// representable nanosecond, exactly like the paper's JNI library).
+    pub fn to_instant(&self, cycles: u64) -> Instant {
+        let ns = (cycles as u128 * 1_000_000_000) / self.hz as u128;
+        Instant::from_nanos(ns as i64)
+    }
+
+    /// Convert a cycle delta to a duration.
+    pub fn to_duration(&self, cycles: u64) -> Duration {
+        let ns = (cycles as u128 * 1_000_000_000) / self.hz as u128;
+        Duration::nanos(ns as i64)
+    }
+
+    /// Duration of a single cycle, rounded down (0 above 1 GHz — the
+    /// reason the paper's pipeline keeps cycle counts, not per-cycle ns).
+    pub fn cycle(&self) -> Duration {
+        Duration::nanos((1_000_000_000 / self.hz) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_ghz_roundtrip() {
+        let tsc = VirtualTsc::PENTIUM4_2GHZ;
+        let t = Instant::from_millis(1020);
+        let cycles = tsc.rdtsc(t);
+        assert_eq!(cycles, 2_040_000_000);
+        assert_eq!(tsc.to_instant(cycles), t);
+    }
+
+    #[test]
+    fn sub_cycle_truncation() {
+        let tsc = VirtualTsc::new(3); // 3 Hz: one cycle every 333_333_333.3 ns
+        assert_eq!(tsc.rdtsc(Instant::from_nanos(333_333_333)), 0);
+        assert_eq!(tsc.rdtsc(Instant::from_nanos(333_333_334)), 1);
+        let back = tsc.to_instant(1);
+        assert_eq!(back, Instant::from_nanos(333_333_333));
+    }
+
+    #[test]
+    fn duration_conversion() {
+        let tsc = VirtualTsc::PENTIUM4_2GHZ;
+        assert_eq!(tsc.to_duration(2_000_000), Duration::millis(1));
+        assert_eq!(tsc.cycle(), Duration::ZERO);
+        assert_eq!(VirtualTsc::new(1_000_000).cycle(), Duration::micros(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn zero_hz_rejected() {
+        let _ = VirtualTsc::new(0);
+    }
+}

@@ -1,0 +1,102 @@
+//! CSV export of job records — for spreadsheet post-processing of runs,
+//! complementing the chart renderer.
+
+use crate::stats::TraceStats;
+use std::fmt::Write as _;
+
+/// Header row of [`jobs_to_csv`].
+pub const JOBS_CSV_HEADER: &str =
+    "task,job,release_ns,start_ns,end_ns,deadline_ns,response_ns,missed,stopped,faulty";
+
+/// Render all job records as CSV (RFC-4180-style, `\n` line ends, empty
+/// fields for absent values).
+pub fn jobs_to_csv(stats: &TraceStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{JOBS_CSV_HEADER}");
+    for j in stats.jobs() {
+        let opt = |v: Option<i64>| v.map_or(String::new(), |x| x.to_string());
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            j.task.0,
+            j.job,
+            j.release.as_nanos(),
+            opt(j.start.map(|t| t.as_nanos())),
+            opt(j.end.map(|t| t.as_nanos())),
+            opt(j.deadline.map(|t| t.as_nanos())),
+            opt(j.response().map(|d| d.as_nanos())),
+            j.missed,
+            j.stopped,
+            j.faulty,
+        );
+    }
+    out
+}
+
+/// Render per-task summaries as CSV.
+pub fn summaries_to_csv(stats: &TraceStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "task,released,completed,missed,stopped,faults,max_response_ns,mean_response_ns"
+    );
+    for (task, s) in stats.summaries() {
+        let opt = |v: Option<i64>| v.map_or(String::new(), |x| x.to_string());
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            task.0,
+            s.released,
+            s.completed,
+            s.missed,
+            s.stopped,
+            s.faults,
+            opt(s.max_response.map(|d| d.as_nanos())),
+            opt(s.mean_response().map(|d| d.as_nanos())),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::log::TraceLog;
+    use rtft_core::task::TaskId;
+    use rtft_core::time::Instant;
+
+    fn t(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn stats() -> TraceStats {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
+        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
+        log.push(t(29), EventKind::JobEnd { task: TaskId(1), job: 0 });
+        log.push(t(200), EventKind::JobRelease { task: TaskId(1), job: 1 });
+        TraceStats::from_log(&log, None)
+    }
+
+    #[test]
+    fn jobs_csv_shape() {
+        let csv = jobs_to_csv(&stats());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), JOBS_CSV_HEADER);
+        let first = lines.next().unwrap();
+        assert_eq!(first, "1,0,0,0,29000000,,29000000,false,false,false");
+        let second = lines.next().unwrap();
+        // Unfinished job: empty start/end/response.
+        assert_eq!(second, "1,1,200000000,,,,,false,false,false");
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn summaries_csv_shape() {
+        let csv = summaries_to_csv(&stats());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].starts_with("1,2,1,0,0,0,29000000,29000000"));
+    }
+}

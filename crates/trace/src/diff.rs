@@ -1,0 +1,179 @@
+//! Trace comparison — find where two runs diverge.
+//!
+//! The simulator is deterministic, so two traces of "the same" scenario
+//! must be identical; when they are not (a changed parameter, a platform
+//! model, a code regression), the *first divergence* is the debugging
+//! gold. This module reports it precisely, plus a per-task summary diff
+//! for a coarser view.
+
+use crate::event::TraceEvent;
+use crate::log::TraceLog;
+use crate::stats::TraceStats;
+use rtft_core::task::TaskId;
+use std::collections::BTreeSet;
+
+/// The first point where two traces disagree.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Divergence {
+    /// Same length, same events: identical.
+    None,
+    /// Events differ at `index`.
+    At {
+        /// Index into both event streams.
+        index: usize,
+        /// Event in the left trace.
+        left: TraceEvent,
+        /// Event in the right trace.
+        right: TraceEvent,
+    },
+    /// One trace is a strict prefix of the other.
+    LengthOnly {
+        /// Events in the left trace.
+        left_len: usize,
+        /// Events in the right trace.
+        right_len: usize,
+        /// First event beyond the common prefix.
+        extra: TraceEvent,
+    },
+}
+
+/// Locate the first divergence between two traces.
+pub fn first_divergence(left: &TraceLog, right: &TraceLog) -> Divergence {
+    for (index, (l, r)) in left.events().iter().zip(right.events()).enumerate() {
+        if l != r {
+            return Divergence::At { index, left: *l, right: *r };
+        }
+    }
+    if left.len() == right.len() {
+        return Divergence::None;
+    }
+    let (longer, left_len, right_len) = if left.len() > right.len() {
+        (left, left.len(), right.len())
+    } else {
+        (right, left.len(), right.len())
+    };
+    Divergence::LengthOnly {
+        left_len,
+        right_len,
+        extra: longer.events()[left_len.min(right_len)],
+    }
+}
+
+/// A per-task summary difference.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SummaryDelta {
+    /// The task whose summaries differ.
+    pub task: TaskId,
+    /// Human-readable field-level differences.
+    pub fields: Vec<String>,
+}
+
+/// Compare the per-task summaries of two traces; empty = equivalent
+/// outcomes (even if the schedules interleave differently).
+pub fn summary_diff(left: &TraceLog, right: &TraceLog) -> Vec<SummaryDelta> {
+    let ls = TraceStats::from_log(left, None);
+    let rs = TraceStats::from_log(right, None);
+    let tasks: BTreeSet<TaskId> = ls
+        .summaries()
+        .map(|(t, _)| *t)
+        .chain(rs.summaries().map(|(t, _)| *t))
+        .collect();
+    let mut out = Vec::new();
+    for task in tasks {
+        let l = ls.summary(task).copied().unwrap_or_default();
+        let r = rs.summary(task).copied().unwrap_or_default();
+        let mut fields = Vec::new();
+        if l.released != r.released {
+            fields.push(format!("released {} vs {}", l.released, r.released));
+        }
+        if l.completed != r.completed {
+            fields.push(format!("completed {} vs {}", l.completed, r.completed));
+        }
+        if l.missed != r.missed {
+            fields.push(format!("missed {} vs {}", l.missed, r.missed));
+        }
+        if l.stopped != r.stopped {
+            fields.push(format!("stopped {} vs {}", l.stopped, r.stopped));
+        }
+        if l.max_response != r.max_response {
+            fields.push(format!(
+                "maxresp {:?} vs {:?}",
+                l.max_response, r.max_response
+            ));
+        }
+        if !fields.is_empty() {
+            out.push(SummaryDelta { task, fields });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use rtft_core::time::Instant;
+
+    fn t(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn base() -> TraceLog {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
+        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
+        log.push(t(29), EventKind::JobEnd { task: TaskId(1), job: 0 });
+        log
+    }
+
+    #[test]
+    fn identical_traces() {
+        assert_eq!(first_divergence(&base(), &base()), Divergence::None);
+        assert!(summary_diff(&base(), &base()).is_empty());
+    }
+
+    #[test]
+    fn event_level_divergence() {
+        let mut other = TraceLog::new();
+        other.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
+        other.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
+        other.push(t(31), EventKind::JobEnd { task: TaskId(1), job: 0 });
+        match first_divergence(&base(), &other) {
+            Divergence::At { index, left, right } => {
+                assert_eq!(index, 2);
+                assert_eq!(left.at, t(29));
+                assert_eq!(right.at, t(31));
+            }
+            other => panic!("expected At, got {other:?}"),
+        }
+        let deltas = summary_diff(&base(), &other);
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].fields.iter().any(|f| f.contains("maxresp")));
+    }
+
+    #[test]
+    fn prefix_divergence() {
+        let mut longer = base();
+        longer.push(t(50), EventKind::CpuIdle);
+        match first_divergence(&base(), &longer) {
+            Divergence::LengthOnly { left_len, right_len, extra } => {
+                assert_eq!(left_len, 3);
+                assert_eq!(right_len, 4);
+                assert_eq!(extra.at, t(50));
+            }
+            other => panic!("expected LengthOnly, got {other:?}"),
+        }
+        // Idle events carry no task: summaries still match.
+        assert!(summary_diff(&base(), &longer).is_empty());
+    }
+
+    #[test]
+    fn summary_diff_detects_missing_task() {
+        let mut other = base();
+        other.push(t(40), EventKind::JobRelease { task: TaskId(2), job: 0 });
+        let deltas = summary_diff(&base(), &other);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].task, TaskId(2));
+        assert!(deltas[0].fields[0].contains("released 0 vs 1"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Trace event records — the "key dates in the system life" of the paper's
+//! Section 5, plus scheduler-level detail (preemptions, stops, grants) that
+//! the treatments need for verification.
+
+use rtft_core::task::TaskId;
+use rtft_core::time::{Duration, Instant};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a job within its task (0 = first activation).
+pub type JobIndex = u64;
+
+/// What happened.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A job became ready (the ↑ marker of the paper's figures).
+    JobRelease {
+        /// Task concerned.
+        task: TaskId,
+        /// Job index.
+        job: JobIndex,
+    },
+    /// A job got the CPU for the first time — the instant
+    /// `computeBeforePeriodic()` runs in the paper's instrumentation.
+    JobStart {
+        /// Task concerned.
+        task: TaskId,
+        /// Job index.
+        job: JobIndex,
+    },
+    /// A job completed — `computeAfterPeriodic()`.
+    JobEnd {
+        /// Task concerned.
+        task: TaskId,
+        /// Job index.
+        job: JobIndex,
+    },
+    /// A running job lost the CPU to a higher-priority one.
+    Preempted {
+        /// Task concerned.
+        task: TaskId,
+        /// Job index.
+        job: JobIndex,
+        /// Task that took the CPU.
+        by: TaskId,
+    },
+    /// A preempted job got the CPU back.
+    Resumed {
+        /// Task concerned.
+        task: TaskId,
+        /// Job index.
+        job: JobIndex,
+    },
+    /// A job was still unfinished at its absolute deadline (the ↓ marker):
+    /// the failure the treatments try to confine.
+    DeadlineMiss {
+        /// Task concerned.
+        task: TaskId,
+        /// Job index.
+        job: JobIndex,
+    },
+    /// A detector fired (the ◆ marker). `job` is the job it inspected.
+    DetectorRelease {
+        /// Task watched.
+        task: TaskId,
+        /// Job inspected.
+        job: JobIndex,
+    },
+    /// The detector found the inspected job unfinished: a temporal fault.
+    FaultDetected {
+        /// Faulty task.
+        task: TaskId,
+        /// Faulty job.
+        job: JobIndex,
+    },
+    /// The treatment granted extra time to a faulty job.
+    AllowanceGranted {
+        /// Faulty task.
+        task: TaskId,
+        /// Faulty job.
+        job: JobIndex,
+        /// Extra time granted past the detection point.
+        amount: Duration,
+    },
+    /// The treatment stopped the faulty task (its current job is abandoned
+    /// and, in the paper's static setting, the task makes no further
+    /// releases until re-admitted).
+    TaskStopped {
+        /// Stopped task.
+        task: TaskId,
+        /// Abandoned job.
+        job: JobIndex,
+    },
+    /// The processor went idle.
+    CpuIdle,
+    /// The simulation horizon was reached.
+    SimEnd,
+}
+
+impl EventKind {
+    /// The task this event concerns, if any.
+    pub fn task(&self) -> Option<TaskId> {
+        match *self {
+            EventKind::JobRelease { task, .. }
+            | EventKind::JobStart { task, .. }
+            | EventKind::JobEnd { task, .. }
+            | EventKind::Preempted { task, .. }
+            | EventKind::Resumed { task, .. }
+            | EventKind::DeadlineMiss { task, .. }
+            | EventKind::DetectorRelease { task, .. }
+            | EventKind::FaultDetected { task, .. }
+            | EventKind::AllowanceGranted { task, .. }
+            | EventKind::TaskStopped { task, .. } => Some(task),
+            EventKind::CpuIdle | EventKind::SimEnd => None,
+        }
+    }
+
+    /// The job index this event concerns, if any.
+    pub fn job(&self) -> Option<JobIndex> {
+        match *self {
+            EventKind::JobRelease { job, .. }
+            | EventKind::JobStart { job, .. }
+            | EventKind::JobEnd { job, .. }
+            | EventKind::Preempted { job, .. }
+            | EventKind::Resumed { job, .. }
+            | EventKind::DeadlineMiss { job, .. }
+            | EventKind::DetectorRelease { job, .. }
+            | EventKind::FaultDetected { job, .. }
+            | EventKind::AllowanceGranted { job, .. }
+            | EventKind::TaskStopped { job, .. } => Some(job),
+            EventKind::CpuIdle | EventKind::SimEnd => None,
+        }
+    }
+
+    /// Stable lowercase tag used by the text log format.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::JobRelease { .. } => "release",
+            EventKind::JobStart { .. } => "start",
+            EventKind::JobEnd { .. } => "end",
+            EventKind::Preempted { .. } => "preempt",
+            EventKind::Resumed { .. } => "resume",
+            EventKind::DeadlineMiss { .. } => "miss",
+            EventKind::DetectorRelease { .. } => "detector",
+            EventKind::FaultDetected { .. } => "fault",
+            EventKind::AllowanceGranted { .. } => "grant",
+            EventKind::TaskStopped { .. } => "stop",
+            EventKind::CpuIdle => "idle",
+            EventKind::SimEnd => "simend",
+        }
+    }
+}
+
+/// A timestamped trace record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When it happened (virtual time).
+    pub at: Instant,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Build a record.
+    pub fn new(at: Instant, kind: EventKind) -> Self {
+        TraceEvent { at, kind }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind.task() {
+            Some(task) => match self.kind.job() {
+                Some(job) => write!(f, "{} {} {} job {}", self.at, self.kind.tag(), task, job),
+                None => write!(f, "{} {} {}", self.at, self.kind.tag(), task),
+            },
+            None => write!(f, "{} {}", self.at, self.kind.tag()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = EventKind::JobEnd { task: TaskId(2), job: 4 };
+        assert_eq!(e.task(), Some(TaskId(2)));
+        assert_eq!(e.job(), Some(4));
+        assert_eq!(e.tag(), "end");
+        assert_eq!(EventKind::CpuIdle.task(), None);
+        assert_eq!(EventKind::SimEnd.job(), None);
+    }
+
+    #[test]
+    fn display() {
+        let e = TraceEvent::new(
+            Instant::from_millis(1020),
+            EventKind::FaultDetected { task: TaskId(1), job: 5 },
+        );
+        let s = e.to_string();
+        assert!(s.contains("t=1020ms"));
+        assert!(s.contains("fault"));
+        assert!(s.contains("τ1"));
+        assert!(s.contains("job 5"));
+    }
+
+    #[test]
+    fn grant_carries_amount() {
+        let e = EventKind::AllowanceGranted {
+            task: TaskId(1),
+            job: 5,
+            amount: Duration::millis(33),
+        };
+        assert_eq!(e.tag(), "grant");
+        if let EventKind::AllowanceGranted { amount, .. } = e {
+            assert_eq!(amount, Duration::millis(33));
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Text log-file format.
+//!
+//! The paper's toolchain writes collected timestamps to "a log file which
+//! can then be interpreted by our tool of time series chart". This module
+//! defines that interchange format: one event per line,
+//!
+//! ```text
+//! <nanoseconds> <tag> [task <id>] [job <q>] [amount <ns>] [by <id>]
+//! ```
+//!
+//! Lines starting with `#` are comments. Serialization and parsing round-
+//! trip exactly (property-tested in the crate's test suite).
+
+use crate::event::{EventKind, TraceEvent};
+use crate::log::TraceLog;
+use rtft_core::task::TaskId;
+use rtft_core::time::{Duration, Instant};
+use std::fmt::Write as _;
+
+/// Serialize a log to the text format.
+pub fn to_text(log: &TraceLog) -> String {
+    let mut out = String::with_capacity(log.len() * 32 + 64);
+    out.push_str("# rtft trace v1\n");
+    for e in log.events() {
+        write_line(&mut out, e);
+    }
+    out
+}
+
+fn write_line(out: &mut String, e: &TraceEvent) {
+    let ns = e.at.as_nanos();
+    match e.kind {
+        EventKind::JobRelease { task, job }
+        | EventKind::JobStart { task, job }
+        | EventKind::JobEnd { task, job }
+        | EventKind::Resumed { task, job }
+        | EventKind::DeadlineMiss { task, job }
+        | EventKind::DetectorRelease { task, job }
+        | EventKind::FaultDetected { task, job }
+        | EventKind::TaskStopped { task, job } => {
+            let _ = writeln!(out, "{ns} {} task {} job {job}", e.kind.tag(), task.0);
+        }
+        EventKind::Preempted { task, job, by } => {
+            let _ = writeln!(out, "{ns} preempt task {} job {job} by {}", task.0, by.0);
+        }
+        EventKind::AllowanceGranted { task, job, amount } => {
+            let _ = writeln!(
+                out,
+                "{ns} grant task {} job {job} amount {}",
+                task.0,
+                amount.as_nanos()
+            );
+        }
+        EventKind::CpuIdle | EventKind::SimEnd => {
+            let _ = writeln!(out, "{ns} {}", e.kind.tag());
+        }
+    }
+}
+
+/// A parse failure, with the 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse the text format back into a [`TraceLog`].
+pub fn from_text(text: &str) -> Result<TraceLog, ParseError> {
+    let mut log = TraceLog::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let event = parse_line(line).map_err(|message| ParseError { line: line_no, message })?;
+        // Re-validate ordering on ingest: a hand-edited file must not
+        // silently corrupt downstream statistics.
+        if log.end().is_some_and(|last| event.at < last) {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("timestamp {} out of order", event.at.as_nanos()),
+            });
+        }
+        log.push_event(event);
+    }
+    Ok(log)
+}
+
+fn parse_line(line: &str) -> Result<TraceEvent, String> {
+    let mut words = line.split_ascii_whitespace();
+    let ns: i64 = words
+        .next()
+        .ok_or("missing timestamp")?
+        .parse()
+        .map_err(|e| format!("bad timestamp: {e}"))?;
+    let at = Instant::from_nanos(ns);
+    let tag = words.next().ok_or("missing event tag")?;
+
+    let mut task: Option<TaskId> = None;
+    let mut job: Option<u64> = None;
+    let mut amount: Option<Duration> = None;
+    let mut by: Option<TaskId> = None;
+    while let Some(key) = words.next() {
+        let value = words.next().ok_or_else(|| format!("missing value for `{key}`"))?;
+        match key {
+            "task" => {
+                task = Some(TaskId(
+                    value.parse().map_err(|e| format!("bad task id: {e}"))?,
+                ));
+            }
+            "job" => {
+                job = Some(value.parse().map_err(|e| format!("bad job index: {e}"))?);
+            }
+            "amount" => {
+                amount = Some(Duration::nanos(
+                    value.parse().map_err(|e| format!("bad amount: {e}"))?,
+                ));
+            }
+            "by" => {
+                by = Some(TaskId(
+                    value.parse().map_err(|e| format!("bad `by` id: {e}"))?,
+                ));
+            }
+            other => return Err(format!("unknown field `{other}`")),
+        }
+    }
+
+    let need_task_job = |kind: fn(TaskId, u64) -> EventKind| -> Result<EventKind, String> {
+        match (task, job) {
+            (Some(t), Some(j)) => Ok(kind(t, j)),
+            _ => Err("event requires `task` and `job`".to_string()),
+        }
+    };
+
+    let kind = match tag {
+        "release" => need_task_job(|task, job| EventKind::JobRelease { task, job })?,
+        "start" => need_task_job(|task, job| EventKind::JobStart { task, job })?,
+        "end" => need_task_job(|task, job| EventKind::JobEnd { task, job })?,
+        "resume" => need_task_job(|task, job| EventKind::Resumed { task, job })?,
+        "miss" => need_task_job(|task, job| EventKind::DeadlineMiss { task, job })?,
+        "detector" => need_task_job(|task, job| EventKind::DetectorRelease { task, job })?,
+        "fault" => need_task_job(|task, job| EventKind::FaultDetected { task, job })?,
+        "stop" => need_task_job(|task, job| EventKind::TaskStopped { task, job })?,
+        "preempt" => match (task, job, by) {
+            (Some(task), Some(job), Some(by)) => EventKind::Preempted { task, job, by },
+            _ => return Err("preempt requires `task`, `job` and `by`".to_string()),
+        },
+        "grant" => match (task, job, amount) {
+            (Some(task), Some(job), Some(amount)) => {
+                EventKind::AllowanceGranted { task, job, amount }
+            }
+            _ => return Err("grant requires `task`, `job` and `amount`".to_string()),
+        },
+        "idle" => EventKind::CpuIdle,
+        "simend" => EventKind::SimEnd,
+        other => return Err(format!("unknown event tag `{other}`")),
+    };
+    Ok(TraceEvent::new(at, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn sample() -> TraceLog {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
+        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
+        log.push(
+            t(5),
+            EventKind::Preempted { task: TaskId(2), job: 3, by: TaskId(1) },
+        );
+        log.push(t(29), EventKind::JobEnd { task: TaskId(1), job: 0 });
+        log.push(t(30), EventKind::DetectorRelease { task: TaskId(1), job: 0 });
+        log.push(t(31), EventKind::FaultDetected { task: TaskId(1), job: 0 });
+        log.push(
+            t(31),
+            EventKind::AllowanceGranted {
+                task: TaskId(1),
+                job: 0,
+                amount: Duration::millis(11),
+            },
+        );
+        log.push(t(42), EventKind::TaskStopped { task: TaskId(1), job: 0 });
+        log.push(t(60), EventKind::CpuIdle);
+        log.push(t(120), EventKind::DeadlineMiss { task: TaskId(3), job: 0 });
+        log.push(t(150), EventKind::SimEnd);
+        log
+    }
+
+    #[test]
+    fn roundtrip_every_kind() {
+        let log = sample();
+        let text = to_text(&log);
+        let back = from_text(&text).unwrap();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn header_and_shape() {
+        let text = to_text(&sample());
+        assert!(text.starts_with("# rtft trace v1\n"));
+        assert!(text.contains("0 release task 1 job 0"));
+        assert!(text.contains("grant task 1 job 0 amount 11000000"));
+        assert!(text.contains("preempt task 2 job 3 by 1"));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let log = from_text("# c\n\n  \n1000 idle\n").unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.events()[0].kind, EventKind::CpuIdle);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = from_text("1000 idle\nnonsense line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = from_text("1000 frobnicate\n").unwrap_err();
+        assert!(err.message.contains("unknown event tag"));
+        let err = from_text("1000 release task 1\n").unwrap_err();
+        assert!(err.message.contains("requires"));
+        let err = from_text("abc idle\n").unwrap_err();
+        assert!(err.message.contains("bad timestamp"));
+        let err = from_text("5 idle\n1 idle\n").unwrap_err();
+        assert!(err.message.contains("out of order"));
+        let err = from_text("5 release task 1 job\n").unwrap_err();
+        assert!(err.message.contains("missing value"));
+        let err = from_text("5 release task 1 job 0 bogus 3\n").unwrap_err();
+        assert!(err.message.contains("unknown field"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # rtft-trace — measurement, log format, statistics and charts
+//!
+//! Rust counterpart of the measurement toolchain in the paper's Section 5:
+//! the authors timestamp "the key dates in the system life" (job starts,
+//! job ends, detector releases) via `RDTSC`, buffer them in memory to avoid
+//! I/O jitter, flush to a log file at the end of the run, and feed that
+//! file to a time-series chart tool that produces Figures 3–7.
+//!
+//! The same pipeline here:
+//!
+//! * [`event`] / [`log`] — in-memory append-only trace ([`log::TraceLog`]);
+//! * `format` — the log-file interchange format, with a strict parser;
+//! * [`stats`] — per-job lifecycle reconstruction and task summaries;
+//! * [`chart`] — the text time-series chart with the paper's glyphs
+//!   (↑ releases, ↓ deadlines, ◆ detectors, `>` WCRTs);
+//! * [`csv`] — spreadsheet export;
+//! * [`clock`] — a virtual `RDTSC` for experiments that reproduce the
+//!   cycle-count measurement path.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chart;
+pub mod clock;
+pub mod csv;
+pub mod diff;
+pub mod event;
+pub mod format;
+pub mod log;
+pub mod stats;
+pub mod svg;
+pub mod validate;
+
+pub use chart::{render, ChartConfig};
+pub use event::{EventKind, JobIndex, TraceEvent};
+pub use log::TraceLog;
+pub use stats::{JobRecord, ResponseHistogram, TaskSummary, TraceStats};
+pub use svg::{render_svg, SvgConfig};

@@ -1,0 +1,249 @@
+//! In-memory trace log.
+//!
+//! The paper's instrumentation appends timestamps to `StringBuffer` fields
+//! during the run "in order not to slow down the system with in-out
+//! operations" and writes them out at the end. [`TraceLog`] is the same
+//! architecture: an append-only buffer with cheap pushes, flushed/queried
+//! after the run.
+
+use crate::event::{EventKind, JobIndex, TraceEvent};
+use rtft_core::task::TaskId;
+use rtft_core::time::Instant;
+
+/// Append-only, time-ordered event log.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty log with pre-reserved capacity (the paper pre-sizes its
+    /// buffers for the same reason: no allocation jitter mid-run).
+    pub fn with_capacity(n: usize) -> Self {
+        TraceLog { events: Vec::with_capacity(n) }
+    }
+
+    /// Append an event.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `at` precedes the last recorded event —
+    /// the simulator must emit in order, and analysis code relies on it.
+    pub fn push(&mut self, at: Instant, kind: EventKind) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.at <= at),
+            "events must be appended in time order ({:?} after {:?})",
+            at,
+            self.events.last().map(|e| e.at)
+        );
+        self.events.push(TraceEvent::new(at, kind));
+    }
+
+    /// Append a pre-built record (used by the log-file parser).
+    pub fn push_event(&mut self, e: TraceEvent) {
+        self.push(e.at, e.kind);
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last event (the run horizon).
+    pub fn end(&self) -> Option<Instant> {
+        self.events.last().map(|e| e.at)
+    }
+
+    /// Events concerning one task.
+    pub fn for_task(&self, task: TaskId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind.task() == Some(task))
+    }
+
+    /// Events inside a half-open window `[from, to)`.
+    pub fn window(&self, from: Instant, to: Instant) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.at >= from && e.at < to)
+    }
+
+    /// First event matching a predicate.
+    pub fn find(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| pred(e))
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+
+    /// Instant a given job of a task ended, if it did.
+    pub fn job_end(&self, task: TaskId, job: JobIndex) -> Option<Instant> {
+        self.find(|e| e.kind == EventKind::JobEnd { task, job }).map(|e| e.at)
+    }
+
+    /// Instant a given job was released, if recorded.
+    pub fn job_release(&self, task: TaskId, job: JobIndex) -> Option<Instant> {
+        self.find(|e| e.kind == EventKind::JobRelease { task, job }).map(|e| e.at)
+    }
+
+    /// Deadline-miss events for one task.
+    pub fn misses(&self, task: TaskId) -> Vec<JobIndex> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::DeadlineMiss { task: t, job } if t == task => Some(job),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `true` iff any deadline miss was recorded at all.
+    pub fn any_miss(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::DeadlineMiss { .. }))
+    }
+
+    /// Stop events `(task, job, at)` in order.
+    pub fn stops(&self) -> Vec<(TaskId, JobIndex, Instant)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::TaskStopped { task, job } => Some((task, job, e.at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Fault-detection events `(task, job, at)` in order.
+    pub fn faults(&self) -> Vec<(TaskId, JobIndex, Instant)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::FaultDetected { task, job } => Some((task, job, e.at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// A stable content hash of the log (FNV-1a over the canonical text
+    /// rendering) — used by determinism tests: same seed ⇒ same hash.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for e in &self.events {
+            let line = format!("{:?}|{:?}", e.at, e.kind);
+            for b in line.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+impl FromIterator<TraceEvent> for TraceLog {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        let mut log = TraceLog::new();
+        for e in iter {
+            log.push_event(e);
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::time::Duration;
+
+    fn t(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn sample() -> TraceLog {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
+        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
+        log.push(t(29), EventKind::JobEnd { task: TaskId(1), job: 0 });
+        log.push(t(30), EventKind::DetectorRelease { task: TaskId(1), job: 0 });
+        log.push(t(120), EventKind::DeadlineMiss { task: TaskId(3), job: 0 });
+        log.push(t(150), EventKind::SimEnd);
+        log
+    }
+
+    #[test]
+    fn push_and_query() {
+        let log = sample();
+        assert_eq!(log.len(), 6);
+        assert_eq!(log.end(), Some(t(150)));
+        assert_eq!(log.for_task(TaskId(1)).count(), 4);
+        assert_eq!(log.window(t(0), t(30)).count(), 3);
+        assert_eq!(log.job_end(TaskId(1), 0), Some(t(29)));
+        assert_eq!(log.job_release(TaskId(1), 0), Some(t(0)));
+        assert_eq!(log.misses(TaskId(3)), vec![0]);
+        assert!(log.any_miss());
+        assert!(log.misses(TaskId(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    #[cfg(debug_assertions)]
+    fn out_of_order_push_panics() {
+        let mut log = TraceLog::new();
+        log.push(t(10), EventKind::CpuIdle);
+        log.push(t(5), EventKind::CpuIdle);
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        let mut log = TraceLog::new();
+        log.push(t(10), EventKind::JobEnd { task: TaskId(1), job: 0 });
+        log.push(t(10), EventKind::JobStart { task: TaskId(2), job: 0 });
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn stops_and_faults() {
+        let mut log = sample();
+        log.push(t(160), EventKind::FaultDetected { task: TaskId(1), job: 5 });
+        log.push(
+            t(160),
+            EventKind::AllowanceGranted {
+                task: TaskId(1),
+                job: 5,
+                amount: Duration::millis(11),
+            },
+        );
+        log.push(t(171), EventKind::TaskStopped { task: TaskId(1), job: 5 });
+        assert_eq!(log.faults(), vec![(TaskId(1), 5, t(160))]);
+        assert_eq!(log.stops(), vec![(TaskId(1), 5, t(171))]);
+    }
+
+    #[test]
+    fn hash_is_content_sensitive() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.content_hash(), b.content_hash());
+        let mut c = sample();
+        c.push(t(200), EventKind::CpuIdle);
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let log: TraceLog = sample().events().iter().copied().collect();
+        assert_eq!(log, sample());
+    }
+}

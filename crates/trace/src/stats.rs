@@ -1,0 +1,426 @@
+//! Per-job and per-task statistics derived from a trace.
+//!
+//! This is the analysis half of the paper's second tool: given the raw key
+//! dates (releases, starts, ends, detector firings), rebuild each job's
+//! lifecycle and summarize response times, deadline outcomes and stops.
+
+use crate::event::{EventKind, JobIndex};
+use crate::log::TraceLog;
+use rtft_core::task::{TaskId, TaskSet};
+use rtft_core::time::{Duration, Instant};
+use std::collections::BTreeMap;
+
+/// Reconstructed lifecycle of a single job.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JobRecord {
+    /// Owning task.
+    pub task: TaskId,
+    /// Job index.
+    pub job: JobIndex,
+    /// Release instant.
+    pub release: Instant,
+    /// First dispatch, if the job ever ran.
+    pub start: Option<Instant>,
+    /// Completion, if the job finished normally.
+    pub end: Option<Instant>,
+    /// Absolute deadline (`release + D`), when the task set is provided.
+    pub deadline: Option<Instant>,
+    /// `true` iff a deadline-miss event was recorded for this job.
+    pub missed: bool,
+    /// `true` iff the treatment stopped this job.
+    pub stopped: bool,
+    /// `true` iff a detector flagged this job faulty.
+    pub faulty: bool,
+}
+
+impl JobRecord {
+    /// Response time `end − release`, when the job completed.
+    pub fn response(&self) -> Option<Duration> {
+        self.end.map(|e| e - self.release)
+    }
+
+    /// `true` iff the job completed normally before its deadline.
+    pub fn met_deadline(&self) -> bool {
+        !self.missed
+            && !self.stopped
+            && match (self.end, self.deadline) {
+                (Some(end), Some(dl)) => end <= dl,
+                (Some(_), None) => true,
+                _ => false,
+            }
+    }
+}
+
+/// Summary over the jobs of one task.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TaskSummary {
+    /// Jobs released.
+    pub released: usize,
+    /// Jobs completed normally.
+    pub completed: usize,
+    /// Deadline misses.
+    pub missed: usize,
+    /// Jobs stopped by a treatment.
+    pub stopped: usize,
+    /// Jobs flagged faulty by a detector.
+    pub faults: usize,
+    /// Largest observed response time.
+    pub max_response: Option<Duration>,
+    /// Smallest observed response time.
+    pub min_response: Option<Duration>,
+    /// Sum of observed response times (for the mean).
+    pub total_response: Duration,
+}
+
+impl TaskSummary {
+    /// Mean observed response time.
+    pub fn mean_response(&self) -> Option<Duration> {
+        if self.completed == 0 {
+            None
+        } else {
+            Some(self.total_response / self.completed as i64)
+        }
+    }
+}
+
+/// Job records and per-task summaries extracted from one trace.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct TraceStats {
+    jobs: BTreeMap<(TaskId, JobIndex), JobRecord>,
+    summaries: BTreeMap<TaskId, TaskSummary>,
+}
+
+impl TraceStats {
+    /// Build statistics from a log. When `set` is provided, absolute
+    /// deadlines are attached so [`JobRecord::met_deadline`] can judge jobs
+    /// even if the producer did not emit explicit miss events.
+    pub fn from_log(log: &TraceLog, set: Option<&TaskSet>) -> Self {
+        let mut jobs: BTreeMap<(TaskId, JobIndex), JobRecord> = BTreeMap::new();
+        for e in log.events() {
+            let (Some(task), Some(job)) = (e.kind.task(), e.kind.job()) else {
+                continue;
+            };
+            let entry = jobs.entry((task, job)).or_insert(JobRecord {
+                task,
+                job,
+                release: e.at,
+                start: None,
+                end: None,
+                deadline: None,
+                missed: false,
+                stopped: false,
+                faulty: false,
+            });
+            match e.kind {
+                EventKind::JobRelease { .. } => {
+                    entry.release = e.at;
+                    if let Some(set) = set {
+                        if let Some(spec) = set.by_id(task) {
+                            entry.deadline = Some(e.at + spec.deadline);
+                        }
+                    }
+                }
+                EventKind::JobStart { .. } => entry.start = Some(e.at),
+                EventKind::JobEnd { .. } => entry.end = Some(e.at),
+                EventKind::DeadlineMiss { .. } => entry.missed = true,
+                EventKind::TaskStopped { .. } => entry.stopped = true,
+                EventKind::FaultDetected { .. } => entry.faulty = true,
+                _ => {}
+            }
+        }
+
+        let mut summaries: BTreeMap<TaskId, TaskSummary> = BTreeMap::new();
+        for record in jobs.values() {
+            let s = summaries.entry(record.task).or_default();
+            s.released += 1;
+            if record.missed {
+                s.missed += 1;
+            }
+            if record.stopped {
+                s.stopped += 1;
+            }
+            if record.faulty {
+                s.faults += 1;
+            }
+            if let Some(r) = record.response() {
+                s.completed += 1;
+                s.total_response += r;
+                s.max_response = Some(s.max_response.map_or(r, |m| m.max(r)));
+                s.min_response = Some(s.min_response.map_or(r, |m| m.min(r)));
+            }
+        }
+        TraceStats { jobs, summaries }
+    }
+
+    /// Record of a particular job.
+    pub fn job(&self, task: TaskId, job: JobIndex) -> Option<&JobRecord> {
+        self.jobs.get(&(task, job))
+    }
+
+    /// All job records, ordered by `(task, job)`.
+    pub fn jobs(&self) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.values()
+    }
+
+    /// Job records of one task, in job order.
+    pub fn jobs_of(&self, task: TaskId) -> Vec<&JobRecord> {
+        self.jobs
+            .range((task, 0)..=(task, JobIndex::MAX))
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    /// Summary of one task.
+    pub fn summary(&self, task: TaskId) -> Option<&TaskSummary> {
+        self.summaries.get(&task)
+    }
+
+    /// All task summaries, by id.
+    pub fn summaries(&self) -> impl Iterator<Item = (&TaskId, &TaskSummary)> {
+        self.summaries.iter()
+    }
+
+    /// Largest observed response of a task — the experimental counterpart
+    /// of the analytical WCRT (the simulator can never exceed it on a
+    /// fault-free run; tests assert exactly that).
+    pub fn observed_wcrt(&self, task: TaskId) -> Option<Duration> {
+        self.summary(task).and_then(|s| s.max_response)
+    }
+
+    /// Render a compact text table of the summaries.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<6} {:>8} {:>9} {:>7} {:>8} {:>7} {:>12} {:>12}",
+            "task", "released", "completed", "missed", "stopped", "faults", "maxresp", "meanresp"
+        );
+        for (task, s) in &self.summaries {
+            let _ = writeln!(
+                out,
+                "{:<6} {:>8} {:>9} {:>7} {:>8} {:>7} {:>12} {:>12}",
+                task.to_string(),
+                s.released,
+                s.completed,
+                s.missed,
+                s.stopped,
+                s.faults,
+                s.max_response.map_or("-".into(), |d| d.to_string()),
+                s.mean_response().map_or("-".into(), |d| d.to_string()),
+            );
+        }
+        out
+    }
+}
+
+/// Response-time histogram of one task: bucket counts over `[0, max]`
+/// with fixed-width buckets — the distribution view behind the paper's
+/// "statistical work" on execution costs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResponseHistogram {
+    /// Bucket width.
+    pub bucket: Duration,
+    /// Counts; bucket `i` covers `[i·w, (i+1)·w)`.
+    pub counts: Vec<usize>,
+    /// Samples observed.
+    pub samples: usize,
+}
+
+impl ResponseHistogram {
+    /// Build from the completed jobs of `task` with the given bucket
+    /// width.
+    ///
+    /// # Panics
+    /// Panics on a non-positive bucket width.
+    pub fn of(stats: &TraceStats, task: TaskId, bucket: Duration) -> Self {
+        assert!(bucket.is_positive(), "bucket width must be positive");
+        let responses: Vec<Duration> = stats
+            .jobs_of(task)
+            .iter()
+            .filter_map(|j| j.response())
+            .collect();
+        let max_bucket = responses
+            .iter()
+            .map(|r| (*r / bucket) as usize)
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut counts = vec![0usize; max_bucket];
+        for r in &responses {
+            counts[(*r / bucket) as usize] += 1;
+        }
+        ResponseHistogram { bucket, samples: responses.len(), counts }
+    }
+
+    /// The response value at or below which `q` (in `[0,1]`) of the
+    /// samples fall — bucket-resolution quantile, rounded up to the
+    /// bucket's upper edge. `None` with no samples.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        assert!((0.0..=1.0).contains(&q), "quantile in [0,1]");
+        if self.samples == 0 {
+            return None;
+        }
+        let target = (q * self.samples as f64).ceil().max(1.0) as usize;
+        let mut acc = 0usize;
+        for (i, c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(self.bucket * (i as i64 + 1));
+            }
+        }
+        Some(self.bucket * self.counts.len() as i64)
+    }
+
+    /// ASCII rendering, one row per non-empty bucket.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (i, c) in self.counts.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            let lo = self.bucket * i as i64;
+            let hi = self.bucket * (i as i64 + 1);
+            let bar = "#".repeat((c * 40).div_ceil(peak));
+            let _ = writeln!(out, "{:>10}..{:<10} {c:>6} {bar}", lo.to_string(), hi.to_string());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::task::TaskBuilder;
+
+    fn t(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn set() -> TaskSet {
+        TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+        ])
+    }
+
+    fn log() -> TraceLog {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
+        log.push(t(0), EventKind::JobRelease { task: TaskId(3), job: 0 });
+        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
+        log.push(t(29), EventKind::JobEnd { task: TaskId(1), job: 0 });
+        log.push(t(29), EventKind::JobStart { task: TaskId(3), job: 0 });
+        log.push(t(58), EventKind::JobEnd { task: TaskId(3), job: 0 });
+        log.push(t(200), EventKind::JobRelease { task: TaskId(1), job: 1 });
+        log.push(t(200), EventKind::JobStart { task: TaskId(1), job: 1 });
+        log.push(t(240), EventKind::FaultDetected { task: TaskId(1), job: 1 });
+        log.push(t(270), EventKind::DeadlineMiss { task: TaskId(1), job: 1 });
+        log.push(t(275), EventKind::TaskStopped { task: TaskId(1), job: 1 });
+        log
+    }
+
+    #[test]
+    fn job_lifecycles() {
+        let stats = TraceStats::from_log(&log(), Some(&set()));
+        let j0 = stats.job(TaskId(1), 0).unwrap();
+        assert_eq!(j0.response(), Some(ms(29)));
+        assert_eq!(j0.deadline, Some(t(70)));
+        assert!(j0.met_deadline());
+
+        let j1 = stats.job(TaskId(1), 1).unwrap();
+        assert_eq!(j1.response(), None);
+        assert!(j1.missed);
+        assert!(j1.stopped);
+        assert!(j1.faulty);
+        assert!(!j1.met_deadline());
+
+        let j3 = stats.job(TaskId(3), 0).unwrap();
+        assert_eq!(j3.response(), Some(ms(58)));
+        assert!(j3.met_deadline());
+    }
+
+    #[test]
+    fn summaries() {
+        let stats = TraceStats::from_log(&log(), Some(&set()));
+        let s1 = stats.summary(TaskId(1)).unwrap();
+        assert_eq!(s1.released, 2);
+        assert_eq!(s1.completed, 1);
+        assert_eq!(s1.missed, 1);
+        assert_eq!(s1.stopped, 1);
+        assert_eq!(s1.faults, 1);
+        assert_eq!(s1.max_response, Some(ms(29)));
+        assert_eq!(s1.mean_response(), Some(ms(29)));
+        assert_eq!(stats.observed_wcrt(TaskId(3)), Some(ms(58)));
+    }
+
+    #[test]
+    fn jobs_of_ordering() {
+        let stats = TraceStats::from_log(&log(), None);
+        let jobs = stats.jobs_of(TaskId(1));
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].job, 0);
+        assert_eq!(jobs[1].job, 1);
+        // Without a task set there are no deadlines attached.
+        assert_eq!(jobs[0].deadline, None);
+        // A finished job with no known deadline counts as met.
+        assert!(jobs[0].met_deadline());
+    }
+
+    #[test]
+    fn table_renders() {
+        let stats = TraceStats::from_log(&log(), Some(&set()));
+        let table = stats.render_table();
+        assert!(table.contains("τ1"));
+        assert!(table.contains("maxresp"));
+        assert!(table.contains("29ms"));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut log = TraceLog::new();
+        // Responses: 10, 10, 20, 40 ms.
+        for (i, (rel, end)) in [(0, 10), (100, 110), (200, 220), (300, 340)]
+            .iter()
+            .enumerate()
+        {
+            log.push(t(*rel), EventKind::JobRelease { task: TaskId(1), job: i as u64 });
+            log.push(t(*rel), EventKind::JobStart { task: TaskId(1), job: i as u64 });
+            log.push(t(*end), EventKind::JobEnd { task: TaskId(1), job: i as u64 });
+        }
+        let stats = TraceStats::from_log(&log, None);
+        let h = ResponseHistogram::of(&stats, TaskId(1), ms(10));
+        assert_eq!(h.samples, 4);
+        // Buckets [10,20): 2 (responses of exactly 10 land in bucket 1),
+        // [20,30): 1, [40,50): 1.
+        assert_eq!(h.counts[1], 2);
+        assert_eq!(h.counts[2], 1);
+        assert_eq!(h.counts[4], 1);
+        assert_eq!(h.quantile(0.5), Some(ms(20)));
+        assert_eq!(h.quantile(1.0), Some(ms(50)));
+        let render = h.render();
+        assert!(render.contains("#"));
+        assert!(render.contains("10ms..20ms"));
+    }
+
+    #[test]
+    fn histogram_empty_task() {
+        let stats = TraceStats::from_log(&TraceLog::new(), None);
+        let h = ResponseHistogram::of(&stats, TaskId(9), ms(10));
+        assert_eq!(h.samples, 0);
+        assert_eq!(h.quantile(0.9), None);
+        assert!(h.render().is_empty());
+    }
+
+    #[test]
+    fn empty_log() {
+        let stats = TraceStats::from_log(&TraceLog::new(), None);
+        assert_eq!(stats.jobs().count(), 0);
+        assert_eq!(stats.summary(TaskId(1)), None);
+    }
+}

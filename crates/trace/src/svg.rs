@@ -1,0 +1,323 @@
+//! SVG rendering of schedule traces — the publication-quality output of
+//! the chart tool (the text renderer in [`crate::chart`] is the terminal
+//! view of the same data).
+//!
+//! One horizontal lane per task; execution drawn as solid bars, ready
+//! (preempted) intervals as translucent bars, and the paper's point
+//! markers: ▲ releases, ▼ deadlines, ◆ detector firings, ✕ stops, and a
+//! red `!` on deadline misses. A time axis in milliseconds runs below.
+
+use crate::event::EventKind;
+use crate::log::TraceLog;
+use rtft_core::task::{TaskId, TaskSet};
+use rtft_core::time::Instant;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Geometry and window of an SVG chart.
+#[derive(Clone, Copy, Debug)]
+pub struct SvgConfig {
+    /// Window start (inclusive).
+    pub from: Instant,
+    /// Window end (exclusive).
+    pub to: Instant,
+    /// Total image width in pixels.
+    pub width: u32,
+    /// Height of one task lane in pixels.
+    pub lane_height: u32,
+}
+
+impl SvgConfig {
+    /// A window with default geometry (900 px wide, 48 px lanes).
+    pub fn window(from: Instant, to: Instant) -> Self {
+        assert!(to > from, "empty window");
+        SvgConfig { from, to, width: 900, lane_height: 48 }
+    }
+
+    fn x(&self, at: Instant) -> f64 {
+        let span = (self.to - self.from).as_nanos() as f64;
+        let dx = (at - self.from).as_nanos() as f64;
+        60.0 + (dx / span) * (self.width as f64 - 80.0)
+    }
+}
+
+const LANE_COLORS: [&str; 6] = [
+    "#2b6cb0", "#2f855a", "#b7791f", "#9b2c2c", "#6b46c1", "#2c7a7b",
+];
+
+/// Render `log` over the window as a standalone SVG document.
+pub fn render_svg(log: &TraceLog, set: &TaskSet, config: &SvgConfig) -> String {
+    let tasks: Vec<TaskId> = set.tasks().iter().map(|t| t.id).collect();
+    let lane_of: BTreeMap<TaskId, usize> =
+        tasks.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let height = 40 + tasks.len() as u32 * config.lane_height + 40;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="monospace" font-size="11">"#,
+        w = config.width,
+        h = height
+    );
+    let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+    let lane_y = |lane: usize| 30.0 + lane as f64 * config.lane_height as f64;
+    let bar_h = config.lane_height as f64 * 0.45;
+
+    // Lane labels and baselines.
+    for (i, id) in tasks.iter().enumerate() {
+        let y = lane_y(i) + bar_h;
+        let name = &set.by_id(*id).expect("task in set").name;
+        let _ = writeln!(
+            svg,
+            r##"<text x="8" y="{:.1}" fill="#333">{}</text>"##,
+            y - 4.0,
+            name
+        );
+        let _ = writeln!(
+            svg,
+            r##"<line x1="60" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ccc"/>"##,
+            config.width as f64 - 20.0,
+        );
+    }
+
+    // Pass 1: bars from start/resume … preempt/end/stop transitions.
+    let clamp = |at: Instant| at.max(config.from).min(config.to);
+    let mut running_since: BTreeMap<TaskId, Instant> = BTreeMap::new();
+    let mut ready_since: BTreeMap<TaskId, Instant> = BTreeMap::new();
+    let mut bars: Vec<(usize, Instant, Instant, bool)> = Vec::new(); // lane, a, b, solid
+    let close = |map: &mut BTreeMap<TaskId, Instant>,
+                     task: TaskId,
+                     until: Instant,
+                     solid: bool,
+                     bars: &mut Vec<(usize, Instant, Instant, bool)>| {
+        if let (Some(since), Some(&lane)) = (map.remove(&task), lane_of.get(&task)) {
+            let (a, b) = (clamp(since), clamp(until));
+            if b > a {
+                bars.push((lane, a, b, solid));
+            }
+        }
+    };
+    for e in log.events() {
+        match e.kind {
+            EventKind::JobRelease { task, .. } => {
+                ready_since.entry(task).or_insert(e.at);
+            }
+            EventKind::JobStart { task, .. } | EventKind::Resumed { task, .. } => {
+                close(&mut ready_since, task, e.at, false, &mut bars);
+                running_since.entry(task).or_insert(e.at);
+            }
+            EventKind::Preempted { task, .. } => {
+                close(&mut running_since, task, e.at, true, &mut bars);
+                ready_since.entry(task).or_insert(e.at);
+            }
+            EventKind::JobEnd { task, .. } | EventKind::TaskStopped { task, .. } => {
+                close(&mut running_since, task, e.at, true, &mut bars);
+                close(&mut ready_since, task, e.at, false, &mut bars);
+            }
+            _ => {}
+        }
+    }
+    let open_runs: Vec<TaskId> = running_since.keys().copied().collect();
+    for task in open_runs {
+        close(&mut running_since, task, config.to, true, &mut bars);
+    }
+    let open_ready: Vec<TaskId> = ready_since.keys().copied().collect();
+    for task in open_ready {
+        close(&mut ready_since, task, config.to, false, &mut bars);
+    }
+    for (lane, a, b, solid) in bars {
+        let color = LANE_COLORS[lane % LANE_COLORS.len()];
+        let (x1, x2) = (config.x(a), config.x(b));
+        let y = lane_y(lane);
+        let opacity = if solid { 1.0 } else { 0.25 };
+        let _ = writeln!(
+            svg,
+            r#"<rect x="{x1:.2}" y="{y:.1}" width="{:.2}" height="{bar_h:.1}" fill="{color}" fill-opacity="{opacity}"/>"#,
+            (x2 - x1).max(0.5),
+        );
+    }
+
+    // Pass 2: point markers.
+    for e in log.events() {
+        if e.at < config.from || e.at >= config.to {
+            continue;
+        }
+        let Some(task) = e.kind.task() else { continue };
+        let Some(&lane) = lane_of.get(&task) else { continue };
+        let x = config.x(e.at);
+        let y0 = lane_y(lane);
+        let yb = y0 + bar_h;
+        match e.kind {
+            EventKind::JobRelease { .. } => {
+                // Upward triangle at the lane baseline (the paper's ↑).
+                let _ = writeln!(
+                    svg,
+                    r##"<path d="M {x:.1} {:.1} l -4 7 l 8 0 z" fill="#222"/>"##,
+                    yb - 7.0
+                );
+                if let Some(spec) = set.by_id(task) {
+                    let dl = e.at + spec.deadline;
+                    if dl >= config.from && dl < config.to {
+                        let xd = config.x(dl);
+                        let _ = writeln!(
+                            svg,
+                            r##"<path d="M {xd:.1} {:.1} l -4 -7 l 8 0 z" fill="#222"/>"##,
+                            yb
+                        );
+                    }
+                }
+            }
+            EventKind::DetectorRelease { .. } => {
+                let _ = writeln!(
+                    svg,
+                    r##"<rect x="{:.1}" y="{:.1}" width="7" height="7" fill="#d69e2e" transform="rotate(45 {x:.1} {:.1})"/>"##,
+                    x - 3.5,
+                    y0 - 4.0,
+                    y0
+                );
+            }
+            EventKind::TaskStopped { .. } => {
+                let _ = writeln!(
+                    svg,
+                    r##"<path d="M {:.1} {:.1} l 8 8 m 0 -8 l -8 8" stroke="#c53030" stroke-width="2"/>"##,
+                    x - 4.0,
+                    y0 - 2.0
+                );
+            }
+            EventKind::DeadlineMiss { .. } => {
+                let _ = writeln!(
+                    svg,
+                    r##"<text x="{x:.1}" y="{:.1}" fill="#c53030" font-weight="bold">!</text>"##,
+                    y0 - 2.0
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // Time axis.
+    let axis_y = 30.0 + tasks.len() as f64 * config.lane_height as f64 + 10.0;
+    let _ = writeln!(
+        svg,
+        r##"<line x1="60" y1="{axis_y:.1}" x2="{:.1}" y2="{axis_y:.1}" stroke="#333"/>"##,
+        config.width as f64 - 20.0
+    );
+    let span_ms = (config.to - config.from).as_millis_f64();
+    let step = tick_step(span_ms);
+    let mut tick = (config.from.as_millis_f64() / step).ceil() * step;
+    while tick < config.to.as_millis_f64() {
+        let x = config.x(Instant::from_nanos((tick * 1e6) as i64));
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{axis_y:.1}" x2="{x:.1}" y2="{:.1}" stroke="#333"/>"##,
+            axis_y + 4.0
+        );
+        let _ = writeln!(
+            svg,
+            r##"<text x="{x:.1}" y="{:.1}" text-anchor="middle" fill="#333">{}</text>"##,
+            axis_y + 16.0,
+            tick as i64
+        );
+        tick += step;
+    }
+    let _ = writeln!(svg, "</svg>");
+    svg
+}
+
+/// Pick a round tick step (in ms) giving 5–12 ticks.
+fn tick_step(span_ms: f64) -> f64 {
+    let raw = span_ms / 8.0;
+    let mag = 10f64.powf(raw.log10().floor());
+    for mult in [1.0, 2.0, 5.0, 10.0] {
+        if mag * mult >= raw {
+            return mag * mult;
+        }
+    }
+    mag * 10.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::task::TaskBuilder;
+    use rtft_core::time::Duration;
+
+    fn t(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn set() -> TaskSet {
+        TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+        ])
+    }
+
+    fn log() -> TraceLog {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
+        log.push(t(0), EventKind::JobRelease { task: TaskId(2), job: 0 });
+        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
+        log.push(t(29), EventKind::JobEnd { task: TaskId(1), job: 0 });
+        log.push(t(29), EventKind::JobStart { task: TaskId(2), job: 0 });
+        log.push(t(30), EventKind::DetectorRelease { task: TaskId(1), job: 0 });
+        log.push(t(58), EventKind::JobEnd { task: TaskId(2), job: 0 });
+        log.push(t(70), EventKind::DeadlineMiss { task: TaskId(1), job: 0 });
+        log.push(t(80), EventKind::TaskStopped { task: TaskId(2), job: 0 });
+        log
+    }
+
+    #[test]
+    fn well_formed_document() {
+        let cfg = SvgConfig::window(t(0), t(130));
+        let svg = render_svg(&log(), &set(), &cfg);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<svg").count(), 1);
+        // Task labels present.
+        assert!(svg.contains(">τ1<"));
+        assert!(svg.contains(">τ2<"));
+    }
+
+    #[test]
+    fn bars_and_markers_emitted() {
+        let cfg = SvgConfig::window(t(0), t(130));
+        let svg = render_svg(&log(), &set(), &cfg);
+        // Two solid run bars + one ready bar for τ2 ([0,29) waiting).
+        let solid = svg.matches(r#"fill-opacity="1""#).count();
+        let ready = svg.matches(r#"fill-opacity="0.25""#).count();
+        assert_eq!(solid, 2, "{svg}");
+        assert_eq!(ready, 1);
+        // Markers: detector diamond, stop cross, miss bang.
+        assert!(svg.contains("rotate(45"));
+        assert!(svg.contains(r##"stroke="#c53030""##));
+        assert!(svg.contains(">!</text>"));
+    }
+
+    #[test]
+    fn window_clips() {
+        let cfg = SvgConfig::window(t(40), t(60));
+        let svg = render_svg(&log(), &set(), &cfg);
+        // Only τ2's run intersects; no detector (t=30) marker.
+        assert!(!svg.contains("rotate(45"));
+        assert_eq!(svg.matches(r#"fill-opacity="1""#).count(), 1);
+    }
+
+    #[test]
+    fn tick_steps_are_round() {
+        assert_eq!(tick_step(100.0), 20.0);
+        assert_eq!(tick_step(1000.0), 200.0);
+        assert_eq!(tick_step(80.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn empty_window_rejected() {
+        let _ = SvgConfig::window(t(5), t(5));
+    }
+}

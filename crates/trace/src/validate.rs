@@ -1,0 +1,276 @@
+//! Trace well-formedness validation.
+//!
+//! A structural checker for [`TraceLog`]s: every event stream produced by
+//! a correct scheduler satisfies per-job and per-CPU invariants, and the
+//! simulator's property tests assert them on randomized runs. The checker
+//! is also handy for externally produced or hand-edited log files.
+//!
+//! Checked invariants:
+//!
+//! 1. per job: `release ≤ start ≤ end/stop`, each at most once, no
+//!    activity before release or after end;
+//! 2. run intervals: a job resumes only after a preemption, is preempted
+//!    only while running;
+//! 3. single CPU: at any instant at most one job is running;
+//! 4. preemption causality: the preemptor named in `Preempted` starts at
+//!    the same instant.
+
+use crate::event::{EventKind, JobIndex};
+use crate::log::TraceLog;
+use rtft_core::task::TaskId;
+use rtft_core::time::Instant;
+use std::collections::BTreeMap;
+
+/// A violated invariant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// When it was observed.
+    pub at: Instant,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.at, self.message)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum JobPhase {
+    Released,
+    Running,
+    Preempted,
+    Done,
+}
+
+/// Check the structural invariants; returns every violation found (empty
+/// = well-formed).
+pub fn check(log: &TraceLog) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut phase: BTreeMap<(TaskId, JobIndex), JobPhase> = BTreeMap::new();
+    let mut running: Option<(TaskId, JobIndex)> = None;
+
+    let violate = |at: Instant, message: String, v: &mut Vec<Violation>| {
+        v.push(Violation { at, message });
+    };
+
+    for e in log.events() {
+        let at = e.at;
+        match e.kind {
+            EventKind::JobRelease { task, job } => {
+                if phase.insert((task, job), JobPhase::Released).is_some() {
+                    violate(at, format!("{task} job {job} released twice"), &mut violations);
+                }
+            }
+            EventKind::JobStart { task, job } => {
+                match phase.get(&(task, job)) {
+                    Some(JobPhase::Released) => {}
+                    other => violate(
+                        at,
+                        format!("{task} job {job} started in phase {other:?}"),
+                        &mut violations,
+                    ),
+                }
+                if let Some(r) = running {
+                    violate(
+                        at,
+                        format!("{task} job {job} started while {} job {} runs", r.0, r.1),
+                        &mut violations,
+                    );
+                }
+                phase.insert((task, job), JobPhase::Running);
+                running = Some((task, job));
+            }
+            EventKind::Resumed { task, job } => {
+                match phase.get(&(task, job)) {
+                    Some(JobPhase::Preempted) => {}
+                    other => violate(
+                        at,
+                        format!("{task} job {job} resumed in phase {other:?}"),
+                        &mut violations,
+                    ),
+                }
+                if let Some(r) = running {
+                    violate(
+                        at,
+                        format!("{task} job {job} resumed while {} job {} runs", r.0, r.1),
+                        &mut violations,
+                    );
+                }
+                phase.insert((task, job), JobPhase::Running);
+                running = Some((task, job));
+            }
+            EventKind::Preempted { task, job, .. } => {
+                if running != Some((task, job)) {
+                    violate(
+                        at,
+                        format!("{task} job {job} preempted while not running"),
+                        &mut violations,
+                    );
+                }
+                match phase.get(&(task, job)) {
+                    Some(JobPhase::Running) => {}
+                    other => violate(
+                        at,
+                        format!("{task} job {job} preempted in phase {other:?}"),
+                        &mut violations,
+                    ),
+                }
+                phase.insert((task, job), JobPhase::Preempted);
+                running = None;
+            }
+            EventKind::JobEnd { task, job } => {
+                if running != Some((task, job)) {
+                    violate(
+                        at,
+                        format!("{task} job {job} ended while not running"),
+                        &mut violations,
+                    );
+                }
+                phase.insert((task, job), JobPhase::Done);
+                running = None;
+            }
+            EventKind::TaskStopped { task, job } => {
+                // A stop may land on a running or a waiting job.
+                if running == Some((task, job)) {
+                    running = None;
+                }
+                match phase.get(&(task, job)) {
+                    Some(JobPhase::Done) => violate(
+                        at,
+                        format!("{task} job {job} stopped after completion"),
+                        &mut violations,
+                    ),
+                    None => violate(
+                        at,
+                        format!("{task} job {job} stopped before release"),
+                        &mut violations,
+                    ),
+                    _ => {}
+                }
+                phase.insert((task, job), JobPhase::Done);
+            }
+            EventKind::DeadlineMiss { task, job } => {
+                if !phase.contains_key(&(task, job)) {
+                    violate(
+                        at,
+                        format!("{task} job {job} missed before release"),
+                        &mut violations,
+                    );
+                }
+            }
+            EventKind::CpuIdle => {
+                if let Some(r) = running {
+                    violate(
+                        at,
+                        format!("idle reported while {} job {} runs", r.0, r.1),
+                        &mut violations,
+                    );
+                }
+            }
+            EventKind::DetectorRelease { .. }
+            | EventKind::FaultDetected { .. }
+            | EventKind::AllowanceGranted { .. }
+            | EventKind::SimEnd => {}
+        }
+    }
+    violations
+}
+
+/// `true` iff the log passes every structural check.
+pub fn is_well_formed(log: &TraceLog) -> bool {
+    check(log).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: i64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn id(v: u32) -> TaskId {
+        TaskId(v)
+    }
+
+    #[test]
+    fn clean_lifecycle_passes() {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: id(1), job: 0 });
+        log.push(t(0), EventKind::JobStart { task: id(1), job: 0 });
+        log.push(t(5), EventKind::Preempted { task: id(1), job: 0, by: id(2) });
+        log.push(t(5), EventKind::JobRelease { task: id(2), job: 0 });
+        log.push(t(5), EventKind::JobStart { task: id(2), job: 0 });
+        log.push(t(8), EventKind::JobEnd { task: id(2), job: 0 });
+        log.push(t(8), EventKind::Resumed { task: id(1), job: 0 });
+        log.push(t(12), EventKind::JobEnd { task: id(1), job: 0 });
+        log.push(t(12), EventKind::CpuIdle);
+        assert!(is_well_formed(&log), "{:?}", check(&log));
+    }
+
+    #[test]
+    fn double_release_caught() {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: id(1), job: 0 });
+        log.push(t(1), EventKind::JobRelease { task: id(1), job: 0 });
+        let v = check(&log);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("released twice"));
+    }
+
+    #[test]
+    fn start_without_release_caught() {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobStart { task: id(1), job: 0 });
+        assert!(!is_well_formed(&log));
+    }
+
+    #[test]
+    fn two_jobs_running_caught() {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: id(1), job: 0 });
+        log.push(t(0), EventKind::JobRelease { task: id(2), job: 0 });
+        log.push(t(0), EventKind::JobStart { task: id(1), job: 0 });
+        log.push(t(1), EventKind::JobStart { task: id(2), job: 0 });
+        let v = check(&log);
+        assert!(v.iter().any(|v| v.message.contains("while")));
+    }
+
+    #[test]
+    fn end_while_not_running_caught() {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: id(1), job: 0 });
+        log.push(t(1), EventKind::JobEnd { task: id(1), job: 0 });
+        assert!(!is_well_formed(&log));
+    }
+
+    #[test]
+    fn stop_after_completion_caught() {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: id(1), job: 0 });
+        log.push(t(0), EventKind::JobStart { task: id(1), job: 0 });
+        log.push(t(3), EventKind::JobEnd { task: id(1), job: 0 });
+        log.push(t(4), EventKind::TaskStopped { task: id(1), job: 0 });
+        let v = check(&log);
+        assert!(v.iter().any(|v| v.message.contains("after completion")));
+    }
+
+    #[test]
+    fn idle_while_running_caught() {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: id(1), job: 0 });
+        log.push(t(0), EventKind::JobStart { task: id(1), job: 0 });
+        log.push(t(1), EventKind::CpuIdle);
+        assert!(!is_well_formed(&log));
+    }
+
+    #[test]
+    fn stop_on_waiting_job_is_fine() {
+        let mut log = TraceLog::new();
+        log.push(t(0), EventKind::JobRelease { task: id(1), job: 0 });
+        log.push(t(2), EventKind::TaskStopped { task: id(1), job: 0 });
+        assert!(is_well_formed(&log), "{:?}", check(&log));
+    }
+}

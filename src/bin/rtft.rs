@@ -1,0 +1,195 @@
+//! `rtft` — command-line driver, the Rust counterpart of the paper's
+//! first tool: "parse a file which describes the tasks in the system.
+//! It builds and runs the tasks automatically."
+//!
+//! ```text
+//! rtft analyze  <tasks.rtft>                  # admission report + allowances
+//! rtft run      <tasks.rtft> [options]        # execute and chart
+//! rtft chart    <trace.log>  [options]        # re-chart a saved trace
+//!
+//! run options:
+//!   --treatment <none|detect|stop|equitable|system>   (default: system)
+//!   --horizon   <duration>                            (default: 3000ms)
+//!   --window    <from>..<to>       chart window       (default: whole run)
+//!   --cell      <duration>         chart cell         (default: auto)
+//!   --jrate                        10 ms timer grid
+//!   --save-trace <file>            write the trace log
+//!   --svg <file>                   write an SVG chart of the window
+//! ```
+
+use rtft::prelude::*;
+use rtft_core::time::{Duration, Instant};
+use rtft_taskgen::parser::{parse as parse_tasks, parse_duration};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("chart") => cmd_chart(&args[1..]),
+        _ => {
+            eprintln!("usage: rtft <analyze|run|chart> <file> [options]");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rtft: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), String>;
+
+fn load_system(path: &str) -> Result<(TaskSet, FaultPlan), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let desc = parse_tasks(&text).map_err(|e| e.to_string())?;
+    let set = desc.task_set().map_err(|e| e.to_string())?;
+    Ok((set, desc.faults))
+}
+
+fn cmd_analyze(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("analyze: missing task file")?;
+    let (set, _) = load_system(path)?;
+    println!("{set}");
+    let report = analyze_set(&set).map_err(|e| e.to_string())?;
+    println!("utilization U = {:.4}", report.utilization);
+    if report.overloaded {
+        println!("NOT FEASIBLE: U > 1");
+        return Ok(());
+    }
+    for line in &report.per_task {
+        match line.wcrt {
+            Some(w) => println!(
+                "  {}: WCRT = {}  D = {}  slack = {}  [{}]",
+                line.task,
+                w,
+                line.deadline,
+                line.slack().expect("wcrt present"),
+                if line.feasible { "ok" } else { "MISS" },
+            ),
+            None => println!("  {}: analysis diverges (level overload)", line.task),
+        }
+    }
+    if !report.is_feasible() {
+        println!("NOT FEASIBLE");
+        return Ok(());
+    }
+    if let Some(eq) = equitable_allowance(&set).map_err(|e| e.to_string())? {
+        println!("equitable allowance A = {}", eq.allowance);
+        for (rank, w) in eq.inflated_wcrt.iter().enumerate() {
+            println!("  {}: stop threshold {}", set.by_rank(rank).id, w);
+        }
+    }
+    if let Some(sa) =
+        system_allowance(&set, SlackPolicy::ProtectAll).map_err(|e| e.to_string())?
+    {
+        let m: Vec<String> = sa.max_overrun.iter().map(|d| d.to_string()).collect();
+        println!("system allowance M = [{}]", m.join(", "));
+    }
+    Ok(())
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_treatment(name: &str) -> Result<Treatment, String> {
+    Ok(match name {
+        "none" => Treatment::NoDetection,
+        "detect" => Treatment::DetectOnly,
+        "stop" => Treatment::ImmediateStop { mode: StopMode::Permanent },
+        "equitable" => Treatment::EquitableAllowance { mode: StopMode::Permanent },
+        "system" => Treatment::SystemAllowance {
+            mode: StopMode::Permanent,
+            policy: SlackPolicy::ProtectAll,
+        },
+        other => return Err(format!("unknown treatment `{other}`")),
+    })
+}
+
+fn cmd_run(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("run: missing task file")?;
+    let (set, faults) = load_system(path)?;
+    let treatment = parse_treatment(flag_value(args, "--treatment").unwrap_or("system"))?;
+    let horizon = parse_duration(flag_value(args, "--horizon").unwrap_or("3000ms"))?;
+    let mut scenario = Scenario::new(
+        path.to_string(),
+        set.clone(),
+        faults,
+        treatment,
+        Instant::EPOCH + horizon,
+    );
+    if args.iter().any(|a| a == "--jrate") {
+        scenario = scenario.with_jrate_timers();
+    }
+    let out = run_scenario(&scenario).map_err(|e| e.to_string())?;
+
+    let (from, to) = match flag_value(args, "--window") {
+        Some(w) => {
+            let (a, b) = w.split_once("..").ok_or("window: expected <from>..<to>")?;
+            (
+                Instant::EPOCH + parse_duration(a)?,
+                Instant::EPOCH + parse_duration(b)?,
+            )
+        }
+        None => (Instant::EPOCH, Instant::EPOCH + horizon),
+    };
+    let cell = match flag_value(args, "--cell") {
+        Some(c) => parse_duration(c)?,
+        None => Duration::nanos((((to - from).as_nanos()) / 120).max(1)),
+    };
+    println!("{}", out.chart(&set, from, to, cell));
+    println!("{}", out.verdict);
+    if !out.injected_faulty.is_empty() {
+        println!(
+            "injected faults on {:?}; collateral failures: {:?}",
+            out.injected_faulty,
+            out.collateral_failures()
+        );
+    }
+    if let Some(file) = flag_value(args, "--svg") {
+        let cfg = rtft::trace::SvgConfig::window(from, to);
+        std::fs::write(file, rtft::trace::render_svg(&out.log, &set, &cfg))
+            .map_err(|e| format!("write {file}: {e}"))?;
+        println!("SVG chart written to {file}");
+    }
+    if let Some(file) = flag_value(args, "--save-trace") {
+        std::fs::write(file, rtft::trace::format::to_text(&out.log))
+            .map_err(|e| format!("write {file}: {e}"))?;
+        println!("trace written to {file}");
+    }
+    Ok(())
+}
+
+fn cmd_chart(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("chart: missing trace file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let log = rtft::trace::format::from_text(&text).map_err(|e| e.to_string())?;
+    let end = log.end().unwrap_or(Instant::EPOCH);
+    let (from, to) = match flag_value(args, "--window") {
+        Some(w) => {
+            let (a, b) = w.split_once("..").ok_or("window: expected <from>..<to>")?;
+            (
+                Instant::EPOCH + parse_duration(a)?,
+                Instant::EPOCH + parse_duration(b)?,
+            )
+        }
+        None => (Instant::EPOCH, end),
+    };
+    let cell = match flag_value(args, "--cell") {
+        Some(c) => parse_duration(c)?,
+        None => Duration::nanos((((to - from).as_nanos()) / 120).max(1)),
+    };
+    let cfg = ChartConfig::window(from, to).with_cell(cell);
+    println!("{}", rtft::trace::render(&log, None, &cfg));
+    let stats = TraceStats::from_log(&log, None);
+    println!("{}", stats.render_table());
+    Ok(())
+}

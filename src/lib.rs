@@ -1,0 +1,65 @@
+//! # rtft — fault tolerance for fixed-priority real-time systems
+//!
+//! A Rust reproduction of Masson & Midonnet, *"Fault Tolerance with
+//! Real-Time Java"* (WPDRTS/IPDPS 2006): admission control for periodic
+//! task systems under fixed-priority preemptive scheduling, WCRT-based
+//! temporal-fault detectors, and allowance treatments that stop faulty
+//! tasks before they fail innocent lower-priority ones.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`] | task model, feasibility analysis (paper Fig. 2 algorithm), allowance computation, blocking/sensitivity/server extensions |
+//! | [`sim`] | deterministic discrete-event simulator of a single-CPU FPPS system with jRate timer quantization and polled-stop models |
+//! | [`ft`] | detectors, the five paper treatments, scenario harness, dynamic-admission and under-run extensions |
+//! | [`rtsj`] | RTSJ-shaped API (`RealtimeThreadExtended`, `PriorityScheduler`, timers, scoped-memory model) |
+//! | [`trace`] | trace log, file format, statistics, time-series charts |
+//! | [`taskgen`] | the paper's example systems, a task-file parser, UUniFast generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rtft::prelude::*;
+//!
+//! // The paper's evaluated system (Table 2), τ3 phased into the
+//! // Figures 3–7 observation window.
+//! let set = rtft::taskgen::paper::table2_figure_window();
+//!
+//! // Admission control: WCRTs and the tolerance factor.
+//! let report = analyze_set(&set).unwrap();
+//! assert!(report.is_feasible());
+//! let eq = equitable_allowance(&set).unwrap().unwrap();
+//! assert_eq!(eq.allowance, Duration::millis(11));
+//!
+//! // Inject the paper's fault and run under the system-allowance
+//! // treatment: damage stays confined to the faulty task.
+//! let faults = FaultPlan::none().overrun(TaskId(1), 5, Duration::millis(40));
+//! let outcome = run_scenario(&Scenario::new(
+//!     "demo", set, faults,
+//!     Treatment::SystemAllowance {
+//!         mode: StopMode::Permanent,
+//!         policy: SlackPolicy::ProtectAll,
+//!     },
+//!     Instant::from_millis(1300),
+//! ).with_jrate_timers()).unwrap();
+//! assert!(outcome.collateral_failures().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use rtft_core as core;
+pub use rtft_ft as ft;
+pub use rtft_rtsj as rtsj;
+pub use rtft_sim as sim;
+pub use rtft_taskgen as taskgen;
+pub use rtft_trace as trace;
+
+/// Everything most programs need.
+pub mod prelude {
+    pub use rtft_core::prelude::*;
+    pub use rtft_ft::prelude::*;
+    pub use rtft_sim::prelude::*;
+    pub use rtft_trace::{ChartConfig, TraceLog, TraceStats};
+}

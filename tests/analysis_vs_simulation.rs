@@ -1,0 +1,146 @@
+//! Property tests binding the analytical core to the executable
+//! simulator: the analysis must *predict* what the simulator *does*.
+
+use proptest::prelude::*;
+use rtft::prelude::*;
+use rtft_core::task::{TaskBuilder, TaskSet};
+use rtft_core::time::{Duration, Instant};
+
+/// Random synchronous task set with integer-millisecond parameters and a
+/// per-task utilization low enough to keep totals below ~0.85.
+fn arb_task_set(max_tasks: usize) -> impl Strategy<Value = TaskSet> {
+    proptest::collection::vec((2i64..=100, 1i64..=20), 1..=max_tasks).prop_map(|params| {
+        let n = params.len() as i64;
+        let specs = params
+            .into_iter()
+            .enumerate()
+            .map(|(i, (period_raw, cost_raw))| {
+                let period = Duration::millis(period_raw * n); // spread load
+                // Cap cost to keep per-task utilization ≤ ~0.8/n.
+                let max_cost = (period_raw * n * 4 / (5 * n)).max(1);
+                let cost = Duration::millis(cost_raw.min(max_cost));
+                // Distinct priorities: with equal priorities the analysis
+                // is deliberately conservative (mutual interference) while
+                // the simulator runs FIFO, so exact first-job equality
+                // only holds for a total priority order.
+                TaskBuilder::new(i as u32 + 1, -(i as i32), period, cost).build()
+            })
+            .collect();
+        TaskSet::from_specs(specs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The critical-instant theorem, executed: for a synchronous
+    /// implicit-deadline set, the simulated first-job response of every
+    /// task equals the analytic level fixed point, and no later job does
+    /// worse than the analytic WCRT.
+    #[test]
+    fn simulation_matches_analysis(set in arb_task_set(6)) {
+        let analysis = rtft::core::response::ResponseAnalysis::new(&set);
+        // Skip saturated sets (divergence guard exercised elsewhere).
+        let Ok(wcrt) = analysis.wcrt_all() else { return Ok(()); };
+
+        let horizon = Instant::EPOCH + set.hyperperiod().min(Duration::secs(30));
+        let log = run_plain(set.clone(), horizon);
+        let stats = TraceStats::from_log(&log, Some(&set));
+
+        for (rank, spec) in set.tasks().iter().enumerate() {
+            if let Some(job0) = stats.job(spec.id, 0) {
+                if let Some(resp) = job0.response() {
+                    let analytic = analysis.analyze(rank).unwrap();
+                    prop_assert_eq!(
+                        resp,
+                        analytic.jobs[0].response,
+                        "{}: first-job response mismatch", spec.name
+                    );
+                }
+            }
+            if let Some(observed) = stats.observed_wcrt(spec.id) {
+                prop_assert!(
+                    observed <= wcrt[rank],
+                    "{}: observed {} exceeds analytic {}",
+                    spec.name, observed, wcrt[rank]
+                );
+            }
+        }
+    }
+
+    /// Feasible analysis ⇒ no deadline misses in execution (soundness of
+    /// the admission control the paper repairs).
+    #[test]
+    fn feasible_sets_never_miss(set in arb_task_set(6)) {
+        let report = rtft::core::feasibility::analyze_set(&set).unwrap();
+        if !report.is_feasible() { return Ok(()); }
+        let horizon = Instant::EPOCH + set.hyperperiod().min(Duration::secs(30));
+        let log = run_plain(set, horizon);
+        prop_assert!(!log.any_miss());
+    }
+
+    /// The equitable allowance is executable: inflating *every* job's cost
+    /// by the allowance still misses no deadline.
+    #[test]
+    fn equitable_allowance_is_executable(set in arb_task_set(5)) {
+        let Ok(Some(eq)) = rtft::core::allowance::equitable_allowance(&set) else {
+            return Ok(());
+        };
+        if eq.allowance.is_zero() { return Ok(()); }
+        // Inflate every job of every task via the fault plan.
+        let horizon = Instant::EPOCH + set.hyperperiod().min(Duration::secs(10));
+        let mut faults = FaultPlan::none();
+        for spec in set.tasks() {
+            let jobs = (horizon.since_epoch() / spec.period) + 1;
+            for job in 0..jobs as u64 {
+                faults = faults.overrun(spec.id, job, eq.allowance);
+            }
+        }
+        let mut sim = Simulator::new(set.clone(), SimConfig::until(horizon)).with_faults(faults);
+        let mut sup = NullSupervisor;
+        sim.run(&mut sup);
+        prop_assert!(!sim.trace().any_miss(), "allowance-inflated set missed a deadline");
+    }
+
+    /// Determinism: identical inputs produce bit-identical traces.
+    #[test]
+    fn simulation_is_deterministic(set in arb_task_set(5), seed in 0u64..1000) {
+        let plan = RandomFaults {
+            overrun_probability: 0.3,
+            magnitude: (Duration::millis(1), Duration::millis(10)),
+            jobs_per_task: 8,
+        }.sample(&set, seed);
+        let run = || {
+            let mut sim = Simulator::new(set.clone(), SimConfig::until(Instant::from_millis(2000)))
+                .with_faults(plan.clone());
+            let mut sup = NullSupervisor;
+            sim.run(&mut sup);
+            sim.into_trace().content_hash()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Deadline-monotonic optimality (constrained deadlines): if the
+    /// generated RM order is feasible, the DM reassignment is feasible too.
+    #[test]
+    fn dm_preserves_feasibility(set in arb_task_set(5)) {
+        let rm_feasible = rtft::core::response::ResponseAnalysis::new(&set)
+            .is_feasible()
+            .unwrap_or(false);
+        if !rm_feasible { return Ok(()); }
+        let dm = rtft::core::priority::deadline_monotonic(&set);
+        let dm_feasible = rtft::core::response::ResponseAnalysis::new(&dm)
+            .is_feasible()
+            .unwrap_or(false);
+        prop_assert!(dm_feasible, "DM must accept whatever RM accepts (D = T here)");
+    }
+
+    /// Utilization sanity: the hyperbolic test accepts everything the
+    /// Liu–Layland bound accepts.
+    #[test]
+    fn hyperbolic_dominates_ll(set in arb_task_set(8)) {
+        if rtft::core::utilization::liu_layland_test(&set) {
+            prop_assert!(rtft::core::utilization::hyperbolic_test(&set));
+        }
+    }
+}

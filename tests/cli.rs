@@ -1,0 +1,135 @@
+//! Integration tests for the `rtft` command-line driver.
+
+use std::process::Command;
+
+fn rtft() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rtft"))
+}
+
+fn write_paper_file(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("paper.rtft");
+    std::fs::write(&path, rtft::taskgen::PAPER_SCENARIO_FILE).unwrap();
+    path
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtft-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn analyze_prints_paper_numbers() {
+    let dir = temp_dir("analyze");
+    let file = write_paper_file(&dir);
+    let out = rtft().arg("analyze").arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("WCRT = 29ms"));
+    assert!(stdout.contains("WCRT = 87ms"));
+    assert!(stdout.contains("equitable allowance A = 11ms"));
+    assert!(stdout.contains("system allowance M = [33ms, 33ms, 33ms]"));
+}
+
+#[test]
+fn run_produces_chart_verdict_and_artifacts() {
+    let dir = temp_dir("run");
+    let file = write_paper_file(&dir);
+    let trace = dir.join("trace.log");
+    let svg = dir.join("chart.svg");
+    let out = rtft()
+        .args([
+            "run",
+            file.to_str().unwrap(),
+            "--treatment",
+            "system",
+            "--jrate",
+            "--horizon",
+            "1300ms",
+            "--window",
+            "990ms..1140ms",
+            "--cell",
+            "1ms",
+            "--save-trace",
+            trace.to_str().unwrap(),
+            "--svg",
+            svg.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("legend"));
+    assert!(stdout.contains("FAILED"), "τ1 is stopped");
+    assert!(stdout.contains("collateral failures: []"));
+
+    // The saved trace parses and contains the 1062 ms stop.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let log = rtft::trace::format::from_text(&text).unwrap();
+    let stops = log.stops();
+    assert_eq!(stops.len(), 1);
+    assert_eq!(stops[0].2.as_millis(), 1062);
+
+    // The SVG is a well-formed single document.
+    let svg_text = std::fs::read_to_string(&svg).unwrap();
+    assert!(svg_text.starts_with("<svg"));
+    assert!(svg_text.trim_end().ends_with("</svg>"));
+}
+
+#[test]
+fn chart_rerenders_saved_trace() {
+    let dir = temp_dir("chart");
+    let file = write_paper_file(&dir);
+    let trace = dir.join("trace.log");
+    assert!(rtft()
+        .args([
+            "run",
+            file.to_str().unwrap(),
+            "--treatment",
+            "none",
+            "--horizon",
+            "1300ms",
+            "--save-trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = rtft()
+        .args(["chart", trace.to_str().unwrap(), "--window", "990ms..1140ms"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("legend"));
+    assert!(stdout.contains("τ3"));
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = rtft().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = rtft().args(["analyze", "/nonexistent/file"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("rtft:"));
+    let dir = temp_dir("bad");
+    let file = write_paper_file(&dir);
+    let out = rtft()
+        .args(["run", file.to_str().unwrap(), "--treatment", "bogus"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn infeasible_system_reported() {
+    let dir = temp_dir("infeasible");
+    let path = dir.join("overload.rtft");
+    std::fs::write(&path, "a 20 10ms 10ms 8ms\nb 19 10ms 10ms 8ms\n").unwrap();
+    let out = rtft().args(["analyze", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("NOT FEASIBLE"));
+}

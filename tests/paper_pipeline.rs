@@ -1,0 +1,158 @@
+//! End-to-end reproduction of the paper's evaluation, through the public
+//! facade API only: file → admission → scenarios → verdicts → charts.
+
+use rtft::prelude::*;
+use rtft_core::task::TaskId;
+use rtft_core::time::{Duration, Instant};
+
+fn ms(v: i64) -> Duration {
+    Duration::millis(v)
+}
+
+fn t(v: i64) -> Instant {
+    Instant::from_millis(v)
+}
+
+#[test]
+fn full_paper_pipeline() {
+    // 1. Parse the bundled scenario file.
+    let desc = rtft::taskgen::parse(rtft::taskgen::PAPER_SCENARIO_FILE).unwrap();
+    let set = desc.task_set().unwrap();
+
+    // 2. Admission control reproduces Table 2.
+    let report = analyze_set(&set).unwrap();
+    assert!(report.is_feasible());
+    let wcrt: Vec<i64> = report
+        .per_task
+        .iter()
+        .map(|l| l.wcrt.unwrap().as_millis())
+        .collect();
+    assert_eq!(wcrt, vec![29, 58, 87]);
+    let eq = equitable_allowance(&set).unwrap().unwrap();
+    assert_eq!(eq.allowance, ms(11));
+    assert_eq!(
+        eq.inflated_wcrt.iter().map(|d| d.as_millis()).collect::<Vec<_>>(),
+        vec![40, 80, 120],
+        "Table 3"
+    );
+    let sa = system_allowance(&set, SlackPolicy::ProtectAll).unwrap().unwrap();
+    assert_eq!(sa.max_overrun[0], ms(33), "the paper's §6.5 thirty-three ms");
+
+    // 3. All five scenarios, checking the figures' outcomes.
+    let outcomes = run_paper_lineup(&set, &desc.faults, t(1300), TimerModel::jrate()).unwrap();
+    assert_eq!(outcomes.len(), 5);
+
+    // Figure 3/4: τ3 collateral failure.
+    for out in &outcomes[..2] {
+        assert_eq!(out.collateral_failures(), vec![TaskId(3)], "{}", out.name);
+        assert_eq!(out.log.job_end(TaskId(3), 0), Some(t(1127)));
+    }
+    // Figure 4: quantized detector delays 1/2/3 ms.
+    let fig4 = &outcomes[1];
+    assert_eq!(
+        fig4.log.faults().first(),
+        Some(&(TaskId(1), 5, t(1030))),
+        "τ1's fault detected at 1030 (29 ms WCRT on a 10 ms grid)"
+    );
+
+    // Figures 5–7: damage confined, and τ1's runtime grows monotonically.
+    let stops: Vec<Instant> = outcomes[2..]
+        .iter()
+        .map(|o| o.log.stops()[0].2)
+        .collect();
+    assert_eq!(stops, vec![t(1030), t(1040), t(1062)]);
+    for out in &outcomes[2..] {
+        assert!(out.collateral_failures().is_empty(), "{}", out.name);
+        assert!(out.log.misses(TaskId(2)).is_empty());
+        assert!(out.log.misses(TaskId(3)).is_empty());
+    }
+    // Figure 7's exact-deadline completions.
+    let fig7 = &outcomes[4];
+    assert_eq!(fig7.log.job_end(TaskId(2), 4), Some(t(1091)));
+    assert_eq!(fig7.log.job_end(TaskId(3), 0), Some(t(1120)));
+
+    // 4. Charts carry the paper's glyphs.
+    let (from, to) = rtft::taskgen::paper::figure_window();
+    for out in &outcomes {
+        let chart = out.chart(&set, from, to, ms(1));
+        assert!(chart.contains('↑'), "{}: releases", out.name);
+        assert!(chart.contains('↓'), "{}: deadlines", out.name);
+        assert!(chart.contains("legend"), "{}", out.name);
+    }
+}
+
+#[test]
+fn trace_log_round_trips_through_file_format() {
+    let desc = rtft::taskgen::parse(rtft::taskgen::PAPER_SCENARIO_FILE).unwrap();
+    let set = desc.task_set().unwrap();
+    let sc = Scenario::new(
+        "roundtrip",
+        set,
+        desc.faults,
+        Treatment::SystemAllowance {
+            mode: StopMode::Permanent,
+            policy: SlackPolicy::ProtectAll,
+        },
+        t(1300),
+    )
+    .with_jrate_timers();
+    let out = run_scenario(&sc).unwrap();
+    let text = rtft::trace::format::to_text(&out.log);
+    let back = rtft::trace::format::from_text(&text).unwrap();
+    assert_eq!(back, out.log);
+    assert_eq!(back.content_hash(), out.log.content_hash());
+}
+
+#[test]
+fn measured_responses_never_exceed_analysis_without_faults() {
+    let set = rtft::taskgen::paper::table2();
+    let wcrt = rtft::core::response::wcrt_all(&set).unwrap();
+    let log = run_plain(set.clone(), t(30_000));
+    let stats = TraceStats::from_log(&log, Some(&set));
+    for (rank, spec) in set.tasks().iter().enumerate() {
+        let observed = stats.observed_wcrt(spec.id).unwrap();
+        assert!(
+            observed <= wcrt[rank],
+            "{}: observed {} > analytic {}",
+            spec.name,
+            observed,
+            wcrt[rank]
+        );
+    }
+    assert!(!log.any_miss());
+}
+
+#[test]
+fn overrun_band_reproduces_figure3_for_any_delta_in_band() {
+    // EXPERIMENTS.md: any Δ ∈ (33, 41] yields the Figure 3 outcome.
+    let set = rtft::taskgen::paper::table2_figure_window();
+    for delta in [34i64, 37, 40, 41] {
+        let faults = FaultPlan::none().overrun(TaskId(1), 5, ms(delta));
+        let sc = Scenario::new("band", set.clone(), faults, Treatment::NoDetection, t(1300));
+        let out = run_scenario(&sc).unwrap();
+        assert_eq!(
+            out.verdict.failed_tasks(),
+            vec![TaskId(3)],
+            "Δ = {delta} ms"
+        );
+    }
+    // Outside the band: at Δ = 33 nobody fails; at Δ = 42 τ1 also fails.
+    let ok = run_scenario(&Scenario::new(
+        "band-lo",
+        set.clone(),
+        FaultPlan::none().overrun(TaskId(1), 5, ms(33)),
+        Treatment::NoDetection,
+        t(1300),
+    ))
+    .unwrap();
+    assert!(ok.verdict.all_ok());
+    let both = run_scenario(&Scenario::new(
+        "band-hi",
+        set,
+        FaultPlan::none().overrun(TaskId(1), 5, ms(42)),
+        Treatment::NoDetection,
+        t(1300),
+    ))
+    .unwrap();
+    assert_eq!(both.verdict.failed_tasks(), vec![TaskId(1), TaskId(3)]);
+}
