@@ -37,11 +37,9 @@ fn bench_detector_overhead(c: &mut Criterion) {
                 treatment,
                 Instant::from_millis(5_000),
             );
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &sc,
-                |b, sc| b.iter(|| run_scenario(black_box(sc)).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &sc, |b, sc| {
+                b.iter(|| run_scenario(black_box(sc)).unwrap())
+            });
         }
     }
     group.finish();
@@ -53,7 +51,11 @@ fn bench_treatments(c: &mut Criterion) {
         let sc = Scenario::new(
             treatment.name(),
             paper::table2_figure_window(),
-            FaultPlan::none().overrun(TaskId(1), paper::FAULTY_JOB_OF_TAU1, paper::injected_overrun()),
+            FaultPlan::none().overrun(
+                TaskId(1),
+                paper::FAULTY_JOB_OF_TAU1,
+                paper::injected_overrun(),
+            ),
             treatment,
             Instant::from_millis(1300),
         )
@@ -71,7 +73,11 @@ fn bench_quantization(c: &mut Criterion) {
         let sc = Scenario::new(
             label,
             paper::table2_figure_window(),
-            FaultPlan::none().overrun(TaskId(1), paper::FAULTY_JOB_OF_TAU1, paper::injected_overrun()),
+            FaultPlan::none().overrun(
+                TaskId(1),
+                paper::FAULTY_JOB_OF_TAU1,
+                paper::injected_overrun(),
+            ),
             Treatment::DetectOnly,
             Instant::from_millis(1300),
         )
@@ -83,5 +89,10 @@ fn bench_quantization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_detector_overhead, bench_treatments, bench_quantization);
+criterion_group!(
+    benches,
+    bench_detector_overhead,
+    bench_treatments,
+    bench_quantization
+);
 criterion_main!(benches);

@@ -11,8 +11,8 @@
 //! * `allowance_scaling/<n>` — the binary-search allowance on random sets.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rtft_core::allowance::{equitable_allowance, system_allowance, SlackPolicy};
-use rtft_core::feasibility::analyze_set;
+use rtft_core::allowance::SlackPolicy;
+use rtft_core::analyzer::Analyzer;
 use rtft_core::response::{analyze, wcrt_all};
 use rtft_taskgen::paper;
 use rtft_taskgen::{DeadlineKind, GeneratorConfig};
@@ -25,20 +25,35 @@ fn bench_tables(c: &mut Criterion) {
     });
 
     let t2 = paper::table2();
-    c.bench_function("table2_wcrt", |b| b.iter(|| wcrt_all(black_box(&t2)).unwrap()));
+    c.bench_function("table2_wcrt", |b| {
+        b.iter(|| wcrt_all(black_box(&t2)).unwrap())
+    });
     c.bench_function("table2_equitable", |b| {
-        b.iter(|| equitable_allowance(black_box(&t2)).unwrap().unwrap().allowance)
+        b.iter(|| {
+            Analyzer::new(black_box(&t2))
+                .equitable_allowance()
+                .unwrap()
+                .unwrap()
+                .allowance
+        })
     });
     c.bench_function("table2_system", |b| {
         b.iter(|| {
-            system_allowance(black_box(&t2), SlackPolicy::ProtectAll)
+            Analyzer::new(black_box(&t2))
+                .system_allowance_with(SlackPolicy::ProtectAll)
                 .unwrap()
                 .unwrap()
                 .max_overrun
         })
     });
     c.bench_function("table3_inflated", |b| {
-        b.iter(|| equitable_allowance(black_box(&t2)).unwrap().unwrap().inflated_wcrt)
+        b.iter(|| {
+            Analyzer::new(black_box(&t2))
+                .equitable_allowance()
+                .unwrap()
+                .unwrap()
+                .inflated_wcrt
+        })
     });
 }
 
@@ -49,9 +64,11 @@ fn bench_scaling(c: &mut Criterion) {
             .with_utilization(0.7)
             .with_deadlines(DeadlineKind::Constrained)
             .generate(7);
-        group.bench_with_input(BenchmarkId::new("constrained", n), &constrained, |b, set| {
-            b.iter(|| wcrt_all(black_box(set)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("constrained", n),
+            &constrained,
+            |b, set| b.iter(|| wcrt_all(black_box(set))),
+        );
         let arbitrary = GeneratorConfig::new(n)
             .with_utilization(0.7)
             .with_deadlines(DeadlineKind::Arbitrary)
@@ -66,7 +83,12 @@ fn bench_scaling(c: &mut Criterion) {
     for n in [8usize, 32, 128] {
         let set = GeneratorConfig::new(n).with_utilization(0.7).generate(11);
         group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
-            b.iter(|| analyze_set(black_box(set)).unwrap().is_feasible())
+            b.iter(|| {
+                Analyzer::new(black_box(set))
+                    .report()
+                    .unwrap()
+                    .is_feasible()
+            })
         });
     }
     group.finish();
@@ -76,7 +98,7 @@ fn bench_scaling(c: &mut Criterion) {
     for n in [8usize, 16, 32] {
         let set = GeneratorConfig::new(n).with_utilization(0.6).generate(13);
         group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
-            b.iter(|| equitable_allowance(black_box(set)).unwrap())
+            b.iter(|| Analyzer::new(black_box(set)).equitable_allowance().unwrap())
         });
     }
     group.finish();

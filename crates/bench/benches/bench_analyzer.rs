@@ -1,0 +1,150 @@
+//! Analyzer-session benchmarks: what the incremental API buys.
+//!
+//! * `allowance_search/{cold,warm}/<n>` — the §4.2 equitable-allowance
+//!   binary search on UUniFast sets, with warm starting disabled vs
+//!   enabled. The cold path is the legacy free-function behaviour (every
+//!   probe re-runs the full fixed point from `C_i`); the warm path seeds
+//!   each probe from the feasible frontier. The speedup is the headline
+//!   number of the session API.
+//! * `system_allowance/{cold,warm}/<n>` — same comparison for the §4.3
+//!   per-task overrun searches.
+//! * `session_requery` — the memoization win: a second `wcrt_all` +
+//!   `equitable_allowance` on a live session (cache hits) vs a fresh
+//!   session per query.
+//! * `epoch_admission/<n>` — online admission churn: admit/remove a task
+//!   against a persistent session (what `DynamicSystem` does per epoch)
+//!   vs re-analysing from scratch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtft_core::analyzer::{Analyzer, AnalyzerBuilder};
+use rtft_core::task::{TaskBuilder, TaskSet};
+use rtft_core::time::Duration;
+use rtft_taskgen::GeneratorConfig;
+use std::hint::black_box;
+
+fn uunifast_set(n: usize, seed: u64) -> TaskSet {
+    GeneratorConfig::new(n)
+        .with_utilization(0.72)
+        .generate(seed)
+}
+
+fn bench_allowance_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allowance_search");
+    for n in [16usize, 50] {
+        let set = uunifast_set(n, 21);
+        // Sanity: both paths agree bit-for-bit before we time them.
+        let cold_eq = AnalyzerBuilder::new(&set)
+            .warm_start(false)
+            .build()
+            .equitable_allowance()
+            .unwrap();
+        let warm_eq = Analyzer::new(&set).equitable_allowance().unwrap();
+        assert_eq!(cold_eq, warm_eq, "warm starting must not change results");
+
+        group.bench_with_input(BenchmarkId::new("cold", n), &set, |b, set| {
+            b.iter(|| {
+                AnalyzerBuilder::new(black_box(set))
+                    .warm_start(false)
+                    .build()
+                    .equitable_allowance()
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm", n), &set, |b, set| {
+            b.iter(|| Analyzer::new(black_box(set)).equitable_allowance().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_system_allowance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_allowance");
+    for n in [16usize, 50] {
+        let set = uunifast_set(n, 22);
+        group.bench_with_input(BenchmarkId::new("cold", n), &set, |b, set| {
+            b.iter(|| {
+                AnalyzerBuilder::new(black_box(set))
+                    .warm_start(false)
+                    .build()
+                    .system_allowance()
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm", n), &set, |b, set| {
+            b.iter(|| Analyzer::new(black_box(set)).system_allowance().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_session_requery(c: &mut Criterion) {
+    let set = uunifast_set(50, 23);
+    let mut group = c.benchmark_group("session_requery");
+    group.bench_function(BenchmarkId::from_parameter("fresh_each_query"), |b| {
+        b.iter(|| {
+            let w = Analyzer::new(black_box(&set)).wcrt_all().unwrap();
+            let eq = Analyzer::new(black_box(&set))
+                .equitable_allowance()
+                .unwrap();
+            (w, eq)
+        })
+    });
+    let mut live = Analyzer::new(&set);
+    live.wcrt_all().unwrap();
+    live.equitable_allowance().unwrap();
+    group.bench_function(BenchmarkId::from_parameter("live_session"), |b| {
+        b.iter(|| {
+            let w = live.wcrt_all().unwrap();
+            let eq = live.equitable_allowance().unwrap();
+            (w, eq)
+        })
+    });
+    group.finish();
+}
+
+fn bench_epoch_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_admission");
+    for n in [16usize, 50] {
+        let set = uunifast_set(n, 24);
+        let newcomer = TaskBuilder::new(
+            (n + 1) as u32,
+            0, // below every generated priority
+            Duration::millis(400),
+            Duration::millis(2),
+        )
+        .build();
+        // Each epoch change derives the full detector plan — WCRT
+        // thresholds plus the equitable allowance — like `DynamicSystem`.
+        group.bench_with_input(BenchmarkId::new("scratch", n), &set, |b, set| {
+            b.iter(|| {
+                let grown = set.with_added(newcomer.clone()).unwrap();
+                let mut a = AnalyzerBuilder::new(&grown).warm_start(false).build();
+                let w = a.wcrt_all().unwrap();
+                let eq = a.equitable_allowance().unwrap();
+                (w, eq)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("session", n), &set, |b, set| {
+            let mut session = Analyzer::new(set);
+            session.wcrt_all().unwrap();
+            session.equitable_allowance().unwrap();
+            b.iter(|| {
+                session.admit(newcomer.clone()).unwrap();
+                let w = session.wcrt_all().unwrap();
+                let eq = session.equitable_allowance().unwrap();
+                session.remove(newcomer.id).unwrap();
+                (w, eq)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_allowance_search,
+    bench_system_allowance,
+    bench_session_requery,
+    bench_epoch_admission
+);
+criterion_main!(benches);

@@ -18,7 +18,11 @@ use rtft_taskgen::paper;
 use std::hint::black_box;
 
 fn fault() -> FaultPlan {
-    FaultPlan::none().overrun(TaskId(1), paper::FAULTY_JOB_OF_TAU1, paper::injected_overrun())
+    FaultPlan::none().overrun(
+        TaskId(1),
+        paper::FAULTY_JOB_OF_TAU1,
+        paper::injected_overrun(),
+    )
 }
 
 fn figure(treatment: Treatment) -> Scenario {

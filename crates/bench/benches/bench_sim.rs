@@ -39,7 +39,9 @@ fn bench_sim(c: &mut Criterion) {
 
     let log = run_plain(paper::table2(), Instant::from_millis(30_000));
     let text = to_text(&log);
-    c.bench_function("sim_trace_serialize", |b| b.iter(|| to_text(black_box(&log))));
+    c.bench_function("sim_trace_serialize", |b| {
+        b.iter(|| to_text(black_box(&log)))
+    });
     c.bench_function("sim_trace_parse", |b| {
         b.iter(|| from_text(black_box(&text)).unwrap())
     });

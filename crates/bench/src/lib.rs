@@ -1,1 +1,1 @@
-//! placeholder
+//! Benchmark-only crate: all content lives in `benches/`.

@@ -1,0 +1,454 @@
+//! Offline, std-only stand-in for the slice of the `proptest` API this
+//! workspace uses: the `proptest!` macro, composable [`Strategy`] values
+//! (integer ranges, tuples, `collection::vec`, `prop_map`, `prop_oneof!`,
+//! `Just`, printable-string patterns) and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberate for offline simplicity:
+//!
+//! * no shrinking — a failure reports the case number and seed instead;
+//! * string strategies ignore the regex pattern beyond "printable chars,
+//!   bounded length", which is all the workspace's `\PC{0,200}` uses ask;
+//! * generation is driven by a SplitMix64 stream seeded per test name
+//!   (override with `PROPTEST_SEED`), so failures are reproducible.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic random source for strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test name (stable across runs) xor an optional
+    /// `PROPTEST_SEED` environment override.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                h ^= v;
+            }
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit word (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        self.next_u64() % span
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A boxed, type-erased strategy (what [`prop_oneof!`] builds).
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Box a strategy (helper used by [`prop_oneof!`]).
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+/// Strategy returning a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies of one value type.
+pub struct OneOf<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let pick = rng.below(self.0.len() as u64) as usize;
+        self.0[pick].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $signed_via:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $signed_via).wrapping_sub(self.start as $signed_via) as u64;
+                (self.start as $signed_via).wrapping_add(rng.below(span) as $signed_via) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as $signed_via).wrapping_sub(lo as $signed_via) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as $signed_via).wrapping_add(rng.below(span + 1) as $signed_via) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy! {
+    i64 => i64,
+    u64 => u64,
+    i32 => i64,
+    u32 => u64,
+    usize => u64,
+}
+
+/// Printable characters used by string-pattern strategies.
+const PRINTABLE: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '1', '9', ' ', '\t', '.', ',', ':', ';', '!', '?',
+    '#', '%', '&', '(', ')', '[', ']', '{', '}', '<', '>', '/', '\\', '"', '\'', '-', '_', '+',
+    '=', '*', '@', '~', 'τ', 'é', 'Ω', '→', '∞', '中', '🦀',
+];
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    /// Pattern strategies: the workspace only uses printable-class
+    /// patterns like `"\PC{0,200}"`, so the pattern's sole honoured
+    /// feature is an optional trailing `{lo,hi}` length bound.
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_len_bounds(self).unwrap_or((0, 200));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| PRINTABLE[rng.below(PRINTABLE.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_len_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let close = pattern.rfind('}')?;
+    let body = pattern.get(open + 1..close)?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for vectors of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Failure raised by the `prop_assert*` macros.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wrap a failure message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Boolean property assertion; returns an error from the enclosing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r,
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::boxed($strategy)),+])
+    };
+}
+
+/// Define `#[test]` functions that run a body over random strategy
+/// samples. Supports the `#![proptest_config(..)]` inner attribute and
+/// `arg in strategy` parameter lists, like real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::from_name(stringify!($name));
+                for __case in 0..__config.cases {
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!(
+                            "proptest case {}/{} failed (set PROPTEST_SEED to vary):\n{}",
+                            __case + 1, __config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strat),+ ) $body
+            )*
+        }
+    };
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = crate::TestRng::from_name("unit");
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(3i64..=9), &mut rng);
+            assert!((3..=9).contains(&v));
+            let doubled = (1u32..5).prop_map(|x| x * 2);
+            let d = crate::Strategy::generate(&doubled, &mut rng);
+            assert!(d % 2 == 0 && (2..10).contains(&d));
+        }
+    }
+
+    #[test]
+    fn vec_and_oneof_and_str() {
+        let mut rng = crate::TestRng::from_name("unit2");
+        let s = crate::collection::vec((0i64..5, 1u64..3), 2..=4);
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!((2..=4).contains(&v.len()));
+        }
+        let o = prop_oneof![Just(1i64), Just(2i64), 5i64..7];
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&o, &mut rng);
+            assert!([1, 2, 5, 6].contains(&v));
+        }
+        let text = crate::Strategy::generate(&"\\PC{0,20}", &mut rng);
+        assert!(text.chars().count() <= 20);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0i64..100, b in 0i64..100) {
+            prop_assert!(a + b >= a, "sum must not shrink: {} {}", a, b);
+            prop_assert_eq!(a + b, b + a);
+            if a == b { return Ok(()); }
+            prop_assert!(a != b);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Offline, std-only stand-in for the slice of the `rand` crate API used by
+//! this workspace: a seedable deterministic generator plus the
+//! `random`/`random_range` extension methods.
+//!
+//! The generator is SplitMix64 (Steele, Lea & Flood): a full-period 64-bit
+//! mixer that passes BigCrush for the statistical quality needed here
+//! (UUniFast sampling, log-uniform periods, fault coin flips). Everything
+//! is deterministic per seed, which the task generators and fault plans
+//! rely on for reproducibility.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Sources of raw random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from an [`RngCore`].
+pub trait Random: Sized {
+    /// Draw one uniform sample.
+    fn random(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Random for u64 {
+    fn random(rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random(rng: &mut dyn RngCore) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random(rng: &mut dyn RngCore) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for bool {
+    fn random(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable into a value of type `T`.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+fn sample_u64_span(rng: &mut dyn RngCore, span: u64) -> u64 {
+    // Modulo with a 64-bit source: bias is at most span/2^64, far below
+    // anything observable in the workloads generated here.
+    rng.next_u64() % span
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample(self, rng: &mut dyn RngCore) -> usize {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + sample_u64_span(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample(self, rng: &mut dyn RngCore) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + sample_u64_span(rng, (hi - lo) as u64 + 1) as usize
+    }
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample(self, rng: &mut dyn RngCore) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + sample_u64_span(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample(self, rng: &mut dyn RngCore) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        if lo == 0 && hi == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + sample_u64_span(rng, hi - lo + 1)
+    }
+}
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample(self, rng: &mut dyn RngCore) -> i64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(sample_u64_span(rng, span) as i64)
+    }
+}
+
+impl SampleRange<i64> for RangeInclusive<i64> {
+    fn sample(self, rng: &mut dyn RngCore) -> i64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = hi.wrapping_sub(lo) as u64;
+        if span == u64::MAX {
+            return rng.next_u64() as i64;
+        }
+        lo.wrapping_add(sample_u64_span(rng, span + 1) as i64)
+    }
+}
+
+/// The `Rng`-style extension methods the workspace calls.
+pub trait RngExt: RngCore {
+    /// Uniform sample of a [`Random`] type: `rng.random::<f64>()`.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// Uniform sample from a range: `rng.random_range(0..n)`,
+    /// `rng.random_range(lo..=hi)`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let u = rng.random_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let i = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[rng.random_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            assert!((8_000..12_000).contains(&b), "bucket count {b}");
+        }
+    }
+}

@@ -20,7 +20,6 @@
 //! approximation.
 
 use crate::error::AnalysisError;
-use crate::response::ResponseAnalysis;
 use crate::task::{TaskId, TaskSet};
 use crate::time::Duration;
 
@@ -70,123 +69,47 @@ pub struct SystemAllowance {
     pub policy: SlackPolicy,
 }
 
-/// Binary search for the largest `x` in `[0, hi]` such that
-/// `feasible(x)` holds, given that feasibility is monotone (downward
-/// closed). Returns `None` when even `x = 0` fails.
-fn max_feasible(
-    hi: Duration,
-    mut feasible: impl FnMut(Duration) -> Result<bool, AnalysisError>,
-) -> Result<Option<Duration>, AnalysisError> {
-    if !feasible(Duration::ZERO)? {
-        return Ok(None);
-    }
-    if feasible(hi)? {
-        return Ok(Some(hi));
-    }
-    // Invariant: feasible(lo) ∧ ¬feasible(hi).
-    let mut lo = Duration::ZERO;
-    let mut hi = hi;
-    while hi - lo > Duration::NANO {
-        let mid = lo + (hi - lo) / 2;
-        if feasible(mid)? {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    Ok(Some(lo))
-}
-
 /// Largest uniform cost increment keeping the whole set feasible
 /// (paper §4.2). Returns [`AnalysisError::Divergent`]-style errors from the
 /// underlying analysis; an infeasible *base* system yields `Ok(None)`.
+#[deprecated(
+    since = "0.2.0",
+    note = "one-shot wrapper that rebuilds the analysis from scratch; hold an \
+            `analyzer::Analyzer` session and call `.equitable_allowance()` to \
+            share and warm-start the fixed-point state"
+)]
 pub fn equitable_allowance(set: &TaskSet) -> Result<Option<EquitableAllowance>, AnalysisError> {
-    let base = ResponseAnalysis::new(set);
-    let base_wcrt = match base.wcrt_all() {
-        Ok(w) => w,
-        Err(AnalysisError::Divergent { .. }) => return Ok(None),
-        Err(e) => return Err(e),
-    };
-    // The tightest own-deadline constraint caps the search: for any task,
-    // R_i ≥ C_i + A, so A > min_i (D_i − C_i) is certainly infeasible.
-    let hi = set
-        .tasks()
-        .iter()
-        .map(|t| t.deadline - t.cost)
-        .fold(Duration::MAX, Duration::min)
-        .max(Duration::ZERO);
-    let feasible = |a: Duration| -> Result<bool, AnalysisError> {
-        let mut r = ResponseAnalysis::new(set);
-        r.inflate_all(a);
-        r.is_feasible()
-    };
-    let Some(allowance) = max_feasible(hi, feasible)? else {
-        return Ok(None);
-    };
-    let mut inflated = ResponseAnalysis::new(set);
-    inflated.inflate_all(allowance);
-    let inflated_wcrt = inflated.wcrt_all()?;
-    Ok(Some(EquitableAllowance { allowance, inflated_wcrt, base_wcrt }))
+    crate::analyzer::Analyzer::new(set).equitable_allowance()
 }
 
 /// Largest overrun the task at `rank` can make **alone** with the rest of
 /// the system staying feasible (paper §4.3's `M_i`). `Ok(None)` when the
 /// base system is already infeasible.
+#[deprecated(
+    since = "0.2.0",
+    note = "one-shot wrapper; use `analyzer::Analyzer::max_single_overrun_with` \
+            on a session to warm-start the search"
+)]
 pub fn max_single_overrun(
     set: &TaskSet,
     rank: usize,
     policy: SlackPolicy,
 ) -> Result<Option<Duration>, AnalysisError> {
-    let task = set.by_rank(rank);
-    // Own-deadline cap under ProtectAll; otherwise cap by the largest
-    // deadline of the tasks the overrun can interfere with (it cannot delay
-    // anybody beyond that), plus own period as a conservative margin.
-    let hi = match policy {
-        SlackPolicy::ProtectAll => (task.deadline - task.cost).max(Duration::ZERO),
-        SlackPolicy::ProtectOthers => set.max_deadline() + task.period,
-    };
-    let feasible = |delta: Duration| -> Result<bool, AnalysisError> {
-        let mut r = ResponseAnalysis::new(set);
-        r.set_cost(rank, task.cost + delta);
-        for k in 0..set.len() {
-            if policy == SlackPolicy::ProtectOthers && k == rank {
-                continue;
-            }
-            match r.wcrt(k) {
-                Ok(w) => {
-                    if w > set.by_rank(k).deadline {
-                        return Ok(false);
-                    }
-                }
-                Err(AnalysisError::Divergent { .. }) => return Ok(false),
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(true)
-    };
-    max_feasible(hi, feasible)
+    crate::analyzer::Analyzer::new(set).max_single_overrun_with(rank, policy)
 }
 
 /// `M_i` for every task (paper §4.3). `Ok(None)` when the base system is
 /// infeasible.
+#[deprecated(
+    since = "0.2.0",
+    note = "one-shot wrapper; use `analyzer::Analyzer::system_allowance_with` \
+            on a session — the per-task searches then share one analysis state"
+)]
 pub fn system_allowance(
     set: &TaskSet,
     policy: SlackPolicy,
 ) -> Result<Option<SystemAllowance>, AnalysisError> {
-    let base = ResponseAnalysis::new(set);
-    let base_wcrt = match base.wcrt_all() {
-        Ok(w) => w,
-        Err(AnalysisError::Divergent { .. }) => return Ok(None),
-        Err(e) => return Err(e),
-    };
-    let mut max_overrun = Vec::with_capacity(set.len());
-    for rank in 0..set.len() {
-        match max_single_overrun(set, rank, policy)? {
-            Some(m) => max_overrun.push(m),
-            None => return Ok(None),
-        }
-    }
-    Ok(Some(SystemAllowance { max_overrun, base_wcrt, policy }))
+    crate::analyzer::Analyzer::new(set).system_allowance_with(policy)
 }
 
 /// How much of a lower-priority task's slack a set of simultaneous
@@ -195,17 +118,19 @@ pub fn system_allowance(
 ///
 /// Used by the run-time allowance manager to subtract "the more priority
 /// tasks overrun" (paper §4.3) when granting a later faulty task.
+#[deprecated(
+    since = "0.2.0",
+    note = "one-shot wrapper; use `analyzer::Analyzer::wcrt_under_overruns` on \
+            a session to reuse its cached busy-period solutions"
+)]
 pub fn wcrt_under_overruns(
     set: &TaskSet,
     victim: usize,
     overruns: &[(usize, Duration)],
 ) -> Result<Duration, AnalysisError> {
-    let mut r = ResponseAnalysis::new(set);
-    for &(rank, delta) in overruns {
-        let base = set.by_rank(rank).cost;
-        r.set_cost(rank, base + delta);
-    }
-    r.wcrt(victim)
+    let mut session = crate::analyzer::Analyzer::new(set);
+    let _ = session.wcrt(victim);
+    session.wcrt_under_overruns(victim, overruns)
 }
 
 /// Identify which task's deadline is the *binding constraint* for the
@@ -224,7 +149,12 @@ pub fn binding_task(set: &TaskSet, eq: &EquitableAllowance) -> (TaskId, Duration
 
 #[cfg(test)]
 mod tests {
+    // The free functions under test are the deprecated compatibility
+    // shims; these tests pin their behaviour to the Analyzer's.
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::response::ResponseAnalysis;
     use crate::task::TaskBuilder;
 
     fn ms(v: i64) -> Duration {
@@ -233,9 +163,15 @@ mod tests {
 
     fn table2() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 
@@ -291,8 +227,12 @@ mod tests {
     fn protect_others_relaxes_own_deadline() {
         // Make τ1's own deadline the binding constraint under ProtectAll.
         let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(40)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(200)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(40))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(200))
+                .build(),
         ]);
         let all = max_single_overrun(&set, 0, SlackPolicy::ProtectAll)
             .unwrap()
@@ -313,7 +253,10 @@ mod tests {
             TaskBuilder::new(2, 5, ms(10), ms(8)).build(),
         ]);
         assert_eq!(equitable_allowance(&set).unwrap(), None);
-        assert_eq!(system_allowance(&set, SlackPolicy::ProtectAll).unwrap(), None);
+        assert_eq!(
+            system_allowance(&set, SlackPolicy::ProtectAll).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -322,7 +265,9 @@ mod tests {
         // still Some (the system itself is feasible).
         let set = TaskSet::from_specs(vec![
             TaskBuilder::new(1, 10, ms(10), ms(5)).build(),
-            TaskBuilder::new(2, 5, ms(20), ms(5)).deadline(ms(10)).build(),
+            TaskBuilder::new(2, 5, ms(20), ms(5))
+                .deadline(ms(10))
+                .build(),
         ]);
         let eq = equitable_allowance(&set).unwrap().unwrap();
         assert_eq!(eq.allowance, Duration::ZERO);
@@ -341,18 +286,5 @@ mod tests {
             wcrt_under_overruns(&set, 2, &[(0, ms(20)), (1, ms(20))]).unwrap(),
             ms(127)
         );
-    }
-
-    #[test]
-    fn max_feasible_handles_hi_feasible() {
-        // feasible everywhere in range → returns hi.
-        let r = max_feasible(ms(5), |_| Ok(true)).unwrap();
-        assert_eq!(r, Some(ms(5)));
-        let r = max_feasible(ms(5), |x| Ok(x <= ms(2))).unwrap();
-        assert_eq!(r, Some(ms(2)));
-        let r = max_feasible(ms(5), |x| Ok(x.is_zero())).unwrap();
-        assert_eq!(r, Some(Duration::ZERO));
-        let r = max_feasible(ms(5), |_| Ok(false)).unwrap();
-        assert_eq!(r, None);
     }
 }

@@ -56,7 +56,11 @@ impl ResourceModel {
     /// Panics on a non-positive duration.
     pub fn add_section(&mut self, task: TaskId, resource: ResourceId, duration: Duration) {
         assert!(duration.is_positive(), "critical section must take time");
-        self.sections.push(CriticalSection { task, resource, duration });
+        self.sections.push(CriticalSection {
+            task,
+            resource,
+            duration,
+        });
     }
 
     /// All declared sections.
@@ -86,11 +90,15 @@ impl ResourceModel {
         let ceilings = self.ceilings(set);
         let mut worst = Duration::ZERO;
         for cs in &self.sections {
-            let Some(owner) = set.by_id(cs.task) else { continue };
+            let Some(owner) = set.by_id(cs.task) else {
+                continue;
+            };
             if owner.priority >= me.priority {
                 continue; // only lower-priority holders block
             }
-            let Some(&ceiling) = ceilings.get(&cs.resource) else { continue };
+            let Some(&ceiling) = ceilings.get(&cs.resource) else {
+                continue;
+            };
             if ceiling >= me.priority {
                 worst = worst.max(cs.duration);
             }
@@ -121,7 +129,10 @@ pub fn wcrt_with_blocking(
     set: &TaskSet,
     resources: &ResourceModel,
 ) -> Result<Vec<Duration>, AnalysisError> {
-    analysis_with_blocking(set, resources).wcrt_all()
+    crate::analyzer::AnalyzerBuilder::new(set)
+        .blocking(resources)
+        .build()
+        .wcrt_all()
 }
 
 /// Equitable allowance recomputed with blocking terms — the paper's §7
@@ -132,51 +143,10 @@ pub fn allowance_with_blocking(
     set: &TaskSet,
     resources: &ResourceModel,
 ) -> Result<Option<EquitableAllowance>, AnalysisError> {
-    let blocking = resources.blocking_all(set);
-    let base = {
-        let a = analysis_with_blocking(set, resources);
-        match a.wcrt_all() {
-            Ok(w) => w,
-            Err(AnalysisError::Divergent { .. }) => return Ok(None),
-            Err(e) => return Err(e),
-        }
-    };
-    let feasible = |delta: Duration| -> Result<bool, AnalysisError> {
-        let mut a = analysis_with_blocking(set, resources);
-        a.inflate_all(delta);
-        a.is_feasible()
-    };
-    if !feasible(Duration::ZERO)? {
-        return Ok(None);
-    }
-    let hi = set
-        .tasks()
-        .iter()
-        .map(|t| t.deadline - t.cost)
-        .fold(Duration::MAX, Duration::min)
-        .max(Duration::ZERO);
-    // Monotone binary search, mirroring crate::allowance::max_feasible
-    // (kept local: the closure type differs and the loop is four lines).
-    let mut lo = Duration::ZERO;
-    let mut hi_b = hi;
-    if feasible(hi_b)? {
-        lo = hi_b;
-    } else {
-        while hi_b - lo > Duration::NANO {
-            let mid = lo + (hi_b - lo) / 2;
-            if feasible(mid)? {
-                lo = mid;
-            } else {
-                hi_b = mid;
-            }
-        }
-    }
-    let allowance = lo;
-    let mut a = analysis_with_blocking(set, resources);
-    a.inflate_all(allowance);
-    let inflated_wcrt = a.wcrt_all()?;
-    let _ = blocking;
-    Ok(Some(EquitableAllowance { allowance, inflated_wcrt, base_wcrt: base }))
+    crate::analyzer::AnalyzerBuilder::new(set)
+        .blocking(resources)
+        .build()
+        .equitable_allowance()
 }
 
 #[cfg(test)]
@@ -190,9 +160,15 @@ mod tests {
 
     fn table2() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 
@@ -201,7 +177,10 @@ mod tests {
         let set = table2();
         let rm = ResourceModel::new();
         assert_eq!(rm.blocking_all(&set), vec![ms(0), ms(0), ms(0)]);
-        assert_eq!(wcrt_with_blocking(&set, &rm).unwrap(), vec![ms(29), ms(58), ms(87)]);
+        assert_eq!(
+            wcrt_with_blocking(&set, &rm).unwrap(),
+            vec![ms(29), ms(58), ms(87)]
+        );
     }
 
     #[test]
@@ -270,9 +249,15 @@ mod tests {
     fn allowance_binding_can_move_to_blocked_task() {
         // Tighten τ2's deadline so its blocked, inflated response binds.
         let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(80)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(80))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ]);
         let mut rm = ResourceModel::new();
         rm.add_section(TaskId(2), ResourceId(1), ms(1));
@@ -281,14 +266,19 @@ mod tests {
         let eq = allowance_with_blocking(&set, &rm).unwrap().unwrap();
         assert_eq!(eq.allowance, ms(6));
         // Without resources it would have been 11.
-        let plain = crate::allowance::equitable_allowance(&set).unwrap().unwrap();
+        let plain = crate::analyzer::Analyzer::new(&set)
+            .equitable_allowance()
+            .unwrap()
+            .unwrap();
         assert_eq!(plain.allowance, ms(11));
     }
 
     #[test]
     fn infeasible_under_blocking_yields_none() {
         let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(100), ms(29)).deadline(ms(30)).build(),
+            TaskBuilder::new(1, 20, ms(100), ms(29))
+                .deadline(ms(30))
+                .build(),
             TaskBuilder::new(2, 18, ms(250), ms(29)).build(),
         ]);
         let mut rm = ResourceModel::new();

@@ -80,12 +80,17 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(ModelError::Empty.to_string(), "task set is empty");
-        assert!(ModelError::DuplicateId(TaskId(3)).to_string().contains("τ3"));
+        assert!(ModelError::DuplicateId(TaskId(3))
+            .to_string()
+            .contains("τ3"));
         assert!(AnalysisError::Divergent { task: TaskId(1) }
             .to_string()
             .contains("diverges"));
-        assert!(AnalysisError::IterationLimit { task: TaskId(1), limit: 10 }
-            .to_string()
-            .contains("10"));
+        assert!(AnalysisError::IterationLimit {
+            task: TaskId(1),
+            limit: 10
+        }
+        .to_string()
+        .contains("10"));
     }
 }

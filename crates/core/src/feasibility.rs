@@ -9,16 +9,13 @@
 //! [`crate::response`], preceded by the cheap load test of
 //! [`crate::utilization`].
 
-use crate::allowance::{equitable_allowance, system_allowance, SlackPolicy};
+use crate::allowance::SlackPolicy;
 use crate::error::{AnalysisError, ModelError};
-use crate::response::ResponseAnalysis;
 use crate::task::{TaskId, TaskSet, TaskSpec};
 use crate::time::Duration;
-use crate::utilization::{load_test, LoadVerdict};
-use serde::{Deserialize, Serialize};
 
 /// Per-task line of a feasibility report.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TaskFeasibility {
     /// The task.
     pub task: TaskId,
@@ -38,7 +35,7 @@ impl TaskFeasibility {
 }
 
 /// Full admission-control report for a task set.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct FeasibilityReport {
     /// Total utilization.
     pub utilization: f64,
@@ -66,36 +63,13 @@ impl FeasibilityReport {
 
 /// Run the full admission analysis on a set: load test first (paper §2.1),
 /// then exact response times (paper §2.2).
+#[deprecated(
+    since = "0.2.0",
+    note = "one-shot wrapper; hold an `analyzer::Analyzer` session and call \
+            `.report()` — repeated queries then reuse the cached WCRTs"
+)]
 pub fn analyze_set(set: &TaskSet) -> Result<FeasibilityReport, AnalysisError> {
-    let verdict = load_test(set);
-    if let LoadVerdict::Overloaded { utilization } = verdict {
-        return Ok(FeasibilityReport {
-            utilization,
-            overloaded: true,
-            per_task: Vec::new(),
-        });
-    }
-    let analysis = ResponseAnalysis::new(set);
-    let mut per_task = Vec::with_capacity(set.len());
-    for rank in 0..set.len() {
-        let task = set.by_rank(rank);
-        let wcrt = match analysis.wcrt(rank) {
-            Ok(w) => Some(w),
-            Err(AnalysisError::Divergent { .. }) => None,
-            Err(e) => return Err(e),
-        };
-        per_task.push(TaskFeasibility {
-            task: task.id,
-            wcrt,
-            deadline: task.deadline,
-            feasible: wcrt.is_some_and(|w| w <= task.deadline),
-        });
-    }
-    Ok(FeasibilityReport {
-        utilization: verdict.utilization(),
-        overloaded: false,
-        per_task,
-    })
+    crate::analyzer::Analyzer::new(set).report()
 }
 
 /// Outcome of an admission request.
@@ -138,7 +112,9 @@ impl AdmissionController {
 
     /// Controller pre-loaded with an existing set.
     pub fn with_set(set: &TaskSet) -> Self {
-        AdmissionController { tasks: set.tasks().to_vec() }
+        AdmissionController {
+            tasks: set.tasks().to_vec(),
+        }
     }
 
     /// Number of admitted tasks.
@@ -166,7 +142,9 @@ impl AdmissionController {
         let mut candidate = self.tasks.clone();
         candidate.push(spec);
         let set = TaskSet::new(candidate).map_err(AdmissionError::Model)?;
-        let report = analyze_set(&set).map_err(AdmissionError::Analysis)?;
+        let report = crate::analyzer::Analyzer::new(&set)
+            .report()
+            .map_err(AdmissionError::Analysis)?;
         if report.is_feasible() {
             self.tasks = set.tasks().to_vec();
             Ok(Admission::Admitted(report))
@@ -199,16 +177,18 @@ impl AdmissionController {
 
     /// Feasibility report of the current set.
     pub fn report(&self) -> Result<FeasibilityReport, AdmissionError> {
-        let set = TaskSet::new(self.tasks.clone()).map_err(AdmissionError::Model)?;
-        analyze_set(&set).map_err(AdmissionError::Analysis)
+        let mut session = self.session()?;
+        session.report().map_err(AdmissionError::Analysis)
     }
 
     /// Equitable allowance of the current set (`None` if infeasible).
     pub fn equitable_allowance(
         &self,
     ) -> Result<Option<crate::allowance::EquitableAllowance>, AdmissionError> {
-        let set = TaskSet::new(self.tasks.clone()).map_err(AdmissionError::Model)?;
-        equitable_allowance(&set).map_err(AdmissionError::Analysis)
+        let mut session = self.session()?;
+        session
+            .equitable_allowance()
+            .map_err(AdmissionError::Analysis)
     }
 
     /// System allowance of the current set (`None` if infeasible).
@@ -216,8 +196,19 @@ impl AdmissionController {
         &self,
         policy: SlackPolicy,
     ) -> Result<Option<crate::allowance::SystemAllowance>, AdmissionError> {
+        let mut session = self.session()?;
+        session
+            .system_allowance_with(policy)
+            .map_err(AdmissionError::Analysis)
+    }
+
+    /// A fresh [`crate::analyzer::Analyzer`] session over the admitted
+    /// set — the handle long-lived callers should keep (and feed back
+    /// through [`crate::analyzer::Analyzer::admit`]) instead of
+    /// re-querying this controller per change.
+    pub fn session(&self) -> Result<crate::analyzer::Analyzer, AdmissionError> {
         let set = TaskSet::new(self.tasks.clone()).map_err(AdmissionError::Model)?;
-        system_allowance(&set, policy).map_err(AdmissionError::Analysis)
+        Ok(crate::analyzer::Analyzer::new(&set))
     }
 }
 
@@ -243,6 +234,10 @@ impl std::error::Error for AdmissionError {}
 
 #[cfg(test)]
 mod tests {
+    // `analyze_set` is the deprecated compatibility shim; these tests
+    // pin its behaviour to the Analyzer's.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::task::TaskBuilder;
 
@@ -252,9 +247,15 @@ mod tests {
 
     fn table2_specs() -> Vec<TaskSpec> {
         vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ]
     }
 
@@ -283,7 +284,9 @@ mod tests {
         }
         // A hog that would push τ3 over its deadline: priority above τ3,
         // cost 40 ms, period 300 ms → R3 = 87 + 40 > 120.
-        let hog = TaskBuilder::new(4, 17, ms(300), ms(40)).deadline(ms(300)).build();
+        let hog = TaskBuilder::new(4, 17, ms(300), ms(40))
+            .deadline(ms(300))
+            .build();
         let adm = ac.add_to_feasibility(hog).unwrap();
         assert!(!adm.is_admitted());
         assert_eq!(adm.report().violations(), vec![TaskId(3)]);
@@ -362,7 +365,10 @@ mod tests {
         }
         let eq = ac.equitable_allowance().unwrap().unwrap();
         assert_eq!(eq.allowance, ms(11));
-        let sa = ac.system_allowance(SlackPolicy::ProtectAll).unwrap().unwrap();
+        let sa = ac
+            .system_allowance(SlackPolicy::ProtectAll)
+            .unwrap()
+            .unwrap();
         assert_eq!(sa.max_overrun[0], ms(33));
     }
 

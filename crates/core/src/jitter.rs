@@ -32,13 +32,17 @@ pub struct JitterModel {
 impl JitterModel {
     /// No jitter.
     pub fn zero(set: &TaskSet) -> Self {
-        JitterModel { jitter: vec![Duration::ZERO; set.len()] }
+        JitterModel {
+            jitter: vec![Duration::ZERO; set.len()],
+        }
     }
 
     /// Uniform jitter on every task (e.g. a release-grid quantum).
     pub fn uniform(set: &TaskSet, j: Duration) -> Self {
         assert!(!j.is_negative(), "jitter must be non-negative");
-        JitterModel { jitter: vec![j; set.len()] }
+        JitterModel {
+            jitter: vec![j; set.len()],
+        }
     }
 
     /// Explicit per-rank bounds.
@@ -47,7 +51,10 @@ impl JitterModel {
     /// Panics if the length mismatches or any bound is negative.
     pub fn per_task(set: &TaskSet, jitter: Vec<Duration>) -> Self {
         assert_eq!(jitter.len(), set.len(), "one bound per task");
-        assert!(jitter.iter().all(|j| !j.is_negative()), "jitter must be ≥ 0");
+        assert!(
+            jitter.iter().all(|j| !j.is_negative()),
+            "jitter must be ≥ 0"
+        );
         JitterModel { jitter }
     }
 
@@ -68,62 +75,95 @@ pub fn wcrt_with_jitter(
     rank: usize,
     jitter: &JitterModel,
 ) -> Result<Duration, AnalysisError> {
-    let task = set.by_rank(rank);
-    let hp = set.hp_ranks(rank);
-    let level_u: f64 = std::iter::once(rank)
-        .chain(hp.iter().copied())
-        .map(|k| {
-            let t = set.by_rank(k);
-            t.cost.as_nanos() as f64 / t.period.as_nanos() as f64
-        })
-        .sum();
-    if level_u > 1.0 {
-        return Err(AnalysisError::Divergent { task: task.id });
-    }
-    let mut w = task.cost;
-    for _ in 0..4_000_000u32 {
-        let mut next = task.cost;
-        for &j in &hp {
-            let tj = set.by_rank(j);
-            next = next.saturating_add(
-                tj.cost.saturating_mul((w + jitter.of(j)).div_ceil(tj.period)),
-            );
+    let costs: Vec<Duration> = set.tasks().iter().map(|t| t.cost).collect();
+    let jitters: Vec<Duration> = (0..set.len()).map(|r| jitter.of(r)).collect();
+    engine::jitter_wcrt(
+        set,
+        &costs,
+        Duration::ZERO,
+        &jitters,
+        &set.hp_ranks(rank),
+        rank,
+        crate::response::DEFAULT_ITERATION_LIMIT,
+    )
+}
+
+/// The shared jitter recurrence, used by [`wcrt_with_jitter`] and by the
+/// jitter-aware queries of [`crate::analyzer::Analyzer`] (which feed it
+/// effective costs and blocking), so the arithmetic exists once.
+pub(crate) mod engine {
+    use super::{AnalysisError, Duration, TaskSet};
+    use crate::response::engine::level_utilization;
+
+    /// Least fixed point of
+    /// `w = C_i + B_i + Σ_{j ∈ hp} ⌈(w + J_j)/T_j⌉·C_j`, returned as
+    /// `J_i + w` (the constrained-deadline single-job analysis).
+    pub(crate) fn jitter_wcrt(
+        set: &TaskSet,
+        costs: &[Duration],
+        blocking_i: Duration,
+        jitter: &[Duration],
+        hp: &[usize],
+        rank: usize,
+        limit: u64,
+    ) -> Result<Duration, AnalysisError> {
+        let task = set.by_rank(rank);
+        if level_utilization(set, costs, hp, rank) > 1.0 {
+            return Err(AnalysisError::Divergent { task: task.id });
         }
-        if next == w {
-            return Ok(jitter.of(rank) + w);
+        let mut budget = limit;
+        let mut w = costs[rank];
+        loop {
+            if budget == 0 {
+                return Err(AnalysisError::IterationLimit {
+                    task: task.id,
+                    limit,
+                });
+            }
+            budget -= 1;
+            let mut next = costs[rank] + blocking_i;
+            for &j in hp {
+                let tj = set.by_rank(j);
+                next = next
+                    .saturating_add(costs[j].saturating_mul((w + jitter[j]).div_ceil(tj.period)));
+            }
+            if next == w {
+                return Ok(jitter[rank] + w);
+            }
+            w = next;
         }
-        w = next;
     }
-    Err(AnalysisError::IterationLimit { task: task.id, limit: 4_000_000 })
 }
 
 /// WCRTs of every task under jitter, rank order.
+#[deprecated(
+    since = "0.2.0",
+    note = "one-shot wrapper; build a session with \
+            `analyzer::AnalyzerBuilder::new(set).jitter(model).build()` and \
+            call `.wcrt_all_with_jitter()` — results are memoized there"
+)]
 pub fn wcrt_all_with_jitter(
     set: &TaskSet,
     jitter: &JitterModel,
 ) -> Result<Vec<Duration>, AnalysisError> {
-    (0..set.len())
-        .map(|rank| wcrt_with_jitter(set, rank, jitter))
-        .collect()
+    crate::analyzer::AnalyzerBuilder::new(set)
+        .jitter(jitter)
+        .build()
+        .wcrt_all_with_jitter()
 }
 
 /// Feasibility under jitter.
-pub fn feasible_with_jitter(
-    set: &TaskSet,
-    jitter: &JitterModel,
-) -> Result<bool, AnalysisError> {
-    for rank in 0..set.len() {
-        match wcrt_with_jitter(set, rank, jitter) {
-            Ok(r) => {
-                if r > set.by_rank(rank).deadline {
-                    return Ok(false);
-                }
-            }
-            Err(AnalysisError::Divergent { .. }) => return Ok(false),
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(true)
+#[deprecated(
+    since = "0.2.0",
+    note = "one-shot wrapper; build a session with \
+            `analyzer::AnalyzerBuilder::new(set).jitter(model).build()` and \
+            call `.feasible_with_jitter()`"
+)]
+pub fn feasible_with_jitter(set: &TaskSet, jitter: &JitterModel) -> Result<bool, AnalysisError> {
+    crate::analyzer::AnalyzerBuilder::new(set)
+        .jitter(jitter)
+        .build()
+        .feasible_with_jitter()
 }
 
 /// Worst-case detector lag for each task when detector first releases are
@@ -149,6 +189,10 @@ pub fn detector_lags(
 
 #[cfg(test)]
 mod tests {
+    // The `*_all_with_jitter` functions under test are the deprecated
+    // shims; these tests pin their behaviour to the Analyzer's.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::response::wcrt_all;
     use crate::task::TaskBuilder;
@@ -159,9 +203,15 @@ mod tests {
 
     fn table2() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 
@@ -206,8 +256,7 @@ mod tests {
         let set = table2();
         let mut prev = wcrt_all_with_jitter(&set, &JitterModel::zero(&set)).unwrap();
         for q in [1i64, 5, 10, 20] {
-            let cur =
-                wcrt_all_with_jitter(&set, &JitterModel::uniform(&set, ms(q))).unwrap();
+            let cur = wcrt_all_with_jitter(&set, &JitterModel::uniform(&set, ms(q))).unwrap();
             for (a, b) in prev.iter().zip(&cur) {
                 assert!(b >= a, "jitter must not reduce response times");
             }
@@ -220,7 +269,9 @@ mod tests {
         // Tight system where jitter breaks feasibility.
         let set = TaskSet::from_specs(vec![
             TaskBuilder::new(1, 9, ms(10), ms(4)).build(),
-            TaskBuilder::new(2, 3, ms(20), ms(6)).deadline(ms(14)).build(),
+            TaskBuilder::new(2, 3, ms(20), ms(6))
+                .deadline(ms(14))
+                .build(),
         ]);
         // No jitter: w2 = 6 + ⌈w/10⌉·4 fixes at 10 ≤ 14 ✓.
         assert!(feasible_with_jitter(&set, &JitterModel::zero(&set)).unwrap());

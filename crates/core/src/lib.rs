@@ -27,7 +27,14 @@
 //! provides the executable counterpart used to validate these numbers
 //! experimentally.
 //!
-//! ## Quick example
+//! ## Quick example — the `Analyzer` session
+//!
+//! All of the above is served by **one incremental session**,
+//! [`analyzer::Analyzer`]: WCRTs, busy periods and the load test are
+//! computed once and memoized, single-task perturbations revalidate only
+//! the affected tasks, and the allowance/sensitivity binary searches
+//! warm-start the response-time fixed point instead of re-running it
+//! from scratch per probe.
 //!
 //! ```
 //! use rtft_core::prelude::*;
@@ -42,21 +49,40 @@
 //!         .deadline(Duration::millis(120)).build(),
 //! ]);
 //!
-//! let report = analyze_set(&set).unwrap();
-//! assert!(report.is_feasible());
+//! let mut session = Analyzer::new(&set);
 //!
+//! // Admission control: the load test plus exact WCRTs (paper Table 2).
+//! let report = session.report().unwrap();
+//! assert!(report.is_feasible());
 //! let wcrt: Vec<i64> = report.per_task.iter()
 //!     .map(|t| t.wcrt.unwrap().as_millis()).collect();
-//! assert_eq!(wcrt, vec![29, 58, 87]);           // paper Table 2
+//! assert_eq!(wcrt, vec![29, 58, 87]);
 //!
-//! let eq = equitable_allowance(&set).unwrap().unwrap();
+//! // The allowance searches reuse the session's cached analysis.
+//! let eq = session.equitable_allowance().unwrap().unwrap();
 //! assert_eq!(eq.allowance, Duration::millis(11)); // paper Table 2, A_i
+//! let sa = session.system_allowance().unwrap().unwrap();
+//! assert_eq!(sa.max_overrun[0], Duration::millis(33)); // paper §6.5
+//!
+//! // Online perturbation: inflate τ1 and revalidate incrementally —
+//! // only τ1's dependants are recomputed, warm-started.
+//! session.set_cost(0, Duration::millis(29 + 33));
+//! assert!(session.is_feasible().unwrap());
+//! session.set_cost(0, Duration::millis(29 + 34));
+//! assert!(!session.is_feasible().unwrap());
 //! ```
+//!
+//! Composed options (release jitter, priority-ceiling blocking, polling
+//! servers, slack policy) go through [`analyzer::AnalyzerBuilder`]. The
+//! free functions of [`feasibility`], [`allowance`], [`jitter`] and
+//! [`sensitivity`] remain as deprecated one-shot shims over the session
+//! API for one release; they return bit-identical results.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod allowance;
+pub mod analyzer;
 pub mod blocking;
 pub mod error;
 pub mod feasibility;
@@ -71,16 +97,19 @@ pub mod utilization;
 
 /// One-stop imports for the common API surface.
 pub mod prelude {
-    pub use crate::allowance::{
-        equitable_allowance, max_single_overrun, system_allowance, EquitableAllowance,
-        SlackPolicy, SystemAllowance,
-    };
+    pub use crate::allowance::{EquitableAllowance, SlackPolicy, SystemAllowance};
+    pub use crate::analyzer::{Analyzer, AnalyzerBuilder};
     pub use crate::error::{AnalysisError, ModelError};
-    pub use crate::feasibility::{
-        analyze_set, Admission, AdmissionController, FeasibilityReport,
-    };
+    pub use crate::feasibility::{Admission, AdmissionController, FeasibilityReport};
     pub use crate::response::{analyze, wcrt, wcrt_all, ResponseAnalysis, TaskResponse};
     pub use crate::task::{Priority, TaskBuilder, TaskId, TaskSet, TaskSpec};
     pub use crate::time::{Duration, Instant};
     pub use crate::utilization::{load_test, LoadVerdict};
+
+    // Deprecated one-shot shims, re-exported for source compatibility
+    // during the migration window; prefer the `Analyzer` session.
+    #[allow(deprecated)]
+    pub use crate::allowance::{equitable_allowance, max_single_overrun, system_allowance};
+    #[allow(deprecated)]
+    pub use crate::feasibility::analyze_set;
 }

@@ -65,7 +65,11 @@ pub fn audsley(set: &TaskSet) -> Result<Option<TaskSet>, AnalysisError> {
             let mut trial: Vec<TaskSpec> = Vec::with_capacity(n);
             for (k, t) in remaining.iter().enumerate() {
                 let mut t = t.clone();
-                t.priority = if k == cand { prio } else { Priority(i32::MAX / 2) };
+                t.priority = if k == cand {
+                    prio
+                } else {
+                    Priority(i32::MAX / 2)
+                };
                 trial.push(t);
             }
             // Previously assigned tasks are below the candidate and cannot
@@ -97,7 +101,6 @@ pub fn audsley(set: &TaskSet) -> Result<Option<TaskSet>, AnalysisError> {
     Ok(Some(TaskSet::from_specs(assigned)))
 }
 
-
 /// Search every priority order of a (small) task set for the one
 /// maximizing the **equitable allowance** — an allowance-aware twist on
 /// optimal priority assignment. Feasibility-optimal orders (DM, Audsley)
@@ -113,7 +116,6 @@ pub fn audsley(set: &TaskSet) -> Result<Option<TaskSet>, AnalysisError> {
 pub fn maximize_allowance(
     set: &TaskSet,
 ) -> Result<Option<(TaskSet, crate::time::Duration)>, AnalysisError> {
-    use crate::allowance::equitable_allowance;
     assert!(set.len() <= 8, "exhaustive search is for n ≤ 8");
     let specs: Vec<TaskSpec> = set.tasks().to_vec();
     let n = specs.len();
@@ -123,7 +125,7 @@ pub fn maximize_allowance(
     // Heap's algorithm over permutations.
     let mut c = vec![0usize; n];
     let evaluate = |order: &[usize],
-                        best: &mut Option<(TaskSet, crate::time::Duration)>|
+                    best: &mut Option<(TaskSet, crate::time::Duration)>|
      -> Result<(), AnalysisError> {
         let mut candidate: Vec<TaskSpec> = Vec::with_capacity(n);
         for (rank, &idx) in order.iter().enumerate() {
@@ -132,7 +134,7 @@ pub fn maximize_allowance(
             candidate.push(spec);
         }
         let candidate = TaskSet::from_specs(candidate);
-        if let Some(eq) = equitable_allowance(&candidate)? {
+        if let Some(eq) = crate::analyzer::Analyzer::new(&candidate).equitable_allowance()? {
             if best.as_ref().is_none_or(|(_, a)| eq.allowance > *a) {
                 *best = Some((candidate, eq.allowance));
             }
@@ -189,8 +191,12 @@ mod tests {
     #[test]
     fn dm_orders_by_deadline() {
         let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 0, ms(100), ms(5)).deadline(ms(90)).build(),
-            TaskBuilder::new(2, 0, ms(50), ms(5)).deadline(ms(95)).build(),
+            TaskBuilder::new(1, 0, ms(100), ms(5))
+                .deadline(ms(90))
+                .build(),
+            TaskBuilder::new(2, 0, ms(50), ms(5))
+                .deadline(ms(95))
+                .build(),
         ]);
         let dm = deadline_monotonic(&set);
         assert_eq!(dm.by_rank(0).id, TaskId(1));
@@ -236,8 +242,12 @@ mod tests {
         // For D ≤ T both DM and Audsley are optimal: they accept the same
         // sets. Verify on a set only schedulable with the right order.
         let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 0, ms(100), ms(40)).deadline(ms(100)).build(),
-            TaskBuilder::new(2, 0, ms(100), ms(40)).deadline(ms(50)).build(),
+            TaskBuilder::new(1, 0, ms(100), ms(40))
+                .deadline(ms(100))
+                .build(),
+            TaskBuilder::new(2, 0, ms(100), ms(40))
+                .deadline(ms(50))
+                .build(),
         ]);
         // τ2 must be on top (D=50): R2=40 ≤ 50, R1=80 ≤ 100.
         let dm = deadline_monotonic(&set);
@@ -252,12 +262,19 @@ mod tests {
         // On the paper's system the DM order is already optimal; the
         // search must find an allowance ≥ the DM one.
         let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ]);
         let dm = deadline_monotonic(&set);
-        let dm_allowance = crate::allowance::equitable_allowance(&dm)
+        let dm_allowance = crate::analyzer::Analyzer::new(&dm)
+            .equitable_allowance()
             .unwrap()
             .unwrap()
             .allowance;
@@ -274,8 +291,12 @@ mod tests {
         // Two tasks, same period: RM ties (id order), but giving the
         // tight-deadline task priority yields more allowance.
         let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 5, ms(100), ms(10)).deadline(ms(100)).build(),
-            TaskBuilder::new(2, 9, ms(100), ms(10)).deadline(ms(40)).build(),
+            TaskBuilder::new(1, 5, ms(100), ms(10))
+                .deadline(ms(100))
+                .build(),
+            TaskBuilder::new(2, 9, ms(100), ms(10))
+                .deadline(ms(40))
+                .build(),
         ]);
         // As given, τ2 (tight) is on top: A from τ2: 10+x ≤ 40 → 30;
         // τ1: 20+2x ≤ 100 → 40 ⇒ A = 30.

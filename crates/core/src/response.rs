@@ -60,6 +60,171 @@ pub struct TaskResponse {
     pub jobs: Vec<JobResponse>,
 }
 
+/// The one shared fixed-point engine. Both [`ResponseAnalysis`] (cold,
+/// borrow-based) and [`crate::analyzer::Analyzer`] (memoized,
+/// warm-started) delegate here, so the recurrence arithmetic exists in
+/// exactly one place and the two paths cannot drift apart — the
+/// bit-identical-results guarantee of the deprecated shims rests on it.
+pub(crate) mod engine {
+    use super::{AnalysisError, Duration, JobResponse, TaskResponse, TaskSet};
+
+    /// Level-`rank` workload `C_i/T_i + Σ_{j ∈ hp} C_j/T_j`; strictly
+    /// above 1 the busy period never closes.
+    pub(crate) fn level_utilization(
+        set: &TaskSet,
+        costs: &[Duration],
+        hp: &[usize],
+        rank: usize,
+    ) -> f64 {
+        let own = costs[rank].as_nanos() as f64 / set.by_rank(rank).period.as_nanos() as f64;
+        let interference: f64 = hp
+            .iter()
+            .map(|&j| costs[j].as_nanos() as f64 / set.by_rank(j).period.as_nanos() as f64)
+            .sum();
+        own + interference
+    }
+
+    /// Least fixed point of `W_q` for job `q` of `rank`, iterating from
+    /// `seed` (any value at or below the fixed point is a valid start —
+    /// `W_q` is monotone).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn fixed_point(
+        set: &TaskSet,
+        costs: &[Duration],
+        blocking_i: Duration,
+        hp: &[usize],
+        rank: usize,
+        q: u64,
+        seed: Duration,
+        budget: &mut u64,
+        limit: u64,
+    ) -> Result<Duration, AnalysisError> {
+        let task = set.by_rank(rank);
+        let base = costs[rank].saturating_mul(q as i64 + 1) + blocking_i;
+        let mut r = seed.max(base);
+        loop {
+            if *budget == 0 {
+                return Err(AnalysisError::IterationLimit {
+                    task: task.id,
+                    limit,
+                });
+            }
+            *budget -= 1;
+            let mut next = base;
+            for &j in hp {
+                let tj = set.by_rank(j);
+                next = next.saturating_add(costs[j].saturating_mul(r.div_ceil(tj.period)));
+            }
+            if next == r {
+                return Ok(r);
+            }
+            debug_assert!(next > r, "W_q must be monotone above the seed");
+            r = next;
+        }
+    }
+
+    /// Busy-period analysis of `rank` under `costs`: the paper's Figure 2
+    /// routine. `seeds` warm-starts each job's fixed point from a
+    /// previous solution (pass `&[]` for a cold start); seeding changes
+    /// iteration counts, never the fixed points.
+    pub(crate) fn solve_busy_period(
+        set: &TaskSet,
+        costs: &[Duration],
+        blocking_i: Duration,
+        hp: &[usize],
+        rank: usize,
+        seeds: &[Duration],
+        limit: u64,
+    ) -> Result<TaskResponse, AnalysisError> {
+        let task = set.by_rank(rank);
+        if level_utilization(set, costs, hp, rank) > 1.0 {
+            return Err(AnalysisError::Divergent { task: task.id });
+        }
+        let mut budget = limit;
+        let mut jobs = Vec::new();
+        let mut wcrt = Duration::ZERO;
+        let mut worst_job = 0u64;
+        let mut q: u64 = 0;
+        let mut prev_completion = Duration::ZERO;
+        loop {
+            let warm = seeds.get(q as usize).copied().unwrap_or(Duration::ZERO);
+            let seed = prev_completion.max(warm);
+            let completion = fixed_point(
+                set,
+                costs,
+                blocking_i,
+                hp,
+                rank,
+                q,
+                seed,
+                &mut budget,
+                limit,
+            )?;
+            let response = completion - task.period.saturating_mul(q as i64);
+            jobs.push(JobResponse {
+                q,
+                completion,
+                response,
+            });
+            if response > wcrt {
+                wcrt = response;
+                worst_job = q;
+            }
+            // Busy period closes at the first job finishing within its own
+            // period window.
+            if completion <= task.period.saturating_mul(q as i64 + 1) {
+                break;
+            }
+            prev_completion = completion;
+            q += 1;
+        }
+        Ok(TaskResponse {
+            task: task.id,
+            wcrt,
+            worst_job,
+            jobs,
+        })
+    }
+
+    /// Length of the level-`rank` busy period: least fixed point of
+    /// `L = B_i + Σ_{j ∈ hp ∪ {rank}} ⌈L/T_j⌉·C_j`.
+    pub(crate) fn busy_period_length(
+        set: &TaskSet,
+        costs: &[Duration],
+        blocking_i: Duration,
+        hp: &[usize],
+        rank: usize,
+        limit: u64,
+    ) -> Result<Duration, AnalysisError> {
+        let task = set.by_rank(rank);
+        if level_utilization(set, costs, hp, rank) > 1.0 {
+            return Err(AnalysisError::Divergent { task: task.id });
+        }
+        let mut ranks = hp.to_vec();
+        ranks.push(rank);
+        let mut budget = limit;
+        let mut l = costs[rank] + blocking_i;
+        loop {
+            if budget == 0 {
+                return Err(AnalysisError::IterationLimit {
+                    task: task.id,
+                    limit,
+                });
+            }
+            budget -= 1;
+            let mut next = blocking_i;
+            for &j in &ranks {
+                let tj = set.by_rank(j);
+                next = next.saturating_add(costs[j].saturating_mul(l.div_ceil(tj.period)));
+            }
+            if next == l {
+                return Ok(l);
+            }
+            l = next;
+        }
+    }
+}
+
 /// Analysis configuration: effective costs and blocking can be overridden
 /// without rebuilding the task set — this is what the allowance search of
 /// [`crate::allowance`] exercises thousands of times.
@@ -122,61 +287,6 @@ impl<'a> ResponseAnalysis<'a> {
         self.iteration_limit = limit;
     }
 
-    /// Quick divergence check for the task at `rank`: the level-i workload
-    /// `C_i/T_i + Σ_{hp} C_j/T_j (+ B)` strictly exceeding 1 guarantees the
-    /// busy period never closes.
-    fn level_utilization(&self, rank: usize) -> f64 {
-        let own = self.costs[rank].as_nanos() as f64
-            / self.set.by_rank(rank).period.as_nanos() as f64;
-        let hp: f64 = self
-            .set
-            .hp_ranks(rank)
-            .into_iter()
-            .map(|j| {
-                self.costs[j].as_nanos() as f64 / self.set.by_rank(j).period.as_nanos() as f64
-            })
-            .sum();
-        own + hp
-    }
-
-    /// Least fixed point of `W_q` for job `q` of the task at `rank`,
-    /// starting the iteration at `seed` (monotonicity of `W_q` makes any
-    /// seed at or below the fixed point valid; reusing the previous job's
-    /// completion accelerates convergence).
-    fn fixed_point(
-        &self,
-        rank: usize,
-        q: u64,
-        seed: Duration,
-        budget: &mut u64,
-    ) -> Result<Duration, AnalysisError> {
-        let task = self.set.by_rank(rank);
-        let base = self.costs[rank].saturating_mul(q as i64 + 1) + self.blocking[rank];
-        let hp = self.set.hp_ranks(rank);
-        let mut r = seed.max(base);
-        loop {
-            if *budget == 0 {
-                return Err(AnalysisError::IterationLimit {
-                    task: task.id,
-                    limit: self.iteration_limit,
-                });
-            }
-            *budget -= 1;
-            let mut next = base;
-            for &j in &hp {
-                let tj = self.set.by_rank(j);
-                next = next.saturating_add(
-                    self.costs[j].saturating_mul(r.div_ceil(tj.period)),
-                );
-            }
-            if next == r {
-                return Ok(r);
-            }
-            debug_assert!(next > r, "W_q must be monotone above the seed");
-            r = next;
-        }
-    }
-
     /// Worst-case response time of the task at priority `rank` — the
     /// paper's Figure 2 `WCResponseTime` routine.
     ///
@@ -189,33 +299,15 @@ impl<'a> ResponseAnalysis<'a> {
 
     /// Full per-job analysis of the task at priority `rank`.
     pub fn analyze(&self, rank: usize) -> Result<TaskResponse, AnalysisError> {
-        let task = self.set.by_rank(rank);
-        if self.level_utilization(rank) > 1.0 {
-            return Err(AnalysisError::Divergent { task: task.id });
-        }
-        let mut budget = self.iteration_limit;
-        let mut jobs = Vec::new();
-        let mut wcrt = Duration::ZERO;
-        let mut worst_job = 0u64;
-        let mut q: u64 = 0;
-        let mut prev_completion = Duration::ZERO;
-        loop {
-            let completion = self.fixed_point(rank, q, prev_completion, &mut budget)?;
-            let response = completion - task.period.saturating_mul(q as i64);
-            jobs.push(JobResponse { q, completion, response });
-            if response > wcrt {
-                wcrt = response;
-                worst_job = q;
-            }
-            // Busy period closes at the first job finishing within its own
-            // period window.
-            if completion <= task.period.saturating_mul(q as i64 + 1) {
-                break;
-            }
-            prev_completion = completion;
-            q += 1;
-        }
-        Ok(TaskResponse { task: task.id, wcrt, worst_job, jobs })
+        engine::solve_busy_period(
+            self.set,
+            &self.costs,
+            self.blocking[rank],
+            &self.set.hp_ranks(rank),
+            rank,
+            &[],
+            self.iteration_limit,
+        )
     }
 
     /// WCRTs of every task, in priority-rank order.
@@ -245,33 +337,14 @@ impl<'a> ResponseAnalysis<'a> {
     /// `L = Σ_{j ∈ hp(i) ∪ {i}} ⌈L/T_j⌉·C_j (+ B_i)`, i.e. how long the
     /// processor stays busy at priority ≥ `P_i` after a synchronous release.
     pub fn level_busy_period(&self, rank: usize) -> Result<Duration, AnalysisError> {
-        let task = self.set.by_rank(rank);
-        if self.level_utilization(rank) > 1.0 {
-            return Err(AnalysisError::Divergent { task: task.id });
-        }
-        let mut ranks = self.set.hp_ranks(rank);
-        ranks.push(rank);
-        let mut budget = self.iteration_limit;
-        let mut l = self.costs[rank] + self.blocking[rank];
-        loop {
-            if budget == 0 {
-                return Err(AnalysisError::IterationLimit {
-                    task: task.id,
-                    limit: self.iteration_limit,
-                });
-            }
-            budget -= 1;
-            let mut next = self.blocking[rank];
-            for &j in &ranks {
-                let tj = self.set.by_rank(j);
-                next = next
-                    .saturating_add(self.costs[j].saturating_mul(l.div_ceil(tj.period)));
-            }
-            if next == l {
-                return Ok(l);
-            }
-            l = next;
-        }
+        engine::busy_period_length(
+            self.set,
+            &self.costs,
+            self.blocking[rank],
+            &self.set.hp_ranks(rank),
+            rank,
+            self.iteration_limit,
+        )
     }
 }
 
@@ -304,12 +377,23 @@ pub fn wcrt_constrained(set: &TaskSet, rank: usize) -> Result<Duration, Analysis
         "wcrt_constrained requires D ≤ T for {}",
         task.id
     );
-    let analysis = ResponseAnalysis::new(set);
-    if analysis.level_utilization(rank) > 1.0 {
+    let costs: Vec<Duration> = set.tasks().iter().map(|t| t.cost).collect();
+    let hp = set.hp_ranks(rank);
+    if engine::level_utilization(set, &costs, &hp, rank) > 1.0 {
         return Err(AnalysisError::Divergent { task: task.id });
     }
     let mut budget = DEFAULT_ITERATION_LIMIT;
-    analysis.fixed_point(rank, 0, Duration::ZERO, &mut budget)
+    engine::fixed_point(
+        set,
+        &costs,
+        Duration::ZERO,
+        &hp,
+        rank,
+        0,
+        Duration::ZERO,
+        &mut budget,
+        DEFAULT_ITERATION_LIMIT,
+    )
 }
 
 #[cfg(test)]
@@ -324,17 +408,27 @@ mod tests {
     /// Paper Table 1: τ1 (P20, D6, T6, C3), τ2 (P15, D2, T4, C2).
     fn table1() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(6), ms(3)).deadline(ms(6)).build(),
-            TaskBuilder::new(2, 15, ms(4), ms(2)).deadline(ms(2)).build(),
+            TaskBuilder::new(1, 20, ms(6), ms(3))
+                .deadline(ms(6))
+                .build(),
+            TaskBuilder::new(2, 15, ms(4), ms(2))
+                .deadline(ms(2))
+                .build(),
         ])
     }
 
     /// Paper Table 2: the evaluated 3-task system.
     fn table2() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 
@@ -480,13 +574,19 @@ mod tests {
         // 7/10 + 2/7 ≈ 0.986: a long busy period with several τ2 jobs.
         let set = TaskSet::from_specs(vec![
             TaskBuilder::new(1, 9, ms(7), ms(2)).build(),
-            TaskBuilder::new(2, 3, ms(10), ms(7)).deadline(ms(30)).build(),
+            TaskBuilder::new(2, 3, ms(10), ms(7))
+                .deadline(ms(30))
+                .build(),
         ]);
         let r = analyze(&set, 1).unwrap();
         // Busy period spans several jobs; every response must be consistent
         // (completion − q·T) and the reported worst must be the max.
         assert!(r.jobs.len() > 1, "expected a multi-job busy period");
-        let max = r.jobs.iter().map(|j| j.response).fold(Duration::ZERO, Duration::max);
+        let max = r
+            .jobs
+            .iter()
+            .map(|j| j.response)
+            .fold(Duration::ZERO, Duration::max);
         assert_eq!(max, r.wcrt);
         for j in &r.jobs {
             assert_eq!(j.response, j.completion - ms(10) * (j.q as i64));

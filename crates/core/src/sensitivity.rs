@@ -19,66 +19,44 @@
 //!   also possible to overestimate it"), how much allowance the *remaining*
 //!   tasks gain if the measured costs replace the declared ones.
 
-use crate::allowance::{equitable_allowance, max_single_overrun, SlackPolicy};
+use crate::allowance::SlackPolicy;
+use crate::analyzer::Analyzer;
 use crate::error::AnalysisError;
-use crate::response::ResponseAnalysis;
 use crate::task::{TaskId, TaskSet};
 use crate::time::Duration;
-
-/// Precision of the scaling-factor binary search.
-const SCALE_EPSILON: f64 = 1e-9;
 
 /// Largest factor `f ≥ 1` (within `1e-9`) such that scaling every cost by
 /// `f` keeps the set feasible; `None` when the set is infeasible as-is.
 /// A result of exactly `1.0` means there is no multiplicative headroom.
+#[deprecated(
+    since = "0.2.0",
+    note = "one-shot wrapper; use `analyzer::Analyzer::cost_scaling_margin` on \
+            a session — its probes warm-start from the feasible frontier"
+)]
 pub fn cost_scaling_margin(set: &TaskSet) -> Result<Option<f64>, AnalysisError> {
-    let feasible = |f: f64| -> Result<bool, AnalysisError> {
-        let mut a = ResponseAnalysis::new(set);
-        for rank in 0..set.len() {
-            let c = set.by_rank(rank).cost.as_nanos() as f64 * f;
-            if c > i64::MAX as f64 {
-                return Ok(false);
-            }
-            a.set_cost(rank, Duration::nanos(c.ceil() as i64));
-        }
-        a.is_feasible()
-    };
-    if !feasible(1.0)? {
-        return Ok(None);
-    }
-    // Exponential probe for an infeasible upper bound.
-    let mut hi = 2.0;
-    let mut lo = 1.0;
-    while feasible(hi)? {
-        lo = hi;
-        hi *= 2.0;
-        if hi > 1e6 {
-            // Utilization bounds the factor at 1/U; reaching 1e6 means U is
-            // degenerate-small but deadlines never bind — treat as capped.
-            return Ok(Some(lo));
-        }
-    }
-    while hi - lo > SCALE_EPSILON {
-        let mid = 0.5 * (lo + hi);
-        if feasible(mid)? {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    Ok(Some(lo))
+    Analyzer::new(set).cost_scaling_margin()
 }
 
 /// Additive cost slack of one task: how much its cost may grow, everything
 /// else fixed, with the whole system staying feasible. Sensitivity-analysis
-/// name for [`max_single_overrun`] with [`SlackPolicy::ProtectAll`].
+/// name for the single-task overrun search with [`SlackPolicy::ProtectAll`].
+#[deprecated(
+    since = "0.2.0",
+    note = "one-shot wrapper; use `analyzer::Analyzer::max_single_overrun_with` \
+            with `SlackPolicy::ProtectAll`"
+)]
 pub fn task_cost_slack(set: &TaskSet, rank: usize) -> Result<Option<Duration>, AnalysisError> {
-    max_single_overrun(set, rank, SlackPolicy::ProtectAll)
+    Analyzer::new(set).max_single_overrun_with(rank, SlackPolicy::ProtectAll)
 }
 
 /// Monotonicity witness: reducing any cost keeps a feasible system
 /// feasible. Returns the response-time vector after the reduction so tests
 /// (and callers reclaiming budget) can observe the improvement.
+#[deprecated(
+    since = "0.2.0",
+    note = "one-shot wrapper; on an `analyzer::Analyzer` session call \
+            `set_cost(rank, reduced)` followed by `wcrt_all()`"
+)]
 pub fn min_feasible_cost(
     set: &TaskSet,
     rank: usize,
@@ -89,9 +67,9 @@ pub fn min_feasible_cost(
         reduced <= set.by_rank(rank).cost,
         "min_feasible_cost is for reductions"
     );
-    let mut a = ResponseAnalysis::new(set);
-    a.set_cost(rank, reduced);
-    a.wcrt_all()
+    let mut session = Analyzer::new(set);
+    session.set_cost(rank, reduced);
+    session.wcrt_all()
 }
 
 /// Result of reclaiming observed under-runs (paper §7 "detect these costs
@@ -110,38 +88,26 @@ pub struct UnderrunReclaim {
 /// (`(task, observed_cost)` pairs, each at most the declared cost) for the
 /// declared ones. Quantifies how much extra tolerance under-running tasks
 /// hand back to the system.
+#[deprecated(
+    since = "0.2.0",
+    note = "one-shot wrapper; use `analyzer::Analyzer::underrun_reclaim` on a \
+            session to reuse its memoized declared-cost allowance"
+)]
 pub fn underrun_reclaim(
     set: &TaskSet,
     measured: &[(TaskId, Duration)],
 ) -> Result<Option<UnderrunReclaim>, AnalysisError> {
-    let Some(declared) = equitable_allowance(set)? else {
-        return Ok(None);
-    };
-    let mut adjusted = set.clone();
-    for &(id, observed) in measured {
-        let Some(spec) = adjusted.by_id(id) else { continue };
-        assert!(
-            observed <= spec.cost,
-            "underrun_reclaim expects observed ≤ declared for {id}"
-        );
-        assert!(observed.is_positive(), "observed cost must be positive");
-        let mut spec = spec.clone();
-        spec.cost = observed;
-        adjusted = adjusted.with_replaced(spec);
-    }
-    let Some(measured_eq) = equitable_allowance(&adjusted)? else {
-        return Ok(None);
-    };
-    Ok(Some(UnderrunReclaim {
-        declared_allowance: declared.allowance,
-        measured_allowance: measured_eq.allowance,
-        gained: measured_eq.allowance - declared.allowance,
-    }))
+    Analyzer::new(set).underrun_reclaim(measured)
 }
 
 #[cfg(test)]
 mod tests {
+    // The free functions under test are the deprecated compatibility
+    // shims; these tests pin their behaviour to the Analyzer's.
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::response::ResponseAnalysis;
     use crate::task::TaskBuilder;
 
     fn ms(v: i64) -> Duration {
@@ -150,9 +116,15 @@ mod tests {
 
     fn table2() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 

@@ -127,7 +127,10 @@ pub fn wcrt_under_deferrable(
         r = next;
     }
     let _ = analysis;
-    Err(AnalysisError::IterationLimit { task: task.id, limit: 1_000_000 })
+    Err(AnalysisError::IterationLimit {
+        task: task.id,
+        limit: 1_000_000,
+    })
 }
 
 /// Utilization-based feasibility check of adding a server: the combined
@@ -158,9 +161,15 @@ mod tests {
 
     fn table2() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 
@@ -170,7 +179,11 @@ mod tests {
         // the server interference but stays within 120 ms?
         // R3 = 29+29+29 + interference(PS). With PS at P=25, T=100, C=10:
         // R3 fixed point: 87 + ⌈R/100⌉·10 → R = 87+10 = 97 → ⌈97/100⌉ = 1 ✓.
-        let params = ServerParams { period: ms(100), budget: ms(10), priority: 25 };
+        let params = ServerParams {
+            period: ms(100),
+            budget: ms(10),
+            priority: 25,
+        };
         let with = admit_polling_server(&table2(), 9, params).unwrap().unwrap();
         let rank3 = with.rank_of(TaskId(3)).unwrap();
         assert_eq!(ResponseAnalysis::new(&with).wcrt(rank3).unwrap(), ms(97));
@@ -178,7 +191,11 @@ mod tests {
 
     #[test]
     fn oversized_server_is_rejected() {
-        let params = ServerParams { period: ms(100), budget: ms(40), priority: 25 };
+        let params = ServerParams {
+            period: ms(100),
+            budget: ms(40),
+            priority: 25,
+        };
         // τ3: R = 87 + ⌈R/100⌉·40 → 127 → ⌈127/100⌉=2 → 167 → 207 → ⌈207/100⌉=3
         // → 207 fixed? 87+3*40=207, ⌈207/100⌉=3 ✓ → R3 = 207 > 120: reject.
         assert_eq!(admit_polling_server(&table2(), 9, params).unwrap(), None);
@@ -186,7 +203,11 @@ mod tests {
 
     #[test]
     fn polling_response_single_chunk() {
-        let params = ServerParams { period: ms(100), budget: ms(10), priority: 25 };
+        let params = ServerParams {
+            period: ms(100),
+            budget: ms(10),
+            priority: 25,
+        };
         let with = admit_polling_server(&table2(), 9, params).unwrap().unwrap();
         let rank = with.rank_of(TaskId(9)).unwrap();
         // Demand fits one budget: WCRT = T_s + R_s = 100 + 10 (top prio).
@@ -196,7 +217,11 @@ mod tests {
 
     #[test]
     fn polling_response_multiple_chunks() {
-        let params = ServerParams { period: ms(100), budget: ms(10), priority: 25 };
+        let params = ServerParams {
+            period: ms(100),
+            budget: ms(10),
+            priority: 25,
+        };
         let with = admit_polling_server(&table2(), 9, params).unwrap().unwrap();
         let rank = with.rank_of(TaskId(9)).unwrap();
         // Demand 25 ms → 3 chunks → 100 + 2·100 + 10 = 310.
@@ -206,7 +231,11 @@ mod tests {
 
     #[test]
     fn deferrable_interference_back_to_back() {
-        let p = ServerParams { period: ms(100), budget: ms(10), priority: 25 };
+        let p = ServerParams {
+            period: ms(100),
+            budget: ms(10),
+            priority: 25,
+        };
         // Tiny window still pays one full budget + the back-to-back one.
         assert_eq!(deferrable_interference(p, ms(1)), ms(10));
         // Window spanning the jitter boundary pays twice.
@@ -218,7 +247,11 @@ mod tests {
     #[test]
     fn deferrable_hurts_more_than_polling() {
         let set = table2();
-        let params = ServerParams { period: ms(100), budget: ms(10), priority: 25 };
+        let params = ServerParams {
+            period: ms(100),
+            budget: ms(10),
+            priority: 25,
+        };
         let deferrable = wcrt_under_deferrable(&set, 2, params).unwrap();
         // Polling equivalent: server as plain periodic task.
         let with = admit_polling_server(&set, 9, params).unwrap().unwrap();
@@ -234,13 +267,21 @@ mod tests {
     #[test]
     fn low_priority_server_does_not_interfere() {
         let set = table2();
-        let params = ServerParams { period: ms(100), budget: ms(50), priority: 1 };
+        let params = ServerParams {
+            period: ms(100),
+            budget: ms(50),
+            priority: 1,
+        };
         assert_eq!(wcrt_under_deferrable(&set, 0, params).unwrap(), ms(29));
     }
 
     #[test]
     fn server_utilization() {
-        let p = ServerParams { period: ms(100), budget: ms(10), priority: 1 };
+        let p = ServerParams {
+            period: ms(100),
+            budget: ms(10),
+            priority: 1,
+        };
         assert!((p.utilization() - 0.1).abs() < 1e-12);
     }
 }

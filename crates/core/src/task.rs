@@ -8,11 +8,10 @@
 
 use crate::error::ModelError;
 use crate::time::Duration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Stable identifier of a task inside a [`TaskSet`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TaskId(pub u32);
 
 impl fmt::Display for TaskId {
@@ -24,7 +23,7 @@ impl fmt::Display for TaskId {
 /// Fixed scheduling priority. **Higher value = more urgent**, matching the
 /// paper's tables (τ1 has `P = 20`, the strongest priority) and the RTSJ
 /// `PriorityParameters` convention.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Priority(pub i32);
 
 impl Priority {
@@ -41,7 +40,7 @@ impl fmt::Display for Priority {
 }
 
 /// Static description of one periodic task.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TaskSpec {
     /// Identifier, unique within a [`TaskSet`].
     pub id: TaskId,
@@ -153,7 +152,7 @@ impl TaskBuilder {
 /// shared with the simulator), so analysis code can index tasks by *rank*:
 /// rank 0 is the most urgent task and `hp(i)` is simply `0..i` plus any
 /// equal-priority peers.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct TaskSet {
     tasks: Vec<TaskSpec>,
 }
@@ -349,7 +348,11 @@ impl TaskSet {
 
 impl fmt::Display for TaskSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<8} {:>6} {:>10} {:>10} {:>10}", "task", "P", "T", "D", "C")?;
+        writeln!(
+            f,
+            "{:<8} {:>6} {:>10} {:>10} {:>10}",
+            "task", "P", "T", "D", "C"
+        )?;
         for t in &self.tasks {
             writeln!(
                 f,
@@ -375,9 +378,15 @@ mod tests {
 
     fn three_tasks() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 
@@ -438,10 +447,17 @@ mod tests {
         ]);
         assert!(matches!(dup, Err(ModelError::DuplicateId(TaskId(1)))));
         let zero_cost = TaskSet::new(vec![TaskBuilder::new(1, 1, ms(10), ms(0)).build()]);
-        assert!(matches!(zero_cost, Err(ModelError::InvalidParameter { .. })));
-        let neg_offset =
-            TaskSet::new(vec![TaskBuilder::new(1, 1, ms(10), ms(1)).offset(ms(-1)).build()]);
-        assert!(matches!(neg_offset, Err(ModelError::InvalidParameter { .. })));
+        assert!(matches!(
+            zero_cost,
+            Err(ModelError::InvalidParameter { .. })
+        ));
+        let neg_offset = TaskSet::new(vec![TaskBuilder::new(1, 1, ms(10), ms(1))
+            .offset(ms(-1))
+            .build()]);
+        assert!(matches!(
+            neg_offset,
+            Err(ModelError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

@@ -15,7 +15,6 @@
 //! and the types deliberately do not implement `Mul<Instant>`-style
 //! operations that have no physical meaning.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
@@ -32,7 +31,7 @@ pub const NANOS_PER_SEC: i64 = 1_000_000_000;
 /// `Duration` is signed: analysis code subtracts spans (e.g. slack =
 /// deadline − response time) and negative slack is meaningful ("by how much
 /// did we miss").
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Duration(i64);
 
 impl Duration {
@@ -309,7 +308,7 @@ impl fmt::Display for Duration {
 
 /// An absolute instant on the virtual timeline, in nanoseconds since the
 /// simulation epoch (system start, the paper's `t = 0`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Instant(i64);
 
 impl Instant {

@@ -2,7 +2,8 @@
 //! the paper's construction rests on.
 
 use proptest::prelude::*;
-use rtft_core::allowance::{equitable_allowance, max_single_overrun, SlackPolicy};
+use rtft_core::allowance::SlackPolicy;
+use rtft_core::analyzer::Analyzer;
 use rtft_core::prelude::*;
 use rtft_core::response::wcrt_constrained;
 
@@ -47,7 +48,7 @@ proptest! {
     /// Equitable allowance maximality: A is feasible, A + 1 ns is not.
     #[test]
     fn allowance_is_exactly_maximal(set in arb_set(5)) {
-        let Ok(Some(eq)) = equitable_allowance(&set) else { return Ok(()); };
+        let Ok(Some(eq)) = Analyzer::new(&set).equitable_allowance() else { return Ok(()); };
         let mut at = ResponseAnalysis::new(&set);
         at.inflate_all(eq.allowance);
         prop_assert!(at.is_feasible().unwrap());
@@ -59,7 +60,8 @@ proptest! {
     #[test]
     fn single_overrun_is_exactly_maximal(set in arb_set(4), pick in 0usize..4) {
         let rank = pick % set.len();
-        let Ok(Some(m)) = max_single_overrun(&set, rank, SlackPolicy::ProtectAll) else {
+        let Ok(Some(m)) = Analyzer::new(&set).max_single_overrun_with(rank, SlackPolicy::ProtectAll)
+        else {
             return Ok(());
         };
         let base = set.by_rank(rank).cost;
@@ -122,9 +124,10 @@ proptest! {
     /// (constrained-deadline sets).
     #[test]
     fn jitter_zero_degenerates(set in arb_set(5)) {
-        use rtft_core::jitter::{wcrt_all_with_jitter, JitterModel};
+        use rtft_core::jitter::JitterModel;
         let zero = JitterModel::zero(&set);
-        match (wcrt_all_with_jitter(&set, &zero), wcrt_all(&set)) {
+        let jittered = AnalyzerBuilder::new(&set).jitter(&zero).build().wcrt_all_with_jitter();
+        match (jittered, wcrt_all(&set)) {
             (Ok(a), Ok(b)) => {
                 // The jitter analysis is the single-job recurrence; compare
                 // against job-0 responses.

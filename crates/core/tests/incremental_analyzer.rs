@@ -1,0 +1,231 @@
+//! The session API's core contract, property-tested: an [`Analyzer`]
+//! driven through an arbitrary sequence of incremental perturbations
+//! returns **exactly** the numbers a from-scratch analysis of the same
+//! final parameters returns — memoization, warm starting and cache
+//! salvage are pure accelerations, never approximations.
+//!
+//! Random workloads are UUniFast task sets (Bini & Buttazzo's unbiased
+//! utilization split, re-implemented here to keep this test
+//! self-contained); perturbations are random single-parameter changes:
+//! cost overrides up and down, uniform inflation, blocking terms, task
+//! admission and removal.
+
+use rtft_core::analyzer::{Analyzer, AnalyzerBuilder};
+use rtft_core::prelude::*;
+
+/// SplitMix64 — deterministic, seed-stable stream for the generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Classic UUniFast: `n` utilizations summing to `total`.
+fn uunifast(rng: &mut Rng, n: usize, total: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let next = sum * rng.f64().powf(1.0 / (n - i) as f64);
+        out.push(sum - next);
+        sum = next;
+    }
+    out.push(sum);
+    out
+}
+
+/// Random task set: UUniFast utilizations over millisecond-grid periods,
+/// rate-monotonic priorities, a mix of implicit and constrained deadlines.
+fn random_set(rng: &mut Rng, n: usize, total_u: f64) -> TaskSet {
+    let us = uunifast(rng, n, total_u);
+    let specs: Vec<TaskSpec> = us
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| {
+            let period_ms = 10 + rng.below(490) as i64;
+            let period = Duration::millis(period_ms);
+            let cost = Duration::nanos(((period.as_nanos() as f64 * u).round() as i64).max(1));
+            let deadline = if rng.below(2) == 0 {
+                period
+            } else {
+                // Constrained: uniform in [cost, period].
+                let span = (period - cost).as_nanos().max(0);
+                cost + Duration::nanos((span as f64 * rng.f64()).round() as i64)
+            };
+            TaskBuilder::new(i as u32 + 1, -(period_ms as i32), period, cost)
+                .deadline(deadline.max(Duration::NANO))
+                .build()
+        })
+        .collect();
+    TaskSet::from_specs(specs)
+}
+
+/// A from-scratch reference analysis with the session's current
+/// effective parameters: fresh `ResponseAnalysis`, no caches, no warm
+/// starts — the legacy ground truth.
+fn scratch_wcrt_all(session: &Analyzer) -> Result<Vec<Duration>, AnalysisError> {
+    let set = session.task_set();
+    let mut reference = ResponseAnalysis::new(set);
+    for rank in 0..set.len() {
+        reference.set_cost(rank, session.cost(rank));
+    }
+    reference.wcrt_all()
+}
+
+fn assert_session_matches_scratch(session: &mut Analyzer, context: &str) {
+    let scratch = scratch_wcrt_all(session);
+    let live = session.wcrt_all();
+    match (&live, &scratch) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "wcrt_all diverged {context}"),
+        (Err(AnalysisError::Divergent { .. }), Err(AnalysisError::Divergent { .. })) => {}
+        _ => panic!("error-shape mismatch {context}: {live:?} vs {scratch:?}"),
+    }
+}
+
+#[test]
+fn incremental_cost_perturbations_equal_from_scratch() {
+    for seed in 0..40u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9) + 1);
+        let n = 2 + rng.below(8) as usize;
+        let u = 0.5 + 0.4 * rng.f64();
+        let set = random_set(&mut rng, n, u);
+        let mut session = Analyzer::new(&set);
+        let _ = session.wcrt_all();
+
+        for step in 0..12 {
+            let rank = rng.below(n as u64) as usize;
+            match rng.below(3) {
+                0 => {
+                    // Cost override, up or down, around the declared one.
+                    let declared = set.by_rank(rank).cost;
+                    let factor = 0.5 + rng.f64() * 1.5;
+                    let cost =
+                        Duration::nanos(((declared.as_nanos() as f64 * factor) as i64).max(1));
+                    session.set_cost(rank, cost);
+                }
+                1 => {
+                    let delta = Duration::millis(rng.below(8) as i64);
+                    session.inflate_all(delta);
+                }
+                _ => {
+                    session.reset_costs();
+                }
+            }
+            assert_session_matches_scratch(&mut session, &format!("(seed {seed}, step {step})"));
+        }
+    }
+}
+
+#[test]
+fn admission_churn_equals_from_scratch() {
+    for seed in 0..25u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x51_7CC1) + 3);
+        let n = 2 + rng.below(6) as usize;
+        let u = 0.45 + 0.3 * rng.f64();
+        let set = random_set(&mut rng, n, u);
+        let mut session = Analyzer::new(&set);
+        let _ = session.wcrt_all();
+        let mut next_id = n as u32 + 1;
+
+        for step in 0..10 {
+            if rng.below(2) == 0 {
+                let period = Duration::millis(20 + rng.below(300) as i64);
+                let cost =
+                    Duration::nanos(((period.as_nanos() as f64) * (0.01 + 0.1 * rng.f64())) as i64)
+                        .max(Duration::NANO);
+                let prio = rng.below(2 * n as u64) as i32 - n as i32;
+                let spec = TaskBuilder::new(next_id, prio, period, cost).build();
+                next_id += 1;
+                let _ = session.admit(spec);
+            } else if session.len() > 1 {
+                let victims = session.task_set().tasks().to_vec();
+                let victim = victims[rng.below(victims.len() as u64) as usize].id;
+                session.remove(victim).unwrap();
+            }
+            assert_session_matches_scratch(&mut session, &format!("(seed {seed}, step {step})"));
+            // The admission report itself must match the one-shot path.
+            let scratch_report = Analyzer::new(&session.task_set().clone()).report().unwrap();
+            let mut fresh = Analyzer::new(&session.task_set().clone());
+            assert_eq!(fresh.report().unwrap(), scratch_report);
+        }
+    }
+}
+
+#[test]
+fn warm_searches_equal_cold_searches() {
+    for seed in 0..30u64 {
+        let mut rng = Rng(seed.wrapping_mul(0xA5A5_A5A5) + 7);
+        let n = 2 + rng.below(10) as usize;
+        let u = 0.4 + 0.5 * rng.f64();
+        let set = random_set(&mut rng, n, u);
+
+        let mut warm = Analyzer::new(&set);
+        let mut cold = AnalyzerBuilder::new(&set).warm_start(false).build();
+
+        assert_eq!(
+            warm.equitable_allowance().unwrap(),
+            cold.equitable_allowance().unwrap(),
+            "equitable allowance diverged (seed {seed})"
+        );
+        let policy = if rng.below(2) == 0 {
+            SlackPolicy::ProtectAll
+        } else {
+            SlackPolicy::ProtectOthers
+        };
+        assert_eq!(
+            warm.system_allowance_with(policy).unwrap(),
+            cold.system_allowance_with(policy).unwrap(),
+            "system allowance diverged (seed {seed})"
+        );
+        assert_eq!(
+            warm.cost_scaling_margin().unwrap(),
+            cold.cost_scaling_margin().unwrap(),
+            "scaling margin diverged (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn perturbed_session_searches_equal_fresh_sessions() {
+    // After arbitrary cost churn, a session's allowance search must equal
+    // the one a brand-new session over the same effective costs returns.
+    for seed in 0..20u64 {
+        let mut rng = Rng(seed.wrapping_mul(0xDEAD_BEEF) + 11);
+        let n = 2 + rng.below(6) as usize;
+        let u = 0.45 + 0.3 * rng.f64();
+        let set = random_set(&mut rng, n, u);
+        let mut session = Analyzer::new(&set);
+        for _ in 0..5 {
+            let rank = rng.below(n as u64) as usize;
+            let declared = set.by_rank(rank).cost;
+            let factor = 0.6 + rng.f64();
+            session.set_cost(
+                rank,
+                Duration::nanos(((declared.as_nanos() as f64 * factor) as i64).max(1)),
+            );
+        }
+        // Rebuild an equivalent fresh session: same set, same overrides.
+        let mut fresh = Analyzer::new(&set);
+        for rank in 0..n {
+            fresh.set_cost(rank, session.cost(rank));
+        }
+        assert_eq!(
+            session.equitable_allowance().unwrap(),
+            fresh.equitable_allowance().unwrap(),
+            "seed {seed}"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Ablation experiments beyond the paper's fixed scenario
 //! (EXP-X1, EXP-X2, EXP-X3).
 
-use rtft_core::response::wcrt_all;
+use rtft_core::analyzer::Analyzer;
 use rtft_core::task::TaskId;
 use rtft_core::time::{Duration, Instant};
 use rtft_ft::harness::{run_scenario, Scenario};
@@ -90,7 +90,7 @@ pub fn detector_overhead() -> String {
             .with_utilization(0.5)
             .with_periods(ms(50), ms(500))
             .generate(42);
-        if wcrt_all(&set).is_err() {
+        if Analyzer::new(&set).wcrt_all().is_err() {
             continue;
         }
         let horizon = Instant::from_millis(5_000);
@@ -105,9 +105,9 @@ pub fn detector_overhead() -> String {
             let _ = writeln!(text, "{n:>6} {:>12} {:>16} {:>22}", "-", "infeasible", "-");
             continue;
         };
-        let fires = out.log.count(|e| {
-            matches!(e.kind, rtft_trace::EventKind::DetectorRelease { .. })
-        });
+        let fires = out
+            .log
+            .count(|e| matches!(e.kind, rtft_trace::EventKind::DetectorRelease { .. }));
         let per_task_per_sec = fires as f64 / n as f64 / 5.0;
         let _ = writeln!(
             text,
@@ -146,7 +146,9 @@ pub fn stop_model_ablation() -> String {
             format!("stop-poll-{poll}"),
             set.clone(),
             faults.clone(),
-            Treatment::ImmediateStop { mode: StopMode::Permanent },
+            Treatment::ImmediateStop {
+                mode: StopMode::Permanent,
+            },
             Instant::from_millis(1300),
         )
         .with_timer_model(TimerModel::jrate())
@@ -186,7 +188,14 @@ pub fn overhead_sensitivity() -> String {
         "{:>16} {:>16} {:>12} {:>12} {:>12}",
         "ctx switch", "detector fire", "τ1 maxresp", "τ2 maxresp", "τ3 maxresp"
     );
-    let cases: Vec<(i64, i64)> = vec![(0, 0), (100, 0), (500, 0), (0, 100), (500, 100), (1000, 500)];
+    let cases: Vec<(i64, i64)> = vec![
+        (0, 0),
+        (100, 0),
+        (500, 0),
+        (0, 100),
+        (500, 100),
+        (1000, 500),
+    ];
     for (ctx_us, det_us) in cases {
         let overheads = Overheads::dispatch_cost(rtft_core::time::Duration::micros(ctx_us))
             .with_detector_fire(rtft_core::time::Duration::micros(det_us));
@@ -226,7 +235,6 @@ pub fn overhead_sensitivity() -> String {
 /// EXP-X5 — allowance-aware priority assignment: compare the equitable
 /// allowance under RM, DM and the exhaustive-best order.
 pub fn priority_ablation() -> String {
-    use rtft_core::allowance::equitable_allowance;
     use rtft_core::priority::{deadline_monotonic, maximize_allowance, rate_monotonic};
     let mut text = String::new();
     let _ = writeln!(
@@ -238,15 +246,24 @@ pub fn priority_ablation() -> String {
         (
             "tight-deadline-pair",
             rtft_core::task::TaskSet::from_specs(vec![
-                rtft_core::task::TaskBuilder::new(1, 5, ms(100), ms(10)).deadline(ms(100)).build(),
-                rtft_core::task::TaskBuilder::new(2, 9, ms(100), ms(10)).deadline(ms(40)).build(),
+                rtft_core::task::TaskBuilder::new(1, 5, ms(100), ms(10))
+                    .deadline(ms(100))
+                    .build(),
+                rtft_core::task::TaskBuilder::new(2, 9, ms(100), ms(10))
+                    .deadline(ms(40))
+                    .build(),
             ]),
         ),
     ];
-    let _ = writeln!(text, "{:<22} {:>10} {:>10} {:>10}", "system", "RM", "DM", "best");
+    let _ = writeln!(
+        text,
+        "{:<22} {:>10} {:>10} {:>10}",
+        "system", "RM", "DM", "best"
+    );
     for (name, set) in systems {
         let a = |s: &rtft_core::task::TaskSet| {
-            equitable_allowance(s)
+            Analyzer::new(s)
+                .equitable_allowance()
                 .ok()
                 .flatten()
                 .map_or("-".to_string(), |e| e.allowance.to_string())
@@ -293,7 +310,10 @@ mod tests {
     fn overhead_sensitivity_renders() {
         let s = overhead_sensitivity();
         assert!(s.contains("ctx switch"));
-        assert!(s.contains("29ms"), "zero-overhead row shows the base WCRT:\n{s}");
+        assert!(
+            s.contains("29ms"),
+            "zero-overhead row shows the base WCRT:\n{s}"
+        );
     }
 
     #[test]
@@ -307,6 +327,9 @@ mod tests {
     #[test]
     fn stop_ablation_renders() {
         let s = stop_model_ablation();
-        assert!(s.contains("t=1030ms"), "immediate stop at the detection point:\n{s}");
+        assert!(
+            s.contains("t=1030ms"),
+            "immediate stop at the detection point:\n{s}"
+        );
     }
 }

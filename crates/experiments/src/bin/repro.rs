@@ -53,7 +53,12 @@ fn main() {
             let svg = rtft_trace::render_svg(&out.log, &set, &SvgConfig::window(from, to));
             let path = out_dir.join(format!("figure{}.svg", i + 3));
             fs::write(&path, svg).expect("write svg");
-            summary.push(format!("figure{}.svg{:<16} ok          -> {}", i + 3, "", path.display()));
+            summary.push(format!(
+                "figure{}.svg{:<16} ok          -> {}",
+                i + 3,
+                "",
+                path.display()
+            ));
         }
     }
 

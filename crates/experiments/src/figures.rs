@@ -16,7 +16,11 @@ fn ms(v: i64) -> Duration {
 /// The Figures 3–7 fault plan: the voluntary overrun on τ1's job released
 /// at t = 1000 ms.
 pub fn paper_fault() -> FaultPlan {
-    FaultPlan::none().overrun(TaskId(1), paper::FAULTY_JOB_OF_TAU1, paper::injected_overrun())
+    FaultPlan::none().overrun(
+        TaskId(1),
+        paper::FAULTY_JOB_OF_TAU1,
+        paper::injected_overrun(),
+    )
 }
 
 /// EXP-F1 — Figure 1: the Table 1 schedule, simulated and charted, with
@@ -51,7 +55,11 @@ pub fn figure1() -> String {
         "\nsimulated τ2 responses over the busy period: [{}]\n\
          analytic (paper §2.2): [5ms, 6ms, 4ms] — match: {}",
         responses.join(", "),
-        if responses == vec!["5ms", "6ms", "4ms"] { "YES" } else { "NO" }
+        if responses == vec!["5ms", "6ms", "4ms"] {
+            "YES"
+        } else {
+            "NO"
+        }
     );
     text
 }
@@ -164,10 +172,7 @@ pub fn figure7() -> String {
 /// The cross-figure comparison the paper's Section 6 narrates.
 pub fn comparison() -> String {
     let mut text = String::new();
-    let _ = writeln!(
-        text,
-        "== Summary: treatment comparison (paper §6) ==\n"
-    );
+    let _ = writeln!(text, "== Summary: treatment comparison (paper §6) ==\n");
     let _ = writeln!(
         text,
         "{:<22} {:>12} {:>10} {:>14} {:>18}",
@@ -178,7 +183,10 @@ pub fn comparison() -> String {
         let stop = out.log.stops().first().map(|s| s.2);
         let t1_ran = match stop {
             Some(at) => at - Instant::from_millis(1000),
-            None => out.log.job_end(TaskId(1), 5).map_or(ms(0), |e| e - Instant::from_millis(1000)),
+            None => out
+                .log
+                .job_end(TaskId(1), 5)
+                .map_or(ms(0), |e| e - Instant::from_millis(1000)),
         };
         let tau3_ok = out.log.misses(TaskId(3)).is_empty();
         let collateral = out.collateral_failures();

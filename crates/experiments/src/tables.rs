@@ -1,7 +1,8 @@
 //! Reproduction of the paper's tables (EXP-T1, EXP-T2, EXP-T3).
 
-use rtft_core::allowance::{equitable_allowance, system_allowance, SlackPolicy};
-use rtft_core::response::{analyze, wcrt_all};
+use rtft_core::allowance::SlackPolicy;
+use rtft_core::analyzer::Analyzer;
+use rtft_core::response::analyze;
 use rtft_core::utilization::load_test;
 use rtft_taskgen::paper;
 use std::fmt::Write as _;
@@ -40,7 +41,11 @@ pub fn table1() -> String {
         "\npaper claim: the worst case response is NOT at the synchronous\n\
          first activation for τ2 — its per-job responses are 5, 6, 4 ms\n\
          (worst at q=1). Reproduced: {}",
-        if analyze(&set, 1).unwrap().worst_job == 1 { "YES" } else { "NO" }
+        if analyze(&set, 1).unwrap().worst_job == 1 {
+            "YES"
+        } else {
+            "NO"
+        }
     );
     out
 }
@@ -49,11 +54,15 @@ pub fn table1() -> String {
 /// allowance column.
 pub fn table2() -> String {
     let set = paper::table2();
-    let wcrt = wcrt_all(&set).expect("feasible system");
-    let eq = equitable_allowance(&set)
+    // One session serves the WCRT column and both allowance columns.
+    let mut session = Analyzer::new(&set);
+    let wcrt = session.wcrt_all().expect("feasible system");
+    let eq = session
+        .equitable_allowance()
         .expect("analysis converges")
         .expect("feasible system");
-    let sa = system_allowance(&set, SlackPolicy::ProtectAll)
+    let sa = session
+        .system_allowance_with(SlackPolicy::ProtectAll)
         .expect("analysis converges")
         .expect("feasible system");
     let mut out = String::new();
@@ -98,7 +107,8 @@ pub fn table2() -> String {
 /// overruns (`WCRT_i + Σ_{j≤i} A`).
 pub fn table3() -> String {
     let set = paper::table2();
-    let eq = equitable_allowance(&set)
+    let eq = Analyzer::new(&set)
+        .equitable_allowance()
         .expect("analysis converges")
         .expect("feasible system");
     let mut out = String::new();
@@ -129,7 +139,11 @@ pub fn table3() -> String {
         out,
         "\npaper values: 29+11 = 40, 58+22 = 80, 87+33 = 120 ms.\n\
          Reproduced: {}",
-        if inflated_ms == vec![40, 80, 120] { "YES" } else { "NO" }
+        if inflated_ms == vec![40, 80, 120] {
+            "YES"
+        } else {
+            "NO"
+        }
     );
     out
 }

@@ -71,7 +71,14 @@ impl FtSupervisor {
         if matches!(treatment, Treatment::SystemAllowance { .. }) {
             assert!(manager.is_some(), "system allowance needs a manager");
         }
-        FtSupervisor { treatment, thresholds, wcrt, manager, grants: BTreeMap::new(), detected: Vec::new() }
+        FtSupervisor {
+            treatment,
+            thresholds,
+            wcrt,
+            manager,
+            grants: BTreeMap::new(),
+            detected: Vec::new(),
+        }
     }
 
     /// Install one periodic detector per task on `sim` (no-op for
@@ -172,10 +179,7 @@ impl FtSupervisor {
                 if let Some(m) = self.manager.as_mut() {
                     m.record(rank, grant.amount);
                 }
-                let mode = self
-                    .treatment
-                    .stop_mode()
-                    .unwrap_or(StopMode::Permanent);
+                let mode = self.treatment.stop_mode().unwrap_or(StopMode::Permanent);
                 vec![Command::Stop { rank, mode }]
             }
             // Finished or already abandoned between detection and the stop
@@ -233,9 +237,9 @@ mod tests {
     }
 
     fn one_task() -> TaskSet {
-        TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-        ])
+        TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(200), ms(29))
+            .deadline(ms(70))
+            .build()])
     }
 
     #[test]
@@ -250,12 +254,7 @@ mod tests {
     fn detector_fires_without_fault_on_healthy_job() {
         let set = one_task();
         let mut sim = Simulator::new(set.clone(), SimConfig::until(t(250)));
-        let mut sup = FtSupervisor::new(
-            Treatment::DetectOnly,
-            vec![ms(29)],
-            vec![ms(29)],
-            None,
-        );
+        let mut sup = FtSupervisor::new(Treatment::DetectOnly, vec![ms(29)], vec![ms(29)], None);
         sup.install_detectors(&mut sim, &set);
         sim.run(&mut sup);
         let log = sim.trace();
@@ -273,12 +272,7 @@ mod tests {
         let set = one_task();
         let plan = FaultPlan::none().overrun(TaskId(1), 0, ms(20));
         let mut sim = Simulator::new(set.clone(), SimConfig::until(t(150))).with_faults(plan);
-        let mut sup = FtSupervisor::new(
-            Treatment::DetectOnly,
-            vec![ms(29)],
-            vec![ms(29)],
-            None,
-        );
+        let mut sup = FtSupervisor::new(Treatment::DetectOnly, vec![ms(29)], vec![ms(29)], None);
         sup.install_detectors(&mut sim, &set);
         sim.run(&mut sup);
         let log = sim.trace();
@@ -294,7 +288,9 @@ mod tests {
         let plan = FaultPlan::none().overrun(TaskId(1), 0, ms(20));
         let mut sim = Simulator::new(set.clone(), SimConfig::until(t(400))).with_faults(plan);
         let mut sup = FtSupervisor::new(
-            Treatment::ImmediateStop { mode: StopMode::Permanent },
+            Treatment::ImmediateStop {
+                mode: StopMode::Permanent,
+            },
             vec![ms(29)],
             vec![ms(29)],
             None,
@@ -364,17 +360,9 @@ mod tests {
     fn quantized_detectors_shift_detection() {
         let set = one_task();
         let plan = FaultPlan::none().overrun(TaskId(1), 0, ms(20));
-        let mut sim = Simulator::new(
-            set.clone(),
-            SimConfig::until(t(150)).with_jrate_timers(),
-        )
-        .with_faults(plan);
-        let mut sup = FtSupervisor::new(
-            Treatment::DetectOnly,
-            vec![ms(29)],
-            vec![ms(29)],
-            None,
-        );
+        let mut sim = Simulator::new(set.clone(), SimConfig::until(t(150)).with_jrate_timers())
+            .with_faults(plan);
+        let mut sup = FtSupervisor::new(Treatment::DetectOnly, vec![ms(29)], vec![ms(29)], None);
         sup.install_detectors(&mut sim, &set);
         sim.run(&mut sup);
         // jRate grid: detector at 30 instead of 29.

@@ -2,17 +2,20 @@
 //! results in a more dynamic system where tasks can be added or removed
 //! 'in real-time' by adapting the behavior of our detectors".
 //!
-//! [`DynamicSystem`] keeps an [`AdmissionController`] and, after every
-//! accepted change, recomputes the detector thresholds and allowances the
-//! treatments need. Workloads are executed epoch by epoch: each epoch runs
-//! the *current* set on the simulator with freshly derived detector
-//! parameters, exactly what an online re-admission would install.
+//! [`DynamicSystem`] keeps one [`Analyzer`] session alive across changes:
+//! admission reuses the cached response-time solutions of the tasks a
+//! newcomer cannot affect, removal salvages the caches above the departed
+//! task, and the per-epoch detector plans (WCRT thresholds, equitable
+//! allowance) are read from the session's memo instead of re-deriving the
+//! whole analysis per epoch. Workloads are executed epoch by epoch: each
+//! epoch runs the *current* set on the simulator with freshly derived
+//! detector parameters, exactly what an online re-admission would install.
 
-use crate::harness::{run_scenario, HarnessError, Scenario, ScenarioOutcome};
+use crate::harness::{run_scenario_with, HarnessError, Scenario, ScenarioOutcome};
 use crate::treatment::Treatment;
-use rtft_core::allowance::equitable_allowance;
-use rtft_core::feasibility::{Admission, AdmissionController, AdmissionError};
-use rtft_core::response::wcrt_all;
+use rtft_core::analyzer::Analyzer;
+use rtft_core::error::ModelError;
+use rtft_core::feasibility::{Admission, AdmissionError};
 use rtft_core::task::{TaskId, TaskSet, TaskSpec};
 use rtft_core::time::{Duration, Instant};
 use rtft_sim::fault::FaultPlan;
@@ -29,10 +32,11 @@ pub struct DetectorPlan {
     pub equitable: Option<Duration>,
 }
 
-/// An online system: admission control plus detector re-planning.
+/// An online system: admission control plus detector re-planning, backed
+/// by one persistent [`Analyzer`] session.
 #[derive(Clone, Debug, Default)]
 pub struct DynamicSystem {
-    controller: AdmissionController,
+    session: Option<Analyzer>,
 }
 
 impl DynamicSystem {
@@ -43,20 +47,44 @@ impl DynamicSystem {
 
     /// System pre-loaded with `set`.
     pub fn with_set(set: &TaskSet) -> Self {
-        DynamicSystem { controller: AdmissionController::with_set(set) }
+        DynamicSystem {
+            session: Some(Analyzer::new(set)),
+        }
     }
 
     /// Current task set, if any task is admitted.
     pub fn current_set(&self) -> Option<TaskSet> {
-        self.controller.current_set()
+        self.session.as_ref().map(|s| s.task_set().clone())
+    }
+
+    /// The live analysis session, if any task is admitted. Callers that
+    /// want more than the [`DetectorPlan`] numbers (busy periods,
+    /// sensitivity margins, …) read them from here — they are memoized.
+    pub fn session(&mut self) -> Option<&mut Analyzer> {
+        self.session.as_mut()
     }
 
     /// Try to admit a task at run time. On success the new detector plan
     /// is returned — thresholds of *existing* tasks may have changed (a
     /// new high-priority task inflates everyone's WCRT below it), which is
-    /// precisely why detectors must adapt.
+    /// precisely why detectors must adapt. Tasks at higher priority than
+    /// the newcomer keep their cached analysis.
     pub fn admit(&mut self, spec: TaskSpec) -> Result<Option<DetectorPlan>, AdmissionError> {
-        match self.controller.add_to_feasibility(spec)? {
+        let admission = match &mut self.session {
+            Some(session) => session.admit(spec)?,
+            None => {
+                let set = TaskSet::new(vec![spec]).map_err(AdmissionError::Model)?;
+                let mut session = Analyzer::new(&set);
+                let report = session.report().map_err(AdmissionError::Analysis)?;
+                if report.is_feasible() {
+                    self.session = Some(session);
+                    Admission::Admitted(report)
+                } else {
+                    Admission::Rejected(report)
+                }
+            }
+        };
+        match admission {
             Admission::Admitted(_) => Ok(Some(self.plan()?)),
             Admission::Rejected(_) => Ok(None),
         }
@@ -64,23 +92,30 @@ impl DynamicSystem {
 
     /// Remove a task; returns the refreshed plan (thresholds shrink, the
     /// allowance grows — freed slack is redistributed).
+    ///
+    /// Removing the *last* task is rejected with
+    /// [`ModelError::Empty`] and leaves the system unchanged — drain a
+    /// system by dropping it, not by emptying it, so every error path
+    /// here is non-mutating.
     pub fn remove(&mut self, id: TaskId) -> Result<DetectorPlan, AdmissionError> {
-        self.controller.remove_from_feasibility(id)?;
+        let session = self
+            .session
+            .as_mut()
+            .ok_or(AdmissionError::Model(ModelError::UnknownTask(id)))?;
+        session.remove(id)?;
         self.plan()
     }
 
-    /// Detector plan of the current set.
-    pub fn plan(&self) -> Result<DetectorPlan, AdmissionError> {
-        let set = self
-            .controller
-            .current_set()
-            .expect("plan() on an empty system");
-        let wcrt = wcrt_all(&set).map_err(AdmissionError::Analysis)?;
-        let equitable = equitable_allowance(&set)
+    /// Detector plan of the current set, served from the session's memo.
+    pub fn plan(&mut self) -> Result<DetectorPlan, AdmissionError> {
+        let session = self.session.as_mut().expect("plan() on an empty system");
+        let wcrt = session.wcrt_all().map_err(AdmissionError::Analysis)?;
+        let equitable = session
+            .equitable_allowance()
             .map_err(AdmissionError::Analysis)?
             .map(|e| e.allowance);
         Ok(DetectorPlan {
-            tasks: set.tasks().iter().map(|t| t.id).collect(),
+            tasks: session.task_set().tasks().iter().map(|t| t.id).collect(),
             wcrt,
             equitable,
         })
@@ -116,7 +151,9 @@ pub fn run_epochs(
                 system = DynamicSystem::with_set(set);
             }
             EpochChange::Add(spec) => {
-                let admitted = system.admit(spec.clone()).map_err(DynamicError::Admission)?;
+                let admitted = system
+                    .admit(spec.clone())
+                    .map_err(DynamicError::Admission)?;
                 if admitted.is_none() {
                     return Err(DynamicError::Rejected(spec.id));
                 }
@@ -134,7 +171,11 @@ pub fn run_epochs(
             Instant::EPOCH + epoch_len,
         )
         .with_timer_model(timer_model);
-        outcomes.push(run_scenario(&sc).map_err(DynamicError::Harness)?);
+        // The session lives across epochs: an epoch that only changes the
+        // fault plan reuses every cached number, and add/remove epochs
+        // reuse what the change could not affect.
+        let session = system.session().ok_or(DynamicError::EmptySystem)?;
+        outcomes.push(run_scenario_with(&sc, session).map_err(DynamicError::Harness)?);
     }
     Ok(outcomes)
 }
@@ -177,8 +218,12 @@ mod tests {
 
     fn base_specs() -> Vec<TaskSpec> {
         vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
         ]
     }
 
@@ -192,7 +237,11 @@ mod tests {
         assert_eq!(before.wcrt, vec![ms(29), ms(58)]);
         // Admit a mid-priority task: τ2's threshold must shift.
         let plan = sys
-            .admit(TaskBuilder::new(9, 19, ms(300), ms(10)).deadline(ms(300)).build())
+            .admit(
+                TaskBuilder::new(9, 19, ms(300), ms(10))
+                    .deadline(ms(300))
+                    .build(),
+            )
             .unwrap()
             .unwrap();
         assert_eq!(plan.tasks, vec![TaskId(1), TaskId(9), TaskId(2)]);
@@ -206,7 +255,9 @@ mod tests {
             sys.admit(spec).unwrap().unwrap();
         }
         sys.admit(
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         )
         .unwrap()
         .unwrap();
@@ -230,13 +281,31 @@ mod tests {
     }
 
     #[test]
+    fn removing_the_last_task_is_rejected_without_mutation() {
+        let mut sys = DynamicSystem::new();
+        sys.admit(TaskBuilder::new(1, 20, ms(200), ms(29)).build())
+            .unwrap()
+            .unwrap();
+        let err = sys.remove(TaskId(1)).unwrap_err();
+        assert!(matches!(
+            err,
+            AdmissionError::Model(rtft_core::error::ModelError::Empty)
+        ));
+        // The error path must not have emptied the system.
+        assert_eq!(sys.current_set().unwrap().len(), 1);
+        assert_eq!(sys.plan().unwrap().wcrt, vec![ms(29)]);
+    }
+
+    #[test]
     fn epochs_run_with_adapting_detectors() {
         let base = TaskSet::from_specs(base_specs());
         let changes = vec![
             (EpochChange::Reset(base), FaultPlan::none()),
             (
                 EpochChange::Add(
-                    TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+                    TaskBuilder::new(3, 16, ms(1500), ms(29))
+                        .deadline(ms(120))
+                        .build(),
                 ),
                 FaultPlan::none().overrun(TaskId(1), 0, ms(40)),
             ),
@@ -245,7 +314,9 @@ mod tests {
         let outs = run_epochs(
             &changes,
             ms(1000),
-            Treatment::ImmediateStop { mode: StopMode::JobOnly },
+            Treatment::ImmediateStop {
+                mode: StopMode::JobOnly,
+            },
             TimerModel::EXACT,
         )
         .unwrap();
@@ -271,13 +342,8 @@ mod tests {
                 FaultPlan::none(),
             ),
         ];
-        let err = run_epochs(
-            &changes,
-            ms(500),
-            Treatment::DetectOnly,
-            TimerModel::EXACT,
-        )
-        .unwrap_err();
+        let err =
+            run_epochs(&changes, ms(500), Treatment::DetectOnly, TimerModel::EXACT).unwrap_err();
         assert!(matches!(err, DynamicError::Rejected(TaskId(8))));
     }
 }

@@ -11,9 +11,8 @@ use crate::detector::FtSupervisor;
 use crate::manager::AllowanceManager;
 use crate::treatment::Treatment;
 use crate::verdict::Verdict;
-use rtft_core::allowance::{equitable_allowance, system_allowance};
+use rtft_core::analyzer::Analyzer;
 use rtft_core::error::AnalysisError;
-use rtft_core::response::wcrt_all;
 use rtft_core::task::TaskSet;
 use rtft_core::time::{Duration, Instant};
 use rtft_sim::engine::{SimConfig, Simulator};
@@ -184,9 +183,27 @@ impl From<AnalysisError> for HarnessError {
     }
 }
 
-/// Run a scenario end to end.
+/// Run a scenario end to end with a throwaway analysis session.
 pub fn run_scenario(sc: &Scenario) -> Result<ScenarioOutcome, HarnessError> {
-    let wcrt = match wcrt_all(&sc.set) {
+    run_scenario_with(sc, &mut Analyzer::new(&sc.set))
+}
+
+/// Run a scenario end to end against a caller-held [`Analyzer`] session
+/// over the same task set — the memoized WCRTs and allowances are then
+/// shared across scenarios (and epochs, see [`crate::dynamic`]).
+///
+/// # Panics
+/// Panics if `session` analyses a different task set than the scenario.
+pub fn run_scenario_with(
+    sc: &Scenario,
+    session: &mut Analyzer,
+) -> Result<ScenarioOutcome, HarnessError> {
+    assert_eq!(
+        session.task_set(),
+        &sc.set,
+        "run_scenario_with: session and scenario disagree on the task set"
+    );
+    let wcrt = match session.wcrt_all() {
         Ok(w) => w,
         // A diverging level workload is just an infeasible base system.
         Err(AnalysisError::Divergent { .. }) => return Err(HarnessError::InfeasibleBase),
@@ -209,12 +226,16 @@ pub fn run_scenario(sc: &Scenario) -> Result<ScenarioOutcome, HarnessError> {
             thresholds = wcrt.clone();
         }
         Treatment::EquitableAllowance { .. } => {
-            let eq = equitable_allowance(&sc.set)?.ok_or(HarnessError::InfeasibleBase)?;
+            let eq = session
+                .equitable_allowance()?
+                .ok_or(HarnessError::InfeasibleBase)?;
             equitable = Some(eq.allowance);
             thresholds = eq.inflated_wcrt;
         }
         Treatment::SystemAllowance { policy, .. } => {
-            let sa = system_allowance(&sc.set, policy)?.ok_or(HarnessError::InfeasibleBase)?;
+            let sa = session
+                .system_allowance_with(policy)?
+                .ok_or(HarnessError::InfeasibleBase)?;
             thresholds = wcrt.clone();
             manager = Some(AllowanceManager::new(sa.max_overrun.clone()));
             system_max = Some(sa.max_overrun);
@@ -271,6 +292,9 @@ pub fn run_paper_lineup(
     horizon: Instant,
     timer_model: TimerModel,
 ) -> Result<Vec<ScenarioOutcome>, HarnessError> {
+    // One session serves all five treatments: the base WCRTs and both
+    // allowance searches are computed once and memoized.
+    let mut session = Analyzer::new(set);
     Treatment::paper_lineup()
         .into_iter()
         .map(|treatment| {
@@ -282,7 +306,7 @@ pub fn run_paper_lineup(
                 horizon,
             )
             .with_timer_model(timer_model);
-            run_scenario(&sc)
+            run_scenario_with(&sc, &mut session)
         })
         .collect()
 }
@@ -305,8 +329,12 @@ mod tests {
     /// every task is released at t = 1000 (the Figures 3–7 window).
     pub fn paper_system() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
             TaskBuilder::new(3, 16, ms(1500), ms(29))
                 .deadline(ms(120))
                 .offset(ms(1000))
@@ -389,7 +417,9 @@ mod tests {
             "fig5",
             paper_system(),
             paper_fault(),
-            Treatment::ImmediateStop { mode: StopMode::Permanent },
+            Treatment::ImmediateStop {
+                mode: StopMode::Permanent,
+            },
             t(1300),
         )
         .with_jrate_timers();
@@ -417,7 +447,9 @@ mod tests {
             "fig6",
             paper_system(),
             paper_fault(),
-            Treatment::EquitableAllowance { mode: StopMode::Permanent },
+            Treatment::EquitableAllowance {
+                mode: StopMode::Permanent,
+            },
             t(1300),
         )
         .with_jrate_timers();
@@ -448,13 +480,19 @@ mod tests {
         )
         .with_jrate_timers();
         let out = run_scenario(&sc).unwrap();
-        assert_eq!(out.analysis.system_allowance, Some(vec![ms(33), ms(33), ms(33)]));
+        assert_eq!(
+            out.analysis.system_allowance,
+            Some(vec![ms(33), ms(33), ms(33)])
+        );
         // τ1 stopped 33 ms after its WCRT: t = 1000 + 29 + 33 = 1062.
         assert_eq!(out.log.stops(), vec![(TaskId(1), 5, t(1062))]);
         // τ2 and τ3 finish "just before their deadlines": 1091 and 1120.
         assert_eq!(out.log.job_end(TaskId(2), 4), Some(t(1091)));
         assert_eq!(out.log.job_end(TaskId(3), 0), Some(t(1120)));
-        assert!(out.log.misses(TaskId(3)).is_empty(), "1120 is exactly on time");
+        assert!(
+            out.log.misses(TaskId(3)).is_empty(),
+            "1120 is exactly on time"
+        );
         assert_eq!(out.verdict.failed_tasks(), vec![TaskId(1)]);
     }
 
@@ -491,13 +529,7 @@ mod tests {
             TaskBuilder::new(1, 5, ms(10), ms(8)).build(),
             TaskBuilder::new(2, 4, ms(10), ms(8)).build(),
         ]);
-        let sc = Scenario::new(
-            "bad",
-            set,
-            FaultPlan::none(),
-            Treatment::DetectOnly,
-            t(100),
-        );
+        let sc = Scenario::new("bad", set, FaultPlan::none(), Treatment::DetectOnly, t(100));
         assert_eq!(run_scenario(&sc).unwrap_err(), HarnessError::InfeasibleBase);
     }
 

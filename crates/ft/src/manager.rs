@@ -26,7 +26,10 @@ impl AllowanceManager {
     /// Build from the static per-rank maxima.
     pub fn new(max_overrun: Vec<Duration>) -> Self {
         let n = max_overrun.len();
-        AllowanceManager { max_overrun, consumed: vec![Duration::ZERO; n] }
+        AllowanceManager {
+            max_overrun,
+            consumed: vec![Duration::ZERO; n],
+        }
     }
 
     /// Number of tasks tracked.

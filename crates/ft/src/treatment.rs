@@ -39,8 +39,12 @@ impl Treatment {
         [
             Treatment::NoDetection,
             Treatment::DetectOnly,
-            Treatment::ImmediateStop { mode: StopMode::Permanent },
-            Treatment::EquitableAllowance { mode: StopMode::Permanent },
+            Treatment::ImmediateStop {
+                mode: StopMode::Permanent,
+            },
+            Treatment::EquitableAllowance {
+                mode: StopMode::Permanent,
+            },
             Treatment::SystemAllowance {
                 mode: StopMode::Permanent,
                 policy: SlackPolicy::ProtectAll,
@@ -116,7 +120,9 @@ mod tests {
         assert!(!Treatment::NoDetection.has_detection());
         assert!(Treatment::DetectOnly.has_detection());
         assert!(!Treatment::DetectOnly.stops_faulty_tasks());
-        let stop = Treatment::ImmediateStop { mode: StopMode::Permanent };
+        let stop = Treatment::ImmediateStop {
+            mode: StopMode::Permanent,
+        };
         assert!(stop.stops_faulty_tasks());
         assert_eq!(stop.stop_mode(), Some(StopMode::Permanent));
         assert_eq!(Treatment::NoDetection.stop_mode(), None);

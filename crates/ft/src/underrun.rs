@@ -10,8 +10,9 @@
 //! the equitable-allowance analysis with the observed costs, quantifying
 //! the tolerance the system wins back.
 
-use rtft_core::sensitivity::{underrun_reclaim, UnderrunReclaim};
+use rtft_core::analyzer::Analyzer;
 use rtft_core::error::AnalysisError;
+use rtft_core::sensitivity::UnderrunReclaim;
 use rtft_core::task::{TaskId, TaskSet};
 use rtft_core::time::{Duration, Instant};
 use rtft_trace::{EventKind, TraceLog};
@@ -114,7 +115,7 @@ pub fn suggest_reassignment(
     if candidates.is_empty() {
         return Ok(None);
     }
-    underrun_reclaim(set, &candidates)
+    Analyzer::new(set).underrun_reclaim(&candidates)
 }
 
 #[cfg(test)]
@@ -122,8 +123,8 @@ mod tests {
     use super::*;
     use rtft_core::task::TaskBuilder;
     use rtft_sim::engine::run_plain;
-    use rtft_sim::fault::FaultPlan;
     use rtft_sim::engine::{SimConfig, Simulator};
+    use rtft_sim::fault::FaultPlan;
     use rtft_sim::supervisor::NullSupervisor;
 
     fn ms(v: i64) -> Duration {
@@ -136,9 +137,15 @@ mod tests {
 
     fn table2() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 
@@ -204,9 +211,27 @@ mod tests {
     fn abandoned_jobs_are_not_cost_samples() {
         use rtft_trace::TraceLog;
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
-        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
-        log.push(t(10), EventKind::TaskStopped { task: TaskId(1), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobStart {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(10),
+            EventKind::TaskStopped {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
         let obs = ObservedCosts::from_log(&log);
         assert_eq!(obs.samples(), 0);
         assert_eq!(obs.max_cost(TaskId(1)), None);

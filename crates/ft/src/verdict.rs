@@ -144,20 +144,66 @@ mod tests {
 
     fn set() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 
     fn log() -> TraceLog {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
-        log.push(t(0), EventKind::JobRelease { task: TaskId(3), job: 0 });
-        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
-        log.push(t(30), EventKind::FaultDetected { task: TaskId(1), job: 0 });
-        log.push(t(49), EventKind::JobEnd { task: TaskId(1), job: 0 });
-        log.push(t(49), EventKind::JobStart { task: TaskId(3), job: 0 });
-        log.push(t(78), EventKind::JobEnd { task: TaskId(3), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: TaskId(3),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobStart {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(30),
+            EventKind::FaultDetected {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(49),
+            EventKind::JobEnd {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(49),
+            EventKind::JobStart {
+                task: TaskId(3),
+                job: 0,
+            },
+        );
+        log.push(
+            t(78),
+            EventKind::JobEnd {
+                task: TaskId(3),
+                job: 0,
+            },
+        );
         log
     }
 
@@ -183,7 +229,13 @@ mod tests {
     #[test]
     fn collateral_failure_detection() {
         let mut l = log();
-        l.push(t(120), EventKind::DeadlineMiss { task: TaskId(3), job: 0 });
+        l.push(
+            t(120),
+            EventKind::DeadlineMiss {
+                task: TaskId(3),
+                job: 0,
+            },
+        );
         let v = Verdict::from_log(&set(), &l);
         assert!(!v.all_ok());
         assert_eq!(v.failed_tasks(), vec![TaskId(3)]);
@@ -196,7 +248,13 @@ mod tests {
     #[test]
     fn stopped_faulty_task_is_not_collateral() {
         let mut l = log();
-        l.push(t(130), EventKind::TaskStopped { task: TaskId(1), job: 0 });
+        l.push(
+            t(130),
+            EventKind::TaskStopped {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
         let v = Verdict::from_log(&set(), &l);
         assert_eq!(v.failed_tasks(), vec![TaskId(1)]);
         assert!(v.collateral_failures(&[TaskId(1)]).is_empty());

@@ -13,8 +13,8 @@
 //! only bounded above. Both directions are reported.
 
 use crate::harness::HarnessError;
+use rtft_core::analyzer::Analyzer;
 use rtft_core::error::AnalysisError;
-use rtft_core::response::ResponseAnalysis;
 use rtft_core::task::{TaskId, TaskSet};
 use rtft_core::time::{Duration, Instant};
 use rtft_sim::engine::run_plain;
@@ -93,27 +93,18 @@ pub const DEFAULT_HORIZON_CAP: Duration = Duration::secs(60);
 ///
 /// The horizon is `min(hyperperiod + max offset, cap)` — one full pattern
 /// where representable.
-pub fn verify_analysis(
-    set: &TaskSet,
-    cap: Duration,
-) -> Result<VerificationReport, HarnessError> {
-    let analysis = ResponseAnalysis::new(set);
+pub fn verify_analysis(set: &TaskSet, cap: Duration) -> Result<VerificationReport, HarnessError> {
+    let mut analysis = Analyzer::new(set);
     let mut analytic = Vec::with_capacity(set.len());
     for rank in 0..set.len() {
         match analysis.analyze(rank) {
             Ok(r) => analytic.push(r),
-            Err(AnalysisError::Divergent { .. }) => {
-                return Err(HarnessError::InfeasibleBase)
-            }
+            Err(AnalysisError::Divergent { .. }) => return Err(HarnessError::InfeasibleBase),
             Err(e) => return Err(HarnessError::Analysis(e)),
         }
     }
 
-    let horizon = Instant::EPOCH
-        + set
-            .hyperperiod()
-            .saturating_add(set.max_offset())
-            .min(cap);
+    let horizon = Instant::EPOCH + set.hyperperiod().saturating_add(set.max_offset()).min(cap);
     let log = run_plain(set.clone(), horizon);
     let stats = TraceStats::from_log(&log, Some(set));
     let synchronous = set.is_synchronous();
@@ -137,7 +128,11 @@ pub fn verify_analysis(
         })
         .collect();
 
-    Ok(VerificationReport { per_task, horizon, synchronous })
+    Ok(VerificationReport {
+        per_task,
+        horizon,
+        synchronous,
+    })
 }
 
 #[cfg(test)]
@@ -151,9 +146,15 @@ mod tests {
 
     fn table2() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 

@@ -110,7 +110,13 @@ impl MemoryModel {
     /// A model with the two ambient areas (heap, immortal).
     pub fn new() -> Self {
         let areas = vec![
-            Area { kind: AreaKind::Heap, size: usize::MAX, used: 0, parent: None, enter_count: 0 },
+            Area {
+                kind: AreaKind::Heap,
+                size: usize::MAX,
+                used: 0,
+                parent: None,
+                enter_count: 0,
+            },
             Area {
                 kind: AreaKind::Immortal,
                 size: usize::MAX,
@@ -119,7 +125,11 @@ impl MemoryModel {
                 enter_count: 0,
             },
         ];
-        MemoryModel { areas, heap: AreaId(0), immortal: AreaId(1) }
+        MemoryModel {
+            areas,
+            heap: AreaId(0),
+            immortal: AreaId(1),
+        }
     }
 
     /// The ambient heap.
@@ -183,12 +193,18 @@ pub struct ScopeStack<'m> {
 impl<'m> ScopeStack<'m> {
     /// A fresh stack over `model` (ambient areas implicitly at bottom).
     pub fn new(model: &'m mut MemoryModel) -> Self {
-        ScopeStack { model, stack: Vec::new() }
+        ScopeStack {
+            model,
+            stack: Vec::new(),
+        }
     }
 
     /// Current allocation context (innermost scope, or the heap).
     pub fn current(&self) -> AreaId {
-        self.stack.last().copied().unwrap_or_else(|| self.model_heap())
+        self.stack
+            .last()
+            .copied()
+            .unwrap_or_else(|| self.model_heap())
     }
 
     fn model_heap(&self) -> AreaId {
@@ -216,10 +232,9 @@ impl<'m> ScopeStack<'m> {
         let parent = self.stack.last().copied().unwrap_or(self.model.immortal());
         {
             let a = &self.model.areas[id.0];
-            if a.enter_count > 0
-                && a.parent != Some(parent) {
-                    return Err(MemoryError::SingleParentViolation { area: id });
-                }
+            if a.enter_count > 0 && a.parent != Some(parent) {
+                return Err(MemoryError::SingleParentViolation { area: id });
+            }
         }
         let a = &mut self.model.areas[id.0];
         a.parent = Some(parent);
@@ -260,9 +275,7 @@ impl<'m> ScopeStack<'m> {
     /// `to` is an ambient area or an *outer* (or equal) scope on this
     /// stack.
     pub fn check_assignment(&self, from: AreaId, to: AreaId) -> Result<(), MemoryError> {
-        let from_depth = self
-            .depth(from)
-            .unwrap_or(usize::MAX); // not on stack: treat as innermost-est
+        let from_depth = self.depth(from).unwrap_or(usize::MAX); // not on stack: treat as innermost-est
         let to_depth = match self.depth(to) {
             Some(d) => d,
             None => return Err(MemoryError::IllegalAssignment { from, to }),
@@ -288,10 +301,7 @@ mod tests {
         assert_eq!(stack.current(), s);
         stack.allocate(60).unwrap();
         stack.allocate(40).unwrap();
-        assert_eq!(
-            stack.allocate(1),
-            Err(MemoryError::OutOfMemory { area: s })
-        );
+        assert_eq!(stack.allocate(1), Err(MemoryError::OutOfMemory { area: s }));
         stack.exit(s).unwrap();
         // Region reclaimed on last exit.
         assert_eq!(m.consumed(s), 0);

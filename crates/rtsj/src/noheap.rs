@@ -65,7 +65,10 @@ impl NoHeapRealtimeThread {
         if matches!(model.kind(initial_area), AreaKind::Heap) {
             return Err(NoHeapError::HeapInitialArea);
         }
-        Ok(NoHeapRealtimeThread { thread, initial_area })
+        Ok(NoHeapRealtimeThread {
+            thread,
+            initial_area,
+        })
     }
 
     /// The wrapped thread.
@@ -79,11 +82,7 @@ impl NoHeapRealtimeThread {
     }
 
     /// Validate an allocation the thread wants to make in `area`.
-    pub fn check_allocation(
-        &self,
-        model: &MemoryModel,
-        area: AreaId,
-    ) -> Result<(), NoHeapError> {
+    pub fn check_allocation(&self, model: &MemoryModel, area: AreaId) -> Result<(), NoHeapError> {
         if matches!(model.kind(area), AreaKind::Heap) {
             return Err(NoHeapError::HeapAccess);
         }
@@ -100,9 +99,7 @@ impl NoHeapRealtimeThread {
         from: AreaId,
         to: AreaId,
     ) -> Result<(), NoHeapError> {
-        if matches!(model.kind(from), AreaKind::Heap)
-            || matches!(model.kind(to), AreaKind::Heap)
-        {
+        if matches!(model.kind(from), AreaKind::Heap) || matches!(model.kind(to), AreaKind::Heap) {
             return Err(NoHeapError::HeapAccess);
         }
         stack.check_assignment(from, to)?;
@@ -171,11 +168,13 @@ mod tests {
         stack.enter(scoped).unwrap();
         // Heap on either end is a no-heap violation.
         assert_eq!(
-            t.check_reference(&model, &stack, heap, immortal).unwrap_err(),
+            t.check_reference(&model, &stack, heap, immortal)
+                .unwrap_err(),
             NoHeapError::HeapAccess
         );
         assert_eq!(
-            t.check_reference(&model, &stack, immortal, heap).unwrap_err(),
+            t.check_reference(&model, &stack, immortal, heap)
+                .unwrap_err(),
             NoHeapError::HeapAccess
         );
         // Scoped → immortal is fine (outward reference).

@@ -60,7 +60,12 @@ impl PeriodicParameters {
         assert!(cost.is_positive(), "cost must be positive");
         assert!(deadline.is_positive(), "deadline must be positive");
         assert!(!start.is_negative(), "start must be non-negative");
-        PeriodicParameters { start, period, cost, deadline }
+        PeriodicParameters {
+            start,
+            period,
+            cost,
+            deadline,
+        }
     }
 
     /// RTSJ default: deadline = period.

@@ -77,7 +77,10 @@ impl RtsjRuntime {
         priority: PriorityParameters,
         release: PeriodicParameters,
     ) -> Result<Option<ThreadHandle>, SchedulerError> {
-        let Some(id) = self.scheduler.add_to_feasibility(name, &priority, &release)? else {
+        let Some(id) = self
+            .scheduler
+            .add_to_feasibility(name, &priority, &release)?
+        else {
             return Ok(None);
         };
         let thread = RealtimeThreadExtended::periodic(name, priority, release);
@@ -153,18 +156,12 @@ pub struct RunReport {
 impl RunReport {
     /// Deadline misses of a thread.
     pub fn missed_deadlines(&self, handle: ThreadHandle) -> usize {
-        self.outcome
-            .verdict
-            .of(handle.0)
-            .map_or(0, |v| v.missed)
+        self.outcome.verdict.of(handle.0).map_or(0, |v| v.missed)
     }
 
     /// Completed jobs of a thread.
     pub fn completed_jobs(&self, handle: ThreadHandle) -> usize {
-        self.outcome
-            .verdict
-            .of(handle.0)
-            .map_or(0, |v| v.completed)
+        self.outcome.verdict.of(handle.0).map_or(0, |v| v.completed)
     }
 
     /// `true` iff the treatment stopped the thread.

@@ -28,7 +28,10 @@ pub struct PriorityScheduler {
 impl PriorityScheduler {
     /// A scheduler with an empty feasibility set.
     pub fn new() -> Self {
-        PriorityScheduler { controller: AdmissionController::new(), next_id: 1 }
+        PriorityScheduler {
+            controller: AdmissionController::new(),
+            next_id: 1,
+        }
     }
 
     /// `getMinPriority()`.
@@ -64,11 +67,13 @@ impl PriorityScheduler {
         }
         let id = self.next_id;
         self.next_id += 1;
-        Ok(TaskBuilder::new(id, priority.priority(), release.period(), release.cost())
-            .name(name.to_string())
-            .deadline(release.deadline())
-            .offset(release.start())
-            .build())
+        Ok(
+            TaskBuilder::new(id, priority.priority(), release.period(), release.cost())
+                .name(name.to_string())
+                .deadline(release.deadline())
+                .offset(release.start())
+                .build(),
+        )
     }
 
     /// `addToFeasibility` + `isFeasible`: admit iff the resulting system
@@ -164,9 +169,21 @@ mod tests {
 
     fn paper_params() -> Vec<(&'static str, i32, PeriodicParameters)> {
         vec![
-            ("tau1", 20, PeriodicParameters::new(ms(0), ms(200), ms(29), ms(70))),
-            ("tau2", 18, PeriodicParameters::new(ms(0), ms(250), ms(29), ms(120))),
-            ("tau3", 16, PeriodicParameters::new(ms(0), ms(1500), ms(29), ms(120))),
+            (
+                "tau1",
+                20,
+                PeriodicParameters::new(ms(0), ms(200), ms(29), ms(70)),
+            ),
+            (
+                "tau2",
+                18,
+                PeriodicParameters::new(ms(0), ms(250), ms(29), ms(120)),
+            ),
+            (
+                "tau3",
+                16,
+                PeriodicParameters::new(ms(0), ms(1500), ms(29), ms(120)),
+            ),
         ]
     }
 

@@ -33,7 +33,11 @@ impl RealtimeThread {
         priority: PriorityParameters,
         release: PeriodicParameters,
     ) -> Self {
-        RealtimeThread { name: name.into(), priority, release }
+        RealtimeThread {
+            name: name.into(),
+            priority,
+            release,
+        }
     }
 
     /// Thread name.
@@ -199,7 +203,11 @@ mod tests {
         t.request_stop();
         // The poll at the loop boundary observes the flag: loop breaks.
         assert!(!t.wait_for_next_period());
-        assert_eq!(t.job_counter(), 1, "the interrupted job still counted its end");
+        assert_eq!(
+            t.job_counter(),
+            1,
+            "the interrupted job still counted its end"
+        );
     }
 
     #[test]

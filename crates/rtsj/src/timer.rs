@@ -79,7 +79,13 @@ impl PeriodicTimer {
     pub fn new(start: Duration, interval: Duration, model: TimerModel) -> Self {
         assert!(interval.is_positive(), "interval must be positive");
         assert!(!start.is_negative(), "start must be non-negative");
-        PeriodicTimer { start, interval, model, event: AsyncEvent::new(), started: false }
+        PeriodicTimer {
+            start,
+            interval,
+            model,
+            event: AsyncEvent::new(),
+            started: false,
+        }
     }
 
     /// Bind a handler (`addHandler` on the timer's event).
@@ -139,7 +145,12 @@ impl OneShotTimer {
     /// Build (not yet started).
     pub fn new(at: Duration, model: TimerModel) -> Self {
         assert!(!at.is_negative(), "fire time must be non-negative");
-        OneShotTimer { at, model, event: AsyncEvent::new(), started: false }
+        OneShotTimer {
+            at,
+            model,
+            event: AsyncEvent::new(),
+            started: false,
+        }
     }
 
     /// Bind a handler.
@@ -243,9 +254,7 @@ mod tests {
     fn lower_to_sim_registers_timer() {
         use rtft_core::task::{TaskBuilder, TaskSet};
         use rtft_sim::engine::SimConfig;
-        let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(100), ms(10)).build(),
-        ]);
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(100), ms(10)).build()]);
         let mut sim = Simulator::new(
             set,
             SimConfig::until(Instant::from_millis(500)).with_jrate_timers(),

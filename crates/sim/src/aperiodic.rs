@@ -30,7 +30,12 @@ impl AperiodicJob {
     /// An arrival served in the background (caller picks a priority below
     /// the periodic tasks).
     pub fn new(arrival: Instant, demand: Duration, priority: i32) -> Self {
-        AperiodicJob { arrival, demand, priority, deadline: None }
+        AperiodicJob {
+            arrival,
+            demand,
+            priority,
+            deadline: None,
+        }
     }
 
     /// Attach a relative deadline.
@@ -57,8 +62,7 @@ pub fn attach(
     for (k, job) in jobs.iter().enumerate() {
         let id = base_id + k as u32;
         // One release only: the period reaches past the horizon.
-        let period = (horizon.since_epoch() - job.arrival.since_epoch())
-            .max(Duration::NANO)
+        let period = (horizon.since_epoch() - job.arrival.since_epoch()).max(Duration::NANO)
             + Duration::millis(1);
         let deadline = job.deadline.unwrap_or(period);
         let spec = TaskBuilder::new(id, job.priority, period, job.demand)
@@ -88,8 +92,12 @@ mod tests {
 
     fn periodic_set() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 

@@ -25,13 +25,19 @@ pub struct ArrivalModel {
 impl ArrivalModel {
     /// Strictly periodic arrivals (no jitter).
     pub fn periodic(set: &TaskSet) -> Self {
-        ArrivalModel { max: vec![Duration::ZERO; set.len()], seed: 0 }
+        ArrivalModel {
+            max: vec![Duration::ZERO; set.len()],
+            seed: 0,
+        }
     }
 
     /// Uniform jitter bound on every task.
     pub fn uniform(set: &TaskSet, max: Duration, seed: u64) -> Self {
         assert!(!max.is_negative(), "jitter must be ≥ 0");
-        ArrivalModel { max: vec![max; set.len()], seed }
+        ArrivalModel {
+            max: vec![max; set.len()],
+            seed,
+        }
     }
 
     /// Explicit per-rank bounds.

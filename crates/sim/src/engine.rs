@@ -15,8 +15,8 @@
 //! * preemption only by *strictly* higher priority (FIFO among equals);
 //! * within a task, jobs run FIFO (required for `D > T`).
 
-use crate::event::{EventQueue, SimEventKind};
 use crate::arrival::ArrivalModel;
+use crate::event::{EventQueue, SimEventKind};
 use crate::fault::FaultPlan;
 use crate::overhead::Overheads;
 use crate::process::{JobOutcome, TaskProcess};
@@ -207,7 +207,11 @@ impl Simulator {
         assert!(period.is_positive(), "timer period must be positive");
         let first = Instant::EPOCH + self.config.timer_model.first_release(first);
         let id = self.timers.len();
-        self.timers.push(TimerSpec { first, period: Some(period), tag });
+        self.timers.push(TimerSpec {
+            first,
+            period: Some(period),
+            tag,
+        });
         self.timer_fires.push(0);
         id
     }
@@ -216,7 +220,11 @@ impl Simulator {
     pub fn add_one_shot_timer(&mut self, at: Duration, tag: u64) -> usize {
         let first = Instant::EPOCH + self.config.timer_model.first_release(at);
         let id = self.timers.len();
-        self.timers.push(TimerSpec { first, period: None, tag });
+        self.timers.push(TimerSpec {
+            first,
+            period: None,
+            tag,
+        });
         self.timer_fires.push(0);
         id
     }
@@ -249,8 +257,10 @@ impl Simulator {
                 .arrivals
                 .as_ref()
                 .map_or(Duration::ZERO, |a| a.jitter(rank, 0));
-            self.queue
-                .push(Instant::EPOCH + offset + jitter, SimEventKind::Release { rank });
+            self.queue.push(
+                Instant::EPOCH + offset + jitter,
+                SimEventKind::Release { rank },
+            );
         }
         for (id, t) in self.timers.iter().enumerate() {
             self.queue.push(t.first, SimEventKind::Timer { id });
@@ -291,7 +301,11 @@ impl Simulator {
                 if let Some(next) = spec.fire_at(count + 1) {
                     self.queue.push(next, SimEventKind::Timer { id });
                 }
-                out.push_back(Occurrence::TimerFired { id, tag: spec.tag, count });
+                out.push_back(Occurrence::TimerFired {
+                    id,
+                    tag: spec.tag,
+                    count,
+                });
             }
             SimEventKind::OneShot { tag } => {
                 out.push_back(Occurrence::OneShotFired { tag });
@@ -308,9 +322,12 @@ impl Simulator {
         let job = self.state.procs[rank].released();
         let demand = self.fault_plan.demand(&self.state.set, spec.id, job);
         self.state.procs[rank].release(now, demand);
-        self.trace.push(now, EventKind::JobRelease { task: spec.id, job });
-        self.queue
-            .push(now + spec.deadline, SimEventKind::DeadlineCheck { rank, job });
+        self.trace
+            .push(now, EventKind::JobRelease { task: spec.id, job });
+        self.queue.push(
+            now + spec.deadline,
+            SimEventKind::DeadlineCheck { rank, job },
+        );
         // The next release steps from the NOMINAL grid, not from the
         // (possibly jittered) activation — jitter never accumulates.
         let nominal_next = Instant::EPOCH + spec.offset + spec.period * (job as i64 + 1);
@@ -333,15 +350,37 @@ impl Simulator {
         let elapsed = now - self.state.dispatched_at;
         self.state.procs[rank].account(elapsed);
         let doomed = self.state.procs[rank].front().is_some_and(|j| j.doomed);
-        let outcome = if doomed { JobOutcome::Abandoned } else { JobOutcome::Finished };
+        let outcome = if doomed {
+            JobOutcome::Abandoned
+        } else {
+            JobOutcome::Finished
+        };
         let job = self.state.procs[rank].retire_front(outcome);
         self.state.running = None;
         if doomed {
-            self.trace.push(now, EventKind::TaskStopped { task, job: job.index });
-            out.push_back(Occurrence::JobAbandoned { rank, job: job.index });
+            self.trace.push(
+                now,
+                EventKind::TaskStopped {
+                    task,
+                    job: job.index,
+                },
+            );
+            out.push_back(Occurrence::JobAbandoned {
+                rank,
+                job: job.index,
+            });
         } else {
-            self.trace.push(now, EventKind::JobEnd { task, job: job.index });
-            out.push_back(Occurrence::JobFinished { rank, job: job.index });
+            self.trace.push(
+                now,
+                EventKind::JobEnd {
+                    task,
+                    job: job.index,
+                },
+            );
+            out.push_back(Occurrence::JobFinished {
+                rank,
+                job: job.index,
+            });
         }
     }
 
@@ -350,7 +389,8 @@ impl Simulator {
             return;
         }
         let task = self.task_id(rank);
-        self.trace.push(self.state.now, EventKind::DeadlineMiss { task, job });
+        self.trace
+            .push(self.state.now, EventKind::DeadlineMiss { task, job });
         out.push_back(Occurrence::DeadlineMissed { rank, job });
     }
 
@@ -403,9 +443,17 @@ impl Simulator {
                 if was_running {
                     self.state.running = None;
                 }
-                self.trace
-                    .push(now, EventKind::TaskStopped { task, job: retired.index });
-                out.push_back(Occurrence::JobAbandoned { rank, job: retired.index });
+                self.trace.push(
+                    now,
+                    EventKind::TaskStopped {
+                        task,
+                        job: retired.index,
+                    },
+                );
+                out.push_back(Occurrence::JobAbandoned {
+                    rank,
+                    job: retired.index,
+                });
             } else {
                 // Doom the job: it runs `extra` more CPU, then is abandoned
                 // (by the completion handler) — the polled stop flag.
@@ -420,7 +468,10 @@ impl Simulator {
                     let remaining = front.remaining;
                     self.queue.push(
                         now + remaining,
-                        SimEventKind::Completion { rank, gen: self.dispatch_gen },
+                        SimEventKind::Completion {
+                            rank,
+                            gen: self.dispatch_gen,
+                        },
                     );
                 }
             }
@@ -436,21 +487,28 @@ impl Simulator {
         if amount.is_zero() {
             return;
         }
-        let Some(rank) = self.state.running else { return };
+        let Some(rank) = self.state.running else {
+            return;
+        };
         let now = self.state.now;
         let elapsed = now - self.state.dispatched_at;
         if elapsed.is_positive() {
             self.state.procs[rank].account(elapsed);
             self.state.dispatched_at = now;
         }
-        let job = self.state.procs[rank].front_mut().expect("running job present");
+        let job = self.state.procs[rank]
+            .front_mut()
+            .expect("running job present");
         job.remaining += amount;
         job.demand += amount;
         let remaining = job.remaining;
         self.dispatch_gen += 1;
         self.queue.push(
             now + remaining,
-            SimEventKind::Completion { rank, gen: self.dispatch_gen },
+            SimEventKind::Completion {
+                rank,
+                gen: self.dispatch_gen,
+            },
         );
     }
 
@@ -467,8 +525,7 @@ impl Simulator {
             }
             (None, Some(b)) => self.dispatch(b),
             (Some(r), Some(b)) => {
-                if b != r
-                    && self.state.set.by_rank(b).priority > self.state.set.by_rank(r).priority
+                if b != r && self.state.set.by_rank(b).priority > self.state.set.by_rank(r).priority
                 {
                     self.preempt(r, b);
                     self.dispatch(b);
@@ -493,7 +550,9 @@ impl Simulator {
         self.state.dispatched_at = now;
         self.dispatch_gen += 1;
         let ctx = self.config.overheads.dispatch;
-        let job = self.state.procs[rank].front_mut().expect("dispatch on empty queue");
+        let job = self.state.procs[rank]
+            .front_mut()
+            .expect("dispatch on empty queue");
         if ctx.is_positive() {
             job.remaining += ctx;
             job.demand += ctx;
@@ -501,13 +560,18 @@ impl Simulator {
         let (index, remaining, started) = (job.index, job.remaining, job.started);
         job.started = true;
         if started {
-            self.trace.push(now, EventKind::Resumed { task, job: index });
+            self.trace
+                .push(now, EventKind::Resumed { task, job: index });
         } else {
-            self.trace.push(now, EventKind::JobStart { task, job: index });
+            self.trace
+                .push(now, EventKind::JobStart { task, job: index });
         }
         self.queue.push(
             now + remaining,
-            SimEventKind::Completion { rank, gen: self.dispatch_gen },
+            SimEventKind::Completion {
+                rank,
+                gen: self.dispatch_gen,
+            },
         );
     }
 
@@ -519,8 +583,18 @@ impl Simulator {
         if elapsed.is_positive() {
             self.state.procs[rank].account(elapsed);
         }
-        let job = self.state.procs[rank].front().expect("preempt on empty queue").index;
-        self.trace.push(now, EventKind::Preempted { task, job, by: by_id });
+        let job = self.state.procs[rank]
+            .front()
+            .expect("preempt on empty queue")
+            .index;
+        self.trace.push(
+            now,
+            EventKind::Preempted {
+                task,
+                job,
+                by: by_id,
+            },
+        );
         self.state.running = None;
     }
 }
@@ -550,9 +624,15 @@ mod tests {
 
     fn table2() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 
@@ -562,18 +642,9 @@ mod tests {
         let log = run_plain(set.clone(), t(3000));
         let stats = TraceStats::from_log(&log, Some(&set));
         // Synchronous release: first responses equal the analytic WCRTs.
-        assert_eq!(
-            stats.job(TaskId(1), 0).unwrap().response(),
-            Some(ms(29))
-        );
-        assert_eq!(
-            stats.job(TaskId(2), 0).unwrap().response(),
-            Some(ms(58))
-        );
-        assert_eq!(
-            stats.job(TaskId(3), 0).unwrap().response(),
-            Some(ms(87))
-        );
+        assert_eq!(stats.job(TaskId(1), 0).unwrap().response(), Some(ms(29)));
+        assert_eq!(stats.job(TaskId(2), 0).unwrap().response(), Some(ms(58)));
+        assert_eq!(stats.job(TaskId(3), 0).unwrap().response(), Some(ms(87)));
         // Observed worst responses never exceed the analytic WCRTs.
         assert!(stats.observed_wcrt(TaskId(1)).unwrap() <= ms(29));
         assert!(stats.observed_wcrt(TaskId(2)).unwrap() <= ms(58));
@@ -591,11 +662,28 @@ mod tests {
         let log = run_plain(set.clone(), t(50));
         // τ2 runs [0,3), preempted at 3, τ1 runs [3,5), τ2 resumes [5,12).
         let pre = log
-            .find(|e| matches!(e.kind, EventKind::Preempted { task: TaskId(2), by: TaskId(1), .. }))
+            .find(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Preempted {
+                        task: TaskId(2),
+                        by: TaskId(1),
+                        ..
+                    }
+                )
+            })
             .expect("preemption");
         assert_eq!(pre.at, t(3));
         let res = log
-            .find(|e| matches!(e.kind, EventKind::Resumed { task: TaskId(2), .. }))
+            .find(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Resumed {
+                        task: TaskId(2),
+                        ..
+                    }
+                )
+            })
             .expect("resume");
         assert_eq!(res.at, t(5));
         assert_eq!(log.job_end(TaskId(2), 0), Some(t(12)));
@@ -605,7 +693,9 @@ mod tests {
     fn equal_priority_no_preemption() {
         let set = TaskSet::from_specs(vec![
             TaskBuilder::new(1, 5, ms(100), ms(10)).build(),
-            TaskBuilder::new(2, 5, ms(100), ms(10)).offset(ms(5)).build(),
+            TaskBuilder::new(2, 5, ms(100), ms(10))
+                .offset(ms(5))
+                .build(),
         ]);
         let log = run_plain(set, t(100));
         assert_eq!(
@@ -621,8 +711,12 @@ mod tests {
     fn arbitrary_deadline_multi_job_responses() {
         // The paper's Table 1 system: τ2 job responses 5, 6, 4 ms.
         let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(6), ms(3)).deadline(ms(6)).build(),
-            TaskBuilder::new(2, 15, ms(4), ms(2)).deadline(ms(2)).build(),
+            TaskBuilder::new(1, 20, ms(6), ms(3))
+                .deadline(ms(6))
+                .build(),
+            TaskBuilder::new(2, 15, ms(4), ms(2))
+                .deadline(ms(2))
+                .build(),
         ]);
         let log = run_plain(set.clone(), t(12));
         let stats = TraceStats::from_log(&log, Some(&set));
@@ -675,10 +769,7 @@ mod tests {
 
     #[test]
     fn timer_quantization_applies_to_first_release() {
-        let mut sim = Simulator::new(
-            table2(),
-            SimConfig::until(t(500)).with_jrate_timers(),
-        );
+        let mut sim = Simulator::new(table2(), SimConfig::until(t(500)).with_jrate_timers());
         let id = sim.add_periodic_timer(ms(29), ms(200), 42);
         assert_eq!(sim.timers[id].first, t(30), "29 ms quantized to 30 ms");
         assert_eq!(sim.timers[id].fire_at(1), Some(t(230)), "period exact");
@@ -697,10 +788,16 @@ mod tests {
             match occ {
                 Occurrence::JobReleased { .. } if !self.armed => {
                     self.armed = true;
-                    vec![Command::ScheduleOneShot { at: self.at, tag: 1 }]
+                    vec![Command::ScheduleOneShot {
+                        at: self.at,
+                        tag: 1,
+                    }]
                 }
                 Occurrence::OneShotFired { tag: 1 } => {
-                    vec![Command::Stop { rank: self.rank, mode: self.mode }]
+                    vec![Command::Stop {
+                        rank: self.rank,
+                        mode: self.mode,
+                    }]
                 }
                 _ => Vec::new(),
             }
@@ -710,11 +807,16 @@ mod tests {
     #[test]
     fn stop_running_task_immediately() {
         // τ1 alone, cost 29 ms; stop it at t = 10.
-        let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-        ]);
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(200), ms(29))
+            .deadline(ms(70))
+            .build()]);
         let mut sim = Simulator::new(set, SimConfig::until(t(400)));
-        let mut sup = StopAt { rank: 0, at: t(10), armed: false, mode: StopMode::Permanent };
+        let mut sup = StopAt {
+            rank: 0,
+            at: t(10),
+            armed: false,
+            mode: StopMode::Permanent,
+        };
         sim.run(&mut sup);
         let log = sim.trace();
         let stops = log.stops();
@@ -727,11 +829,16 @@ mod tests {
 
     #[test]
     fn stop_job_only_allows_future_releases() {
-        let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-        ]);
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(200), ms(29))
+            .deadline(ms(70))
+            .build()]);
         let mut sim = Simulator::new(set, SimConfig::until(t(400)));
-        let mut sup = StopAt { rank: 0, at: t(10), armed: false, mode: StopMode::JobOnly };
+        let mut sup = StopAt {
+            rank: 0,
+            at: t(10),
+            armed: false,
+            mode: StopMode::JobOnly,
+        };
         sim.run(&mut sup);
         let log = sim.trace();
         assert_eq!(log.stops().len(), 1);
@@ -743,12 +850,17 @@ mod tests {
     fn polled_stop_runs_to_boundary() {
         // Poll every 4 ms of consumed CPU: a stop at consumed = 10 ms bites
         // at 12 ms.
-        let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-        ]);
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(200), ms(29))
+            .deadline(ms(70))
+            .build()]);
         let cfg = SimConfig::until(t(400)).with_stop_model(StopModel::polled(ms(4)));
         let mut sim = Simulator::new(set, cfg);
-        let mut sup = StopAt { rank: 0, at: t(10), armed: false, mode: StopMode::Permanent };
+        let mut sup = StopAt {
+            rank: 0,
+            at: t(10),
+            armed: false,
+            mode: StopMode::Permanent,
+        };
         sim.run(&mut sup);
         let log = sim.trace();
         assert_eq!(log.stops(), vec![(TaskId(1), 0, t(12))]);
@@ -756,24 +868,30 @@ mod tests {
 
     #[test]
     fn stop_idle_task_with_no_job_is_noop_then_dead() {
-        let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(20)).deadline(ms(70)).build(),
-        ]);
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(200), ms(20))
+            .deadline(ms(70))
+            .build()]);
         let mut sim = Simulator::new(set, SimConfig::until(t(400)));
         // Stop after the job completed (t = 30 > end at 20).
-        let mut sup = StopAt { rank: 0, at: t(30), armed: false, mode: StopMode::Permanent };
+        let mut sup = StopAt {
+            rank: 0,
+            at: t(30),
+            armed: false,
+            mode: StopMode::Permanent,
+        };
         sim.run(&mut sup);
         let log = sim.trace();
         assert!(log.stops().is_empty(), "no job to abandon");
-        assert!(log.job_release(TaskId(1), 1).is_none(), "but the thread is dead");
+        assert!(
+            log.job_release(TaskId(1), 1).is_none(),
+            "but the thread is dead"
+        );
         assert!(log.misses(TaskId(1)).is_empty());
     }
 
     #[test]
     fn idle_event_emitted_once_per_gap() {
-        let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(100), ms(10)).build(),
-        ]);
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(100), ms(10)).build()]);
         let log = run_plain(set, t(250));
         let idles: Vec<Instant> = log
             .events()
@@ -786,19 +904,20 @@ mod tests {
 
     #[test]
     fn sim_end_at_horizon() {
-        let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(100), ms(10)).build(),
-        ]);
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(100), ms(10)).build()]);
         let log = run_plain(set, t(123));
         assert_eq!(log.end(), Some(t(123)));
-        assert!(matches!(log.events().last().unwrap().kind, EventKind::SimEnd));
+        assert!(matches!(
+            log.events().last().unwrap().kind,
+            EventKind::SimEnd
+        ));
     }
 
     #[test]
     fn offsets_delay_first_release() {
-        let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(100), ms(10)).offset(ms(42)).build(),
-        ]);
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(100), ms(10))
+            .offset(ms(42))
+            .build()]);
         let log = run_plain(set, t(200));
         assert_eq!(log.job_release(TaskId(1), 0), Some(t(42)));
         assert_eq!(log.job_end(TaskId(1), 0), Some(t(52)));
@@ -829,12 +948,11 @@ mod tests {
 
     #[test]
     fn detector_fire_charges_running_job() {
-        let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-        ]);
-        let cfg = SimConfig::until(t(100)).with_overheads(
-            crate::overhead::Overheads::NONE.with_detector_fire(ms(2)),
-        );
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(200), ms(29))
+            .deadline(ms(70))
+            .build()]);
+        let cfg = SimConfig::until(t(100))
+            .with_overheads(crate::overhead::Overheads::NONE.with_detector_fire(ms(2)));
         let mut sim = Simulator::new(set, cfg);
         // A timer firing at t = 10 while τ1 runs: the job pays 2 ms.
         sim.add_one_shot_timer(ms(10), 7);
@@ -845,12 +963,11 @@ mod tests {
 
     #[test]
     fn idle_timer_fire_is_free() {
-        let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-        ]);
-        let cfg = SimConfig::until(t(100)).with_overheads(
-            crate::overhead::Overheads::NONE.with_detector_fire(ms(2)),
-        );
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(200), ms(29))
+            .deadline(ms(70))
+            .build()]);
+        let cfg = SimConfig::until(t(100))
+            .with_overheads(crate::overhead::Overheads::NONE.with_detector_fire(ms(2)));
         let mut sim = Simulator::new(set, cfg);
         sim.add_one_shot_timer(ms(50), 7); // fires while idle
         let mut sup = NullSupervisor;
@@ -870,7 +987,12 @@ mod tests {
         let cfg = SimConfig::until(t(200)).with_stop_model(StopModel::polled(ms(4)));
         // Stop τ2 at t = 8, while τ1 runs [5, 15): τ2 consumed 5 ms →
         // boundary at 8 ms consumed → 3 ms extra after resuming at 15.
-        let mut sup = StopAt { rank: 1, at: t(8), armed: false, mode: StopMode::Permanent };
+        let mut sup = StopAt {
+            rank: 1,
+            at: t(8),
+            armed: false,
+            mode: StopMode::Permanent,
+        };
         let mut sim = Simulator::new(set, cfg);
         sim.run(&mut sup);
         let log = sim.trace();
@@ -883,12 +1005,15 @@ mod tests {
     fn stop_with_extra_beyond_remaining_lets_job_finish() {
         // Poll-boundary extra ≥ remaining work: the job completes normally
         // (JobOnly mode) — the stop flag is never observed.
-        let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(10)).build(),
-        ]);
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(200), ms(10)).build()]);
         let cfg = SimConfig::until(t(100)).with_stop_model(StopModel::polled(ms(50)));
         // Stop at t = 2 (consumed 2): boundary at 50 > 10 total demand.
-        let mut sup = StopAt { rank: 0, at: t(2), armed: false, mode: StopMode::JobOnly };
+        let mut sup = StopAt {
+            rank: 0,
+            at: t(2),
+            armed: false,
+            mode: StopMode::JobOnly,
+        };
         let mut sim = Simulator::new(set, cfg);
         sim.run(&mut sup);
         let log = sim.trace();
@@ -899,12 +1024,10 @@ mod tests {
     #[test]
     fn arrival_jitter_delays_activations_but_not_nominal_grid() {
         use crate::arrival::ArrivalModel;
-        let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(100), ms(5)).build(),
-        ]);
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(100), ms(5)).build()]);
         let arrivals = ArrivalModel::uniform(&set, ms(9), 3);
-        let mut sim = Simulator::new(set.clone(), SimConfig::until(t(1000)))
-            .with_arrivals(arrivals.clone());
+        let mut sim =
+            Simulator::new(set.clone(), SimConfig::until(t(1000))).with_arrivals(arrivals.clone());
         let mut sup = NullSupervisor;
         sim.run(&mut sup);
         let log = sim.trace();
@@ -923,12 +1046,18 @@ mod tests {
         // and retire strictly in order.
         let set = TaskSet::from_specs(vec![
             TaskBuilder::new(1, 9, ms(7), ms(2)).build(),
-            TaskBuilder::new(2, 3, ms(10), ms(7)).deadline(ms(30)).build(),
+            TaskBuilder::new(2, 3, ms(10), ms(7))
+                .deadline(ms(30))
+                .build(),
         ]);
         let log = run_plain(set.clone(), t(300));
         let mut last_end: Option<(u64, Instant)> = None;
         for e in log.events() {
-            if let EventKind::JobEnd { task: TaskId(2), job } = e.kind {
+            if let EventKind::JobEnd {
+                task: TaskId(2),
+                job,
+            } = e.kind
+            {
                 if let Some((prev_job, prev_at)) = last_end {
                     assert!(job == prev_job + 1, "FIFO order violated");
                     assert!(e.at >= prev_at);
@@ -943,9 +1072,7 @@ mod tests {
     #[should_panic(expected = "jitter bound must stay below the period")]
     fn oversized_jitter_rejected() {
         use crate::arrival::ArrivalModel;
-        let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(10), ms(1)).build(),
-        ]);
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(10), ms(1)).build()]);
         let _ = Simulator::new(set.clone(), SimConfig::until(t(100)))
             .with_arrivals(ArrivalModel::uniform(&set, ms(10), 0));
     }
@@ -953,9 +1080,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "run() called twice")]
     fn double_run_panics() {
-        let set = TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(100), ms(10)).build(),
-        ]);
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(100), ms(10)).build()]);
         let mut sim = Simulator::new(set, SimConfig::until(t(10)));
         let mut sup = NullSupervisor;
         sim.run(&mut sup);

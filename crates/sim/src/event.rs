@@ -108,7 +108,8 @@ impl EventQueue {
     pub fn push(&mut self, at: Instant, kind: SimEventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(std::cmp::Reverse(SimEvent { at, kind, seq }));
+        self.heap
+            .push(std::cmp::Reverse(SimEvent { at, kind, seq }));
     }
 
     /// Remove and return the earliest event.

@@ -47,7 +47,10 @@ impl FaultPlan {
 
     /// Delta for a given job (zero when unplanned).
     pub fn delta(&self, task: TaskId, job: u64) -> Duration {
-        self.deltas.get(&(task, job)).copied().unwrap_or(Duration::ZERO)
+        self.deltas
+            .get(&(task, job))
+            .copied()
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Effective execution demand of a job: `C + δ`, clamped to at least

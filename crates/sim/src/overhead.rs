@@ -35,7 +35,10 @@ impl Overheads {
     /// Context-switch cost only.
     pub fn dispatch_cost(d: Duration) -> Self {
         assert!(!d.is_negative(), "overhead must be ≥ 0");
-        Overheads { dispatch: d, detector_fire: Duration::ZERO }
+        Overheads {
+            dispatch: d,
+            detector_fire: Duration::ZERO,
+        }
     }
 
     /// Add a per-detector-firing charge.
@@ -63,8 +66,8 @@ mod tests {
 
     #[test]
     fn builders() {
-        let o = Overheads::dispatch_cost(Duration::micros(50))
-            .with_detector_fire(Duration::micros(20));
+        let o =
+            Overheads::dispatch_cost(Duration::micros(50)).with_detector_fire(Duration::micros(20));
         assert_eq!(o.dispatch, Duration::micros(50));
         assert_eq!(o.detector_fire, Duration::micros(20));
         assert!(!o.is_free());

@@ -241,7 +241,10 @@ mod tests {
         p.front_mut().unwrap().doomed = true;
         p.kill();
         assert!(p.is_dead());
-        assert!(p.is_ready(), "doomed head must still run to its poll boundary");
+        assert!(
+            p.is_ready(),
+            "doomed head must still run to its poll boundary"
+        );
         p.retire_front(JobOutcome::Abandoned);
         assert!(!p.is_ready());
     }

@@ -38,7 +38,10 @@ impl StopModel {
     /// A polled stop with granularity `poll` and no overhead.
     pub fn polled(poll: Duration) -> Self {
         assert!(!poll.is_negative(), "poll granularity must be ≥ 0");
-        StopModel { poll, poll_overhead: Duration::ZERO }
+        StopModel {
+            poll,
+            poll_overhead: Duration::ZERO,
+        }
     }
 
     /// Add a per-poll overhead.
@@ -98,7 +101,10 @@ mod tests {
         assert_eq!(m.extra_runtime(ms(13)), ms(2)); // to 15
         assert_eq!(m.extra_runtime(ms(15)), ms(0)); // on the boundary
         assert_eq!(m.extra_runtime(Duration::ZERO), ms(0));
-        assert_eq!(m.extra_runtime(Duration::nanos(1)), ms(5) - Duration::nanos(1));
+        assert_eq!(
+            m.extra_runtime(Duration::nanos(1)),
+            ms(5) - Duration::nanos(1)
+        );
     }
 
     #[test]

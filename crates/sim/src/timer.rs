@@ -26,7 +26,9 @@ impl TimerModel {
 
     /// jRate's measured 10 ms grid.
     pub fn jrate() -> Self {
-        TimerModel { quantum: Some(Duration::millis(10)) }
+        TimerModel {
+            quantum: Some(Duration::millis(10)),
+        }
     }
 
     /// Arbitrary grid.
@@ -35,7 +37,9 @@ impl TimerModel {
     /// Panics on a non-positive quantum.
     pub fn quantized(quantum: Duration) -> Self {
         assert!(quantum.is_positive(), "quantum must be positive");
-        TimerModel { quantum: Some(quantum) }
+        TimerModel {
+            quantum: Some(quantum),
+        }
     }
 
     /// Apply the model to a relative first-release value.
@@ -123,7 +127,11 @@ mod tests {
 
     #[test]
     fn one_shot_fires_once() {
-        let t = TimerSpec { first: Instant::from_millis(62), period: None, tag: 9 };
+        let t = TimerSpec {
+            first: Instant::from_millis(62),
+            period: None,
+            tag: 9,
+        };
         assert_eq!(t.fire_at(0), Some(Instant::from_millis(62)));
         assert_eq!(t.fire_at(1), None);
     }

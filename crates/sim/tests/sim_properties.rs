@@ -9,23 +9,21 @@ use rtft_trace::validate;
 use rtft_trace::{EventKind, TraceStats};
 
 fn arb_set(max_tasks: usize) -> impl Strategy<Value = TaskSet> {
-    proptest::collection::vec((2i64..=60, 1i64..=10, 0i64..=40), 1..=max_tasks).prop_map(
-        |params| {
-            let n = params.len() as i64;
-            let specs = params
-                .into_iter()
-                .enumerate()
-                .map(|(i, (period_raw, cost_raw, offset))| {
-                    let period = Duration::millis(period_raw * n);
-                    let cost = Duration::millis(cost_raw.min((period_raw * n * 4 / (5 * n)).max(1)));
-                    TaskBuilder::new(i as u32 + 1, -(i as i32), period, cost)
-                        .offset(Duration::millis(offset))
-                        .build()
-                })
-                .collect();
-            TaskSet::from_specs(specs)
-        },
-    )
+    proptest::collection::vec((2i64..=60, 1i64..=10, 0i64..=40), 1..=max_tasks).prop_map(|params| {
+        let n = params.len() as i64;
+        let specs = params
+            .into_iter()
+            .enumerate()
+            .map(|(i, (period_raw, cost_raw, offset))| {
+                let period = Duration::millis(period_raw * n);
+                let cost = Duration::millis(cost_raw.min((period_raw * n * 4 / (5 * n)).max(1)));
+                TaskBuilder::new(i as u32 + 1, -(i as i32), period, cost)
+                    .offset(Duration::millis(offset))
+                    .build()
+            })
+            .collect();
+        TaskSet::from_specs(specs)
+    })
 }
 
 fn arb_faults(set: &TaskSet, seed: u64) -> FaultPlan {
@@ -157,12 +155,16 @@ proptest! {
         jitter_ms in 1i64..8,
         seed in 0u64..200,
     ) {
-        use rtft_core::jitter::{wcrt_all_with_jitter, JitterModel};
+        use rtft_core::analyzer::AnalyzerBuilder;
+        use rtft_core::jitter::JitterModel;
         // Jitter must stay below every period.
         let min_period = set.tasks().iter().map(|t| t.period).min().unwrap();
         let j = Duration::millis(jitter_ms).min(min_period - Duration::NANO);
         let jm = JitterModel::uniform(&set, j);
-        let Ok(bounds) = wcrt_all_with_jitter(&set, &jm) else { return Ok(()); };
+        let Ok(bounds) = AnalyzerBuilder::new(&set).jitter(&jm).build().wcrt_all_with_jitter()
+        else {
+            return Ok(());
+        };
 
         let arrivals = ArrivalModel::uniform(&set, j, seed);
         let horizon = Instant::from_millis(2_000);

@@ -118,7 +118,11 @@ mod tests {
         let set = GeneratorConfig::new(12).with_utilization(0.66).generate(3);
         assert_eq!(set.len(), 12);
         // Rounding costs to whole ns distorts U negligibly.
-        assert!((set.utilization() - 0.66).abs() < 1e-3, "{}", set.utilization());
+        assert!(
+            (set.utilization() - 0.66).abs() < 1e-3,
+            "{}",
+            set.utilization()
+        );
     }
 
     #[test]
@@ -167,8 +171,7 @@ mod tests {
 
     #[test]
     fn periods_within_range() {
-        let cfg = GeneratorConfig::new(30)
-            .with_periods(Duration::millis(5), Duration::millis(50));
+        let cfg = GeneratorConfig::new(30).with_periods(Duration::millis(5), Duration::millis(50));
         let set = cfg.generate(2);
         for t in set.tasks() {
             assert!(t.period >= Duration::millis(5) && t.period <= Duration::millis(50));

@@ -51,7 +51,10 @@ impl HarmonicConfig {
     pub fn generate(&self, seed: u64) -> TaskSet {
         assert!(self.n > 0, "need at least one task");
         assert!(!self.multipliers.is_empty(), "need multiplier choices");
-        assert!(self.base_period.is_positive(), "base period must be positive");
+        assert!(
+            self.base_period.is_positive(),
+            "base period must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let us = uunifast_discard(self.n, self.utilization, 0.95, seed);
         let mut period = self.base_period;
@@ -61,11 +64,9 @@ impl HarmonicConfig {
                 let pick = self.multipliers[rng.random_range(0..self.multipliers.len())];
                 period = period.saturating_mul(pick);
             }
-            let cost =
-                Duration::nanos(((period.as_nanos() as f64) * u).round().max(1.0) as i64);
+            let cost = Duration::nanos(((period.as_nanos() as f64) * u).round().max(1.0) as i64);
             specs.push(
-                TaskBuilder::new(i as u32 + 1, self.n as i32 - i as i32, period, cost)
-                    .build(),
+                TaskBuilder::new(i as u32 + 1, self.n as i32 - i as i32, period, cost).build(),
             );
         }
         TaskSet::from_specs(specs)

@@ -16,8 +16,12 @@ fn ms(v: i64) -> Duration {
 /// general (Lehoczky) analysis of the paper's Figure 2.
 pub fn table1() -> TaskSet {
     TaskSet::from_specs(vec![
-        TaskBuilder::new(1, 20, ms(6), ms(3)).deadline(ms(6)).build(),
-        TaskBuilder::new(2, 15, ms(4), ms(2)).deadline(ms(2)).build(),
+        TaskBuilder::new(1, 20, ms(6), ms(3))
+            .deadline(ms(6))
+            .build(),
+        TaskBuilder::new(2, 15, ms(4), ms(2))
+            .deadline(ms(2))
+            .build(),
     ])
 }
 
@@ -29,9 +33,15 @@ pub fn table1() -> TaskSet {
 /// equitable allowance A = 11 ms; system allowance M = 33 ms.
 pub fn table2() -> TaskSet {
     TaskSet::from_specs(vec![
-        TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-        TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
-        TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+        TaskBuilder::new(1, 20, ms(200), ms(29))
+            .deadline(ms(70))
+            .build(),
+        TaskBuilder::new(2, 18, ms(250), ms(29))
+            .deadline(ms(120))
+            .build(),
+        TaskBuilder::new(3, 16, ms(1500), ms(29))
+            .deadline(ms(120))
+            .build(),
     ])
 }
 
@@ -88,15 +98,16 @@ mod tests {
     #[test]
     fn table2_analysis_matches_paper() {
         let set = table2();
+        let mut session = Analyzer::new(&set);
         assert_eq!(
-            wcrt_all(&set).unwrap(),
+            session.wcrt_all().unwrap(),
             vec![
                 Duration::millis(29),
                 Duration::millis(58),
                 Duration::millis(87)
             ]
         );
-        let eq = equitable_allowance(&set).unwrap().unwrap();
+        let eq = session.equitable_allowance().unwrap().unwrap();
         assert_eq!(eq.allowance, Duration::millis(11));
     }
 

@@ -56,7 +56,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "task file parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "task file parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -98,7 +102,10 @@ pub fn parse(text: &str) -> Result<SystemDescription, ParseError> {
             continue;
         }
         let words: Vec<&str> = line.split_ascii_whitespace().collect();
-        let err = |message: String| ParseError { line: line_no, message };
+        let err = |message: String| ParseError {
+            line: line_no,
+            message,
+        };
 
         if words[0] == "fault" {
             // fault <name> job <n> overrun|underrun <dur>
@@ -149,7 +156,11 @@ pub fn parse(text: &str) -> Result<SystemDescription, ParseError> {
         tasks.push(b.build());
     }
 
-    Ok(SystemDescription { tasks, faults, names })
+    Ok(SystemDescription {
+        tasks,
+        faults,
+        names,
+    })
 }
 
 /// Serialize a description back to the file format (round-trips with
@@ -220,10 +231,7 @@ mod tests {
         let set = desc.task_set().unwrap();
         assert_eq!(set.by_id(TaskId(1)).unwrap().name, "tau1");
         assert_eq!(set.by_id(TaskId(3)).unwrap().offset, Duration::millis(1000));
-        assert_eq!(
-            desc.faults.delta(TaskId(1), 5),
-            Duration::millis(40)
-        );
+        assert_eq!(desc.faults.delta(TaskId(1), 5), Duration::millis(40));
         assert_eq!(desc.names["tau2"], TaskId(2));
     }
 

@@ -59,7 +59,12 @@ impl ChartConfig {
     pub fn window(from: Instant, to: Instant) -> Self {
         let span = (to - from).max(Duration::NANO);
         let cell = Duration::nanos((span.as_nanos() / 100).max(1));
-        ChartConfig { from, to, cell, annotations: Vec::new() }
+        ChartConfig {
+            from,
+            to,
+            cell,
+            annotations: Vec::new(),
+        }
     }
 
     /// Override the cell duration.
@@ -113,7 +118,9 @@ struct Row {
 
 impl Row {
     fn new(columns: usize) -> Self {
-        Row { cells: vec![glyph::BLANK; columns] }
+        Row {
+            cells: vec![glyph::BLANK; columns],
+        }
     }
 
     fn set(&mut self, col: usize, c: char) {
@@ -140,21 +147,15 @@ pub fn render(log: &TraceLog, set: Option<&TaskSet>, config: &ChartConfig) -> St
     let task_ids: Vec<TaskId> = match set {
         Some(s) => s.tasks().iter().map(|t| t.id).collect(),
         None => {
-            let mut ids: Vec<TaskId> = log
-                .events()
-                .iter()
-                .filter_map(|e| e.kind.task())
-                .collect();
+            let mut ids: Vec<TaskId> = log.events().iter().filter_map(|e| e.kind.task()).collect();
             ids.sort_unstable();
             ids.dedup();
             ids
         }
     };
 
-    let mut rows: BTreeMap<TaskId, Row> = task_ids
-        .iter()
-        .map(|&id| (id, Row::new(columns)))
-        .collect();
+    let mut rows: BTreeMap<TaskId, Row> =
+        task_ids.iter().map(|&id| (id, Row::new(columns))).collect();
 
     // Pass 1: execution and ready spans.
     // running_since / ready_since per task.
@@ -235,7 +236,9 @@ pub fn render(log: &TraceLog, set: Option<&TaskSet>, config: &ChartConfig) -> St
 
     // Pass 2: point markers.
     for e in log.events() {
-        let Some(col) = config.column_of(e.at) else { continue };
+        let Some(col) = config.column_of(e.at) else {
+            continue;
+        };
         match e.kind {
             EventKind::JobRelease { task, .. } => {
                 if let Some(row) = rows.get_mut(&task) {
@@ -297,7 +300,10 @@ pub fn render(log: &TraceLog, set: Option<&TaskSet>, config: &ChartConfig) -> St
     while col < columns {
         if col.is_multiple_of(10) {
             let label = format!("|{}", (config.from + config.cell * col as i64).as_millis());
-            let take = label.chars().take(10.min(columns - col)).collect::<String>();
+            let take = label
+                .chars()
+                .take(10.min(columns - col))
+                .collect::<String>();
             axis.push_str(&take);
             col += take.chars().count();
         } else {
@@ -346,20 +352,66 @@ mod tests {
 
     fn set() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 
     fn log() -> TraceLog {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
-        log.push(t(0), EventKind::JobRelease { task: TaskId(2), job: 0 });
-        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
-        log.push(t(29), EventKind::JobEnd { task: TaskId(1), job: 0 });
-        log.push(t(29), EventKind::JobStart { task: TaskId(2), job: 0 });
-        log.push(t(30), EventKind::DetectorRelease { task: TaskId(1), job: 0 });
-        log.push(t(58), EventKind::JobEnd { task: TaskId(2), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: TaskId(2),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobStart {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(29),
+            EventKind::JobEnd {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(29),
+            EventKind::JobStart {
+                task: TaskId(2),
+                job: 0,
+            },
+        );
+        log.push(
+            t(30),
+            EventKind::DetectorRelease {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(58),
+            EventKind::JobEnd {
+                task: TaskId(2),
+                job: 0,
+            },
+        );
         log
     }
 
@@ -387,7 +439,11 @@ mod tests {
         let r2 = row_of(&chart, "τ2");
         let cells2: Vec<char> = r2.chars().collect();
         let offset2 = r2.chars().position(|c| c == ' ').unwrap() + 1;
-        assert_eq!(cells2[offset2 + 10], glyph::READY, "τ2 preempted-ready at t=10");
+        assert_eq!(
+            cells2[offset2 + 10],
+            glyph::READY,
+            "τ2 preempted-ready at t=10"
+        );
         assert_eq!(cells2[offset2 + 40], glyph::RUN, "τ2 running at t=40");
         assert_eq!(cells2[offset2 + 120], glyph::DEADLINE);
     }
@@ -395,11 +451,25 @@ mod tests {
     #[test]
     fn annotations_and_stops() {
         let mut l = log();
-        l.push(t(90), EventKind::TaskStopped { task: TaskId(2), job: 0 });
-        l.push(t(120), EventKind::DeadlineMiss { task: TaskId(2), job: 0 });
-        let cfg = ChartConfig::window(t(0), t(130))
-            .with_cell(ms(1))
-            .annotate(TaskId(1), t(29), glyph::WCRT);
+        l.push(
+            t(90),
+            EventKind::TaskStopped {
+                task: TaskId(2),
+                job: 0,
+            },
+        );
+        l.push(
+            t(120),
+            EventKind::DeadlineMiss {
+                task: TaskId(2),
+                job: 0,
+            },
+        );
+        let cfg = ChartConfig::window(t(0), t(130)).with_cell(ms(1)).annotate(
+            TaskId(1),
+            t(29),
+            glyph::WCRT,
+        );
         let chart = render(&l, Some(&set()), &cfg);
         let r1 = row_of(&chart, "τ1");
         let off = r1.chars().position(|c| c == ' ').unwrap() + 1;

@@ -72,10 +72,34 @@ mod tests {
 
     fn stats() -> TraceStats {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
-        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
-        log.push(t(29), EventKind::JobEnd { task: TaskId(1), job: 0 });
-        log.push(t(200), EventKind::JobRelease { task: TaskId(1), job: 1 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobStart {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(29),
+            EventKind::JobEnd {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(200),
+            EventKind::JobRelease {
+                task: TaskId(1),
+                job: 1,
+            },
+        );
         TraceStats::from_log(&log, None)
     }
 

@@ -41,7 +41,11 @@ pub enum Divergence {
 pub fn first_divergence(left: &TraceLog, right: &TraceLog) -> Divergence {
     for (index, (l, r)) in left.events().iter().zip(right.events()).enumerate() {
         if l != r {
-            return Divergence::At { index, left: *l, right: *r };
+            return Divergence::At {
+                index,
+                left: *l,
+                right: *r,
+            };
         }
     }
     if left.len() == right.len() {
@@ -120,9 +124,27 @@ mod tests {
 
     fn base() -> TraceLog {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
-        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
-        log.push(t(29), EventKind::JobEnd { task: TaskId(1), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobStart {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(29),
+            EventKind::JobEnd {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
         log
     }
 
@@ -135,9 +157,27 @@ mod tests {
     #[test]
     fn event_level_divergence() {
         let mut other = TraceLog::new();
-        other.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
-        other.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
-        other.push(t(31), EventKind::JobEnd { task: TaskId(1), job: 0 });
+        other.push(
+            t(0),
+            EventKind::JobRelease {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        other.push(
+            t(0),
+            EventKind::JobStart {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        other.push(
+            t(31),
+            EventKind::JobEnd {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
         match first_divergence(&base(), &other) {
             Divergence::At { index, left, right } => {
                 assert_eq!(index, 2);
@@ -156,7 +196,11 @@ mod tests {
         let mut longer = base();
         longer.push(t(50), EventKind::CpuIdle);
         match first_divergence(&base(), &longer) {
-            Divergence::LengthOnly { left_len, right_len, extra } => {
+            Divergence::LengthOnly {
+                left_len,
+                right_len,
+                extra,
+            } => {
                 assert_eq!(left_len, 3);
                 assert_eq!(right_len, 4);
                 assert_eq!(extra.at, t(50));
@@ -170,7 +214,13 @@ mod tests {
     #[test]
     fn summary_diff_detects_missing_task() {
         let mut other = base();
-        other.push(t(40), EventKind::JobRelease { task: TaskId(2), job: 0 });
+        other.push(
+            t(40),
+            EventKind::JobRelease {
+                task: TaskId(2),
+                job: 0,
+            },
+        );
         let deltas = summary_diff(&base(), &other);
         assert_eq!(deltas.len(), 1);
         assert_eq!(deltas[0].task, TaskId(2));

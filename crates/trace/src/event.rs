@@ -4,14 +4,13 @@
 
 use rtft_core::task::TaskId;
 use rtft_core::time::{Duration, Instant};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a job within its task (0 = first activation).
 pub type JobIndex = u64;
 
 /// What happened.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EventKind {
     /// A job became ready (the ↑ marker of the paper's figures).
     JobRelease {
@@ -152,7 +151,7 @@ impl EventKind {
 }
 
 /// A timestamped trace record.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TraceEvent {
     /// When it happened (virtual time).
     pub at: Instant,
@@ -185,7 +184,10 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let e = EventKind::JobEnd { task: TaskId(2), job: 4 };
+        let e = EventKind::JobEnd {
+            task: TaskId(2),
+            job: 4,
+        };
         assert_eq!(e.task(), Some(TaskId(2)));
         assert_eq!(e.job(), Some(4));
         assert_eq!(e.tag(), "end");
@@ -197,7 +199,10 @@ mod tests {
     fn display() {
         let e = TraceEvent::new(
             Instant::from_millis(1020),
-            EventKind::FaultDetected { task: TaskId(1), job: 5 },
+            EventKind::FaultDetected {
+                task: TaskId(1),
+                job: 5,
+            },
         );
         let s = e.to_string();
         assert!(s.contains("t=1020ms"));

@@ -68,7 +68,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -83,7 +87,10 @@ pub fn from_text(text: &str) -> Result<TraceLog, ParseError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let event = parse_line(line).map_err(|message| ParseError { line: line_no, message })?;
+        let event = parse_line(line).map_err(|message| ParseError {
+            line: line_no,
+            message,
+        })?;
         // Re-validate ordering on ingest: a hand-edited file must not
         // silently corrupt downstream statistics.
         if log.end().is_some_and(|last| event.at < last) {
@@ -112,7 +119,9 @@ fn parse_line(line: &str) -> Result<TraceEvent, String> {
     let mut amount: Option<Duration> = None;
     let mut by: Option<TaskId> = None;
     while let Some(key) = words.next() {
-        let value = words.next().ok_or_else(|| format!("missing value for `{key}`"))?;
+        let value = words
+            .next()
+            .ok_or_else(|| format!("missing value for `{key}`"))?;
         match key {
             "task" => {
                 task = Some(TaskId(
@@ -179,15 +188,49 @@ mod tests {
 
     fn sample() -> TraceLog {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
-        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobStart {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
         log.push(
             t(5),
-            EventKind::Preempted { task: TaskId(2), job: 3, by: TaskId(1) },
+            EventKind::Preempted {
+                task: TaskId(2),
+                job: 3,
+                by: TaskId(1),
+            },
         );
-        log.push(t(29), EventKind::JobEnd { task: TaskId(1), job: 0 });
-        log.push(t(30), EventKind::DetectorRelease { task: TaskId(1), job: 0 });
-        log.push(t(31), EventKind::FaultDetected { task: TaskId(1), job: 0 });
+        log.push(
+            t(29),
+            EventKind::JobEnd {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(30),
+            EventKind::DetectorRelease {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(31),
+            EventKind::FaultDetected {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
         log.push(
             t(31),
             EventKind::AllowanceGranted {
@@ -196,9 +239,21 @@ mod tests {
                 amount: Duration::millis(11),
             },
         );
-        log.push(t(42), EventKind::TaskStopped { task: TaskId(1), job: 0 });
+        log.push(
+            t(42),
+            EventKind::TaskStopped {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
         log.push(t(60), EventKind::CpuIdle);
-        log.push(t(120), EventKind::DeadlineMiss { task: TaskId(3), job: 0 });
+        log.push(
+            t(120),
+            EventKind::DeadlineMiss {
+                task: TaskId(3),
+                job: 0,
+            },
+        );
         log.push(t(150), EventKind::SimEnd);
         log
     }

@@ -25,7 +25,9 @@ impl TraceLog {
     /// Empty log with pre-reserved capacity (the paper pre-sizes its
     /// buffers for the same reason: no allocation jitter mid-run).
     pub fn with_capacity(n: usize) -> Self {
-        TraceLog { events: Vec::with_capacity(n) }
+        TraceLog {
+            events: Vec::with_capacity(n),
+        }
     }
 
     /// Append an event.
@@ -70,12 +72,16 @@ impl TraceLog {
 
     /// Events concerning one task.
     pub fn for_task(&self, task: TaskId) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| e.kind.task() == Some(task))
+        self.events
+            .iter()
+            .filter(move |e| e.kind.task() == Some(task))
     }
 
     /// Events inside a half-open window `[from, to)`.
     pub fn window(&self, from: Instant, to: Instant) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| e.at >= from && e.at < to)
+        self.events
+            .iter()
+            .filter(move |e| e.at >= from && e.at < to)
     }
 
     /// First event matching a predicate.
@@ -90,12 +96,14 @@ impl TraceLog {
 
     /// Instant a given job of a task ended, if it did.
     pub fn job_end(&self, task: TaskId, job: JobIndex) -> Option<Instant> {
-        self.find(|e| e.kind == EventKind::JobEnd { task, job }).map(|e| e.at)
+        self.find(|e| e.kind == EventKind::JobEnd { task, job })
+            .map(|e| e.at)
     }
 
     /// Instant a given job was released, if recorded.
     pub fn job_release(&self, task: TaskId, job: JobIndex) -> Option<Instant> {
-        self.find(|e| e.kind == EventKind::JobRelease { task, job }).map(|e| e.at)
+        self.find(|e| e.kind == EventKind::JobRelease { task, job })
+            .map(|e| e.at)
     }
 
     /// Deadline-miss events for one task.
@@ -174,11 +182,41 @@ mod tests {
 
     fn sample() -> TraceLog {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
-        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
-        log.push(t(29), EventKind::JobEnd { task: TaskId(1), job: 0 });
-        log.push(t(30), EventKind::DetectorRelease { task: TaskId(1), job: 0 });
-        log.push(t(120), EventKind::DeadlineMiss { task: TaskId(3), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobStart {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(29),
+            EventKind::JobEnd {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(30),
+            EventKind::DetectorRelease {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(120),
+            EventKind::DeadlineMiss {
+                task: TaskId(3),
+                job: 0,
+            },
+        );
         log.push(t(150), EventKind::SimEnd);
         log
     }
@@ -209,15 +247,33 @@ mod tests {
     #[test]
     fn equal_timestamps_allowed() {
         let mut log = TraceLog::new();
-        log.push(t(10), EventKind::JobEnd { task: TaskId(1), job: 0 });
-        log.push(t(10), EventKind::JobStart { task: TaskId(2), job: 0 });
+        log.push(
+            t(10),
+            EventKind::JobEnd {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(10),
+            EventKind::JobStart {
+                task: TaskId(2),
+                job: 0,
+            },
+        );
         assert_eq!(log.len(), 2);
     }
 
     #[test]
     fn stops_and_faults() {
         let mut log = sample();
-        log.push(t(160), EventKind::FaultDetected { task: TaskId(1), job: 5 });
+        log.push(
+            t(160),
+            EventKind::FaultDetected {
+                task: TaskId(1),
+                job: 5,
+            },
+        );
         log.push(
             t(160),
             EventKind::AllowanceGranted {
@@ -226,7 +282,13 @@ mod tests {
                 amount: Duration::millis(11),
             },
         );
-        log.push(t(171), EventKind::TaskStopped { task: TaskId(1), job: 5 });
+        log.push(
+            t(171),
+            EventKind::TaskStopped {
+                task: TaskId(1),
+                job: 5,
+            },
+        );
         assert_eq!(log.faults(), vec![(TaskId(1), 5, t(160))]);
         assert_eq!(log.stops(), vec![(TaskId(1), 5, t(171))]);
     }

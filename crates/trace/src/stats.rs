@@ -249,7 +249,11 @@ impl ResponseHistogram {
         for r in &responses {
             counts[(*r / bucket) as usize] += 1;
         }
-        ResponseHistogram { bucket, samples: responses.len(), counts }
+        ResponseHistogram {
+            bucket,
+            samples: responses.len(),
+            counts,
+        }
     }
 
     /// The response value at or below which `q` (in `[0,1]`) of the
@@ -283,7 +287,12 @@ impl ResponseHistogram {
             let lo = self.bucket * i as i64;
             let hi = self.bucket * (i as i64 + 1);
             let bar = "#".repeat((c * 40).div_ceil(peak));
-            let _ = writeln!(out, "{:>10}..{:<10} {c:>6} {bar}", lo.to_string(), hi.to_string());
+            let _ = writeln!(
+                out,
+                "{:>10}..{:<10} {c:>6} {bar}",
+                lo.to_string(),
+                hi.to_string()
+            );
         }
         out
     }
@@ -304,24 +313,94 @@ mod tests {
 
     fn set() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(3, 16, ms(1500), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 
     fn log() -> TraceLog {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
-        log.push(t(0), EventKind::JobRelease { task: TaskId(3), job: 0 });
-        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
-        log.push(t(29), EventKind::JobEnd { task: TaskId(1), job: 0 });
-        log.push(t(29), EventKind::JobStart { task: TaskId(3), job: 0 });
-        log.push(t(58), EventKind::JobEnd { task: TaskId(3), job: 0 });
-        log.push(t(200), EventKind::JobRelease { task: TaskId(1), job: 1 });
-        log.push(t(200), EventKind::JobStart { task: TaskId(1), job: 1 });
-        log.push(t(240), EventKind::FaultDetected { task: TaskId(1), job: 1 });
-        log.push(t(270), EventKind::DeadlineMiss { task: TaskId(1), job: 1 });
-        log.push(t(275), EventKind::TaskStopped { task: TaskId(1), job: 1 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: TaskId(3),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobStart {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(29),
+            EventKind::JobEnd {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(29),
+            EventKind::JobStart {
+                task: TaskId(3),
+                job: 0,
+            },
+        );
+        log.push(
+            t(58),
+            EventKind::JobEnd {
+                task: TaskId(3),
+                job: 0,
+            },
+        );
+        log.push(
+            t(200),
+            EventKind::JobRelease {
+                task: TaskId(1),
+                job: 1,
+            },
+        );
+        log.push(
+            t(200),
+            EventKind::JobStart {
+                task: TaskId(1),
+                job: 1,
+            },
+        );
+        log.push(
+            t(240),
+            EventKind::FaultDetected {
+                task: TaskId(1),
+                job: 1,
+            },
+        );
+        log.push(
+            t(270),
+            EventKind::DeadlineMiss {
+                task: TaskId(1),
+                job: 1,
+            },
+        );
+        log.push(
+            t(275),
+            EventKind::TaskStopped {
+                task: TaskId(1),
+                job: 1,
+            },
+        );
         log
     }
 
@@ -389,9 +468,27 @@ mod tests {
             .iter()
             .enumerate()
         {
-            log.push(t(*rel), EventKind::JobRelease { task: TaskId(1), job: i as u64 });
-            log.push(t(*rel), EventKind::JobStart { task: TaskId(1), job: i as u64 });
-            log.push(t(*end), EventKind::JobEnd { task: TaskId(1), job: i as u64 });
+            log.push(
+                t(*rel),
+                EventKind::JobRelease {
+                    task: TaskId(1),
+                    job: i as u64,
+                },
+            );
+            log.push(
+                t(*rel),
+                EventKind::JobStart {
+                    task: TaskId(1),
+                    job: i as u64,
+                },
+            );
+            log.push(
+                t(*end),
+                EventKind::JobEnd {
+                    task: TaskId(1),
+                    job: i as u64,
+                },
+            );
         }
         let stats = TraceStats::from_log(&log, None);
         let h = ResponseHistogram::of(&stats, TaskId(1), ms(10));

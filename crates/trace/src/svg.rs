@@ -31,7 +31,12 @@ impl SvgConfig {
     /// A window with default geometry (900 px wide, 48 px lanes).
     pub fn window(from: Instant, to: Instant) -> Self {
         assert!(to > from, "empty window");
-        SvgConfig { from, to, width: 900, lane_height: 48 }
+        SvgConfig {
+            from,
+            to,
+            width: 900,
+            lane_height: 48,
+        }
     }
 
     fn x(&self, at: Instant) -> f64 {
@@ -87,10 +92,10 @@ pub fn render_svg(log: &TraceLog, set: &TaskSet, config: &SvgConfig) -> String {
     let mut ready_since: BTreeMap<TaskId, Instant> = BTreeMap::new();
     let mut bars: Vec<(usize, Instant, Instant, bool)> = Vec::new(); // lane, a, b, solid
     let close = |map: &mut BTreeMap<TaskId, Instant>,
-                     task: TaskId,
-                     until: Instant,
-                     solid: bool,
-                     bars: &mut Vec<(usize, Instant, Instant, bool)>| {
+                 task: TaskId,
+                 until: Instant,
+                 solid: bool,
+                 bars: &mut Vec<(usize, Instant, Instant, bool)>| {
         if let (Some(since), Some(&lane)) = (map.remove(&task), lane_of.get(&task)) {
             let (a, b) = (clamp(since), clamp(until));
             if b > a {
@@ -144,7 +149,9 @@ pub fn render_svg(log: &TraceLog, set: &TaskSet, config: &SvgConfig) -> String {
             continue;
         }
         let Some(task) = e.kind.task() else { continue };
-        let Some(&lane) = lane_of.get(&task) else { continue };
+        let Some(&lane) = lane_of.get(&task) else {
+            continue;
+        };
         let x = config.x(e.at);
         let y0 = lane_y(lane);
         let yb = y0 + bar_h;
@@ -253,22 +260,80 @@ mod tests {
 
     fn set() -> TaskSet {
         TaskSet::from_specs(vec![
-            TaskBuilder::new(1, 20, ms(200), ms(29)).deadline(ms(70)).build(),
-            TaskBuilder::new(2, 18, ms(250), ms(29)).deadline(ms(120)).build(),
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
         ])
     }
 
     fn log() -> TraceLog {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: TaskId(1), job: 0 });
-        log.push(t(0), EventKind::JobRelease { task: TaskId(2), job: 0 });
-        log.push(t(0), EventKind::JobStart { task: TaskId(1), job: 0 });
-        log.push(t(29), EventKind::JobEnd { task: TaskId(1), job: 0 });
-        log.push(t(29), EventKind::JobStart { task: TaskId(2), job: 0 });
-        log.push(t(30), EventKind::DetectorRelease { task: TaskId(1), job: 0 });
-        log.push(t(58), EventKind::JobEnd { task: TaskId(2), job: 0 });
-        log.push(t(70), EventKind::DeadlineMiss { task: TaskId(1), job: 0 });
-        log.push(t(80), EventKind::TaskStopped { task: TaskId(2), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: TaskId(2),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobStart {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(29),
+            EventKind::JobEnd {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(29),
+            EventKind::JobStart {
+                task: TaskId(2),
+                job: 0,
+            },
+        );
+        log.push(
+            t(30),
+            EventKind::DetectorRelease {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(58),
+            EventKind::JobEnd {
+                task: TaskId(2),
+                job: 0,
+            },
+        );
+        log.push(
+            t(70),
+            EventKind::DeadlineMiss {
+                task: TaskId(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(80),
+            EventKind::TaskStopped {
+                task: TaskId(2),
+                job: 0,
+            },
+        );
         log
     }
 

@@ -60,7 +60,11 @@ pub fn check(log: &TraceLog) -> Vec<Violation> {
         match e.kind {
             EventKind::JobRelease { task, job } => {
                 if phase.insert((task, job), JobPhase::Released).is_some() {
-                    violate(at, format!("{task} job {job} released twice"), &mut violations);
+                    violate(
+                        at,
+                        format!("{task} job {job} released twice"),
+                        &mut violations,
+                    );
                 }
             }
             EventKind::JobStart { task, job } => {
@@ -198,14 +202,63 @@ mod tests {
     #[test]
     fn clean_lifecycle_passes() {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: id(1), job: 0 });
-        log.push(t(0), EventKind::JobStart { task: id(1), job: 0 });
-        log.push(t(5), EventKind::Preempted { task: id(1), job: 0, by: id(2) });
-        log.push(t(5), EventKind::JobRelease { task: id(2), job: 0 });
-        log.push(t(5), EventKind::JobStart { task: id(2), job: 0 });
-        log.push(t(8), EventKind::JobEnd { task: id(2), job: 0 });
-        log.push(t(8), EventKind::Resumed { task: id(1), job: 0 });
-        log.push(t(12), EventKind::JobEnd { task: id(1), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: id(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobStart {
+                task: id(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(5),
+            EventKind::Preempted {
+                task: id(1),
+                job: 0,
+                by: id(2),
+            },
+        );
+        log.push(
+            t(5),
+            EventKind::JobRelease {
+                task: id(2),
+                job: 0,
+            },
+        );
+        log.push(
+            t(5),
+            EventKind::JobStart {
+                task: id(2),
+                job: 0,
+            },
+        );
+        log.push(
+            t(8),
+            EventKind::JobEnd {
+                task: id(2),
+                job: 0,
+            },
+        );
+        log.push(
+            t(8),
+            EventKind::Resumed {
+                task: id(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(12),
+            EventKind::JobEnd {
+                task: id(1),
+                job: 0,
+            },
+        );
         log.push(t(12), EventKind::CpuIdle);
         assert!(is_well_formed(&log), "{:?}", check(&log));
     }
@@ -213,8 +266,20 @@ mod tests {
     #[test]
     fn double_release_caught() {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: id(1), job: 0 });
-        log.push(t(1), EventKind::JobRelease { task: id(1), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: id(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(1),
+            EventKind::JobRelease {
+                task: id(1),
+                job: 0,
+            },
+        );
         let v = check(&log);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("released twice"));
@@ -223,17 +288,47 @@ mod tests {
     #[test]
     fn start_without_release_caught() {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobStart { task: id(1), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobStart {
+                task: id(1),
+                job: 0,
+            },
+        );
         assert!(!is_well_formed(&log));
     }
 
     #[test]
     fn two_jobs_running_caught() {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: id(1), job: 0 });
-        log.push(t(0), EventKind::JobRelease { task: id(2), job: 0 });
-        log.push(t(0), EventKind::JobStart { task: id(1), job: 0 });
-        log.push(t(1), EventKind::JobStart { task: id(2), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: id(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: id(2),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobStart {
+                task: id(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(1),
+            EventKind::JobStart {
+                task: id(2),
+                job: 0,
+            },
+        );
         let v = check(&log);
         assert!(v.iter().any(|v| v.message.contains("while")));
     }
@@ -241,18 +336,54 @@ mod tests {
     #[test]
     fn end_while_not_running_caught() {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: id(1), job: 0 });
-        log.push(t(1), EventKind::JobEnd { task: id(1), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: id(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(1),
+            EventKind::JobEnd {
+                task: id(1),
+                job: 0,
+            },
+        );
         assert!(!is_well_formed(&log));
     }
 
     #[test]
     fn stop_after_completion_caught() {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: id(1), job: 0 });
-        log.push(t(0), EventKind::JobStart { task: id(1), job: 0 });
-        log.push(t(3), EventKind::JobEnd { task: id(1), job: 0 });
-        log.push(t(4), EventKind::TaskStopped { task: id(1), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: id(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobStart {
+                task: id(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(3),
+            EventKind::JobEnd {
+                task: id(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(4),
+            EventKind::TaskStopped {
+                task: id(1),
+                job: 0,
+            },
+        );
         let v = check(&log);
         assert!(v.iter().any(|v| v.message.contains("after completion")));
     }
@@ -260,8 +391,20 @@ mod tests {
     #[test]
     fn idle_while_running_caught() {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: id(1), job: 0 });
-        log.push(t(0), EventKind::JobStart { task: id(1), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: id(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(0),
+            EventKind::JobStart {
+                task: id(1),
+                job: 0,
+            },
+        );
         log.push(t(1), EventKind::CpuIdle);
         assert!(!is_well_formed(&log));
     }
@@ -269,8 +412,20 @@ mod tests {
     #[test]
     fn stop_on_waiting_job_is_fine() {
         let mut log = TraceLog::new();
-        log.push(t(0), EventKind::JobRelease { task: id(1), job: 0 });
-        log.push(t(2), EventKind::TaskStopped { task: id(1), job: 0 });
+        log.push(
+            t(0),
+            EventKind::JobRelease {
+                task: id(1),
+                job: 0,
+            },
+        );
+        log.push(
+            t(2),
+            EventKind::TaskStopped {
+                task: id(1),
+                job: 0,
+            },
+        );
         assert!(is_well_formed(&log), "{:?}", check(&log));
     }
 }

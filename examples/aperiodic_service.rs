@@ -59,7 +59,10 @@ fn run_policy(name: &str, priority: i32) {
         .iter()
         .filter_map(|id| stats.job(*id, 0).and_then(|j| j.response()))
         .collect();
-    let worst = responses.iter().copied().fold(Duration::ZERO, Duration::max);
+    let worst = responses
+        .iter()
+        .copied()
+        .fold(Duration::ZERO, Duration::max);
     let periodic_misses: usize = base
         .tasks()
         .iter()
@@ -81,9 +84,14 @@ fn main() {
     // Polling server: admit the container, then bound requests analytically.
     println!("\n== polling server (10 ms / 100 ms @ P25) ==");
     let base = rtft::taskgen::paper::table2();
-    let params = ServerParams { period: ms(100), budget: ms(10), priority: 25 };
-    let with_server =
-        admit_polling_server(&base, 99, params).expect("analysis converges").expect("server fits");
+    let params = ServerParams {
+        period: ms(100),
+        budget: ms(10),
+        priority: 25,
+    };
+    let with_server = admit_polling_server(&base, 99, params)
+        .expect("analysis converges")
+        .expect("server fits");
     println!("server admitted; application tasks stay feasible.");
     for (_, demand) in burst() {
         let bound = polling_server_response(

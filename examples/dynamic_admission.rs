@@ -27,9 +27,13 @@ fn ms(v: i64) -> Duration {
 fn main() {
     let cruise = TaskSet::from_specs(vec![
         TaskBuilder::new(1, 20, ms(50), ms(10)).name("nav").build(),
-        TaskBuilder::new(2, 15, ms(200), ms(30)).name("radio").build(),
+        TaskBuilder::new(2, 15, ms(200), ms(30))
+            .name("radio")
+            .build(),
     ]);
-    let vision = TaskBuilder::new(3, 18, ms(100), ms(25)).name("vision").build();
+    let vision = TaskBuilder::new(3, 18, ms(100), ms(25))
+        .name("vision")
+        .build();
 
     // Show the detector plan adapting, step by step.
     let mut system = DynamicSystem::with_set(&cruise);
@@ -51,7 +55,10 @@ fn main() {
     println!("allowance: {:?}\n", with_vision.equitable);
 
     let after_leave = system.remove(TaskId(3)).expect("vision leaves");
-    println!("after vision leaves, allowance: {:?}\n", after_leave.equitable);
+    println!(
+        "after vision leaves, allowance: {:?}\n",
+        after_leave.equitable
+    );
 
     // Now the executable version: three epochs with a fault in epoch 1.
     let changes = vec![
@@ -66,7 +73,9 @@ fn main() {
     let outcomes = run_epochs(
         &changes,
         ms(1_000),
-        Treatment::EquitableAllowance { mode: StopMode::JobOnly },
+        Treatment::EquitableAllowance {
+            mode: StopMode::JobOnly,
+        },
         TimerModel::EXACT,
     )
     .expect("all epochs run");

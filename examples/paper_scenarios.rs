@@ -65,9 +65,16 @@ fn main() {
     }
 
     // The paper's conclusions, checked.
-    assert!(!outcomes[0].collateral_failures().is_empty(), "fig3: τ3 must fail");
+    assert!(
+        !outcomes[0].collateral_failures().is_empty(),
+        "fig3: τ3 must fail"
+    );
     for out in &outcomes[2..] {
-        assert!(out.collateral_failures().is_empty(), "{}: damage confined", out.name);
+        assert!(
+            out.collateral_failures().is_empty(),
+            "{}: damage confined",
+            out.name
+        );
     }
     println!("\nreproduced: treatments confine the damage; allowance grows τ1's runtime.");
 }

@@ -21,7 +21,8 @@ fn main() {
     println!("system under test:\n{set}");
 
     // 2. Admission control.
-    let report = analyze_set(&set).expect("analysis converges");
+    let mut session = Analyzer::new(&set);
+    let report = session.report().expect("analysis converges");
     println!("utilization U = {:.4}", report.utilization);
     for line in &report.per_task {
         println!(
@@ -32,7 +33,8 @@ fn main() {
             line.slack().expect("feasible task"),
         );
     }
-    let eq = equitable_allowance(&set)
+    let eq = session
+        .equitable_allowance()
         .expect("analysis converges")
         .expect("feasible system");
     println!("equitable allowance A = {} per task", eq.allowance);

@@ -33,10 +33,18 @@ fn robot_stack() -> TaskSet {
         TaskBuilder::new(1, 30, ms(5), Duration::micros(800))
             .name("balance")
             .build(),
-        TaskBuilder::new(2, 25, ms(20), ms(4)).name("control").build(),
-        TaskBuilder::new(3, 20, ms(50), ms(12)).name("fusion").build(),
-        TaskBuilder::new(4, 15, ms(200), ms(40)).name("planner").build(),
-        TaskBuilder::new(5, 10, ms(500), ms(30)).name("telemetry").build(),
+        TaskBuilder::new(2, 25, ms(20), ms(4))
+            .name("control")
+            .build(),
+        TaskBuilder::new(3, 20, ms(50), ms(12))
+            .name("fusion")
+            .build(),
+        TaskBuilder::new(4, 15, ms(200), ms(40))
+            .name("planner")
+            .build(),
+        TaskBuilder::new(5, 10, ms(500), ms(30))
+            .name("telemetry")
+            .build(),
     ])
 }
 
@@ -55,21 +63,20 @@ fn mission_faults(seed: u64) -> FaultPlan {
 }
 
 fn run(treatment: Treatment, faults: &FaultPlan) -> ScenarioOutcome {
-    run_scenario(
-        &Scenario::new(
-            treatment.name(),
-            robot_stack(),
-            faults.clone(),
-            treatment,
-            Instant::from_millis(2_000),
-        ),
-    )
+    run_scenario(&Scenario::new(
+        treatment.name(),
+        robot_stack(),
+        faults.clone(),
+        treatment,
+        Instant::from_millis(2_000),
+    ))
     .expect("the stack is feasible")
 }
 
 fn main() {
     let set = robot_stack();
-    let report = analyze_set(&set).expect("analysis converges");
+    let mut session = Analyzer::new(&set);
+    let report = session.report().expect("analysis converges");
     println!("robot stack (U = {:.3}):\n", report.utilization);
     for line in &report.per_task {
         println!(
@@ -80,7 +87,7 @@ fn main() {
             line.slack().unwrap().to_string(),
         );
     }
-    let eq = equitable_allowance(&set).unwrap().unwrap();
+    let eq = session.equitable_allowance().unwrap().unwrap();
     println!("\nequitable allowance: {} per task", eq.allowance);
 
     let faults = mission_faults(2024);
@@ -96,10 +103,15 @@ fn main() {
     // Equitable allowance, stopping only the faulty job (the robot keeps
     // running — a stopped fusion job is replaced by the next sample).
     let treated = run(
-        Treatment::EquitableAllowance { mode: StopMode::JobOnly },
+        Treatment::EquitableAllowance {
+            mode: StopMode::JobOnly,
+        },
         &faults,
     );
-    println!("--- equitable allowance (job-only stop) ---\n{}", treated.verdict);
+    println!(
+        "--- equitable allowance (job-only stop) ---\n{}",
+        treated.verdict
+    );
 
     let untreated_collateral = untreated.collateral_failures();
     let treated_collateral = treated.collateral_failures();

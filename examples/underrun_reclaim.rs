@@ -30,11 +30,8 @@ fn main() {
         faults = faults.underrun(TaskId(1), job, ms(20));
     }
 
-    let mut sim = Simulator::new(
-        set.clone(),
-        SimConfig::until(Instant::from_millis(3_000)),
-    )
-    .with_faults(faults);
+    let mut sim = Simulator::new(set.clone(), SimConfig::until(Instant::from_millis(3_000)))
+        .with_faults(faults);
     let mut supervisor = NullSupervisor;
     sim.run(&mut supervisor);
     let log = sim.into_trace();
@@ -59,8 +56,14 @@ fn main() {
         .expect("analysis converges")
         .expect("τ1's under-run exceeds the margin");
 
-    println!("\nallowance with declared costs:  {}", reclaim.declared_allowance);
-    println!("allowance with measured costs:  {}", reclaim.measured_allowance);
+    println!(
+        "\nallowance with declared costs:  {}",
+        reclaim.declared_allowance
+    );
+    println!(
+        "allowance with measured costs:  {}",
+        reclaim.measured_allowance
+    );
     println!("tolerance gained:               {}", reclaim.gained);
     assert!(reclaim.gained.is_positive());
     assert_eq!(reclaim.declared_allowance, ms(11), "paper Table 2 baseline");

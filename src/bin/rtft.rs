@@ -55,7 +55,9 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     let path = args.first().ok_or("analyze: missing task file")?;
     let (set, _) = load_system(path)?;
     println!("{set}");
-    let report = analyze_set(&set).map_err(|e| e.to_string())?;
+    // One analysis session serves the report and both allowance blocks.
+    let mut session = Analyzer::new(&set);
+    let report = session.report().map_err(|e| e.to_string())?;
     println!("utilization U = {:.4}", report.utilization);
     if report.overloaded {
         println!("NOT FEASIBLE: U > 1");
@@ -78,14 +80,15 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         println!("NOT FEASIBLE");
         return Ok(());
     }
-    if let Some(eq) = equitable_allowance(&set).map_err(|e| e.to_string())? {
+    if let Some(eq) = session.equitable_allowance().map_err(|e| e.to_string())? {
         println!("equitable allowance A = {}", eq.allowance);
         for (rank, w) in eq.inflated_wcrt.iter().enumerate() {
             println!("  {}: stop threshold {}", set.by_rank(rank).id, w);
         }
     }
-    if let Some(sa) =
-        system_allowance(&set, SlackPolicy::ProtectAll).map_err(|e| e.to_string())?
+    if let Some(sa) = session
+        .system_allowance_with(SlackPolicy::ProtectAll)
+        .map_err(|e| e.to_string())?
     {
         let m: Vec<String> = sa.max_overrun.iter().map(|d| d.to_string()).collect();
         println!("system allowance M = [{}]", m.join(", "));
@@ -104,8 +107,12 @@ fn parse_treatment(name: &str) -> Result<Treatment, String> {
     Ok(match name {
         "none" => Treatment::NoDetection,
         "detect" => Treatment::DetectOnly,
-        "stop" => Treatment::ImmediateStop { mode: StopMode::Permanent },
-        "equitable" => Treatment::EquitableAllowance { mode: StopMode::Permanent },
+        "stop" => Treatment::ImmediateStop {
+            mode: StopMode::Permanent,
+        },
+        "equitable" => Treatment::EquitableAllowance {
+            mode: StopMode::Permanent,
+        },
         "system" => Treatment::SystemAllowance {
             mode: StopMode::Permanent,
             policy: SlackPolicy::ProtectAll,

@@ -26,10 +26,12 @@
 //! // Figures 3–7 observation window.
 //! let set = rtft::taskgen::paper::table2_figure_window();
 //!
-//! // Admission control: WCRTs and the tolerance factor.
-//! let report = analyze_set(&set).unwrap();
+//! // Admission control through one analysis session: WCRTs and the
+//! // tolerance factor share (and memoize) the same fixed-point state.
+//! let mut session = Analyzer::new(&set);
+//! let report = session.report().unwrap();
 //! assert!(report.is_feasible());
-//! let eq = equitable_allowance(&set).unwrap().unwrap();
+//! let eq = session.equitable_allowance().unwrap().unwrap();
 //! assert_eq!(eq.allowance, Duration::millis(11));
 //!
 //! // Inject the paper's fault and run under the system-allowance

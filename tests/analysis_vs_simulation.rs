@@ -16,7 +16,7 @@ fn arb_task_set(max_tasks: usize) -> impl Strategy<Value = TaskSet> {
             .enumerate()
             .map(|(i, (period_raw, cost_raw))| {
                 let period = Duration::millis(period_raw * n); // spread load
-                // Cap cost to keep per-task utilization ≤ ~0.8/n.
+                                                               // Cap cost to keep per-task utilization ≤ ~0.8/n.
                 let max_cost = (period_raw * n * 4 / (5 * n)).max(1);
                 let cost = Duration::millis(cost_raw.min(max_cost));
                 // Distinct priorities: with equal priorities the analysis
@@ -72,7 +72,7 @@ proptest! {
     /// the admission control the paper repairs).
     #[test]
     fn feasible_sets_never_miss(set in arb_task_set(6)) {
-        let report = rtft::core::feasibility::analyze_set(&set).unwrap();
+        let report = Analyzer::new(&set).report().unwrap();
         if !report.is_feasible() { return Ok(()); }
         let horizon = Instant::EPOCH + set.hyperperiod().min(Duration::secs(30));
         let log = run_plain(set, horizon);
@@ -83,7 +83,7 @@ proptest! {
     /// by the allowance still misses no deadline.
     #[test]
     fn equitable_allowance_is_executable(set in arb_task_set(5)) {
-        let Ok(Some(eq)) = rtft::core::allowance::equitable_allowance(&set) else {
+        let Ok(Some(eq)) = Analyzer::new(&set).equitable_allowance() else {
             return Ok(());
         };
         if eq.allowance.is_zero() { return Ok(()); }

@@ -97,7 +97,12 @@ fn chart_rerenders_saved_trace() {
         .status
         .success());
     let out = rtft()
-        .args(["chart", trace.to_str().unwrap(), "--window", "990ms..1140ms"])
+        .args([
+            "chart",
+            trace.to_str().unwrap(),
+            "--window",
+            "990ms..1140ms",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -110,7 +115,10 @@ fn chart_rerenders_saved_trace() {
 fn bad_usage_fails_cleanly() {
     let out = rtft().output().unwrap();
     assert_eq!(out.status.code(), Some(2));
-    let out = rtft().args(["analyze", "/nonexistent/file"]).output().unwrap();
+    let out = rtft()
+        .args(["analyze", "/nonexistent/file"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("rtft:"));
@@ -128,7 +136,10 @@ fn infeasible_system_reported() {
     let dir = temp_dir("infeasible");
     let path = dir.join("overload.rtft");
     std::fs::write(&path, "a 20 10ms 10ms 8ms\nb 19 10ms 10ms 8ms\n").unwrap();
-    let out = rtft().args(["analyze", path.to_str().unwrap()]).output().unwrap();
+    let out = rtft()
+        .args(["analyze", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("NOT FEASIBLE"));

@@ -35,7 +35,9 @@ fn dynamic_admission_lifecycle() {
     assert_eq!(plan.equitable, Some(ms(11)));
 
     // A fourth task squeezes the allowance.
-    let extra = TaskBuilder::new(9, 17, ms(500), ms(20)).deadline(ms(500)).build();
+    let extra = TaskBuilder::new(9, 17, ms(500), ms(20))
+        .deadline(ms(500))
+        .build();
     let with_extra = sys.admit(extra).unwrap().unwrap();
     assert!(with_extra.equitable.unwrap() < ms(11));
 
@@ -57,7 +59,9 @@ fn dynamic_epochs_with_treatment() {
     let outs = run_epochs(
         &changes,
         ms(1_200),
-        Treatment::EquitableAllowance { mode: StopMode::JobOnly },
+        Treatment::EquitableAllowance {
+            mode: StopMode::JobOnly,
+        },
         TimerModel::EXACT,
     )
     .unwrap();
@@ -81,7 +85,9 @@ fn underrun_measurement_feeds_reassignment() {
     sim.run(&mut sup);
     let observed = ObservedCosts::from_log(sim.trace());
     assert_eq!(observed.max_cost(TaskId(2)), Some(ms(14)));
-    let reclaim = suggest_reassignment(&set, &observed, ms(1)).unwrap().unwrap();
+    let reclaim = suggest_reassignment(&set, &observed, ms(1))
+        .unwrap()
+        .unwrap();
     assert_eq!(reclaim.declared_allowance, ms(11));
     // τ2 measured at 14 (+1 margin): R3 base = 29+15+29 = 73 →
     // A ≤ (120−73)/3 = 15.666 ms.
@@ -106,11 +112,15 @@ fn blocking_shrinks_allowance_end_to_end() {
 #[test]
 fn polling_server_hosts_aperiodics_next_to_paper_system() {
     let set = paper_set();
-    let params = ServerParams { period: ms(100), budget: ms(10), priority: 25 };
+    let params = ServerParams {
+        period: ms(100),
+        budget: ms(10),
+        priority: 25,
+    };
     let with_server = admit_polling_server(&set, 9, params).unwrap().unwrap();
     assert_eq!(with_server.len(), 4);
     // The application tasks stay feasible under the server's interference.
-    let report = analyze_set(&with_server).unwrap();
+    let report = Analyzer::new(&with_server).report().unwrap();
     assert!(report.is_feasible());
     // Aperiodic response bound for a 25 ms request: 3 chunks.
     let rank = with_server.rank_of(TaskId(9)).unwrap();

@@ -24,12 +24,11 @@ fn arb_event_kind() -> impl Strategy<Value = EventKind> {
         (task.clone(), job.clone()).prop_map(|(task, job)| EventKind::TaskStopped { task, job }),
         (task.clone(), job.clone(), task.clone())
             .prop_map(|(task, job, by)| EventKind::Preempted { task, job, by }),
-        (task, job, 0i64..10_000_000)
-            .prop_map(|(task, job, ns)| EventKind::AllowanceGranted {
-                task,
-                job,
-                amount: Duration::nanos(ns),
-            }),
+        (task, job, 0i64..10_000_000).prop_map(|(task, job, ns)| EventKind::AllowanceGranted {
+            task,
+            job,
+            amount: Duration::nanos(ns),
+        }),
         Just(EventKind::CpuIdle),
         Just(EventKind::SimEnd),
     ]
@@ -128,11 +127,8 @@ fn chart_renders_any_simulated_window() {
     ]);
     let log = run_plain(set.clone(), Instant::from_millis(2_000));
     for from in (0..2_000).step_by(130) {
-        let cfg = ChartConfig::window(
-            Instant::from_millis(from),
-            Instant::from_millis(from + 170),
-        )
-        .with_cell(Duration::millis(2));
+        let cfg = ChartConfig::window(Instant::from_millis(from), Instant::from_millis(from + 170))
+            .with_cell(Duration::millis(2));
         let chart = rtft::trace::render(&log, Some(&set), &cfg);
         assert!(chart.contains("legend"));
     }

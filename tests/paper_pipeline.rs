@@ -19,8 +19,9 @@ fn full_paper_pipeline() {
     let desc = rtft::taskgen::parse(rtft::taskgen::PAPER_SCENARIO_FILE).unwrap();
     let set = desc.task_set().unwrap();
 
-    // 2. Admission control reproduces Table 2.
-    let report = analyze_set(&set).unwrap();
+    // 2. Admission control reproduces Table 2, through one session.
+    let mut session = Analyzer::new(&set);
+    let report = session.report().unwrap();
     assert!(report.is_feasible());
     let wcrt: Vec<i64> = report
         .per_task
@@ -28,15 +29,25 @@ fn full_paper_pipeline() {
         .map(|l| l.wcrt.unwrap().as_millis())
         .collect();
     assert_eq!(wcrt, vec![29, 58, 87]);
-    let eq = equitable_allowance(&set).unwrap().unwrap();
+    let eq = session.equitable_allowance().unwrap().unwrap();
     assert_eq!(eq.allowance, ms(11));
     assert_eq!(
-        eq.inflated_wcrt.iter().map(|d| d.as_millis()).collect::<Vec<_>>(),
+        eq.inflated_wcrt
+            .iter()
+            .map(|d| d.as_millis())
+            .collect::<Vec<_>>(),
         vec![40, 80, 120],
         "Table 3"
     );
-    let sa = system_allowance(&set, SlackPolicy::ProtectAll).unwrap().unwrap();
-    assert_eq!(sa.max_overrun[0], ms(33), "the paper's §6.5 thirty-three ms");
+    let sa = session
+        .system_allowance_with(SlackPolicy::ProtectAll)
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        sa.max_overrun[0],
+        ms(33),
+        "the paper's §6.5 thirty-three ms"
+    );
 
     // 3. All five scenarios, checking the figures' outcomes.
     let outcomes = run_paper_lineup(&set, &desc.faults, t(1300), TimerModel::jrate()).unwrap();
@@ -56,10 +67,7 @@ fn full_paper_pipeline() {
     );
 
     // Figures 5–7: damage confined, and τ1's runtime grows monotonically.
-    let stops: Vec<Instant> = outcomes[2..]
-        .iter()
-        .map(|o| o.log.stops()[0].2)
-        .collect();
+    let stops: Vec<Instant> = outcomes[2..].iter().map(|o| o.log.stops()[0].2).collect();
     assert_eq!(stops, vec![t(1030), t(1040), t(1062)]);
     for out in &outcomes[2..] {
         assert!(out.collateral_failures().is_empty(), "{}", out.name);
@@ -106,7 +114,7 @@ fn trace_log_round_trips_through_file_format() {
 #[test]
 fn measured_responses_never_exceed_analysis_without_faults() {
     let set = rtft::taskgen::paper::table2();
-    let wcrt = rtft::core::response::wcrt_all(&set).unwrap();
+    let wcrt = Analyzer::new(&set).wcrt_all().unwrap();
     let log = run_plain(set.clone(), t(30_000));
     let stats = TraceStats::from_log(&log, Some(&set));
     for (rank, spec) in set.tasks().iter().enumerate() {
