@@ -1,0 +1,333 @@
+//! The parallel campaign executor.
+//!
+//! Jobs are claimed from the expanded grid through a shared atomic
+//! cursor in fixed-size chunks (no locks on the hot path), executed on
+//! `std::thread`-scoped workers, digested immediately (the trace is
+//! dropped after reduction), and merged back **in grid order** — so the
+//! report is bit-identical no matter how many workers ran or how the
+//! chunks interleaved.
+//!
+//! Each worker keeps the [`Analyzer`] session of the set instance it is
+//! currently inside; the expansion guarantees the jobs of one instance
+//! are contiguous, so a chunked scan re-analyses each set at most once
+//! per worker that touches it.
+
+use crate::oracle::{self, OracleOutcome};
+use crate::report::{CampaignReport, JobDigest, JobStatus};
+use crate::spec::{CampaignSpec, JobSpec, SpecError};
+use rtft_core::analyzer::Analyzer;
+use rtft_ft::harness::{run_scenario_with, HarnessError, ScenarioOutcome};
+use rtft_trace::EventKind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Engine knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Worker threads (1 = fully sequential, no threads spawned).
+    pub workers: usize,
+    /// Override the spec's oracle switch.
+    pub oracle: Option<bool>,
+    /// Jobs claimed per cursor bump; `None` sizes chunks to about eight
+    /// per worker.
+    pub chunk: Option<usize>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            workers: available_workers(),
+            oracle: None,
+            chunk: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Sequential configuration.
+    pub fn sequential() -> Self {
+        RunConfig {
+            workers: 1,
+            ..RunConfig::default()
+        }
+    }
+
+    /// Use `n` workers (clamped to ≥ 1).
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Force the oracle on or off regardless of the spec.
+    pub fn with_oracle(mut self, on: bool) -> Self {
+        self.oracle = Some(on);
+        self
+    }
+}
+
+/// Worker count the host advertises (`available_parallelism`, 1 on
+/// failure).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Expand and execute a campaign.
+///
+/// # Errors
+/// [`SpecError`] when the grid cannot be expanded (empty axes, fault on
+/// a missing task). Per-job analysis failures are *not* errors — they
+/// are recorded in the report as infeasible/errored jobs.
+pub fn run_campaign(spec: &CampaignSpec, cfg: &RunConfig) -> Result<CampaignReport, SpecError> {
+    let jobs = spec.expand()?;
+    let oracle = cfg.oracle.unwrap_or(spec.oracle);
+    let workers = cfg.workers.clamp(1, jobs.len().max(1));
+    let chunk = cfg
+        .chunk
+        .unwrap_or_else(|| (jobs.len() / (workers * 8)).max(1));
+    let started = std::time::Instant::now();
+
+    let digests: Vec<JobDigest> = if workers == 1 {
+        let mut session: Option<(usize, Analyzer)> = None;
+        jobs.iter()
+            .map(|j| run_job(j, oracle, &mut session))
+            .collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let mut partials: Vec<Vec<JobDigest>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local: Vec<JobDigest> = Vec::new();
+                        let mut session: Option<(usize, Analyzer)> = None;
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= jobs.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(jobs.len());
+                            for job in &jobs[start..end] {
+                                local.push(run_job(job, oracle, &mut session));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        });
+        // Merge back into grid order: chunks are disjoint, so a sort by
+        // job index is a pure permutation — the result is independent of
+        // scheduling.
+        let mut merged: Vec<JobDigest> = partials.drain(..).flatten().collect();
+        merged.sort_unstable_by_key(|d| d.index);
+        merged
+    };
+    debug_assert!(digests.iter().enumerate().all(|(i, d)| d.index == i));
+
+    let wall = started.elapsed().as_secs_f64();
+    Ok(CampaignReport::from_digests(
+        spec.name.clone(),
+        digests,
+        wall,
+        workers,
+    ))
+}
+
+/// Execute one job and reduce it to a digest. `session` carries the
+/// worker's memoized analysis keyed by set ordinal.
+fn run_job(job: &JobSpec, oracle: bool, session: &mut Option<(usize, Analyzer)>) -> JobDigest {
+    let fresh = !matches!(session, Some((ordinal, _)) if *ordinal == job.set_ordinal);
+    if fresh {
+        *session = Some((job.set_ordinal, Analyzer::new(&job.set)));
+    }
+    let analyzer = &mut session.as_mut().expect("session just installed").1;
+
+    let scenario = job.scenario();
+    match run_scenario_with(&scenario, analyzer) {
+        Ok(outcome) => {
+            let oracle_outcome = if oracle {
+                oracle::check(job, &outcome, analyzer)
+            } else {
+                OracleOutcome::NotRun
+            };
+            digest_outcome(job, &outcome, oracle_outcome)
+        }
+        Err(HarnessError::InfeasibleBase) => empty_digest(job, JobStatus::InfeasibleBase),
+        Err(HarnessError::Analysis(e)) => {
+            empty_digest(job, JobStatus::AnalysisError(e.to_string()))
+        }
+    }
+}
+
+fn digest_outcome(job: &JobSpec, outcome: &ScenarioOutcome, oracle: OracleOutcome) -> JobDigest {
+    let mut released = 0;
+    let mut completed = 0;
+    let mut missed = 0;
+    let mut stopped = 0;
+    let mut faults_flagged = 0;
+    for (_, s) in outcome.stats.summaries() {
+        released += s.released;
+        completed += s.completed;
+        missed += s.missed;
+        stopped += s.stopped;
+        faults_flagged += s.faults;
+    }
+    let detector_fires = outcome
+        .log
+        .count(|e| matches!(e.kind, EventKind::DetectorRelease { .. }));
+    // Detection latency: how far past `release + threshold` the flag
+    // landed (the timer-quantization delay the paper measures).
+    let mut detector_latencies = Vec::new();
+    if !outcome.analysis.thresholds.is_empty() {
+        for (task, flagged_job, at) in outcome.log.faults() {
+            let (Some(rank), Some(release)) = (
+                job.set.rank_of(task),
+                outcome.log.job_release(task, flagged_job),
+            ) else {
+                continue;
+            };
+            let lag = at - (release + outcome.analysis.thresholds[rank]);
+            if !lag.is_negative() {
+                detector_latencies.push(lag);
+            }
+        }
+    }
+    JobDigest {
+        index: job.index,
+        set_label: job.set_label.clone(),
+        fault_label: job.fault_label.clone(),
+        treatment: job.treatment.name(),
+        platform: job.platform.label(),
+        status: JobStatus::Ran,
+        trace_hash: outcome.log.content_hash(),
+        released,
+        completed,
+        missed,
+        stopped,
+        faults_flagged,
+        detector_fires,
+        failed_tasks: outcome.verdict.failed_tasks(),
+        collateral: outcome.collateral_failures(),
+        detector_latencies,
+        oracle,
+    }
+}
+
+fn empty_digest(job: &JobSpec, status: JobStatus) -> JobDigest {
+    JobDigest {
+        index: job.index,
+        set_label: job.set_label.clone(),
+        fault_label: job.fault_label.clone(),
+        treatment: job.treatment.name(),
+        platform: job.platform.label(),
+        status,
+        trace_hash: 0,
+        released: 0,
+        completed: 0,
+        missed: 0,
+        stopped: 0,
+        faults_flagged: 0,
+        detector_fires: 0,
+        failed_tasks: Vec::new(),
+        collateral: Vec::new(),
+        detector_latencies: Vec::new(),
+        oracle: OracleOutcome::NotRun,
+    }
+}
+
+/// Run one scenario through the campaign job path — the single-scenario
+/// entry the CLI's `run` command and the harness tests delegate to, so a
+/// lone run and a campaign job are the same code.
+pub fn run_single(
+    sc: &rtft_ft::harness::Scenario,
+    oracle: bool,
+) -> Result<(ScenarioOutcome, OracleOutcome), HarnessError> {
+    let mut analyzer = Analyzer::new(&sc.set);
+    let outcome = run_scenario_with(sc, &mut analyzer)?;
+    let oracle_outcome = if oracle {
+        let job = JobSpec {
+            index: 0,
+            set_ordinal: 0,
+            set_label: sc.name.clone(),
+            set: std::sync::Arc::new(sc.set.clone()),
+            fault_label: "explicit".to_string(),
+            faults: sc.faults.clone(),
+            treatment: sc.treatment,
+            platform: crate::spec::PlatformSpec {
+                timer: sc.timer_model,
+                stop: sc.stop_model,
+                overheads: sc.overheads,
+            },
+            horizon: sc.horizon,
+        };
+        oracle::check(&job, &outcome, &mut analyzer)
+    } else {
+        OracleOutcome::NotRun
+    };
+    Ok((outcome, oracle_outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse_spec;
+
+    const PAPER_GRID: &str = "\
+campaign engine-smoke
+horizon 1300ms
+taskgen paper
+faults paper
+treatment all
+platform jrate
+";
+
+    #[test]
+    fn sequential_run_reproduces_the_paper_lineup() {
+        let spec = parse_spec(PAPER_GRID).unwrap();
+        let report = run_campaign(&spec, &RunConfig::sequential()).unwrap();
+        assert_eq!(report.jobs.len(), 5);
+        assert_eq!(report.ran, 5);
+        // Figure 3: without treatment, τ3 fails collaterally.
+        assert!(!report.jobs[0].collateral.is_empty());
+        // Figures 5–7: every stopping treatment confines the damage.
+        for d in &report.jobs[2..] {
+            assert!(d.collateral.is_empty(), "{}", d.treatment);
+            assert_eq!(d.stopped, 1, "{}", d.treatment);
+        }
+        // The jRate quantization shows up as 1–3 ms detection latency.
+        assert!(report.detector_latency.samples > 0);
+        // The paper fault (40 ms > A = 11 ms) is out of allowance.
+        assert_eq!(report.oracle_out_of_allowance, 5);
+        assert!(report.oracle_clean());
+    }
+
+    #[test]
+    fn infeasible_sets_are_reported_not_fatal() {
+        let spec =
+            parse_spec("task a 20 10ms 10ms 8ms\ntask b 19 10ms 10ms 8ms\ntreatment detect\n")
+                .unwrap();
+        let report = run_campaign(&spec, &RunConfig::sequential()).unwrap();
+        assert_eq!(report.infeasible, 1);
+        assert_eq!(report.ran, 0);
+    }
+
+    #[test]
+    fn run_single_matches_the_harness() {
+        let spec = parse_spec(PAPER_GRID).unwrap();
+        let job = &spec.expand().unwrap()[4];
+        let (outcome, oracle) = run_single(&job.scenario(), true).unwrap();
+        let direct = rtft_ft::harness::run_scenario(&job.scenario()).unwrap();
+        assert_eq!(outcome.log, direct.log);
+        assert!(!oracle.was_checked(), "40 ms is out of allowance");
+    }
+
+    #[test]
+    fn workers_beyond_jobs_are_clamped() {
+        let spec = parse_spec("horizon 500ms\ntaskgen paper\ntreatment detect\n").unwrap();
+        let report = run_campaign(&spec, &RunConfig::default().with_workers(64)).unwrap();
+        assert_eq!(report.jobs.len(), 1);
+        assert_eq!(report.workers, 1);
+    }
+}

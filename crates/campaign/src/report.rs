@@ -1,0 +1,338 @@
+//! Aggregated campaign results.
+//!
+//! Workers reduce each job to a compact [`JobDigest`] (the full
+//! [`TraceLog`](rtft_trace::TraceLog) is dropped after digestion — a
+//! million-job campaign must not hold a million traces); the engine
+//! merges the digests, in grid order, into one [`CampaignReport`]. All
+//! digest-derived fields are **bit-identical across worker counts**;
+//! only the wall-clock figures (`wall_seconds`, `jobs_per_sec`,
+//! `workers`) vary, and [`CampaignReport::digest`] excludes them.
+
+use crate::oracle::{OracleOutcome, OracleSkip, OracleViolation};
+use rtft_core::task::TaskId;
+use rtft_core::time::Duration;
+use rtft_trace::stats::DurationHistogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// How one job terminated.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum JobStatus {
+    /// Simulated to the horizon.
+    Ran,
+    /// Rejected by admission (infeasible base system).
+    InfeasibleBase,
+    /// The analysis errored.
+    AnalysisError(String),
+}
+
+/// Everything the campaign keeps from one executed job.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JobDigest {
+    /// Position in the expanded grid.
+    pub index: usize,
+    /// Set-instance label.
+    pub set_label: String,
+    /// Fault-instance label.
+    pub fault_label: String,
+    /// Treatment name.
+    pub treatment: &'static str,
+    /// Platform label.
+    pub platform: String,
+    /// Termination status.
+    pub status: JobStatus,
+    /// Content hash of the full trace (determinism witness).
+    pub trace_hash: u64,
+    /// Jobs released / completed across all tasks.
+    pub released: usize,
+    /// Jobs completed normally.
+    pub completed: usize,
+    /// Deadline misses.
+    pub missed: usize,
+    /// Jobs stopped by the treatment.
+    pub stopped: usize,
+    /// Detector flags raised.
+    pub faults_flagged: usize,
+    /// Detector timer firings (the §6.2 overhead driver).
+    pub detector_fires: usize,
+    /// Tasks that failed their verdict.
+    pub failed_tasks: Vec<TaskId>,
+    /// Non-faulty tasks that failed anyway.
+    pub collateral: Vec<TaskId>,
+    /// Detection latencies: flag instant − (release + threshold).
+    pub detector_latencies: Vec<Duration>,
+    /// Oracle outcome.
+    pub oracle: OracleOutcome,
+}
+
+/// Per-treatment aggregate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TreatmentTally {
+    /// Jobs run under this treatment.
+    pub jobs: usize,
+    /// Jobs with at least one failed task.
+    pub failed_jobs: usize,
+    /// Total deadline misses.
+    pub misses: usize,
+    /// Total treatment stops.
+    pub stops: usize,
+    /// Jobs with collateral failures.
+    pub collateral_jobs: usize,
+}
+
+/// The aggregated outcome of a campaign run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CampaignReport {
+    /// Campaign label.
+    pub name: String,
+    /// Per-job digests, in grid order.
+    pub jobs: Vec<JobDigest>,
+    /// Jobs that simulated to the horizon.
+    pub ran: usize,
+    /// Jobs rejected as infeasible.
+    pub infeasible: usize,
+    /// Jobs that errored in analysis.
+    pub errors: usize,
+    /// Per-treatment tallies.
+    pub by_treatment: BTreeMap<&'static str, TreatmentTally>,
+    /// Detector-latency distribution across all jobs.
+    pub detector_latency: DurationHistogram,
+    /// Oracle: jobs compared against a bound.
+    pub oracle_checked: usize,
+    /// Oracle: jobs skipped as out-of-allowance.
+    pub oracle_out_of_allowance: usize,
+    /// Oracle: jobs skipped for charged overheads or analysis errors.
+    pub oracle_skipped: usize,
+    /// All bound violations, in grid order.
+    pub violations: Vec<OracleViolation>,
+    /// Wall-clock seconds of the run (not part of [`Self::digest`]).
+    pub wall_seconds: f64,
+    /// Throughput (not part of [`Self::digest`]).
+    pub jobs_per_sec: f64,
+    /// Worker threads used (not part of [`Self::digest`]).
+    pub workers: usize,
+}
+
+/// Bucket width of the detector-latency histogram: 1 ms — the scale of
+/// the paper's measured quantization delays (Figure 4's 1/2/3 ms).
+pub const LATENCY_BUCKET: Duration = Duration::millis(1);
+
+impl CampaignReport {
+    /// Assemble a report from digests (already in grid order).
+    pub fn from_digests(
+        name: String,
+        jobs: Vec<JobDigest>,
+        wall_seconds: f64,
+        workers: usize,
+    ) -> Self {
+        let mut ran = 0;
+        let mut infeasible = 0;
+        let mut errors = 0;
+        let mut by_treatment: BTreeMap<&'static str, TreatmentTally> = BTreeMap::new();
+        let mut detector_latency = DurationHistogram::new(LATENCY_BUCKET);
+        let mut oracle_checked = 0;
+        let mut oracle_out_of_allowance = 0;
+        let mut oracle_skipped = 0;
+        let mut violations = Vec::new();
+        for d in &jobs {
+            match &d.status {
+                JobStatus::Ran => ran += 1,
+                JobStatus::InfeasibleBase => infeasible += 1,
+                JobStatus::AnalysisError(_) => errors += 1,
+            }
+            let tally = by_treatment.entry(d.treatment).or_default();
+            tally.jobs += 1;
+            if !d.failed_tasks.is_empty() {
+                tally.failed_jobs += 1;
+            }
+            tally.misses += d.missed;
+            tally.stops += d.stopped;
+            if !d.collateral.is_empty() {
+                tally.collateral_jobs += 1;
+            }
+            for l in &d.detector_latencies {
+                detector_latency.record(*l);
+            }
+            match &d.oracle {
+                OracleOutcome::NotRun => {}
+                OracleOutcome::Clean { .. } => oracle_checked += 1,
+                OracleOutcome::Skipped(OracleSkip::OutOfAllowance) => oracle_out_of_allowance += 1,
+                OracleOutcome::Skipped(_) => oracle_skipped += 1,
+                OracleOutcome::Violated(v) => {
+                    oracle_checked += 1;
+                    violations.extend(v.iter().cloned());
+                }
+            }
+        }
+        let jobs_per_sec = if wall_seconds > 0.0 {
+            jobs.len() as f64 / wall_seconds
+        } else {
+            f64::INFINITY
+        };
+        CampaignReport {
+            name,
+            jobs,
+            ran,
+            infeasible,
+            errors,
+            by_treatment,
+            detector_latency,
+            oracle_checked,
+            oracle_out_of_allowance,
+            oracle_skipped,
+            violations,
+            wall_seconds,
+            jobs_per_sec,
+            workers,
+        }
+    }
+
+    /// `true` iff the differential oracle found no violation.
+    pub fn oracle_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// A stable FNV-1a digest over every deterministic field — the same
+    /// spec and seeds yield the same digest **regardless of worker
+    /// count**. Wall-clock fields are excluded.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(self.name.as_bytes());
+        for d in &self.jobs {
+            eat(&d.index.to_le_bytes());
+            eat(&d.trace_hash.to_le_bytes());
+            eat(d.set_label.as_bytes());
+            eat(d.fault_label.as_bytes());
+            eat(d.treatment.as_bytes());
+            eat(d.platform.as_bytes());
+            eat(format!("{:?}", d.status).as_bytes());
+            eat(&(d.released as u64).to_le_bytes());
+            eat(&(d.completed as u64).to_le_bytes());
+            eat(&(d.missed as u64).to_le_bytes());
+            eat(&(d.stopped as u64).to_le_bytes());
+            eat(&(d.faults_flagged as u64).to_le_bytes());
+            eat(&(d.detector_fires as u64).to_le_bytes());
+            eat(format!("{:?}", d.failed_tasks).as_bytes());
+            eat(format!("{:?}", d.oracle).as_bytes());
+        }
+        h
+    }
+
+    /// Render the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== campaign `{}` ==", self.name);
+        let _ = writeln!(
+            out,
+            "jobs: {} total, {} ran, {} infeasible, {} errors",
+            self.jobs.len(),
+            self.ran,
+            self.infeasible,
+            self.errors
+        );
+        let _ = writeln!(
+            out,
+            "wall: {:.3}s with {} workers ({:.0} jobs/sec)",
+            self.wall_seconds, self.workers, self.jobs_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "\n{:<22} {:>6} {:>8} {:>8} {:>8} {:>11}",
+            "treatment", "jobs", "failed", "misses", "stops", "collateral"
+        );
+        for (name, t) in &self.by_treatment {
+            let _ = writeln!(
+                out,
+                "{name:<22} {:>6} {:>8} {:>8} {:>8} {:>11}",
+                t.jobs, t.failed_jobs, t.misses, t.stops, t.collateral_jobs
+            );
+        }
+        if self.detector_latency.samples > 0 {
+            let _ = writeln!(
+                out,
+                "\ndetector latency ({} samples, p50 {} p99 {}):",
+                self.detector_latency.samples,
+                self.detector_latency
+                    .quantile(0.5)
+                    .expect("samples present"),
+                self.detector_latency
+                    .quantile(0.99)
+                    .expect("samples present"),
+            );
+            out.push_str(&self.detector_latency.render());
+        }
+        let _ = writeln!(
+            out,
+            "\noracle: {} checked, {} out-of-allowance, {} skipped, {} violations",
+            self.oracle_checked,
+            self.oracle_out_of_allowance,
+            self.oracle_skipped,
+            self.violations.len()
+        );
+        for v in &self.violations {
+            let _ = writeln!(out, "  VIOLATION {v}");
+        }
+        let _ = writeln!(out, "\nreport digest: {:016x}", self.digest());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(index: usize, treatment: &'static str, missed: usize) -> JobDigest {
+        JobDigest {
+            index,
+            set_label: "s".into(),
+            fault_label: "f".into(),
+            treatment,
+            platform: "exact".into(),
+            status: JobStatus::Ran,
+            trace_hash: 7 + index as u64,
+            released: 10,
+            completed: 9,
+            missed,
+            stopped: 0,
+            faults_flagged: 0,
+            detector_fires: 3,
+            failed_tasks: if missed > 0 { vec![TaskId(1)] } else { vec![] },
+            collateral: vec![],
+            detector_latencies: vec![Duration::millis(1)],
+            oracle: OracleOutcome::Clean { checked: 9 },
+        }
+    }
+
+    #[test]
+    fn aggregates_and_digest_are_stable() {
+        let jobs = vec![digest(0, "detect-only", 0), digest(1, "no-detection", 2)];
+        let a = CampaignReport::from_digests("t".into(), jobs.clone(), 1.0, 1);
+        let b = CampaignReport::from_digests("t".into(), jobs, 0.25, 4);
+        assert_eq!(a.digest(), b.digest(), "wall clock must not leak");
+        assert_eq!(a.ran, 2);
+        assert_eq!(a.by_treatment["no-detection"].misses, 2);
+        assert_eq!(a.by_treatment["no-detection"].failed_jobs, 1);
+        assert_eq!(a.oracle_checked, 2);
+        assert_eq!(a.detector_latency.samples, 2);
+        assert!(a.oracle_clean());
+        let text = a.render();
+        assert!(text.contains("campaign `t`"));
+        assert!(text.contains("detect-only"));
+        assert!(text.contains("0 violations"));
+    }
+
+    #[test]
+    fn digest_is_content_sensitive() {
+        let a = CampaignReport::from_digests("t".into(), vec![digest(0, "detect-only", 0)], 1.0, 1);
+        let mut altered = vec![digest(0, "detect-only", 0)];
+        altered[0].trace_hash ^= 1;
+        let b = CampaignReport::from_digests("t".into(), altered, 1.0, 1);
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,950 @@
+//! Declarative campaign descriptions and their grid expansion.
+//!
+//! A [`CampaignSpec`] names *sources* along four axes — task sets, fault
+//! plans, treatments, platform models — and the engine runs their full
+//! cross product. The spec has a line-based file format (see
+//! [`parse_spec`]) designed so that a **repro artifact is itself a spec**:
+//! a violation found by the differential oracle is minimized to a
+//! one-job campaign file that `rtft campaign` replays directly.
+
+use rtft_core::task::{TaskBuilder, TaskId, TaskSet, TaskSpec};
+use rtft_core::time::{Duration, Instant};
+use rtft_ft::treatment::Treatment;
+use rtft_sim::fault::{FaultPlan, RandomFaults};
+use rtft_sim::overhead::Overheads;
+use rtft_sim::stop::{StopMode, StopModel};
+use rtft_sim::timer::TimerModel;
+use rtft_taskgen::parser::parse_duration;
+use rtft_taskgen::{DeadlineKind, GeneratorConfig};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Where the task sets of a campaign come from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SetSource {
+    /// The paper's Table 2 system, τ3 phased into the figure window.
+    Paper,
+    /// An explicit task set (from inline `task` lines of a spec file).
+    Inline(TaskSet),
+    /// UUniFast-generated sets, one per seed in `seeds`.
+    UUniFast {
+        /// Task count.
+        n: usize,
+        /// Target total utilization.
+        utilization: f64,
+        /// Per-task utilization cap (UUniFast-discard).
+        cap: f64,
+        /// Period range, sampled log-uniformly.
+        periods: (Duration, Duration),
+        /// Deadline style.
+        deadlines: DeadlineKind,
+        /// Seed range `[start, end)` — one set per seed.
+        seeds: (u64, u64),
+    },
+}
+
+impl SetSource {
+    /// Materialize every concrete `(label, set)` instance of this source.
+    pub fn instances(&self) -> Vec<(String, TaskSet)> {
+        match self {
+            SetSource::Paper => vec![(
+                "paper".to_string(),
+                rtft_taskgen::paper::table2_figure_window(),
+            )],
+            SetSource::Inline(set) => vec![("inline".to_string(), set.clone())],
+            SetSource::UUniFast {
+                n,
+                utilization,
+                cap,
+                periods,
+                deadlines,
+                seeds,
+            } => {
+                let cfg = GeneratorConfig {
+                    n: *n,
+                    utilization: *utilization,
+                    period_range: *periods,
+                    deadlines: *deadlines,
+                    per_task_cap: *cap,
+                };
+                (seeds.0..seeds.1)
+                    .map(|seed| {
+                        (
+                            format!("uunifast-n{n}-u{utilization}-s{seed}"),
+                            cfg.generate(seed),
+                        )
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Where the fault plans of a campaign come from. Plans are resolved
+/// against each concrete task set.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultSource {
+    /// Fault-free.
+    None,
+    /// The paper's injection: +40 ms on τ1's job released at t = 1000 ms.
+    Paper,
+    /// An explicit plan (from inline `fault` lines of a spec file).
+    Explicit(FaultPlan),
+    /// A single-job overrun sweep: one plan per delta.
+    Single {
+        /// Target task.
+        task: TaskId,
+        /// Target job index.
+        job: u64,
+        /// Overrun magnitudes, one plan each.
+        deltas: Vec<Duration>,
+    },
+    /// Random per-job overruns, one plan per seed.
+    Random {
+        /// Per-job overrun probability.
+        probability: f64,
+        /// Magnitude range (uniform, inclusive).
+        magnitude: (Duration, Duration),
+        /// Plan horizon in jobs per task.
+        jobs_per_task: u64,
+        /// Seed range `[start, end)` — one plan per seed.
+        seeds: (u64, u64),
+    },
+}
+
+impl FaultSource {
+    /// Materialize every `(label, plan)` instance against `set`.
+    pub fn instances(&self, set: &TaskSet) -> Vec<(String, FaultPlan)> {
+        match self {
+            FaultSource::None => vec![("fault-free".to_string(), FaultPlan::none())],
+            FaultSource::Paper => vec![(
+                "paper-fault".to_string(),
+                FaultPlan::none().overrun(
+                    TaskId(1),
+                    rtft_taskgen::paper::FAULTY_JOB_OF_TAU1,
+                    rtft_taskgen::paper::injected_overrun(),
+                ),
+            )],
+            FaultSource::Explicit(plan) => vec![("explicit".to_string(), plan.clone())],
+            FaultSource::Single { task, job, deltas } => deltas
+                .iter()
+                .map(|d| {
+                    (
+                        format!("single-t{}-j{job}-d{d}", task.0),
+                        FaultPlan::none().overrun(*task, *job, *d),
+                    )
+                })
+                .collect(),
+            FaultSource::Random {
+                probability,
+                magnitude,
+                jobs_per_task,
+                seeds,
+            } => {
+                let cfg = RandomFaults {
+                    overrun_probability: *probability,
+                    magnitude: *magnitude,
+                    jobs_per_task: *jobs_per_task,
+                };
+                (seeds.0..seeds.1)
+                    .map(|seed| (format!("random-s{seed}"), cfg.sample(set, seed)))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// One platform model: timer grid × stop mechanics × overhead charges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlatformSpec {
+    /// Timer release-grid model.
+    pub timer: TimerModel,
+    /// Stop-flag poll model.
+    pub stop: StopModel,
+    /// Scheduling-overhead charges.
+    pub overheads: Overheads,
+}
+
+impl PlatformSpec {
+    /// Exact timers, immediate stops, free overheads.
+    pub const EXACT: PlatformSpec = PlatformSpec {
+        timer: TimerModel::EXACT,
+        stop: StopModel::IMMEDIATE,
+        overheads: Overheads::NONE,
+    };
+
+    /// The paper's platform: jRate 10 ms timer grid.
+    pub fn jrate() -> Self {
+        PlatformSpec {
+            timer: TimerModel::jrate(),
+            ..PlatformSpec::EXACT
+        }
+    }
+
+    /// Stable label for reports.
+    pub fn label(&self) -> String {
+        self.render("+", |d| d.to_string())
+    }
+
+    /// The non-default fields as `key=value` tokens joined by `sep` —
+    /// the single field walk behind both the report label and the
+    /// spec-file line (see [`parse_spec`]), so the two can never drift.
+    fn render(&self, sep: &str, fmt: impl Fn(Duration) -> String) -> String {
+        let mut s = match self.timer.quantum {
+            None => "exact".to_string(),
+            Some(q) if q == Duration::millis(10) => "jrate".to_string(),
+            Some(q) => format!("quantum={}", fmt(q)),
+        };
+        for (key, value) in [
+            ("poll", self.stop.poll),
+            ("pollovh", self.stop.poll_overhead),
+            ("dispatch", self.overheads.dispatch),
+            ("detfire", self.overheads.detector_fire),
+        ] {
+            if value.is_positive() {
+                let _ = write!(s, "{sep}{key}={}", fmt(value));
+            }
+        }
+        s
+    }
+}
+
+/// A declarative campaign: the grid is the cross product
+/// `sets × faults × treatments × platforms`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign label used in reports and artifacts.
+    pub name: String,
+    /// Task-set sources.
+    pub sets: Vec<SetSource>,
+    /// Fault-plan sources.
+    pub faults: Vec<FaultSource>,
+    /// Treatments to run.
+    pub treatments: Vec<Treatment>,
+    /// Platform models.
+    pub platforms: Vec<PlatformSpec>,
+    /// Simulation horizon for every job.
+    pub horizon: Instant,
+    /// Run the differential sim-vs-analysis oracle on every job.
+    pub oracle: bool,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            name: "campaign".to_string(),
+            sets: Vec::new(),
+            faults: Vec::new(),
+            treatments: Vec::new(),
+            platforms: Vec::new(),
+            horizon: Instant::from_millis(3000),
+            oracle: true,
+        }
+    }
+}
+
+/// One fully concrete job of the expanded grid.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Position in the expanded grid (stable across runs).
+    pub index: usize,
+    /// Ordinal of the concrete set instance (engine workers key their
+    /// memoized [`rtft_core::analyzer::Analyzer`] sessions on it).
+    pub set_ordinal: usize,
+    /// Label of the set instance.
+    pub set_label: String,
+    /// The task set (shared across the jobs of one instance).
+    pub set: Arc<TaskSet>,
+    /// Label of the fault instance.
+    pub fault_label: String,
+    /// The concrete fault plan.
+    pub faults: FaultPlan,
+    /// Treatment under test.
+    pub treatment: Treatment,
+    /// Platform model.
+    pub platform: PlatformSpec,
+    /// Simulation horizon.
+    pub horizon: Instant,
+}
+
+impl JobSpec {
+    /// Build the harness scenario this job runs.
+    pub fn scenario(&self) -> rtft_ft::harness::Scenario {
+        rtft_ft::harness::Scenario::new(
+            format!(
+                "{}/{}/{}/{}",
+                self.set_label,
+                self.fault_label,
+                self.treatment.name(),
+                self.platform.label()
+            ),
+            (*self.set).clone(),
+            self.faults.clone(),
+            self.treatment,
+            self.horizon,
+        )
+        .with_timer_model(self.platform.timer)
+        .with_stop_model(self.platform.stop)
+        .with_overheads(self.platform.overheads)
+    }
+
+    /// Serialize this job as a standalone one-job campaign spec — the
+    /// repro artifact emitted for oracle violations. Round-trips through
+    /// [`parse_spec`].
+    pub fn repro_spec(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# repro: job {} ({})", self.index, self.set_label);
+        let _ = writeln!(out, "campaign repro-job{}", self.index);
+        let _ = writeln!(
+            out,
+            "horizon {}ns",
+            (self.horizon - Instant::EPOCH).as_nanos()
+        );
+        let _ = writeln!(out, "oracle on");
+        let name_of = |id: TaskId| {
+            self.set
+                .by_id(id)
+                .map_or_else(|| format!("t{}", id.0), |t| t.name.clone())
+        };
+        for t in self.set.tasks() {
+            let _ = write!(
+                out,
+                "task {} {} {}ns {}ns {}ns",
+                t.name,
+                t.priority.0,
+                t.period.as_nanos(),
+                t.deadline.as_nanos(),
+                t.cost.as_nanos()
+            );
+            if !t.offset.is_zero() {
+                let _ = write!(out, " {}ns", t.offset.as_nanos());
+            }
+            out.push('\n');
+        }
+        for (task, job, delta) in self.faults.entries() {
+            let (kind, amount) = if delta.is_negative() {
+                ("underrun", -delta)
+            } else {
+                ("overrun", delta)
+            };
+            let _ = writeln!(
+                out,
+                "fault {} job {job} {kind} {}ns",
+                name_of(task),
+                amount.as_nanos()
+            );
+        }
+        let _ = writeln!(out, "treatment {}", treatment_keyword(self.treatment));
+        let _ = writeln!(out, "platform {}", platform_spec_line(&self.platform));
+        out
+    }
+}
+
+impl CampaignSpec {
+    /// Expand the grid into concrete jobs, in a deterministic order
+    /// (sets outermost, then faults, treatments, platforms — jobs of one
+    /// set instance are contiguous so engine workers can reuse one
+    /// analysis session per instance).
+    ///
+    /// # Errors
+    /// [`SpecError`] when a fault source names a task absent from a set,
+    /// or the spec has an empty axis.
+    pub fn expand(&self) -> Result<Vec<JobSpec>, SpecError> {
+        let fail = |message: String| SpecError { line: 0, message };
+        if self.sets.is_empty() {
+            return Err(fail("campaign has no task-set source".into()));
+        }
+        let faults: Vec<FaultSource> = if self.faults.is_empty() {
+            vec![FaultSource::None]
+        } else {
+            self.faults.clone()
+        };
+        let treatments: Vec<Treatment> = if self.treatments.is_empty() {
+            Treatment::paper_lineup().to_vec()
+        } else {
+            self.treatments.clone()
+        };
+        let platforms: Vec<PlatformSpec> = if self.platforms.is_empty() {
+            vec![PlatformSpec::EXACT]
+        } else {
+            self.platforms.clone()
+        };
+
+        let mut jobs = Vec::new();
+        let mut set_ordinal = 0usize;
+        for source in &self.sets {
+            for (set_label, set) in source.instances() {
+                let set = Arc::new(set);
+                for fsource in &faults {
+                    for (task, job, _) in fsource_targets(fsource) {
+                        if set.by_id(task).is_none() {
+                            return Err(fail(format!(
+                                "fault targets task {task:?} job {job}, absent from set `{set_label}`"
+                            )));
+                        }
+                    }
+                    for (fault_label, plan) in fsource.instances(&set) {
+                        for &treatment in &treatments {
+                            for &platform in &platforms {
+                                jobs.push(JobSpec {
+                                    index: jobs.len(),
+                                    set_ordinal,
+                                    set_label: set_label.clone(),
+                                    set: Arc::clone(&set),
+                                    fault_label: fault_label.clone(),
+                                    faults: plan.clone(),
+                                    treatment,
+                                    platform,
+                                    horizon: self.horizon,
+                                });
+                            }
+                        }
+                    }
+                }
+                set_ordinal += 1;
+            }
+        }
+        Ok(jobs)
+    }
+
+    /// Number of jobs the grid expands to (without materializing sets).
+    pub fn job_count(&self) -> usize {
+        let sets: usize = self
+            .sets
+            .iter()
+            .map(|s| match s {
+                SetSource::UUniFast { seeds, .. } => (seeds.1.saturating_sub(seeds.0)) as usize,
+                _ => 1,
+            })
+            .sum();
+        let faults: usize = if self.faults.is_empty() {
+            1
+        } else {
+            self.faults
+                .iter()
+                .map(|f| match f {
+                    FaultSource::Single { deltas, .. } => deltas.len(),
+                    FaultSource::Random { seeds, .. } => (seeds.1.saturating_sub(seeds.0)) as usize,
+                    _ => 1,
+                })
+                .sum()
+        };
+        let treatments = if self.treatments.is_empty() {
+            Treatment::paper_lineup().len()
+        } else {
+            self.treatments.len()
+        };
+        let platforms = self.platforms.len().max(1);
+        sets * faults * treatments * platforms
+    }
+}
+
+/// Explicit fault targets of a source (for validation against a set).
+fn fsource_targets(source: &FaultSource) -> Vec<(TaskId, u64, Duration)> {
+    match source {
+        FaultSource::Explicit(plan) => plan.entries().collect(),
+        FaultSource::Single { task, job, deltas } => {
+            deltas.iter().map(|d| (*task, *job, *d)).collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// A spec-file problem with its 1-based line number (0 for whole-spec
+/// errors).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpecError {
+    /// Offending line (0 when not tied to a line).
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "campaign spec error: {}", self.message)
+        } else {
+            write!(
+                f,
+                "campaign spec error at line {}: {}",
+                self.line, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn treatment_keyword(t: Treatment) -> &'static str {
+    match t {
+        Treatment::NoDetection => "none",
+        Treatment::DetectOnly => "detect",
+        Treatment::ImmediateStop { .. } => "stop",
+        Treatment::EquitableAllowance { .. } => "equitable",
+        Treatment::SystemAllowance { .. } => "system",
+    }
+}
+
+/// Parse a treatment keyword (`none|detect|stop|equitable|system`), with
+/// the paper's permanent-stop semantics.
+pub fn parse_treatment(name: &str) -> Result<Treatment, String> {
+    Ok(match name {
+        "none" => Treatment::NoDetection,
+        "detect" => Treatment::DetectOnly,
+        "stop" => Treatment::ImmediateStop {
+            mode: StopMode::Permanent,
+        },
+        "equitable" => Treatment::EquitableAllowance {
+            mode: StopMode::Permanent,
+        },
+        "system" => Treatment::SystemAllowance {
+            mode: StopMode::Permanent,
+            policy: rtft_core::allowance::SlackPolicy::ProtectAll,
+        },
+        other => return Err(format!("unknown treatment `{other}`")),
+    })
+}
+
+fn platform_spec_line(p: &PlatformSpec) -> String {
+    p.render(" ", |d| format!("{}ns", d.as_nanos()))
+}
+
+/// Split a `key=value` token.
+fn kv(token: &str) -> Result<(&str, &str), String> {
+    token
+        .split_once('=')
+        .ok_or_else(|| format!("expected key=value, got `{token}`"))
+}
+
+/// Parse `a..b` into a half-open `u64` range.
+fn parse_seed_range(v: &str) -> Result<(u64, u64), String> {
+    let (a, b) = v
+        .split_once("..")
+        .ok_or_else(|| format!("expected <start>..<end>, got `{v}`"))?;
+    let a: u64 = a.parse().map_err(|e| format!("bad range start: {e}"))?;
+    let b: u64 = b.parse().map_err(|e| format!("bad range end: {e}"))?;
+    if b <= a {
+        return Err(format!("empty seed range `{v}`"));
+    }
+    Ok((a, b))
+}
+
+fn parse_duration_range(v: &str) -> Result<(Duration, Duration), String> {
+    let (a, b) = v
+        .split_once("..")
+        .ok_or_else(|| format!("expected <dur>..<dur>, got `{v}`"))?;
+    Ok((parse_duration(a)?, parse_duration(b)?))
+}
+
+/// Parse a campaign spec file.
+///
+/// Line grammar (`#` starts a comment; blank lines ignored):
+///
+/// ```text
+/// campaign <name>
+/// horizon <duration>
+/// oracle on|off
+/// task <name> <priority> <period> <deadline> <cost> [offset]   # inline set
+/// fault <task-name> job <n> overrun|underrun <duration>        # inline plan
+/// taskgen paper
+/// taskgen uunifast n=<int> u=<float> seeds=<a>..<b> [cap=<f>]
+///         [periods=<dur>..<dur>] [deadlines=implicit|constrained|arbitrary]
+/// faults none | paper
+/// faults single task=<id> job=<n> overrun=<dur>[,<dur>...]
+/// faults random p=<float> mag=<dur>..<dur> jobs=<n> seeds=<a>..<b>
+/// treatment none|detect|stop|equitable|system|all
+/// platform exact|jrate|quantum=<dur> [poll=<dur>] [pollovh=<dur>]
+///          [dispatch=<dur>] [detfire=<dur>]
+/// ```
+///
+/// Inline `task` lines form one [`SetSource::Inline`]; inline `fault`
+/// lines form one [`FaultSource::Explicit`]. Omitted axes default to
+/// fault-free / the full paper treatment lineup / the exact platform.
+///
+/// # Errors
+/// [`SpecError`] with the offending line number.
+pub fn parse_spec(text: &str) -> Result<CampaignSpec, SpecError> {
+    let mut spec = CampaignSpec::default();
+    let mut inline_tasks: Vec<TaskSpec> = Vec::new();
+    let mut inline_names: BTreeMap<String, TaskId> = BTreeMap::new();
+    let mut inline_faults: Option<FaultPlan> = None;
+    let mut next_id: u32 = 1;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let words: Vec<&str> = line.split_ascii_whitespace().collect();
+        let err = |message: String| SpecError {
+            line: line_no,
+            message,
+        };
+
+        match words[0] {
+            "campaign" => {
+                spec.name = words[1..].join(" ");
+                if spec.name.is_empty() {
+                    return Err(err("campaign: missing name".into()));
+                }
+            }
+            "horizon" => {
+                let d = words
+                    .get(1)
+                    .ok_or_else(|| err("horizon: missing duration".into()))
+                    .and_then(|w| parse_duration(w).map_err(&err))?;
+                if !d.is_positive() {
+                    return Err(err("horizon must be positive".into()));
+                }
+                spec.horizon = Instant::EPOCH + d;
+            }
+            "oracle" => match words.get(1).copied() {
+                Some("on") => spec.oracle = true,
+                Some("off") => spec.oracle = false,
+                _ => return Err(err("oracle: expected on|off".into())),
+            },
+            "task" => {
+                // task <name> <priority> <period> <deadline> <cost> [offset]
+                if !(6..=7).contains(&words.len()) {
+                    return Err(err(
+                        "expected: task <name> <priority> <period> <deadline> <cost> [offset]"
+                            .into(),
+                    ));
+                }
+                let name = words[1].to_string();
+                if inline_names.contains_key(&name) {
+                    return Err(err(format!("duplicate task name `{name}`")));
+                }
+                let priority: i32 = words[2]
+                    .parse()
+                    .map_err(|e| err(format!("bad priority: {e}")))?;
+                let period = parse_duration(words[3]).map_err(&err)?;
+                let deadline = parse_duration(words[4]).map_err(&err)?;
+                let cost = parse_duration(words[5]).map_err(&err)?;
+                let mut b = TaskBuilder::new(next_id, priority, period, cost)
+                    .name(name.clone())
+                    .deadline(deadline);
+                if words.len() == 7 {
+                    b = b.offset(parse_duration(words[6]).map_err(&err)?);
+                }
+                inline_names.insert(name, TaskId(next_id));
+                next_id += 1;
+                inline_tasks.push(b.build());
+            }
+            "fault" => {
+                // fault <task-name> job <n> overrun|underrun <dur>
+                if words.len() != 6 || words[2] != "job" {
+                    return Err(err(
+                        "expected: fault <task> job <n> overrun|underrun <duration>".into(),
+                    ));
+                }
+                let id = *inline_names
+                    .get(words[1])
+                    .ok_or_else(|| err(format!("unknown task `{}`", words[1])))?;
+                let job: u64 = words[3]
+                    .parse()
+                    .map_err(|e| err(format!("bad job index: {e}")))?;
+                let amount = parse_duration(words[5]).map_err(&err)?;
+                let plan = inline_faults.take().unwrap_or_default();
+                inline_faults = Some(match words[4] {
+                    "overrun" => plan.overrun(id, job, amount),
+                    "underrun" => plan.underrun(id, job, amount),
+                    other => return Err(err(format!("unknown fault kind `{other}`"))),
+                });
+            }
+            "taskgen" => match words.get(1).copied() {
+                Some("paper") => spec.sets.push(SetSource::Paper),
+                Some("uunifast") => {
+                    let mut n = None;
+                    let mut u = None;
+                    let mut cap = 0.9f64;
+                    let mut periods = (Duration::millis(10), Duration::secs(1));
+                    let mut deadlines = DeadlineKind::Implicit;
+                    let mut seeds = None;
+                    for token in &words[2..] {
+                        let (k, v) = kv(token).map_err(&err)?;
+                        match k {
+                            "n" => n = Some(v.parse().map_err(|e| err(format!("bad n: {e}")))?),
+                            "u" => u = Some(v.parse().map_err(|e| err(format!("bad u: {e}")))?),
+                            "cap" => {
+                                cap = v.parse().map_err(|e| err(format!("bad cap: {e}")))?;
+                            }
+                            "periods" => periods = parse_duration_range(v).map_err(&err)?,
+                            "seeds" => seeds = Some(parse_seed_range(v).map_err(&err)?),
+                            "deadlines" => {
+                                deadlines = match v {
+                                    "implicit" => DeadlineKind::Implicit,
+                                    "constrained" => DeadlineKind::Constrained,
+                                    "arbitrary" => DeadlineKind::Arbitrary,
+                                    other => {
+                                        return Err(err(format!("unknown deadline kind `{other}`")))
+                                    }
+                                }
+                            }
+                            other => return Err(err(format!("unknown uunifast key `{other}`"))),
+                        }
+                    }
+                    let n: usize = n.ok_or_else(|| err("uunifast: missing n=".into()))?;
+                    let u: f64 = u.ok_or_else(|| err("uunifast: missing u=".into()))?;
+                    if n == 0 || !(u > 0.0 && u <= n as f64) {
+                        return Err(err("uunifast: need n ≥ 1 and 0 < u ≤ n".into()));
+                    }
+                    spec.sets.push(SetSource::UUniFast {
+                        n,
+                        utilization: u,
+                        cap,
+                        periods,
+                        deadlines,
+                        seeds: seeds.unwrap_or((0, 1)),
+                    });
+                }
+                _ => return Err(err("taskgen: expected paper|uunifast".into())),
+            },
+            "faults" => match words.get(1).copied() {
+                Some("none") => spec.faults.push(FaultSource::None),
+                Some("paper") => spec.faults.push(FaultSource::Paper),
+                Some("single") => {
+                    let mut task = None;
+                    let mut job = 0u64;
+                    let mut deltas = Vec::new();
+                    for token in &words[2..] {
+                        let (k, v) = kv(token).map_err(&err)?;
+                        match k {
+                            "task" => {
+                                task = Some(TaskId(
+                                    v.parse().map_err(|e| err(format!("bad task id: {e}")))?,
+                                ))
+                            }
+                            "job" => {
+                                job = v.parse().map_err(|e| err(format!("bad job: {e}")))?;
+                            }
+                            "overrun" => {
+                                for part in v.split(',') {
+                                    let d = parse_duration(part).map_err(&err)?;
+                                    if !d.is_positive() {
+                                        return Err(err("overrun must be positive".into()));
+                                    }
+                                    deltas.push(d);
+                                }
+                            }
+                            other => return Err(err(format!("unknown single key `{other}`"))),
+                        }
+                    }
+                    let task = task.ok_or_else(|| err("single: missing task=".into()))?;
+                    if deltas.is_empty() {
+                        return Err(err("single: missing overrun=".into()));
+                    }
+                    spec.faults.push(FaultSource::Single { task, job, deltas });
+                }
+                Some("random") => {
+                    let mut probability = None;
+                    let mut magnitude = None;
+                    let mut jobs = None;
+                    let mut seeds = None;
+                    for token in &words[2..] {
+                        let (k, v) = kv(token).map_err(&err)?;
+                        match k {
+                            "p" => {
+                                probability =
+                                    Some(v.parse().map_err(|e| err(format!("bad p: {e}")))?)
+                            }
+                            "mag" => magnitude = Some(parse_duration_range(v).map_err(&err)?),
+                            "jobs" => {
+                                jobs = Some(v.parse().map_err(|e| err(format!("bad jobs: {e}")))?)
+                            }
+                            "seeds" => seeds = Some(parse_seed_range(v).map_err(&err)?),
+                            other => return Err(err(format!("unknown random key `{other}`"))),
+                        }
+                    }
+                    let probability: f64 =
+                        probability.ok_or_else(|| err("random: missing p=".into()))?;
+                    if !(0.0..=1.0).contains(&probability) {
+                        return Err(err("random: p must be in [0, 1]".into()));
+                    }
+                    let magnitude = magnitude.ok_or_else(|| err("random: missing mag=".into()))?;
+                    if !magnitude.0.is_positive() || magnitude.1 < magnitude.0 {
+                        return Err(err("random: bad magnitude range".into()));
+                    }
+                    spec.faults.push(FaultSource::Random {
+                        probability,
+                        magnitude,
+                        jobs_per_task: jobs.ok_or_else(|| err("random: missing jobs=".into()))?,
+                        seeds: seeds.unwrap_or((0, 1)),
+                    });
+                }
+                _ => return Err(err("faults: expected none|paper|single|random".into())),
+            },
+            "treatment" => match words.get(1).copied() {
+                Some("all") => spec.treatments.extend(Treatment::paper_lineup()),
+                Some(name) => spec.treatments.push(parse_treatment(name).map_err(&err)?),
+                None => return Err(err("treatment: missing name".into())),
+            },
+            "platform" => {
+                let mut platform = PlatformSpec::EXACT;
+                for (i, token) in words[1..].iter().enumerate() {
+                    match (i, *token) {
+                        (0, "exact") => {}
+                        (0, "jrate") => platform.timer = TimerModel::jrate(),
+                        _ => {
+                            let (k, v) = kv(token).map_err(&err)?;
+                            let d = parse_duration(v).map_err(&err)?;
+                            if !d.is_positive() {
+                                return Err(err(format!("{k} must be positive")));
+                            }
+                            match k {
+                                "quantum" => platform.timer = TimerModel::quantized(d),
+                                "poll" => platform.stop.poll = d,
+                                "pollovh" => platform.stop.poll_overhead = d,
+                                "dispatch" => platform.overheads.dispatch = d,
+                                "detfire" => platform.overheads.detector_fire = d,
+                                other => {
+                                    return Err(err(format!("unknown platform key `{other}`")))
+                                }
+                            }
+                        }
+                    }
+                }
+                spec.platforms.push(platform);
+            }
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        }
+    }
+
+    if !inline_tasks.is_empty() {
+        let set = TaskSet::new(inline_tasks).map_err(|e| SpecError {
+            line: 0,
+            message: format!("inline task set invalid: {e}"),
+        })?;
+        spec.sets.insert(0, SetSource::Inline(set));
+    }
+    if let Some(plan) = inline_faults {
+        if spec.sets.iter().all(|s| !matches!(s, SetSource::Inline(_))) {
+            return Err(SpecError {
+                line: 0,
+                message: "inline `fault` lines require inline `task` lines".into(),
+            });
+        }
+        spec.faults.insert(0, FaultSource::Explicit(plan));
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "\
+campaign smoke
+horizon 1300ms
+oracle on
+taskgen paper
+faults paper
+treatment all
+platform jrate
+";
+
+    #[test]
+    fn parses_and_expands_the_paper_grid() {
+        let spec = parse_spec(SMALL).unwrap();
+        assert_eq!(spec.name, "smoke");
+        assert_eq!(spec.horizon, Instant::from_millis(1300));
+        assert!(spec.oracle);
+        let jobs = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 5, "one per treatment");
+        assert_eq!(spec.job_count(), 5);
+        assert_eq!(jobs[0].index, 0);
+        assert_eq!(jobs[0].set_label, "paper");
+        assert_eq!(jobs[0].platform, PlatformSpec::jrate());
+    }
+
+    #[test]
+    fn inline_tasks_and_faults_round_trip_via_repro() {
+        let text = "\
+horizon 1300ms
+task tau1 20 200ms 70ms 29ms
+task tau3 16 1500ms 120ms 29ms 1000ms
+fault tau1 job 5 overrun 40ms
+treatment system
+platform jrate poll=1ms
+";
+        let spec = parse_spec(text).unwrap();
+        let jobs = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 1);
+        let repro = jobs[0].repro_spec();
+        let back = parse_spec(&repro).unwrap();
+        let back_jobs = back.expand().unwrap();
+        assert_eq!(back_jobs.len(), 1);
+        assert_eq!(*back_jobs[0].set, *jobs[0].set);
+        assert_eq!(back_jobs[0].faults, jobs[0].faults);
+        assert_eq!(back_jobs[0].treatment, jobs[0].treatment);
+        assert_eq!(back_jobs[0].platform, jobs[0].platform);
+        assert_eq!(back_jobs[0].horizon, jobs[0].horizon);
+    }
+
+    #[test]
+    fn uunifast_and_random_sources_expand_per_seed() {
+        let text = "\
+taskgen uunifast n=4 u=0.6 seeds=0..3 periods=20ms..200ms
+faults random p=0.1 mag=1ms..5ms jobs=16 seeds=0..2
+treatment detect
+platform exact
+";
+        let spec = parse_spec(text).unwrap();
+        let jobs = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 3 * 2);
+        assert_eq!(spec.job_count(), 6);
+        // Jobs of one set instance are contiguous with a shared ordinal.
+        assert_eq!(jobs[0].set_ordinal, jobs[1].set_ordinal);
+        assert_ne!(jobs[1].set_ordinal, jobs[2].set_ordinal);
+        // Deterministic: expanding twice yields the same plans.
+        let again = spec.expand().unwrap();
+        assert_eq!(jobs[3].faults, again[3].faults);
+    }
+
+    #[test]
+    fn defaults_fill_missing_axes() {
+        let spec = parse_spec("taskgen paper\n").unwrap();
+        let jobs = spec.expand().unwrap();
+        // fault-free × full lineup × exact platform.
+        assert_eq!(jobs.len(), 5);
+        assert_eq!(jobs[0].fault_label, "fault-free");
+        assert_eq!(jobs[0].platform, PlatformSpec::EXACT);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (text, needle) in [
+            ("bogus directive\n", "unknown directive"),
+            ("treatment sideways\n", "unknown treatment"),
+            ("taskgen uunifast u=0.5\n", "missing n="),
+            ("faults single job=0 overrun=5ms\n", "missing task="),
+            ("faults random p=2.0 mag=1ms..2ms jobs=4\n", "p must be in"),
+            ("horizon 0ms\n", "positive"),
+            ("oracle maybe\n", "expected on|off"),
+            ("fault tau9 job 0 overrun 5ms\n", "unknown task"),
+        ] {
+            let e = parse_spec(text).unwrap_err();
+            assert!(e.message.contains(needle), "{text}: {e}");
+            assert_eq!(e.line, 1, "{text}");
+        }
+    }
+
+    #[test]
+    fn fault_on_missing_task_is_an_expansion_error() {
+        let spec = parse_spec(
+            "taskgen uunifast n=2 u=0.4 seeds=0..1\nfaults single task=9 job=0 overrun=5ms\n",
+        )
+        .unwrap();
+        let e = spec.expand().unwrap_err();
+        assert!(e.message.contains("absent from set"));
+    }
+
+    #[test]
+    fn empty_spec_is_rejected_at_expansion() {
+        let e = CampaignSpec::default().expand().unwrap_err();
+        assert!(e.message.contains("no task-set source"));
+    }
+}

@@ -10,7 +10,6 @@ use rtft_sim::fault::FaultPlan;
 use rtft_sim::stop::StopMode;
 use rtft_sim::timer::TimerModel;
 use rtft_taskgen::paper;
-use rtft_taskgen::GeneratorConfig;
 use std::fmt::Write as _;
 
 fn ms(v: i64) -> Duration {
@@ -20,38 +19,52 @@ fn ms(v: i64) -> Duration {
 /// EXP-X2 — treatment sweep: which tasks fail as the injected overrun Δ
 /// grows, per treatment. Regenerates the crossovers the paper narrates:
 /// Δ ≤ 33 hurts nobody even untreated; above it, only treatments confine
-/// the damage.
+/// the damage. Runs as one campaign grid (deltas × the full lineup) on
+/// the worker pool.
 pub fn treatment_sweep() -> String {
-    let set = paper::table2_figure_window();
+    use rtft_campaign::prelude::*;
+    let deltas: Vec<i64> = vec![5, 15, 25, 33, 34, 40, 50, 60];
+    let treatments = Treatment::paper_lineup();
+    let spec = CampaignSpec {
+        name: "treatment-sweep".to_string(),
+        sets: vec![SetSource::Paper],
+        faults: vec![FaultSource::Single {
+            task: TaskId(1),
+            job: paper::FAULTY_JOB_OF_TAU1,
+            deltas: deltas.iter().map(|&d| ms(d)).collect(),
+        }],
+        treatments: treatments.to_vec(),
+        platforms: vec![PlatformSpec::jrate()],
+        horizon: Instant::from_millis(1300),
+        oracle: true,
+    };
+    let report = run_campaign(&spec, &RunConfig::default()).expect("grid expands");
+    assert_eq!(report.jobs.len(), deltas.len() * treatments.len());
+
     let mut text = String::new();
     let _ = writeln!(
         text,
         "== EXP-X2: failed tasks vs injected overrun Δ, per treatment ==\n"
     );
-    let deltas: Vec<i64> = vec![5, 15, 25, 33, 34, 40, 50, 60];
     let _ = write!(text, "{:<22}", "Δ (ms) →");
     for d in &deltas {
         let _ = write!(text, "{d:>10}");
     }
     text.push('\n');
-    for treatment in Treatment::paper_lineup() {
+    for (ti, treatment) in treatments.iter().enumerate() {
         let _ = write!(text, "{:<22}", treatment.name());
-        for &d in &deltas {
-            let faults = FaultPlan::none().overrun(TaskId(1), paper::FAULTY_JOB_OF_TAU1, ms(d));
-            let sc = Scenario::new(
-                format!("{}-d{}", treatment.name(), d),
-                set.clone(),
-                faults,
-                treatment,
-                Instant::from_millis(1300),
-            )
-            .with_timer_model(TimerModel::jrate());
-            let out = run_scenario(&sc).expect("feasible base");
-            let failed = out.verdict.failed_tasks();
-            let cell = if failed.is_empty() {
+        for (di, _) in deltas.iter().enumerate() {
+            // Grid order: faults outermost, then treatments (one
+            // platform) — see `CampaignSpec::expand`.
+            let digest = &report.jobs[di * treatments.len() + ti];
+            // A hard assert: the repro binary is a release build, and a
+            // silent axis-order change would publish a scrambled table.
+            assert_eq!(digest.treatment, treatment.name());
+            let cell = if digest.failed_tasks.is_empty() {
                 "-".to_string()
             } else {
-                failed
+                digest
+                    .failed_tasks
                     .iter()
                     .map(|t| format!("{}", t.0))
                     .collect::<Vec<_>>()
@@ -66,15 +79,41 @@ pub fn treatment_sweep() -> String {
         "\n(cells list the failing task ids; '-' = all deadlines met)\n\
          expected shape: without detection τ3 (and for huge Δ also τ2)\n\
          fails once Δ > 33 ms; with any stopping treatment only τ1 ever\n\
-         fails, and it survives Δ up to its granted allowance."
+         fails, and it survives Δ up to its granted allowance.\n\
+         differential oracle: {} jobs checked, {} violations.",
+        report.oracle_checked,
+        report.violations.len()
     );
     text
 }
 
 /// EXP-X1 — detector overhead: number of detector firings (each one
 /// preemption-equivalent, paper §6.2) per hyperperiod as the task count
-/// grows.
+/// grows. One campaign job per task count.
 pub fn detector_overhead() -> String {
+    use rtft_campaign::prelude::*;
+    let counts = [3usize, 8, 16, 32, 64];
+    let spec = CampaignSpec {
+        name: "detector-overhead".to_string(),
+        sets: counts
+            .iter()
+            .map(|&n| SetSource::UUniFast {
+                n,
+                utilization: 0.5,
+                cap: 0.9,
+                periods: (ms(50), ms(500)),
+                deadlines: rtft_taskgen::DeadlineKind::Implicit,
+                seeds: (42, 43),
+            })
+            .collect(),
+        faults: vec![FaultSource::None],
+        treatments: vec![Treatment::DetectOnly],
+        platforms: vec![PlatformSpec::EXACT],
+        horizon: Instant::from_millis(5_000),
+        oracle: true,
+    };
+    let report = run_campaign(&spec, &RunConfig::default()).expect("grid expands");
+
     let mut text = String::new();
     let _ = writeln!(
         text,
@@ -85,35 +124,21 @@ pub fn detector_overhead() -> String {
         "{:>6} {:>12} {:>16} {:>22}",
         "tasks", "horizon", "detector fires", "fires/task/second"
     );
-    for n in [3usize, 8, 16, 32, 64] {
-        let set = GeneratorConfig::new(n)
-            .with_utilization(0.5)
-            .with_periods(ms(50), ms(500))
-            .generate(42);
-        if Analyzer::new(&set).wcrt_all().is_err() {
-            continue;
+    for (&n, digest) in counts.iter().zip(&report.jobs) {
+        match digest.status {
+            JobStatus::Ran => {
+                let fires = digest.detector_fires;
+                let per_task_per_sec = fires as f64 / n as f64 / 5.0;
+                let _ = writeln!(
+                    text,
+                    "{n:>6} {:>12} {fires:>16} {per_task_per_sec:>22.2}",
+                    "5000ms"
+                );
+            }
+            _ => {
+                let _ = writeln!(text, "{n:>6} {:>12} {:>16} {:>22}", "-", "infeasible", "-");
+            }
         }
-        let horizon = Instant::from_millis(5_000);
-        let sc = Scenario::new(
-            format!("overhead-{n}"),
-            set,
-            FaultPlan::none(),
-            Treatment::DetectOnly,
-            horizon,
-        );
-        let Ok(out) = run_scenario(&sc) else {
-            let _ = writeln!(text, "{n:>6} {:>12} {:>16} {:>22}", "-", "infeasible", "-");
-            continue;
-        };
-        let fires = out
-            .log
-            .count(|e| matches!(e.kind, rtft_trace::EventKind::DetectorRelease { .. }));
-        let per_task_per_sec = fires as f64 / n as f64 / 5.0;
-        let _ = writeln!(
-            text,
-            "{n:>6} {:>12} {fires:>16} {per_task_per_sec:>22.2}",
-            "5000ms"
-        );
     }
     let _ = writeln!(
         text,

@@ -8,6 +8,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablation;
+pub mod campaigns;
 pub mod figures;
 pub mod tables;
 
@@ -33,6 +34,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("ablation_stop_model.txt", ablation::stop_model_ablation),
         ("ablation_overheads.txt", ablation::overhead_sensitivity),
         ("ablation_priority.txt", ablation::priority_ablation),
+        ("campaign_oracle.txt", campaigns::oracle_campaign),
     ]
 }
 

@@ -6,6 +6,12 @@
 //! simulator with the configured platform models, and (4) reduces the
 //! trace to verdicts — everything needed to regenerate the paper's
 //! Figures 3–7 and the ablation sweeps.
+//!
+//! [`run_scenario_with`] is the single execution path shared by every
+//! consumer: the `rtft-campaign` batch engine runs each grid job through
+//! it (one memoized [`Analyzer`] session per set instance), and a lone
+//! scenario is just a one-job campaign (`rtft_campaign::run_single`) —
+//! so a paper figure and a million-job sweep exercise identical code.
 
 use crate::detector::FtSupervisor;
 use crate::manager::AllowanceManager;

@@ -1,0 +1,136 @@
+//! Golden-trace snapshots of the paper's Figure 3–7 scenarios.
+//!
+//! The five lineup runs are pinned as full trace-log text under
+//! `tests/golden/` so engine refactors cannot silently shift event
+//! orderings, timings or quantization behaviour. On a legitimate
+//! behaviour change, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p rtft-ft --test golden_traces
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use rtft_core::task::TaskId;
+use rtft_core::time::{Duration, Instant};
+use rtft_ft::harness::run_paper_lineup;
+use rtft_ft::treatment::Treatment;
+use rtft_sim::fault::FaultPlan;
+use rtft_sim::timer::TimerModel;
+
+fn lineup_traces() -> Vec<(String, String)> {
+    let set = rtft_taskgen_paper_system();
+    let faults = FaultPlan::none().overrun(TaskId(1), 5, Duration::millis(40));
+    let outs = run_paper_lineup(
+        &set,
+        &faults,
+        Instant::from_millis(1300),
+        TimerModel::jrate(),
+    )
+    .expect("the paper system is feasible");
+    let figures = ["fig3", "fig4", "fig5", "fig6", "fig7"];
+    assert_eq!(outs.len(), figures.len());
+    assert_eq!(
+        Treatment::paper_lineup().len(),
+        figures.len(),
+        "figures follow the lineup order"
+    );
+    outs.into_iter()
+        .zip(figures)
+        .map(|(out, fig)| (fig.to_string(), rtft_trace::format::to_text(&out.log)))
+        .collect()
+}
+
+/// The Table 2 system with τ3 phased into the figure window (kept local
+/// so a taskgen change cannot silently re-pin these snapshots).
+fn rtft_taskgen_paper_system() -> rtft_core::task::TaskSet {
+    use rtft_core::task::TaskBuilder;
+    let ms = Duration::millis;
+    rtft_core::task::TaskSet::from_specs(vec![
+        TaskBuilder::new(1, 20, ms(200), ms(29))
+            .deadline(ms(70))
+            .build(),
+        TaskBuilder::new(2, 18, ms(250), ms(29))
+            .deadline(ms(120))
+            .build(),
+        TaskBuilder::new(3, 16, ms(1500), ms(29))
+            .deadline(ms(120))
+            .offset(ms(1000))
+            .build(),
+    ])
+}
+
+fn golden_path(fig: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{fig}.trace"))
+}
+
+#[test]
+fn figures_3_to_7_match_their_golden_traces() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut mismatches = Vec::new();
+    for (fig, text) in lineup_traces() {
+        let path = golden_path(&fig);
+        if update {
+            std::fs::create_dir_all(path.parent().expect("has parent")).unwrap();
+            std::fs::write(&path, &text).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+                path.display()
+            )
+        });
+        if text != golden {
+            // Point at the first diverging line — a trace is hundreds of
+            // events and the full diff drowns the signal.
+            let diverge = text
+                .lines()
+                .zip(golden.lines())
+                .position(|(a, b)| a != b)
+                .map_or_else(
+                    || {
+                        format!(
+                            "lengths differ: {} vs {} lines",
+                            text.lines().count(),
+                            golden.lines().count()
+                        )
+                    },
+                    |i| {
+                        format!(
+                            "first divergence at line {}:\n  now:    {}\n  golden: {}",
+                            i + 1,
+                            text.lines().nth(i).unwrap_or(""),
+                            golden.lines().nth(i).unwrap_or("")
+                        )
+                    },
+                );
+            mismatches.push(format!("{fig}: {diverge}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden traces drifted (review, then UPDATE_GOLDEN=1 to re-pin):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn golden_traces_still_encode_the_headline_claims() {
+    // Guard the guard: the pinned texts must contain the famous instants
+    // (trace lines are `<ns> <tag> task <id> job <n>`) so a bad
+    // regeneration cannot pin nonsense.
+    for (fig, needle) in [
+        ("fig3", "1127000000 end task 3 job 0"), // τ3's collateral late finish
+        ("fig5", "1030000000 stop task 1 job 5"), // immediate stop at the quantized WCRT
+        ("fig6", "1040000000 stop task 1 job 5"), // equitable stop at the inflated WCRT
+        ("fig7", "1062000000 stop task 1 job 5"), // system-allowance stop
+    ] {
+        let path = golden_path(fig);
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            assert!(text.contains(needle), "{fig} lost `{needle}`");
+        }
+    }
+}

@@ -34,5 +34,5 @@ pub mod validate;
 pub use chart::{render, ChartConfig};
 pub use event::{EventKind, JobIndex, TraceEvent};
 pub use log::TraceLog;
-pub use stats::{JobRecord, ResponseHistogram, TaskSummary, TraceStats};
+pub use stats::{DurationHistogram, JobRecord, ResponseHistogram, TaskSummary, TraceStats};
 pub use svg::{render_svg, SvgConfig};

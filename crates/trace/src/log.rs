@@ -146,15 +146,40 @@ impl TraceLog {
             .collect()
     }
 
-    /// A stable content hash of the log (FNV-1a over the canonical text
-    /// rendering) — used by determinism tests: same seed ⇒ same hash.
+    /// A stable content hash of the log (FNV-1a over every event's
+    /// fields) — used by determinism tests and the campaign engine's
+    /// per-job digests: same seed ⇒ same hash. Allocation-free: the
+    /// campaign hot path hashes millions of events.
     pub fn content_hash(&self) -> u64 {
+        fn eat_bytes(h: &mut u64, bytes: &[u8]) {
+            for b in bytes {
+                *h ^= u64::from(*b);
+                *h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for e in &self.events {
-            let line = format!("{:?}|{:?}", e.at, e.kind);
-            for b in line.as_bytes() {
-                h ^= u64::from(*b);
-                h = h.wrapping_mul(0x1000_0000_01b3);
+            eat_bytes(&mut h, &e.at.as_nanos().to_le_bytes());
+            // Discriminant: the full per-variant tag (unique strings).
+            eat_bytes(&mut h, e.kind.tag().as_bytes());
+            eat_bytes(
+                &mut h,
+                &e.kind
+                    .task()
+                    .map_or(u64::MAX, |t| u64::from(t.0))
+                    .to_le_bytes(),
+            );
+            eat_bytes(&mut h, &e.kind.job().unwrap_or(u64::MAX).to_le_bytes());
+            // Payload fields outside (task, job) — extend this match
+            // when a new variant carries extra data.
+            match e.kind {
+                EventKind::Preempted { by, .. } => {
+                    eat_bytes(&mut h, &u64::from(by.0).to_le_bytes())
+                }
+                EventKind::AllowanceGranted { amount, .. } => {
+                    eat_bytes(&mut h, &amount.as_nanos().to_le_bytes())
+                }
+                _ => {}
             }
         }
         h

@@ -214,11 +214,11 @@ impl TraceStats {
     }
 }
 
-/// Response-time histogram of one task: bucket counts over `[0, max]`
-/// with fixed-width buckets — the distribution view behind the paper's
-/// "statistical work" on execution costs.
+/// A fixed-bucket histogram of non-negative [`Duration`] samples —
+/// responses, detector latencies, allowance consumptions. Bucket `i`
+/// covers `[i·w, (i+1)·w)`.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct ResponseHistogram {
+pub struct DurationHistogram {
     /// Bucket width.
     pub bucket: Duration,
     /// Counts; bucket `i` covers `[i·w, (i+1)·w)`.
@@ -227,38 +227,49 @@ pub struct ResponseHistogram {
     pub samples: usize,
 }
 
-impl ResponseHistogram {
-    /// Build from the completed jobs of `task` with the given bucket
-    /// width.
+impl DurationHistogram {
+    /// Empty histogram with the given bucket width.
     ///
     /// # Panics
     /// Panics on a non-positive bucket width.
-    pub fn of(stats: &TraceStats, task: TaskId, bucket: Duration) -> Self {
+    pub fn new(bucket: Duration) -> Self {
         assert!(bucket.is_positive(), "bucket width must be positive");
-        let responses: Vec<Duration> = stats
-            .jobs_of(task)
-            .iter()
-            .filter_map(|j| j.response())
-            .collect();
-        let max_bucket = responses
-            .iter()
-            .map(|r| (*r / bucket) as usize)
-            .max()
-            .map_or(0, |m| m + 1);
-        let mut counts = vec![0usize; max_bucket];
-        for r in &responses {
-            counts[(*r / bucket) as usize] += 1;
-        }
-        ResponseHistogram {
+        DurationHistogram {
             bucket,
-            samples: responses.len(),
-            counts,
+            counts: Vec::new(),
+            samples: 0,
         }
     }
 
-    /// The response value at or below which `q` (in `[0,1]`) of the
-    /// samples fall — bucket-resolution quantile, rounded up to the
-    /// bucket's upper edge. `None` with no samples.
+    /// Build from an iterator of samples.
+    ///
+    /// # Panics
+    /// Panics on a non-positive bucket width or a negative sample.
+    pub fn of_samples(samples: impl IntoIterator<Item = Duration>, bucket: Duration) -> Self {
+        let mut h = DurationHistogram::new(bucket);
+        for s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    /// Record one sample.
+    ///
+    /// # Panics
+    /// Panics on a negative sample.
+    pub fn record(&mut self, sample: Duration) {
+        assert!(!sample.is_negative(), "histogram samples must be ≥ 0");
+        let idx = (sample / self.bucket) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.samples += 1;
+    }
+
+    /// The value at or below which `q` (in `[0,1]`) of the samples fall —
+    /// bucket-resolution quantile, rounded up to the bucket's upper edge.
+    /// `None` with no samples.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
         assert!((0.0..=1.0).contains(&q), "quantile in [0,1]");
         if self.samples == 0 {
@@ -295,6 +306,25 @@ impl ResponseHistogram {
             );
         }
         out
+    }
+}
+
+/// Response-time histogram of one task: a [`DurationHistogram`] over the
+/// completed jobs — the distribution view behind the paper's
+/// "statistical work" on execution costs.
+pub type ResponseHistogram = DurationHistogram;
+
+impl ResponseHistogram {
+    /// Build from the completed jobs of `task` with the given bucket
+    /// width.
+    ///
+    /// # Panics
+    /// Panics on a non-positive bucket width.
+    pub fn of(stats: &TraceStats, task: TaskId, bucket: Duration) -> Self {
+        DurationHistogram::of_samples(
+            stats.jobs_of(task).iter().filter_map(|j| j.response()),
+            bucket,
+        )
     }
 }
 

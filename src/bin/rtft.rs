@@ -6,6 +6,7 @@
 //! rtft analyze  <tasks.rtft>                  # admission report + allowances
 //! rtft run      <tasks.rtft> [options]        # execute and chart
 //! rtft chart    <trace.log>  [options]        # re-chart a saved trace
+//! rtft campaign <spec.campaign> [options]     # run a scenario grid
 //!
 //! run options:
 //!   --treatment <none|detect|stop|equitable|system>   (default: system)
@@ -15,6 +16,15 @@
 //!   --jrate                        10 ms timer grid
 //!   --save-trace <file>            write the trace log
 //!   --svg <file>                   write an SVG chart of the window
+//!
+//! campaign options:
+//!   --workers <n>                  worker threads     (default: CPU count)
+//!   --report <file>                also write the report text to a file
+//!   --repro-dir <dir>              write oracle-violation repro specs here
+//!   --no-oracle                    disable the differential oracle
+//!
+//! `run` and `campaign` exit 0 on a clean run, 3 when the differential
+//! oracle found sim-vs-analysis violations (so CI can gate on either).
 //! ```
 
 use rtft::prelude::*;
@@ -26,10 +36,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
+        Some("run") => return exit_on_oracle(cmd_run(&args[1..])),
         Some("chart") => cmd_chart(&args[1..]),
+        Some("campaign") => return exit_on_oracle(run_campaign_cmd(&args[1..])),
         _ => {
-            eprintln!("usage: rtft <analyze|run|chart> <file> [options]");
+            eprintln!("usage: rtft <analyze|run|chart|campaign> <file> [options]");
             return ExitCode::from(2);
         }
     };
@@ -43,6 +54,20 @@ fn main() -> ExitCode {
 }
 
 type CliResult = Result<(), String>;
+
+/// Map an oracle-aware command result to an exit code: 0 clean, 3 on
+/// sim-vs-analysis violations, 1 on errors — same contract for `run`
+/// and `campaign`, so CI can gate on either.
+fn exit_on_oracle(result: Result<bool, String>) -> ExitCode {
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(3),
+        Err(e) => {
+            eprintln!("rtft: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn load_system(path: &str) -> Result<(TaskSet, FaultPlan), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
@@ -103,28 +128,11 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn parse_treatment(name: &str) -> Result<Treatment, String> {
-    Ok(match name {
-        "none" => Treatment::NoDetection,
-        "detect" => Treatment::DetectOnly,
-        "stop" => Treatment::ImmediateStop {
-            mode: StopMode::Permanent,
-        },
-        "equitable" => Treatment::EquitableAllowance {
-            mode: StopMode::Permanent,
-        },
-        "system" => Treatment::SystemAllowance {
-            mode: StopMode::Permanent,
-            policy: SlackPolicy::ProtectAll,
-        },
-        other => return Err(format!("unknown treatment `{other}`")),
-    })
-}
-
-fn cmd_run(args: &[String]) -> CliResult {
+fn cmd_run(args: &[String]) -> Result<bool, String> {
     let path = args.first().ok_or("run: missing task file")?;
     let (set, faults) = load_system(path)?;
-    let treatment = parse_treatment(flag_value(args, "--treatment").unwrap_or("system"))?;
+    let treatment =
+        rtft::campaign::spec::parse_treatment(flag_value(args, "--treatment").unwrap_or("system"))?;
     let horizon = parse_duration(flag_value(args, "--horizon").unwrap_or("3000ms"))?;
     let mut scenario = Scenario::new(
         path.to_string(),
@@ -136,7 +144,9 @@ fn cmd_run(args: &[String]) -> CliResult {
     if args.iter().any(|a| a == "--jrate") {
         scenario = scenario.with_jrate_timers();
     }
-    let out = run_scenario(&scenario).map_err(|e| e.to_string())?;
+    // A single run is a one-job campaign: same execution path, plus the
+    // differential oracle for free.
+    let (out, oracle) = rtft_campaign::run_single(&scenario, true).map_err(|e| e.to_string())?;
 
     let (from, to) = match flag_value(args, "--window") {
         Some(w) => {
@@ -172,7 +182,45 @@ fn cmd_run(args: &[String]) -> CliResult {
             .map_err(|e| format!("write {file}: {e}"))?;
         println!("trace written to {file}");
     }
-    Ok(())
+    for v in oracle.violations() {
+        println!("ORACLE VIOLATION: {v}");
+    }
+    Ok(oracle.violations().is_empty())
+}
+
+fn run_campaign_cmd(args: &[String]) -> Result<bool, String> {
+    let path = args.first().ok_or("campaign: missing spec file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let spec = parse_spec(&text).map_err(|e| e.to_string())?;
+    let mut cfg = RunConfig::default();
+    if let Some(w) = flag_value(args, "--workers") {
+        let w: usize = w.parse().map_err(|e| format!("bad --workers: {e}"))?;
+        if w == 0 {
+            return Err("--workers must be at least 1".into());
+        }
+        cfg = cfg.with_workers(w);
+    }
+    if args.iter().any(|a| a == "--no-oracle") {
+        cfg = cfg.with_oracle(false);
+    }
+    let report = run_campaign(&spec, &cfg).map_err(|e| e.to_string())?;
+    let rendered = report.render();
+    print!("{rendered}");
+    if let Some(file) = flag_value(args, "--report") {
+        std::fs::write(file, &rendered).map_err(|e| format!("write {file}: {e}"))?;
+        println!("report written to {file}");
+    }
+    if let Some(dir) = flag_value(args, "--repro-dir") {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        for v in &report.violations {
+            let file = dir.join(format!("repro-job{}.campaign", v.job_index));
+            std::fs::write(&file, &v.repro)
+                .map_err(|e| format!("write {}: {e}", file.display()))?;
+            println!("repro written to {}", file.display());
+        }
+    }
+    Ok(report.oracle_clean())
 }
 
 fn cmd_chart(args: &[String]) -> CliResult {

@@ -16,6 +16,7 @@
 //! | [`rtsj`] | RTSJ-shaped API (`RealtimeThreadExtended`, `PriorityScheduler`, timers, scoped-memory model) |
 //! | [`trace`] | trace log, file format, statistics, time-series charts |
 //! | [`taskgen`] | the paper's example systems, a task-file parser, UUniFast generators |
+//! | [`campaign`] | parallel scenario-campaign engine with a differential sim-vs-analysis oracle |
 //!
 //! ## Quickstart
 //!
@@ -47,10 +48,44 @@
 //! ).with_jrate_timers()).unwrap();
 //! assert!(outcome.collateral_failures().is_empty());
 //! ```
+//!
+//! ## Running campaigns
+//!
+//! Single scenarios validate the figures; *campaigns* validate the
+//! system. A campaign is a declarative grid — task-set sources × fault
+//! plans × treatments × platform models — expanded into thousands of
+//! jobs and executed on a worker pool, with every job optionally
+//! cross-checked by the differential sim-vs-analysis oracle (observed
+//! responses must stay under the [`core::analyzer::Analyzer`] WCRT
+//! bound whenever the fault plan is within the admitted allowance).
+//! Reports are bit-identical across worker counts; oracle violations
+//! are minimized to replayable one-job spec files.
+//!
+//! ```
+//! use rtft::campaign::prelude::*;
+//!
+//! let spec = parse_spec(
+//!     "campaign sweep\n\
+//!      horizon 1300ms\n\
+//!      taskgen paper\n\
+//!      faults single task=1 job=5 overrun=5ms,11ms,40ms\n\
+//!      treatment all\n\
+//!      platform exact\n\
+//!      platform jrate\n",
+//! ).unwrap();
+//! let report = run_campaign(&spec, &RunConfig::default()).unwrap();
+//! assert_eq!(report.jobs.len(), 3 * 5 * 2);
+//! assert!(report.oracle_clean());
+//! ```
+//!
+//! From the command line: `rtft campaign grid.campaign --workers 8
+//! --repro-dir repros/` (exit code 3 signals oracle violations, so CI
+//! can gate on the differential property).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use rtft_campaign as campaign;
 pub use rtft_core as core;
 pub use rtft_ft as ft;
 pub use rtft_rtsj as rtsj;
@@ -60,6 +95,7 @@ pub use rtft_trace as trace;
 
 /// Everything most programs need.
 pub mod prelude {
+    pub use rtft_campaign::prelude::*;
     pub use rtft_core::prelude::*;
     pub use rtft_ft::prelude::*;
     pub use rtft_sim::prelude::*;

@@ -131,6 +131,119 @@ fn bad_usage_fails_cleanly() {
     assert_eq!(out.status.code(), Some(1));
 }
 
+const CAMPAIGN_SPEC: &str = "\
+campaign cli-smoke
+horizon 1300ms
+oracle on
+taskgen paper
+faults single task=1 job=5 overrun=5ms,40ms
+treatment all
+platform jrate
+";
+
+#[test]
+fn campaign_runs_grid_and_emits_report() {
+    let dir = temp_dir("campaign");
+    let spec = dir.join("grid.campaign");
+    std::fs::write(&spec, CAMPAIGN_SPEC).unwrap();
+    let report_file = dir.join("report.txt");
+    let out = rtft()
+        .args([
+            "campaign",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--report",
+            report_file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("campaign `cli-smoke`"));
+    assert!(stdout.contains("jobs: 10 total, 10 ran"));
+    assert!(stdout.contains("0 violations"));
+    assert!(stdout.contains("report digest:"));
+    // The report file holds the same text.
+    let saved = std::fs::read_to_string(&report_file).unwrap();
+    assert!(saved.contains("campaign `cli-smoke`"));
+    assert!(saved.contains("system-allowance"));
+}
+
+#[test]
+fn campaign_report_digest_is_worker_independent() {
+    let dir = temp_dir("campaign-det");
+    let spec = dir.join("grid.campaign");
+    std::fs::write(&spec, CAMPAIGN_SPEC).unwrap();
+    let digest_of = |workers: &str| {
+        let out = rtft()
+            .args(["campaign", spec.to_str().unwrap(), "--workers", workers])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        stdout
+            .lines()
+            .find(|l| l.starts_with("report digest:"))
+            .expect("digest line")
+            .to_string()
+    };
+    assert_eq!(digest_of("1"), digest_of("4"));
+}
+
+#[test]
+fn campaign_spec_errors_fail_cleanly_with_line_numbers() {
+    let dir = temp_dir("campaign-bad");
+    let spec = dir.join("bad.campaign");
+    std::fs::write(&spec, "taskgen paper\nbogus directive\n").unwrap();
+    let out = rtft()
+        .args(["campaign", spec.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line 2"), "{stderr}");
+    assert!(stderr.contains("unknown directive"), "{stderr}");
+
+    // Bad flag values are also clean failures.
+    std::fs::write(&spec, CAMPAIGN_SPEC).unwrap();
+    let out = rtft()
+        .args(["campaign", spec.to_str().unwrap(), "--workers", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // And a missing spec file.
+    let out = rtft()
+        .args(["campaign", "/nonexistent/grid.campaign"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn campaign_repro_dir_is_created_and_empty_on_a_clean_run() {
+    let dir = temp_dir("campaign-repro");
+    let spec = dir.join("grid.campaign");
+    std::fs::write(&spec, CAMPAIGN_SPEC).unwrap();
+    let repro_dir = dir.join("repros");
+    let out = rtft()
+        .args([
+            "campaign",
+            spec.to_str().unwrap(),
+            "--repro-dir",
+            repro_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "exit 0 = oracle clean");
+    assert!(repro_dir.is_dir());
+    assert_eq!(
+        std::fs::read_dir(&repro_dir).unwrap().count(),
+        0,
+        "a clean oracle writes no repro artifacts"
+    );
+}
+
 #[test]
 fn infeasible_system_reported() {
     let dir = temp_dir("infeasible");
