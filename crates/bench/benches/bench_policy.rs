@@ -1,0 +1,54 @@
+//! Scheduling-policy benchmarks: engine throughput under each dispatch
+//! rule, exercising the index-based ready structure the policy layer
+//! replaced the per-event ready scan with.
+//!
+//! * `policy_engine/<policy>/<n>` — one second of virtual time for a
+//!   random n-task set under fp / edf / npfp (same set per n, so the
+//!   numbers compare dispatch mechanics, not workloads);
+//! * `policy_paper/<policy>` — ten hyperperiods of the paper system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtft_core::policy::PolicyKind;
+use rtft_core::time::{Duration, Instant};
+use rtft_sim::prelude::*;
+use rtft_taskgen::paper;
+use rtft_taskgen::GeneratorConfig;
+use std::hint::black_box;
+
+fn run(set: &rtft_core::task::TaskSet, policy: PolicyKind, horizon: Instant) -> usize {
+    let mut sim = Simulator::new(set.clone(), SimConfig::until(horizon).with_policy(policy));
+    sim.run(&mut NullSupervisor);
+    sim.trace().len()
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_engine");
+    for n in [16usize, 64] {
+        let set = GeneratorConfig::new(n)
+            .with_utilization(0.6)
+            .with_periods(Duration::millis(5), Duration::millis(100))
+            .generate(7);
+        for policy in PolicyKind::ALL {
+            let events = run(&set, policy, Instant::from_millis(1_000));
+            group.throughput(Throughput::Elements(events as u64));
+            group.bench_with_input(BenchmarkId::new(policy.label(), n), &set, |b, set| {
+                b.iter(|| run(black_box(set), policy, Instant::from_millis(1_000)))
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("policy_paper");
+    let set = paper::table2();
+    for policy in PolicyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &set,
+            |b, set| b.iter(|| run(black_box(set), policy, Instant::from_millis(30_000))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy);
+criterion_main!(benches);

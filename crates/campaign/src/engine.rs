@@ -15,7 +15,7 @@
 use crate::oracle::{self, OracleOutcome};
 use crate::report::{CampaignReport, JobDigest, JobStatus};
 use crate::spec::{CampaignSpec, JobSpec, SpecError};
-use rtft_core::analyzer::Analyzer;
+use rtft_core::analyzer::{Analyzer, AnalyzerBuilder};
 use rtft_ft::harness::{run_scenario_with, HarnessError, ScenarioOutcome};
 use rtft_trace::EventKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -136,11 +136,14 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &RunConfig) -> Result<CampaignRepo
 }
 
 /// Execute one job and reduce it to a digest. `session` carries the
-/// worker's memoized analysis keyed by set ordinal.
+/// worker's memoized analysis keyed by `(set instance, policy)` ordinal.
 fn run_job(job: &JobSpec, oracle: bool, session: &mut Option<(usize, Analyzer)>) -> JobDigest {
     let fresh = !matches!(session, Some((ordinal, _)) if *ordinal == job.set_ordinal);
     if fresh {
-        *session = Some((job.set_ordinal, Analyzer::new(&job.set)));
+        let analyzer = AnalyzerBuilder::new(&job.set)
+            .sched_policy(job.policy)
+            .build();
+        *session = Some((job.set_ordinal, analyzer));
     }
     let analyzer = &mut session.as_mut().expect("session just installed").1;
 
@@ -197,6 +200,7 @@ fn digest_outcome(job: &JobSpec, outcome: &ScenarioOutcome, oracle: OracleOutcom
     JobDigest {
         index: job.index,
         set_label: job.set_label.clone(),
+        policy: job.policy.label(),
         fault_label: job.fault_label.clone(),
         treatment: job.treatment.name(),
         platform: job.platform.label(),
@@ -219,6 +223,7 @@ fn empty_digest(job: &JobSpec, status: JobStatus) -> JobDigest {
     JobDigest {
         index: job.index,
         set_label: job.set_label.clone(),
+        policy: job.policy.label(),
         fault_label: job.fault_label.clone(),
         treatment: job.treatment.name(),
         platform: job.platform.label(),
@@ -244,7 +249,9 @@ pub fn run_single(
     sc: &rtft_ft::harness::Scenario,
     oracle: bool,
 ) -> Result<(ScenarioOutcome, OracleOutcome), HarnessError> {
-    let mut analyzer = Analyzer::new(&sc.set);
+    let mut analyzer = AnalyzerBuilder::new(&sc.set)
+        .sched_policy(sc.policy)
+        .build();
     let outcome = run_scenario_with(sc, &mut analyzer)?;
     let oracle_outcome = if oracle {
         let job = JobSpec {
@@ -252,6 +259,7 @@ pub fn run_single(
             set_ordinal: 0,
             set_label: sc.name.clone(),
             set: std::sync::Arc::new(sc.set.clone()),
+            policy: sc.policy,
             fault_label: "explicit".to_string(),
             faults: sc.faults.clone(),
             treatment: sc.treatment,

@@ -3,7 +3,8 @@
 //! The paper validates its claims one scenario at a time; the ROADMAP
 //! wants millions. This crate turns the scenario harness into a batch
 //! instrument: a declarative [`CampaignSpec`] names task-set sources,
-//! fault-plan sources, treatments and platform models, the engine
+//! scheduling policies (fp / edf / npfp), fault-plan sources,
+//! treatments and platform models, the engine
 //! expands their cross product into jobs, fans the jobs out over a
 //! `std::thread` chunked worker pool, and reduces every job to a compact
 //! digest aggregated into a [`CampaignReport`] — miss rates, verdict

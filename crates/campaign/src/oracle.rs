@@ -24,13 +24,24 @@
 //!   remaining work), so stop mechanics never break the bound.
 //!
 //! The oracle is therefore **not applicable** only when the platform
-//! charges scheduling overheads ([`Overheads`]) — those add demand the
+//! charges scheduling overheads ([`rtft_sim::overhead::Overheads`]) —
+//! those add demand the
 //! analysis does not model — and **not certifying** when `Δmax > A`
 //! (there the detectors, not the bound, are the specified behaviour:
 //! see `crates/sim/tests/differential_oracle.rs`).
+//!
+//! The certificate follows the job's scheduling policy (the session is
+//! built for it): under the fixed-priority policies the bound is the
+//! (Δmax-inflated) WCRT — with the lower-priority blocking term for
+//! non-preemptive dispatch — while under EDF the demand test certifies
+//! nothing tighter than "done by the deadline", so the bound *is* the
+//! relative deadline: the equitable-allowance search admitted exactly
+//! the Δmax inflation, hence the inflated system is demand-feasible and
+//! every completed job must respond within `D_i`.
 
 use crate::spec::JobSpec;
 use rtft_core::analyzer::Analyzer;
+use rtft_core::policy::PolicyKind;
 use rtft_core::task::TaskId;
 use rtft_core::time::Duration;
 use rtft_ft::harness::ScenarioOutcome;
@@ -132,13 +143,14 @@ pub fn check(job: &JobSpec, outcome: &ScenarioOutcome, session: &mut Analyzer) -
     let dmax = max_overrun(&job.faults);
 
     let bounds = if dmax.is_zero() {
-        // Fault-free (or pure under-runs): the plain WCRTs bound every
-        // response; the harness already computed them.
+        // Fault-free (or pure under-runs): the harness's baseline
+        // thresholds bound every response (WCRTs for the FP policies,
+        // deadlines for EDF).
         outcome.analysis.wcrt.clone()
     } else {
-        // In-allowance check: Δmax must be admitted by the equitable
-        // allowance; the bound is the WCRT with all costs inflated by
-        // Δmax.
+        // In-allowance check: Δmax must be admitted by the (policy-
+        // aware) equitable allowance; the bound is then the threshold
+        // vector of the Δmax-inflated system.
         let allowance = match session.equitable_allowance() {
             Ok(Some(eq)) => eq.allowance,
             Ok(None) => return OracleOutcome::Skipped(OracleSkip::OutOfAllowance),
@@ -147,12 +159,19 @@ pub fn check(job: &JobSpec, outcome: &ScenarioOutcome, session: &mut Analyzer) -
         if dmax > allowance {
             return OracleOutcome::Skipped(OracleSkip::OutOfAllowance);
         }
-        session.inflate_all(dmax);
-        let inflated = session.wcrt_all();
-        session.reset_costs();
-        match inflated {
-            Ok(w) => w,
-            Err(e) => return OracleOutcome::Skipped(OracleSkip::Analysis(e.to_string())),
+        if job.policy == PolicyKind::Edf {
+            // Deadlines do not move under inflation; admitting Δmax
+            // means the inflated system stays demand-feasible, so the
+            // baseline deadline bounds keep holding.
+            outcome.analysis.wcrt.clone()
+        } else {
+            session.inflate_all(dmax);
+            let inflated = session.policy_thresholds();
+            session.reset_costs();
+            match inflated {
+                Ok(w) => w,
+                Err(e) => return OracleOutcome::Skipped(OracleSkip::Analysis(e.to_string())),
+            }
         }
     };
 

@@ -33,6 +33,8 @@ pub struct JobDigest {
     pub index: usize,
     /// Set-instance label.
     pub set_label: String,
+    /// Scheduling-policy label (`fp`, `edf`, `npfp`).
+    pub policy: &'static str,
     /// Fault-instance label.
     pub fault_label: String,
     /// Treatment name.
@@ -208,6 +210,7 @@ impl CampaignReport {
             eat(&d.index.to_le_bytes());
             eat(&d.trace_hash.to_le_bytes());
             eat(d.set_label.as_bytes());
+            eat(d.policy.as_bytes());
             eat(d.fault_label.as_bytes());
             eat(d.treatment.as_bytes());
             eat(d.platform.as_bytes());
@@ -291,6 +294,7 @@ mod tests {
         JobDigest {
             index,
             set_label: "s".into(),
+            policy: "fp",
             fault_label: "f".into(),
             treatment,
             platform: "exact".into(),

@@ -1,12 +1,14 @@
 //! Declarative campaign descriptions and their grid expansion.
 //!
-//! A [`CampaignSpec`] names *sources* along four axes — task sets, fault
-//! plans, treatments, platform models — and the engine runs their full
-//! cross product. The spec has a line-based file format (see
-//! [`parse_spec`]) designed so that a **repro artifact is itself a spec**:
-//! a violation found by the differential oracle is minimized to a
-//! one-job campaign file that `rtft campaign` replays directly.
+//! A [`CampaignSpec`] names *sources* along five axes — task sets,
+//! scheduling policies, fault plans, treatments, platform models — and
+//! the engine runs their full cross product. The spec has a line-based
+//! file format (see [`parse_spec`]) designed so that a **repro artifact
+//! is itself a spec**: a violation found by the differential oracle is
+//! minimized to a one-job campaign file that `rtft campaign` replays
+//! directly.
 
+use rtft_core::policy::PolicyKind;
 use rtft_core::task::{TaskBuilder, TaskId, TaskSet, TaskSpec};
 use rtft_core::time::{Duration, Instant};
 use rtft_ft::treatment::Treatment;
@@ -211,13 +213,15 @@ impl PlatformSpec {
 }
 
 /// A declarative campaign: the grid is the cross product
-/// `sets × faults × treatments × platforms`.
+/// `sets × policies × faults × treatments × platforms`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CampaignSpec {
     /// Campaign label used in reports and artifacts.
     pub name: String,
     /// Task-set sources.
     pub sets: Vec<SetSource>,
+    /// Scheduling policies (empty = fixed priority only).
+    pub policies: Vec<PolicyKind>,
     /// Fault-plan sources.
     pub faults: Vec<FaultSource>,
     /// Treatments to run.
@@ -235,6 +239,7 @@ impl Default for CampaignSpec {
         CampaignSpec {
             name: "campaign".to_string(),
             sets: Vec::new(),
+            policies: Vec::new(),
             faults: Vec::new(),
             treatments: Vec::new(),
             platforms: Vec::new(),
@@ -249,13 +254,17 @@ impl Default for CampaignSpec {
 pub struct JobSpec {
     /// Position in the expanded grid (stable across runs).
     pub index: usize,
-    /// Ordinal of the concrete set instance (engine workers key their
-    /// memoized [`rtft_core::analyzer::Analyzer`] sessions on it).
+    /// Ordinal of the concrete `(set instance, policy)` pair — engine
+    /// workers key their memoized
+    /// [`rtft_core::analyzer::Analyzer`] sessions on it (a session is
+    /// built for one policy over one set).
     pub set_ordinal: usize,
     /// Label of the set instance.
     pub set_label: String,
     /// The task set (shared across the jobs of one instance).
     pub set: Arc<TaskSet>,
+    /// Scheduling policy this job runs (and is analysed) under.
+    pub policy: PolicyKind,
     /// Label of the fault instance.
     pub fault_label: String,
     /// The concrete fault plan.
@@ -273,8 +282,9 @@ impl JobSpec {
     pub fn scenario(&self) -> rtft_ft::harness::Scenario {
         rtft_ft::harness::Scenario::new(
             format!(
-                "{}/{}/{}/{}",
+                "{}/{}/{}/{}/{}",
                 self.set_label,
+                self.policy.label(),
                 self.fault_label,
                 self.treatment.name(),
                 self.platform.label()
@@ -287,6 +297,7 @@ impl JobSpec {
         .with_timer_model(self.platform.timer)
         .with_stop_model(self.platform.stop)
         .with_overheads(self.platform.overheads)
+        .with_policy(self.policy)
     }
 
     /// Serialize this job as a standalone one-job campaign spec — the
@@ -335,6 +346,7 @@ impl JobSpec {
                 amount.as_nanos()
             );
         }
+        let _ = writeln!(out, "policy {}", self.policy.label());
         let _ = writeln!(out, "treatment {}", treatment_keyword(self.treatment));
         let _ = writeln!(out, "platform {}", platform_spec_line(&self.platform));
         out
@@ -343,9 +355,9 @@ impl JobSpec {
 
 impl CampaignSpec {
     /// Expand the grid into concrete jobs, in a deterministic order
-    /// (sets outermost, then faults, treatments, platforms — jobs of one
-    /// set instance are contiguous so engine workers can reuse one
-    /// analysis session per instance).
+    /// (sets outermost, then policies, faults, treatments, platforms —
+    /// jobs of one `(set instance, policy)` pair are contiguous so
+    /// engine workers can reuse one analysis session per pair).
     ///
     /// # Errors
     /// [`SpecError`] when a fault source names a task absent from a set,
@@ -355,6 +367,11 @@ impl CampaignSpec {
         if self.sets.is_empty() {
             return Err(fail("campaign has no task-set source".into()));
         }
+        let policies: Vec<PolicyKind> = if self.policies.is_empty() {
+            vec![PolicyKind::FixedPriority]
+        } else {
+            self.policies.clone()
+        };
         let faults: Vec<FaultSource> = if self.faults.is_empty() {
             vec![FaultSource::None]
         } else {
@@ -376,6 +393,8 @@ impl CampaignSpec {
         for source in &self.sets {
             for (set_label, set) in source.instances() {
                 let set = Arc::new(set);
+                // Fault targets are policy-independent: validate once
+                // per set instance, not once per policy.
                 for fsource in &faults {
                     for (task, job, _) in fsource_targets(fsource) {
                         if set.by_id(task).is_none() {
@@ -384,25 +403,30 @@ impl CampaignSpec {
                             )));
                         }
                     }
-                    for (fault_label, plan) in fsource.instances(&set) {
-                        for &treatment in &treatments {
-                            for &platform in &platforms {
-                                jobs.push(JobSpec {
-                                    index: jobs.len(),
-                                    set_ordinal,
-                                    set_label: set_label.clone(),
-                                    set: Arc::clone(&set),
-                                    fault_label: fault_label.clone(),
-                                    faults: plan.clone(),
-                                    treatment,
-                                    platform,
-                                    horizon: self.horizon,
-                                });
+                }
+                for &policy in &policies {
+                    for fsource in &faults {
+                        for (fault_label, plan) in fsource.instances(&set) {
+                            for &treatment in &treatments {
+                                for &platform in &platforms {
+                                    jobs.push(JobSpec {
+                                        index: jobs.len(),
+                                        set_ordinal,
+                                        set_label: set_label.clone(),
+                                        set: Arc::clone(&set),
+                                        policy,
+                                        fault_label: fault_label.clone(),
+                                        faults: plan.clone(),
+                                        treatment,
+                                        platform,
+                                        horizon: self.horizon,
+                                    });
+                                }
                             }
                         }
                     }
+                    set_ordinal += 1;
                 }
-                set_ordinal += 1;
             }
         }
         Ok(jobs)
@@ -436,7 +460,8 @@ impl CampaignSpec {
             self.treatments.len()
         };
         let platforms = self.platforms.len().max(1);
-        sets * faults * treatments * platforms
+        let policies = self.policies.len().max(1);
+        sets * policies * faults * treatments * platforms
     }
 }
 
@@ -554,14 +579,21 @@ fn parse_duration_range(v: &str) -> Result<(Duration, Duration), String> {
 /// faults none | paper
 /// faults single task=<id> job=<n> overrun=<dur>[,<dur>...]
 /// faults random p=<float> mag=<dur>..<dur> jobs=<n> seeds=<a>..<b>
+/// policy fp|edf|npfp... | all       # scheduling policies (grid axis)
 /// treatment none|detect|stop|equitable|system|all
 /// platform exact|jrate|quantum=<dur> [poll=<dur>] [pollovh=<dur>]
 ///          [dispatch=<dur>] [detfire=<dur>]
 /// ```
 ///
+/// A `policy` line lists one or more dispatch rules (`policy fp edf
+/// npfp` and `policy all` are equivalent); each expands the grid by one
+/// job per listed policy — analysis, detector thresholds and the
+/// differential oracle all follow the policy.
+///
 /// Inline `task` lines form one [`SetSource::Inline`]; inline `fault`
 /// lines form one [`FaultSource::Explicit`]. Omitted axes default to
-/// fault-free / the full paper treatment lineup / the exact platform.
+/// fault-free / fixed-priority dispatch / the full paper treatment
+/// lineup / the exact platform.
 ///
 /// # Errors
 /// [`SpecError`] with the offending line number.
@@ -777,6 +809,18 @@ pub fn parse_spec(text: &str) -> Result<CampaignSpec, SpecError> {
                 }
                 _ => return Err(err("faults: expected none|paper|single|random".into())),
             },
+            "policy" => {
+                if words.len() < 2 {
+                    return Err(err("policy: expected fp|edf|npfp|all".into()));
+                }
+                for word in &words[1..] {
+                    if *word == "all" {
+                        spec.policies.extend(PolicyKind::ALL);
+                    } else {
+                        spec.policies.push(word.parse().map_err(&err)?);
+                    }
+                }
+            }
             "treatment" => match words.get(1).copied() {
                 Some("all") => spec.treatments.extend(Treatment::paper_lineup()),
                 Some(name) => spec.treatments.push(parse_treatment(name).map_err(&err)?),
@@ -882,6 +926,54 @@ platform jrate poll=1ms
         assert_eq!(back_jobs[0].treatment, jobs[0].treatment);
         assert_eq!(back_jobs[0].platform, jobs[0].platform);
         assert_eq!(back_jobs[0].horizon, jobs[0].horizon);
+        assert_eq!(back_jobs[0].policy, jobs[0].policy);
+    }
+
+    #[test]
+    fn policy_axis_expands_the_grid() {
+        let text = "\
+taskgen paper
+policy fp edf
+policy npfp
+treatment detect
+platform exact
+";
+        let spec = parse_spec(text).unwrap();
+        assert_eq!(
+            spec.policies,
+            vec![
+                PolicyKind::FixedPriority,
+                PolicyKind::Edf,
+                PolicyKind::NonPreemptiveFp
+            ]
+        );
+        let jobs = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(spec.job_count(), 3);
+        // Jobs of one (set, policy) pair get their own session ordinal.
+        assert_eq!(jobs[0].policy, PolicyKind::FixedPriority);
+        assert_eq!(jobs[2].policy, PolicyKind::NonPreemptiveFp);
+        assert_ne!(jobs[0].set_ordinal, jobs[1].set_ordinal);
+        // `policy all` is the same axis.
+        let all = parse_spec("taskgen paper\npolicy all\ntreatment detect\n").unwrap();
+        assert_eq!(all.policies, PolicyKind::ALL.to_vec());
+        // A non-FP job's repro names its policy and round-trips.
+        let edf_job = &jobs[1];
+        assert_eq!(edf_job.policy, PolicyKind::Edf);
+        let back = parse_spec(&edf_job.repro_spec()).unwrap();
+        assert_eq!(back.policies, vec![PolicyKind::Edf]);
+    }
+
+    #[test]
+    fn bad_policy_lines_error_with_line_numbers() {
+        for (text, needle) in [
+            ("policy sideways\n", "unknown policy"),
+            ("policy\n", "expected fp|edf|npfp|all"),
+        ] {
+            let e = parse_spec(text).unwrap_err();
+            assert!(e.message.contains(needle), "{text}: {e}");
+            assert_eq!(e.line, 1);
+        }
     }
 
     #[test]

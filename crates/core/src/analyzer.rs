@@ -58,6 +58,7 @@ use crate::blocking::ResourceModel;
 use crate::error::AnalysisError;
 use crate::feasibility::{Admission, AdmissionError, FeasibilityReport, TaskFeasibility};
 use crate::jitter::JitterModel;
+use crate::policy::PolicyKind;
 use crate::response::{TaskResponse, DEFAULT_ITERATION_LIMIT};
 use crate::sensitivity::UnderrunReclaim;
 use crate::server::{polling_server_task, ServerParams};
@@ -77,6 +78,7 @@ pub struct AnalyzerBuilder {
     blocking: Vec<Duration>,
     jitter: Option<Vec<Duration>>,
     policy: SlackPolicy,
+    sched: PolicyKind,
     iteration_limit: u64,
     warm_start: bool,
 }
@@ -89,10 +91,29 @@ impl AnalyzerBuilder {
             blocking: vec![Duration::ZERO; set.len()],
             jitter: None,
             policy: SlackPolicy::default(),
+            sched: PolicyKind::FixedPriority,
             iteration_limit: DEFAULT_ITERATION_LIMIT,
             warm_start: true,
             set: set.clone(),
         }
+    }
+
+    /// Analyse under a scheduling policy other than the default
+    /// preemptive fixed priority:
+    ///
+    /// * [`PolicyKind::Edf`] — feasibility and allowance searches use
+    ///   the processor-demand test of [`crate::edf`]; the WCRT queries
+    ///   remain the fixed-priority reference numbers. The demand test
+    ///   models neither blocking terms nor release jitter, so
+    ///   [`AnalyzerBuilder::build`] rejects an EDF session combined
+    ///   with either option rather than certify unsoundly;
+    /// * [`PolicyKind::NonPreemptiveFp`] — every response-time query
+    ///   adds the non-preemption blocking term `max_{j ∈ lp(i)} C_j` to
+    ///   `B_i`, a sufficient (conservative) bound on the
+    ///   run-to-completion dispatcher.
+    pub fn sched_policy(mut self, kind: PolicyKind) -> Self {
+        self.sched = kind;
+        self
     }
 
     /// Analyse under a release-jitter model (Audsley's recurrence; see
@@ -182,15 +203,33 @@ impl AnalyzerBuilder {
     }
 
     /// Finish building.
+    ///
+    /// # Panics
+    /// Panics when an EDF session is combined with blocking terms or a
+    /// jitter model — the processor-demand test does not model either,
+    /// and silently dropping them would turn the feasibility
+    /// certificate unsound.
     pub fn build(self) -> Analyzer {
+        if self.sched == PolicyKind::Edf {
+            assert!(
+                self.blocking.iter().all(|b| b.is_zero()),
+                "EDF analysis does not model blocking terms"
+            );
+            assert!(
+                self.jitter.is_none(),
+                "EDF analysis does not model release jitter"
+            );
+        }
         let n = self.set.len();
         Analyzer {
             hp: (0..n).map(|r| self.set.hp_ranks(r)).collect(),
+            lp: (0..n).map(|r| self.set.lp_ranks(r)).collect(),
             costs: self.set.tasks().iter().map(|t| t.cost).collect(),
             set: self.set,
             blocking: self.blocking,
             jitter: self.jitter,
             policy: self.policy,
+            sched: self.sched,
             iteration_limit: self.iteration_limit,
             warm_start: self.warm_start,
             cache: vec![TaskCache::default(); n],
@@ -234,12 +273,16 @@ pub struct Analyzer {
     set: TaskSet,
     /// `hp_ranks(r)` for every rank, precomputed once per set.
     hp: Vec<Vec<usize>>,
+    /// `lp_ranks(r)` for every rank (the non-preemptive blocking set).
+    lp: Vec<Vec<usize>>,
     /// Effective costs (start at the declared ones; perturbable).
     costs: Vec<Duration>,
     blocking: Vec<Duration>,
     /// Per-rank release jitter when a jitter model is installed.
     jitter: Option<Vec<Duration>>,
     policy: SlackPolicy,
+    /// Dispatch rule the session analyses for.
+    sched: PolicyKind,
     iteration_limit: u64,
     warm_start: bool,
     cache: Vec<TaskCache>,
@@ -251,6 +294,17 @@ impl Analyzer {
     /// Plain session over `set`: declared costs, no jitter, no blocking.
     pub fn new(set: &TaskSet) -> Self {
         AnalyzerBuilder::new(set).build()
+    }
+
+    /// Plain session over `set` analysed for `kind` (see
+    /// [`AnalyzerBuilder::sched_policy`]).
+    pub fn for_policy(set: &TaskSet, kind: PolicyKind) -> Self {
+        AnalyzerBuilder::new(set).sched_policy(kind).build()
+    }
+
+    /// Scheduling policy the session was built for.
+    pub fn sched_policy(&self) -> PolicyKind {
+        self.sched
     }
 
     /// The task set under analysis.
@@ -466,6 +520,7 @@ impl Analyzer {
     ) -> Analyzer {
         let mut next = AnalyzerBuilder::new(&new_set)
             .slack_policy(self.policy)
+            .sched_policy(self.sched)
             .iteration_limit(self.iteration_limit)
             .warm_start(self.warm_start)
             .build();
@@ -483,7 +538,12 @@ impl Analyzer {
             if let (Some(jn), Some(jo)) = (jitter_next.as_mut(), self.jitter.as_ref()) {
                 jn[new_rank] = jo[old_rank];
             }
-            if spec.priority > cut {
+            // Non-preemptive blocking makes every task's analysis read
+            // every cost, so full results never survive a set change
+            // there; the seeds still bound from below when the change
+            // only grew interference.
+            let np = self.sched == PolicyKind::NonPreemptiveFp;
+            if spec.priority > cut && !np {
                 next.cache[new_rank] = self.cache[old_rank].clone();
             } else if grew && self.warm_start {
                 next.cache[new_rank].seeds = self.cache[old_rank].seeds.clone();
@@ -500,6 +560,7 @@ impl Analyzer {
     fn rebuilt_for(&self, new_set: TaskSet) -> Analyzer {
         let mut next = AnalyzerBuilder::new(&new_set)
             .slack_policy(self.policy)
+            .sched_policy(self.sched)
             .iteration_limit(self.iteration_limit)
             .warm_start(self.warm_start)
             .build();
@@ -554,7 +615,9 @@ impl Analyzer {
         (
             spec.period,
             self.costs[rank],
-            self.blocking[rank],
+            // The *effective* term, so the non-preemptive lp-blocking
+            // contribution participates in cache-salvage comparisons.
+            self.effective_blocking(&self.costs, rank),
             self.jitter.as_ref().map_or(Duration::ZERO, |v| v[rank]),
             hp,
         )
@@ -565,8 +628,12 @@ impl Analyzer {
     /// seeds survive (they still bound the new fixed point from below).
     fn invalidate_dependents_of(&mut self, rank: usize, increased: bool) {
         let p = self.set.by_rank(rank).priority;
+        // Non-preemptive blocking flows *upward* (a lower-priority cost
+        // enters every higher task's B_i), so under that policy every
+        // task depends on every cost.
+        let np = self.sched == PolicyKind::NonPreemptiveFp;
         for j in 0..self.set.len() {
-            let affected = j == rank || self.set.by_rank(j).priority <= p;
+            let affected = np || j == rank || self.set.by_rank(j).priority <= p;
             if !affected {
                 continue;
             }
@@ -586,6 +653,21 @@ impl Analyzer {
     // (`crate::response::engine`) — warm seeds are the only addition.
     // ------------------------------------------------------------------
 
+    /// Blocking term entering `rank`'s recurrence under `costs`: the
+    /// configured `B_i`, plus — for the non-preemptive policy — the
+    /// largest lower-priority cost (a lower-priority job holding the
+    /// CPU at the critical instant runs to completion).
+    fn effective_blocking(&self, costs: &[Duration], rank: usize) -> Duration {
+        let mut b = self.blocking[rank];
+        if self.sched == PolicyKind::NonPreemptiveFp {
+            b += self.lp[rank]
+                .iter()
+                .map(|&j| costs[j])
+                .fold(Duration::ZERO, Duration::max);
+        }
+        b
+    }
+
     /// Busy-period analysis of `rank` under `costs`, warm-started from
     /// `seeds` (which must bound the solution from below, per job).
     /// Identical to `ResponseAnalysis::analyze` in results — both call
@@ -596,14 +678,30 @@ impl Analyzer {
         rank: usize,
         seeds: &[Duration],
     ) -> Result<TaskResponse, AnalysisError> {
+        self.solve_bounded(costs, rank, seeds, None)
+    }
+
+    /// [`Analyzer::solve`] with an early-abort response bound — the
+    /// feasibility probes pass the deadline, so an infeasible probe
+    /// stops at the first blown job instead of unrolling a busy period
+    /// that the boundary inflation (and non-preemptive blocking) can
+    /// stretch to millions of jobs.
+    fn solve_bounded(
+        &self,
+        costs: &[Duration],
+        rank: usize,
+        seeds: &[Duration],
+        abort_above: Option<Duration>,
+    ) -> Result<TaskResponse, AnalysisError> {
         let seeds = if self.warm_start { seeds } else { &[] };
-        crate::response::engine::solve_busy_period(
+        crate::response::engine::solve_busy_period_bounded(
             &self.set,
             costs,
-            self.blocking[rank],
+            self.effective_blocking(costs, rank),
             &self.hp[rank],
             rank,
             seeds,
+            abort_above,
             self.iteration_limit,
         )
     }
@@ -643,9 +741,35 @@ impl Analyzer {
         (0..self.set.len()).map(|rank| self.wcrt(rank)).collect()
     }
 
+    /// EDF processor-demand feasibility of `costs` (see [`crate::edf`]);
+    /// `skip` exempts one task's deadlines from the requirement.
+    fn edf_feasible_under(&self, costs: &[Duration], skip: Option<usize>) -> bool {
+        crate::edf::feasible(&self.set, costs, skip, self.iteration_limit)
+    }
+
+    /// Per-task detection thresholds under the session's scheduling
+    /// policy: the memoized WCRTs for the fixed-priority policies
+    /// (non-preemptive sessions include the blocking term), the
+    /// relative deadlines for EDF — under EDF a feasible system
+    /// guarantees nothing tighter than "done by the deadline", so the
+    /// deadline *is* the detection threshold (a job past it has
+    /// necessarily suffered a fault).
+    pub fn policy_thresholds(&mut self) -> Result<Vec<Duration>, AnalysisError> {
+        match self.sched {
+            PolicyKind::Edf => Ok((0..self.set.len())
+                .map(|r| self.set.by_rank(r).deadline)
+                .collect()),
+            _ => self.wcrt_all(),
+        }
+    }
+
     /// `true` iff every task meets its deadline under the current
-    /// effective parameters (a diverging task counts as a miss).
+    /// effective parameters and the session's scheduling policy (a
+    /// diverging task counts as a miss).
     pub fn is_feasible(&mut self) -> Result<bool, AnalysisError> {
+        if self.sched == PolicyKind::Edf {
+            return Ok(self.edf_feasible_under(&self.costs, None));
+        }
         for rank in 0..self.set.len() {
             match self.wcrt(rank) {
                 Ok(w) => {
@@ -666,7 +790,7 @@ impl Analyzer {
         crate::response::engine::busy_period_length(
             &self.set,
             &self.costs,
-            self.blocking[rank],
+            self.effective_blocking(&self.costs, rank),
             &self.hp[rank],
             rank,
             self.iteration_limit,
@@ -685,6 +809,27 @@ impl Analyzer {
                 utilization,
                 overloaded: true,
                 per_task: Vec::new(),
+            });
+        }
+        if self.sched == PolicyKind::Edf {
+            // The demand test is a whole-set verdict: report it on every
+            // task (there is no per-task WCRT under EDF).
+            let ok = self.edf_feasible_under(&self.costs, None);
+            let per_task = self
+                .set
+                .tasks()
+                .iter()
+                .map(|t| TaskFeasibility {
+                    task: t.id,
+                    wcrt: None,
+                    deadline: t.deadline,
+                    feasible: ok,
+                })
+                .collect();
+            return Ok(FeasibilityReport {
+                utilization,
+                overloaded: false,
+                per_task,
             });
         }
         let mut per_task = Vec::with_capacity(self.set.len());
@@ -738,7 +883,7 @@ impl Analyzer {
         let r = crate::jitter::engine::jitter_wcrt(
             &self.set,
             &self.costs,
-            self.blocking[rank],
+            self.effective_blocking(&self.costs, rank),
             jitter,
             &self.hp[rank],
             rank,
@@ -792,9 +937,10 @@ impl Analyzer {
                 continue;
             }
             let warm: &[Duration] = seeds.get(rank).map_or(&[], |s| s.as_slice());
-            match self.solve(costs, rank, warm) {
+            let deadline = self.set.by_rank(rank).deadline;
+            match self.solve_bounded(costs, rank, warm, Some(deadline)) {
                 Ok(r) => {
-                    if r.wcrt > self.set.by_rank(rank).deadline {
+                    if r.wcrt > deadline {
                         return Ok(false);
                     }
                     fresh.push(r.jobs.iter().map(|j| j.completion).collect());
@@ -856,6 +1002,11 @@ impl Analyzer {
         if let Some(cached) = &self.eq_cache {
             return Ok(cached.clone());
         }
+        if self.sched == PolicyKind::Edf {
+            let eq = self.edf_equitable_allowance();
+            self.eq_cache = Some(eq.clone());
+            return Ok(eq);
+        }
         let base_wcrt = match self.wcrt_all() {
             Ok(w) => w,
             Err(AnalysisError::Divergent { .. }) => {
@@ -896,6 +1047,58 @@ impl Analyzer {
         Ok(Some(eq))
     }
 
+    /// Equitable allowance under EDF: the largest uniform cost
+    /// increment keeping the set demand-feasible. The thresholds
+    /// (`inflated_wcrt`/`base_wcrt`) are the relative deadlines — the
+    /// only per-task guarantee EDF feasibility provides (see
+    /// [`Analyzer::policy_thresholds`]).
+    fn edf_equitable_allowance(&self) -> Option<EquitableAllowance> {
+        let base = self.costs.clone();
+        if !self.edf_feasible_under(&base, None) {
+            return None;
+        }
+        let hi = (0..self.set.len())
+            .map(|r| self.set.by_rank(r).deadline - self.costs[r])
+            .fold(Duration::MAX, Duration::min)
+            .max(Duration::ZERO);
+        let costs_at =
+            |delta: Duration| -> Vec<Duration> { base.iter().map(|&c| c + delta).collect() };
+        let allowance = self.edf_max_delta(hi, costs_at, None);
+        let deadlines: Vec<Duration> = (0..self.set.len())
+            .map(|r| self.set.by_rank(r).deadline)
+            .collect();
+        Some(EquitableAllowance {
+            allowance,
+            inflated_wcrt: deadlines.clone(),
+            base_wcrt: deadlines,
+        })
+    }
+
+    /// Largest `delta` in `[0, hi]` whose cost vector passes the EDF
+    /// demand test (the base, `delta = 0`, must already pass). Same
+    /// probe sequence as [`Analyzer::max_feasible_delta`].
+    fn edf_max_delta(
+        &self,
+        hi: Duration,
+        mut costs_at: impl FnMut(Duration) -> Vec<Duration>,
+        skip: Option<usize>,
+    ) -> Duration {
+        if self.edf_feasible_under(&costs_at(hi), skip) {
+            return hi;
+        }
+        let mut lo = Duration::ZERO;
+        let mut hi = hi;
+        while hi - lo > Duration::NANO {
+            let mid = lo + (hi - lo) / 2;
+            if self.edf_feasible_under(&costs_at(mid), skip) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
     /// Largest overrun the task at `rank` can make alone under `policy`
     /// (the paper's §4.3 `M_i`), warm-started. Equivalent to the legacy
     /// `allowance::max_single_overrun`.
@@ -916,6 +1119,12 @@ impl Analyzer {
             c[rank] += delta;
             c
         };
+        if self.sched == PolicyKind::Edf {
+            if !self.edf_feasible_under(&self.costs, skip) {
+                return Ok(None);
+            }
+            return Ok(Some(self.edf_max_delta(hi, costs_at, skip)));
+        }
         Ok(self
             .max_feasible_delta(hi, costs_at, skip, self.session_seeds())?
             .map(|(delta, _)| delta))
@@ -938,7 +1147,11 @@ impl Analyzer {
                 return Ok(cached.clone());
             }
         }
-        let base_wcrt = match self.wcrt_all() {
+        // Policy thresholds, not raw FP WCRTs: an EDF session must not
+        // run (or fail on) the fixed-priority fixed point here — its
+        // baseline is the deadline vector, consistent with
+        // `equitable_allowance` and `policy_thresholds`.
+        let base_wcrt = match self.policy_thresholds() {
             Ok(w) => w,
             Err(AnalysisError::Divergent { .. }) => {
                 self.sys_cache = Some((policy, None));
@@ -946,6 +1159,10 @@ impl Analyzer {
             }
             Err(e) => return Err(e),
         };
+        if self.sched == PolicyKind::Edf && !self.edf_feasible_under(&self.costs, None) {
+            self.sys_cache = Some((policy, None));
+            return Ok(None);
+        }
         let mut max_overrun = Vec::with_capacity(self.set.len());
         for rank in 0..self.set.len() {
             match self.max_single_overrun_with(rank, policy)? {
@@ -1008,8 +1225,10 @@ impl Analyzer {
         // `f = 1` reproduces the current effective costs, so the
         // session's memoized solutions are valid seeds from the start.
         let mut seeds: Vec<Vec<Duration>> = self.session_seeds();
+        let edf = self.sched == PolicyKind::Edf;
         let feasible = |s: &mut Vec<Vec<Duration>>, f: f64| -> Result<bool, AnalysisError> {
             match costs_at(f) {
+                Some(costs) if edf => Ok(self.edf_feasible_under(&costs, None)),
                 Some(costs) => self.feasible_under(&costs, s, None),
                 None => Ok(false),
             }
@@ -1379,6 +1598,107 @@ mod tests {
             a.analyze(2),
             Err(AnalysisError::IterationLimit { limit: 1, .. })
         ));
+    }
+
+    #[test]
+    fn edf_session_admits_what_fp_rejects() {
+        // U = 1.0, non-harmonic: RM misses (R2 = 7 > 6), EDF is exact.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 2, ms(4), ms(2)).build(),
+            TaskBuilder::new(2, 1, ms(6), ms(3)).build(),
+        ]);
+        let mut fp = Analyzer::new(&set);
+        assert!(!fp.is_feasible().unwrap());
+        let mut edf = Analyzer::for_policy(&set, PolicyKind::Edf);
+        assert_eq!(edf.sched_policy(), PolicyKind::Edf);
+        assert!(edf.is_feasible().unwrap());
+        assert!(edf.report().unwrap().is_feasible());
+        // Thresholds under EDF are the relative deadlines.
+        assert_eq!(edf.policy_thresholds().unwrap(), vec![ms(4), ms(6)]);
+        // Zero slack at U = 1: no allowance to hand out.
+        assert_eq!(
+            edf.equitable_allowance().unwrap().unwrap().allowance,
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn edf_allowances_on_the_paper_set() {
+        let mut a = Analyzer::for_policy(&table2(), PolicyKind::Edf);
+        // h(120) = 3(29 + A) ≤ 120 binds: A = 11 ms, like FP.
+        let eq = a.equitable_allowance().unwrap().unwrap();
+        assert_eq!(eq.allowance, ms(11));
+        assert_eq!(eq.inflated_wcrt, vec![ms(70), ms(120), ms(120)]);
+        // Single-task slack: 3·29 + M ≤ 120 → M = 33 ms for every task
+        // (τ1 is additionally capped by D1 − C1 = 41, not binding).
+        let sa = a
+            .system_allowance_with(SlackPolicy::ProtectAll)
+            .unwrap()
+            .unwrap();
+        assert_eq!(sa.max_overrun, vec![ms(33), ms(33), ms(33)]);
+        // Perturbation invalidates the memo like the FP paths do.
+        a.inflate_all(ms(12));
+        assert!(!a.is_feasible().unwrap());
+        a.reset_costs();
+        assert!(a.is_feasible().unwrap());
+        assert_eq!(a.equitable_allowance().unwrap().unwrap().allowance, ms(11));
+    }
+
+    #[test]
+    fn edf_system_allowance_never_runs_the_fp_fixed_point() {
+        // The U = 1.0 set FP rejects: an EDF session's system allowance
+        // must report the policy baseline (deadlines), not FP WCRTs —
+        // and must not fail just because the FP analysis would.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 2, ms(4), ms(2)).build(),
+            TaskBuilder::new(2, 1, ms(6), ms(3)).build(),
+        ]);
+        let mut edf = Analyzer::for_policy(&set, PolicyKind::Edf);
+        let sa = edf
+            .system_allowance_with(SlackPolicy::ProtectAll)
+            .unwrap()
+            .unwrap();
+        assert_eq!(sa.base_wcrt, vec![ms(4), ms(6)], "deadlines, not FP WCRTs");
+        assert_eq!(sa.max_overrun, vec![Duration::ZERO, Duration::ZERO]);
+    }
+
+    #[test]
+    #[should_panic(expected = "EDF analysis does not model blocking")]
+    fn edf_rejects_blocking_terms() {
+        let _ = AnalyzerBuilder::new(&table2())
+            .blocking_terms(vec![ms(1), ms(0), ms(0)])
+            .sched_policy(PolicyKind::Edf)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "EDF analysis does not model release jitter")]
+    fn edf_rejects_jitter_models() {
+        let set = table2();
+        let jm = crate::jitter::JitterModel::per_task(&set, vec![ms(1), ms(0), ms(0)]);
+        let _ = AnalyzerBuilder::new(&set)
+            .jitter(&jm)
+            .sched_policy(PolicyKind::Edf)
+            .build();
+    }
+
+    #[test]
+    fn non_preemptive_session_adds_lp_blocking() {
+        let set = table2();
+        let mut np = Analyzer::for_policy(&set, PolicyKind::NonPreemptiveFp);
+        // Each task is blocked by the longest lower-priority cost
+        // (29 ms); τ3 has no lower-priority tasks.
+        assert_eq!(np.wcrt_all().unwrap(), vec![ms(58), ms(87), ms(87)]);
+        assert!(np.is_feasible().unwrap());
+        // R1 = 2(29 + A) ≤ 70 now binds the equitable allowance: A = 6.
+        let eq = np.equitable_allowance().unwrap().unwrap();
+        assert_eq!(eq.allowance, ms(6));
+        // Raising a *lower-priority* cost must invalidate τ1's memo
+        // (blocking flows upward under non-preemption).
+        np.set_cost(2, ms(41));
+        assert_eq!(np.wcrt(0).unwrap(), ms(70));
+        np.set_cost(2, ms(42));
+        assert!(!np.is_feasible().unwrap());
     }
 
     #[test]

@@ -99,22 +99,41 @@ impl Admission {
 /// Stateful admission controller: the working implementation of the RTSJ
 /// `addToFeasibility` / `removeFromFeasibility` contract, also used by the
 /// dynamic-system extension (paper §7) to re-admit at run time.
+///
+/// The feasibility gate follows the controller's scheduling policy
+/// (fixed-priority preemptive by default; see
+/// [`crate::policy::PolicyKind`]).
 #[derive(Clone, Debug, Default)]
 pub struct AdmissionController {
     tasks: Vec<TaskSpec>,
+    policy: crate::policy::PolicyKind,
 }
 
 impl AdmissionController {
-    /// Empty controller.
+    /// Empty controller under fixed-priority dispatch.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty controller whose gate analyses for `policy`.
+    pub fn with_policy(policy: crate::policy::PolicyKind) -> Self {
+        AdmissionController {
+            tasks: Vec::new(),
+            policy,
+        }
     }
 
     /// Controller pre-loaded with an existing set.
     pub fn with_set(set: &TaskSet) -> Self {
         AdmissionController {
             tasks: set.tasks().to_vec(),
+            policy: crate::policy::PolicyKind::FixedPriority,
         }
+    }
+
+    /// The scheduling policy the gate analyses for.
+    pub fn policy(&self) -> crate::policy::PolicyKind {
+        self.policy
     }
 
     /// Number of admitted tasks.
@@ -142,7 +161,7 @@ impl AdmissionController {
         let mut candidate = self.tasks.clone();
         candidate.push(spec);
         let set = TaskSet::new(candidate).map_err(AdmissionError::Model)?;
-        let report = crate::analyzer::Analyzer::new(&set)
+        let report = crate::analyzer::Analyzer::for_policy(&set, self.policy)
             .report()
             .map_err(AdmissionError::Analysis)?;
         if report.is_feasible() {
@@ -208,7 +227,7 @@ impl AdmissionController {
     /// re-querying this controller per change.
     pub fn session(&self) -> Result<crate::analyzer::Analyzer, AdmissionError> {
         let set = TaskSet::new(self.tasks.clone()).map_err(AdmissionError::Model)?;
-        Ok(crate::analyzer::Analyzer::new(&set))
+        Ok(crate::analyzer::Analyzer::for_policy(&set, self.policy))
     }
 }
 

@@ -84,9 +84,11 @@
 pub mod allowance;
 pub mod analyzer;
 pub mod blocking;
+pub mod edf;
 pub mod error;
 pub mod feasibility;
 pub mod jitter;
+pub mod policy;
 pub mod priority;
 pub mod response;
 pub mod sensitivity;
@@ -101,6 +103,7 @@ pub mod prelude {
     pub use crate::analyzer::{Analyzer, AnalyzerBuilder};
     pub use crate::error::{AnalysisError, ModelError};
     pub use crate::feasibility::{Admission, AdmissionController, FeasibilityReport};
+    pub use crate::policy::PolicyKind;
     pub use crate::response::{analyze, wcrt, wcrt_all, ResponseAnalysis, TaskResponse};
     pub use crate::task::{Priority, TaskBuilder, TaskId, TaskSet, TaskSpec};
     pub use crate::time::{Duration, Instant};

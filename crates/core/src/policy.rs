@@ -1,0 +1,105 @@
+//! The scheduling-policy axis shared by every layer of the workspace.
+//!
+//! The paper states its fault-tolerance mechanisms on top of a
+//! fixed-priority preemptive scheduler, but nothing in the
+//! detector/treatment layer requires FP: the dispatch rule is just
+//! another axis of a scenario, like the task source or the fault plan.
+//! [`PolicyKind`] names that axis once, here in the analysis crate, so
+//! the analyzer (`rtft_core::analyzer`), the simulator
+//! (`rtft_sim::policy`), the harness, the campaign grid and the CLI all
+//! speak the same vocabulary:
+//!
+//! * [`PolicyKind::FixedPriority`] — preemptive fixed priority, the
+//!   paper's platform; certified by exact response-time analysis;
+//! * [`PolicyKind::Edf`] — preemptive earliest-deadline-first (absolute
+//!   deadlines, ties by task id); certified by the processor-demand
+//!   test of [`crate::edf`];
+//! * [`PolicyKind::NonPreemptiveFp`] — fixed priority without
+//!   preemption; certified by response-time analysis with a
+//!   lower-priority blocking term.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which dispatch rule a scenario runs (and is analysed) under.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum PolicyKind {
+    /// Preemptive fixed priority — the paper's scheduler and the
+    /// default everywhere.
+    #[default]
+    FixedPriority,
+    /// Preemptive earliest-deadline-first: the job with the earliest
+    /// absolute deadline runs; ties broken by task id; equal deadlines
+    /// never preempt each other (FIFO among equals).
+    Edf,
+    /// Non-preemptive fixed priority: dispatch picks the
+    /// highest-priority ready task, but a dispatched job runs to
+    /// completion.
+    NonPreemptiveFp,
+}
+
+impl PolicyKind {
+    /// Every policy, in the stable grid-expansion order used by
+    /// campaign specs (`policy all`).
+    pub const ALL: [PolicyKind; 3] = [
+        PolicyKind::FixedPriority,
+        PolicyKind::Edf,
+        PolicyKind::NonPreemptiveFp,
+    ];
+
+    /// Short stable label (spec files, report columns, bench ids).
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::FixedPriority => "fp",
+            PolicyKind::Edf => "edf",
+            PolicyKind::NonPreemptiveFp => "npfp",
+        }
+    }
+
+    /// `true` iff a release can take the CPU from a running job.
+    pub fn is_preemptive(self) -> bool {
+        !matches!(self, PolicyKind::NonPreemptiveFp)
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for PolicyKind {
+    type Err = String;
+
+    /// Parse a policy keyword: `fp` (aliases `fixed`, `fixed-priority`),
+    /// `edf`, `npfp` (alias `non-preemptive`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "fp" | "fixed" | "fixed-priority" => PolicyKind::FixedPriority,
+            "edf" => PolicyKind::Edf,
+            "npfp" | "non-preemptive" => PolicyKind::NonPreemptiveFp,
+            other => return Err(format!("unknown policy `{other}` (expected fp|edf|npfp)")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.label().parse::<PolicyKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert!("sideways".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn default_is_the_paper_scheduler() {
+        assert_eq!(PolicyKind::default(), PolicyKind::FixedPriority);
+        assert!(PolicyKind::FixedPriority.is_preemptive());
+        assert!(!PolicyKind::NonPreemptiveFp.is_preemptive());
+    }
+}

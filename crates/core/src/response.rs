@@ -86,7 +86,10 @@ pub(crate) mod engine {
 
     /// Least fixed point of `W_q` for job `q` of `rank`, iterating from
     /// `seed` (any value at or below the fixed point is a valid start —
-    /// `W_q` is monotone).
+    /// `W_q` is monotone). When `abort_above` is set and an iterate
+    /// exceeds it, that iterate is returned immediately: it is a lower
+    /// bound on the true fixed point, which is all a deadline test
+    /// needs.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn fixed_point(
         set: &TaskSet,
@@ -96,6 +99,7 @@ pub(crate) mod engine {
         rank: usize,
         q: u64,
         seed: Duration,
+        abort_above: Option<Duration>,
         budget: &mut u64,
         limit: u64,
     ) -> Result<Duration, AnalysisError> {
@@ -103,6 +107,9 @@ pub(crate) mod engine {
         let base = costs[rank].saturating_mul(q as i64 + 1) + blocking_i;
         let mut r = seed.max(base);
         loop {
+            if abort_above.is_some_and(|cap| r > cap) {
+                return Ok(r);
+            }
             if *budget == 0 {
                 return Err(AnalysisError::IterationLimit {
                     task: task.id,
@@ -136,6 +143,29 @@ pub(crate) mod engine {
         seeds: &[Duration],
         limit: u64,
     ) -> Result<TaskResponse, AnalysisError> {
+        solve_busy_period_bounded(set, costs, blocking_i, hp, rank, seeds, None, limit)
+    }
+
+    /// [`solve_busy_period`] with an early-abort bound for feasibility
+    /// probes: as soon as some job's *response* provably exceeds
+    /// `abort_above`, a truncated solution with `wcrt > abort_above` is
+    /// returned instead of unrolling the rest of the busy period. Near
+    /// the feasibility boundary (the allowance searches probe exactly
+    /// there, and non-preemptive blocking inflates busy periods
+    /// further) this turns a multi-million-job unroll into a handful of
+    /// iterations. Feasible outcomes are never truncated, so any
+    /// solution with `wcrt ≤ abort_above` is the exact one.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn solve_busy_period_bounded(
+        set: &TaskSet,
+        costs: &[Duration],
+        blocking_i: Duration,
+        hp: &[usize],
+        rank: usize,
+        seeds: &[Duration],
+        abort_above: Option<Duration>,
+        limit: u64,
+    ) -> Result<TaskResponse, AnalysisError> {
         let task = set.by_rank(rank);
         if level_utilization(set, costs, hp, rank) > 1.0 {
             return Err(AnalysisError::Divergent { task: task.id });
@@ -149,6 +179,9 @@ pub(crate) mod engine {
         loop {
             let warm = seeds.get(q as usize).copied().unwrap_or(Duration::ZERO);
             let seed = prev_completion.max(warm);
+            // Translate the response cap into this job's completion cap.
+            let abort_completion =
+                abort_above.map(|cap| cap.saturating_add(task.period.saturating_mul(q as i64)));
             let completion = fixed_point(
                 set,
                 costs,
@@ -157,6 +190,7 @@ pub(crate) mod engine {
                 rank,
                 q,
                 seed,
+                abort_completion,
                 &mut budget,
                 limit,
             )?;
@@ -169,6 +203,9 @@ pub(crate) mod engine {
             if response > wcrt {
                 wcrt = response;
                 worst_job = q;
+            }
+            if abort_above.is_some_and(|cap| response > cap) {
+                break; // infeasible for the caller's test: stop unrolling
             }
             // Busy period closes at the first job finishing within its own
             // period window.
@@ -391,6 +428,7 @@ pub fn wcrt_constrained(set: &TaskSet, rank: usize) -> Result<Duration, Analysis
         rank,
         0,
         Duration::ZERO,
+        None,
         &mut budget,
         DEFAULT_ITERATION_LIMIT,
     )

@@ -28,6 +28,7 @@ pub fn treatment_sweep() -> String {
     let spec = CampaignSpec {
         name: "treatment-sweep".to_string(),
         sets: vec![SetSource::Paper],
+        policies: Vec::new(),
         faults: vec![FaultSource::Single {
             task: TaskId(1),
             job: paper::FAULTY_JOB_OF_TAU1,
@@ -106,6 +107,7 @@ pub fn detector_overhead() -> String {
                 seeds: (42, 43),
             })
             .collect(),
+        policies: Vec::new(),
         faults: vec![FaultSource::None],
         treatments: vec![Treatment::DetectOnly],
         platforms: vec![PlatformSpec::EXACT],

@@ -13,9 +13,10 @@
 
 use crate::harness::{run_scenario_with, HarnessError, Scenario, ScenarioOutcome};
 use crate::treatment::Treatment;
-use rtft_core::analyzer::Analyzer;
+use rtft_core::analyzer::{Analyzer, AnalyzerBuilder};
 use rtft_core::error::ModelError;
 use rtft_core::feasibility::{Admission, AdmissionError};
+use rtft_core::policy::PolicyKind;
 use rtft_core::task::{TaskId, TaskSet, TaskSpec};
 use rtft_core::time::{Duration, Instant};
 use rtft_sim::fault::FaultPlan;
@@ -33,23 +34,43 @@ pub struct DetectorPlan {
 }
 
 /// An online system: admission control plus detector re-planning, backed
-/// by one persistent [`Analyzer`] session.
+/// by one persistent [`Analyzer`] session built for a scheduling policy.
 #[derive(Clone, Debug, Default)]
 pub struct DynamicSystem {
     session: Option<Analyzer>,
+    policy: PolicyKind,
 }
 
 impl DynamicSystem {
-    /// Empty system.
+    /// Empty system under fixed-priority dispatch.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// System pre-loaded with `set`.
-    pub fn with_set(set: &TaskSet) -> Self {
+    /// Empty system whose admissions and detector plans follow `policy`.
+    pub fn with_policy(policy: PolicyKind) -> Self {
         DynamicSystem {
-            session: Some(Analyzer::new(set)),
+            session: None,
+            policy,
         }
+    }
+
+    /// System pre-loaded with `set` under fixed-priority dispatch.
+    pub fn with_set(set: &TaskSet) -> Self {
+        Self::with_set_policy(set, PolicyKind::FixedPriority)
+    }
+
+    /// System pre-loaded with `set` under `policy`.
+    pub fn with_set_policy(set: &TaskSet, policy: PolicyKind) -> Self {
+        DynamicSystem {
+            session: Some(AnalyzerBuilder::new(set).sched_policy(policy).build()),
+            policy,
+        }
+    }
+
+    /// The policy this system admits and plans for.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
     }
 
     /// Current task set, if any task is admitted.
@@ -74,7 +95,7 @@ impl DynamicSystem {
             Some(session) => session.admit(spec)?,
             None => {
                 let set = TaskSet::new(vec![spec]).map_err(AdmissionError::Model)?;
-                let mut session = Analyzer::new(&set);
+                let mut session = AnalyzerBuilder::new(&set).sched_policy(self.policy).build();
                 let report = session.report().map_err(AdmissionError::Analysis)?;
                 if report.is_feasible() {
                     self.session = Some(session);
@@ -106,10 +127,14 @@ impl DynamicSystem {
         self.plan()
     }
 
-    /// Detector plan of the current set, served from the session's memo.
+    /// Detector plan of the current set, served from the session's memo
+    /// (WCRT thresholds under the fixed-priority policies, deadlines
+    /// under EDF — see [`Analyzer::policy_thresholds`]).
     pub fn plan(&mut self) -> Result<DetectorPlan, AdmissionError> {
         let session = self.session.as_mut().expect("plan() on an empty system");
-        let wcrt = session.wcrt_all().map_err(AdmissionError::Analysis)?;
+        let wcrt = session
+            .policy_thresholds()
+            .map_err(AdmissionError::Analysis)?;
         let equitable = session
             .equitable_allowance()
             .map_err(AdmissionError::Analysis)?
@@ -134,21 +159,23 @@ pub enum EpochChange {
     Remove(TaskId),
 }
 
-/// Run a sequence of epochs, each `epoch_len` long, under `treatment`.
-/// Returns one [`ScenarioOutcome`] per epoch (time restarts at 0 in each —
-/// the detectors are re-armed from scratch, as an online system would).
+/// Run a sequence of epochs, each `epoch_len` long, under `treatment`
+/// and the given scheduling `policy`. Returns one [`ScenarioOutcome`]
+/// per epoch (time restarts at 0 in each — the detectors are re-armed
+/// from scratch, as an online system would).
 pub fn run_epochs(
     changes: &[(EpochChange, FaultPlan)],
     epoch_len: Duration,
     treatment: Treatment,
     timer_model: TimerModel,
+    policy: PolicyKind,
 ) -> Result<Vec<ScenarioOutcome>, DynamicError> {
-    let mut system = DynamicSystem::new();
+    let mut system = DynamicSystem::with_policy(policy);
     let mut outcomes = Vec::new();
     for (i, (change, faults)) in changes.iter().enumerate() {
         match change {
             EpochChange::Reset(set) => {
-                system = DynamicSystem::with_set(set);
+                system = DynamicSystem::with_set_policy(set, policy);
             }
             EpochChange::Add(spec) => {
                 let admitted = system
@@ -170,7 +197,8 @@ pub fn run_epochs(
             treatment,
             Instant::EPOCH + epoch_len,
         )
-        .with_timer_model(timer_model);
+        .with_timer_model(timer_model)
+        .with_policy(policy);
         // The session lives across epochs: an epoch that only changes the
         // fault plan reuses every cached number, and add/remove epochs
         // reuse what the change could not affect.
@@ -318,6 +346,7 @@ mod tests {
                 mode: StopMode::JobOnly,
             },
             TimerModel::EXACT,
+            PolicyKind::FixedPriority,
         )
         .unwrap();
         assert_eq!(outs.len(), 3);
@@ -333,6 +362,24 @@ mod tests {
     }
 
     #[test]
+    fn edf_dynamic_system_admits_past_fp_limits() {
+        // U = 1.0 non-harmonic: FP admission rejects τ2, EDF admits and
+        // plans deadline-miss detectors with zero allowance.
+        let t1 = TaskBuilder::new(1, 2, ms(4), ms(2)).build();
+        let t2 = TaskBuilder::new(2, 1, ms(6), ms(3)).build();
+        let mut fp = DynamicSystem::new();
+        fp.admit(t1.clone()).unwrap().unwrap();
+        assert_eq!(fp.admit(t2.clone()).unwrap(), None);
+
+        let mut edf = DynamicSystem::with_policy(PolicyKind::Edf);
+        assert_eq!(edf.policy(), PolicyKind::Edf);
+        edf.admit(t1).unwrap().unwrap();
+        let plan = edf.admit(t2).unwrap().unwrap();
+        assert_eq!(plan.wcrt, vec![ms(4), ms(6)], "thresholds = deadlines");
+        assert_eq!(plan.equitable, Some(Duration::ZERO));
+    }
+
+    #[test]
     fn rejected_epoch_change_errors() {
         let base = TaskSet::from_specs(base_specs());
         let changes = vec![
@@ -342,8 +389,14 @@ mod tests {
                 FaultPlan::none(),
             ),
         ];
-        let err =
-            run_epochs(&changes, ms(500), Treatment::DetectOnly, TimerModel::EXACT).unwrap_err();
+        let err = run_epochs(
+            &changes,
+            ms(500),
+            Treatment::DetectOnly,
+            TimerModel::EXACT,
+            PolicyKind::FixedPriority,
+        )
+        .unwrap_err();
         assert!(matches!(err, DynamicError::Rejected(TaskId(8))));
     }
 }

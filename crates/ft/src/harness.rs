@@ -17,8 +17,9 @@ use crate::detector::FtSupervisor;
 use crate::manager::AllowanceManager;
 use crate::treatment::Treatment;
 use crate::verdict::Verdict;
-use rtft_core::analyzer::Analyzer;
+use rtft_core::analyzer::{Analyzer, AnalyzerBuilder};
 use rtft_core::error::AnalysisError;
+use rtft_core::policy::PolicyKind;
 use rtft_core::task::TaskSet;
 use rtft_core::time::{Duration, Instant};
 use rtft_sim::engine::{SimConfig, Simulator};
@@ -49,10 +50,15 @@ pub struct Scenario {
     pub stop_model: StopModel,
     /// Scheduling-overhead charges.
     pub overheads: Overheads,
+    /// Dispatch rule (fixed-priority preemptive by default). Detector
+    /// thresholds, allowances and the admission gate all follow the
+    /// policy — see [`Analyzer::policy_thresholds`].
+    pub policy: PolicyKind,
 }
 
 impl Scenario {
-    /// A scenario with exact timers and immediate stops.
+    /// A scenario with exact timers, immediate stops and
+    /// fixed-priority dispatch.
     pub fn new(
         name: impl Into<String>,
         set: TaskSet,
@@ -69,7 +75,14 @@ impl Scenario {
             timer_model: TimerModel::EXACT,
             stop_model: StopModel::IMMEDIATE,
             overheads: Overheads::NONE,
+            policy: PolicyKind::FixedPriority,
         }
+    }
+
+    /// Run (and analyse) under a different scheduling policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Use jRate's 10 ms timer grid (the paper's platform).
@@ -100,7 +113,8 @@ impl Scenario {
 /// Static analysis attached to a run.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct AnalysisSummary {
-    /// Baseline WCRT per rank.
+    /// Baseline detection threshold per rank: the WCRT under the
+    /// fixed-priority policies, the relative deadline under EDF.
     pub wcrt: Vec<Duration>,
     /// Detector threshold per rank (equals WCRT, or the inflated WCRT for
     /// the equitable treatment). Empty for [`Treatment::NoDetection`].
@@ -189,9 +203,13 @@ impl From<AnalysisError> for HarnessError {
     }
 }
 
-/// Run a scenario end to end with a throwaway analysis session.
+/// Run a scenario end to end with a throwaway analysis session (built
+/// for the scenario's policy).
 pub fn run_scenario(sc: &Scenario) -> Result<ScenarioOutcome, HarnessError> {
-    run_scenario_with(sc, &mut Analyzer::new(&sc.set))
+    let mut session = AnalyzerBuilder::new(&sc.set)
+        .sched_policy(sc.policy)
+        .build();
+    run_scenario_with(sc, &mut session)
 }
 
 /// Run a scenario end to end against a caller-held [`Analyzer`] session
@@ -199,7 +217,8 @@ pub fn run_scenario(sc: &Scenario) -> Result<ScenarioOutcome, HarnessError> {
 /// shared across scenarios (and epochs, see [`crate::dynamic`]).
 ///
 /// # Panics
-/// Panics if `session` analyses a different task set than the scenario.
+/// Panics if `session` analyses a different task set, or was built for
+/// a different scheduling policy, than the scenario.
 pub fn run_scenario_with(
     sc: &Scenario,
     session: &mut Analyzer,
@@ -209,17 +228,25 @@ pub fn run_scenario_with(
         &sc.set,
         "run_scenario_with: session and scenario disagree on the task set"
     );
-    let wcrt = match session.wcrt_all() {
+    assert_eq!(
+        session.sched_policy(),
+        sc.policy,
+        "run_scenario_with: session and scenario disagree on the policy"
+    );
+    // Admission gate under the scenario's policy (exact WCRT test for
+    // FP, WCRT-with-blocking for non-preemptive FP, processor-demand
+    // test for EDF), then the per-task detection thresholds: the WCRTs
+    // for the fixed-priority policies, the deadlines for EDF.
+    match session.is_feasible() {
+        Ok(true) => {}
+        Ok(false) => return Err(HarnessError::InfeasibleBase),
+        Err(e) => return Err(e.into()),
+    }
+    let wcrt = match session.policy_thresholds() {
         Ok(w) => w,
-        // A diverging level workload is just an infeasible base system.
         Err(AnalysisError::Divergent { .. }) => return Err(HarnessError::InfeasibleBase),
         Err(e) => return Err(e.into()),
     };
-    for (rank, w) in wcrt.iter().enumerate() {
-        if *w > sc.set.by_rank(rank).deadline {
-            return Err(HarnessError::InfeasibleBase);
-        }
-    }
 
     let mut thresholds = Vec::new();
     let mut equitable = None;
@@ -251,7 +278,8 @@ pub fn run_scenario_with(
     let config = SimConfig::until(sc.horizon)
         .with_timer_model(sc.timer_model)
         .with_stop_model(sc.stop_model)
-        .with_overheads(sc.overheads);
+        .with_overheads(sc.overheads)
+        .with_policy(sc.policy);
     let mut sim = Simulator::new(sc.set.clone(), config).with_faults(sc.faults.clone());
 
     let log = if sc.treatment.has_detection() {

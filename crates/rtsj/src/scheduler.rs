@@ -7,9 +7,18 @@
 //! implemented in jRate." This module is the repaired scheduler: the RTSJ
 //! `isFeasible` / `addToFeasibility` / `removeFromFeasibility` contract
 //! backed by the exact analysis of `rtft-core`.
+//!
+//! The scheduler maps onto the workspace's shared policy types
+//! ([`PolicyKind`]) instead of re-implementing a dispatch rule of its
+//! own: `PriorityScheduler::new()` is the RTSJ-mandated
+//! fixed-priority-preemptive instance, and [`PriorityScheduler::with_policy`]
+//! builds the same object over a different rule (RTSJ 2.0's pluggable
+//! scheduler hook — e.g. an EDF or non-preemptive variant), with the
+//! feasibility gate delegating to the matching `rtft-core` analysis.
 
 use crate::params::{PeriodicParameters, PriorityParameters};
 use rtft_core::feasibility::{Admission, AdmissionController, AdmissionError};
+use rtft_core::policy::PolicyKind;
 use rtft_core::task::{TaskBuilder, TaskId, TaskSpec};
 
 /// RTSJ's minimum real-time priority (the spec mandates at least 28
@@ -18,7 +27,8 @@ pub const MIN_PRIORITY: i32 = 11;
 /// RTSJ's maximum real-time priority.
 pub const MAX_PRIORITY: i32 = 38;
 
-/// The fixed-priority preemptive scheduler object.
+/// The scheduler object: fixed-priority preemptive by default, any
+/// shared [`PolicyKind`] via [`PriorityScheduler::with_policy`].
 #[derive(Clone, Debug, Default)]
 pub struct PriorityScheduler {
     controller: AdmissionController,
@@ -26,12 +36,27 @@ pub struct PriorityScheduler {
 }
 
 impl PriorityScheduler {
-    /// A scheduler with an empty feasibility set.
+    /// A fixed-priority scheduler with an empty feasibility set.
     pub fn new() -> Self {
         PriorityScheduler {
             controller: AdmissionController::new(),
             next_id: 1,
         }
+    }
+
+    /// A scheduler whose feasibility methods analyse for `policy`
+    /// (the dispatch rule itself lives in `rtft_sim::policy` — this
+    /// object only validates and plans against it).
+    pub fn with_policy(policy: PolicyKind) -> Self {
+        PriorityScheduler {
+            controller: AdmissionController::with_policy(policy),
+            next_id: 1,
+        }
+    }
+
+    /// The shared policy this scheduler's feasibility contract maps to.
+    pub fn policy(&self) -> PolicyKind {
+        self.controller.policy()
     }
 
     /// `getMinPriority()`.
@@ -251,6 +276,39 @@ mod tests {
             .add_to_feasibility("x", &PriorityParameters::new(50), &p)
             .unwrap_err();
         assert_eq!(err, SchedulerError::InvalidPriority(50));
+    }
+
+    #[test]
+    fn edf_scheduler_admits_what_the_priority_gate_rejects() {
+        // U = 1.0, non-harmonic: the FP gate rejects τ2 (R2 = 7 > 6),
+        // the EDF gate — same scheduler object, different shared policy
+        // — admits it (the demand test is exact at U ≤ 1).
+        let a = PeriodicParameters::implicit(ms(0), ms(4), ms(2));
+        let b = PeriodicParameters::implicit(ms(0), ms(6), ms(3));
+
+        let mut fp = PriorityScheduler::new();
+        assert_eq!(fp.policy(), PolicyKind::FixedPriority);
+        assert!(fp
+            .add_to_feasibility("a", &PriorityParameters::new(20), &a)
+            .unwrap()
+            .is_some());
+        assert_eq!(
+            fp.add_to_feasibility("b", &PriorityParameters::new(19), &b)
+                .unwrap(),
+            None
+        );
+
+        let mut edf = PriorityScheduler::with_policy(PolicyKind::Edf);
+        assert_eq!(edf.policy(), PolicyKind::Edf);
+        assert!(edf
+            .add_to_feasibility("a", &PriorityParameters::new(20), &a)
+            .unwrap()
+            .is_some());
+        assert!(edf
+            .add_to_feasibility("b", &PriorityParameters::new(19), &b)
+            .unwrap()
+            .is_some());
+        assert!(edf.is_feasible().unwrap());
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The discrete-event engine: a single-CPU fixed-priority preemptive
-//! scheduler over virtual time.
+//! The discrete-event engine: a single-CPU scheduler over virtual time
+//! with a pluggable dispatch rule.
 //!
 //! This is the substrate substituting for the paper's execution platform
 //! (jRate VM on a TimeSys RT-Linux kernel): it executes a [`TaskSet`] with
@@ -9,16 +9,22 @@
 //! produced — a [`TraceLog`] of releases, starts, ends, preemptions,
 //! detector fires, misses and stops.
 //!
-//! Scheduling rules:
-//! * highest priority ready task runs; ties broken by task id (stable,
-//!   deterministic);
-//! * preemption only by *strictly* higher priority (FIFO among equals);
-//! * within a task, jobs run FIFO (required for `D > T`).
+//! Scheduling is delegated to a [`SchedPolicy`] selected through
+//! [`SimConfig::with_policy`] (fixed-priority preemptive by default, the
+//! paper's platform; EDF and non-preemptive FP are also provided — see
+//! [`crate::policy`]). The policy owns an index-based ready structure the
+//! engine keeps in sync, replacing the per-event linear rescan of every
+//! job queue. Invariants independent of the policy:
+//!
+//! * within a task, jobs run FIFO (required for `D > T`);
+//! * dispatch and preemption decisions are deterministic (policy ties
+//!   break on stable task attributes, never on insertion order).
 
 use crate::arrival::ArrivalModel;
 use crate::event::{EventQueue, SimEventKind};
 use crate::fault::FaultPlan;
 use crate::overhead::Overheads;
+use crate::policy::{build_policy, PolicyKind, SchedPolicy};
 use crate::process::{JobOutcome, TaskProcess};
 use crate::stop::{StopMode, StopModel};
 use crate::supervisor::{Command, Occurrence, Supervisor};
@@ -39,17 +45,27 @@ pub struct SimConfig {
     pub stop_model: StopModel,
     /// Scheduling-overhead charges (context switches, detector firings).
     pub overheads: Overheads,
+    /// Dispatch rule (fixed-priority preemptive by default).
+    pub policy: PolicyKind,
 }
 
 impl SimConfig {
-    /// Exact timers, immediate stops, the given horizon.
+    /// Exact timers, immediate stops, fixed-priority dispatch, the
+    /// given horizon.
     pub fn until(horizon: Instant) -> Self {
         SimConfig {
             horizon,
             timer_model: TimerModel::EXACT,
             stop_model: StopModel::IMMEDIATE,
             overheads: Overheads::NONE,
+            policy: PolicyKind::FixedPriority,
         }
+    }
+
+    /// Use a different dispatch rule (see [`crate::policy`]).
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Use the jRate 10 ms timer grid.
@@ -139,6 +155,7 @@ impl SimState {
 /// The simulator.
 pub struct Simulator {
     state: SimState,
+    policy: Box<dyn SchedPolicy>,
     queue: EventQueue,
     trace: TraceLog,
     timers: Vec<TimerSpec>,
@@ -156,6 +173,7 @@ impl Simulator {
     /// Build a simulator for `set` under `config`.
     pub fn new(set: TaskSet, config: SimConfig) -> Self {
         let n = set.len();
+        let policy = build_policy(config.policy, &set);
         Simulator {
             state: SimState {
                 set,
@@ -164,6 +182,7 @@ impl Simulator {
                 running: None,
                 dispatched_at: Instant::EPOCH,
             },
+            policy,
             queue: EventQueue::new(),
             trace: TraceLog::new(),
             timers: Vec::new(),
@@ -318,19 +337,20 @@ impl Simulator {
             return; // a stopped thread makes no further releases
         }
         let now = self.state.now;
-        let spec = self.state.set.by_rank(rank).clone();
+        // Copy the scalar parameters instead of cloning the whole spec
+        // (the name allocation dominated this hot path).
+        let spec = self.state.set.by_rank(rank);
+        let (task, period, deadline, offset) = (spec.id, spec.period, spec.deadline, spec.offset);
         let job = self.state.procs[rank].released();
-        let demand = self.fault_plan.demand(&self.state.set, spec.id, job);
+        let demand = self.fault_plan.demand(&self.state.set, task, job);
         self.state.procs[rank].release(now, demand);
-        self.trace
-            .push(now, EventKind::JobRelease { task: spec.id, job });
-        self.queue.push(
-            now + spec.deadline,
-            SimEventKind::DeadlineCheck { rank, job },
-        );
+        self.sync_policy(rank);
+        self.trace.push(now, EventKind::JobRelease { task, job });
+        self.queue
+            .push(now + deadline, SimEventKind::DeadlineCheck { rank, job });
         // The next release steps from the NOMINAL grid, not from the
         // (possibly jittered) activation — jitter never accumulates.
-        let nominal_next = Instant::EPOCH + spec.offset + spec.period * (job as i64 + 1);
+        let nominal_next = Instant::EPOCH + offset + period * (job as i64 + 1);
         let jitter = self
             .arrivals
             .as_ref()
@@ -338,6 +358,14 @@ impl Simulator {
         self.queue
             .push(nominal_next + jitter, SimEventKind::Release { rank });
         out.push_back(Occurrence::JobReleased { rank, job });
+    }
+
+    /// Refresh the policy's view of `rank` after its job queue changed.
+    fn sync_policy(&mut self, rank: usize) {
+        let proc = &self.state.procs[rank];
+        let ready = proc.is_ready();
+        let head = proc.front().map(|j| j.released_at);
+        self.policy.update(rank, ready, head);
     }
 
     fn handle_completion(&mut self, rank: usize, gen: u64, out: &mut VecDeque<Occurrence>) {
@@ -356,6 +384,7 @@ impl Simulator {
             JobOutcome::Finished
         };
         let job = self.state.procs[rank].retire_front(outcome);
+        self.sync_policy(rank);
         self.state.running = None;
         if doomed {
             self.trace.push(
@@ -479,6 +508,7 @@ impl Simulator {
         if mode == StopMode::Permanent {
             self.state.procs[rank].kill();
         }
+        self.sync_policy(rank);
     }
 
     /// Charge `amount` of extra CPU to the currently running job and
@@ -513,10 +543,10 @@ impl Simulator {
     }
 
     fn reschedule_cpu(&mut self) {
-        // Ranks are priority-sorted: the first ready rank is the winner
-        // among distinct priorities; equal priorities run FIFO (no
-        // preemption among peers).
-        let best = (0..self.state.procs.len()).find(|&r| self.state.procs[r].is_ready());
+        // The policy's ready structure answers in O(1)–O(log n); the
+        // running task stays in it, so `pick` may return the incumbent
+        // (which is a no-op here).
+        let best = self.policy.pick();
         match (self.state.running, best) {
             (_, None) => {
                 if self.state.running.is_none() {
@@ -525,8 +555,7 @@ impl Simulator {
             }
             (None, Some(b)) => self.dispatch(b),
             (Some(r), Some(b)) => {
-                if b != r && self.state.set.by_rank(b).priority > self.state.set.by_rank(r).priority
-                {
+                if b != r && self.policy.preempts(r, b) {
                     self.preempt(r, b);
                     self.dispatch(b);
                 }
@@ -1075,6 +1104,108 @@ mod tests {
         let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(10), ms(1)).build()]);
         let _ = Simulator::new(set.clone(), SimConfig::until(t(100)))
             .with_arrivals(ArrivalModel::uniform(&set, ms(10), 0));
+    }
+
+    #[test]
+    fn edf_runs_the_earliest_deadline_not_the_highest_priority() {
+        // τ1 holds the stronger priority but the later deadline: FP runs
+        // τ1 first, EDF runs τ2 first.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(100), ms(10))
+                .deadline(ms(80))
+                .build(),
+            TaskBuilder::new(2, 10, ms(100), ms(10))
+                .deadline(ms(40))
+                .build(),
+        ]);
+        let fp = run_plain(set.clone(), t(100));
+        assert_eq!(fp.job_end(TaskId(1), 0), Some(t(10)));
+        assert_eq!(fp.job_end(TaskId(2), 0), Some(t(20)));
+
+        let mut sim = Simulator::new(set, SimConfig::until(t(100)).with_policy(PolicyKind::Edf));
+        sim.run(&mut NullSupervisor);
+        let edf = sim.into_trace();
+        assert_eq!(edf.job_end(TaskId(2), 0), Some(t(10)));
+        assert_eq!(edf.job_end(TaskId(1), 0), Some(t(20)));
+    }
+
+    #[test]
+    fn edf_preempts_only_on_strictly_earlier_deadlines() {
+        // τ2 runs from 0 with deadline 100; τ1 releases at 10 with
+        // deadline 10 + 30 = 40 < 100: preempts. A second τ1 job at 110
+        // against τ2's job released 100 (deadline 200 vs 140): preempts
+        // again. Equal-deadline case: τ3 released with τ2's deadline
+        // never preempts (covered by equal_priority_no_preemption for
+        // FP; here via the tie in fig-less form below).
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 5, ms(100), ms(5))
+                .deadline(ms(30))
+                .offset(ms(10))
+                .build(),
+            TaskBuilder::new(2, 9, ms(100), ms(20)).build(),
+        ]);
+        let mut sim = Simulator::new(set, SimConfig::until(t(100)).with_policy(PolicyKind::Edf));
+        sim.run(&mut NullSupervisor);
+        let log = sim.into_trace();
+        // Despite τ2's higher priority value, EDF preempts it at t = 10.
+        let pre = log
+            .find(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Preempted {
+                        task: TaskId(2),
+                        ..
+                    }
+                )
+            })
+            .expect("EDF preemption");
+        assert_eq!(pre.at, t(10));
+        assert_eq!(log.job_end(TaskId(1), 0), Some(t(15)));
+        assert_eq!(log.job_end(TaskId(2), 0), Some(t(25)));
+    }
+
+    #[test]
+    fn non_preemptive_jobs_run_to_completion() {
+        // The preemption_recorded scenario: under NPFP τ1 must wait for
+        // τ2's whole job instead of preempting at t = 3.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 9, ms(10), ms(2)).offset(ms(3)).build(),
+            TaskBuilder::new(2, 3, ms(50), ms(10)).build(),
+        ]);
+        let mut sim = Simulator::new(
+            set,
+            SimConfig::until(t(50)).with_policy(PolicyKind::NonPreemptiveFp),
+        );
+        sim.run(&mut NullSupervisor);
+        let log = sim.into_trace();
+        assert_eq!(
+            log.count(|e| matches!(e.kind, EventKind::Preempted { .. })),
+            0,
+            "non-preemptive dispatch must never preempt"
+        );
+        assert_eq!(log.job_end(TaskId(2), 0), Some(t(10)));
+        assert_eq!(log.job_end(TaskId(1), 0), Some(t(12)));
+        // Once the CPU frees, priority still picks the winner.
+        assert_eq!(log.job_end(TaskId(1), 1), Some(t(15)));
+    }
+
+    #[test]
+    fn policy_stops_compose_with_edf() {
+        // A stopped EDF task leaves the ready queue like an FP one.
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(200), ms(29))
+            .deadline(ms(70))
+            .build()]);
+        let mut sim = Simulator::new(set, SimConfig::until(t(400)).with_policy(PolicyKind::Edf));
+        let mut sup = StopAt {
+            rank: 0,
+            at: t(10),
+            armed: false,
+            mode: StopMode::Permanent,
+        };
+        sim.run(&mut sup);
+        let log = sim.trace();
+        assert_eq!(log.stops(), vec![(TaskId(1), 0, t(10))]);
+        assert!(log.job_release(TaskId(1), 1).is_none());
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! The paper's claims are about scheduling-level behaviour — who runs when,
 //! which jobs miss deadlines, where the detectors fire — and this crate
 //! reproduces exactly those orderings with a discrete-event simulation of
-//! single-CPU fixed-priority preemptive scheduling over an exact
-//! nanosecond virtual clock.
+//! single-CPU scheduling over an exact nanosecond virtual clock. The
+//! dispatch rule is pluggable ([`policy::SchedPolicy`]): fixed-priority
+//! preemptive (the paper's platform, and the default), EDF, or
+//! non-preemptive fixed priority — selected per run via
+//! [`engine::SimConfig::with_policy`].
 //!
 //! Platform quirks the paper measures are modelled explicitly:
 //!
@@ -42,6 +45,7 @@ pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod overhead;
+pub mod policy;
 pub mod process;
 pub mod stop;
 pub mod supervisor;
@@ -54,6 +58,7 @@ pub mod prelude {
     pub use crate::engine::{run_plain, SimConfig, SimState, Simulator};
     pub use crate::fault::{FaultPlan, RandomFaults};
     pub use crate::overhead::Overheads;
+    pub use crate::policy::{PolicyKind, SchedPolicy};
     pub use crate::process::JobOutcome;
     pub use crate::stop::{StopMode, StopModel};
     pub use crate::supervisor::{Command, NullSupervisor, Occurrence, Supervisor};

@@ -22,8 +22,8 @@ fn ms(v: i64) -> Duration {
     Duration::millis(v)
 }
 
-/// The random grid: 112 systems × 3 fault plans × 2 treatments ×
-/// 2 platforms = 1344 scenarios.
+/// The random grid: 112 systems × 3 policies × 3 fault plans ×
+/// 2 treatments × 2 platforms = 4032 scenarios.
 fn random_grid() -> CampaignSpec {
     let uunifast = |n: usize, utilization: f64, seeds: (u64, u64)| SetSource::UUniFast {
         n,
@@ -35,6 +35,7 @@ fn random_grid() -> CampaignSpec {
     };
     CampaignSpec {
         name: "differential-oracle".to_string(),
+        policies: rtft_core::policy::PolicyKind::ALL.to_vec(),
         sets: vec![
             uunifast(3, 0.45, (0, 28)),
             uunifast(4, 0.60, (100, 128)),

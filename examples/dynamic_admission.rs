@@ -77,6 +77,7 @@ fn main() {
             mode: StopMode::JobOnly,
         },
         TimerModel::EXACT,
+        PolicyKind::FixedPriority,
     )
     .expect("all epochs run");
 

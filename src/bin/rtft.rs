@@ -10,12 +10,16 @@
 //!
 //! run options:
 //!   --treatment <none|detect|stop|equitable|system>   (default: system)
+//!   --policy    <fp|edf|npfp>      dispatch rule      (default: fp)
 //!   --horizon   <duration>                            (default: 3000ms)
 //!   --window    <from>..<to>       chart window       (default: whole run)
 //!   --cell      <duration>         chart cell         (default: auto)
 //!   --jrate                        10 ms timer grid
 //!   --save-trace <file>            write the trace log
 //!   --svg <file>                   write an SVG chart of the window
+//!
+//! analyze options:
+//!   --policy <fp|edf|npfp>         analyse for that dispatch rule
 //!
 //! campaign options:
 //!   --workers <n>                  worker threads     (default: CPU count)
@@ -79,14 +83,30 @@ fn load_system(path: &str) -> Result<(TaskSet, FaultPlan), String> {
 fn cmd_analyze(args: &[String]) -> CliResult {
     let path = args.first().ok_or("analyze: missing task file")?;
     let (set, _) = load_system(path)?;
+    let policy: PolicyKind = flag_value(args, "--policy").unwrap_or("fp").parse()?;
     println!("{set}");
+    if policy != PolicyKind::FixedPriority {
+        println!("policy: {policy}");
+    }
     // One analysis session serves the report and both allowance blocks.
-    let mut session = Analyzer::new(&set);
+    let mut session = Analyzer::for_policy(&set, policy);
     let report = session.report().map_err(|e| e.to_string())?;
     println!("utilization U = {:.4}", report.utilization);
     if report.overloaded {
         println!("NOT FEASIBLE: U > 1");
         return Ok(());
+    }
+    if policy == PolicyKind::Edf {
+        // EDF has no per-task WCRT: the demand test is a whole-set
+        // verdict and the per-task thresholds are the deadlines.
+        println!(
+            "EDF processor-demand test: {}",
+            if report.is_feasible() {
+                "feasible"
+            } else {
+                "NOT FEASIBLE"
+            }
+        );
     }
     for line in &report.per_task {
         match line.wcrt {
@@ -97,6 +117,10 @@ fn cmd_analyze(args: &[String]) -> CliResult {
                 line.deadline,
                 line.slack().expect("wcrt present"),
                 if line.feasible { "ok" } else { "MISS" },
+            ),
+            None if policy == PolicyKind::Edf => println!(
+                "  {}: detection threshold = deadline = {}",
+                line.task, line.deadline
             ),
             None => println!("  {}: analysis diverges (level overload)", line.task),
         }
@@ -133,6 +157,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     let (set, faults) = load_system(path)?;
     let treatment =
         rtft::campaign::spec::parse_treatment(flag_value(args, "--treatment").unwrap_or("system"))?;
+    let policy: PolicyKind = flag_value(args, "--policy").unwrap_or("fp").parse()?;
     let horizon = parse_duration(flag_value(args, "--horizon").unwrap_or("3000ms"))?;
     let mut scenario = Scenario::new(
         path.to_string(),
@@ -140,7 +165,8 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         faults,
         treatment,
         Instant::EPOCH + horizon,
-    );
+    )
+    .with_policy(policy);
     if args.iter().any(|a| a == "--jrate") {
         scenario = scenario.with_jrate_timers();
     }

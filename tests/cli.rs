@@ -171,6 +171,66 @@ fn campaign_runs_grid_and_emits_report() {
 }
 
 #[test]
+fn run_accepts_a_policy_flag() {
+    let dir = temp_dir("run-policy");
+    let file = write_paper_file(&dir);
+    for policy in ["fp", "edf", "npfp"] {
+        let out = rtft()
+            .args([
+                "run",
+                file.to_str().unwrap(),
+                "--policy",
+                policy,
+                "--treatment",
+                "detect",
+                "--horizon",
+                "1300ms",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "--policy {policy}: {out:?}");
+    }
+    let bad = rtft()
+        .args(["run", file.to_str().unwrap(), "--policy", "sideways"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8(bad.stderr)
+        .unwrap()
+        .contains("unknown policy"));
+}
+
+#[test]
+fn analyze_reports_the_edf_demand_test() {
+    let dir = temp_dir("analyze-edf");
+    let file = write_paper_file(&dir);
+    let out = rtft()
+        .args(["analyze", file.to_str().unwrap(), "--policy", "edf"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("policy: edf"));
+    assert!(stdout.contains("EDF processor-demand test: feasible"));
+    assert!(stdout.contains("equitable allowance A = 11ms"));
+}
+
+#[test]
+fn policy_sweep_example_spec_runs_clean() {
+    let spec =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/policy_sweep.campaign");
+    let out = rtft()
+        .args(["campaign", spec.to_str().unwrap(), "--workers", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // 1 set × 3 policies × 3 fault instances × 5 treatments × 2 platforms.
+    assert!(stdout.contains("jobs: 90 total, 90 ran"), "{stdout}");
+    assert!(stdout.contains("0 violations"));
+}
+
+#[test]
 fn campaign_report_digest_is_worker_independent() {
     let dir = temp_dir("campaign-det");
     let spec = dir.join("grid.campaign");

@@ -63,6 +63,7 @@ fn dynamic_epochs_with_treatment() {
             mode: StopMode::JobOnly,
         },
         TimerModel::EXACT,
+        PolicyKind::FixedPriority,
     )
     .unwrap();
     assert!(outs[0].verdict.all_ok());
