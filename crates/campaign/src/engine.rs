@@ -7,18 +7,25 @@
 //! report is bit-identical no matter how many workers ran or how the
 //! chunks interleaved.
 //!
-//! Each worker keeps the [`Analyzer`] session of the set instance it is
-//! currently inside; the expansion guarantees the jobs of one instance
-//! are contiguous, so a chunked scan re-analyses each set at most once
-//! per worker that touches it.
+//! Each worker keeps the analysis session of the placement it is
+//! currently inside — a uniprocessor [`Analyzer`] for 1-core jobs, a
+//! [`PartitionedAnalyzer`] (allocation included) for multicore ones; the
+//! expansion guarantees the jobs of one `(set, policy, cores, alloc)`
+//! tuple are contiguous, so a chunked scan re-analyses (and
+//! re-partitions) each placement at most once per worker that touches
+//! it.
 
-use crate::oracle::{self, OracleOutcome};
+use crate::oracle::{self, OracleOutcome, OracleSkip};
 use crate::report::{CampaignReport, JobDigest, JobStatus};
 use crate::spec::{CampaignSpec, JobSpec, SpecError};
 use rtft_core::analyzer::{Analyzer, AnalyzerBuilder};
 use rtft_ft::harness::{run_scenario_with, HarnessError, ScenarioOutcome};
+use rtft_part::alloc::{allocate, AllocPolicy};
+use rtft_part::analyzer::PartitionedAnalyzer;
+use rtft_part::multicore::{run_partitioned, MulticoreError, MulticoreOutcome};
 use rtft_trace::EventKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Engine knobs.
 #[derive(Clone, Copy, Debug)]
@@ -86,7 +93,7 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &RunConfig) -> Result<CampaignRepo
     let started = std::time::Instant::now();
 
     let digests: Vec<JobDigest> = if workers == 1 {
-        let mut session: Option<(usize, Analyzer)> = None;
+        let mut session: Option<(usize, WorkerSession)> = None;
         jobs.iter()
             .map(|j| run_job(j, oracle, &mut session))
             .collect()
@@ -97,7 +104,7 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &RunConfig) -> Result<CampaignRepo
                 .map(|_| {
                     s.spawn(|| {
                         let mut local: Vec<JobDigest> = Vec::new();
-                        let mut session: Option<(usize, Analyzer)> = None;
+                        let mut session: Option<(usize, WorkerSession)> = None;
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                             if start >= jobs.len() {
@@ -135,18 +142,50 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &RunConfig) -> Result<CampaignRepo
     ))
 }
 
+/// A worker's memoized analysis state for one `(set instance, policy,
+/// cores, alloc)` ordinal: a plain uniprocessor session for 1-core jobs
+/// (the pre-multicore pipeline, bit for bit), per-core sessions over the
+/// allocator's partition otherwise — or the allocator's rejection, so an
+/// unplaceable placement is diagnosed once, not once per job.
+enum WorkerSession {
+    Uni(Box<Analyzer>),
+    Multi(Box<PartitionedAnalyzer>),
+    Unplaceable(String),
+}
+
+fn build_session(job: &JobSpec) -> WorkerSession {
+    if job.cores <= 1 {
+        return WorkerSession::Uni(Box::new(
+            AnalyzerBuilder::new(&job.set)
+                .sched_policy(job.policy)
+                .build(),
+        ));
+    }
+    match allocate(&job.set, job.cores, job.policy, job.alloc) {
+        Ok(partition) => {
+            WorkerSession::Multi(Box::new(PartitionedAnalyzer::new(partition, job.policy)))
+        }
+        Err(e) => WorkerSession::Unplaceable(e.to_string()),
+    }
+}
+
 /// Execute one job and reduce it to a digest. `session` carries the
-/// worker's memoized analysis keyed by `(set instance, policy)` ordinal.
-fn run_job(job: &JobSpec, oracle: bool, session: &mut Option<(usize, Analyzer)>) -> JobDigest {
+/// worker's memoized analysis keyed by the job's placement ordinal.
+fn run_job(job: &JobSpec, oracle: bool, session: &mut Option<(usize, WorkerSession)>) -> JobDigest {
     let fresh = !matches!(session, Some((ordinal, _)) if *ordinal == job.set_ordinal);
     if fresh {
-        let analyzer = AnalyzerBuilder::new(&job.set)
-            .sched_policy(job.policy)
-            .build();
-        *session = Some((job.set_ordinal, analyzer));
+        *session = Some((job.set_ordinal, build_session(job)));
     }
-    let analyzer = &mut session.as_mut().expect("session just installed").1;
+    match &mut session.as_mut().expect("session just installed").1 {
+        WorkerSession::Uni(analyzer) => run_uni_job(job, oracle, analyzer),
+        WorkerSession::Multi(sessions) => run_multicore_job(job, oracle, sessions),
+        WorkerSession::Unplaceable(diag) => empty_digest(job, JobStatus::Unplaceable(diag.clone())),
+    }
+}
 
+/// The uniprocessor job path — unchanged from the single-core engine, so
+/// `cores = 1` traces stay bit-identical to the pre-multicore pipeline.
+fn run_uni_job(job: &JobSpec, oracle: bool, analyzer: &mut Analyzer) -> JobDigest {
     let scenario = job.scenario();
     match run_scenario_with(&scenario, analyzer) {
         Ok(outcome) => {
@@ -162,6 +201,122 @@ fn run_job(job: &JobSpec, oracle: bool, session: &mut Option<(usize, Analyzer)>)
             empty_digest(job, JobStatus::AnalysisError(e.to_string()))
         }
     }
+}
+
+/// The `cores`-restriction of a job: the core's subset and fault slice
+/// as a standalone 1-core job spec. The detectors, the digest reduction
+/// and the differential oracle then apply to the core *unchanged* — and
+/// an oracle violation minimizes to a single-core repro spec.
+fn core_job(job: &JobSpec, sessions: &PartitionedAnalyzer, core: usize) -> JobSpec {
+    let partition = sessions.partition();
+    let set = partition.core_set(core).expect("occupied core").clone();
+    let faults = partition.core_faults(&job.faults, core);
+    JobSpec {
+        index: job.index,
+        set_ordinal: job.set_ordinal,
+        set_label: rtft_part::multicore::core_label(&job.set_label, core),
+        set: Arc::new(set),
+        policy: job.policy,
+        cores: 1,
+        alloc: job.alloc,
+        fault_label: job.fault_label.clone(),
+        faults,
+        treatment: job.treatment,
+        platform: job.platform,
+        horizon: job.horizon,
+    }
+}
+
+/// Run the differential oracle on one core's slice of a job (`cjob`
+/// from [`core_job`]) against the core's memoized session — the single
+/// per-core check behind both the campaign path and
+/// [`run_single_partitioned`].
+fn check_core_oracle(
+    cjob: &JobSpec,
+    sessions: &mut PartitionedAnalyzer,
+    run: &rtft_part::multicore::CoreOutcome,
+) -> OracleOutcome {
+    let session = sessions
+        .core_session_mut(run.core)
+        .expect("occupied core has a session");
+    oracle::check(cjob, &run.outcome, session)
+}
+
+/// Fold per-core oracle outcomes into the job's verdict: any violation
+/// condemns the job; otherwise the weakest core rules (a skipped core
+/// means the whole job is uncertified).
+fn merge_oracle(outcomes: Vec<OracleOutcome>) -> OracleOutcome {
+    let mut checked = 0;
+    let mut skip: Option<OracleSkip> = None;
+    let mut violations = Vec::new();
+    let mut any = false;
+    for outcome in outcomes {
+        match outcome {
+            OracleOutcome::NotRun => {}
+            OracleOutcome::Clean { checked: c } => {
+                any = true;
+                checked += c;
+            }
+            OracleOutcome::Skipped(s) => {
+                any = true;
+                skip.get_or_insert(s);
+            }
+            OracleOutcome::Violated(v) => {
+                any = true;
+                violations.extend(v);
+            }
+        }
+    }
+    if !violations.is_empty() {
+        OracleOutcome::Violated(violations)
+    } else if let Some(s) = skip {
+        OracleOutcome::Skipped(s)
+    } else if any {
+        OracleOutcome::Clean { checked }
+    } else {
+        OracleOutcome::NotRun
+    }
+}
+
+/// The multicore job path: one engine per occupied core over the
+/// memoized partition, each core digested by the unchanged single-core
+/// reduction, the digests folded into one job record whose trace hash is
+/// the merged core-tagged hash.
+fn run_multicore_job(job: &JobSpec, oracle: bool, sessions: &mut PartitionedAnalyzer) -> JobDigest {
+    let scenario = job.scenario();
+    let multi: MulticoreOutcome = match run_partitioned(&scenario, sessions) {
+        Ok(m) => m,
+        Err(HarnessError::InfeasibleBase) => return empty_digest(job, JobStatus::InfeasibleBase),
+        Err(HarnessError::Analysis(e)) => {
+            return empty_digest(job, JobStatus::AnalysisError(e.to_string()))
+        }
+    };
+    let mut digest = empty_digest(job, JobStatus::Ran);
+    digest.trace_hash = multi.merged_hash();
+    let mut oracle_outcomes = Vec::with_capacity(multi.cores.len());
+    for run in &multi.cores {
+        let cjob = core_job(job, sessions, run.core);
+        let core_oracle = if oracle {
+            check_core_oracle(&cjob, sessions, run)
+        } else {
+            OracleOutcome::NotRun
+        };
+        let part = digest_outcome(&cjob, &run.outcome, core_oracle.clone());
+        digest.released += part.released;
+        digest.completed += part.completed;
+        digest.missed += part.missed;
+        digest.stopped += part.stopped;
+        digest.faults_flagged += part.faults_flagged;
+        digest.detector_fires += part.detector_fires;
+        digest.failed_tasks.extend(part.failed_tasks);
+        digest.collateral.extend(part.collateral);
+        digest.detector_latencies.extend(part.detector_latencies);
+        oracle_outcomes.push(core_oracle);
+    }
+    digest.failed_tasks.sort_unstable();
+    digest.collateral.sort_unstable();
+    digest.oracle = merge_oracle(oracle_outcomes);
+    digest
 }
 
 fn digest_outcome(job: &JobSpec, outcome: &ScenarioOutcome, oracle: OracleOutcome) -> JobDigest {
@@ -201,6 +356,8 @@ fn digest_outcome(job: &JobSpec, outcome: &ScenarioOutcome, oracle: OracleOutcom
         index: job.index,
         set_label: job.set_label.clone(),
         policy: job.policy.label(),
+        cores: job.cores,
+        alloc: job.alloc.label(),
         fault_label: job.fault_label.clone(),
         treatment: job.treatment.name(),
         platform: job.platform.label(),
@@ -224,6 +381,8 @@ fn empty_digest(job: &JobSpec, status: JobStatus) -> JobDigest {
         index: job.index,
         set_label: job.set_label.clone(),
         policy: job.policy.label(),
+        cores: job.cores,
+        alloc: job.alloc.label(),
         fault_label: job.fault_label.clone(),
         treatment: job.treatment.name(),
         platform: job.platform.label(),
@@ -254,27 +413,62 @@ pub fn run_single(
         .build();
     let outcome = run_scenario_with(sc, &mut analyzer)?;
     let oracle_outcome = if oracle {
-        let job = JobSpec {
-            index: 0,
-            set_ordinal: 0,
-            set_label: sc.name.clone(),
-            set: std::sync::Arc::new(sc.set.clone()),
-            policy: sc.policy,
-            fault_label: "explicit".to_string(),
-            faults: sc.faults.clone(),
-            treatment: sc.treatment,
-            platform: crate::spec::PlatformSpec {
-                timer: sc.timer_model,
-                stop: sc.stop_model,
-                overheads: sc.overheads,
-            },
-            horizon: sc.horizon,
-        };
+        let job = single_job_spec(sc, 1, AllocPolicy::FirstFitDecreasing);
         oracle::check(&job, &outcome, &mut analyzer)
     } else {
         OracleOutcome::NotRun
     };
     Ok((outcome, oracle_outcome))
+}
+
+/// The one-job spec a lone scenario corresponds to in the grid.
+fn single_job_spec(sc: &rtft_ft::harness::Scenario, cores: usize, alloc: AllocPolicy) -> JobSpec {
+    JobSpec {
+        index: 0,
+        set_ordinal: 0,
+        set_label: sc.name.clone(),
+        set: Arc::new(sc.set.clone()),
+        policy: sc.policy,
+        cores,
+        alloc,
+        fault_label: "explicit".to_string(),
+        faults: sc.faults.clone(),
+        treatment: sc.treatment,
+        platform: crate::spec::PlatformSpec {
+            timer: sc.timer_model,
+            stop: sc.stop_model,
+            overheads: sc.overheads,
+        },
+        horizon: sc.horizon,
+    }
+}
+
+/// Run one scenario partitioned over `cores` by `alloc` — the multicore
+/// counterpart of [`run_single`], used by `rtft run --cores`. Returns
+/// the per-core outcomes, the merged per-core oracle verdict, and the
+/// partition the run used (so callers never re-derive the placement).
+///
+/// # Errors
+/// [`MulticoreError`] when the allocator finds no placement or a core
+/// fails its admission / treatment analysis.
+pub fn run_single_partitioned(
+    sc: &rtft_ft::harness::Scenario,
+    cores: usize,
+    alloc: AllocPolicy,
+    oracle: bool,
+) -> Result<(MulticoreOutcome, OracleOutcome, rtft_part::Partition), MulticoreError> {
+    let partition = allocate(&sc.set, cores, sc.policy, alloc)?;
+    let mut sessions = PartitionedAnalyzer::new(partition.clone(), sc.policy);
+    let multi = run_partitioned(sc, &mut sessions)?;
+    let job = single_job_spec(sc, cores, alloc);
+    let mut outcomes = Vec::with_capacity(multi.cores.len());
+    if oracle {
+        for run in &multi.cores {
+            let cjob = core_job(&job, &sessions, run.core);
+            outcomes.push(check_core_oracle(&cjob, &mut sessions, run));
+        }
+    }
+    Ok((multi, merge_oracle(outcomes), partition))
 }
 
 #[cfg(test)]
@@ -337,5 +531,109 @@ platform jrate
         let report = run_campaign(&spec, &RunConfig::default().with_workers(64)).unwrap();
         assert_eq!(report.jobs.len(), 1);
         assert_eq!(report.workers, 1);
+    }
+
+    #[test]
+    fn single_core_jobs_keep_the_uniprocessor_traces() {
+        // A `cores 1` + `alloc` spec runs the very same engine path: the
+        // per-job trace hashes are bit-identical to a spec without the
+        // multicore axes.
+        let plain = parse_spec(PAPER_GRID).unwrap();
+        let tagged = parse_spec(&format!("{PAPER_GRID}cores 1\nalloc wfd\n")).unwrap();
+        let a = run_campaign(&plain, &RunConfig::sequential()).unwrap();
+        let b = run_campaign(&tagged, &RunConfig::sequential()).unwrap();
+        let hashes = |r: &CampaignReport| r.jobs.iter().map(|d| d.trace_hash).collect::<Vec<_>>();
+        assert_eq!(hashes(&a), hashes(&b));
+        assert_eq!(b.jobs[0].cores, 1);
+        assert_eq!(b.jobs[0].alloc, "wfd");
+    }
+
+    /// Two heavy tasks that no single core admits: unplaceable at
+    /// `cores 1`, clean at `cores 2` under every allocator.
+    const HEAVY_GRID: &str = "\
+campaign heavy
+horizon 500ms
+task a 9 100ms 100ms 60ms
+task b 8 100ms 100ms 60ms
+cores 1 2
+alloc all
+treatment detect
+platform exact
+";
+
+    #[test]
+    fn multicore_jobs_partition_and_run() {
+        let spec = parse_spec(HEAVY_GRID).unwrap();
+        let report = run_campaign(&spec, &RunConfig::sequential()).unwrap();
+        assert_eq!(report.jobs.len(), 6);
+        // cores=1 takes the plain uniprocessor path: the admission gate
+        // (not the allocator) rejects, exactly as before the multicore
+        // axes existed.
+        assert_eq!(report.infeasible, 3);
+        for d in &report.jobs[..3] {
+            assert_eq!(d.status, JobStatus::InfeasibleBase, "{}", d.alloc);
+        }
+        // cores=2: every allocator places one task per core and both
+        // complete all five jobs of the 500 ms horizon.
+        assert_eq!(report.ran, 3);
+        for d in &report.jobs[3..] {
+            assert_eq!(d.status, JobStatus::Ran, "{}", d.alloc);
+            assert_eq!(d.cores, 2);
+            // Six releases per task (t = 0..=500 inclusive of the
+            // horizon instant); the last pair cannot finish in time.
+            assert_eq!(d.released, 12);
+            assert_eq!(d.completed, 10);
+            assert_eq!(d.missed, 0);
+            assert!(d.oracle.was_checked(), "{:?}", d.oracle);
+        }
+        assert!(report.oracle_clean());
+    }
+
+    #[test]
+    fn unplaceable_multicore_jobs_carry_allocator_diagnostics() {
+        // Three tasks of U = 0.6 need three cores; on two the allocator
+        // itself rejects and the digest records its diagnostics.
+        let spec = parse_spec(
+            "horizon 500ms\ntask a 9 100ms 100ms 60ms\ntask b 8 100ms 100ms 60ms\n\
+             task c 7 100ms 100ms 60ms\ncores 2\ntreatment detect\n",
+        )
+        .unwrap();
+        let report = run_campaign(&spec, &RunConfig::sequential()).unwrap();
+        assert_eq!(report.unplaceable, 1);
+        assert!(
+            matches!(&report.jobs[0].status,
+                     JobStatus::Unplaceable(m) if m.contains("feasibility probe")),
+            "{:?}",
+            report.jobs[0].status
+        );
+        assert!(report.render().contains("1 unplaceable"));
+    }
+
+    #[test]
+    fn run_single_partitioned_matches_the_campaign_path() {
+        let spec = parse_spec(HEAVY_GRID).unwrap();
+        let job = &spec.expand().unwrap()[3]; // cores=2, ffd
+        let (multi, oracle, partition) =
+            run_single_partitioned(&job.scenario(), job.cores, job.alloc, true).unwrap();
+        assert_eq!(partition.cores(), 2);
+        assert_eq!(multi.cores.len(), 2);
+        assert!(oracle.was_checked());
+        assert!(oracle.violations().is_empty());
+        let report = run_campaign(&spec, &RunConfig::sequential()).unwrap();
+        assert_eq!(report.jobs[3].trace_hash, multi.merged_hash());
+    }
+
+    #[test]
+    fn unplaceable_sets_surface_the_allocator_diagnostics() {
+        let err = match run_single_partitioned(
+            &parse_spec(HEAVY_GRID).unwrap().expand().unwrap()[0].scenario(),
+            1,
+            AllocPolicy::FirstFitDecreasing,
+            false,
+        ) {
+            Err(MulticoreError::Alloc(e)) => e,
+            other => panic!("expected an allocation error, got {other:?}"),
+        };
+        assert!(err.to_string().contains("cannot place"), "{err}");
     }
 }

@@ -3,7 +3,8 @@
 //! The paper validates its claims one scenario at a time; the ROADMAP
 //! wants millions. This crate turns the scenario harness into a batch
 //! instrument: a declarative [`CampaignSpec`] names task-set sources,
-//! scheduling policies (fp / edf / npfp), fault-plan sources,
+//! scheduling policies (fp / edf / npfp), core counts and partition
+//! allocators (ffd / bfd / wfd, via `rtft-part`), fault-plan sources,
 //! treatments and platform models, the engine
 //! expands their cross product into jobs, fans the jobs out over a
 //! `std::thread` chunked worker pool, and reduces every job to a compact
@@ -49,7 +50,7 @@ pub mod oracle;
 pub mod report;
 pub mod spec;
 
-pub use engine::{available_workers, run_campaign, run_single, RunConfig};
+pub use engine::{available_workers, run_campaign, run_single, run_single_partitioned, RunConfig};
 pub use report::{CampaignReport, JobDigest, JobStatus};
 pub use spec::{
     parse_spec, CampaignSpec, FaultSource, JobSpec, PlatformSpec, SetSource, SpecError,
@@ -57,7 +58,7 @@ pub use spec::{
 
 /// One-stop imports.
 pub mod prelude {
-    pub use crate::engine::{run_campaign, run_single, RunConfig};
+    pub use crate::engine::{run_campaign, run_single, run_single_partitioned, RunConfig};
     pub use crate::oracle::{OracleOutcome, OracleViolation};
     pub use crate::report::{CampaignReport, JobDigest, JobStatus};
     pub use crate::spec::{

@@ -22,6 +22,9 @@ pub enum JobStatus {
     Ran,
     /// Rejected by admission (infeasible base system).
     InfeasibleBase,
+    /// The allocator found no task→core placement (`cores > 1` jobs
+    /// only); carries the rejection diagnostics.
+    Unplaceable(String),
     /// The analysis errored.
     AnalysisError(String),
 }
@@ -35,6 +38,10 @@ pub struct JobDigest {
     pub set_label: String,
     /// Scheduling-policy label (`fp`, `edf`, `npfp`).
     pub policy: &'static str,
+    /// Core count the job ran on (1 = uniprocessor pipeline).
+    pub cores: usize,
+    /// Allocator label (`ffd`, `bfd`, `wfd`, `exhaustive`).
+    pub alloc: &'static str,
     /// Fault-instance label.
     pub fault_label: String,
     /// Treatment name.
@@ -93,6 +100,8 @@ pub struct CampaignReport {
     pub ran: usize,
     /// Jobs rejected as infeasible.
     pub infeasible: usize,
+    /// Multicore jobs whose allocator found no placement.
+    pub unplaceable: usize,
     /// Jobs that errored in analysis.
     pub errors: usize,
     /// Per-treatment tallies.
@@ -129,6 +138,7 @@ impl CampaignReport {
     ) -> Self {
         let mut ran = 0;
         let mut infeasible = 0;
+        let mut unplaceable = 0;
         let mut errors = 0;
         let mut by_treatment: BTreeMap<&'static str, TreatmentTally> = BTreeMap::new();
         let mut detector_latency = DurationHistogram::new(LATENCY_BUCKET);
@@ -140,6 +150,7 @@ impl CampaignReport {
             match &d.status {
                 JobStatus::Ran => ran += 1,
                 JobStatus::InfeasibleBase => infeasible += 1,
+                JobStatus::Unplaceable(_) => unplaceable += 1,
                 JobStatus::AnalysisError(_) => errors += 1,
             }
             let tally = by_treatment.entry(d.treatment).or_default();
@@ -176,6 +187,7 @@ impl CampaignReport {
             jobs,
             ran,
             infeasible,
+            unplaceable,
             errors,
             by_treatment,
             detector_latency,
@@ -211,6 +223,8 @@ impl CampaignReport {
             eat(&d.trace_hash.to_le_bytes());
             eat(d.set_label.as_bytes());
             eat(d.policy.as_bytes());
+            eat(&(d.cores as u64).to_le_bytes());
+            eat(d.alloc.as_bytes());
             eat(d.fault_label.as_bytes());
             eat(d.treatment.as_bytes());
             eat(d.platform.as_bytes());
@@ -233,10 +247,11 @@ impl CampaignReport {
         let _ = writeln!(out, "== campaign `{}` ==", self.name);
         let _ = writeln!(
             out,
-            "jobs: {} total, {} ran, {} infeasible, {} errors",
+            "jobs: {} total, {} ran, {} infeasible, {} unplaceable, {} errors",
             self.jobs.len(),
             self.ran,
             self.infeasible,
+            self.unplaceable,
             self.errors
         );
         let _ = writeln!(
@@ -284,6 +299,163 @@ impl CampaignReport {
         let _ = writeln!(out, "\nreport digest: {:016x}", self.digest());
         out
     }
+
+    /// Render the machine-readable JSON report (`rtft campaign --json`).
+    ///
+    /// Everything the text report states, as one JSON object; the
+    /// `digest` field is the same 16-hex-digit value the text report's
+    /// `report digest:` line prints, so the two emissions can be
+    /// cross-checked. Wall-clock fields are included but, as in the text
+    /// report, are not part of the digest.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\n  \"name\": \"{}\",\n  \"digest\": \"{:016x}\",",
+            esc(&self.name),
+            self.digest()
+        );
+        let _ = writeln!(
+            out,
+            "  \"jobs_total\": {}, \"ran\": {}, \"infeasible\": {}, \
+             \"unplaceable\": {}, \"errors\": {},",
+            self.jobs.len(),
+            self.ran,
+            self.infeasible,
+            self.unplaceable,
+            self.errors
+        );
+        let _ = writeln!(
+            out,
+            "  \"workers\": {}, \"wall_seconds\": {}, \"jobs_per_sec\": {},",
+            self.workers,
+            num(self.wall_seconds),
+            num(self.jobs_per_sec)
+        );
+        let _ = writeln!(
+            out,
+            "  \"oracle\": {{\"checked\": {}, \"out_of_allowance\": {}, \
+             \"skipped\": {}, \"violations\": {}}},",
+            self.oracle_checked,
+            self.oracle_out_of_allowance,
+            self.oracle_skipped,
+            self.violations.len()
+        );
+        let treatments: Vec<String> = self
+            .by_treatment
+            .iter()
+            .map(|(name, t)| {
+                format!(
+                    "\"{}\": {{\"jobs\": {}, \"failed_jobs\": {}, \"misses\": {}, \
+                     \"stops\": {}, \"collateral_jobs\": {}}}",
+                    esc(name),
+                    t.jobs,
+                    t.failed_jobs,
+                    t.misses,
+                    t.stops,
+                    t.collateral_jobs
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  \"by_treatment\": {{{}}},", treatments.join(", "));
+        let (p50, p99) = (
+            self.detector_latency.quantile(0.5),
+            self.detector_latency.quantile(0.99),
+        );
+        let opt_ns =
+            |d: Option<Duration>| d.map_or("null".to_string(), |d| d.as_nanos().to_string());
+        let _ = writeln!(
+            out,
+            "  \"detector_latency\": {{\"samples\": {}, \"p50_ns\": {}, \"p99_ns\": {}}},",
+            self.detector_latency.samples,
+            opt_ns(p50),
+            opt_ns(p99)
+        );
+        let violations: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "{{\"job_index\": {}, \"task\": {}, \"job\": {}, \"observed_ns\": {}, \
+                     \"bound_ns\": {}, \"dmax_ns\": {}}}",
+                    v.job_index,
+                    v.task.0,
+                    v.job,
+                    v.observed.as_nanos(),
+                    v.bound.as_nanos(),
+                    v.dmax.as_nanos()
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  \"violations\": [{}],", violations.join(", "));
+        let jobs: Vec<String> = self
+            .jobs
+            .iter()
+            .map(|d| {
+                // Raw message text here — esc() runs once, below.
+                let status = match &d.status {
+                    JobStatus::Ran => "ran".to_string(),
+                    JobStatus::InfeasibleBase => "infeasible".to_string(),
+                    JobStatus::Unplaceable(m) => format!("unplaceable: {m}"),
+                    JobStatus::AnalysisError(m) => format!("error: {m}"),
+                };
+                let oracle = match &d.oracle {
+                    OracleOutcome::NotRun => "not-run",
+                    OracleOutcome::Clean { .. } => "clean",
+                    OracleOutcome::Skipped(_) => "skipped",
+                    OracleOutcome::Violated(_) => "violated",
+                };
+                format!(
+                    "    {{\"index\": {}, \"set\": \"{}\", \"policy\": \"{}\", \
+                     \"cores\": {}, \"alloc\": \"{}\", \"fault\": \"{}\", \
+                     \"treatment\": \"{}\", \"platform\": \"{}\", \"status\": \"{}\", \
+                     \"trace_hash\": \"{:016x}\", \"released\": {}, \"completed\": {}, \
+                     \"missed\": {}, \"stopped\": {}, \"oracle\": \"{}\"}}",
+                    d.index,
+                    esc(&d.set_label),
+                    d.policy,
+                    d.cores,
+                    d.alloc,
+                    esc(&d.fault_label),
+                    d.treatment,
+                    esc(&d.platform),
+                    esc(&status),
+                    d.trace_hash,
+                    d.released,
+                    d.completed,
+                    d.missed,
+                    d.stopped,
+                    oracle
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  \"jobs\": [\n{}\n  ]\n}}", jobs.join(",\n"));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +467,8 @@ mod tests {
             index,
             set_label: "s".into(),
             policy: "fp",
+            cores: 1,
+            alloc: "ffd",
             fault_label: "f".into(),
             treatment,
             platform: "exact".into(),
@@ -338,5 +512,51 @@ mod tests {
         altered[0].trace_hash ^= 1;
         let b = CampaignReport::from_digests("t".into(), altered, 1.0, 1);
         assert_ne!(a.digest(), b.digest());
+        // The multicore axes are digest-relevant too.
+        let mut moved = vec![digest(0, "detect-only", 0)];
+        moved[0].cores = 2;
+        let c = CampaignReport::from_digests("t".into(), moved, 1.0, 1);
+        assert_ne!(a.digest(), c.digest());
+        let mut packed = vec![digest(0, "detect-only", 0)];
+        packed[0].alloc = "wfd";
+        let d = CampaignReport::from_digests("t".into(), packed, 1.0, 1);
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn unplaceable_jobs_are_tallied_separately() {
+        let mut d = digest(0, "detect-only", 0);
+        d.status = JobStatus::Unplaceable("no core fits τ1".into());
+        let report = CampaignReport::from_digests("t".into(), vec![d], 1.0, 1);
+        assert_eq!(report.unplaceable, 1);
+        assert_eq!(report.ran, 0);
+        assert_eq!(report.infeasible, 0);
+        assert!(report.render().contains("1 unplaceable"));
+    }
+
+    #[test]
+    fn json_report_carries_the_text_digest() {
+        let mut jobs = vec![digest(0, "detect-only", 0), digest(1, "no-detection", 2)];
+        jobs[1].status = JobStatus::Unplaceable("no core fits \"a\"".into());
+        let report = CampaignReport::from_digests("t \"quoted\"".into(), jobs, 1.0, 1);
+        let json = report.to_json();
+        // Status messages are escaped exactly once.
+        assert!(
+            json.contains("unplaceable: no core fits \\\"a\\\""),
+            "{json}"
+        );
+        assert!(json.contains(&format!("\"digest\": \"{:016x}\"", report.digest())));
+        assert!(json.contains("\"jobs_total\": 2"));
+        assert!(json.contains("\\\"quoted\\\""), "strings must be escaped");
+        assert!(json.contains("\"cores\": 1"));
+        assert!(json.contains("\"alloc\": \"ffd\""));
+        assert!(json.contains("\"oracle\": \"clean\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0);
     }
 }

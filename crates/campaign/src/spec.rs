@@ -1,7 +1,8 @@
 //! Declarative campaign descriptions and their grid expansion.
 //!
-//! A [`CampaignSpec`] names *sources* along five axes — task sets,
-//! scheduling policies, fault plans, treatments, platform models — and
+//! A [`CampaignSpec`] names *sources* along seven axes — task sets,
+//! scheduling policies, core counts, allocators, fault plans,
+//! treatments, platform models — and
 //! the engine runs their full cross product. The spec has a line-based
 //! file format (see [`parse_spec`]) designed so that a **repro artifact
 //! is itself a spec**: a violation found by the differential oracle is
@@ -12,6 +13,7 @@ use rtft_core::policy::PolicyKind;
 use rtft_core::task::{TaskBuilder, TaskId, TaskSet, TaskSpec};
 use rtft_core::time::{Duration, Instant};
 use rtft_ft::treatment::Treatment;
+use rtft_part::alloc::AllocPolicy;
 use rtft_sim::fault::{FaultPlan, RandomFaults};
 use rtft_sim::overhead::Overheads;
 use rtft_sim::stop::{StopMode, StopModel};
@@ -213,7 +215,7 @@ impl PlatformSpec {
 }
 
 /// A declarative campaign: the grid is the cross product
-/// `sets × policies × faults × treatments × platforms`.
+/// `sets × policies × cores × allocs × faults × treatments × platforms`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CampaignSpec {
     /// Campaign label used in reports and artifacts.
@@ -222,6 +224,13 @@ pub struct CampaignSpec {
     pub sets: Vec<SetSource>,
     /// Scheduling policies (empty = fixed priority only).
     pub policies: Vec<PolicyKind>,
+    /// Core counts (empty = uniprocessor only). A `cores > 1` job is
+    /// partitioned by its allocator and runs one engine per core.
+    pub cores: Vec<usize>,
+    /// Partitioning allocators (empty = first-fit decreasing only).
+    /// Irrelevant on 1 core, where every allocator yields the trivial
+    /// partition.
+    pub allocs: Vec<AllocPolicy>,
     /// Fault-plan sources.
     pub faults: Vec<FaultSource>,
     /// Treatments to run.
@@ -240,6 +249,8 @@ impl Default for CampaignSpec {
             name: "campaign".to_string(),
             sets: Vec::new(),
             policies: Vec::new(),
+            cores: Vec::new(),
+            allocs: Vec::new(),
             faults: Vec::new(),
             treatments: Vec::new(),
             platforms: Vec::new(),
@@ -254,10 +265,11 @@ impl Default for CampaignSpec {
 pub struct JobSpec {
     /// Position in the expanded grid (stable across runs).
     pub index: usize,
-    /// Ordinal of the concrete `(set instance, policy)` pair — engine
-    /// workers key their memoized
-    /// [`rtft_core::analyzer::Analyzer`] sessions on it (a session is
-    /// built for one policy over one set).
+    /// Ordinal of the concrete `(set instance, policy, cores, alloc)`
+    /// tuple — engine workers key their memoized analysis sessions on
+    /// it (a uniprocessor [`rtft_core::analyzer::Analyzer`] for 1-core
+    /// jobs, a [`rtft_part::PartitionedAnalyzer`] otherwise; either is
+    /// built for one policy over one placement of one set).
     pub set_ordinal: usize,
     /// Label of the set instance.
     pub set_label: String,
@@ -265,6 +277,11 @@ pub struct JobSpec {
     pub set: Arc<TaskSet>,
     /// Scheduling policy this job runs (and is analysed) under.
     pub policy: PolicyKind,
+    /// Core count (1 = the uniprocessor engine, bit-identical to the
+    /// pre-multicore pipeline).
+    pub cores: usize,
+    /// Allocator partitioning the set when `cores > 1`.
+    pub alloc: AllocPolicy,
     /// Label of the fault instance.
     pub fault_label: String,
     /// The concrete fault plan.
@@ -347,6 +364,8 @@ impl JobSpec {
             );
         }
         let _ = writeln!(out, "policy {}", self.policy.label());
+        let _ = writeln!(out, "cores {}", self.cores);
+        let _ = writeln!(out, "alloc {}", self.alloc.label());
         let _ = writeln!(out, "treatment {}", treatment_keyword(self.treatment));
         let _ = writeln!(out, "platform {}", platform_spec_line(&self.platform));
         out
@@ -355,9 +374,10 @@ impl JobSpec {
 
 impl CampaignSpec {
     /// Expand the grid into concrete jobs, in a deterministic order
-    /// (sets outermost, then policies, faults, treatments, platforms —
-    /// jobs of one `(set instance, policy)` pair are contiguous so
-    /// engine workers can reuse one analysis session per pair).
+    /// (sets outermost, then policies, cores, allocators, faults,
+    /// treatments, platforms — jobs of one `(set instance, policy,
+    /// cores, alloc)` tuple are contiguous so engine workers can reuse
+    /// one analysis session per tuple).
     ///
     /// # Errors
     /// [`SpecError`] when a fault source names a task absent from a set,
@@ -371,6 +391,16 @@ impl CampaignSpec {
             vec![PolicyKind::FixedPriority]
         } else {
             self.policies.clone()
+        };
+        let cores: Vec<usize> = if self.cores.is_empty() {
+            vec![1]
+        } else {
+            self.cores.clone()
+        };
+        let allocs: Vec<AllocPolicy> = if self.allocs.is_empty() {
+            vec![AllocPolicy::FirstFitDecreasing]
+        } else {
+            self.allocs.clone()
         };
         let faults: Vec<FaultSource> = if self.faults.is_empty() {
             vec![FaultSource::None]
@@ -405,27 +435,33 @@ impl CampaignSpec {
                     }
                 }
                 for &policy in &policies {
-                    for fsource in &faults {
-                        for (fault_label, plan) in fsource.instances(&set) {
-                            for &treatment in &treatments {
-                                for &platform in &platforms {
-                                    jobs.push(JobSpec {
-                                        index: jobs.len(),
-                                        set_ordinal,
-                                        set_label: set_label.clone(),
-                                        set: Arc::clone(&set),
-                                        policy,
-                                        fault_label: fault_label.clone(),
-                                        faults: plan.clone(),
-                                        treatment,
-                                        platform,
-                                        horizon: self.horizon,
-                                    });
+                    for &core_count in &cores {
+                        for &alloc in &allocs {
+                            for fsource in &faults {
+                                for (fault_label, plan) in fsource.instances(&set) {
+                                    for &treatment in &treatments {
+                                        for &platform in &platforms {
+                                            jobs.push(JobSpec {
+                                                index: jobs.len(),
+                                                set_ordinal,
+                                                set_label: set_label.clone(),
+                                                set: Arc::clone(&set),
+                                                policy,
+                                                cores: core_count,
+                                                alloc,
+                                                fault_label: fault_label.clone(),
+                                                faults: plan.clone(),
+                                                treatment,
+                                                platform,
+                                                horizon: self.horizon,
+                                            });
+                                        }
+                                    }
                                 }
                             }
+                            set_ordinal += 1;
                         }
                     }
-                    set_ordinal += 1;
                 }
             }
         }
@@ -461,7 +497,9 @@ impl CampaignSpec {
         };
         let platforms = self.platforms.len().max(1);
         let policies = self.policies.len().max(1);
-        sets * policies * faults * treatments * platforms
+        let cores = self.cores.len().max(1);
+        let allocs = self.allocs.len().max(1);
+        sets * policies * cores * allocs * faults * treatments * platforms
     }
 }
 
@@ -580,6 +618,8 @@ fn parse_duration_range(v: &str) -> Result<(Duration, Duration), String> {
 /// faults single task=<id> job=<n> overrun=<dur>[,<dur>...]
 /// faults random p=<float> mag=<dur>..<dur> jobs=<n> seeds=<a>..<b>
 /// policy fp|edf|npfp... | all       # scheduling policies (grid axis)
+/// cores <n>...                      # core counts (grid axis)
+/// alloc ffd|bfd|wfd|exhaustive... | all   # partition allocators (grid axis)
 /// treatment none|detect|stop|equitable|system|all
 /// platform exact|jrate|quantum=<dur> [poll=<dur>] [pollovh=<dur>]
 ///          [dispatch=<dur>] [detfire=<dur>]
@@ -589,6 +629,14 @@ fn parse_duration_range(v: &str) -> Result<(Duration, Duration), String> {
 /// npfp` and `policy all` are equivalent); each expands the grid by one
 /// job per listed policy — analysis, detector thresholds and the
 /// differential oracle all follow the policy.
+///
+/// `cores` and `alloc` lines expand the grid the same way: a `cores n`
+/// job with `n > 1` is partitioned by its allocator (per-core
+/// feasibility probes under the job's policy) and runs one engine per
+/// core; `alloc all` lists the three bin-packing heuristics (ffd, bfd,
+/// wfd). With `cores 1` every allocator yields the trivial partition
+/// and the job runs the plain uniprocessor pipeline, bit-identical to a
+/// spec without these lines.
 ///
 /// Inline `task` lines form one [`SetSource::Inline`]; inline `fault`
 /// lines form one [`FaultSource::Explicit`]. Omitted axes default to
@@ -821,6 +869,32 @@ pub fn parse_spec(text: &str) -> Result<CampaignSpec, SpecError> {
                     }
                 }
             }
+            "cores" => {
+                if words.len() < 2 {
+                    return Err(err("cores: expected one or more counts ≥ 1".into()));
+                }
+                for word in &words[1..] {
+                    let n: usize = word
+                        .parse()
+                        .map_err(|e| err(format!("bad core count `{word}`: {e}")))?;
+                    if n == 0 {
+                        return Err(err("cores: counts must be ≥ 1".into()));
+                    }
+                    spec.cores.push(n);
+                }
+            }
+            "alloc" => {
+                if words.len() < 2 {
+                    return Err(err("alloc: expected ffd|bfd|wfd|exhaustive|all".into()));
+                }
+                for word in &words[1..] {
+                    if *word == "all" {
+                        spec.allocs.extend(AllocPolicy::HEURISTICS);
+                    } else {
+                        spec.allocs.push(word.parse().map_err(&err)?);
+                    }
+                }
+            }
             "treatment" => match words.get(1).copied() {
                 Some("all") => spec.treatments.extend(Treatment::paper_lineup()),
                 Some(name) => spec.treatments.push(parse_treatment(name).map_err(&err)?),
@@ -927,6 +1001,8 @@ platform jrate poll=1ms
         assert_eq!(back_jobs[0].platform, jobs[0].platform);
         assert_eq!(back_jobs[0].horizon, jobs[0].horizon);
         assert_eq!(back_jobs[0].policy, jobs[0].policy);
+        assert_eq!(back_jobs[0].cores, jobs[0].cores);
+        assert_eq!(back_jobs[0].alloc, jobs[0].alloc);
     }
 
     #[test]
@@ -962,6 +1038,60 @@ platform exact
         assert_eq!(edf_job.policy, PolicyKind::Edf);
         let back = parse_spec(&edf_job.repro_spec()).unwrap();
         assert_eq!(back.policies, vec![PolicyKind::Edf]);
+    }
+
+    #[test]
+    fn cores_and_alloc_axes_expand_the_grid() {
+        let text = "\
+taskgen paper
+cores 1 2
+alloc ffd wfd
+treatment detect
+platform exact
+";
+        let spec = parse_spec(text).unwrap();
+        assert_eq!(spec.cores, vec![1, 2]);
+        assert_eq!(
+            spec.allocs,
+            vec![
+                AllocPolicy::FirstFitDecreasing,
+                AllocPolicy::WorstFitDecreasing
+            ]
+        );
+        let jobs = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(spec.job_count(), 4);
+        // Each (cores, alloc) cell owns its session ordinal.
+        let ordinals: Vec<usize> = jobs.iter().map(|j| j.set_ordinal).collect();
+        assert_eq!(ordinals, vec![0, 1, 2, 3]);
+        assert_eq!((jobs[0].cores, jobs[0].alloc.label()), (1, "ffd"));
+        assert_eq!((jobs[3].cores, jobs[3].alloc.label()), (2, "wfd"));
+        // `alloc all` lists the three heuristics.
+        let all = parse_spec("taskgen paper\nalloc all\ntreatment detect\n").unwrap();
+        assert_eq!(all.allocs, AllocPolicy::HEURISTICS.to_vec());
+        // A multicore job's repro names cores and alloc and round-trips.
+        let repro = jobs[3].repro_spec();
+        let back = parse_spec(&repro).unwrap();
+        assert_eq!(back.cores, vec![2]);
+        assert_eq!(back.allocs, vec![AllocPolicy::WorstFitDecreasing]);
+        let back_jobs = back.expand().unwrap();
+        assert_eq!(back_jobs[0].cores, 2);
+        assert_eq!(back_jobs[0].alloc, AllocPolicy::WorstFitDecreasing);
+    }
+
+    #[test]
+    fn bad_cores_and_alloc_lines_error_with_line_numbers() {
+        for (text, needle) in [
+            ("cores\n", "expected one or more"),
+            ("cores 0\n", "must be ≥ 1"),
+            ("cores two\n", "bad core count"),
+            ("alloc\n", "expected ffd|bfd|wfd"),
+            ("alloc sideways\n", "unknown allocator"),
+        ] {
+            let e = parse_spec(text).unwrap_err();
+            assert!(e.message.contains(needle), "{text}: {e}");
+            assert_eq!(e.line, 1);
+        }
     }
 
     #[test]

@@ -142,6 +142,97 @@ fn policies_differentiate_the_traces() {
     assert!(separated > 0, "the policy axis changed no schedule at all");
 }
 
+/// The multicore acceptance grid: cores {1, 2, 4} × the three
+/// allocators × the three policies, oracle on. The uunifast sets (U =
+/// 0.6) fit every core count; the paper system rides along.
+const MULTICORE_SPEC: &str = "\
+campaign multicore-axis
+horizon 1300ms
+oracle on
+taskgen paper
+taskgen uunifast n=4 u=0.6 seeds=0..2 periods=20ms..150ms
+policy all
+cores 1 2 4
+alloc all
+faults none
+faults single task=1 job=0 overrun=2ms
+treatment detect
+treatment equitable
+platform exact
+";
+
+#[test]
+fn multicore_grid_is_deterministic_and_oracle_clean() {
+    let spec = parse_spec(MULTICORE_SPEC).unwrap();
+    let baseline = run_campaign(&spec, &RunConfig::sequential()).unwrap();
+    // 3 sets × 3 policies × 3 core counts × 3 allocators × 2 faults × 2
+    // treatments × 1 platform.
+    assert_eq!(baseline.jobs.len(), 3 * 3 * 3 * 3 * 2 * 2);
+    assert_eq!(spec.job_count(), baseline.jobs.len());
+    assert!(
+        baseline.oracle_clean(),
+        "multicore grid must run clean through the differential oracle:\n{}",
+        baseline.render()
+    );
+    assert!(baseline.oracle_checked > 0);
+    assert_eq!(baseline.unplaceable, 0, "every set fits every core count");
+    // Every (cores, alloc) cell genuinely ran.
+    for cores in [1usize, 2, 4] {
+        for alloc in ["ffd", "bfd", "wfd"] {
+            assert!(
+                baseline
+                    .jobs
+                    .iter()
+                    .any(|d| d.cores == cores && d.alloc == alloc && d.status == JobStatus::Ran),
+                "no ran job at cores={cores} alloc={alloc}"
+            );
+        }
+    }
+    // The acceptance check: bit-identical digests at 1 and 4 workers.
+    let four = run_campaign(&spec, &RunConfig::sequential().with_workers(4)).unwrap();
+    assert_eq!(baseline.digest(), four.digest());
+    let hashes = |r: &CampaignReport| r.jobs.iter().map(|d| d.trace_hash).collect::<Vec<_>>();
+    assert_eq!(hashes(&baseline), hashes(&four));
+}
+
+#[test]
+fn one_core_jobs_match_the_grid_without_multicore_axes() {
+    // Dropping the cores/alloc lines must not change what cores=1 jobs
+    // execute: their trace hashes are bit-identical, multicore axes or
+    // not (the golden-trace guarantee lifted to the campaign layer).
+    let with = parse_spec(MULTICORE_SPEC).unwrap();
+    let without = parse_spec(
+        &MULTICORE_SPEC
+            .lines()
+            .filter(|l| !l.starts_with("cores") && !l.starts_with("alloc"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+    )
+    .unwrap();
+    let a = run_campaign(&with, &RunConfig::sequential()).unwrap();
+    let b = run_campaign(&without, &RunConfig::sequential()).unwrap();
+    let uni_ffd: Vec<u64> = a
+        .jobs
+        .iter()
+        .filter(|d| d.cores == 1 && d.alloc == "ffd")
+        .map(|d| d.trace_hash)
+        .collect();
+    let plain: Vec<u64> = b.jobs.iter().map(|d| d.trace_hash).collect();
+    assert_eq!(uni_ffd, plain);
+}
+
+#[test]
+fn tiny_grids_clamp_workers_without_digest_drift() {
+    // One-job grid, absurd worker request: the engine clamps to the job
+    // count (no idle threads spawned) and the digest is unaffected.
+    let spec = parse_spec("horizon 500ms\ntaskgen paper\ntreatment detect\n").unwrap();
+    let one = run_campaign(&spec, &RunConfig::sequential()).unwrap();
+    let many = run_campaign(&spec, &RunConfig::sequential().with_workers(64)).unwrap();
+    assert_eq!(many.workers, 1, "workers must clamp to the job count");
+    assert_eq!(one.digest(), many.digest());
+    assert_eq!(one.jobs, many.jobs);
+}
+
 #[test]
 fn repeated_runs_are_identical() {
     let a = run_with(4, None);

@@ -17,6 +17,31 @@
 //! * [`PolicyKind::NonPreemptiveFp`] — fixed priority without
 //!   preemption; certified by response-time analysis with a
 //!   lower-priority blocking term.
+//!
+//! ## Interaction with partitioned multiprocessor scheduling
+//!
+//! Under `rtft-part`'s partitioned subsystem, one `PolicyKind` governs
+//! *every core*: the allocator's per-core feasibility probes, each
+//! core's `Analyzer` session, and each core's engine all run the same
+//! kind. The policy therefore composes with partitioning per core, with
+//! no cross-core terms:
+//!
+//! * **fp** — each core is certified by its own exact response-time
+//!   analysis; a task's WCRT depends only on its core-mates (backed by
+//!   `rtft-part`'s twin-paper-system test, where each half reproduces
+//!   the uniprocessor Table 2 numbers exactly);
+//! * **edf** — the processor-demand test applies per core, so a
+//!   partition is feasible iff every core's local demand fits; per-task
+//!   thresholds remain the deadlines (backed by the per-core EDF
+//!   threshold test);
+//! * **npfp** — the blocking term is *local*: only lower-priority tasks
+//!   on the same core can block, so partitioning can shrink blocking
+//!   and a set infeasible on one core under npfp may become feasible
+//!   split (backed by the per-core npfp blocking test).
+//!
+//! Allocation itself is policy-sensitive — a placement that passes the
+//! fp probe can fail the npfp probe on the same core — which is why the
+//! campaign grid treats `(policy, cores, alloc)` as one placement key.
 
 use std::fmt;
 use std::str::FromStr;

@@ -29,6 +29,8 @@ pub fn treatment_sweep() -> String {
         name: "treatment-sweep".to_string(),
         sets: vec![SetSource::Paper],
         policies: Vec::new(),
+        cores: Vec::new(),
+        allocs: Vec::new(),
         faults: vec![FaultSource::Single {
             task: TaskId(1),
             job: paper::FAULTY_JOB_OF_TAU1,
@@ -108,6 +110,8 @@ pub fn detector_overhead() -> String {
             })
             .collect(),
         policies: Vec::new(),
+        cores: Vec::new(),
+        allocs: Vec::new(),
         faults: vec![FaultSource::None],
         treatments: vec![Treatment::DetectOnly],
         platforms: vec![PlatformSpec::EXACT],

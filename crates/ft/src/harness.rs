@@ -9,9 +9,12 @@
 //!
 //! [`run_scenario_with`] is the single execution path shared by every
 //! consumer: the `rtft-campaign` batch engine runs each grid job through
-//! it (one memoized [`Analyzer`] session per set instance), and a lone
-//! scenario is just a one-job campaign (`rtft_campaign::run_single`) —
-//! so a paper figure and a million-job sweep exercise identical code.
+//! it (one memoized [`Analyzer`] session per set instance), a lone
+//! scenario is just a one-job campaign (`rtft_campaign::run_single`),
+//! and a partitioned multiprocessor run (`rtft-part`) is one call per
+//! core — the core's subset, its fault slice, its own session — so a
+//! paper figure, a million-job sweep and a multicore run all exercise
+//! identical code.
 
 use crate::detector::FtSupervisor;
 use crate::manager::AllowanceManager;

@@ -1,0 +1,220 @@
+//! Task→core assignments.
+//!
+//! A [`Partition`] is the static output of an allocator
+//! ([`crate::alloc`]): every task of one [`TaskSet`] mapped to exactly
+//! one core, with the per-core subsets materialized as ordinary
+//! uniprocessor task sets. Under partitioned scheduling nothing ever
+//! migrates, so each subset can be analysed ([`crate::analyzer`]) and
+//! executed ([`crate::multicore`]) by the unchanged uniprocessor
+//! machinery.
+
+use rtft_core::task::{TaskId, TaskSet, TaskSpec};
+use rtft_sim::fault::FaultPlan;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A validated task→core assignment over a fixed number of cores.
+///
+/// Cores may be empty (`core_set` returns `None` there); every task of
+/// the source set is assigned to exactly one core.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Partition {
+    cores: usize,
+    assignment: BTreeMap<TaskId, usize>,
+    sets: Vec<Option<TaskSet>>,
+}
+
+impl Partition {
+    /// Build a partition from per-core task groups (`groups[c]` holds
+    /// the specs of core `c`; empty groups are allowed).
+    ///
+    /// # Panics
+    /// Panics if a task id appears in two groups, or a group forms an
+    /// invalid [`TaskSet`] (duplicate ids within the group).
+    pub fn from_groups(groups: Vec<Vec<TaskSpec>>) -> Self {
+        let cores = groups.len();
+        let mut assignment = BTreeMap::new();
+        let mut sets = Vec::with_capacity(cores);
+        for (core, group) in groups.into_iter().enumerate() {
+            for spec in &group {
+                let previous = assignment.insert(spec.id, core);
+                assert!(previous.is_none(), "task {} assigned twice", spec.id);
+            }
+            sets.push(if group.is_empty() {
+                None
+            } else {
+                Some(TaskSet::from_specs(group))
+            });
+        }
+        Partition {
+            cores,
+            assignment,
+            sets,
+        }
+    }
+
+    /// The trivial 1-core partition: every task on core 0. Its subset
+    /// *is* the source set, so partitioned execution degenerates to the
+    /// plain uniprocessor run.
+    pub fn single_core(set: &TaskSet) -> Self {
+        Partition::from_groups(vec![set.tasks().to_vec()])
+    }
+
+    /// Number of cores (occupied or not).
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Number of tasks assigned.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// `true` when no task is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// The task set placed on `core`, when any.
+    pub fn core_set(&self, core: usize) -> Option<&TaskSet> {
+        self.sets.get(core).and_then(Option::as_ref)
+    }
+
+    /// The core a task was placed on.
+    pub fn core_of(&self, id: TaskId) -> Option<usize> {
+        self.assignment.get(&id).copied()
+    }
+
+    /// Indices of the cores that received at least one task, ascending.
+    pub fn occupied_cores(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.cores).filter(|&c| self.sets[c].is_some())
+    }
+
+    /// Every `(task, core)` pair, ordered by task id.
+    pub fn assignment(&self) -> impl Iterator<Item = (TaskId, usize)> + '_ {
+        self.assignment.iter().map(|(&t, &c)| (t, c))
+    }
+
+    /// Total utilization placed on `core` (0 when empty).
+    pub fn core_utilization(&self, core: usize) -> f64 {
+        self.core_set(core).map_or(0.0, TaskSet::utilization)
+    }
+
+    /// Restrict a fault plan to the tasks of one core — partitioned
+    /// semantics: a core only ever sees the faults of its own tasks.
+    pub fn core_faults(&self, plan: &FaultPlan, core: usize) -> FaultPlan {
+        let mut out = FaultPlan::none();
+        for (task, job, delta) in plan.entries() {
+            if self.core_of(task) != Some(core) {
+                continue;
+            }
+            out = if delta.is_negative() {
+                out.underrun(task, job, -delta)
+            } else if delta.is_positive() {
+                out.overrun(task, job, delta)
+            } else {
+                out
+            };
+        }
+        out
+    }
+
+    /// Human-readable assignment table (CLI `analyze --cores`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for core in 0..self.cores {
+            match self.core_set(core) {
+                Some(set) => {
+                    let names: Vec<&str> = set.tasks().iter().map(|t| t.name.as_str()).collect();
+                    let _ = writeln!(
+                        out,
+                        "core {core}: U = {:.4}  [{}]",
+                        set.utilization(),
+                        names.join(", ")
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "core {core}: idle");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::task::TaskBuilder;
+    use rtft_core::time::Duration;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn specs() -> Vec<TaskSpec> {
+        vec![
+            TaskBuilder::new(1, 20, ms(100), ms(40)).build(),
+            TaskBuilder::new(2, 18, ms(100), ms(40)).build(),
+            TaskBuilder::new(3, 16, ms(100), ms(40)).build(),
+        ]
+    }
+
+    #[test]
+    fn groups_round_trip() {
+        let s = specs();
+        let p = Partition::from_groups(vec![
+            vec![s[0].clone(), s[2].clone()],
+            vec![s[1].clone()],
+            vec![],
+        ]);
+        assert_eq!(p.cores(), 3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.core_of(TaskId(1)), Some(0));
+        assert_eq!(p.core_of(TaskId(2)), Some(1));
+        assert_eq!(p.core_of(TaskId(3)), Some(0));
+        assert_eq!(p.core_of(TaskId(9)), None);
+        assert_eq!(p.core_set(0).unwrap().len(), 2);
+        assert!(p.core_set(2).is_none());
+        assert_eq!(p.occupied_cores().collect::<Vec<_>>(), vec![0, 1]);
+        assert!((p.core_utilization(0) - 0.8).abs() < 1e-12);
+        assert_eq!(p.core_utilization(2), 0.0);
+        let text = p.render();
+        assert!(text.contains("core 2: idle"));
+        assert!(text.contains("τ1"));
+    }
+
+    #[test]
+    fn single_core_is_the_whole_set() {
+        let set = TaskSet::from_specs(specs());
+        let p = Partition::single_core(&set);
+        assert_eq!(p.cores(), 1);
+        assert_eq!(p.core_set(0), Some(&set));
+    }
+
+    #[test]
+    fn fault_plans_split_by_core() {
+        let s = specs();
+        let p = Partition::from_groups(vec![vec![s[0].clone()], vec![s[1].clone(), s[2].clone()]]);
+        let plan = FaultPlan::none()
+            .overrun(TaskId(1), 0, ms(5))
+            .overrun(TaskId(2), 3, ms(7))
+            .underrun(TaskId(3), 1, ms(2));
+        let c0 = p.core_faults(&plan, 0);
+        assert_eq!(
+            c0.entries().collect::<Vec<_>>(),
+            vec![(TaskId(1), 0, ms(5))]
+        );
+        let c1 = p.core_faults(&plan, 1);
+        assert_eq!(c1.len(), 2);
+        assert_eq!(c1.delta(TaskId(3), 1), -ms(2));
+        assert_eq!(c1.delta(TaskId(1), 0), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn double_assignment_panics() {
+        let s = specs();
+        let _ = Partition::from_groups(vec![vec![s[0].clone()], vec![s[0].clone()]]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests of the allocators against the per-core probe and the
+//! exhaustive oracle.
+//!
+//! * **Soundness** — any [`Partition`] a heuristic accepts assigns every
+//!   task exactly once and every occupied core passes the per-core
+//!   feasibility probe under the chosen policy (re-checked here with a
+//!   fresh analyzer, independent of the allocator's own probes).
+//! * **Oracle dominance** — the exhaustive backtracking allocator never
+//!   rejects a set a heuristic places: a heuristic's accepted partition
+//!   is a witness that an assignment exists, and the exhaustive search
+//!   must find one too (usually a different one).
+
+use proptest::prelude::*;
+use rtft_core::analyzer::Analyzer;
+use rtft_core::policy::PolicyKind;
+use rtft_core::task::TaskSet;
+use rtft_part::prelude::*;
+use rtft_taskgen::{DeadlineKind, GeneratorConfig};
+
+/// Random workloads spanning both regimes: uniprocessor-feasible sets
+/// and multicore sets with total utilization past one core.
+fn arb_case() -> impl Strategy<Value = (TaskSet, usize, PolicyKind)> {
+    (2usize..=8, 1usize..=4, 0u64..500, 0usize..3).prop_map(|(n, cores, seed, policy_idx)| {
+        // Target U scales with the core count but stays inside the
+        // UUniFast-discard envelope (cap 0.8 per task).
+        let u = (0.5 * cores as f64).min(0.72 * n as f64);
+        let cfg = GeneratorConfig {
+            n,
+            utilization: u,
+            period_range: (
+                rtft_core::time::Duration::millis(20),
+                rtft_core::time::Duration::millis(200),
+            ),
+            deadlines: DeadlineKind::Implicit,
+            per_task_cap: 0.8,
+        };
+        (cfg.generate(seed), cores, PolicyKind::ALL[policy_idx])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Accepted partitions are complete and per-core feasible.
+    #[test]
+    fn accepted_partitions_pass_the_per_core_probe(
+        case in arb_case(),
+        alloc_idx in 0usize..3,
+    ) {
+        let (set, cores, policy) = case;
+        let alloc = AllocPolicy::HEURISTICS[alloc_idx];
+        let Ok(partition) = allocate(&set, cores, policy, alloc) else {
+            return Ok(()); // rejection is exercised by the dominance test
+        };
+        prop_assert_eq!(partition.cores(), cores);
+        prop_assert_eq!(partition.len(), set.len());
+        for task in set.tasks() {
+            let core = partition.core_of(task.id);
+            prop_assert!(core.is_some(), "task {} unassigned", task.id);
+            let core_set = partition.core_set(core.unwrap()).unwrap();
+            prop_assert!(core_set.by_id(task.id).is_some());
+        }
+        for core in partition.occupied_cores().collect::<Vec<_>>() {
+            let core_set = partition.core_set(core).unwrap();
+            let feasible = Analyzer::for_policy(core_set, policy)
+                .is_feasible()
+                .unwrap_or(false);
+            prop_assert!(
+                feasible,
+                "core {} of an accepted {} partition fails its own probe",
+                core, alloc
+            );
+        }
+    }
+
+    /// The exhaustive oracle dominates every heuristic.
+    #[test]
+    fn exhaustive_never_rejects_what_a_heuristic_places(
+        case in arb_case(),
+        alloc_idx in 0usize..3,
+    ) {
+        let (set, cores, policy) = case;
+        let alloc = AllocPolicy::HEURISTICS[alloc_idx];
+        if allocate(&set, cores, policy, alloc).is_err() {
+            return Ok(());
+        }
+        let oracle = allocate(&set, cores, policy, AllocPolicy::Exhaustive);
+        prop_assert!(
+            oracle.is_ok(),
+            "{} placed the set on {} cores but the exhaustive oracle rejected: {}",
+            alloc, cores, oracle.unwrap_err()
+        );
+    }
+
+    /// On one core every allocator reduces to the admission gate.
+    #[test]
+    fn one_core_allocation_is_the_admission_test(
+        case in arb_case(),
+        alloc_idx in 0usize..3,
+    ) {
+        let (set, _, policy) = case;
+        let alloc = AllocPolicy::HEURISTICS[alloc_idx];
+        let admitted = Analyzer::for_policy(&set, policy)
+            .is_feasible()
+            .unwrap_or(false);
+        match allocate(&set, 1, policy, alloc) {
+            Ok(partition) => {
+                prop_assert!(admitted);
+                prop_assert_eq!(partition, Partition::single_core(&set));
+            }
+            Err(_) => prop_assert!(!admitted),
+        }
+    }
+}

@@ -1,6 +1,13 @@
 //! The discrete-event engine: a single-CPU scheduler over virtual time
 //! with a pluggable dispatch rule.
 //!
+//! Multiprocessor execution is composed, not built in: under
+//! partitioned scheduling (`rtft-part`) nothing migrates, so a
+//! multicore run is one independent `Simulator` per core over a shared
+//! virtual clock, with the per-core traces recombined by
+//! `rtft_trace::merge` into a core-tagged stream. The engine itself
+//! stays single-CPU and deterministic.
+//!
 //! This is the substrate substituting for the paper's execution platform
 //! (jRate VM on a TimeSys RT-Linux kernel): it executes a [`TaskSet`] with
 //! exact nanosecond bookkeeping, injecting faults from a [`FaultPlan`],

@@ -36,6 +36,8 @@ fn random_grid() -> CampaignSpec {
     CampaignSpec {
         name: "differential-oracle".to_string(),
         policies: rtft_core::policy::PolicyKind::ALL.to_vec(),
+        cores: Vec::new(),
+        allocs: Vec::new(),
         sets: vec![
             uunifast(3, 0.45, (0, 28)),
             uunifast(4, 0.60, (100, 128)),

@@ -25,7 +25,9 @@ pub enum DeadlineKind {
 pub struct GeneratorConfig {
     /// Number of tasks.
     pub n: usize,
-    /// Target total utilization in `(0, 1]` for feasible-by-load sets.
+    /// Target total utilization: `(0, 1]` for feasible-by-load
+    /// uniprocessor sets, above 1 (up to the core count) for the
+    /// partitioned multiprocessor workloads of `rtft-part`.
     pub utilization: f64,
     /// Period range `[min, max]`, sampled log-uniformly (the standard
     /// practice so that period magnitudes spread evenly across decades).
@@ -53,6 +55,29 @@ impl GeneratorConfig {
     pub fn with_utilization(mut self, u: f64) -> Self {
         self.utilization = u;
         self
+    }
+
+    /// Multicore defaults: `n` tasks targeting a total utilization of
+    /// `0.55 × cores` (overloads every proper subset of the cores, so
+    /// the workload genuinely needs the partition) with a 0.8 per-task
+    /// cap — the UUniFast-discard regime of
+    /// [`crate::uunifast::uunifast_multicore`].
+    ///
+    /// # Panics
+    /// Panics unless `cores ≥ 1` and `n` is large enough for the cap
+    /// (`0.8·n ≥ 0.55·cores`).
+    pub fn multicore(n: usize, cores: usize) -> Self {
+        assert!(cores >= 1, "need at least one core");
+        let utilization = 0.55 * cores as f64;
+        assert!(
+            n as f64 * 0.8 >= utilization,
+            "need more tasks: {n} tasks cannot carry U = {utilization} under a 0.8 cap"
+        );
+        GeneratorConfig {
+            utilization,
+            per_task_cap: 0.8,
+            ..GeneratorConfig::new(n)
+        }
     }
 
     /// Set the deadline style.
@@ -167,6 +192,21 @@ mod tests {
         for t in set.tasks() {
             assert!(t.deadline >= t.cost);
         }
+    }
+
+    #[test]
+    fn multicore_sets_overload_one_core() {
+        let set = GeneratorConfig::multicore(10, 4).generate(3);
+        assert!(
+            set.utilization() > 1.0,
+            "a multicore workload must not fit one core: U = {}",
+            set.utilization()
+        );
+        assert!((set.utilization() - 2.2).abs() < 1e-3);
+        for t in set.tasks() {
+            assert!(t.utilization() <= 0.8 + 1e-9, "{t}");
+        }
+        assert_eq!(set, GeneratorConfig::multicore(10, 4).generate(3));
     }
 
     #[test]

@@ -45,6 +45,29 @@ pub fn uunifast_discard(n: usize, total: f64, cap: f64, seed: u64) -> Vec<f64> {
     panic!("uunifast_discard: rejection sampling did not converge");
 }
 
+/// Multicore UUniFast-discard: sample `n` utilizations summing to a
+/// target `total > 1` (a workload no single core admits, the partitioned
+/// multiprocessor regime), with every task individually small enough to
+/// fit one core (`u ≤ cap`, `cap ≤ 1`). The necessary conditions for
+/// `cores` identical unit-speed cores are asserted up front: `total ≤
+/// cores` (total capacity) and `n·cap ≥ total` (discard can converge).
+///
+/// # Panics
+/// Panics when `cap` is outside `(0, 1]`, `total` exceeds `cores` or
+/// `n·cap`, or `total` is not in `(0, n]`.
+pub fn uunifast_multicore(n: usize, total: f64, cores: usize, cap: f64, seed: u64) -> Vec<f64> {
+    assert!(cores >= 1, "need at least one core");
+    assert!(
+        cap > 0.0 && cap <= 1.0,
+        "per-task cap must be in (0, 1]: no task may exceed one core"
+    );
+    assert!(
+        total <= cores as f64,
+        "total utilization {total} exceeds the capacity of {cores} cores"
+    );
+    uunifast_discard(n, total, cap, seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +112,27 @@ mod tests {
     #[should_panic(expected = "impossible")]
     fn rejects_impossible_cap() {
         let _ = uunifast_discard(2, 1.0, 0.4, 0);
+    }
+
+    #[test]
+    fn multicore_targets_past_one_core() {
+        // U = 2.4 over 4 cores: impossible on one CPU, routine here.
+        let us = uunifast_multicore(8, 2.4, 4, 0.8, 11);
+        let sum: f64 = us.iter().sum();
+        assert!((sum - 2.4).abs() < 1e-9, "{sum}");
+        assert!(us.iter().all(|&u| u <= 0.8));
+        assert_eq!(us, uunifast_multicore(8, 2.4, 4, 0.8, 11));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the capacity")]
+    fn multicore_rejects_over_capacity_targets() {
+        let _ = uunifast_multicore(8, 2.5, 2, 0.9, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no task may exceed one core")]
+    fn multicore_rejects_caps_past_one_core() {
+        let _ = uunifast_multicore(4, 2.0, 4, 1.2, 0);
     }
 }

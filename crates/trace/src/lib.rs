@@ -13,6 +13,8 @@
 //! * [`stats`] — per-job lifecycle reconstruction and task summaries;
 //! * [`chart`] — the text time-series chart with the paper's glyphs
 //!   (↑ releases, ↓ deadlines, ◆ detectors, `>` WCRTs);
+//! * [`merge`] — core-tagged recombination of per-core traces from
+//!   partitioned multiprocessor runs (`rtft-part`);
 //! * [`csv`] — spreadsheet export;
 //! * [`clock`] — a virtual `RDTSC` for experiments that reproduce the
 //!   cycle-count measurement path.
@@ -27,6 +29,7 @@ pub mod diff;
 pub mod event;
 pub mod format;
 pub mod log;
+pub mod merge;
 pub mod stats;
 pub mod svg;
 pub mod validate;
@@ -34,5 +37,6 @@ pub mod validate;
 pub use chart::{render, ChartConfig};
 pub use event::{EventKind, JobIndex, TraceEvent};
 pub use log::TraceLog;
+pub use merge::{merge_core_traces, merged_content_hash, CoreEvent};
 pub use stats::{DurationHistogram, JobRecord, ResponseHistogram, TaskSummary, TraceStats};
 pub use svg::{render_svg, SvgConfig};

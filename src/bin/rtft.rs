@@ -11,19 +11,26 @@
 //! run options:
 //!   --treatment <none|detect|stop|equitable|system>   (default: system)
 //!   --policy    <fp|edf|npfp>      dispatch rule      (default: fp)
+//!   --cores     <n>                partitioned cores  (default: 1)
+//!   --alloc     <ffd|bfd|wfd|exhaustive>  allocator   (default: ffd)
 //!   --horizon   <duration>                            (default: 3000ms)
 //!   --window    <from>..<to>       chart window       (default: whole run)
 //!   --cell      <duration>         chart cell         (default: auto)
 //!   --jrate                        10 ms timer grid
-//!   --save-trace <file>            write the trace log
+//!   --save-trace <file>            write the trace log (core-tagged
+//!                                  merged format with --cores > 1)
 //!   --svg <file>                   write an SVG chart of the window
+//!                                  (single-core runs only)
 //!
 //! analyze options:
 //!   --policy <fp|edf|npfp>         analyse for that dispatch rule
+//!   --cores  <n>                   partition over n cores first
+//!   --alloc  <ffd|bfd|wfd|exhaustive>  allocator with --cores
 //!
 //! campaign options:
 //!   --workers <n>                  worker threads     (default: CPU count)
 //!   --report <file>                also write the report text to a file
+//!   --json <file>                  write the machine-readable JSON report
 //!   --repro-dir <dir>              write oracle-violation repro specs here
 //!   --no-oracle                    disable the differential oracle
 //!
@@ -80,10 +87,27 @@ fn load_system(path: &str) -> Result<(TaskSet, FaultPlan), String> {
     Ok((set, desc.faults))
 }
 
+/// Parse the shared `--cores` / `--alloc` pair (1 core, ffd by default).
+fn cores_and_alloc(args: &[String]) -> Result<(usize, rtft::part::AllocPolicy), String> {
+    let cores: usize = flag_value(args, "--cores")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|e| format!("bad --cores: {e}"))?;
+    if cores == 0 {
+        return Err("--cores must be at least 1".into());
+    }
+    let alloc: rtft::part::AllocPolicy = flag_value(args, "--alloc").unwrap_or("ffd").parse()?;
+    Ok((cores, alloc))
+}
+
 fn cmd_analyze(args: &[String]) -> CliResult {
     let path = args.first().ok_or("analyze: missing task file")?;
     let (set, _) = load_system(path)?;
     let policy: PolicyKind = flag_value(args, "--policy").unwrap_or("fp").parse()?;
+    let (cores, alloc) = cores_and_alloc(args)?;
+    if cores > 1 {
+        return analyze_partitioned(&set, policy, cores, alloc);
+    }
     println!("{set}");
     if policy != PolicyKind::FixedPriority {
         println!("policy: {policy}");
@@ -145,6 +169,55 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// `analyze --cores n`: partition, then run the per-core analysis.
+fn analyze_partitioned(
+    set: &TaskSet,
+    policy: PolicyKind,
+    cores: usize,
+    alloc: rtft::part::AllocPolicy,
+) -> CliResult {
+    println!("{set}");
+    println!(
+        "partitioning over {cores} cores with {alloc} under {policy} (U = {:.4})",
+        set.utilization()
+    );
+    let partition = match rtft::part::allocate(set, cores, policy, alloc) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("UNPLACEABLE: {e}");
+            return Ok(());
+        }
+    };
+    print!("{}", partition.render());
+    let mut sessions = rtft::part::PartitionedAnalyzer::new(partition.clone(), policy);
+    let equitable = sessions.equitable_allowances().map_err(|e| e.to_string())?;
+    for core in partition.occupied_cores().collect::<Vec<_>>() {
+        let core_set = partition.core_set(core).expect("occupied").clone();
+        let thresholds = sessions
+            .policy_thresholds(core)
+            .map_err(|e| e.to_string())?;
+        println!("core {core}:");
+        for (rank, threshold) in thresholds.iter().enumerate() {
+            let task = core_set.by_rank(rank);
+            println!(
+                "  {}: {} = {}  D = {}",
+                task.id,
+                if policy == PolicyKind::Edf {
+                    "threshold"
+                } else {
+                    "WCRT"
+                },
+                threshold,
+                task.deadline
+            );
+        }
+        if let Some(eq) = equitable[core].as_ref() {
+            println!("  equitable allowance A = {}", eq.allowance);
+        }
+    }
+    Ok(())
+}
+
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == name)
@@ -159,6 +232,7 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
         rtft::campaign::spec::parse_treatment(flag_value(args, "--treatment").unwrap_or("system"))?;
     let policy: PolicyKind = flag_value(args, "--policy").unwrap_or("fp").parse()?;
     let horizon = parse_duration(flag_value(args, "--horizon").unwrap_or("3000ms"))?;
+    let (cores, alloc) = cores_and_alloc(args)?;
     let mut scenario = Scenario::new(
         path.to_string(),
         set.clone(),
@@ -169,6 +243,9 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     .with_policy(policy);
     if args.iter().any(|a| a == "--jrate") {
         scenario = scenario.with_jrate_timers();
+    }
+    if cores > 1 {
+        return run_partitioned_cmd(args, &scenario, cores, alloc, horizon);
     }
     // A single run is a one-job campaign: same execution path, plus the
     // differential oracle for free.
@@ -214,6 +291,57 @@ fn cmd_run(args: &[String]) -> Result<bool, String> {
     Ok(oracle.violations().is_empty())
 }
 
+/// `run --cores n`: the partitioned execution path — per-core charts and
+/// verdicts, a core-tagged merged trace, per-core differential oracle.
+fn run_partitioned_cmd(
+    args: &[String],
+    scenario: &Scenario,
+    cores: usize,
+    alloc: rtft::part::AllocPolicy,
+    horizon: rtft_core::time::Duration,
+) -> Result<bool, String> {
+    if flag_value(args, "--svg").is_some() {
+        return Err("--svg is not supported with --cores > 1".into());
+    }
+    let (multi, oracle, partition) =
+        run_single_partitioned(scenario, cores, alloc, true).map_err(|e| e.to_string())?;
+    let (from, to) = match flag_value(args, "--window") {
+        Some(w) => {
+            let (a, b) = w.split_once("..").ok_or("window: expected <from>..<to>")?;
+            (
+                Instant::EPOCH + parse_duration(a)?,
+                Instant::EPOCH + parse_duration(b)?,
+            )
+        }
+        None => (Instant::EPOCH, Instant::EPOCH + horizon),
+    };
+    let cell = match flag_value(args, "--cell") {
+        Some(c) => parse_duration(c)?,
+        None => Duration::nanos((((to - from).as_nanos()) / 120).max(1)),
+    };
+    for run in &multi.cores {
+        println!("== core {} ==", run.core);
+        let core_set = partition.core_set(run.core).expect("occupied core");
+        println!("{}", run.outcome.chart(core_set, from, to, cell));
+        println!("{}", run.outcome.verdict);
+    }
+    println!(
+        "partitioned over {cores} cores ({alloc}): merged hash {:016x}",
+        multi.merged_hash()
+    );
+    let collateral = multi.collateral_failures();
+    println!("collateral failures: {collateral:?}");
+    if let Some(file) = flag_value(args, "--save-trace") {
+        std::fs::write(file, rtft::trace::merge::to_text(&multi.merged_events()))
+            .map_err(|e| format!("write {file}: {e}"))?;
+        println!("core-tagged trace written to {file}");
+    }
+    for v in oracle.violations() {
+        println!("ORACLE VIOLATION: {v}");
+    }
+    Ok(oracle.violations().is_empty())
+}
+
 fn run_campaign_cmd(args: &[String]) -> Result<bool, String> {
     let path = args.first().ok_or("campaign: missing spec file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
@@ -235,6 +363,10 @@ fn run_campaign_cmd(args: &[String]) -> Result<bool, String> {
     if let Some(file) = flag_value(args, "--report") {
         std::fs::write(file, &rendered).map_err(|e| format!("write {file}: {e}"))?;
         println!("report written to {file}");
+    }
+    if let Some(file) = flag_value(args, "--json") {
+        std::fs::write(file, report.to_json()).map_err(|e| format!("write {file}: {e}"))?;
+        println!("JSON report written to {file}");
     }
     if let Some(dir) = flag_value(args, "--repro-dir") {
         let dir = std::path::Path::new(dir);

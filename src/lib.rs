@@ -13,6 +13,7 @@
 //! | [`core`] | task model, feasibility analysis (paper Fig. 2 algorithm), allowance computation, blocking/sensitivity/server extensions |
 //! | [`sim`] | deterministic discrete-event simulator of a single-CPU FPPS system with jRate timer quantization and polled-stop models |
 //! | [`ft`] | detectors, the five paper treatments, scenario harness, dynamic-admission and under-run extensions |
+//! | [`part`] | partitioned multiprocessor scheduling: bin-packing allocators with per-core feasibility probes, per-core analysis sessions, multicore partitioned execution |
 //! | [`rtsj`] | RTSJ-shaped API (`RealtimeThreadExtended`, `PriorityScheduler`, timers, scoped-memory model) |
 //! | [`trace`] | trace log, file format, statistics, time-series charts |
 //! | [`taskgen`] | the paper's example systems, a task-file parser, UUniFast generators |
@@ -88,6 +89,7 @@
 pub use rtft_campaign as campaign;
 pub use rtft_core as core;
 pub use rtft_ft as ft;
+pub use rtft_part as part;
 pub use rtft_rtsj as rtsj;
 pub use rtft_sim as sim;
 pub use rtft_taskgen as taskgen;
@@ -98,6 +100,7 @@ pub mod prelude {
     pub use rtft_campaign::prelude::*;
     pub use rtft_core::prelude::*;
     pub use rtft_ft::prelude::*;
+    pub use rtft_part::prelude::*;
     pub use rtft_sim::prelude::*;
     pub use rtft_trace::{ChartConfig, TraceLog, TraceStats};
 }

@@ -317,3 +317,143 @@ fn infeasible_system_reported() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("NOT FEASIBLE"));
 }
+
+#[test]
+fn campaign_json_report_matches_the_text_digest() {
+    let dir = temp_dir("campaign-json");
+    let spec = dir.join("grid.campaign");
+    std::fs::write(&spec, CAMPAIGN_SPEC).unwrap();
+    let json_file = dir.join("report.json");
+    let out = rtft()
+        .args([
+            "campaign",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--json",
+            json_file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let text_digest = stdout
+        .lines()
+        .find(|l| l.starts_with("report digest:"))
+        .expect("digest line")
+        .trim_start_matches("report digest:")
+        .trim()
+        .to_string();
+    let json = std::fs::read_to_string(&json_file).unwrap();
+    assert!(
+        json.contains(&format!("\"digest\": \"{text_digest}\"")),
+        "JSON digest must match the text report digest `{text_digest}`:\n{json}"
+    );
+    assert!(json.contains("\"jobs_total\": 10"));
+    assert!(json.contains("\"ran\": 10"));
+    assert!(json.contains("\"by_treatment\""));
+    // Cheap structural check: balanced braces and brackets.
+    let depth = json.chars().fold(0i64, |d, c| match c {
+        '{' | '[' => d + 1,
+        '}' | ']' => d - 1,
+        _ => d,
+    });
+    assert_eq!(depth, 0, "JSON nesting unbalanced");
+}
+
+#[test]
+fn run_partitions_over_multiple_cores() {
+    let dir = temp_dir("run-cores");
+    let file = write_paper_file(&dir);
+    let trace = dir.join("merged.trace");
+    let out = rtft()
+        .args([
+            "run",
+            file.to_str().unwrap(),
+            "--cores",
+            "2",
+            "--alloc",
+            "wfd",
+            "--treatment",
+            "detect",
+            "--horizon",
+            "1300ms",
+            "--window",
+            "990ms..1140ms",
+            "--cell",
+            "1ms",
+            "--save-trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("== core 0 =="), "{stdout}");
+    assert!(stdout.contains("== core 1 =="), "{stdout}");
+    assert!(stdout.contains("partitioned over 2 cores (wfd)"));
+    // The saved merged trace is core-tagged.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.lines().any(|l| l.starts_with("c0 ")));
+    assert!(text.lines().any(|l| l.starts_with("c1 ")));
+    // A bad allocator name fails cleanly.
+    let bad = rtft()
+        .args([
+            "run",
+            file.to_str().unwrap(),
+            "--cores",
+            "2",
+            "--alloc",
+            "bogus",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(String::from_utf8(bad.stderr)
+        .unwrap()
+        .contains("unknown allocator"));
+}
+
+#[test]
+fn analyze_reports_the_partition_and_per_core_numbers() {
+    let dir = temp_dir("analyze-cores");
+    let file = write_paper_file(&dir);
+    let out = rtft()
+        .args([
+            "analyze",
+            file.to_str().unwrap(),
+            "--cores",
+            "2",
+            "--alloc",
+            "wfd",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("partitioning over 2 cores with wfd"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("core 0: U ="), "{stdout}");
+    assert!(stdout.contains("core 1: U ="), "{stdout}");
+    // τ1 alone on a core responds in exactly its cost.
+    assert!(stdout.contains("WCRT = 29ms"), "{stdout}");
+    assert!(stdout.contains("equitable allowance A ="), "{stdout}");
+}
+
+#[test]
+fn multicore_sweep_example_spec_runs_clean() {
+    let spec =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/multicore_sweep.campaign");
+    let out = rtft()
+        .args(["campaign", spec.to_str().unwrap(), "--workers", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // 2 sets × 3 core counts × 3 allocators × 2 treatments: the U > 1
+    // multicore sets are unplaceable on one core by design.
+    assert!(stdout.contains("jobs: 36 total"), "{stdout}");
+    assert!(stdout.contains("0 violations"));
+}
