@@ -18,11 +18,12 @@
 use crate::oracle::{self, OracleOutcome, OracleSkip};
 use crate::report::{CampaignReport, JobDigest, JobStatus};
 use crate::spec::{CampaignSpec, JobSpec, SpecError};
-use rtft_core::analyzer::{Analyzer, AnalyzerBuilder};
+use rtft_core::analyzer::Analyzer;
 use rtft_ft::harness::{run_scenario_with, HarnessError, ScenarioOutcome};
 use rtft_part::alloc::{allocate, AllocPolicy};
 use rtft_part::analyzer::PartitionedAnalyzer;
 use rtft_part::multicore::{run_partitioned, MulticoreError, MulticoreOutcome};
+use rtft_part::workbench::Workbench;
 use rtft_trace::EventKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -93,7 +94,7 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &RunConfig) -> Result<CampaignRepo
     let started = std::time::Instant::now();
 
     let digests: Vec<JobDigest> = if workers == 1 {
-        let mut session: Option<(usize, WorkerSession)> = None;
+        let mut session: Option<(usize, Workbench)> = None;
         jobs.iter()
             .map(|j| run_job(j, oracle, &mut session))
             .collect()
@@ -104,7 +105,7 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &RunConfig) -> Result<CampaignRepo
                 .map(|_| {
                     s.spawn(|| {
                         let mut local: Vec<JobDigest> = Vec::new();
-                        let mut session: Option<(usize, WorkerSession)> = None;
+                        let mut session: Option<(usize, Workbench)> = None;
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                             if start >= jobs.len() {
@@ -142,44 +143,36 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &RunConfig) -> Result<CampaignRepo
     ))
 }
 
-/// A worker's memoized analysis state for one `(set instance, policy,
-/// cores, alloc)` ordinal: a plain uniprocessor session for 1-core jobs
-/// (the pre-multicore pipeline, bit for bit), per-core sessions over the
-/// allocator's partition otherwise — or the allocator's rejection, so an
-/// unplaceable placement is diagnosed once, not once per job.
-enum WorkerSession {
-    Uni(Box<Analyzer>),
-    Multi(Box<PartitionedAnalyzer>),
-    Unplaceable(String),
-}
-
-fn build_session(job: &JobSpec) -> WorkerSession {
-    if job.cores <= 1 {
-        return WorkerSession::Uni(Box::new(
-            AnalyzerBuilder::new(&job.set)
-                .sched_policy(job.policy)
-                .build(),
-        ));
-    }
-    match allocate(&job.set, job.cores, job.policy, job.alloc) {
-        Ok(partition) => {
-            WorkerSession::Multi(Box::new(PartitionedAnalyzer::new(partition, job.policy)))
-        }
-        Err(e) => WorkerSession::Unplaceable(e.to_string()),
-    }
-}
-
 /// Execute one job and reduce it to a digest. `session` carries the
-/// worker's memoized analysis keyed by the job's placement ordinal.
-fn run_job(job: &JobSpec, oracle: bool, session: &mut Option<(usize, WorkerSession)>) -> JobDigest {
+/// worker's memoized [`Workbench`] keyed by the job's placement
+/// ordinal: the workbench owns exactly the analysis state the old
+/// per-worker session enum did — a plain uniprocessor session for
+/// 1-core jobs (the pre-multicore pipeline, bit for bit), per-core
+/// sessions over the allocator's partition otherwise, or the
+/// allocator's rejection diagnosed once, not once per job.
+fn run_job(job: &JobSpec, oracle: bool, session: &mut Option<(usize, Workbench)>) -> JobDigest {
     let fresh = !matches!(session, Some((ordinal, _)) if *ordinal == job.set_ordinal);
     if fresh {
-        *session = Some((job.set_ordinal, build_session(job)));
+        *session = Some((job.set_ordinal, Workbench::new(job.system_spec())));
     }
-    match &mut session.as_mut().expect("session just installed").1 {
-        WorkerSession::Uni(analyzer) => run_uni_job(job, oracle, analyzer),
-        WorkerSession::Multi(sessions) => run_multicore_job(job, oracle, sessions),
-        WorkerSession::Unplaceable(diag) => empty_digest(job, JobStatus::Unplaceable(diag.clone())),
+    let bench = &mut session.as_mut().expect("session just installed").1;
+    digest_job(job, oracle, bench)
+}
+
+/// Run one job against a [`Workbench`] over its
+/// [`system_spec`](JobSpec::system_spec) and reduce it to a digest —
+/// the single job path behind the campaign engine (and the
+/// lowered-to-queries cross-check tests).
+pub fn digest_job(job: &JobSpec, oracle: bool, bench: &mut Workbench) -> JobDigest {
+    if let Some(diag) = bench.unplaceable() {
+        let status = JobStatus::Unplaceable(diag.to_string());
+        return empty_digest(job, status);
+    }
+    if let Some(analyzer) = bench.uni_session_mut() {
+        run_uni_job(job, oracle, analyzer)
+    } else {
+        let sessions = bench.partitioned_mut().expect("multicore backend");
+        run_multicore_job(job, oracle, sessions)
     }
 }
 
@@ -408,13 +401,12 @@ pub fn run_single(
     sc: &rtft_ft::harness::Scenario,
     oracle: bool,
 ) -> Result<(ScenarioOutcome, OracleOutcome), HarnessError> {
-    let mut analyzer = AnalyzerBuilder::new(&sc.set)
-        .sched_policy(sc.policy)
-        .build();
-    let outcome = run_scenario_with(sc, &mut analyzer)?;
+    let job = single_job_spec(sc, 1, AllocPolicy::FirstFitDecreasing);
+    let mut bench = Workbench::new(job.system_spec());
+    let analyzer = bench.uni_session_mut().expect("1-core spec");
+    let outcome = run_scenario_with(sc, analyzer)?;
     let oracle_outcome = if oracle {
-        let job = single_job_spec(sc, 1, AllocPolicy::FirstFitDecreasing);
-        oracle::check(&job, &outcome, &mut analyzer)
+        oracle::check(&job, &outcome, analyzer)
     } else {
         OracleOutcome::NotRun
     };

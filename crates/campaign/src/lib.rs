@@ -50,18 +50,24 @@ pub mod oracle;
 pub mod report;
 pub mod spec;
 
-pub use engine::{available_workers, run_campaign, run_single, run_single_partitioned, RunConfig};
+pub use engine::{
+    available_workers, digest_job, run_campaign, run_single, run_single_partitioned, RunConfig,
+};
 pub use report::{CampaignReport, JobDigest, JobStatus};
+pub use rtft_part::workbench::Workbench;
 pub use spec::{
     parse_spec, CampaignSpec, FaultSource, JobSpec, PlatformSpec, SetSource, SpecError,
 };
 
 /// One-stop imports.
 pub mod prelude {
-    pub use crate::engine::{run_campaign, run_single, run_single_partitioned, RunConfig};
+    pub use crate::engine::{
+        digest_job, run_campaign, run_single, run_single_partitioned, RunConfig,
+    };
     pub use crate::oracle::{OracleOutcome, OracleViolation};
     pub use crate::report::{CampaignReport, JobDigest, JobStatus};
     pub use crate::spec::{
         parse_spec, CampaignSpec, FaultSource, JobSpec, PlatformSpec, SetSource, SpecError,
     };
+    pub use rtft_part::workbench::Workbench;
 }

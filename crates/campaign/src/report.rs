@@ -308,23 +308,9 @@ impl CampaignReport {
     /// cross-checked. Wall-clock fields are included but, as in the text
     /// report, are not part of the digest.
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            let mut out = String::with_capacity(s.len());
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\t' => out.push_str("\\t"),
-                    '\r' => out.push_str("\\r"),
-                    c if (c as u32) < 0x20 => {
-                        let _ = write!(out, "\\u{:04x}", c as u32);
-                    }
-                    c => out.push(c),
-                }
-            }
-            out
-        }
+        // The one JSON escape table of the workspace lives on the
+        // query plane.
+        use rtft_core::query::json_escape as esc;
         fn num(v: f64) -> String {
             if v.is_finite() {
                 format!("{v}")

@@ -10,6 +10,7 @@
 //! directly.
 
 use rtft_core::policy::PolicyKind;
+use rtft_core::query::{FaultEntry, PlatformModel, SystemSpec};
 use rtft_core::task::{TaskBuilder, TaskId, TaskSet, TaskSpec};
 use rtft_core::time::{Duration, Instant};
 use rtft_ft::treatment::Treatment;
@@ -186,31 +187,42 @@ impl PlatformSpec {
         }
     }
 
-    /// Stable label for reports.
+    /// Stable label for reports (delegates to the query plane's
+    /// [`PlatformModel`], the single rendering of platform fields).
     pub fn label(&self) -> String {
-        self.render("+", |d| d.to_string())
+        self.to_model().label()
     }
 
-    /// The non-default fields as `key=value` tokens joined by `sep` —
-    /// the single field walk behind both the report label and the
-    /// spec-file line (see [`parse_spec`]), so the two can never drift.
-    fn render(&self, sep: &str, fmt: impl Fn(Duration) -> String) -> String {
-        let mut s = match self.timer.quantum {
-            None => "exact".to_string(),
-            Some(q) if q == Duration::millis(10) => "jrate".to_string(),
-            Some(q) => format!("quantum={}", fmt(q)),
-        };
-        for (key, value) in [
-            ("poll", self.stop.poll),
-            ("pollovh", self.stop.poll_overhead),
-            ("dispatch", self.overheads.dispatch),
-            ("detfire", self.overheads.detector_fire),
-        ] {
-            if value.is_positive() {
-                let _ = write!(s, "{sep}{key}={}", fmt(value));
-            }
+    /// Project onto the serializable platform vocabulary of
+    /// [`rtft_core::query`] — a `PlatformSpec` is now a thin wrapper
+    /// binding that vocabulary to the simulator's executable models.
+    pub fn to_model(&self) -> PlatformModel {
+        PlatformModel {
+            quantum: self.timer.quantum,
+            poll: self.stop.poll,
+            poll_overhead: self.stop.poll_overhead,
+            dispatch: self.overheads.dispatch,
+            detector_fire: self.overheads.detector_fire,
         }
-        s
+    }
+
+    /// Lift a serialized [`PlatformModel`] back into the simulator's
+    /// executable timer/stop/overhead models.
+    pub fn from_model(m: &PlatformModel) -> Self {
+        PlatformSpec {
+            timer: match m.quantum {
+                None => TimerModel::EXACT,
+                Some(q) => TimerModel::quantized(q),
+            },
+            stop: StopModel {
+                poll: m.poll,
+                poll_overhead: m.poll_overhead,
+            },
+            overheads: Overheads {
+                dispatch: m.dispatch,
+                detector_fire: m.detector_fire,
+            },
+        }
     }
 }
 
@@ -317,9 +329,32 @@ impl JobSpec {
         .with_policy(self.policy)
     }
 
+    /// Lower this job to the query plane's [`SystemSpec`] — the one
+    /// value the `Workbench`, the per-core engines and the repro
+    /// artifact all consume. The campaign-only axes (treatment,
+    /// horizon, oracle switch) stay on the job: they parameterize the
+    /// *experiment*, not the system.
+    pub fn system_spec(&self) -> SystemSpec {
+        SystemSpec {
+            name: self.set_label.clone(),
+            set: (*self.set).clone(),
+            policy: self.policy,
+            cores: self.cores,
+            alloc: self.alloc,
+            faults: self
+                .faults
+                .entries()
+                .map(|(task, job, delta)| FaultEntry { task, job, delta })
+                .collect(),
+            platform: self.platform.to_model(),
+        }
+    }
+
     /// Serialize this job as a standalone one-job campaign spec — the
-    /// repro artifact emitted for oracle violations. Round-trips through
-    /// [`parse_spec`].
+    /// repro artifact emitted for oracle violations. The system body is
+    /// the [`SystemSpec`] line rendering (the campaign format is a thin
+    /// wrapper over it: a header, the system lines, the treatment).
+    /// Round-trips through [`parse_spec`].
     pub fn repro_spec(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "# repro: job {} ({})", self.index, self.set_label);
@@ -330,44 +365,8 @@ impl JobSpec {
             (self.horizon - Instant::EPOCH).as_nanos()
         );
         let _ = writeln!(out, "oracle on");
-        let name_of = |id: TaskId| {
-            self.set
-                .by_id(id)
-                .map_or_else(|| format!("t{}", id.0), |t| t.name.clone())
-        };
-        for t in self.set.tasks() {
-            let _ = write!(
-                out,
-                "task {} {} {}ns {}ns {}ns",
-                t.name,
-                t.priority.0,
-                t.period.as_nanos(),
-                t.deadline.as_nanos(),
-                t.cost.as_nanos()
-            );
-            if !t.offset.is_zero() {
-                let _ = write!(out, " {}ns", t.offset.as_nanos());
-            }
-            out.push('\n');
-        }
-        for (task, job, delta) in self.faults.entries() {
-            let (kind, amount) = if delta.is_negative() {
-                ("underrun", -delta)
-            } else {
-                ("overrun", delta)
-            };
-            let _ = writeln!(
-                out,
-                "fault {} job {job} {kind} {}ns",
-                name_of(task),
-                amount.as_nanos()
-            );
-        }
-        let _ = writeln!(out, "policy {}", self.policy.label());
-        let _ = writeln!(out, "cores {}", self.cores);
-        let _ = writeln!(out, "alloc {}", self.alloc.label());
+        self.system_spec().render_lines(&mut out);
         let _ = writeln!(out, "treatment {}", treatment_keyword(self.treatment));
-        let _ = writeln!(out, "platform {}", platform_spec_line(&self.platform));
         out
     }
 }
@@ -568,10 +567,6 @@ pub fn parse_treatment(name: &str) -> Result<Treatment, String> {
         },
         other => return Err(format!("unknown treatment `{other}`")),
     })
-}
-
-fn platform_spec_line(p: &PlatformSpec) -> String {
-    p.render(" ", |d| format!("{}ns", d.as_nanos()))
 }
 
 /// Split a `key=value` token.
@@ -901,31 +896,10 @@ pub fn parse_spec(text: &str) -> Result<CampaignSpec, SpecError> {
                 None => return Err(err("treatment: missing name".into())),
             },
             "platform" => {
-                let mut platform = PlatformSpec::EXACT;
-                for (i, token) in words[1..].iter().enumerate() {
-                    match (i, *token) {
-                        (0, "exact") => {}
-                        (0, "jrate") => platform.timer = TimerModel::jrate(),
-                        _ => {
-                            let (k, v) = kv(token).map_err(&err)?;
-                            let d = parse_duration(v).map_err(&err)?;
-                            if !d.is_positive() {
-                                return Err(err(format!("{k} must be positive")));
-                            }
-                            match k {
-                                "quantum" => platform.timer = TimerModel::quantized(d),
-                                "poll" => platform.stop.poll = d,
-                                "pollovh" => platform.stop.poll_overhead = d,
-                                "dispatch" => platform.overheads.dispatch = d,
-                                "detfire" => platform.overheads.detector_fire = d,
-                                other => {
-                                    return Err(err(format!("unknown platform key `{other}`")))
-                                }
-                            }
-                        }
-                    }
-                }
-                spec.platforms.push(platform);
+                // The platform token grammar is the query plane's (one
+                // parser, shared with `rtft query` batches).
+                let model = PlatformModel::parse_tokens(&words[1..]).map_err(&err)?;
+                spec.platforms.push(PlatformSpec::from_model(&model));
             }
             other => return Err(err(format!("unknown directive `{other}`"))),
         }

@@ -255,3 +255,43 @@ fn oracle_switch_changes_outcomes_not_traces() {
     let wo_hashes: Vec<u64> = without.jobs.iter().map(|d| d.trace_hash).collect();
     assert_eq!(w_hashes, wo_hashes, "the oracle must not perturb the runs");
 }
+
+/// A grid mixing uniprocessor and partitioned placements for the
+/// query-plane cross-check.
+const QUERY_CROSS_SPEC: &str = "\
+campaign query-cross-check
+horizon 800ms
+oracle on
+taskgen paper
+taskgen uunifast n=4 u=0.6 seeds=0..2 periods=20ms..150ms
+cores 1 2
+alloc ffd wfd
+faults paper
+treatment detect
+treatment system
+platform exact
+";
+
+/// Every campaign job lowered to the query plane — a `SystemSpec` fed
+/// to a fresh `Workbench` — must reduce to the byte-identical digest
+/// the engine path produced, and the engine itself must stay
+/// digest-identical between 1 and 4 workers while running on the same
+/// lowered workbenches.
+#[test]
+fn jobs_lowered_to_queries_match_engine_digests_at_1_and_4_workers() {
+    let spec = parse_spec(QUERY_CROSS_SPEC).unwrap();
+    let one = run_campaign(&spec, &RunConfig::sequential()).unwrap();
+    let four = run_campaign(&spec, &RunConfig::sequential().with_workers(4)).unwrap();
+    assert_eq!(one.digest(), four.digest());
+    assert_eq!(one.jobs, four.jobs);
+
+    let jobs = spec.expand().unwrap();
+    assert_eq!(jobs.len(), one.jobs.len());
+    for (job, engine_digest) in jobs.iter().zip(&one.jobs) {
+        // A cold workbench per job: no session sharing with neighbours,
+        // so equality proves the memoized engine path changes nothing.
+        let mut bench = Workbench::new(job.system_spec());
+        let lowered = digest_job(job, true, &mut bench);
+        assert_eq!(&lowered, engine_digest, "job {}", job.index);
+    }
+}

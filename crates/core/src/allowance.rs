@@ -19,7 +19,6 @@
 //! the inflation, so binary search returns the true maximum, not an
 //! approximation.
 
-use crate::error::AnalysisError;
 use crate::task::{TaskId, TaskSet};
 use crate::time::Duration;
 
@@ -36,6 +35,39 @@ pub enum SlackPolicy {
     /// fails non-faulty lower-priority tasks. With this policy the faulty
     /// task's own deadline does not cap its grant.
     ProtectOthers,
+}
+
+impl SlackPolicy {
+    /// Short stable label (query batches, report columns).
+    pub fn label(self) -> &'static str {
+        match self {
+            SlackPolicy::ProtectAll => "protect-all",
+            SlackPolicy::ProtectOthers => "protect-others",
+        }
+    }
+}
+
+impl std::fmt::Display for SlackPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for SlackPolicy {
+    type Err = String;
+
+    /// Parse a slack-policy keyword: `protect-all` | `protect-others`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "protect-all" => SlackPolicy::ProtectAll,
+            "protect-others" => SlackPolicy::ProtectOthers,
+            other => {
+                return Err(format!(
+                    "unknown slack policy `{other}` (expected protect-all|protect-others)"
+                ))
+            }
+        })
+    }
 }
 
 /// Result of the equitable-allowance computation (paper §4.2 + Table 3).
@@ -69,70 +101,6 @@ pub struct SystemAllowance {
     pub policy: SlackPolicy,
 }
 
-/// Largest uniform cost increment keeping the whole set feasible
-/// (paper §4.2). Returns [`AnalysisError::Divergent`]-style errors from the
-/// underlying analysis; an infeasible *base* system yields `Ok(None)`.
-#[deprecated(
-    since = "0.2.0",
-    note = "one-shot wrapper that rebuilds the analysis from scratch; hold an \
-            `analyzer::Analyzer` session and call `.equitable_allowance()` to \
-            share and warm-start the fixed-point state"
-)]
-pub fn equitable_allowance(set: &TaskSet) -> Result<Option<EquitableAllowance>, AnalysisError> {
-    crate::analyzer::Analyzer::new(set).equitable_allowance()
-}
-
-/// Largest overrun the task at `rank` can make **alone** with the rest of
-/// the system staying feasible (paper §4.3's `M_i`). `Ok(None)` when the
-/// base system is already infeasible.
-#[deprecated(
-    since = "0.2.0",
-    note = "one-shot wrapper; use `analyzer::Analyzer::max_single_overrun_with` \
-            on a session to warm-start the search"
-)]
-pub fn max_single_overrun(
-    set: &TaskSet,
-    rank: usize,
-    policy: SlackPolicy,
-) -> Result<Option<Duration>, AnalysisError> {
-    crate::analyzer::Analyzer::new(set).max_single_overrun_with(rank, policy)
-}
-
-/// `M_i` for every task (paper §4.3). `Ok(None)` when the base system is
-/// infeasible.
-#[deprecated(
-    since = "0.2.0",
-    note = "one-shot wrapper; use `analyzer::Analyzer::system_allowance_with` \
-            on a session — the per-task searches then share one analysis state"
-)]
-pub fn system_allowance(
-    set: &TaskSet,
-    policy: SlackPolicy,
-) -> Result<Option<SystemAllowance>, AnalysisError> {
-    crate::analyzer::Analyzer::new(set).system_allowance_with(policy)
-}
-
-/// How much of a lower-priority task's slack a set of simultaneous
-/// higher-priority overruns consumes: the WCRT of `victim` when each
-/// `(rank, overrun)` pair inflates the corresponding cost.
-///
-/// Used by the run-time allowance manager to subtract "the more priority
-/// tasks overrun" (paper §4.3) when granting a later faulty task.
-#[deprecated(
-    since = "0.2.0",
-    note = "one-shot wrapper; use `analyzer::Analyzer::wcrt_under_overruns` on \
-            a session to reuse its cached busy-period solutions"
-)]
-pub fn wcrt_under_overruns(
-    set: &TaskSet,
-    victim: usize,
-    overruns: &[(usize, Duration)],
-) -> Result<Duration, AnalysisError> {
-    let mut session = crate::analyzer::Analyzer::new(set);
-    let _ = session.wcrt(victim);
-    session.wcrt_under_overruns(victim, overruns)
-}
-
 /// Identify which task's deadline is the *binding constraint* for the
 /// equitable allowance: the task whose inflated WCRT sits closest to its
 /// deadline. Returns `(TaskId, residual slack)`.
@@ -149,11 +117,8 @@ pub fn binding_task(set: &TaskSet, eq: &EquitableAllowance) -> (TaskId, Duration
 
 #[cfg(test)]
 mod tests {
-    // The free functions under test are the deprecated compatibility
-    // shims; these tests pin their behaviour to the Analyzer's.
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::analyzer::Analyzer;
     use crate::response::ResponseAnalysis;
     use crate::task::TaskBuilder;
 
@@ -178,7 +143,10 @@ mod tests {
     #[test]
     fn equitable_allowance_matches_paper_table2() {
         // Paper Table 2, column A_i: eleven milliseconds for every task.
-        let eq = equitable_allowance(&table2()).unwrap().unwrap();
+        let eq = Analyzer::new(&table2())
+            .equitable_allowance()
+            .unwrap()
+            .unwrap();
         assert_eq!(eq.allowance, ms(11));
         // Paper Table 3: inflated WCRTs 40 / 80 / 120 ms.
         assert_eq!(eq.inflated_wcrt, vec![ms(40), ms(80), ms(120)]);
@@ -190,7 +158,7 @@ mod tests {
         // With A the system is feasible; with A + 1 ns it is not (exactness
         // of the integer binary search).
         let set = table2();
-        let eq = equitable_allowance(&set).unwrap().unwrap();
+        let eq = Analyzer::new(&set).equitable_allowance().unwrap().unwrap();
         let mut r = ResponseAnalysis::new(&set);
         r.inflate_all(eq.allowance);
         assert!(r.is_feasible().unwrap());
@@ -203,7 +171,7 @@ mod tests {
         // For the paper's system the equitable allowance is capped by τ3:
         // its inflated WCRT lands exactly on its deadline.
         let set = table2();
-        let eq = equitable_allowance(&set).unwrap().unwrap();
+        let eq = Analyzer::new(&set).equitable_allowance().unwrap().unwrap();
         let (id, slack) = binding_task(&set, &eq);
         assert_eq!(id, TaskId(3));
         assert_eq!(slack, Duration::ZERO);
@@ -213,7 +181,8 @@ mod tests {
     fn system_allowance_matches_paper_33ms() {
         // Paper §6.5: "all the system time available in the worst execution
         // case, that is to say thirty three milliseconds" for τ1.
-        let sa = system_allowance(&table2(), SlackPolicy::ProtectAll)
+        let sa = Analyzer::new(&table2())
+            .system_allowance_with(SlackPolicy::ProtectAll)
             .unwrap()
             .unwrap();
         assert_eq!(sa.max_overrun[0], ms(33));
@@ -234,10 +203,13 @@ mod tests {
                 .deadline(ms(200))
                 .build(),
         ]);
-        let all = max_single_overrun(&set, 0, SlackPolicy::ProtectAll)
+        let mut session = Analyzer::new(&set);
+        let all = session
+            .max_single_overrun_with(0, SlackPolicy::ProtectAll)
             .unwrap()
             .unwrap();
-        let others = max_single_overrun(&set, 0, SlackPolicy::ProtectOthers)
+        let others = session
+            .max_single_overrun_with(0, SlackPolicy::ProtectOthers)
             .unwrap()
             .unwrap();
         assert_eq!(all, ms(11), "capped by own 40 ms deadline");
@@ -252,9 +224,12 @@ mod tests {
             TaskBuilder::new(1, 10, ms(10), ms(8)).build(),
             TaskBuilder::new(2, 5, ms(10), ms(8)).build(),
         ]);
-        assert_eq!(equitable_allowance(&set).unwrap(), None);
+        let mut session = Analyzer::new(&set);
+        assert_eq!(session.equitable_allowance().unwrap(), None);
         assert_eq!(
-            system_allowance(&set, SlackPolicy::ProtectAll).unwrap(),
+            session
+                .system_allowance_with(SlackPolicy::ProtectAll)
+                .unwrap(),
             None
         );
     }
@@ -269,21 +244,25 @@ mod tests {
                 .deadline(ms(10))
                 .build(),
         ]);
-        let eq = equitable_allowance(&set).unwrap().unwrap();
+        let eq = Analyzer::new(&set).equitable_allowance().unwrap().unwrap();
         assert_eq!(eq.allowance, Duration::ZERO);
     }
 
     #[test]
     fn wcrt_under_overruns_accumulates() {
         let set = table2();
+        let mut session = Analyzer::new(&set);
+        let _ = session.wcrt(2);
         // τ1 overruns 20 ms: τ3 sees 87 + 20 = 107.
         assert_eq!(
-            wcrt_under_overruns(&set, 2, &[(0, ms(20))]).unwrap(),
+            session.wcrt_under_overruns(2, &[(0, ms(20))]).unwrap(),
             ms(107)
         );
         // τ1 and τ2 overrun 20 ms each: τ3 sees 127 (> deadline).
         assert_eq!(
-            wcrt_under_overruns(&set, 2, &[(0, ms(20)), (1, ms(20))]).unwrap(),
+            session
+                .wcrt_under_overruns(2, &[(0, ms(20)), (1, ms(20))])
+                .unwrap(),
             ms(127)
         );
     }

@@ -1107,6 +1107,17 @@ impl Analyzer {
         rank: usize,
         policy: SlackPolicy,
     ) -> Result<Option<Duration>, AnalysisError> {
+        // A memoized system allowance under the same policy already ran
+        // this exact search: `M_rank` is its per-task entry. Only a
+        // `Some` result can be reused — a `None` system allowance does
+        // NOT mean every per-rank search is `None` (under
+        // `ProtectOthers` the probed task's own deadline is exempt, so
+        // base feasibility is rank-dependent).
+        if let Some((p, Some(sa))) = &self.sys_cache {
+            if *p == policy {
+                return Ok(Some(sa.max_overrun[rank]));
+            }
+        }
         let task = self.set.by_rank(rank);
         let hi = match policy {
             SlackPolicy::ProtectAll => (task.deadline - self.costs[rank]).max(Duration::ZERO),
@@ -1713,5 +1724,51 @@ mod tests {
         );
         // Session state untouched.
         assert_eq!(a.wcrt_all().unwrap(), vec![ms(29), ms(58), ms(87)]);
+    }
+
+    #[test]
+    fn overrun_search_is_not_poisoned_by_a_none_system_allowance() {
+        // τ2 misses its own deadline at base (10 + 50 > 55): the
+        // whole-system allowance under ProtectOthers is None (τ1's
+        // search must protect τ2's hopeless deadline), but τ2's own
+        // search — which exempts its deadline — still has an answer.
+        // The system-allowance memo must not conflate the two.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 2, ms(100), ms(10)).build(),
+            TaskBuilder::new(2, 1, ms(100), ms(50))
+                .deadline(ms(55))
+                .build(),
+        ]);
+        let direct = Analyzer::new(&set)
+            .max_single_overrun_with(1, SlackPolicy::ProtectOthers)
+            .unwrap();
+        assert!(direct.is_some(), "τ2's own-deadline-exempt search answers");
+        let mut session = Analyzer::new(&set);
+        assert_eq!(
+            session
+                .system_allowance_with(SlackPolicy::ProtectOthers)
+                .unwrap(),
+            None
+        );
+        assert_eq!(
+            session
+                .max_single_overrun_with(1, SlackPolicy::ProtectOthers)
+                .unwrap(),
+            direct,
+            "a memoized None system allowance must not shadow the per-task search"
+        );
+        // A Some system allowance IS reused, bit for bit.
+        let mut warm = Analyzer::new(&table2());
+        let sa = warm
+            .system_allowance_with(SlackPolicy::ProtectAll)
+            .unwrap()
+            .unwrap();
+        for rank in 0..3 {
+            assert_eq!(
+                warm.max_single_overrun_with(rank, SlackPolicy::ProtectAll)
+                    .unwrap(),
+                Some(sa.max_overrun[rank])
+            );
+        }
     }
 }

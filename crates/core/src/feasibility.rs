@@ -61,17 +61,6 @@ impl FeasibilityReport {
     }
 }
 
-/// Run the full admission analysis on a set: load test first (paper §2.1),
-/// then exact response times (paper §2.2).
-#[deprecated(
-    since = "0.2.0",
-    note = "one-shot wrapper; hold an `analyzer::Analyzer` session and call \
-            `.report()` — repeated queries then reuse the cached WCRTs"
-)]
-pub fn analyze_set(set: &TaskSet) -> Result<FeasibilityReport, AnalysisError> {
-    crate::analyzer::Analyzer::new(set).report()
-}
-
 /// Outcome of an admission request.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Admission {
@@ -253,11 +242,8 @@ impl std::error::Error for AdmissionError {}
 
 #[cfg(test)]
 mod tests {
-    // `analyze_set` is the deprecated compatibility shim; these tests
-    // pin its behaviour to the Analyzer's.
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::analyzer::Analyzer;
     use crate::task::TaskBuilder;
 
     fn ms(v: i64) -> Duration {
@@ -337,7 +323,7 @@ mod tests {
             TaskBuilder::new(1, 2, ms(10), ms(8)).build(),
             TaskBuilder::new(2, 1, ms(10), ms(8)).build(),
         ]);
-        let report = analyze_set(&set).unwrap();
+        let report = Analyzer::new(&set).report().unwrap();
         assert!(report.overloaded);
         assert!(!report.is_feasible());
         assert!(report.per_task.is_empty());
@@ -352,7 +338,7 @@ mod tests {
             TaskBuilder::new(1, 2, ms(4), ms(2)).build(),
             TaskBuilder::new(2, 1, ms(8), ms(4)).build(),
         ]);
-        let report = analyze_set(&set).unwrap();
+        let report = Analyzer::new(&set).report().unwrap();
         assert!(!report.overloaded);
         assert!((report.utilization - 1.0).abs() < 1e-12);
         assert!(report.is_feasible());

@@ -135,37 +135,6 @@ pub(crate) mod engine {
     }
 }
 
-/// WCRTs of every task under jitter, rank order.
-#[deprecated(
-    since = "0.2.0",
-    note = "one-shot wrapper; build a session with \
-            `analyzer::AnalyzerBuilder::new(set).jitter(model).build()` and \
-            call `.wcrt_all_with_jitter()` — results are memoized there"
-)]
-pub fn wcrt_all_with_jitter(
-    set: &TaskSet,
-    jitter: &JitterModel,
-) -> Result<Vec<Duration>, AnalysisError> {
-    crate::analyzer::AnalyzerBuilder::new(set)
-        .jitter(jitter)
-        .build()
-        .wcrt_all_with_jitter()
-}
-
-/// Feasibility under jitter.
-#[deprecated(
-    since = "0.2.0",
-    note = "one-shot wrapper; build a session with \
-            `analyzer::AnalyzerBuilder::new(set).jitter(model).build()` and \
-            call `.feasible_with_jitter()`"
-)]
-pub fn feasible_with_jitter(set: &TaskSet, jitter: &JitterModel) -> Result<bool, AnalysisError> {
-    crate::analyzer::AnalyzerBuilder::new(set)
-        .jitter(jitter)
-        .build()
-        .feasible_with_jitter()
-}
-
 /// Worst-case detector lag for each task when detector first releases are
 /// snapped **up** to a grid of `quantum`: the paper's measured 1/2/3 ms
 /// delays are instances (`29→30`, `58→60`, `87→90` on the 10 ms grid).
@@ -189,12 +158,15 @@ pub fn detector_lags(
 
 #[cfg(test)]
 mod tests {
-    // The `*_all_with_jitter` functions under test are the deprecated
-    // shims; these tests pin their behaviour to the Analyzer's.
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::analyzer::AnalyzerBuilder;
     use crate::response::wcrt_all;
+
+    /// Session under `set` with the jitter model installed — the
+    /// replacement for the removed one-shot wrappers.
+    fn jittered(set: &TaskSet, j: &JitterModel) -> crate::analyzer::Analyzer {
+        AnalyzerBuilder::new(set).jitter(j).build()
+    }
     use crate::task::TaskBuilder;
 
     fn ms(v: i64) -> Duration {
@@ -220,10 +192,10 @@ mod tests {
         let set = table2();
         let j = JitterModel::zero(&set);
         assert_eq!(
-            wcrt_all_with_jitter(&set, &j).unwrap(),
+            jittered(&set, &j).wcrt_all_with_jitter().unwrap(),
             wcrt_all(&set).unwrap()
         );
-        assert!(feasible_with_jitter(&set, &j).unwrap());
+        assert!(jittered(&set, &j).feasible_with_jitter().unwrap());
     }
 
     #[test]
@@ -254,9 +226,13 @@ mod tests {
     #[test]
     fn jitter_monotonicity() {
         let set = table2();
-        let mut prev = wcrt_all_with_jitter(&set, &JitterModel::zero(&set)).unwrap();
+        let mut prev = jittered(&set, &JitterModel::zero(&set))
+            .wcrt_all_with_jitter()
+            .unwrap();
         for q in [1i64, 5, 10, 20] {
-            let cur = wcrt_all_with_jitter(&set, &JitterModel::uniform(&set, ms(q))).unwrap();
+            let cur = jittered(&set, &JitterModel::uniform(&set, ms(q)))
+                .wcrt_all_with_jitter()
+                .unwrap();
             for (a, b) in prev.iter().zip(&cur) {
                 assert!(b >= a, "jitter must not reduce response times");
             }
@@ -274,10 +250,12 @@ mod tests {
                 .build(),
         ]);
         // No jitter: w2 = 6 + ⌈w/10⌉·4 fixes at 10 ≤ 14 ✓.
-        assert!(feasible_with_jitter(&set, &JitterModel::zero(&set)).unwrap());
+        assert!(jittered(&set, &JitterModel::zero(&set))
+            .feasible_with_jitter()
+            .unwrap());
         // τ1 jitter 7 ms: w = 6 + ⌈(w+7)/10⌉·4 fixes at 18 > 14.
         let j = JitterModel::per_task(&set, vec![ms(7), ms(0)]);
-        assert!(!feasible_with_jitter(&set, &j).unwrap());
+        assert!(!jittered(&set, &j).feasible_with_jitter().unwrap());
     }
 
     #[test]

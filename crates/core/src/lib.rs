@@ -74,9 +74,18 @@
 //!
 //! Composed options (release jitter, priority-ceiling blocking, polling
 //! servers, slack policy) go through [`analyzer::AnalyzerBuilder`]. The
-//! free functions of [`feasibility`], [`allowance`], [`jitter`] and
-//! [`sensitivity`] remain as deprecated one-shot shims over the session
-//! API for one release; they return bit-identical results.
+//! deprecated one-shot free functions of [`feasibility`], [`allowance`],
+//! [`jitter`] and [`sensitivity`] have completed their deprecation cycle
+//! and are gone; every caller holds a session.
+//!
+//! ## The query plane
+//!
+//! [`query`] serializes "which system, which question" once for every
+//! layer: a [`query::SystemSpec`] (task set + policy + cores/alloc +
+//! fault plan + platform) plus [`query::Query`] values answered by
+//! typed [`query::Response`]s. `rtft-part`'s `Workbench` executes them,
+//! dispatching to a uniprocessor or partitioned session automatically;
+//! `rtft query` serves a batch from a file or stdin.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -90,6 +99,7 @@ pub mod feasibility;
 pub mod jitter;
 pub mod policy;
 pub mod priority;
+pub mod query;
 pub mod response;
 pub mod sensitivity;
 pub mod server;
@@ -104,15 +114,9 @@ pub mod prelude {
     pub use crate::error::{AnalysisError, ModelError};
     pub use crate::feasibility::{Admission, AdmissionController, FeasibilityReport};
     pub use crate::policy::PolicyKind;
+    pub use crate::query::{Query, Response, SystemSpec};
     pub use crate::response::{analyze, wcrt, wcrt_all, ResponseAnalysis, TaskResponse};
     pub use crate::task::{Priority, TaskBuilder, TaskId, TaskSet, TaskSpec};
     pub use crate::time::{Duration, Instant};
     pub use crate::utilization::{load_test, LoadVerdict};
-
-    // Deprecated one-shot shims, re-exported for source compatibility
-    // during the migration window; prefer the `Analyzer` session.
-    #[allow(deprecated)]
-    pub use crate::allowance::{equitable_allowance, max_single_overrun, system_allowance};
-    #[allow(deprecated)]
-    pub use crate::feasibility::analyze_set;
 }

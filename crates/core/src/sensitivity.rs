@@ -6,71 +6,27 @@
 //! answers "how much *extra* execution can be absorbed"; this module
 //! answers the complementary calibration questions:
 //!
-//! * [`cost_scaling_margin`] — the largest multiplicative factor `f` such
-//!   that the system with costs `f·C_i` stays feasible (the classical
-//!   *critical scaling factor*);
-//! * [`task_cost_slack`] — per-task additive slack (alias of the
-//!   single-task overrun search, exposed here under its sensitivity name);
-//! * [`min_feasible_cost`] — how far a cost can be *reduced* before the
-//!   analysis stops being the binding certificate (always 1 ns: feasibility
-//!   is monotone, so reduction never hurts — provided as an explicit,
-//!   testable statement of that monotonicity);
-//! * [`underrun_reclaim`] — given observed under-runs (paper §7: "it is
-//!   also possible to overestimate it"), how much allowance the *remaining*
-//!   tasks gain if the measured costs replace the declared ones.
+//! * [`Analyzer::cost_scaling_margin`](crate::analyzer::Analyzer::cost_scaling_margin)
+//!   — the largest multiplicative factor `f` such that the system with
+//!   costs `f·C_i` stays feasible (the classical *critical scaling
+//!   factor*);
+//! * [`Analyzer::max_single_overrun_with`](crate::analyzer::Analyzer::max_single_overrun_with)
+//!   — per-task additive cost slack (the single-task overrun search);
+//! * [`Analyzer::set_cost`](crate::analyzer::Analyzer::set_cost) followed
+//!   by `wcrt_all()` — the monotonicity witness that reducing a cost never
+//!   hurts feasibility;
+//! * [`Analyzer::underrun_reclaim`](crate::analyzer::Analyzer::underrun_reclaim)
+//!   — given observed under-runs (paper §7: "it is also possible to
+//!   overestimate it"), how much allowance the *remaining* tasks gain if
+//!   the measured costs replace the declared ones; its result type
+//!   [`UnderrunReclaim`] lives here.
+//!
+//! The one-shot free functions this module used to export were
+//! deprecated in 0.2.0 and have been removed; every caller holds an
+//! [`Analyzer`](crate::analyzer::Analyzer) session (or issues
+//! [`crate::query::Query::Sensitivity`] through a `Workbench`).
 
-use crate::allowance::SlackPolicy;
-use crate::analyzer::Analyzer;
-use crate::error::AnalysisError;
-use crate::task::{TaskId, TaskSet};
 use crate::time::Duration;
-
-/// Largest factor `f ≥ 1` (within `1e-9`) such that scaling every cost by
-/// `f` keeps the set feasible; `None` when the set is infeasible as-is.
-/// A result of exactly `1.0` means there is no multiplicative headroom.
-#[deprecated(
-    since = "0.2.0",
-    note = "one-shot wrapper; use `analyzer::Analyzer::cost_scaling_margin` on \
-            a session — its probes warm-start from the feasible frontier"
-)]
-pub fn cost_scaling_margin(set: &TaskSet) -> Result<Option<f64>, AnalysisError> {
-    Analyzer::new(set).cost_scaling_margin()
-}
-
-/// Additive cost slack of one task: how much its cost may grow, everything
-/// else fixed, with the whole system staying feasible. Sensitivity-analysis
-/// name for the single-task overrun search with [`SlackPolicy::ProtectAll`].
-#[deprecated(
-    since = "0.2.0",
-    note = "one-shot wrapper; use `analyzer::Analyzer::max_single_overrun_with` \
-            with `SlackPolicy::ProtectAll`"
-)]
-pub fn task_cost_slack(set: &TaskSet, rank: usize) -> Result<Option<Duration>, AnalysisError> {
-    Analyzer::new(set).max_single_overrun_with(rank, SlackPolicy::ProtectAll)
-}
-
-/// Monotonicity witness: reducing any cost keeps a feasible system
-/// feasible. Returns the response-time vector after the reduction so tests
-/// (and callers reclaiming budget) can observe the improvement.
-#[deprecated(
-    since = "0.2.0",
-    note = "one-shot wrapper; on an `analyzer::Analyzer` session call \
-            `set_cost(rank, reduced)` followed by `wcrt_all()`"
-)]
-pub fn min_feasible_cost(
-    set: &TaskSet,
-    rank: usize,
-    reduced: Duration,
-) -> Result<Vec<Duration>, AnalysisError> {
-    assert!(reduced.is_positive(), "cost must stay positive");
-    assert!(
-        reduced <= set.by_rank(rank).cost,
-        "min_feasible_cost is for reductions"
-    );
-    let mut session = Analyzer::new(set);
-    session.set_cost(rank, reduced);
-    session.wcrt_all()
-}
 
 /// Result of reclaiming observed under-runs (paper §7 "detect these costs
 /// under-run and reassign resources").
@@ -84,31 +40,13 @@ pub struct UnderrunReclaim {
     pub gained: Duration,
 }
 
-/// Recompute the equitable allowance after substituting measured costs
-/// (`(task, observed_cost)` pairs, each at most the declared cost) for the
-/// declared ones. Quantifies how much extra tolerance under-running tasks
-/// hand back to the system.
-#[deprecated(
-    since = "0.2.0",
-    note = "one-shot wrapper; use `analyzer::Analyzer::underrun_reclaim` on a \
-            session to reuse its memoized declared-cost allowance"
-)]
-pub fn underrun_reclaim(
-    set: &TaskSet,
-    measured: &[(TaskId, Duration)],
-) -> Result<Option<UnderrunReclaim>, AnalysisError> {
-    Analyzer::new(set).underrun_reclaim(measured)
-}
-
 #[cfg(test)]
 mod tests {
-    // The free functions under test are the deprecated compatibility
-    // shims; these tests pin their behaviour to the Analyzer's.
-    #![allow(deprecated)]
-
-    use super::*;
+    use crate::allowance::SlackPolicy;
+    use crate::analyzer::Analyzer;
     use crate::response::ResponseAnalysis;
-    use crate::task::TaskBuilder;
+    use crate::task::{TaskBuilder, TaskId, TaskSet};
+    use crate::time::Duration;
 
     fn ms(v: i64) -> Duration {
         Duration::millis(v)
@@ -131,7 +69,10 @@ mod tests {
     #[test]
     fn scaling_margin_of_paper_system() {
         // Scaling all costs by f: R3 = 3·29f ≤ 120 → f ≤ 120/87 ≈ 1.3793.
-        let f = cost_scaling_margin(&table2()).unwrap().unwrap();
+        let f = Analyzer::new(&table2())
+            .cost_scaling_margin()
+            .unwrap()
+            .unwrap();
         assert!((f - 120.0 / 87.0).abs() < 1e-6, "got {f}");
     }
 
@@ -141,7 +82,7 @@ mod tests {
             TaskBuilder::new(1, 2, ms(10), ms(8)).build(),
             TaskBuilder::new(2, 1, ms(10), ms(8)).build(),
         ]);
-        assert_eq!(cost_scaling_margin(&set).unwrap(), None);
+        assert_eq!(Analyzer::new(&set).cost_scaling_margin().unwrap(), None);
     }
 
     #[test]
@@ -150,22 +91,35 @@ mod tests {
             TaskBuilder::new(1, 2, ms(4), ms(2)).build(),
             TaskBuilder::new(2, 1, ms(8), ms(4)).build(),
         ]);
-        let f = cost_scaling_margin(&set).unwrap().unwrap();
+        let f = Analyzer::new(&set).cost_scaling_margin().unwrap().unwrap();
         assert!((f - 1.0).abs() < 1e-6, "got {f}");
     }
 
     #[test]
     fn per_task_slack_matches_allowance_module() {
         let set = table2();
-        assert_eq!(task_cost_slack(&set, 0).unwrap(), Some(ms(33)));
-        assert_eq!(task_cost_slack(&set, 2).unwrap(), Some(ms(33)));
+        let mut session = Analyzer::new(&set);
+        assert_eq!(
+            session
+                .max_single_overrun_with(0, SlackPolicy::ProtectAll)
+                .unwrap(),
+            Some(ms(33))
+        );
+        assert_eq!(
+            session
+                .max_single_overrun_with(2, SlackPolicy::ProtectAll)
+                .unwrap(),
+            Some(ms(33))
+        );
     }
 
     #[test]
     fn reduction_only_improves() {
         let set = table2();
         let base = ResponseAnalysis::new(&set).wcrt_all().unwrap();
-        let reduced = min_feasible_cost(&set, 0, ms(10)).unwrap();
+        let mut session = Analyzer::new(&set);
+        session.set_cost(0, ms(10));
+        let reduced = session.wcrt_all().unwrap();
         for (b, r) in base.iter().zip(&reduced) {
             assert!(r <= b, "reduction must not increase any response time");
         }
@@ -177,7 +131,8 @@ mod tests {
         let set = table2();
         // τ1 actually runs 9 ms instead of 29: R3 base becomes 9+29+29 = 67,
         // allowance rises accordingly.
-        let r = underrun_reclaim(&set, &[(TaskId(1), ms(9))])
+        let r = Analyzer::new(&set)
+            .underrun_reclaim(&[(TaskId(1), ms(9))])
             .unwrap()
             .unwrap();
         assert_eq!(r.declared_allowance, ms(11));
@@ -192,6 +147,6 @@ mod tests {
     #[should_panic(expected = "expects observed ≤ declared")]
     fn underrun_reclaim_rejects_overrun_input() {
         let set = table2();
-        let _ = underrun_reclaim(&set, &[(TaskId(1), ms(30))]);
+        let _ = Analyzer::new(&set).underrun_reclaim(&[(TaskId(1), ms(30))]);
     }
 }

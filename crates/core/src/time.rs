@@ -306,6 +306,35 @@ impl fmt::Display for Duration {
     }
 }
 
+impl std::str::FromStr for Duration {
+    type Err = String;
+
+    /// Parse a duration token: an integer with an optional `ns`/`us`/
+    /// `ms`/`s` suffix; a bare integer means milliseconds (the unit of
+    /// every table in the paper). This is the single duration grammar
+    /// shared by task files, campaign specs and query batches
+    /// (`rtft_taskgen::parser::parse_duration` delegates here).
+    fn from_str(token: &str) -> Result<Self, Self::Err> {
+        let (digits, mult) = if let Some(v) = token.strip_suffix("ns") {
+            (v, 1i64)
+        } else if let Some(v) = token.strip_suffix("us") {
+            (v, NANOS_PER_MICRO)
+        } else if let Some(v) = token.strip_suffix("ms") {
+            (v, NANOS_PER_MILLI)
+        } else if let Some(v) = token.strip_suffix('s') {
+            (v, NANOS_PER_SEC)
+        } else {
+            (token, NANOS_PER_MILLI)
+        };
+        let n: i64 = digits
+            .parse()
+            .map_err(|e| format!("bad duration `{token}`: {e}"))?;
+        n.checked_mul(mult)
+            .map(Duration::nanos)
+            .ok_or_else(|| format!("duration `{token}` overflows"))
+    }
+}
+
 /// An absolute instant on the virtual timeline, in nanoseconds since the
 /// simulation epoch (system start, the paper's `t = 0`).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]

@@ -1,0 +1,202 @@
+//! Serialization contract of the query plane, property-tested:
+//! `parse_batch ∘ render_batch` is the identity on normalized
+//! `(SystemSpec, Vec<Query>)` values, and `render_batch` is a fixed
+//! point of the round trip (printing a re-parsed batch reproduces the
+//! bytes). Random batches span every axis the line grammar names —
+//! task shapes with ns-granular parameters and offsets, fault
+//! overruns/underruns, all three policies, multicore placements, every
+//! allocator, quantized platforms with overhead charges, and every
+//! query kind.
+
+use proptest::prelude::*;
+use rtft_core::allowance::SlackPolicy;
+use rtft_core::policy::PolicyKind;
+use rtft_core::query::{
+    parse_batch, render_batch, AllocPolicy, FaultEntry, PlatformModel, Query, SystemSpec,
+};
+use rtft_core::task::{TaskBuilder, TaskId, TaskSet};
+use rtft_core::time::Duration;
+
+/// SplitMix64 — one seed fans out into all task/fault parameters, which
+/// keeps the strategy tuple small for the vendored proptest.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+const ALLOCS: [AllocPolicy; 4] = [
+    AllocPolicy::FirstFitDecreasing,
+    AllocPolicy::BestFitDecreasing,
+    AllocPolicy::WorstFitDecreasing,
+    AllocPolicy::Exhaustive,
+];
+
+/// A random spec + queries from one seed. Tasks get ns-granular
+/// parameters (exercising the `<n>ns` serialization, not just the ms
+/// sugar) and ids in file order, like the parser assigns them.
+fn batch_from_seed(
+    seed: u64,
+    n: usize,
+    policy: PolicyKind,
+    cores: usize,
+    alloc: AllocPolicy,
+) -> (SystemSpec, Vec<Query>) {
+    let mut rng = Rng(seed);
+    let mut specs = Vec::with_capacity(n);
+    for i in 0..n {
+        let period = Duration::nanos(1_000_000 + rng.below(500_000_000) as i64);
+        let cost = Duration::nanos(1 + rng.below(period.as_nanos() as u64 / 2) as i64);
+        let deadline =
+            cost + Duration::nanos(rng.below((period - cost).as_nanos() as u64 + 1) as i64);
+        let mut b = TaskBuilder::new(i as u32 + 1, -(i as i32), period, cost)
+            .name(format!("t{}", i + 1))
+            .deadline(deadline.max(Duration::NANO));
+        if rng.below(2) == 0 {
+            b = b.offset(Duration::nanos(rng.below(1_000_000_000) as i64));
+        }
+        specs.push(b.build());
+    }
+    let set = TaskSet::from_specs(specs);
+    let mut faults = Vec::new();
+    for _ in 0..rng.below(4) {
+        let task = TaskId(rng.below(n as u64) as u32 + 1);
+        let magnitude = Duration::nanos(1 + rng.below(50_000_000) as i64);
+        faults.push(FaultEntry {
+            task,
+            job: rng.below(16),
+            delta: if rng.below(3) == 0 {
+                -magnitude
+            } else {
+                magnitude
+            },
+        });
+    }
+    let platform = match rng.below(4) {
+        0 => PlatformModel::EXACT,
+        1 => PlatformModel::jrate(),
+        _ => PlatformModel {
+            quantum: (rng.below(2) == 0).then(|| Duration::nanos(1 + rng.below(20_000_000) as i64)),
+            poll: Duration::nanos(rng.below(2) as i64 * 1_000_000),
+            poll_overhead: Duration::nanos(rng.below(20_000) as i64),
+            dispatch: Duration::nanos(rng.below(20_000) as i64),
+            detector_fire: Duration::nanos(rng.below(20_000) as i64),
+        },
+    };
+    let spec = SystemSpec {
+        name: format!("batch-{seed}"),
+        set,
+        policy,
+        cores,
+        alloc,
+        faults,
+        platform,
+    };
+    let pool = [
+        Query::Feasibility,
+        Query::WcrtAll,
+        Query::Thresholds,
+        Query::EquitableAllowance,
+        Query::SystemAllowance(SlackPolicy::ProtectAll),
+        Query::SystemAllowance(SlackPolicy::ProtectOthers),
+        Query::MaxSingleOverrun(TaskId(rng.below(n as u64) as u32 + 1)),
+        Query::Sensitivity,
+    ];
+    let queries = (0..1 + rng.below(8))
+        .map(|_| pool[rng.below(pool.len() as u64) as usize])
+        .collect();
+    (spec, queries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// parse ∘ print == id on normalized batches, and printing is a
+    /// fixed point of the round trip.
+    #[test]
+    fn parse_print_is_identity(
+        seed in 0u64..1_000_000,
+        n in 1usize..=6,
+        policy_idx in 0usize..3,
+        cores in 1usize..=4,
+        alloc_idx in 0usize..4,
+    ) {
+        let (raw_spec, queries) = batch_from_seed(
+            seed,
+            n,
+            PolicyKind::ALL[policy_idx],
+            cores,
+            ALLOCS[alloc_idx],
+        );
+        // Normalize once: rendering emits tasks in rank order and the
+        // parser assigns ids in file order, so one round trip settles
+        // id numbering (exactly as a user-authored file would have it).
+        let text = render_batch(&raw_spec, &queries);
+        let (spec, parsed_queries) = parse_batch(&text).expect("rendered batches parse");
+        prop_assert_eq!(&parsed_queries, &queries);
+        prop_assert_eq!(spec.set.len(), raw_spec.set.len());
+        prop_assert_eq!(spec.policy, raw_spec.policy);
+        prop_assert_eq!(spec.cores, raw_spec.cores);
+        prop_assert_eq!(spec.alloc, raw_spec.alloc);
+        prop_assert_eq!(spec.platform, raw_spec.platform);
+        prop_assert_eq!(spec.faults.len(), raw_spec.faults.len());
+
+        // The normalized value is a true fixed point: parse ∘ print == id…
+        let printed = render_batch(&spec, &parsed_queries);
+        let (again_spec, again_queries) = parse_batch(&printed).expect("round trip parses");
+        prop_assert_eq!(&again_spec, &spec);
+        prop_assert_eq!(&again_queries, &parsed_queries);
+        // …and so is the rendering itself, byte for byte.
+        prop_assert_eq!(render_batch(&again_spec, &again_queries), printed);
+    }
+
+    /// Every per-task parameter survives the round trip exactly
+    /// (matched by name — ids are positional).
+    #[test]
+    fn task_parameters_survive_exactly(
+        seed in 0u64..1_000_000,
+        n in 1usize..=6,
+    ) {
+        let (raw_spec, queries) = batch_from_seed(
+            seed,
+            n,
+            PolicyKind::FixedPriority,
+            1,
+            AllocPolicy::FirstFitDecreasing,
+        );
+        let text = render_batch(&raw_spec, &queries);
+        let (spec, _) = parse_batch(&text).expect("rendered batches parse");
+        for t in raw_spec.set.tasks() {
+            let back = spec
+                .set
+                .tasks()
+                .iter()
+                .find(|b| b.name == t.name)
+                .expect("task survives by name");
+            prop_assert_eq!(back.priority, t.priority);
+            prop_assert_eq!(back.period, t.period);
+            prop_assert_eq!(back.deadline, t.deadline);
+            prop_assert_eq!(back.cost, t.cost);
+            prop_assert_eq!(back.offset, t.offset);
+        }
+        for (a, b) in raw_spec.faults.iter().zip(&spec.faults) {
+            prop_assert_eq!(a.job, b.job);
+            prop_assert_eq!(a.delta, b.delta);
+            prop_assert_eq!(
+                raw_spec.task_name(a.task),
+                spec.task_name(b.task),
+                "fault targets survive by name"
+            );
+        }
+    }
+}

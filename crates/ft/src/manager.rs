@@ -1,7 +1,8 @@
 //! Run-time allowance bookkeeping for the system-allowance treatment
 //! (paper §4.3).
 //!
-//! Statically, [`rtft_core::allowance::system_allowance`] computes `M_i`,
+//! Statically, [`rtft_core::analyzer::Analyzer::system_allowance_with`]
+//! computes `M_i`,
 //! the largest overrun task `i` can make **alone**. At run time the paper
 //! grants the *first* faulty task its whole `M`; "if the first faulty task
 //! finishes before having consumed all its allowance, the remainder is

@@ -29,72 +29,14 @@ use rtft_core::analyzer::Analyzer;
 use rtft_core::policy::PolicyKind;
 use rtft_core::task::{TaskId, TaskSet, TaskSpec};
 use std::fmt;
-use std::str::FromStr;
 
-/// Which bin-packing rule assigns tasks to cores.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-pub enum AllocPolicy {
-    /// First-fit decreasing — the default everywhere.
-    #[default]
-    FirstFitDecreasing,
-    /// Best-fit decreasing (tightest fitting core).
-    BestFitDecreasing,
-    /// Worst-fit decreasing (emptiest fitting core).
-    WorstFitDecreasing,
-    /// Exhaustive backtracking search (small sets only; test oracle).
-    Exhaustive,
-}
+// The allocator vocabulary lives in the core query plane (a serialized
+// `SystemSpec` names its placement); the algorithms live here.
+pub use rtft_core::query::AllocPolicy;
 
 /// Exhaustive search refuses sets larger than this (its worst case is
 /// `cores^n` probes).
 pub const EXHAUSTIVE_TASK_LIMIT: usize = 16;
-
-impl AllocPolicy {
-    /// The three production heuristics, in the stable grid-expansion
-    /// order used by campaign specs (`alloc all`). The exhaustive
-    /// search is deliberately excluded — it is a test oracle.
-    pub const HEURISTICS: [AllocPolicy; 3] = [
-        AllocPolicy::FirstFitDecreasing,
-        AllocPolicy::BestFitDecreasing,
-        AllocPolicy::WorstFitDecreasing,
-    ];
-
-    /// Short stable label (spec files, report columns, bench ids).
-    pub fn label(self) -> &'static str {
-        match self {
-            AllocPolicy::FirstFitDecreasing => "ffd",
-            AllocPolicy::BestFitDecreasing => "bfd",
-            AllocPolicy::WorstFitDecreasing => "wfd",
-            AllocPolicy::Exhaustive => "exhaustive",
-        }
-    }
-}
-
-impl fmt::Display for AllocPolicy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
-    }
-}
-
-impl FromStr for AllocPolicy {
-    type Err = String;
-
-    /// Parse an allocator keyword: `ffd` (aliases `first-fit`), `bfd`
-    /// (`best-fit`), `wfd` (`worst-fit`), `exhaustive`.
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        Ok(match s {
-            "ffd" | "first-fit" => AllocPolicy::FirstFitDecreasing,
-            "bfd" | "best-fit" => AllocPolicy::BestFitDecreasing,
-            "wfd" | "worst-fit" => AllocPolicy::WorstFitDecreasing,
-            "exhaustive" => AllocPolicy::Exhaustive,
-            other => {
-                return Err(format!(
-                    "unknown allocator `{other}` (expected ffd|bfd|wfd|exhaustive)"
-                ))
-            }
-        })
-    }
-}
 
 /// Why a set could not be partitioned, with the placement state at the
 /// point of failure (the rejection diagnostics of a campaign report).

@@ -58,6 +58,15 @@ impl PartitionedAnalyzer {
         self.sessions.get_mut(core).and_then(Option::as_mut)
     }
 
+    /// Every occupied core's session, cores ascending — the iteration
+    /// the query plane's `Workbench` assembles per-core answers from.
+    pub fn sessions_mut(&mut self) -> impl Iterator<Item = (usize, &mut Analyzer)> {
+        self.sessions
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(core, s)| s.as_mut().map(|s| (core, s)))
+    }
+
     /// System-wide admission: every occupied core passes its own
     /// policy-aware feasibility test.
     ///

@@ -60,11 +60,13 @@ pub mod alloc;
 pub mod analyzer;
 pub mod multicore;
 pub mod partition;
+pub mod workbench;
 
 pub use alloc::{allocate, AllocError, AllocPolicy};
 pub use analyzer::PartitionedAnalyzer;
 pub use multicore::{run_partitioned, CoreOutcome, MulticoreError, MulticoreOutcome};
 pub use partition::Partition;
+pub use workbench::Workbench;
 
 /// One-stop imports.
 pub mod prelude {
@@ -72,4 +74,5 @@ pub mod prelude {
     pub use crate::analyzer::PartitionedAnalyzer;
     pub use crate::multicore::{run_partitioned, MulticoreError, MulticoreOutcome};
     pub use crate::partition::Partition;
+    pub use crate::workbench::Workbench;
 }

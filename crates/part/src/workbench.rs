@@ -1,0 +1,592 @@
+//! The [`Workbench`]: one executor for the serializable query plane.
+//!
+//! [`rtft_core::query`] defines *what* can be asked — a
+//! [`SystemSpec`] plus [`Query`] values answered by typed
+//! [`Response`]s. This module owns *how*: a `Workbench` holds the
+//! memoized analysis state for one spec and dispatches automatically —
+//! a uniprocessor [`Analyzer`] session on one core, a per-core
+//! [`PartitionedAnalyzer`] (allocation included) on several — so
+//! callers never branch on platform. Campaign engine workers, the
+//! `rtft query` / `rtft analyze` commands and the benches all answer
+//! questions through this one type.
+//!
+//! [`Workbench::run_batch`] additionally *orders* the queries of a
+//! batch to maximize warm-start reuse inside the existing fixed-point
+//! and binary-search memoization: cheap memo-populating queries
+//! (feasibility, WCRTs, thresholds) run first, then the equitable
+//! search (which seeds the session's busy-period caches along its
+//! feasible frontier), then the per-task overrun searches that reuse
+//! those seeds, then the scaling search. Responses come back in the
+//! caller's order; ordering changes *when* a fixed point is computed,
+//! never its value.
+//!
+//! ```
+//! use rtft_core::query::{parse_batch, Query, Response};
+//! use rtft_part::workbench::Workbench;
+//!
+//! let (spec, queries) = parse_batch(
+//!     "system paper\n\
+//!      task tau1 20 200ms 70ms 29ms\n\
+//!      task tau2 18 250ms 120ms 29ms\n\
+//!      task tau3 16 1500ms 120ms 29ms\n\
+//!      query feasibility\n\
+//!      query equitable\n",
+//! )
+//! .unwrap();
+//! let mut bench = Workbench::new(spec);
+//! let responses = bench.run_batch(&queries).unwrap();
+//! assert!(matches!(
+//!     responses[0],
+//!     Response::Feasibility { feasible: true, .. }
+//! ));
+//! let Response::EquitableAllowance(cores) = &responses[1] else {
+//!     panic!("equitable response expected");
+//! };
+//! // The paper's Table 2 allowance: A = 11 ms.
+//! assert_eq!(
+//!     cores[0].allowance,
+//!     Some(rtft_core::time::Duration::millis(11))
+//! );
+//! ```
+
+use crate::alloc::allocate;
+use crate::analyzer::PartitionedAnalyzer;
+use crate::partition::Partition;
+use rtft_core::analyzer::{Analyzer, AnalyzerBuilder};
+use rtft_core::error::AnalysisError;
+use rtft_core::policy::PolicyKind;
+use rtft_core::query::{CoreAllowance, CoreScale, Query, Response, SystemSpec, TaskValue};
+use rtft_core::time::Duration;
+
+/// The memoized analysis state behind a [`Workbench`], built lazily on
+/// the first query.
+enum Backend {
+    /// One core: the plain uniprocessor session — bit-identical to the
+    /// pre-query-plane `Analyzer` path.
+    Uni(Box<Analyzer>),
+    /// Several cores: one session per occupied core over the
+    /// allocator's partition.
+    Multi(Box<PartitionedAnalyzer>),
+    /// The allocator found no placement; the diagnostics answer every
+    /// query.
+    Unplaceable(String),
+}
+
+/// Memoized query executor for one [`SystemSpec`]. See the
+/// [module docs](self).
+pub struct Workbench {
+    spec: SystemSpec,
+    backend: Option<Backend>,
+}
+
+impl Workbench {
+    /// A workbench over `spec`. No analysis runs until the first query
+    /// (or session accessor) forces the backend.
+    pub fn new(spec: SystemSpec) -> Self {
+        Workbench {
+            spec,
+            backend: None,
+        }
+    }
+
+    /// The spec this workbench answers queries about.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    fn ensure(&mut self) -> &mut Backend {
+        self.backend.get_or_insert_with(|| {
+            if self.spec.cores <= 1 {
+                return Backend::Uni(Box::new(
+                    AnalyzerBuilder::new(&self.spec.set)
+                        .sched_policy(self.spec.policy)
+                        .build(),
+                ));
+            }
+            match allocate(
+                &self.spec.set,
+                self.spec.cores,
+                self.spec.policy,
+                self.spec.alloc,
+            ) {
+                Ok(partition) => Backend::Multi(Box::new(PartitionedAnalyzer::new(
+                    partition,
+                    self.spec.policy,
+                ))),
+                Err(e) => Backend::Unplaceable(e.to_string()),
+            }
+        })
+    }
+
+    /// The uniprocessor session (`None` on a multicore or unplaceable
+    /// spec) — the exact session the scenario harness consumes.
+    pub fn uni_session_mut(&mut self) -> Option<&mut Analyzer> {
+        match self.ensure() {
+            Backend::Uni(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The per-core sessions (`None` on a uniprocessor or unplaceable
+    /// spec).
+    pub fn partitioned_mut(&mut self) -> Option<&mut PartitionedAnalyzer> {
+        match self.ensure() {
+            Backend::Multi(pa) => Some(pa),
+            _ => None,
+        }
+    }
+
+    /// The partition behind a multicore spec (`None` otherwise).
+    pub fn partition(&mut self) -> Option<&Partition> {
+        match self.ensure() {
+            Backend::Multi(pa) => Some(pa.partition()),
+            _ => None,
+        }
+    }
+
+    /// The allocator's rejection diagnostics, when the spec is
+    /// unplaceable.
+    pub fn unplaceable(&mut self) -> Option<&str> {
+        match self.ensure() {
+            Backend::Unplaceable(diag) => Some(diag),
+            _ => None,
+        }
+    }
+
+    /// Answer one query.
+    ///
+    /// # Errors
+    /// [`AnalysisError`] when an underlying fixed point trips its
+    /// iteration guard. (Divergence — a saturated level workload — is
+    /// an *answer*, reported as `None` values, not an error.)
+    ///
+    /// # Panics
+    /// Panics when a [`Query::MaxSingleOverrun`] names a task that is
+    /// not in the spec's set (a parsed batch cannot produce one).
+    pub fn run(&mut self, query: &Query) -> Result<Response, AnalysisError> {
+        if let Some(diag) = self.unplaceable() {
+            return Ok(Response::Unplaceable(diag.to_string()));
+        }
+        match query {
+            Query::Feasibility => self.feasibility(),
+            Query::WcrtAll => self.per_task(false).map(Response::WcrtAll),
+            Query::Thresholds => self.per_task(true).map(Response::Thresholds),
+            Query::EquitableAllowance => self.equitable(),
+            Query::SystemAllowance(policy) => {
+                let policy = *policy;
+                let per_task = self.for_each_core(|core, session| {
+                    let sa = session.system_allowance_with(policy)?;
+                    Ok(task_values(session, core, |rank| {
+                        sa.as_ref().map(|sa| sa.max_overrun[rank])
+                    }))
+                })?;
+                Ok(Response::SystemAllowance { policy, per_task })
+            }
+            Query::MaxSingleOverrun(id) => {
+                let id = *id;
+                let rows = self.for_each_core(|core, session| {
+                    let Some(rank) = session.task_set().rank_of(id) else {
+                        return Ok(Vec::new());
+                    };
+                    let m = session.max_single_overrun_with(
+                        rank,
+                        rtft_core::allowance::SlackPolicy::ProtectAll,
+                    )?;
+                    let spec = session.task_set().by_rank(rank);
+                    Ok(vec![TaskValue {
+                        task: spec.id,
+                        name: spec.name.clone(),
+                        core,
+                        value: m,
+                    }])
+                })?;
+                let v = rows
+                    .into_iter()
+                    .next()
+                    .unwrap_or_else(|| panic!("overrun query names task {id:?} not in the set"));
+                Ok(Response::MaxSingleOverrun(v))
+            }
+            Query::Sensitivity => {
+                let cores = self.for_each_core(|core, session| {
+                    Ok(vec![CoreScale {
+                        core,
+                        factor: session.cost_scaling_margin()?,
+                    }])
+                })?;
+                Ok(Response::Sensitivity(cores))
+            }
+        }
+    }
+
+    /// Answer a batch, reordering execution for warm-start reuse while
+    /// returning responses in the caller's order. This is the batched
+    /// entry `rtft query` and the campaign path use; on cold sessions
+    /// it is measurably faster than one-shot workbenches per query
+    /// (see `bench_query`).
+    ///
+    /// # Errors
+    /// The first [`AnalysisError`] any query produces.
+    pub fn run_batch(&mut self, queries: &[Query]) -> Result<Vec<Response>, AnalysisError> {
+        fn phase(q: &Query) -> u8 {
+            match q {
+                // Memo-populating lookups first: they seed the session's
+                // busy-period caches at the base costs.
+                Query::Feasibility => 0,
+                Query::WcrtAll | Query::Thresholds => 1,
+                // The equitable search pushes the warm frontier upward…
+                Query::EquitableAllowance => 2,
+                // …the system allowance reuses it and memoizes every
+                // per-task search…
+                Query::SystemAllowance(_) => 3,
+                // …which answers the single-task overrun queries from
+                // the session's cache.
+                Query::MaxSingleOverrun(_) => 4,
+                Query::Sensitivity => 5,
+            }
+        }
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        order.sort_by_key(|&i| phase(&queries[i]));
+        let mut responses: Vec<Option<Response>> = vec![None; queries.len()];
+        for i in order {
+            responses[i] = Some(self.run(&queries[i])?);
+        }
+        Ok(responses
+            .into_iter()
+            .map(|r| r.expect("answered"))
+            .collect())
+    }
+
+    /// Run `f` over every occupied core's `(core, session)`,
+    /// concatenating the per-core rows (cores ascending — rank order
+    /// within a core). The core's task set is read through the
+    /// session ([`Analyzer::task_set`]), so no set is cloned per query.
+    fn for_each_core<T>(
+        &mut self,
+        mut f: impl FnMut(usize, &mut Analyzer) -> Result<Vec<T>, AnalysisError>,
+    ) -> Result<Vec<T>, AnalysisError> {
+        match self.ensure() {
+            Backend::Uni(session) => f(0, session),
+            Backend::Multi(pa) => {
+                let mut out = Vec::new();
+                for (core, session) in pa.sessions_mut() {
+                    out.extend(f(core, session)?);
+                }
+                Ok(out)
+            }
+            Backend::Unplaceable(_) => unreachable!("run() short-circuits unplaceable specs"),
+        }
+    }
+
+    fn feasibility(&mut self) -> Result<Response, AnalysisError> {
+        let utilization = self.spec.set.utilization();
+        match self.ensure() {
+            Backend::Uni(session) => {
+                if utilization > 1.0 {
+                    return Ok(Response::Feasibility {
+                        feasible: false,
+                        overloaded: true,
+                        utilization,
+                    });
+                }
+                Ok(Response::Feasibility {
+                    feasible: session.is_feasible()?,
+                    overloaded: false,
+                    utilization,
+                })
+            }
+            Backend::Multi(pa) => {
+                let overloaded = pa.partition().occupied_cores().any(|c| {
+                    pa.partition()
+                        .core_set(c)
+                        .is_some_and(|s| s.utilization() > 1.0)
+                });
+                if overloaded {
+                    return Ok(Response::Feasibility {
+                        feasible: false,
+                        overloaded: true,
+                        utilization,
+                    });
+                }
+                Ok(Response::Feasibility {
+                    feasible: pa.is_feasible()?,
+                    overloaded: false,
+                    utilization,
+                })
+            }
+            Backend::Unplaceable(_) => unreachable!("run() short-circuits unplaceable specs"),
+        }
+    }
+
+    /// Per-task durations: WCRTs (`thresholds = false`, `None` under
+    /// EDF) or detection thresholds (`thresholds = true`, deadlines
+    /// under EDF). Divergent tasks answer `None` either way.
+    fn per_task(&mut self, thresholds: bool) -> Result<Vec<TaskValue>, AnalysisError> {
+        let policy = self.spec.policy;
+        self.for_each_core(|core, session| {
+            let mut rows = Vec::with_capacity(session.len());
+            for rank in 0..session.len() {
+                let value = if policy == PolicyKind::Edf {
+                    if thresholds {
+                        Some(session.task_set().by_rank(rank).deadline)
+                    } else {
+                        None
+                    }
+                } else {
+                    match session.wcrt(rank) {
+                        Ok(w) => Some(w),
+                        Err(AnalysisError::Divergent { .. }) => None,
+                        Err(e) => return Err(e),
+                    }
+                };
+                let spec = session.task_set().by_rank(rank);
+                rows.push(TaskValue {
+                    task: spec.id,
+                    name: spec.name.clone(),
+                    core,
+                    value,
+                });
+            }
+            Ok(rows)
+        })
+    }
+
+    fn equitable(&mut self) -> Result<Response, AnalysisError> {
+        let cores = self.for_each_core(|core, session| {
+            let eq = session.equitable_allowance()?;
+            let stop_thresholds = eq
+                .as_ref()
+                .map(|eq| task_values(session, core, |rank| Some(eq.inflated_wcrt[rank])))
+                .unwrap_or_default();
+            Ok(vec![CoreAllowance {
+                core,
+                allowance: eq.map(|eq| eq.allowance),
+                stop_thresholds,
+            }])
+        })?;
+        Ok(Response::EquitableAllowance(cores))
+    }
+}
+
+/// Rank-ordered [`TaskValue`] rows over one core's session.
+fn task_values(
+    session: &Analyzer,
+    core: usize,
+    value: impl Fn(usize) -> Option<Duration>,
+) -> Vec<TaskValue> {
+    let set = session.task_set();
+    (0..set.len())
+        .map(|rank| {
+            let spec = set.by_rank(rank);
+            TaskValue {
+                task: spec.id,
+                name: spec.name.clone(),
+                core,
+                value: value(rank),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::allowance::SlackPolicy;
+    use rtft_core::query::AllocPolicy;
+    use rtft_core::task::{TaskBuilder, TaskId, TaskSet};
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn paper_set() -> TaskSet {
+        TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(29))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(29))
+                .deadline(ms(120))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(29))
+                .deadline(ms(120))
+                .build(),
+        ])
+    }
+
+    /// Twin paper system: needs two cores, each half reproducing the
+    /// uniprocessor Table 2 numbers.
+    fn twin_set() -> TaskSet {
+        let mut specs = Vec::new();
+        for base in [0u32, 10] {
+            specs.push(
+                TaskBuilder::new(base + 1, 20, ms(200), ms(29))
+                    .deadline(ms(70))
+                    .build(),
+            );
+            specs.push(
+                TaskBuilder::new(base + 2, 18, ms(250), ms(29))
+                    .deadline(ms(120))
+                    .build(),
+            );
+            specs.push(
+                TaskBuilder::new(base + 3, 16, ms(1500), ms(29))
+                    .deadline(ms(120))
+                    .build(),
+            );
+        }
+        TaskSet::from_specs(specs)
+    }
+
+    fn all_queries() -> Vec<Query> {
+        vec![
+            Query::Feasibility,
+            Query::WcrtAll,
+            Query::Thresholds,
+            Query::EquitableAllowance,
+            Query::SystemAllowance(SlackPolicy::ProtectAll),
+            Query::MaxSingleOverrun(TaskId(1)),
+            Query::Sensitivity,
+        ]
+    }
+
+    #[test]
+    fn uniprocessor_answers_match_the_analyzer_session() {
+        let mut bench = Workbench::new(SystemSpec::uniprocessor("paper", paper_set()));
+        let responses = bench.run_batch(&all_queries()).unwrap();
+        assert_eq!(
+            responses[0],
+            Response::Feasibility {
+                feasible: true,
+                overloaded: false,
+                utilization: paper_set().utilization(),
+            }
+        );
+        let Response::WcrtAll(wcrt) = &responses[1] else {
+            panic!()
+        };
+        let values: Vec<_> = wcrt.iter().map(|v| v.value.unwrap()).collect();
+        assert_eq!(values, vec![ms(29), ms(58), ms(87)]);
+        let Response::Thresholds(th) = &responses[2] else {
+            panic!()
+        };
+        assert_eq!(th, wcrt, "fp thresholds are the WCRTs");
+        let Response::EquitableAllowance(eq) = &responses[3] else {
+            panic!()
+        };
+        assert_eq!(eq[0].allowance, Some(ms(11)));
+        let stops: Vec<_> = eq[0]
+            .stop_thresholds
+            .iter()
+            .map(|v| v.value.unwrap())
+            .collect();
+        assert_eq!(stops, vec![ms(40), ms(80), ms(120)]);
+        let Response::SystemAllowance { per_task, .. } = &responses[4] else {
+            panic!()
+        };
+        let ms33: Vec<_> = per_task.iter().map(|v| v.value.unwrap()).collect();
+        assert_eq!(ms33, vec![ms(33), ms(33), ms(33)]);
+        assert_eq!(
+            responses[5],
+            Response::MaxSingleOverrun(TaskValue {
+                task: TaskId(1),
+                name: "τ1".into(),
+                core: 0,
+                value: Some(ms(33)),
+            })
+        );
+        let Response::Sensitivity(scale) = &responses[6] else {
+            panic!()
+        };
+        assert!((scale[0].factor.unwrap() - 120.0 / 87.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_answers_equal_one_shot_answers() {
+        // Ordering and session sharing are accelerations, never
+        // different numbers: each batched response must equal a cold
+        // workbench's answer to the same query.
+        let spec = SystemSpec::uniprocessor("paper", paper_set());
+        let queries = all_queries();
+        let batched = Workbench::new(spec.clone()).run_batch(&queries).unwrap();
+        for (q, batched_response) in queries.iter().zip(&batched) {
+            let one_shot = Workbench::new(spec.clone()).run(q).unwrap();
+            assert_eq!(&one_shot, batched_response, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn multicore_dispatch_reproduces_per_core_numbers() {
+        let spec = SystemSpec::uniprocessor("twin", twin_set())
+            .with_cores(2, AllocPolicy::WorstFitDecreasing);
+        let mut bench = Workbench::new(spec);
+        let responses = bench
+            .run_batch(&[
+                Query::Feasibility,
+                Query::Thresholds,
+                Query::EquitableAllowance,
+            ])
+            .unwrap();
+        assert!(matches!(
+            responses[0],
+            Response::Feasibility {
+                feasible: true,
+                overloaded: false,
+                ..
+            }
+        ));
+        let Response::Thresholds(th) = &responses[1] else {
+            panic!()
+        };
+        assert_eq!(th.len(), 6);
+        for core in 0..2 {
+            let values: Vec<_> = th
+                .iter()
+                .filter(|v| v.core == core)
+                .map(|v| v.value.unwrap())
+                .collect();
+            assert_eq!(values, vec![ms(29), ms(58), ms(87)], "core {core}");
+        }
+        let Response::EquitableAllowance(eq) = &responses[2] else {
+            panic!()
+        };
+        assert_eq!(eq.len(), 2);
+        for c in eq {
+            assert_eq!(c.allowance, Some(ms(11)));
+        }
+    }
+
+    #[test]
+    fn edf_specs_answer_deadline_thresholds_and_no_wcrt() {
+        let spec = SystemSpec::uniprocessor("paper", paper_set()).with_policy(PolicyKind::Edf);
+        let mut bench = Workbench::new(spec);
+        let Response::WcrtAll(wcrt) = bench.run(&Query::WcrtAll).unwrap() else {
+            panic!()
+        };
+        assert!(wcrt.iter().all(|v| v.value.is_none()));
+        let Response::Thresholds(th) = bench.run(&Query::Thresholds).unwrap() else {
+            panic!()
+        };
+        let values: Vec<_> = th.iter().map(|v| v.value.unwrap()).collect();
+        assert_eq!(values, vec![ms(70), ms(120), ms(120)]);
+    }
+
+    #[test]
+    fn unplaceable_specs_answer_every_query_with_diagnostics() {
+        // Three 0.6-utilization tasks cannot fit two cores.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 9, ms(100), ms(60)).build(),
+            TaskBuilder::new(2, 8, ms(100), ms(60)).build(),
+            TaskBuilder::new(3, 7, ms(100), ms(60)).build(),
+        ]);
+        let spec =
+            SystemSpec::uniprocessor("heavy", set).with_cores(2, AllocPolicy::FirstFitDecreasing);
+        let mut bench = Workbench::new(spec);
+        for q in all_queries() {
+            match bench.run(&q).unwrap() {
+                Response::Unplaceable(diag) => {
+                    assert!(diag.contains("cannot place"), "{diag}")
+                }
+                other => panic!("expected unplaceable, got {other:?}"),
+            }
+        }
+    }
+}

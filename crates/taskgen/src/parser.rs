@@ -69,23 +69,9 @@ impl std::error::Error for ParseError {}
 /// Parse a duration token: integer plus optional `ns`/`us`/`ms`/`s`
 /// suffix; a bare integer means milliseconds.
 pub fn parse_duration(token: &str) -> Result<Duration, String> {
-    let (digits, mult) = if let Some(v) = token.strip_suffix("ns") {
-        (v, 1i64)
-    } else if let Some(v) = token.strip_suffix("us") {
-        (v, 1_000)
-    } else if let Some(v) = token.strip_suffix("ms") {
-        (v, 1_000_000)
-    } else if let Some(v) = token.strip_suffix('s') {
-        (v, 1_000_000_000)
-    } else {
-        (token, 1_000_000)
-    };
-    let n: i64 = digits
-        .parse()
-        .map_err(|e| format!("bad duration `{token}`: {e}"))?;
-    n.checked_mul(mult)
-        .map(Duration::nanos)
-        .ok_or_else(|| format!("duration `{token}` overflows"))
+    // The grammar lives on `Duration` itself (`FromStr` in rtft-core)
+    // so task files, campaign specs and query batches can never drift.
+    token.parse()
 }
 
 /// Parse a full system description.

@@ -7,6 +7,7 @@
 //! rtft run      <tasks.rtft> [options]        # execute and chart
 //! rtft chart    <trace.log>  [options]        # re-chart a saved trace
 //! rtft campaign <spec.campaign> [options]     # run a scenario grid
+//! rtft query    <batch.query|-> [--json]      # answer a query batch
 //!
 //! run options:
 //!   --treatment <none|detect|stop|equitable|system>   (default: system)
@@ -34,11 +35,19 @@
 //!   --repro-dir <dir>              write oracle-violation repro specs here
 //!   --no-oracle                    disable the differential oracle
 //!
+//! query:
+//!   reads a `system` + `query` line batch from a file (or stdin with
+//!   `-`) and answers through the query-plane `Workbench`: one memoized
+//!   session plan shared by the whole batch, dispatched automatically
+//!   to the uniprocessor or partitioned analyzer. `--json` emits the
+//!   machine-readable responses — the proto-service endpoint.
+//!
 //! `run` and `campaign` exit 0 on a clean run, 3 when the differential
 //! oracle found sim-vs-analysis violations (so CI can gate on either).
 //! ```
 
 use rtft::prelude::*;
+use rtft_core::query::{parse_batch, render_responses_json, Query, Response};
 use rtft_core::time::{Duration, Instant};
 use rtft_taskgen::parser::{parse as parse_tasks, parse_duration};
 use std::process::ExitCode;
@@ -50,8 +59,9 @@ fn main() -> ExitCode {
         Some("run") => return exit_on_oracle(cmd_run(&args[1..])),
         Some("chart") => cmd_chart(&args[1..]),
         Some("campaign") => return exit_on_oracle(run_campaign_cmd(&args[1..])),
+        Some("query") => cmd_query(&args[1..]),
         _ => {
-            eprintln!("usage: rtft <analyze|run|chart|campaign> <file> [options]");
+            eprintln!("usage: rtft <analyze|run|chart|campaign|query> <file> [options]");
             return ExitCode::from(2);
         }
     };
@@ -100,23 +110,42 @@ fn cores_and_alloc(args: &[String]) -> Result<(usize, rtft::part::AllocPolicy), 
     Ok((cores, alloc))
 }
 
+/// `rtft analyze` is sugar over the query plane: the task file becomes
+/// a [`SystemSpec`], the report becomes a query batch answered by one
+/// [`Workbench`], and the rendering below is a view over the typed
+/// responses — byte-identical to the pre-query-plane output.
 fn cmd_analyze(args: &[String]) -> CliResult {
     let path = args.first().ok_or("analyze: missing task file")?;
     let (set, _) = load_system(path)?;
     let policy: PolicyKind = flag_value(args, "--policy").unwrap_or("fp").parse()?;
     let (cores, alloc) = cores_and_alloc(args)?;
+    let spec = SystemSpec::uniprocessor(path.clone(), set.clone())
+        .with_policy(policy)
+        .with_cores(cores, alloc);
     if cores > 1 {
-        return analyze_partitioned(&set, policy, cores, alloc);
+        return analyze_partitioned(spec);
     }
     println!("{set}");
     if policy != PolicyKind::FixedPriority {
         println!("policy: {policy}");
     }
-    // One analysis session serves the report and both allowance blocks.
-    let mut session = Analyzer::for_policy(&set, policy);
-    let report = session.report().map_err(|e| e.to_string())?;
-    println!("utilization U = {:.4}", report.utilization);
-    if report.overloaded {
+    // One workbench serves the report and both allowance blocks. The
+    // admission half runs first; the allowance searches are only
+    // issued for feasible systems (their answers would go unprinted).
+    let mut bench = Workbench::new(spec);
+    let responses = bench
+        .run_batch(&[Query::Feasibility, Query::WcrtAll])
+        .map_err(|e| e.to_string())?;
+    let Response::Feasibility {
+        feasible,
+        overloaded,
+        utilization,
+    } = responses[0]
+    else {
+        unreachable!("feasibility query answers with a feasibility response");
+    };
+    println!("utilization U = {utilization:.4}");
+    if overloaded {
         println!("NOT FEASIBLE: U > 1");
         return Ok(());
     }
@@ -125,94 +154,174 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         // verdict and the per-task thresholds are the deadlines.
         println!(
             "EDF processor-demand test: {}",
-            if report.is_feasible() {
-                "feasible"
-            } else {
-                "NOT FEASIBLE"
-            }
+            if feasible { "feasible" } else { "NOT FEASIBLE" }
         );
     }
-    for line in &report.per_task {
-        match line.wcrt {
+    let Response::WcrtAll(wcrt) = &responses[1] else {
+        unreachable!("wcrt query answers with a wcrt response");
+    };
+    for line in wcrt {
+        let deadline = set.by_id(line.task).expect("task from the set").deadline;
+        match line.value {
             Some(w) => println!(
                 "  {}: WCRT = {}  D = {}  slack = {}  [{}]",
                 line.task,
                 w,
-                line.deadline,
-                line.slack().expect("wcrt present"),
-                if line.feasible { "ok" } else { "MISS" },
+                deadline,
+                deadline - w,
+                if w <= deadline { "ok" } else { "MISS" },
             ),
             None if policy == PolicyKind::Edf => println!(
                 "  {}: detection threshold = deadline = {}",
-                line.task, line.deadline
+                line.task, deadline
             ),
             None => println!("  {}: analysis diverges (level overload)", line.task),
         }
     }
-    if !report.is_feasible() {
+    if !feasible {
         println!("NOT FEASIBLE");
         return Ok(());
     }
-    if let Some(eq) = session.equitable_allowance().map_err(|e| e.to_string())? {
-        println!("equitable allowance A = {}", eq.allowance);
-        for (rank, w) in eq.inflated_wcrt.iter().enumerate() {
-            println!("  {}: stop threshold {}", set.by_rank(rank).id, w);
+    let responses = bench
+        .run_batch(&[
+            Query::EquitableAllowance,
+            Query::SystemAllowance(SlackPolicy::ProtectAll),
+        ])
+        .map_err(|e| e.to_string())?;
+    let Response::EquitableAllowance(eq_cores) = &responses[0] else {
+        unreachable!("equitable query answers with an equitable response");
+    };
+    if let Some(a) = eq_cores[0].allowance {
+        println!("equitable allowance A = {a}");
+        for stop in &eq_cores[0].stop_thresholds {
+            println!(
+                "  {}: stop threshold {}",
+                stop.task,
+                stop.value.expect("stop thresholds are always defined")
+            );
         }
     }
-    if let Some(sa) = session
-        .system_allowance_with(SlackPolicy::ProtectAll)
-        .map_err(|e| e.to_string())?
-    {
-        let m: Vec<String> = sa.max_overrun.iter().map(|d| d.to_string()).collect();
+    let Response::SystemAllowance { per_task, .. } = &responses[1] else {
+        unreachable!("system-allowance query answers with a system-allowance response");
+    };
+    if per_task.iter().all(|v| v.value.is_some()) {
+        let m: Vec<String> = per_task
+            .iter()
+            .map(|v| v.value.expect("checked above").to_string())
+            .collect();
         println!("system allowance M = [{}]", m.join(", "));
     }
     Ok(())
 }
 
-/// `analyze --cores n`: partition, then run the per-core analysis.
-fn analyze_partitioned(
-    set: &TaskSet,
-    policy: PolicyKind,
-    cores: usize,
-    alloc: rtft::part::AllocPolicy,
-) -> CliResult {
+/// `analyze --cores n`: the same query batch against a partitioned
+/// spec — the workbench dispatches to the per-core sessions.
+fn analyze_partitioned(spec: SystemSpec) -> CliResult {
+    let set = spec.set.clone();
+    let policy = spec.policy;
     println!("{set}");
     println!(
-        "partitioning over {cores} cores with {alloc} under {policy} (U = {:.4})",
+        "partitioning over {} cores with {} under {policy} (U = {:.4})",
+        spec.cores,
+        spec.alloc,
         set.utilization()
     );
-    let partition = match rtft::part::allocate(set, cores, policy, alloc) {
-        Ok(p) => p,
-        Err(e) => {
-            println!("UNPLACEABLE: {e}");
-            return Ok(());
+    let mut bench = Workbench::new(spec);
+    if let Some(diag) = bench.unplaceable() {
+        println!("UNPLACEABLE: {diag}");
+        return Ok(());
+    }
+    print!(
+        "{}",
+        bench
+            .partition()
+            .expect("placeable multicore spec")
+            .render()
+    );
+    let responses = bench
+        .run_batch(&[Query::Thresholds, Query::EquitableAllowance])
+        .map_err(|e| e.to_string())?;
+    let Response::Thresholds(thresholds) = &responses[0] else {
+        unreachable!("thresholds query answers with a thresholds response");
+    };
+    let Response::EquitableAllowance(eq_cores) = &responses[1] else {
+        unreachable!("equitable query answers with an equitable response");
+    };
+    // Threshold rows arrive cores-ascending and contiguous; the
+    // per-core allowance footer prints at each core boundary.
+    let allowance_footer = |core: usize| {
+        if let Some(a) = eq_cores
+            .iter()
+            .find(|c| c.core == core)
+            .and_then(|c| c.allowance)
+        {
+            println!("  equitable allowance A = {a}");
         }
     };
-    print!("{}", partition.render());
-    let mut sessions = rtft::part::PartitionedAnalyzer::new(partition.clone(), policy);
-    let equitable = sessions.equitable_allowances().map_err(|e| e.to_string())?;
-    for core in partition.occupied_cores().collect::<Vec<_>>() {
-        let core_set = partition.core_set(core).expect("occupied").clone();
-        let thresholds = sessions
-            .policy_thresholds(core)
-            .map_err(|e| e.to_string())?;
-        println!("core {core}:");
-        for (rank, threshold) in thresholds.iter().enumerate() {
-            let task = core_set.by_rank(rank);
-            println!(
-                "  {}: {} = {}  D = {}",
-                task.id,
-                if policy == PolicyKind::Edf {
-                    "threshold"
-                } else {
-                    "WCRT"
-                },
-                threshold,
-                task.deadline
-            );
+    let mut last_core: Option<usize> = None;
+    for line in thresholds {
+        if last_core != Some(line.core) {
+            if let Some(done) = last_core {
+                allowance_footer(done);
+            }
+            println!("core {}:", line.core);
+            last_core = Some(line.core);
         }
-        if let Some(eq) = equitable[core].as_ref() {
-            println!("  equitable allowance A = {}", eq.allowance);
+        println!(
+            "  {}: {} = {}  D = {}",
+            line.task,
+            if policy == PolicyKind::Edf {
+                "threshold"
+            } else {
+                "WCRT"
+            },
+            line.value.expect("thresholds are always defined"),
+            set.by_id(line.task).expect("task from the set").deadline
+        );
+    }
+    if let Some(done) = last_core {
+        allowance_footer(done);
+    }
+    Ok(())
+}
+
+/// `rtft query`: the proto-service endpoint — read a batch, answer it
+/// through one [`Workbench`], emit text or `--json` responses.
+fn cmd_query(args: &[String]) -> CliResult {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("query: missing batch file (use `-` for stdin)")?;
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?
+    };
+    let (spec, queries) = parse_batch(&text).map_err(|e| e.to_string())?;
+    if queries.is_empty() {
+        return Err("query: batch has no `query` lines".into());
+    }
+    let mut bench = Workbench::new(spec.clone());
+    let responses = bench.run_batch(&queries).map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", render_responses_json(&spec, &responses));
+    } else {
+        println!(
+            "system {} ({} tasks, policy {}, {} cores, alloc {})",
+            spec.name,
+            spec.set.len(),
+            spec.policy,
+            spec.cores,
+            spec.alloc
+        );
+        for (q, r) in queries.iter().zip(&responses) {
+            println!("{}", q.to_line(|id| spec.task_name(id)));
+            print!("{}", r.render_text(spec.cores > 1));
         }
     }
     Ok(())

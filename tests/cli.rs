@@ -457,3 +457,107 @@ fn multicore_sweep_example_spec_runs_clean() {
     assert!(stdout.contains("jobs: 36 total"), "{stdout}");
     assert!(stdout.contains("0 violations"));
 }
+
+#[test]
+fn query_batch_answers_match_the_pinned_golden_json() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let batch = root.join("examples/paper_queries.query");
+    let golden = root.join("tests/golden/paper_queries.json");
+    let out = rtft()
+        .args(["query", batch.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&golden, &stdout).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden).unwrap();
+    assert_eq!(
+        stdout, expected,
+        "query responses drifted from tests/golden/paper_queries.json \
+         (UPDATE_GOLDEN=1 to re-pin)"
+    );
+}
+
+#[test]
+fn query_text_output_reports_the_paper_numbers() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let batch = root.join("examples/paper_queries.query");
+    let out = rtft()
+        .args(["query", batch.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("equitable allowance A = 11ms"), "{stdout}");
+    assert!(stdout.contains("tau3: WCRT = 87ms"), "{stdout}");
+    assert!(stdout.contains("tau1: M = 33ms"), "{stdout}");
+    assert!(stdout.contains("max single overrun = 33ms"), "{stdout}");
+}
+
+#[test]
+fn query_batch_reads_stdin_and_dispatches_multicore() {
+    use std::io::Write as _;
+    // The twin paper system split over two cores: each core answers
+    // the uniprocessor Table 2 allowance.
+    let mut batch = String::from("system twin\n");
+    for base in [0u32, 10] {
+        batch.push_str(&format!("task a{} 20 200ms 70ms 29ms\n", base + 1));
+        batch.push_str(&format!("task a{} 18 250ms 120ms 29ms\n", base + 2));
+        batch.push_str(&format!("task a{} 16 1500ms 120ms 29ms\n", base + 3));
+    }
+    batch.push_str("cores 2\nalloc wfd\nquery equitable\n");
+    let mut child = rtft()
+        .args(["query", "-"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(batch.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("[core 0] equitable allowance A = 11ms"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("[core 1] equitable allowance A = 11ms"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn query_errors_are_clean() {
+    // Missing batch file.
+    let out = rtft()
+        .args(["query", "/nonexistent/batch"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // Parse errors carry line numbers.
+    let dir = temp_dir("query-bad");
+    let bad = dir.join("bad.query");
+    std::fs::write(&bad, "task a 1 10ms 10ms 1ms\nquery sideways\n").unwrap();
+    let out = rtft()
+        .args(["query", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("line 2"));
+    // A batch with no query lines is refused.
+    let none = dir.join("none.query");
+    std::fs::write(&none, "task a 1 10ms 10ms 1ms\n").unwrap();
+    let out = rtft()
+        .args(["query", none.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
