@@ -1,1 +1,4 @@
 //! Benchmark-only crate: all content lives in `benches/`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]

@@ -135,12 +135,10 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &RunConfig) -> Result<CampaignRepo
     debug_assert!(digests.iter().enumerate().all(|(i, d)| d.index == i));
 
     let wall = started.elapsed().as_secs_f64();
-    Ok(CampaignReport::from_digests(
-        spec.name.clone(),
-        digests,
-        wall,
-        workers,
-    ))
+    Ok(
+        CampaignReport::from_digests(spec.name.clone(), digests, wall, workers)
+            .with_lint(crate::lint::lint_campaign(spec)),
+    )
 }
 
 /// Execute one job and reduce it to a digest. `session` carries the

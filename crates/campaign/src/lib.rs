@@ -42,10 +42,12 @@
 //! assert!(report.oracle_clean());
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod lint;
 pub mod oracle;
 pub mod report;
 pub mod spec;

@@ -1,0 +1,349 @@
+//! Campaign-grid lint: the [`rtft_core::diag`] rules lifted over a
+//! [`CampaignSpec`]'s cross product, plus the grid-only rules (dead
+//! axes, duplicate axis values, repeated scalar directives).
+//!
+//! [`lint_campaign`] never expands the full job grid: it walks the
+//! unique `(set instance, policy, cores)` cells — the cross product's
+//! other axes (allocator, fault instance, treatment, platform) cannot
+//! change any static rule's verdict — and lints each cell once with
+//! [`rtft_core::diag::lint_system`]. Per-cell *necessary-condition
+//! failures* (RT010/RT011/RT012) are demoted to the campaign-scoped
+//! note `RT033`: an overloaded grid cell is often the experiment's
+//! point (the shipped multicore sweep deliberately crosses U = 1.3
+//! sets with a 1-core column), and the engine already reports such
+//! jobs as infeasible/unplaceable rather than failing.
+//!
+//! [`lint_campaign_text`] is the file-level entry `rtft lint` uses: it
+//! folds parse errors (`RT000`-classified) and the parser's duplicate
+//! scalar-directive warnings (`RT030`) into the same diagnostics list.
+
+use crate::spec::{
+    fsource_targets, parse_spec_with_warnings, CampaignSpec, FaultSource, SetSource,
+};
+use rtft_core::diag::{self, Diagnostic, Span};
+use rtft_core::query::SystemSpec;
+use rtft_core::task::TaskId;
+use std::collections::BTreeSet;
+
+/// Lint a parsed campaign: grid-axis rules (RT031 duplicate axis
+/// values, RT032 dead allocator axis), fault-plan structure against
+/// every concrete set instance (RT004/RT005 as errors — an expansion
+/// that cannot run is a spec bug, not an experiment), and the static
+/// system rules over every unique `(set instance, policy, cores)`
+/// cell, with necessary-condition failures demoted to RT033 notes.
+pub fn lint_campaign(spec: &CampaignSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    axis_rules(spec, &mut out);
+
+    // Effective axes, mirroring `CampaignSpec::expand`'s defaults.
+    let policies = if spec.policies.is_empty() {
+        vec![rtft_core::policy::PolicyKind::FixedPriority]
+    } else {
+        spec.policies.clone()
+    };
+    let cores = if spec.cores.is_empty() {
+        vec![1]
+    } else {
+        spec.cores.clone()
+    };
+    let faults = if spec.faults.is_empty() {
+        vec![FaultSource::None]
+    } else {
+        spec.faults.clone()
+    };
+
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for source in &spec.sets {
+        for (set_label, set) in source.instances() {
+            // RT004/RT005 once per (fault source, set instance): the
+            // same pre-check `expand()` hard-fails on, surfaced with a
+            // code before any runner is spawned.
+            for fsource in &faults {
+                fault_plan_rules(fsource, &set_label, &set, &mut out);
+            }
+            // The static system rules per unique (set, policy, cores)
+            // cell. Allocator, fault instance, treatment and platform
+            // never change a static verdict, so they are not iterated.
+            for &policy in dedup(&policies) {
+                for &core_count in dedup(&cores) {
+                    let label = format!("{set_label}/{policy}/{core_count}c");
+                    let sys = SystemSpec {
+                        name: set_label.clone(),
+                        set: set.clone(),
+                        policy,
+                        cores: core_count,
+                        alloc: rtft_core::query::AllocPolicy::FirstFitDecreasing,
+                        faults: Vec::new(),
+                        platform: rtft_core::query::PlatformModel::EXACT,
+                    };
+                    for d in diag::lint_system(&sys) {
+                        let lifted = lift_cell_diag(&label, d);
+                        if seen.insert(format!(
+                            "{} {} {}",
+                            lifted.code,
+                            match &lifted.span {
+                                Span::Task(id, _) => id.0.to_string(),
+                                _ => "-".into(),
+                            },
+                            lifted.message
+                        )) {
+                            out.push(lifted);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lint a campaign spec *file*: parse errors become `RT000`-classified
+/// diagnostics, the parser's non-fatal warnings become `RT030`, and a
+/// successfully parsed spec additionally gets [`lint_campaign`].
+pub fn lint_campaign_text(text: &str) -> Vec<Diagnostic> {
+    match parse_spec_with_warnings(text) {
+        Err(e) => vec![diag::parse_failure(e.line, e.message)],
+        Ok((spec, warnings)) => {
+            let mut out: Vec<Diagnostic> = warnings
+                .iter()
+                .map(|w| {
+                    Diagnostic::new(
+                        "RT030",
+                        Span::Line(w.line),
+                        w.message.clone(),
+                        "keep one line per scalar directive; the last value silently wins",
+                    )
+                })
+                .collect();
+            out.extend(lint_campaign(&spec));
+            out
+        }
+    }
+}
+
+/// First occurrence of each distinct value, preserving order.
+fn dedup<T: PartialEq>(values: &[T]) -> Vec<&T> {
+    let mut out: Vec<&T> = Vec::new();
+    for v in values {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// RT031 (repeated axis values expand identical jobs) and RT032 (an
+/// allocator axis that cannot matter because every cell has 1 core).
+fn axis_rules(spec: &CampaignSpec, out: &mut Vec<Diagnostic>) {
+    fn repeated<T: PartialEq>(values: &[T], label: impl Fn(&T) -> String) -> Vec<String> {
+        let mut dup = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            if values[..i].iter().any(|prev| prev == v) {
+                let l = label(v);
+                if !dup.contains(&l) {
+                    dup.push(l);
+                }
+            }
+        }
+        dup
+    }
+    let axes: Vec<(&str, Vec<String>)> = vec![
+        ("taskgen", repeated(&spec.sets, set_source_label)),
+        (
+            "policy",
+            repeated(&spec.policies, |p| p.label().to_string()),
+        ),
+        ("cores", repeated(&spec.cores, usize::to_string)),
+        ("alloc", repeated(&spec.allocs, |a| a.label().to_string())),
+        ("faults", repeated(&spec.faults, fault_source_label)),
+        (
+            "treatment",
+            repeated(&spec.treatments, |t| t.name().to_string()),
+        ),
+        ("platform", repeated(&spec.platforms, |p| p.label())),
+    ];
+    for (axis, dup) in axes {
+        for value in dup {
+            out.push(Diagnostic::new(
+                "RT031",
+                Span::Whole,
+                format!("`{axis}` axis lists `{value}` more than once"),
+                "each repetition expands the whole grid again with identical jobs",
+            ));
+        }
+    }
+    let every_cell_uniprocessor = spec.cores.is_empty() || spec.cores.iter().all(|&c| c == 1);
+    if spec.allocs.len() > 1 && every_cell_uniprocessor {
+        out.push(Diagnostic::new(
+            "RT032",
+            Span::Whole,
+            format!(
+                "`alloc` axis lists {} allocators but every grid cell is uniprocessor",
+                spec.allocs.len()
+            ),
+            "on 1 core every allocator yields the trivial partition; drop the axis or add cores",
+        ));
+    }
+}
+
+fn set_source_label(s: &SetSource) -> String {
+    match s {
+        SetSource::Paper => "paper".to_string(),
+        SetSource::Inline(_) => "inline".to_string(),
+        SetSource::UUniFast {
+            n,
+            utilization,
+            seeds,
+            ..
+        } => format!(
+            "uunifast n={n} u={utilization} seeds={}..{}",
+            seeds.0, seeds.1
+        ),
+    }
+}
+
+fn fault_source_label(f: &FaultSource) -> String {
+    match f {
+        FaultSource::None => "none".to_string(),
+        FaultSource::Paper => "paper".to_string(),
+        FaultSource::Explicit(_) => "explicit".to_string(),
+        FaultSource::Single { task, job, deltas } => {
+            format!("single task={} job={job} ({} deltas)", task.0, deltas.len())
+        }
+        FaultSource::Random { seeds, .. } => {
+            format!("random seeds={}..{}", seeds.0, seeds.1)
+        }
+    }
+}
+
+/// RT004 for one fault source against one concrete set: exactly the
+/// targets `CampaignSpec::expand` validates, reported as a diagnostic
+/// instead of a hard expansion error. (RT005 — stacked injections on
+/// one job — cannot arise here: `FaultPlan` merges deltas per
+/// `(task, job)` at construction, so only the query plane's flat
+/// `FaultEntry` list can carry duplicates.)
+fn fault_plan_rules(
+    fsource: &FaultSource,
+    set_label: &str,
+    set: &rtft_core::task::TaskSet,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut unknown: BTreeSet<TaskId> = BTreeSet::new();
+    for (task, _, _) in fsource_targets(fsource) {
+        if set.by_id(task).is_none() && unknown.insert(task) {
+            out.push(Diagnostic::new(
+                "RT004",
+                Span::Whole,
+                format!(
+                    "fault source `{}` targets task id {}, absent from set `{set_label}`",
+                    fault_source_label(fsource),
+                    task.0
+                ),
+                "point the fault at a task that exists in every set of the campaign",
+            ));
+        }
+    }
+}
+
+/// Prefix a cell-level diagnostic with its grid coordinates and demote
+/// necessary-condition *errors* to the campaign-scoped RT033 note —
+/// the engine runs such cells and reports them infeasible; only
+/// structural defects stay fatal at campaign level.
+fn lift_cell_diag(label: &str, d: Diagnostic) -> Diagnostic {
+    match d.code {
+        "RT010" | "RT011" | "RT012" => Diagnostic::new(
+            "RT033",
+            d.span,
+            format!("cell {label}: {} [{}]", d.message, d.code),
+            "the job will report infeasible/unplaceable; narrow the axis if unintended",
+        ),
+        _ => Diagnostic::new(
+            d.code,
+            d.span,
+            format!("cell {label}: {}", d.message),
+            d.help,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::diag::Severity;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn shipped_example_grids_carry_no_errors_or_warnings() {
+        for path in ["policy_sweep.campaign", "multicore_sweep.campaign"] {
+            let text = std::fs::read_to_string(format!(
+                "{}/../../examples/{path}",
+                env!("CARGO_MANIFEST_DIR")
+            ))
+            .unwrap();
+            let diags = lint_campaign_text(&text);
+            assert!(
+                diags.iter().all(|d| d.severity == Severity::Note),
+                "{path}: {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overloaded_uniprocessor_cells_demote_to_notes() {
+        let diags = lint_campaign_text(
+            "campaign sweep\ntaskgen uunifast n=4 u=1.5 seeds=0..1\ncores 1 2\n",
+        );
+        assert_eq!(codes(&diags), vec!["RT033"], "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Note);
+        assert!(diags[0].message.contains("[RT010]"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn unknown_fault_targets_are_campaign_errors() {
+        let diags = lint_campaign_text(
+            "campaign bad\ntaskgen paper\nfaults single task=9 job=0 overrun=5ms\n",
+        );
+        assert_eq!(codes(&diags), vec!["RT004"], "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn stacked_inline_faults_merge_cleanly() {
+        // `FaultPlan` accumulates deltas per (task, job), so stacked
+        // inline fault lines are one merged injection, not an RT005.
+        let diags = lint_campaign_text(
+            "campaign stack\n\
+             task a 2 100ms 100ms 10ms\n\
+             task b 1 200ms 200ms 10ms\n\
+             fault a job 3 overrun 5ms\n\
+             fault a job 3 overrun 7ms\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn duplicate_directives_and_axis_values_warn() {
+        let diags =
+            lint_campaign_text("campaign twice\ncampaign again\ntaskgen paper\npolicy fp fp\n");
+        assert_eq!(codes(&diags), vec!["RT030", "RT031"], "{diags:?}");
+        assert_eq!(diags[0].span, Span::Line(2));
+    }
+
+    #[test]
+    fn dead_allocator_axis_notes() {
+        let diags = lint_campaign_text("campaign dead\ntaskgen paper\ncores 1\nalloc ffd bfd\n");
+        assert_eq!(codes(&diags), vec!["RT032"], "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Note);
+    }
+
+    #[test]
+    fn unparseable_specs_lint_as_rt000() {
+        let diags = lint_campaign_text("campaign x\nnonsense directive\n");
+        assert_eq!(codes(&diags), vec!["RT000"], "{diags:?}");
+        assert_eq!(diags[0].span, Span::Line(2));
+    }
+}

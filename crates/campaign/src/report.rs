@@ -9,6 +9,7 @@
 //! `workers`) vary, and [`CampaignReport::digest`] excludes them.
 
 use crate::oracle::{OracleOutcome, OracleSkip, OracleViolation};
+use rtft_core::diag::{self, Diagnostic};
 use rtft_core::task::TaskId;
 use rtft_core::time::Duration;
 use rtft_trace::stats::DurationHistogram;
@@ -122,6 +123,10 @@ pub struct CampaignReport {
     pub jobs_per_sec: f64,
     /// Worker threads used (not part of [`Self::digest`]).
     pub workers: usize,
+    /// Static campaign lint findings (annotation only — not part of
+    /// [`Self::digest`], which covers executed results; empty unless
+    /// attached via [`Self::with_lint`]).
+    pub lint: Vec<Diagnostic>,
 }
 
 /// Bucket width of the detector-latency histogram: 1 ms — the scale of
@@ -198,7 +203,16 @@ impl CampaignReport {
             wall_seconds,
             jobs_per_sec,
             workers,
+            lint: Vec::new(),
         }
+    }
+
+    /// Attach static lint findings (builder-style, used by the engine
+    /// so the many `from_digests` call sites stay unchanged).
+    #[must_use]
+    pub fn with_lint(mut self, lint: Vec<Diagnostic>) -> Self {
+        self.lint = lint;
+        self
     }
 
     /// `true` iff the differential oracle found no violation.
@@ -259,6 +273,13 @@ impl CampaignReport {
             "wall: {:.3}s with {} workers ({:.0} jobs/sec)",
             self.wall_seconds, self.workers, self.jobs_per_sec
         );
+        if !self.lint.is_empty() {
+            let (e, w, n) = diag::counts(&self.lint);
+            let _ = writeln!(out, "\nlint: {e} errors, {w} warnings, {n} notes");
+            for d in &self.lint {
+                let _ = writeln!(out, "  {}", d.to_line());
+            }
+        }
         let _ = writeln!(
             out,
             "\n{:<22} {:>6} {:>8} {:>8} {:>8} {:>11}",
@@ -351,6 +372,8 @@ impl CampaignReport {
             self.oracle_skipped,
             self.violations.len()
         );
+        let lint: Vec<String> = self.lint.iter().map(Diagnostic::to_json).collect();
+        let _ = writeln!(out, "  \"lint\": [{}],", lint.join(", "));
         let treatments: Vec<String> = self
             .by_treatment
             .iter()

@@ -503,7 +503,7 @@ impl CampaignSpec {
 }
 
 /// Explicit fault targets of a source (for validation against a set).
-fn fsource_targets(source: &FaultSource) -> Vec<(TaskId, u64, Duration)> {
+pub(crate) fn fsource_targets(source: &FaultSource) -> Vec<(TaskId, u64, Duration)> {
     match source {
         FaultSource::Explicit(plan) => plan.entries().collect(),
         FaultSource::Single { task, job, deltas } => {
@@ -581,8 +581,10 @@ fn parse_seed_range(v: &str) -> Result<(u64, u64), String> {
     let (a, b) = v
         .split_once("..")
         .ok_or_else(|| format!("expected <start>..<end>, got `{v}`"))?;
-    let a: u64 = a.parse().map_err(|e| format!("bad range start: {e}"))?;
-    let b: u64 = b.parse().map_err(|e| format!("bad range end: {e}"))?;
+    let a: u64 = a
+        .parse()
+        .map_err(|e| format!("bad range start `{a}`: {e}"))?;
+    let b: u64 = b.parse().map_err(|e| format!("bad range end `{b}`: {e}"))?;
     if b <= a {
         return Err(format!("empty seed range `{v}`"));
     }
@@ -641,7 +643,40 @@ fn parse_duration_range(v: &str) -> Result<(Duration, Duration), String> {
 /// # Errors
 /// [`SpecError`] with the offending line number.
 pub fn parse_spec(text: &str) -> Result<CampaignSpec, SpecError> {
+    parse_spec_with_warnings(text).map(|(spec, _)| spec)
+}
+
+/// A non-fatal problem noticed while parsing a campaign spec — today
+/// always a repeated scalar directive (`campaign`, `horizon`,
+/// `oracle`), whose last value silently wins. `rtft campaign` prints
+/// these to stderr; `rtft lint` reports them as `RT030`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpecWarning {
+    /// Offending 1-based line (the *repeated* occurrence).
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "campaign spec warning at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+/// [`parse_spec`], but returning the non-fatal [`SpecWarning`]s the
+/// grammar used to swallow alongside the spec.
+///
+/// # Errors
+/// [`SpecError`] with the offending line number.
+pub fn parse_spec_with_warnings(text: &str) -> Result<(CampaignSpec, Vec<SpecWarning>), SpecError> {
     let mut spec = CampaignSpec::default();
+    let mut warnings: Vec<SpecWarning> = Vec::new();
+    let mut seen_scalar: BTreeMap<&str, usize> = BTreeMap::new();
     let mut inline_tasks: Vec<TaskSpec> = Vec::new();
     let mut inline_names: BTreeMap<String, TaskId> = BTreeMap::new();
     let mut inline_faults: Option<FaultPlan> = None;
@@ -658,6 +693,18 @@ pub fn parse_spec(text: &str) -> Result<CampaignSpec, SpecError> {
             line: line_no,
             message,
         };
+
+        if matches!(words[0], "campaign" | "horizon" | "oracle") {
+            if let Some(prev) = seen_scalar.insert(words[0], line_no) {
+                warnings.push(SpecWarning {
+                    line: line_no,
+                    message: format!(
+                        "duplicate `{}` directive: this value overrides line {prev}",
+                        words[0]
+                    ),
+                });
+            }
+        }
 
         match words[0] {
             "campaign" => {
@@ -695,7 +742,7 @@ pub fn parse_spec(text: &str) -> Result<CampaignSpec, SpecError> {
                 }
                 let priority: i32 = words[2]
                     .parse()
-                    .map_err(|e| err(format!("bad priority: {e}")))?;
+                    .map_err(|e| err(format!("bad priority `{}`: {e}", words[2])))?;
                 let period = parse_duration(words[3]).map_err(&err)?;
                 let deadline = parse_duration(words[4]).map_err(&err)?;
                 let cost = parse_duration(words[5]).map_err(&err)?;
@@ -721,7 +768,7 @@ pub fn parse_spec(text: &str) -> Result<CampaignSpec, SpecError> {
                     .ok_or_else(|| err(format!("unknown task `{}`", words[1])))?;
                 let job: u64 = words[3]
                     .parse()
-                    .map_err(|e| err(format!("bad job index: {e}")))?;
+                    .map_err(|e| err(format!("bad job index `{}`: {e}", words[3])))?;
                 let amount = parse_duration(words[5]).map_err(&err)?;
                 let plan = inline_faults.take().unwrap_or_default();
                 inline_faults = Some(match words[4] {
@@ -742,10 +789,14 @@ pub fn parse_spec(text: &str) -> Result<CampaignSpec, SpecError> {
                     for token in &words[2..] {
                         let (k, v) = kv(token).map_err(&err)?;
                         match k {
-                            "n" => n = Some(v.parse().map_err(|e| err(format!("bad n: {e}")))?),
-                            "u" => u = Some(v.parse().map_err(|e| err(format!("bad u: {e}")))?),
+                            "n" => {
+                                n = Some(v.parse().map_err(|e| err(format!("bad n `{v}`: {e}")))?)
+                            }
+                            "u" => {
+                                u = Some(v.parse().map_err(|e| err(format!("bad u `{v}`: {e}")))?)
+                            }
                             "cap" => {
-                                cap = v.parse().map_err(|e| err(format!("bad cap: {e}")))?;
+                                cap = v.parse().map_err(|e| err(format!("bad cap `{v}`: {e}")))?;
                             }
                             "periods" => periods = parse_duration_range(v).map_err(&err)?,
                             "seeds" => seeds = Some(parse_seed_range(v).map_err(&err)?),
@@ -790,11 +841,12 @@ pub fn parse_spec(text: &str) -> Result<CampaignSpec, SpecError> {
                         match k {
                             "task" => {
                                 task = Some(TaskId(
-                                    v.parse().map_err(|e| err(format!("bad task id: {e}")))?,
+                                    v.parse()
+                                        .map_err(|e| err(format!("bad task id `{v}`: {e}")))?,
                                 ))
                             }
                             "job" => {
-                                job = v.parse().map_err(|e| err(format!("bad job: {e}")))?;
+                                job = v.parse().map_err(|e| err(format!("bad job `{v}`: {e}")))?;
                             }
                             "overrun" => {
                                 for part in v.split(',') {
@@ -824,11 +876,13 @@ pub fn parse_spec(text: &str) -> Result<CampaignSpec, SpecError> {
                         match k {
                             "p" => {
                                 probability =
-                                    Some(v.parse().map_err(|e| err(format!("bad p: {e}")))?)
+                                    Some(v.parse().map_err(|e| err(format!("bad p `{v}`: {e}")))?)
                             }
                             "mag" => magnitude = Some(parse_duration_range(v).map_err(&err)?),
                             "jobs" => {
-                                jobs = Some(v.parse().map_err(|e| err(format!("bad jobs: {e}")))?)
+                                jobs = Some(
+                                    v.parse().map_err(|e| err(format!("bad jobs `{v}`: {e}")))?,
+                                )
                             }
                             "seeds" => seeds = Some(parse_seed_range(v).map_err(&err)?),
                             other => return Err(err(format!("unknown random key `{other}`"))),
@@ -921,7 +975,7 @@ pub fn parse_spec(text: &str) -> Result<CampaignSpec, SpecError> {
         }
         spec.faults.insert(0, FaultSource::Explicit(plan));
     }
-    Ok(spec)
+    Ok((spec, warnings))
 }
 
 #[cfg(test)]

@@ -87,12 +87,14 @@
 //! dispatching to a uniprocessor or partitioned session automatically;
 //! `rtft query` serves a batch from a file or stdin.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod allowance;
 pub mod analyzer;
 pub mod blocking;
+pub mod diag;
 pub mod edf;
 pub mod error;
 pub mod feasibility;
@@ -111,6 +113,7 @@ pub mod utilization;
 pub mod prelude {
     pub use crate::allowance::{EquitableAllowance, SlackPolicy, SystemAllowance};
     pub use crate::analyzer::{Analyzer, AnalyzerBuilder};
+    pub use crate::diag::{lint_batch, lint_system, Diagnostic, Severity};
     pub use crate::error::{AnalysisError, ModelError};
     pub use crate::feasibility::{Admission, AdmissionController, FeasibilityReport};
     pub use crate::policy::PolicyKind;

@@ -536,6 +536,10 @@ pub enum Response {
     /// The allocator found no placement; carries its diagnostics. Every
     /// query on an unplaceable spec yields this.
     Unplaceable(String),
+    /// The static pre-flight lint ([`crate::diag::lint_system`]) found
+    /// Error-severity findings, so the analyzer never ran. Every query
+    /// on a rejected spec yields this.
+    Rejected(Vec<crate::diag::Diagnostic>),
 }
 
 fn fmt_task_value(out: &mut String, v: &TaskValue, what: &str, none: &str, multicore: bool) {
@@ -642,6 +646,17 @@ impl Response {
             Response::Unplaceable(diag) => {
                 let _ = writeln!(out, "  UNPLACEABLE: {diag}");
             }
+            Response::Rejected(diags) => {
+                let (errors, _, _) = crate::diag::counts(diags);
+                let _ = writeln!(
+                    out,
+                    "  REJECTED ({errors} lint error{})",
+                    if errors == 1 { "" } else { "s" }
+                );
+                for d in diags {
+                    let _ = writeln!(out, "    {}", d.to_line());
+                }
+            }
         }
         out
     }
@@ -734,6 +749,14 @@ impl Response {
                 "{{\"query\":\"unplaceable\",\"diagnostics\":{}}}",
                 json_string(diag)
             ),
+            Response::Rejected(diags) => {
+                let items: Vec<String> =
+                    diags.iter().map(crate::diag::Diagnostic::to_json).collect();
+                format!(
+                    "{{\"query\":\"rejected\",\"diagnostics\":[{}]}}",
+                    items.join(",")
+                )
+            }
         }
     }
 }
@@ -866,7 +889,7 @@ pub fn parse_batch(text: &str) -> Result<(SystemSpec, Vec<Query>), QueryParseErr
                 }
                 let priority: i32 = words[2]
                     .parse()
-                    .map_err(|e| err(format!("bad priority: {e}")))?;
+                    .map_err(|e| err(format!("bad priority `{}`: {e}", words[2])))?;
                 let period: Duration = words[3].parse().map_err(&err)?;
                 let deadline: Duration = words[4].parse().map_err(&err)?;
                 let cost: Duration = words[5].parse().map_err(&err)?;
@@ -891,7 +914,7 @@ pub fn parse_batch(text: &str) -> Result<(SystemSpec, Vec<Query>), QueryParseErr
                     .ok_or_else(|| err(format!("unknown task `{}`", words[1])))?;
                 let job: u64 = words[3]
                     .parse()
-                    .map_err(|e| err(format!("bad job index: {e}")))?;
+                    .map_err(|e| err(format!("bad job index `{}`: {e}", words[3])))?;
                 let amount: Duration = words[5].parse().map_err(&err)?;
                 let delta = match words[4] {
                     "overrun" => amount,
@@ -914,7 +937,10 @@ pub fn parse_batch(text: &str) -> Result<(SystemSpec, Vec<Query>), QueryParseErr
                 let n: usize = words
                     .get(1)
                     .ok_or_else(|| err("cores: missing count".into()))
-                    .and_then(|w| w.parse().map_err(|e| err(format!("bad core count: {e}"))))?;
+                    .and_then(|w| {
+                        w.parse()
+                            .map_err(|e| err(format!("bad core count `{w}`: {e}")))
+                    })?;
                 if n == 0 {
                     return Err(err("cores: count must be ≥ 1".into()));
                 }

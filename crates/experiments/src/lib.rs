@@ -4,7 +4,8 @@
 //! `experiments/out/` and prints a one-line verdict per experiment.
 //! EXPERIMENTS.md records the paper-vs-measured comparison.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod ablation;

@@ -55,7 +55,8 @@
 //! assert!(fig7.collateral_failures().is_empty());
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod detector;

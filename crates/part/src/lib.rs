@@ -53,7 +53,8 @@
 //! assert!(sessions.is_feasible().unwrap());
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod alloc;

@@ -53,6 +53,7 @@ use crate::alloc::allocate;
 use crate::analyzer::PartitionedAnalyzer;
 use crate::partition::Partition;
 use rtft_core::analyzer::{Analyzer, AnalyzerBuilder};
+use rtft_core::diag::{self, Diagnostic};
 use rtft_core::error::AnalysisError;
 use rtft_core::policy::PolicyKind;
 use rtft_core::query::{CoreAllowance, CoreScale, Query, Response, SystemSpec, TaskValue};
@@ -77,21 +78,33 @@ enum Backend {
 pub struct Workbench {
     spec: SystemSpec,
     backend: Option<Backend>,
+    /// Pre-flight findings from [`diag::lint_system`], computed once at
+    /// construction (static rules only — microseconds, no fixed point).
+    lint: Vec<Diagnostic>,
 }
 
 impl Workbench {
     /// A workbench over `spec`. No analysis runs until the first query
     /// (or session accessor) forces the backend.
     pub fn new(spec: SystemSpec) -> Self {
+        let lint = diag::lint_system(&spec);
         Workbench {
             spec,
             backend: None,
+            lint,
         }
     }
 
     /// The spec this workbench answers queries about.
     pub fn spec(&self) -> &SystemSpec {
         &self.spec
+    }
+
+    /// The pre-flight diagnostics for the spec (all severities).
+    /// Error-severity findings make every [`Workbench::run`] answer
+    /// [`Response::Rejected`] without building a backend.
+    pub fn lint(&self) -> &[Diagnostic] {
+        &self.lint
     }
 
     fn ensure(&mut self) -> &mut Backend {
@@ -153,7 +166,10 @@ impl Workbench {
         }
     }
 
-    /// Answer one query.
+    /// Answer one query. Specs whose pre-flight [`Workbench::lint`]
+    /// carries Error-severity findings answer [`Response::Rejected`]
+    /// for every query — the static proofs make running the analyzer
+    /// pointless.
     ///
     /// # Errors
     /// [`AnalysisError`] when an underlying fixed point trips its
@@ -164,6 +180,12 @@ impl Workbench {
     /// Panics when a [`Query::MaxSingleOverrun`] names a task that is
     /// not in the spec's set (a parsed batch cannot produce one).
     pub fn run(&mut self, query: &Query) -> Result<Response, AnalysisError> {
+        if diag::has_errors(&self.lint) {
+            // The static lint proved the spec broken or infeasible:
+            // reject instead of spending analyzer time (or panicking in
+            // a fixed point the proofs say cannot settle).
+            return Ok(Response::Rejected(self.lint.clone()));
+        }
         if let Some(diag) = self.unplaceable() {
             return Ok(Response::Unplaceable(diag.to_string()));
         }
@@ -227,25 +249,8 @@ impl Workbench {
     /// # Errors
     /// The first [`AnalysisError`] any query produces.
     pub fn run_batch(&mut self, queries: &[Query]) -> Result<Vec<Response>, AnalysisError> {
-        fn phase(q: &Query) -> u8 {
-            match q {
-                // Memo-populating lookups first: they seed the session's
-                // busy-period caches at the base costs.
-                Query::Feasibility => 0,
-                Query::WcrtAll | Query::Thresholds => 1,
-                // The equitable search pushes the warm frontier upward…
-                Query::EquitableAllowance => 2,
-                // …the system allowance reuses it and memoizes every
-                // per-task search…
-                Query::SystemAllowance(_) => 3,
-                // …which answers the single-task overrun queries from
-                // the session's cache.
-                Query::MaxSingleOverrun(_) => 4,
-                Query::Sensitivity => 5,
-            }
-        }
         let mut order: Vec<usize> = (0..queries.len()).collect();
-        order.sort_by_key(|&i| phase(&queries[i]));
+        order.sort_by_key(|&i| diag::execution_phase(&queries[i]));
         let mut responses: Vec<Option<Response>> = vec![None; queries.len()];
         for i in order {
             responses[i] = Some(self.run(&queries[i])?);
@@ -567,6 +572,30 @@ mod tests {
         };
         let values: Vec<_> = th.iter().map(|v| v.value.unwrap()).collect();
         assert_eq!(values, vec![ms(70), ms(120), ms(120)]);
+    }
+
+    #[test]
+    fn lint_rejected_specs_answer_every_query_without_analysis() {
+        // U = 1.2 on one core: RT010 is a static infeasibility proof,
+        // so the workbench must never build a backend for this spec.
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 9, ms(100), ms(60)).build(),
+            TaskBuilder::new(2, 8, ms(100), ms(60)).build(),
+        ]);
+        let mut bench = Workbench::new(SystemSpec::uniprocessor("overloaded", set));
+        assert!(rtft_core::diag::has_errors(bench.lint()));
+        for q in all_queries() {
+            match bench.run(&q).unwrap() {
+                Response::Rejected(diags) => {
+                    assert!(diags.iter().any(|d| d.code == "RT010"), "{diags:?}")
+                }
+                other => panic!("expected rejection, got {other:?}"),
+            }
+        }
+        assert!(bench.backend.is_none(), "no analyzer session may be built");
+        // And the batch path agrees with the one-shot path.
+        let responses = bench.run_batch(&all_queries()).unwrap();
+        assert!(responses.iter().all(|r| matches!(r, Response::Rejected(_))));
     }
 
     #[test]

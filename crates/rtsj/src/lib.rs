@@ -22,7 +22,8 @@
 //!   single-parent and assignment rules (a concept port: Rust's ownership
 //!   replaces `NoHeapRealtimeThread` GC isolation — see DESIGN.md §6).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod memory;

@@ -36,7 +36,8 @@
 //! assert!(!log.any_miss());
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod aperiodic;

@@ -9,7 +9,8 @@
 //! * [`uunifast`] / [`generator`] — unbiased random task sets for the
 //!   scalability and sweep experiments beyond the paper's fixed example.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod generator;

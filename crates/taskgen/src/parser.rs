@@ -105,7 +105,7 @@ pub fn parse(text: &str) -> Result<SystemDescription, ParseError> {
                 .ok_or_else(|| err(format!("unknown task `{}`", words[1])))?;
             let job: u64 = words[3]
                 .parse()
-                .map_err(|e| err(format!("bad job index: {e}")))?;
+                .map_err(|e| err(format!("bad job index `{}`: {e}", words[3])))?;
             let amount = parse_duration(words[5]).map_err(&err)?;
             faults = match words[4] {
                 "overrun" => faults.overrun(id, job, amount),
@@ -127,7 +127,7 @@ pub fn parse(text: &str) -> Result<SystemDescription, ParseError> {
         }
         let priority: i32 = words[1]
             .parse()
-            .map_err(|e| err(format!("bad priority: {e}")))?;
+            .map_err(|e| err(format!("bad priority `{}`: {e}", words[1])))?;
         let period = parse_duration(words[2]).map_err(&err)?;
         let deadline = parse_duration(words[3]).map_err(&err)?;
         let cost = parse_duration(words[4]).map_err(&err)?;

@@ -19,7 +19,8 @@
 //! * [`clock`] — a virtual `RDTSC` for experiments that reproduce the
 //!   cycle-count measurement path.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod chart;

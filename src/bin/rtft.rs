@@ -8,6 +8,7 @@
 //! rtft chart    <trace.log>  [options]        # re-chart a saved trace
 //! rtft campaign <spec.campaign> [options]     # run a scenario grid
 //! rtft query    <batch.query|-> [--json]      # answer a query batch
+//! rtft lint     <file|->         [options]    # static diagnostics only
 //!
 //! run options:
 //!   --treatment <none|detect|stop|equitable|system>   (default: system)
@@ -40,14 +41,31 @@
 //!   `-`) and answers through the query-plane `Workbench`: one memoized
 //!   session plan shared by the whole batch, dispatched automatically
 //!   to the uniprocessor or partitioned analyzer. `--json` emits the
-//!   machine-readable responses — the proto-service endpoint.
+//!   machine-readable responses — the proto-service endpoint. With
+//!   `--lint` the batch's static diagnostics print to stderr first.
+//!
+//! campaign lint flags:
+//!   `--lint` prints the grid's static diagnostics to stderr before the
+//!   run; `--deny-warnings` aborts (exit 1) when the lint finds any
+//!   warning or error. Duplicate scalar directives in the spec always
+//!   warn on stderr.
+//!
+//! lint options:
+//!   --kind <spec|batch|campaign>   force the input kind (default:
+//!                                  by extension, then content sniff)
+//!   --json                         machine-readable diagnostics
+//!   --deny-warnings                exit 4 on warnings, not just errors
+//!
+//!   `lint` runs only the static `RT0xx` rules (never a fixed point)
+//!   and exits 0 when clean, 4 when the gate trips, 1 on I/O errors.
 //!
 //! `run` and `campaign` exit 0 on a clean run, 3 when the differential
 //! oracle found sim-vs-analysis violations (so CI can gate on either).
 //! ```
 
 use rtft::prelude::*;
-use rtft_core::query::{parse_batch, render_responses_json, Query, Response};
+use rtft_core::diag::{self, Diagnostic};
+use rtft_core::query::{parse_batch, render_responses_json, FaultEntry, Query, Response};
 use rtft_core::time::{Duration, Instant};
 use rtft_taskgen::parser::{parse as parse_tasks, parse_duration};
 use std::process::ExitCode;
@@ -60,8 +78,9 @@ fn main() -> ExitCode {
         Some("chart") => cmd_chart(&args[1..]),
         Some("campaign") => return exit_on_oracle(run_campaign_cmd(&args[1..])),
         Some("query") => cmd_query(&args[1..]),
+        Some("lint") => return cmd_lint(&args[1..]),
         _ => {
-            eprintln!("usage: rtft <analyze|run|chart|campaign|query> <file> [options]");
+            eprintln!("usage: rtft <analyze|run|chart|campaign|query|lint> <file> [options]");
             return ExitCode::from(2);
         }
     };
@@ -136,6 +155,20 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     let responses = bench
         .run_batch(&[Query::Feasibility, Query::WcrtAll])
         .map_err(|e| e.to_string())?;
+    if let Response::Rejected(diags) = &responses[0] {
+        // The lint gate fired before any fixed point ran. Keep the
+        // report's utilization/feasible lines for overload rejections
+        // so the admission verdict reads the same as before the gate.
+        println!("utilization U = {:.4}", set.utilization());
+        if diags.iter().any(|d| d.code == "RT010") {
+            println!("NOT FEASIBLE: U > 1");
+        }
+        println!("rejected by lint:");
+        for d in diags {
+            println!("  {}", d.to_line());
+        }
+        return Ok(());
+    }
     let Response::Feasibility {
         feasible,
         overloaded,
@@ -227,6 +260,13 @@ fn analyze_partitioned(spec: SystemSpec) -> CliResult {
         set.utilization()
     );
     let mut bench = Workbench::new(spec);
+    if diag::has_errors(bench.lint()) {
+        println!("rejected by lint:");
+        for d in bench.lint() {
+            println!("  {}", d.to_line());
+        }
+        return Ok(());
+    }
     if let Some(diag) = bench.unplaceable() {
         println!("UNPLACEABLE: {diag}");
         return Ok(());
@@ -285,6 +325,133 @@ fn analyze_partitioned(spec: SystemSpec) -> CliResult {
     Ok(())
 }
 
+/// What kind of input `rtft lint` is looking at.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LintKind {
+    /// A task-file system spec (`.rtft`).
+    Spec,
+    /// A query batch (`.query`).
+    Batch,
+    /// A campaign grid (`.campaign`).
+    Campaign,
+}
+
+/// Guess the input kind: extension first, then a content sniff over
+/// the directive vocabulary (campaign-only keywords, then the batch's
+/// `system`/`query` lines, else a task file).
+fn lint_kind(path: &str, text: &str) -> LintKind {
+    if path.ends_with(".campaign") {
+        return LintKind::Campaign;
+    }
+    if path.ends_with(".query") {
+        return LintKind::Batch;
+    }
+    if path.ends_with(".rtft") {
+        return LintKind::Spec;
+    }
+    let mut first_words = text.lines().filter_map(|l| {
+        let l = l.split('#').next().unwrap_or("").trim();
+        l.split_ascii_whitespace().next()
+    });
+    if first_words.clone().any(|w| {
+        matches!(
+            w,
+            "campaign" | "taskgen" | "faults" | "treatment" | "horizon" | "oracle"
+        )
+    }) {
+        LintKind::Campaign
+    } else if first_words.any(|w| matches!(w, "system" | "query")) {
+        LintKind::Batch
+    } else {
+        LintKind::Spec
+    }
+}
+
+/// Lint a task file: the parsed system lifted to a [`SystemSpec`]
+/// (uniprocessor, the `analyze` defaults) plus its inline fault plan.
+fn lint_task_file(text: &str) -> Vec<Diagnostic> {
+    let desc = match parse_tasks(text) {
+        Ok(d) => d,
+        Err(e) => return vec![diag::parse_failure(e.line, e.message)],
+    };
+    let set = match desc.task_set() {
+        Ok(s) => s,
+        Err(e) => return vec![diag::parse_failure(0, format!("task set invalid: {e}"))],
+    };
+    let mut spec = SystemSpec::uniprocessor("tasks", set);
+    spec.faults = desc
+        .faults
+        .entries()
+        .map(|(task, job, delta)| FaultEntry { task, job, delta })
+        .collect();
+    diag::lint_system(&spec)
+}
+
+/// `rtft lint`: the static diagnostics plane, standalone. Runs only
+/// the `RT0xx` rules — never a fixed point — and exits 0 clean / 4
+/// when the gate trips (errors, or any warning under
+/// `--deny-warnings`) / 1 on I/O or usage errors.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let inner = || -> Result<Vec<Diagnostic>, String> {
+        let path = args
+            .first()
+            .filter(|a| !a.starts_with("--"))
+            .ok_or("lint: missing input file (use `-` for stdin)")?;
+        let text = if path == "-" {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("read stdin: {e}"))?;
+            buf
+        } else {
+            std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?
+        };
+        let kind = match flag_value(args, "--kind") {
+            Some("spec") => LintKind::Spec,
+            Some("batch") => LintKind::Batch,
+            Some("campaign") => LintKind::Campaign,
+            Some(other) => return Err(format!("lint: unknown --kind `{other}`")),
+            None => lint_kind(path, &text),
+        };
+        Ok(match kind {
+            LintKind::Campaign => rtft::campaign::lint::lint_campaign_text(&text),
+            LintKind::Batch => match parse_batch(&text) {
+                Ok((spec, queries)) => diag::lint_batch(&spec, &queries),
+                Err(e) => vec![diag::parse_failure(e.line, e.message)],
+            },
+            LintKind::Spec => lint_task_file(&text),
+        })
+    };
+    let diags = match inner() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("rtft: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (errors, warnings, notes) = diag::counts(&diags);
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", diag::render_json(&diags));
+    } else if diags.is_empty() {
+        println!("clean (no diagnostics)");
+    } else {
+        print!("{}", diag::render_text(&diags));
+        println!(
+            "{errors} error{}, {warnings} warning{}, {notes} note{}",
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+            if notes == 1 { "" } else { "s" },
+        );
+    }
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::from(4)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `rtft query`: the proto-service endpoint — read a batch, answer it
 /// through one [`Workbench`], emit text or `--json` responses.
 fn cmd_query(args: &[String]) -> CliResult {
@@ -305,6 +472,11 @@ fn cmd_query(args: &[String]) -> CliResult {
     let (spec, queries) = parse_batch(&text).map_err(|e| e.to_string())?;
     if queries.is_empty() {
         return Err("query: batch has no `query` lines".into());
+    }
+    if args.iter().any(|a| a == "--lint") {
+        for d in diag::lint_batch(&spec, &queries) {
+            eprintln!("lint: {}", d.to_line());
+        }
     }
     let mut bench = Workbench::new(spec.clone());
     let responses = bench.run_batch(&queries).map_err(|e| e.to_string())?;
@@ -454,7 +626,31 @@ fn run_partitioned_cmd(
 fn run_campaign_cmd(args: &[String]) -> Result<bool, String> {
     let path = args.first().ok_or("campaign: missing spec file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let spec = parse_spec(&text).map_err(|e| e.to_string())?;
+    let (spec, warnings) =
+        rtft::campaign::spec::parse_spec_with_warnings(&text).map_err(|e| e.to_string())?;
+    for w in &warnings {
+        eprintln!("{w}");
+    }
+    if args.iter().any(|a| a == "--lint") || args.iter().any(|a| a == "--deny-warnings") {
+        let lint = rtft::campaign::lint::lint_campaign(&spec);
+        if args.iter().any(|a| a == "--lint") {
+            for d in &lint {
+                eprintln!("lint: {}", d.to_line());
+            }
+        }
+        if args.iter().any(|a| a == "--deny-warnings") {
+            let (errors, lint_warnings, _) = diag::counts(&lint);
+            if errors > 0 || lint_warnings > 0 || !warnings.is_empty() {
+                return Err(format!(
+                    "campaign: --deny-warnings with {} lint errors, {} lint warnings, \
+                     {} parse warnings",
+                    errors,
+                    lint_warnings,
+                    warnings.len()
+                ));
+            }
+        }
+    }
     let mut cfg = RunConfig::default();
     if let Some(w) = flag_value(args, "--workers") {
         let w: usize = w.parse().map_err(|e| format!("bad --workers: {e}"))?;

@@ -83,7 +83,8 @@
 //! --repro-dir repros/` (exit code 3 signals oracle violations, so CI
 //! can gate on the differential property).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub use rtft_campaign as campaign;

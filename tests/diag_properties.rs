@@ -1,0 +1,143 @@
+//! Property tests of the static diagnostics plane: soundness of the
+//! lint gate with respect to the analyzer it fronts.
+//!
+//! Two directions:
+//!
+//! 1. lint-clean generated specs pass straight through to the
+//!    analyzer — the workbench never rejects them and the feasibility
+//!    fixed point actually runs;
+//! 2. injected defects (overload, structural C > D, dangling fault
+//!    targets) are flagged by at least one `Error`-severity rule, so
+//!    the gate cannot wave a known-bad spec into the fixed point.
+
+use proptest::prelude::*;
+use rtft::core::diag::{self, Severity};
+use rtft::core::query::FaultEntry;
+use rtft::prelude::*;
+
+/// Generated system: tasks sorted rate-monotonically (shorter period
+/// outranks), implicit deadlines, total utilization capped below 0.9 —
+/// lint-clean by construction under FP.
+fn arb_clean_spec(max_tasks: usize) -> impl Strategy<Value = SystemSpec> {
+    proptest::collection::vec((2i64..=50, 1i64..=9), 1..=max_tasks).prop_map(|mut params| {
+        let n = params.len() as i64;
+        params.sort();
+        let specs = params
+            .into_iter()
+            .enumerate()
+            .map(|(i, (period_raw, frac))| {
+                let period = Duration::millis(period_raw * n);
+                // Per-task utilization ≤ max(frac/10, 1/period_raw)/n,
+                // so the sum stays below 0.9 for every draw.
+                let cost = Duration::millis((period_raw * frac / 10).max(1));
+                TaskBuilder::new(i as u32 + 1, -(i as i32), period, cost).build()
+            })
+            .collect();
+        SystemSpec::uniprocessor("generated", TaskSet::from_specs(specs))
+    })
+}
+
+/// Every registered rule must be documented: the README "Diagnostics"
+/// table carries one `| RTnnn | severity |` row per code, so a rule
+/// can never ship without its user-facing description.
+#[test]
+fn every_rule_code_is_documented_in_the_readme() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md at the workspace root");
+    for rule in diag::RULES {
+        let row = format!("| {} | {} |", rule.code, rule.severity.label());
+        assert!(
+            readme.contains(&row),
+            "README Diagnostics table is missing a `{row}` row for: {}",
+            rule.summary
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Soundness, clean direction: a generated spec lints without
+    /// errors and the workbench answers its feasibility query from the
+    /// real fixed point — never with a `Rejected` response.
+    #[test]
+    fn clean_specs_lint_clean_and_reach_the_analyzer(spec in arb_clean_spec(8)) {
+        let diags = diag::lint_system(&spec);
+        prop_assert!(
+            !diags.iter().any(|d| d.severity == Severity::Error),
+            "clean spec flagged: {diags:?}"
+        );
+        let mut bench = Workbench::new(spec);
+        let responses = bench
+            .run_batch(&[Query::Feasibility, Query::WcrtAll])
+            .expect("clean spec analyzes");
+        for r in &responses {
+            prop_assert!(!matches!(r, Response::Rejected(_)), "clean spec rejected");
+        }
+        prop_assert!(matches!(responses[0], Response::Feasibility { .. }));
+    }
+
+    /// Soundness, overload direction: inflate one task's cost past its
+    /// full period — utilization tops 1 and RT010 (an error) fires, so
+    /// the workbench rejects before any fixed point runs.
+    #[test]
+    fn injected_overload_is_flagged_as_an_error(spec in arb_clean_spec(6), pick in 0usize..6) {
+        let mut specs: Vec<TaskSpec> = spec.set.tasks().to_vec();
+        let rank = pick % specs.len();
+        specs[rank].cost = specs[rank].period + Duration::millis(1);
+        specs[rank].deadline = specs[rank].cost;
+        let hot = SystemSpec::uniprocessor("overloaded", TaskSet::from_specs(specs));
+        let diags = diag::lint_system(&hot);
+        prop_assert!(
+            diags.iter().any(|d| d.code == "RT010" && d.severity == Severity::Error),
+            "overload not flagged: {diags:?}"
+        );
+        let mut bench = Workbench::new(hot);
+        let responses = bench.run_batch(&[Query::Feasibility]).expect("lint gate answers");
+        prop_assert!(matches!(&responses[0], Response::Rejected(d) if diag::has_errors(d)));
+    }
+
+    /// Soundness, structural direction: shrink one deadline below its
+    /// cost — RT002 (an error) must flag the exact task.
+    #[test]
+    fn injected_deadline_defect_is_flagged_as_an_error(
+        spec in arb_clean_spec(6),
+        pick in 0usize..6,
+    ) {
+        let mut specs: Vec<TaskSpec> = spec.set.tasks().to_vec();
+        let rank = pick % specs.len();
+        let victim = specs[rank].id;
+        specs[rank].deadline = specs[rank].cost - Duration::NANO;
+        let broken = SystemSpec::uniprocessor("broken", TaskSet::from_specs(specs));
+        let diags = diag::lint_system(&broken);
+        prop_assert!(
+            diags.iter().any(|d| {
+                d.code == "RT002"
+                    && d.severity == Severity::Error
+                    && matches!(d.span, diag::Span::Task(id, _) if id == victim)
+            }),
+            "C > D not flagged on the right task: {diags:?}"
+        );
+    }
+
+    /// Soundness, fault-plan direction: a fault entry aimed at a task
+    /// id the set does not contain is an RT004 error.
+    #[test]
+    fn dangling_fault_targets_are_flagged_as_errors(
+        spec in arb_clean_spec(6),
+        job in 0u64..20,
+    ) {
+        let mut spec = spec;
+        let absent = TaskId(spec.set.len() as u32 + 100);
+        spec.faults.push(FaultEntry {
+            task: absent,
+            job,
+            delta: Duration::millis(1),
+        });
+        let diags = diag::lint_system(&spec);
+        prop_assert!(
+            diags.iter().any(|d| d.code == "RT004" && d.severity == Severity::Error),
+            "dangling fault target not flagged: {diags:?}"
+        );
+    }
+}
