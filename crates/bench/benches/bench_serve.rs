@@ -1,0 +1,122 @@
+//! Service benchmarks: what a warm `rtft serve` session saves over a
+//! cold one, measured end to end — real sockets, real HTTP parsing,
+//! real rendering — against one in-process daemon.
+//!
+//! * `serve_latency/warm` — the acceptance workload: the 50-task
+//!   allowance batch POSTed repeatedly under one system name, so every
+//!   request after the primer hits the same memoized `Workbench`
+//!   session.
+//! * `serve_latency/cold` — the identical batch under a fresh system
+//!   name per request: the content hash never matches, every request
+//!   builds (and LRU-churns) a new session. This is the no-daemon
+//!   baseline a one-shot `rtft query` process pays, minus process
+//!   startup.
+//!
+//! The ISSUE's acceptance bar — warm ≥ 2x faster than cold — is
+//! asserted here before timing, so a memoization regression fails the
+//! bench run itself, not just drifts the committed numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtft_core::allowance::SlackPolicy;
+use rtft_core::query::{Query, SystemSpec};
+use rtft_serve::{Client, ServeConfig, Server, ServerHandle};
+use rtft_taskgen::GeneratorConfig;
+use std::cell::Cell;
+
+/// The 50-task allowance-heavy batch of `bench_query`, rendered to the
+/// wire format under the given system name.
+fn batch_text(name: &str) -> String {
+    let set = GeneratorConfig::new(50).with_utilization(0.72).generate(21);
+    let spec = SystemSpec::uniprocessor(name, set);
+    let mut queries = vec![
+        Query::Feasibility,
+        Query::Thresholds,
+        Query::EquitableAllowance,
+        Query::SystemAllowance(SlackPolicy::ProtectAll),
+    ];
+    for rank in 0..spec.set.len() {
+        queries.push(Query::MaxSingleOverrun(spec.set.by_rank(rank).id));
+    }
+    let mut text = format!("system {}\n", spec.name);
+    spec.render_lines(&mut text);
+    for q in &queries {
+        text.push_str(&q.to_line(|id| spec.task_name(id)));
+        text.push('\n');
+    }
+    text
+}
+
+fn spawn_daemon() -> (ServerHandle, Client) {
+    let handle = Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        sessions: 4, // small on purpose: the cold path must churn the LRU
+        threads: 2,
+        request_timeout: std::time::Duration::from_secs(30),
+        max_body: 4 * 1024 * 1024,
+    })
+    .expect("bind ephemeral port");
+    let client = Client::new(handle.addr());
+    (handle, client)
+}
+
+fn bench_serve_latency(c: &mut Criterion) {
+    let (handle, client) = spawn_daemon();
+    let warm_batch = batch_text("bench-warm");
+
+    // Prime the warm session and take one cold/warm measurement for
+    // the acceptance assertion (warm ≥ 2x faster than cold).
+    let cold_started = std::time::Instant::now();
+    let primer = client.post_query(&warm_batch, false).expect("primer");
+    let cold_elapsed = cold_started.elapsed();
+    assert_eq!(primer.status, 200, "{}", primer.body);
+    let mut warm_samples = Vec::new();
+    for _ in 0..5 {
+        let warm_started = std::time::Instant::now();
+        let warm = client.post_query(&warm_batch, false).expect("warm probe");
+        warm_samples.push(warm_started.elapsed());
+        assert_eq!(warm.body, primer.body, "warm answers identical bytes");
+    }
+    warm_samples.sort();
+    let warm_elapsed = warm_samples[warm_samples.len() / 2];
+    assert!(
+        warm_elapsed * 2 <= cold_elapsed,
+        "warm session {warm_elapsed:?} is not ≥ 2x faster than cold {cold_elapsed:?}"
+    );
+
+    let mut group = c.benchmark_group("serve_latency");
+    group.bench_with_input(
+        BenchmarkId::new("warm", "allowance50"),
+        &warm_batch,
+        |b, batch| {
+            b.iter(|| {
+                let reply = client.post_query(batch, false).expect("warm query");
+                assert_eq!(reply.status, 200);
+                reply.body.len()
+            })
+        },
+    );
+
+    // Cold: a fresh system name every request — the content hash never
+    // matches, so each iteration builds a new session from scratch.
+    // Only the cheap `system` header line varies; the body is shared,
+    // so the delta vs warm is session cost, not batch regeneration.
+    let body = warm_batch
+        .strip_prefix("system bench-warm\n")
+        .expect("batch starts with its system line");
+    let tick = Cell::new(0u64);
+    group.bench_function(BenchmarkId::new("cold", "allowance50"), |b| {
+        b.iter(|| {
+            let n = tick.get();
+            tick.set(n + 1);
+            let batch = format!("system bench-cold-{n}\n{body}");
+            let reply = client.post_query(&batch, false).expect("cold query");
+            assert_eq!(reply.status, 200);
+            reply.body.len()
+        })
+    });
+    group.finish();
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_serve_latency);
+criterion_main!(benches);

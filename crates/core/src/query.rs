@@ -785,6 +785,32 @@ fn json_string(s: &str) -> String {
     format!("\"{}\"", json_escape(s))
 }
 
+/// Render a whole batch of responses as one text document — the
+/// `rtft query` output and the `rtft-serve` `POST /query` body, byte
+/// for byte: a `system` header line, then each query line followed by
+/// its response rendering.
+pub fn render_responses_text(
+    spec: &SystemSpec,
+    queries: &[Query],
+    responses: &[Response],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "system {} ({} tasks, policy {}, {} cores, alloc {})",
+        spec.name,
+        spec.set.len(),
+        spec.policy,
+        spec.cores,
+        spec.alloc
+    );
+    for (q, r) in queries.iter().zip(responses) {
+        let _ = writeln!(out, "{}", q.to_line(|id| spec.task_name(id)));
+        out.push_str(&r.render_text(spec.cores > 1));
+    }
+    out
+}
+
 /// Render a whole batch of responses as one JSON document (the
 /// `rtft query --json` output).
 pub fn render_responses_json(spec: &SystemSpec, responses: &[Response]) -> String {

@@ -1,0 +1,134 @@
+//! A tiny `std::net` client for the daemon — what the integration
+//! suite, the CI smoke job, and the benches talk through. One
+//! connection per request, mirroring the server's `Connection: close`
+//! protocol.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One finished exchange.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body, UTF-8.
+    pub body: String,
+}
+
+impl Reply {
+    /// `true` for any 2xx status.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Client configuration: where, and how long to wait.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: std::time::Duration,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` with a 30s I/O timeout.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            timeout: std::time::Duration::from_secs(30),
+        }
+    }
+
+    /// Override the per-request socket timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: std::time::Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// `POST /query` with a batch in the line wire format. `json`
+    /// selects the JSON rendering (the CLI's `--json`).
+    ///
+    /// # Errors
+    /// Socket failures and malformed responses, as `io::Error`.
+    pub fn post_query(&self, batch: &str, json: bool) -> std::io::Result<Reply> {
+        let path = if json { "/query?json" } else { "/query" };
+        self.request("POST", path, batch.as_bytes())
+    }
+
+    /// `GET /stats`, text or JSON.
+    ///
+    /// # Errors
+    /// Socket failures and malformed responses, as `io::Error`.
+    pub fn stats(&self, json: bool) -> std::io::Result<Reply> {
+        let path = if json { "/stats?json" } else { "/stats" };
+        self.request("GET", path, b"")
+    }
+
+    /// `POST /shutdown`: ask the daemon to drain and exit.
+    ///
+    /// # Errors
+    /// Socket failures and malformed responses, as `io::Error`.
+    pub fn shutdown(&self) -> std::io::Result<Reply> {
+        self.request("POST", "/shutdown", b"")
+    }
+
+    fn request(&self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Reply> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(&format!("bad status line `{}`", status_line.trim_end())))?;
+
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(bad("response truncated in headers"));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = Some(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|_| bad("bad Content-Length"))?,
+                    );
+                }
+            }
+        }
+
+        let mut body = Vec::new();
+        match content_length {
+            Some(n) => {
+                body.resize(n, 0);
+                reader.read_exact(&mut body)?;
+            }
+            // `Connection: close` delimiting: read to EOF.
+            None => {
+                reader.read_to_end(&mut body)?;
+            }
+        }
+        let body = String::from_utf8(body).map_err(|_| bad("response body is not UTF-8"))?;
+        Ok(Reply { status, body })
+    }
+}

@@ -1,0 +1,47 @@
+//! `rtft-serve`: a warm-session analysis daemon over the query plane.
+//!
+//! The paper's admission and allowance analyses are meant to be
+//! consulted *online* — at admission time, when a task arrives — not
+//! re-run as batch jobs. This crate keeps [`Workbench`] sessions warm
+//! behind a std-only blocking HTTP/1.1 front end so the memoized
+//! response-time state (the batched-reuse win measured in
+//! `BENCH_bench_query.json`) compounds across requests:
+//!
+//! - [`server::Server`] — accept pool of `std::thread` workers; routes
+//!   `POST /query` (the line batch wire format in, the standard
+//!   [`Response`](rtft_core::query::Response) renderings out),
+//!   `GET /stats`, and `POST /shutdown` (graceful drain).
+//! - [`cache::SessionCache`] — keyed LRU of warm workbenches,
+//!   content-hashed by [`cache::spec_key`]; per-session mutexes let
+//!   distinct specs analyze in parallel.
+//! - [`fan::run_batch_fanned`] — cold batches fan their independent
+//!   queries across the worker width instead of running sequentially.
+//! - [`stats::ServerStats`] — request tallies plus a
+//!   [`DurationHistogram`](rtft_trace::stats::DurationHistogram)
+//!   latency summary (p50/p99) behind `GET /stats`.
+//! - [`client::Client`] — the `std::net` test client used by the
+//!   integration suite, the benches, and CI smoke.
+//!
+//! Error contract: lint-rejected or unparsable batches answer HTTP 422
+//! carrying the same diagnostics `rtft query` prints; malformed HTTP
+//! answers 400; an oversized body answers 413 — never a panic, never a
+//! dropped-on-the-floor connection (socket-level failures excepted).
+//!
+//! Like the rest of the workspace this crate is std-only: the HTTP
+//! layer is hand-rolled in the `crates/compat` no-external-deps idiom.
+//!
+//! [`Workbench`]: rtft_part::workbench::Workbench
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod fan;
+pub mod http;
+pub mod server;
+pub mod stats;
+
+pub use cache::{CacheCounters, SessionCache};
+pub use client::{Client, Reply};
+pub use server::{ServeConfig, Server, ServerHandle};

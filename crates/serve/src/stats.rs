@@ -1,0 +1,277 @@
+//! Request tallies and latency tracking behind `GET /stats`.
+//!
+//! Counters are plain atomics bumped on the worker threads; latency
+//! samples feed a [`DurationHistogram`] (the same type the trace
+//! analyzer uses for response-time distributions) behind a mutex, so
+//! `/stats` can answer p50/p99 without the server keeping raw sample
+//! vectors around.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rtft_core::time::Duration;
+use rtft_trace::stats::DurationHistogram;
+
+use crate::cache::CacheCounters;
+
+/// Histogram bucket width: 50µs keeps warm-hit latencies (tens of µs
+/// to a few ms) resolvable without unbounded bucket counts.
+const LATENCY_BUCKET: Duration = Duration::micros(50);
+
+/// Shared observability state for one server.
+pub struct ServerStats {
+    requests: AtomicU64,
+    queries: AtomicU64,
+    stat_reads: AtomicU64,
+    ok: AtomicU64,
+    rejected: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+    latency: Mutex<DurationHistogram>,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            requests: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            stat_reads: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            server_errors: AtomicU64::new(0),
+            latency: Mutex::new(DurationHistogram::new(LATENCY_BUCKET)),
+        }
+    }
+}
+
+/// Point-in-time snapshot of every counter, plus latency quantiles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StatsSnapshot {
+    /// Requests accepted (any route, any outcome).
+    pub requests: u64,
+    /// `POST /query` requests.
+    pub queries: u64,
+    /// `GET /stats` requests.
+    pub stat_reads: u64,
+    /// Responses with status 200.
+    pub ok: u64,
+    /// Responses with status 422 (lint/parse rejections).
+    pub rejected: u64,
+    /// Responses with status 4xx other than 422.
+    pub client_errors: u64,
+    /// Responses with status 5xx.
+    pub server_errors: u64,
+    /// Latency samples recorded for `/query`.
+    pub latency_samples: usize,
+    /// Median `/query` latency (bucket upper edge), if any samples.
+    pub p50: Option<Duration>,
+    /// 99th-percentile `/query` latency, if any samples.
+    pub p99: Option<Duration>,
+}
+
+impl ServerStats {
+    /// Count one accepted request on the given route.
+    pub fn record_request(&self, path: &str) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match path {
+            "/query" => {
+                self.queries.fetch_add(1, Ordering::Relaxed);
+            }
+            "/stats" => {
+                self.stat_reads.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    /// Count one response by status class.
+    pub fn record_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.ok,
+            422 => &self.rejected,
+            400..=499 => &self.client_errors,
+            _ => &self.server_errors,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one `/query` wall-clock latency.
+    pub fn record_latency(&self, elapsed: std::time::Duration) {
+        let nanos = i64::try_from(elapsed.as_nanos()).unwrap_or(i64::MAX);
+        self.latency
+            .lock()
+            .expect("latency histogram poisoned")
+            .record(Duration::nanos(nanos));
+    }
+
+    /// Snapshot every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let latency = self.latency.lock().expect("latency histogram poisoned");
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            stat_reads: self.stat_reads.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            client_errors: self.client_errors.load(Ordering::Relaxed),
+            server_errors: self.server_errors.load(Ordering::Relaxed),
+            latency_samples: latency.samples,
+            p50: latency.quantile(0.50),
+            p99: latency.quantile(0.99),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Text rendering, one `name value` line per field — the `/stats`
+    /// default body.
+    pub fn render_text(&self, cache: CacheCounters) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "sessions_live {}", cache.live);
+        let _ = writeln!(out, "sessions_capacity {}", cache.capacity);
+        let _ = writeln!(out, "session_hits {}", cache.hits);
+        let _ = writeln!(out, "session_misses {}", cache.misses);
+        let _ = writeln!(out, "session_evictions {}", cache.evictions);
+        let _ = writeln!(out, "requests_total {}", self.requests);
+        let _ = writeln!(out, "requests_query {}", self.queries);
+        let _ = writeln!(out, "requests_stats {}", self.stat_reads);
+        let _ = writeln!(out, "responses_ok {}", self.ok);
+        let _ = writeln!(out, "responses_rejected {}", self.rejected);
+        let _ = writeln!(out, "responses_client_error {}", self.client_errors);
+        let _ = writeln!(out, "responses_server_error {}", self.server_errors);
+        let _ = writeln!(out, "latency_samples {}", self.latency_samples);
+        let _ = writeln!(out, "latency_p50 {}", render_opt(self.p50));
+        let _ = writeln!(out, "latency_p99 {}", render_opt(self.p99));
+        out
+    }
+
+    /// JSON rendering — the `/stats?json` body. Hand-rolled like every
+    /// other renderer in the workspace; no serde.
+    pub fn render_json(&self, cache: CacheCounters) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"sessions\": {");
+        let _ = write!(
+            out,
+            "\"live\": {}, \"capacity\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}",
+            cache.live, cache.capacity, cache.hits, cache.misses, cache.evictions
+        );
+        out.push_str("},\n  \"requests\": {");
+        let _ = write!(
+            out,
+            "\"total\": {}, \"query\": {}, \"stats\": {}",
+            self.requests, self.queries, self.stat_reads
+        );
+        out.push_str("},\n  \"responses\": {");
+        let _ = write!(
+            out,
+            "\"ok\": {}, \"rejected\": {}, \"client_error\": {}, \"server_error\": {}",
+            self.ok, self.rejected, self.client_errors, self.server_errors
+        );
+        out.push_str("},\n  \"latency\": {");
+        let _ = write!(
+            out,
+            "\"samples\": {}, \"p50_ns\": {}, \"p99_ns\": {}",
+            self.latency_samples,
+            json_opt(self.p50),
+            json_opt(self.p99)
+        );
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn render_opt(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => d.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+fn json_opt(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => d.as_nanos().to_string(),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_split_by_route_and_status() {
+        let stats = ServerStats::default();
+        stats.record_request("/query");
+        stats.record_request("/stats");
+        stats.record_request("/nope");
+        stats.record_status(200);
+        stats.record_status(422);
+        stats.record_status(400);
+        stats.record_status(500);
+        let s = stats.snapshot();
+        assert_eq!((s.requests, s.queries, s.stat_reads), (3, 1, 1));
+        assert_eq!(
+            (s.ok, s.rejected, s.client_errors, s.server_errors),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn latency_quantiles_appear_after_samples() {
+        let stats = ServerStats::default();
+        assert_eq!(stats.snapshot().p50, None);
+        for ms in [1u64, 2, 3, 40] {
+            stats.record_latency(std::time::Duration::from_millis(ms));
+        }
+        let s = stats.snapshot();
+        assert_eq!(s.latency_samples, 4);
+        let (p50, p99) = (s.p50.unwrap(), s.p99.unwrap());
+        assert!(p50 <= p99);
+        assert!(p99 >= Duration::millis(40));
+    }
+
+    #[test]
+    fn renderings_carry_every_field() {
+        let stats = ServerStats::default();
+        stats.record_request("/query");
+        stats.record_status(200);
+        stats.record_latency(std::time::Duration::from_micros(120));
+        let cache = CacheCounters {
+            live: 1,
+            capacity: 8,
+            hits: 2,
+            misses: 1,
+            evictions: 0,
+        };
+        let text = stats.snapshot().render_text(cache);
+        for field in [
+            "sessions_live 1",
+            "sessions_capacity 8",
+            "session_hits 2",
+            "session_misses 1",
+            "session_evictions 0",
+            "requests_total 1",
+            "requests_query 1",
+            "responses_ok 1",
+            "latency_samples 1",
+        ] {
+            assert!(text.contains(field), "missing `{field}` in:\n{text}");
+        }
+        let json = stats.snapshot().render_json(cache);
+        for field in [
+            "\"sessions\"",
+            "\"requests\"",
+            "\"responses\"",
+            "\"latency\"",
+            "\"p99_ns\"",
+        ] {
+            assert!(json.contains(field), "missing `{field}` in:\n{json}");
+        }
+        assert!(
+            !json.contains("p50_ns\": null"),
+            "sampled p50 renders a number"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Concurrent hammering: many client threads, mixed specs, one daemon.
+//! Answers must be byte-identical to fresh one-shot workbenches, and
+//! the second wave must land entirely on warm sessions.
+
+use rtft_core::query::{parse_batch, render_responses_text};
+use rtft_part::workbench::Workbench;
+use rtft_serve::{Client, ServeConfig, Server};
+
+/// Four distinct systems: uni FP, uni EDF, a faulted set, and a
+/// 2-core partitioned one — enough variety to keep several sessions
+/// live at once.
+fn batches() -> Vec<String> {
+    let mut batches = vec![
+        "system alpha\n\
+         task a 1 100 100 20\n\
+         task b 2 150 150 30\n\
+         query feasibility\nquery wcrt\nquery equitable\n"
+            .to_string(),
+        "system beta\n\
+         task a 1 80 80 15\n\
+         task b 2 160 160 40\n\
+         policy edf\n\
+         query feasibility\nquery thresholds\n"
+            .to_string(),
+        "system gamma\n\
+         task a 1 100 100 20\n\
+         task b 2 200 200 50\n\
+         fault a job 3 overrun 10ms\n\
+         query feasibility\nquery system-allowance\nquery overrun b\n"
+            .to_string(),
+        "system delta\n\
+         task a 1 100 100 40\n\
+         task b 2 100 100 40\n\
+         task c 3 100 100 40\n\
+         cores 2\n\
+         query feasibility\nquery equitable\n"
+            .to_string(),
+    ];
+    // Stable order so expected-response indexes line up across threads.
+    batches.sort();
+    batches
+}
+
+/// The `rtft query` text for each batch, computed on fresh one-shot
+/// workbenches — the ground truth the daemon must reproduce.
+fn expected(batches: &[String]) -> Vec<String> {
+    batches
+        .iter()
+        .map(|b| {
+            let (spec, queries) = parse_batch(b).expect("fixture parses");
+            let responses = Workbench::new(spec.clone())
+                .run_batch(&queries)
+                .expect("fixture runs");
+            render_responses_text(&spec, &queries, &responses)
+        })
+        .collect()
+}
+
+#[test]
+fn hammering_with_mixed_specs_stays_byte_identical_and_warms_up() {
+    let batches = batches();
+    let expected = expected(&batches);
+
+    let handle = Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        sessions: 8,
+        threads: 4,
+        request_timeout: std::time::Duration::from_secs(10),
+        max_body: 64 * 1024,
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    const CLIENT_THREADS: usize = 8;
+    const ROUNDS: usize = 3;
+    std::thread::scope(|scope| {
+        for worker in 0..CLIENT_THREADS {
+            let batches = &batches;
+            let expected = &expected;
+            scope.spawn(move || {
+                let client = Client::new(addr);
+                for round in 0..ROUNDS {
+                    // Stagger which spec each worker starts on so the
+                    // daemon sees genuinely interleaved sessions.
+                    for i in 0..batches.len() {
+                        let idx = (worker + round + i) % batches.len();
+                        let reply = client
+                            .post_query(&batches[idx], false)
+                            .expect("concurrent query");
+                        assert_eq!(reply.status, 200, "{}", reply.body);
+                        assert_eq!(
+                            reply.body, expected[idx],
+                            "worker {worker} round {round} batch {idx}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // Every request after the four first-touch misses hit a warm
+    // session: the cache lookup is atomic, so the counts are exact
+    // even though the clients raced.
+    let client = Client::new(addr);
+    let stats = client.stats(false).expect("stats").body;
+    let total = CLIENT_THREADS * ROUNDS * batches.len();
+    assert!(
+        stats.contains("session_misses 4"),
+        "exactly one miss per distinct spec:\n{stats}"
+    );
+    assert!(
+        stats.contains(&format!("session_hits {}", total - 4)),
+        "every other request was warm:\n{stats}"
+    );
+    assert!(stats.contains("sessions_live 4"), "{stats}");
+    assert!(
+        stats.contains(&format!("requests_query {total}")),
+        "{stats}"
+    );
+    assert!(stats.contains(&format!("responses_ok {total}")), "{stats}");
+    handle.shutdown();
+}
+
+#[test]
+fn second_wave_hits_only_warm_sessions() {
+    let batches = batches();
+    let handle = Server::spawn(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        sessions: 8,
+        threads: 2,
+        request_timeout: std::time::Duration::from_secs(10),
+        max_body: 64 * 1024,
+    })
+    .expect("bind ephemeral port");
+    let client = Client::new(handle.addr());
+
+    // Wave 1: all misses.
+    for b in &batches {
+        assert_eq!(client.post_query(b, false).expect("wave 1").status, 200);
+    }
+    let stats = client.stats(false).expect("stats").body;
+    assert!(stats.contains("session_misses 4"), "{stats}");
+    assert!(stats.contains("session_hits 0"), "{stats}");
+
+    // Wave 2: the same specs — a 100% hit rate.
+    for b in &batches {
+        assert_eq!(client.post_query(b, false).expect("wave 2").status, 200);
+    }
+    let stats = client.stats(false).expect("stats").body;
+    assert!(stats.contains("session_misses 4"), "{stats}");
+    assert!(stats.contains("session_hits 4"), "{stats}");
+    handle.shutdown();
+}

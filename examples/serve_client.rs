@@ -1,0 +1,65 @@
+//! Command-line client for the `rtft serve` daemon — the tool the CI
+//! smoke job and ad-hoc testing talk through (no curl dependency).
+//!
+//! ```text
+//! serve_client <host:port> query <batch-file|-> [--json]
+//! serve_client <host:port> stats [--json]
+//! serve_client <host:port> shutdown
+//! ```
+//!
+//! Prints the response body to stdout; exits 0 on any 2xx status,
+//! 1 otherwise (the status goes to stderr).
+
+use rtft::serve::{Client, Reply};
+
+fn run() -> Result<Reply, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage =
+        "usage: serve_client <host:port> <query <file|-> [--json] | stats [--json] | shutdown>";
+    let addr = args.first().ok_or(usage)?;
+    let addr = addr
+        .parse()
+        .map_err(|e| format!("bad address `{addr}`: {e}"))?;
+    let client = Client::new(addr);
+    let json = args.iter().any(|a| a == "--json");
+    match args.get(1).map(String::as_str) {
+        Some("query") => {
+            let path = args
+                .get(2)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("query: missing batch file (use `-` for stdin)")?;
+            let batch = if path == "-" {
+                use std::io::Read as _;
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| format!("read stdin: {e}"))?;
+                buf
+            } else {
+                std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?
+            };
+            client.post_query(&batch, json).map_err(|e| e.to_string())
+        }
+        Some("stats") => client.stats(json).map_err(|e| e.to_string()),
+        Some("shutdown") => client.shutdown().map_err(|e| e.to_string()),
+        _ => Err(usage.to_string()),
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(reply) => {
+            print!("{}", reply.body);
+            if reply.is_ok() {
+                std::process::ExitCode::SUCCESS
+            } else {
+                eprintln!("serve_client: HTTP {}", reply.status);
+                std::process::ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("serve_client: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

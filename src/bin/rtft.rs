@@ -9,6 +9,7 @@
 //! rtft campaign <spec.campaign> [options]     # run a scenario grid
 //! rtft query    <batch.query|-> [--json]      # answer a query batch
 //! rtft lint     <file|->         [options]    # static diagnostics only
+//! rtft serve    [options]                     # warm-session analysis daemon
 //!
 //! run options:
 //!   --treatment <none|detect|stop|equitable|system>   (default: system)
@@ -43,12 +44,14 @@
 //!   to the uniprocessor or partitioned analyzer. `--json` emits the
 //!   machine-readable responses — the proto-service endpoint. With
 //!   `--lint` the batch's static diagnostics print to stderr first.
+//!   An unparsable or empty batch exits 4 with an `RT0xx` diagnostic
+//!   on stderr (the lint contract); true I/O failures exit 1.
 //!
 //! campaign lint flags:
 //!   `--lint` prints the grid's static diagnostics to stderr before the
-//!   run; `--deny-warnings` aborts (exit 1) when the lint finds any
-//!   warning or error. Duplicate scalar directives in the spec always
-//!   warn on stderr.
+//!   run; `--deny-warnings` aborts (exit 4, same gate code as `lint`)
+//!   when the lint finds any warning or error. Duplicate scalar
+//!   directives in the spec always warn on stderr.
 //!
 //! lint options:
 //!   --kind <spec|batch|campaign>   force the input kind (default:
@@ -59,16 +62,64 @@
 //!   `lint` runs only the static `RT0xx` rules (never a fixed point)
 //!   and exits 0 when clean, 4 when the gate trips, 1 on I/O errors.
 //!
+//! serve options:
+//!   --addr <host:port>             bind address  (default: 127.0.0.1:7878)
+//!   --sessions <n>                 warm-session cache capacity (default: 64)
+//!   --threads <n>                  worker threads (default: CPU count)
+//!   --timeout-ms <n>               per-request socket timeout (default: 10000)
+//!   --max-body <bytes>             request body cap (default: 1048576)
+//!
+//!   `serve` answers `POST /query` with the same renderings as
+//!   `rtft query` (`?json` for JSON), `GET /stats` with cache and
+//!   latency counters, and drains gracefully on `POST /shutdown`.
+//!   Exits 0 after a graceful shutdown, 1 on bind/config errors.
+//!
 //! `run` and `campaign` exit 0 on a clean run, 3 when the differential
 //! oracle found sim-vs-analysis violations (so CI can gate on either).
+//! The full exit-code contract is tabulated in README.md and pinned by
+//! tests/exit_contract.rs.
 //! ```
 
 use rtft::prelude::*;
 use rtft_core::diag::{self, Diagnostic};
-use rtft_core::query::{parse_batch, render_responses_json, FaultEntry, Query, Response};
+use rtft_core::query::{
+    parse_batch, render_responses_json, render_responses_text, FaultEntry, Query, Response,
+};
 use rtft_core::time::{Duration, Instant};
 use rtft_taskgen::parser::{parse as parse_tasks, parse_duration};
 use std::process::ExitCode;
+
+/// A command failure carrying its exit code: 1 for operational errors
+/// (I/O, bad flags), 4 for diagnostics gates (`--deny-warnings`,
+/// rejected query input) — the single contract tabulated in README.md.
+struct CliError {
+    exit: u8,
+    message: String,
+}
+
+impl From<String> for CliError {
+    /// Plain string errors keep the historical exit 1.
+    fn from(message: String) -> Self {
+        CliError { exit: 1, message }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError {
+            exit: 1,
+            message: message.to_string(),
+        }
+    }
+}
+
+/// A diagnostics-gate failure: exit 4, like `rtft lint`.
+fn gate(message: impl Into<String>) -> CliError {
+    CliError {
+        exit: 4,
+        message: message.into(),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,32 +130,34 @@ fn main() -> ExitCode {
         Some("campaign") => return exit_on_oracle(run_campaign_cmd(&args[1..])),
         Some("query") => cmd_query(&args[1..]),
         Some("lint") => return cmd_lint(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
-            eprintln!("usage: rtft <analyze|run|chart|campaign|query|lint> <file> [options]");
+            eprintln!("usage: rtft <analyze|run|chart|campaign|query|lint|serve> <file> [options]");
             return ExitCode::from(2);
         }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("rtft: {e}");
-            ExitCode::FAILURE
+            eprintln!("rtft: {}", e.message);
+            ExitCode::from(e.exit)
         }
     }
 }
 
-type CliResult = Result<(), String>;
+type CliResult = Result<(), CliError>;
 
 /// Map an oracle-aware command result to an exit code: 0 clean, 3 on
-/// sim-vs-analysis violations, 1 on errors — same contract for `run`
-/// and `campaign`, so CI can gate on either.
-fn exit_on_oracle(result: Result<bool, String>) -> ExitCode {
+/// sim-vs-analysis violations, otherwise the error's own code (1 for
+/// operational errors, 4 for the `--deny-warnings` gate) — same
+/// contract for `run` and `campaign`, so CI can gate on either.
+fn exit_on_oracle(result: Result<bool, CliError>) -> ExitCode {
     match result {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::from(3),
         Err(e) => {
-            eprintln!("rtft: {e}");
-            ExitCode::FAILURE
+            eprintln!("rtft: {}", e.message);
+            ExitCode::from(e.exit)
         }
     }
 }
@@ -454,6 +507,11 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 
 /// `rtft query`: the proto-service endpoint — read a batch, answer it
 /// through one [`Workbench`], emit text or `--json` responses.
+///
+/// Input classification matches the lint contract: an unreadable file
+/// is an operational failure (exit 1), while a file that *reads* but
+/// does not parse as a batch — including an empty one — is rejected
+/// input, reported as an `RT0xx` diagnostic with the gate exit 4.
 fn cmd_query(args: &[String]) -> CliResult {
     let path = args
         .first()
@@ -469,9 +527,12 @@ fn cmd_query(args: &[String]) -> CliResult {
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?
     };
-    let (spec, queries) = parse_batch(&text).map_err(|e| e.to_string())?;
+    let (spec, queries) =
+        parse_batch(&text).map_err(|e| gate(diag::parse_failure(e.line, e.message).to_line()))?;
     if queries.is_empty() {
-        return Err("query: batch has no `query` lines".into());
+        return Err(gate(
+            diag::parse_failure(0, "batch has no `query` lines").to_line(),
+        ));
     }
     if args.iter().any(|a| a == "--lint") {
         for d in diag::lint_batch(&spec, &queries) {
@@ -483,19 +544,52 @@ fn cmd_query(args: &[String]) -> CliResult {
     if args.iter().any(|a| a == "--json") {
         print!("{}", render_responses_json(&spec, &responses));
     } else {
-        println!(
-            "system {} ({} tasks, policy {}, {} cores, alloc {})",
-            spec.name,
-            spec.set.len(),
-            spec.policy,
-            spec.cores,
-            spec.alloc
-        );
-        for (q, r) in queries.iter().zip(&responses) {
-            println!("{}", q.to_line(|id| spec.task_name(id)));
-            print!("{}", r.render_text(spec.cores > 1));
+        print!("{}", render_responses_text(&spec, &queries, &responses));
+    }
+    Ok(())
+}
+
+/// `rtft serve`: the warm-session analysis daemon. Binds, prints the
+/// listening line, and blocks until a `POST /shutdown` drains it.
+fn cmd_serve(args: &[String]) -> CliResult {
+    let mut cfg = rtft::serve::ServeConfig::default();
+    if let Some(addr) = flag_value(args, "--addr") {
+        cfg.addr = addr.to_string();
+    }
+    if let Some(n) = flag_value(args, "--sessions") {
+        cfg.sessions = n.parse().map_err(|e| format!("bad --sessions: {e}"))?;
+        if cfg.sessions == 0 {
+            return Err("--sessions must be at least 1".into());
         }
     }
+    if let Some(n) = flag_value(args, "--threads") {
+        cfg.threads = n.parse().map_err(|e| format!("bad --threads: {e}"))?;
+        if cfg.threads == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+    }
+    if let Some(ms) = flag_value(args, "--timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|e| format!("bad --timeout-ms: {e}"))?;
+        cfg.request_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(bytes) = flag_value(args, "--max-body") {
+        cfg.max_body = bytes.parse().map_err(|e| format!("bad --max-body: {e}"))?;
+    }
+    let server =
+        rtft::serve::Server::bind(cfg.clone()).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    println!(
+        "rtft serve listening on {addr} ({} threads, {} warm sessions)",
+        cfg.threads, cfg.sessions
+    );
+    // The smoke tests read that line through a pipe; make sure it is
+    // out before the accept loop blocks this thread.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run();
+    println!("rtft serve drained");
     Ok(())
 }
 
@@ -506,7 +600,7 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn cmd_run(args: &[String]) -> Result<bool, String> {
+fn cmd_run(args: &[String]) -> Result<bool, CliError> {
     let path = args.first().ok_or("run: missing task file")?;
     let (set, faults) = load_system(path)?;
     let treatment =
@@ -580,7 +674,7 @@ fn run_partitioned_cmd(
     cores: usize,
     alloc: rtft::part::AllocPolicy,
     horizon: rtft_core::time::Duration,
-) -> Result<bool, String> {
+) -> Result<bool, CliError> {
     if flag_value(args, "--svg").is_some() {
         return Err("--svg is not supported with --cores > 1".into());
     }
@@ -623,7 +717,7 @@ fn run_partitioned_cmd(
     Ok(oracle.violations().is_empty())
 }
 
-fn run_campaign_cmd(args: &[String]) -> Result<bool, String> {
+fn run_campaign_cmd(args: &[String]) -> Result<bool, CliError> {
     let path = args.first().ok_or("campaign: missing spec file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let (spec, warnings) =
@@ -641,13 +735,14 @@ fn run_campaign_cmd(args: &[String]) -> Result<bool, String> {
         if args.iter().any(|a| a == "--deny-warnings") {
             let (errors, lint_warnings, _) = diag::counts(&lint);
             if errors > 0 || lint_warnings > 0 || !warnings.is_empty() {
-                return Err(format!(
+                // Same gate, same exit code as `rtft lint`: 4.
+                return Err(gate(format!(
                     "campaign: --deny-warnings with {} lint errors, {} lint warnings, \
                      {} parse warnings",
                     errors,
                     lint_warnings,
                     warnings.len()
-                ));
+                )));
             }
         }
     }

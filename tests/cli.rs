@@ -535,14 +535,18 @@ fn query_batch_reads_stdin_and_dispatches_multicore() {
 }
 
 #[test]
-fn query_errors_are_clean() {
-    // Missing batch file.
+fn query_errors_are_classified_io_vs_rejected_input() {
+    // A true I/O failure (unreadable file) is an operational error:
+    // exit 1, free-form message.
     let out = rtft()
         .args(["query", "/nonexistent/batch"])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1));
-    // Parse errors carry line numbers.
+    assert!(!String::from_utf8(out.stderr).unwrap().contains("RT0"));
+
+    // Parse errors are *rejected input*: the lint gate exit 4, with an
+    // RT0xx diagnostic carrying the line number.
     let dir = temp_dir("query-bad");
     let bad = dir.join("bad.query");
     std::fs::write(&bad, "task a 1 10ms 10ms 1ms\nquery sideways\n").unwrap();
@@ -550,14 +554,120 @@ fn query_errors_are_clean() {
         .args(["query", bad.to_str().unwrap()])
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(1));
-    assert!(String::from_utf8(out.stderr).unwrap().contains("line 2"));
-    // A batch with no query lines is refused.
+    assert_eq!(out.status.code(), Some(4));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("RT000"), "{stderr}");
+    assert!(stderr.contains("line:2"), "{stderr}");
+
+    // An empty spec (e.g. `rtft query /dev/null`) reads fine but holds
+    // no system: rejected input, not an I/O failure.
+    let empty = dir.join("empty.query");
+    std::fs::write(&empty, "").unwrap();
+    let out = rtft()
+        .args(["query", empty.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("RT000"));
+
+    // A batch with no query lines is likewise rejected input.
     let none = dir.join("none.query");
     std::fs::write(&none, "task a 1 10ms 10ms 1ms\n").unwrap();
     let out = rtft()
         .args(["query", none.to_str().unwrap()])
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(4));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("RT000"), "{stderr}");
+    assert!(stderr.contains("no `query` lines"), "{stderr}");
+}
+
+#[test]
+fn deny_warnings_gate_exits_4_for_both_lint_and_campaign() {
+    // `rtft lint --deny-warnings` on a warning-only input: exit 4.
+    let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/lint/rt020_priority_inversion.rtft");
+    let out = rtft()
+        .args(["lint", fixture.to_str().unwrap(), "--deny-warnings"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+
+    // `rtft campaign --deny-warnings` on a spec with a duplicate
+    // scalar directive: the SAME gate exit code, 4 (not 1).
+    let dir = temp_dir("campaign-gate");
+    let spec = dir.join("dup.campaign");
+    std::fs::write(
+        &spec,
+        "campaign dup\nhorizon 1300ms\nhorizon 1300ms\ntaskgen paper\n\
+         faults single task=1 job=5 overrun=5ms\ntreatment none\nplatform exact\n",
+    )
+    .unwrap();
+    let out = rtft()
+        .args(["campaign", spec.to_str().unwrap(), "--deny-warnings"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("--deny-warnings"));
+
+    // Without the gate the same spec runs clean (exit 0).
+    let out = rtft()
+        .args(["campaign", spec.to_str().unwrap(), "--workers", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn serve_daemon_answers_the_paper_batch_and_drains() {
+    use std::io::BufRead as _;
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut child = rtft()
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    let listening = lines.next().expect("listening line").unwrap();
+    assert!(
+        listening.starts_with("rtft serve listening on "),
+        "{listening}"
+    );
+    let addr: std::net::SocketAddr = listening
+        .split_ascii_whitespace()
+        .nth(4)
+        .expect("addr token")
+        .parse()
+        .expect("addr parses");
+
+    let client = rtft::serve::Client::new(addr);
+    let batch = std::fs::read_to_string(root.join("examples/paper_queries.query")).unwrap();
+
+    // JSON responses over HTTP are byte-identical to the pinned golden
+    // (i.e. to `rtft query --json`).
+    let reply = client.post_query(&batch, true).expect("query over http");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let golden = std::fs::read_to_string(root.join("tests/golden/paper_queries.json")).unwrap();
+    assert_eq!(reply.body, golden, "HTTP response drifted from golden");
+
+    // Text responses match `rtft query`'s stdout byte for byte.
+    let reply = client.post_query(&batch, false).expect("text query");
+    let direct = rtft()
+        .args([
+            "query",
+            root.join("examples/paper_queries.query").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(reply.body, String::from_utf8(direct.stdout).unwrap());
+
+    // Graceful shutdown: the daemon drains and exits 0.
+    client.shutdown().expect("shutdown");
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "drained exit");
+    let rest: Vec<String> = lines.map(|l| l.unwrap()).collect();
+    assert!(rest.iter().any(|l| l == "rtft serve drained"), "{rest:?}");
 }

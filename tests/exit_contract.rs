@@ -1,0 +1,146 @@
+//! The exit-code contract: README's table, the binary's doc header,
+//! and the binary's actual behaviour must all tell the same story.
+
+use std::process::Command;
+
+fn rtft() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rtft"))
+}
+
+/// The contract, hardcoded: (command, exit code, meaning fragment the
+/// README table cell must contain).
+const CONTRACT: &[(&str, u8, &str)] = &[
+    ("run", 3, "oracle violations"),
+    ("campaign", 3, "oracle violations"),
+    ("campaign", 4, "--deny-warnings"),
+    ("query", 1, "I/O error"),
+    ("query", 4, "rejected input"),
+    ("lint", 1, "I/O error"),
+    ("lint", 4, "gate"),
+    ("serve", 0, "graceful shutdown"),
+    ("serve", 1, "bind/config error"),
+];
+
+/// The `| command | 0 | 1 | 2 | 3 | 4 |` table rows from README.md,
+/// split into (command cell, [cell for exit 0..=4]).
+fn readme_table() -> Vec<(String, Vec<String>)> {
+    let readme = include_str!("../README.md");
+    let start = readme
+        .find("## Exit codes")
+        .expect("README has an `## Exit codes` section");
+    let section = &readme[start..];
+    let end = section[3..].find("\n## ").map_or(section.len(), |i| i + 3);
+    section[..end]
+        .lines()
+        .filter(|l| l.starts_with("| `rtft") || l.starts_with("| (no"))
+        .map(|l| {
+            let cells: Vec<String> = l
+                .trim_matches('|')
+                .split('|')
+                .map(|c| c.trim().to_string())
+                .collect();
+            assert_eq!(cells.len(), 6, "row has 6 cells (command + codes 0-4): {l}");
+            (cells[0].clone(), cells[1..].to_vec())
+        })
+        .collect()
+}
+
+#[test]
+fn readme_table_covers_every_command_and_matches_the_contract() {
+    let rows = readme_table();
+    for cmd in ["run", "campaign", "query", "lint", "serve"] {
+        assert!(
+            rows.iter()
+                .any(|(c, _)| c.contains(&format!("`rtft {cmd}`"))),
+            "README exit-code table is missing a row for `rtft {cmd}`"
+        );
+    }
+    assert!(
+        rows.iter()
+            .any(|(c, cols)| c.contains("subcommand") && cols[2].contains("usage")),
+        "README table must document usage errors as exit 2"
+    );
+    for (cmd, code, fragment) in CONTRACT {
+        let (_, cols) = rows
+            .iter()
+            .find(|(c, _)| c.contains(&format!("`rtft {cmd}`")))
+            .unwrap_or_else(|| panic!("no README row for `rtft {cmd}`"));
+        let cell = &cols[*code as usize];
+        assert!(
+            cell.contains(fragment),
+            "README cell for `rtft {cmd}` exit {code} should mention \
+             `{fragment}`, found `{cell}`"
+        );
+        // A documented code is never also marked absent.
+        assert_ne!(cell, "—", "`rtft {cmd}` exit {code} is in the contract");
+    }
+}
+
+#[test]
+fn binary_doc_header_agrees_with_the_readme_table() {
+    let source = include_str!("../src/bin/rtft.rs");
+    let header: String = source
+        .lines()
+        .take_while(|l| l.starts_with("//!"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    // The doc header must document the unified gate code...
+    assert!(
+        header.contains("exit 4, same gate code as `lint`")
+            || header.contains("exit 4, same gate code as `rtft lint`")
+            || header.contains("(exit 4, same gate code"),
+        "rtft.rs doc header must document the campaign --deny-warnings gate as exit 4"
+    );
+    // ...the query input classification...
+    assert!(
+        header.contains("exits 4 with an `RT0xx` diagnostic"),
+        "rtft.rs doc header must document rejected query input as exit 4"
+    );
+    // ...and must never claim the old campaign gate code.
+    assert!(
+        !header.contains("aborts (exit 1)"),
+        "rtft.rs doc header still documents the pre-fix exit 1 gate"
+    );
+    // The lint contract line stays intact.
+    assert!(
+        header.contains("exits 0 when clean, 4 when the gate trips, 1 on I/O errors"),
+        "rtft.rs doc header must keep the lint exit contract"
+    );
+}
+
+#[test]
+fn live_binary_honors_the_documented_codes() {
+    // Usage error: exit 2.
+    let out = rtft().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = rtft().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // I/O errors: exit 1, on both gate-capable commands.
+    let out = rtft().args(["query", "/nonexistent"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let out = rtft().args(["lint", "/nonexistent"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // serve config error: exit 1 (unparsable bind address).
+    let out = rtft()
+        .args(["serve", "--addr", "not-an-address"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let out = rtft().args(["serve", "--threads", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // Rejected query input: exit 4 with a diagnostic (the full matrix
+    // of gate cases lives in tests/cli.rs).
+    let dir = std::env::temp_dir().join(format!("rtft-exitc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let empty = dir.join("empty.query");
+    std::fs::write(&empty, "").unwrap();
+    let out = rtft()
+        .args(["query", empty.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("RT000"));
+}
