@@ -2,7 +2,12 @@
 //!
 //! * `sim_table2_hyperperiods` — the paper system over many hyperperiods;
 //! * `sim_events/<n>` — random n-task sets for one second of virtual
-//!   time, throughput in trace events;
+//!   time, throughput in trace events; n now reaches 256 so the
+//!   component engine's event-count scaling (not task-count scaling)
+//!   is what the JSON records;
+//! * `sim_idle/<n>` — a 64-task set at 5% utilization: most components
+//!   sleep through most of the horizon, so per-event cost should match
+//!   the busy sets (idle tasks cost nothing between their wakes);
 //! * `sim_trace_roundtrip` — serialize + parse the produced trace (the
 //!   measurement pipeline of the paper's §5).
 
@@ -21,7 +26,7 @@ fn bench_sim(c: &mut Criterion) {
     });
 
     let mut group = c.benchmark_group("sim_events");
-    for n in [4usize, 16, 64] {
+    for n in [4usize, 16, 64, 128, 256] {
         let set = GeneratorConfig::new(n)
             .with_utilization(0.6)
             .with_periods(
@@ -35,6 +40,25 @@ fn bench_sim(c: &mut Criterion) {
             b.iter(|| run_plain(black_box(set.clone()), Instant::from_millis(1_000)))
         });
     }
+    group.finish();
+
+    // Idle-heavy: 64 tasks at 5% total utilization. The set produces far
+    // fewer events than the 60%-utilization sets above; per-event cost
+    // (the ns/element figure in the JSON) should stay in the same band —
+    // sleeping components are not scanned between their wakes.
+    let mut group = c.benchmark_group("sim_idle");
+    let set = GeneratorConfig::new(64)
+        .with_utilization(0.05)
+        .with_periods(
+            rtft_core::time::Duration::millis(5),
+            rtft_core::time::Duration::millis(100),
+        )
+        .generate(3);
+    let events = run_plain(set.clone(), Instant::from_millis(1_000)).len();
+    group.throughput(Throughput::Elements(events as u64));
+    group.bench_with_input(BenchmarkId::from_parameter(64usize), &set, |b, set| {
+        b.iter(|| run_plain(black_box(set.clone()), Instant::from_millis(1_000)))
+    });
     group.finish();
 
     let log = run_plain(paper::table2(), Instant::from_millis(30_000));

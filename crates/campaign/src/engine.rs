@@ -19,10 +19,13 @@ use crate::oracle::{self, OracleOutcome, OracleSkip};
 use crate::report::{CampaignReport, JobDigest, JobStatus};
 use crate::spec::{CampaignSpec, JobSpec, SpecError};
 use rtft_core::analyzer::Analyzer;
-use rtft_ft::harness::{run_scenario_with, HarnessError, ScenarioOutcome};
+use rtft_ft::harness::{run_scenario_buffered, run_scenario_with, HarnessError, ScenarioOutcome};
 use rtft_part::alloc::{allocate, AllocPolicy};
 use rtft_part::analyzer::PartitionedAnalyzer;
-use rtft_part::multicore::{run_partitioned, MulticoreError, MulticoreOutcome};
+use rtft_part::multicore::{
+    run_partitioned, run_partitioned_buffered, MulticoreError, MulticoreOutcome,
+};
+use rtft_sim::engine::SimBuffers;
 use rtft_part::workbench::Workbench;
 use rtft_trace::EventKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -95,8 +98,9 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &RunConfig) -> Result<CampaignRepo
 
     let digests: Vec<JobDigest> = if workers == 1 {
         let mut session: Option<(usize, Workbench)> = None;
+        let mut bufs = SimBuffers::new();
         jobs.iter()
-            .map(|j| run_job(j, oracle, &mut session))
+            .map(|j| run_job(j, oracle, &mut session, &mut bufs))
             .collect()
     } else {
         let cursor = AtomicUsize::new(0);
@@ -106,6 +110,7 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &RunConfig) -> Result<CampaignRepo
                     s.spawn(|| {
                         let mut local: Vec<JobDigest> = Vec::new();
                         let mut session: Option<(usize, Workbench)> = None;
+                        let mut bufs = SimBuffers::new();
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                             if start >= jobs.len() {
@@ -113,7 +118,7 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &RunConfig) -> Result<CampaignRepo
                             }
                             let end = (start + chunk).min(jobs.len());
                             for job in &jobs[start..end] {
-                                local.push(run_job(job, oracle, &mut session));
+                                local.push(run_job(job, oracle, &mut session, &mut bufs));
                             }
                         }
                         local
@@ -148,13 +153,18 @@ pub fn run_campaign(spec: &CampaignSpec, cfg: &RunConfig) -> Result<CampaignRepo
 /// 1-core jobs (the pre-multicore pipeline, bit for bit), per-core
 /// sessions over the allocator's partition otherwise, or the
 /// allocator's rejection diagnosed once, not once per job.
-fn run_job(job: &JobSpec, oracle: bool, session: &mut Option<(usize, Workbench)>) -> JobDigest {
+fn run_job(
+    job: &JobSpec,
+    oracle: bool,
+    session: &mut Option<(usize, Workbench)>,
+    bufs: &mut SimBuffers,
+) -> JobDigest {
     let fresh = !matches!(session, Some((ordinal, _)) if *ordinal == job.set_ordinal);
     if fresh {
         *session = Some((job.set_ordinal, Workbench::new(job.system_spec())));
     }
     let bench = &mut session.as_mut().expect("session just installed").1;
-    digest_job(job, oracle, bench)
+    digest_job_buffered(job, oracle, bench, bufs)
 }
 
 /// Run one job against a [`Workbench`] over its
@@ -162,30 +172,45 @@ fn run_job(job: &JobSpec, oracle: bool, session: &mut Option<(usize, Workbench)>
 /// the single job path behind the campaign engine (and the
 /// lowered-to-queries cross-check tests).
 pub fn digest_job(job: &JobSpec, oracle: bool, bench: &mut Workbench) -> JobDigest {
+    digest_job_buffered(job, oracle, bench, &mut SimBuffers::new())
+}
+
+/// [`digest_job`], reusing the worker's simulation buffers: the trace
+/// is digested then recycled, so a chunk of jobs allocates its trace,
+/// wake-queue and outbox storage once instead of once per job.
+pub fn digest_job_buffered(
+    job: &JobSpec,
+    oracle: bool,
+    bench: &mut Workbench,
+    bufs: &mut SimBuffers,
+) -> JobDigest {
     if let Some(diag) = bench.unplaceable() {
         let status = JobStatus::Unplaceable(diag.to_string());
         return empty_digest(job, status);
     }
     if let Some(analyzer) = bench.uni_session_mut() {
-        run_uni_job(job, oracle, analyzer)
+        run_uni_job(job, oracle, analyzer, bufs)
     } else {
         let sessions = bench.partitioned_mut().expect("multicore backend");
-        run_multicore_job(job, oracle, sessions)
+        run_multicore_job(job, oracle, sessions, bufs)
     }
 }
 
 /// The uniprocessor job path — unchanged from the single-core engine, so
 /// `cores = 1` traces stay bit-identical to the pre-multicore pipeline.
-fn run_uni_job(job: &JobSpec, oracle: bool, analyzer: &mut Analyzer) -> JobDigest {
+fn run_uni_job(job: &JobSpec, oracle: bool, analyzer: &mut Analyzer, bufs: &mut SimBuffers) -> JobDigest {
     let scenario = job.scenario();
-    match run_scenario_with(&scenario, analyzer) {
+    match run_scenario_buffered(&scenario, analyzer, bufs) {
         Ok(outcome) => {
             let oracle_outcome = if oracle {
                 oracle::check(job, &outcome, analyzer)
             } else {
                 OracleOutcome::NotRun
             };
-            digest_outcome(job, &outcome, oracle_outcome)
+            let digest = digest_outcome(job, &outcome, oracle_outcome);
+            // The trace served its purpose; hand the allocation back.
+            bufs.recycle_log(outcome.log);
+            digest
         }
         Err(HarnessError::InfeasibleBase) => empty_digest(job, JobStatus::InfeasibleBase),
         Err(HarnessError::Analysis(e)) => {
@@ -273,9 +298,14 @@ fn merge_oracle(outcomes: Vec<OracleOutcome>) -> OracleOutcome {
 /// memoized partition, each core digested by the unchanged single-core
 /// reduction, the digests folded into one job record whose trace hash is
 /// the merged core-tagged hash.
-fn run_multicore_job(job: &JobSpec, oracle: bool, sessions: &mut PartitionedAnalyzer) -> JobDigest {
+fn run_multicore_job(
+    job: &JobSpec,
+    oracle: bool,
+    sessions: &mut PartitionedAnalyzer,
+    bufs: &mut SimBuffers,
+) -> JobDigest {
     let scenario = job.scenario();
-    let multi: MulticoreOutcome = match run_partitioned(&scenario, sessions) {
+    let multi: MulticoreOutcome = match run_partitioned_buffered(&scenario, sessions, bufs) {
         Ok(m) => m,
         Err(HarnessError::InfeasibleBase) => return empty_digest(job, JobStatus::InfeasibleBase),
         Err(HarnessError::Analysis(e)) => {
@@ -307,6 +337,15 @@ fn run_multicore_job(job: &JobSpec, oracle: bool, sessions: &mut PartitionedAnal
     digest.failed_tasks.sort_unstable();
     digest.collateral.sort_unstable();
     digest.oracle = merge_oracle(oracle_outcomes);
+    // Recycle the largest core trace for the next job.
+    if let Some(log) = multi
+        .cores
+        .into_iter()
+        .map(|c| c.outcome.log)
+        .max_by_key(rtft_trace::TraceLog::len)
+    {
+        bufs.recycle_log(log);
+    }
     digest
 }
 

@@ -25,7 +25,7 @@ use rtft_core::error::AnalysisError;
 use rtft_core::policy::PolicyKind;
 use rtft_core::task::TaskSet;
 use rtft_core::time::{Duration, Instant};
-use rtft_sim::engine::{SimConfig, Simulator};
+use rtft_sim::engine::{SimBuffers, SimConfig, Simulator};
 use rtft_sim::fault::FaultPlan;
 use rtft_sim::overhead::Overheads;
 use rtft_sim::stop::StopModel;
@@ -226,6 +226,25 @@ pub fn run_scenario_with(
     sc: &Scenario,
     session: &mut Analyzer,
 ) -> Result<ScenarioOutcome, HarnessError> {
+    run_scenario_buffered(sc, session, &mut SimBuffers::new())
+}
+
+/// [`run_scenario_with`], reusing caller-held simulation storage.
+///
+/// A batch driver holds one [`SimBuffers`] per worker and passes it to
+/// every run: the wake queue and occurrence outbox then keep their
+/// allocations across jobs, and a trace buffer handed back via
+/// [`SimBuffers::recycle_log`] (after digesting the outcome's log) is
+/// reused too. The produced trace is identical to an unbuffered run.
+///
+/// # Panics
+/// Panics if `session` analyses a different task set, or was built for
+/// a different scheduling policy, than the scenario.
+pub fn run_scenario_buffered(
+    sc: &Scenario,
+    session: &mut Analyzer,
+    bufs: &mut SimBuffers,
+) -> Result<ScenarioOutcome, HarnessError> {
     assert_eq!(
         session.task_set(),
         &sc.set,
@@ -283,17 +302,17 @@ pub fn run_scenario_with(
         .with_stop_model(sc.stop_model)
         .with_overheads(sc.overheads)
         .with_policy(sc.policy);
-    let mut sim = Simulator::new(sc.set.clone(), config).with_faults(sc.faults.clone());
+    let mut sim = Simulator::new_in(sc.set.clone(), config, bufs).with_faults(sc.faults.clone());
 
     let log = if sc.treatment.has_detection() {
         let mut sup = FtSupervisor::new(sc.treatment, thresholds.clone(), wcrt.clone(), manager);
         sup.install_detectors(&mut sim, &sc.set);
         sim.run(&mut sup);
-        sim.into_trace()
+        sim.finish(bufs)
     } else {
         let mut sup = NullSupervisor;
         sim.run(&mut sup);
-        sim.into_trace()
+        sim.finish(bufs)
     };
 
     let stats = TraceStats::from_log(&log, Some(&sc.set));

@@ -73,7 +73,8 @@ pub mod prelude {
     pub use crate::detector::FtSupervisor;
     pub use crate::dynamic::{DynamicSystem, EpochChange};
     pub use crate::harness::{
-        run_paper_lineup, run_scenario, HarnessError, Scenario, ScenarioOutcome,
+        run_paper_lineup, run_scenario, run_scenario_buffered, run_scenario_with, HarnessError,
+        Scenario, ScenarioOutcome,
     };
     pub use crate::manager::AllowanceManager;
     pub use crate::treatment::Treatment;

@@ -117,6 +117,29 @@ fn figures_3_to_7_match_their_golden_traces() {
     );
 }
 
+/// Stricter than the snapshot test above: the committed golden files
+/// must equal the freshly rendered traces **byte for byte**, and this
+/// check cannot be silenced with `UPDATE_GOLDEN=1` — it reads the raw
+/// bytes and never rewrites them. An engine change that shifts even a
+/// trailing newline has to show up here as a red build, not a re-pin.
+#[test]
+fn figures_3_to_7_are_byte_identical_without_repinning() {
+    for (fig, text) in lineup_traces() {
+        let path = golden_path(&fig);
+        let golden = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!("missing golden file {} ({e})", path.display())
+        });
+        assert!(
+            golden == text.as_bytes(),
+            "{fig}: rendered trace is not byte-identical to {} \
+             ({} rendered bytes vs {} golden bytes)",
+            path.display(),
+            text.len(),
+            golden.len()
+        );
+    }
+}
+
 #[test]
 fn golden_traces_still_encode_the_headline_claims() {
     // Guard the guard: the pinned texts must contain the famous instants

@@ -18,7 +18,8 @@
 use crate::alloc::AllocError;
 use crate::analyzer::PartitionedAnalyzer;
 use rtft_core::task::TaskId;
-use rtft_ft::harness::{run_scenario_with, HarnessError, Scenario, ScenarioOutcome};
+use rtft_ft::harness::{run_scenario_buffered, HarnessError, Scenario, ScenarioOutcome};
+use rtft_sim::engine::SimBuffers;
 use rtft_trace::merge::{merge_core_traces, merged_content_hash, CoreEvent};
 use rtft_trace::TraceLog;
 
@@ -163,6 +164,25 @@ pub fn run_partitioned(
     sc: &Scenario,
     session: &mut PartitionedAnalyzer,
 ) -> Result<MulticoreOutcome, HarnessError> {
+    run_partitioned_buffered(sc, session, &mut SimBuffers::new())
+}
+
+/// [`run_partitioned`], reusing caller-held simulation storage: the
+/// cores run sequentially, so one [`SimBuffers`] serves them all (each
+/// core's trace is kept for the merge; the wake queue and occurrence
+/// outbox carry over). A batch driver passes its per-worker buffers
+/// here for cross-job reuse as well.
+///
+/// # Errors
+/// As [`run_partitioned`].
+///
+/// # Panics
+/// As [`run_partitioned`].
+pub fn run_partitioned_buffered(
+    sc: &Scenario,
+    session: &mut PartitionedAnalyzer,
+    bufs: &mut SimBuffers,
+) -> Result<MulticoreOutcome, HarnessError> {
     let partition = session.partition();
     assert_eq!(
         partition.len(),
@@ -180,8 +200,11 @@ pub fn run_partitioned(
     let mut cores = Vec::with_capacity(occupied.len());
     for core in occupied {
         let csc = core_scenario(sc, session, core);
-        let outcome =
-            run_scenario_with(&csc, session.core_session_mut(core).expect("occupied core"))?;
+        let outcome = run_scenario_buffered(
+            &csc,
+            session.core_session_mut(core).expect("occupied core"),
+            bufs,
+        )?;
         cores.push(CoreOutcome { core, outcome });
     }
     Ok(MulticoreOutcome {

@@ -1,5 +1,13 @@
-//! The discrete-event engine: a single-CPU scheduler over virtual time
-//! with a pluggable dispatch rule.
+//! The discrete-event component engine: a single-CPU scheduler over
+//! virtual time with a pluggable dispatch rule.
+//!
+//! The engine is a wake-queue loop over [`Component`]s (see
+//! [`crate::component`]): each task, timer, supervisor one-shot and the
+//! CPU itself sleeps until its own next wake, and the engine pops the
+//! minimum `(time, class, seq)` key from an indexed min-heap
+//! ([`crate::event::WakeQueue`]), ticks exactly that component, lets the
+//! supervisor react, and re-evaluates dispatch. Idle tasks cost nothing
+//! between their wakes, so cost scales with event count, not task count.
 //!
 //! Multiprocessor execution is composed, not built in: under
 //! partitioned scheduling (`rtft-part`) nothing migrates, so a
@@ -20,18 +28,24 @@
 //! [`SimConfig::with_policy`] (fixed-priority preemptive by default, the
 //! paper's platform; EDF and non-preemptive FP are also provided — see
 //! [`crate::policy`]). The policy owns an index-based ready structure the
-//! engine keeps in sync, replacing the per-event linear rescan of every
-//! job queue. Invariants independent of the policy:
+//! engine keeps in sync; it is the dispatch layer underneath the wake
+//! loop. Invariants independent of the policy:
 //!
 //! * within a task, jobs run FIFO (required for `D > T`);
 //! * dispatch and preemption decisions are deterministic (policy ties
-//!   break on stable task attributes, never on insertion order).
+//!   break on stable task attributes, never on insertion order);
+//! * traces are bit-for-bit reproducible: the wake order is a total
+//!   order and every wake is keyed by a deterministic sequence number
+//!   drawn at scheduling time (see [`crate::event`]).
 
 use crate::arrival::ArrivalModel;
-use crate::event::{EventQueue, SimEventKind};
+use crate::component::{
+    Component, CpuComponent, OneShotComponent, TaskComponent, TimerComponent,
+};
+use crate::event::{Wake, WakeClass, WakeQueue};
 use crate::fault::FaultPlan;
 use crate::overhead::Overheads;
-use crate::policy::{build_policy, PolicyKind, SchedPolicy};
+use crate::policy::{PolicyImpl, PolicyKind, SchedPolicy};
 use crate::process::{JobOutcome, TaskProcess};
 use crate::stop::{StopMode, StopModel};
 use crate::supervisor::{Command, Occurrence, Supervisor};
@@ -103,11 +117,11 @@ impl SimConfig {
 /// Read-only scheduler state exposed to supervisors.
 #[derive(Debug)]
 pub struct SimState {
-    set: TaskSet,
-    now: Instant,
-    procs: Vec<TaskProcess>,
-    running: Option<usize>,
-    dispatched_at: Instant,
+    pub(crate) set: TaskSet,
+    pub(crate) now: Instant,
+    pub(crate) procs: Vec<TaskProcess>,
+    pub(crate) running: Option<usize>,
+    pub(crate) dispatched_at: Instant,
 }
 
 impl SimState {
@@ -159,54 +173,175 @@ impl SimState {
     }
 }
 
+/// The mutable simulation world handed to a ticking [`Component`]:
+/// scheduler state, the dispatch policy's ready structure, the trace,
+/// the occurrence outbox and the deterministic wake-sequence counter.
+///
+/// The wake queue itself is *not* here — cross-component wake effects
+/// (dispatch, preemption, stops, overhead charges) happen at engine
+/// scope, so a component can only consume its own wakes and append to
+/// the shared record.
+pub struct System {
+    pub(crate) state: SimState,
+    pub(crate) policy: PolicyImpl,
+    pub(crate) trace: TraceLog,
+    pub(crate) occurrences: VecDeque<Occurrence>,
+    pub(crate) fault_plan: FaultPlan,
+    pub(crate) arrivals: Option<ArrivalModel>,
+    pub(crate) seq: u64,
+    pub(crate) observe: bool,
+}
+
+impl System {
+    /// Queue an occurrence for the supervisor, unless it declared
+    /// itself passive (see [`Supervisor::observes`]).
+    #[inline]
+    pub(crate) fn notify(&mut self, occ: Occurrence) {
+        if self.observe {
+            self.occurrences.push_back(occ);
+        }
+    }
+
+    /// Read-only scheduler state.
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// Draw the next wake-sequence number. Exactly one is consumed per
+    /// scheduling decision, in decision order — the determinism (and
+    /// golden-trace) tie-break contract.
+    pub(crate) fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Activation jitter for `(rank, job)` under the arrival model.
+    pub(crate) fn jitter(&self, rank: usize, job: u64) -> Duration {
+        self.arrivals
+            .as_ref()
+            .map_or(Duration::ZERO, |a| a.jitter(rank, job))
+    }
+
+    /// Refresh the policy's view of `rank` after its job queue changed.
+    pub(crate) fn sync_policy(&mut self, rank: usize) {
+        let proc = &self.state.procs[rank];
+        let ready = proc.is_ready();
+        let head = proc.front().map(|j| j.released_at);
+        self.policy.update(rank, ready, head);
+    }
+
+    pub(crate) fn task_id(&self, rank: usize) -> rtft_core::task::TaskId {
+        self.state.set.by_rank(rank).id
+    }
+}
+
+/// Reusable per-worker simulation storage: the trace log, the wake
+/// queue and the occurrence outbox survive across runs so a campaign
+/// worker allocates once per worker instead of once per job.
+///
+/// ```
+/// use rtft_sim::prelude::*;
+/// use rtft_core::prelude::*;
+///
+/// let set = TaskSet::from_specs(vec![
+///     TaskBuilder::new(1, 20, Duration::millis(100), Duration::millis(10)).build(),
+/// ]);
+/// let mut bufs = SimBuffers::new();
+/// for _ in 0..3 {
+///     let mut sim = Simulator::new_in(set.clone(), SimConfig::until(Instant::from_millis(500)), &mut bufs);
+///     sim.run(&mut NullSupervisor);
+///     let log = sim.finish(&mut bufs);
+///     bufs.recycle_log(log);
+/// }
+/// ```
+#[derive(Default)]
+pub struct SimBuffers {
+    trace: TraceLog,
+    wakes: WakeQueue,
+    occurrences: VecDeque<Occurrence>,
+}
+
+impl SimBuffers {
+    /// Fresh (empty) buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hand a finished run's trace back for reuse once its contents
+    /// are no longer needed: the storage is cleared but its capacity
+    /// feeds the next [`Simulator::new_in`].
+    pub fn recycle_log(&mut self, mut log: TraceLog) {
+        log.clear();
+        self.trace = log;
+    }
+}
+
 /// The simulator.
 pub struct Simulator {
-    state: SimState,
-    policy: Box<dyn SchedPolicy>,
-    queue: EventQueue,
-    trace: TraceLog,
+    sys: System,
+    wakes: WakeQueue,
+    tasks: Vec<TaskComponent>,
+    timer_components: Vec<TimerComponent>,
+    oneshots: OneShotComponent,
+    cpu: CpuComponent,
     timers: Vec<TimerSpec>,
-    timer_fires: Vec<u64>,
-    fault_plan: FaultPlan,
-    arrivals: Option<ArrivalModel>,
     config: SimConfig,
-    dispatch_gen: u64,
     cpu_ever_busy: bool,
     idle_since: Option<Instant>,
+    events_processed: u64,
     finished: bool,
 }
 
 impl Simulator {
     /// Build a simulator for `set` under `config`.
     pub fn new(set: TaskSet, config: SimConfig) -> Self {
+        let mut bufs = SimBuffers::default();
+        Simulator::new_in(set, config, &mut bufs)
+    }
+
+    /// Build a simulator reusing `bufs`' storage (see [`SimBuffers`]).
+    pub fn new_in(set: TaskSet, config: SimConfig, bufs: &mut SimBuffers) -> Self {
         let n = set.len();
-        let policy = build_policy(config.policy, &set);
+        let policy = PolicyImpl::build(config.policy, &set);
+        let mut trace = std::mem::take(&mut bufs.trace);
+        trace.clear();
+        let mut occurrences = std::mem::take(&mut bufs.occurrences);
+        occurrences.clear();
         Simulator {
-            state: SimState {
-                set,
-                now: Instant::EPOCH,
-                procs: (0..n).map(|_| TaskProcess::new()).collect(),
-                running: None,
-                dispatched_at: Instant::EPOCH,
+            sys: System {
+                state: SimState {
+                    set,
+                    now: Instant::EPOCH,
+                    procs: (0..n).map(|_| TaskProcess::new()).collect(),
+                    running: None,
+                    dispatched_at: Instant::EPOCH,
+                },
+                policy,
+                trace,
+                occurrences,
+                fault_plan: FaultPlan::none(),
+                arrivals: None,
+                seq: 0,
+                observe: true,
             },
-            policy,
-            queue: EventQueue::new(),
-            trace: TraceLog::new(),
+            wakes: std::mem::take(&mut bufs.wakes),
+            tasks: Vec::new(),
+            timer_components: Vec::new(),
+            oneshots: OneShotComponent::default(),
+            cpu: CpuComponent::default(),
             timers: Vec::new(),
-            timer_fires: Vec::new(),
-            fault_plan: FaultPlan::none(),
-            arrivals: None,
             config,
-            dispatch_gen: 0,
             cpu_ever_busy: false,
             idle_since: None,
+            events_processed: 0,
             finished: false,
         }
     }
 
     /// Install a fault plan.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
-        self.fault_plan = plan;
+        self.sys.fault_plan = plan;
         self
     }
 
@@ -216,13 +351,13 @@ impl Simulator {
     /// # Panics
     /// Panics if any jitter bound reaches the task's period.
     pub fn with_arrivals(mut self, arrivals: ArrivalModel) -> Self {
-        for rank in 0..self.state.set.len() {
+        for rank in 0..self.sys.state.set.len() {
             assert!(
-                arrivals.bound(rank) < self.state.set.by_rank(rank).period,
+                arrivals.bound(rank) < self.sys.state.set.by_rank(rank).period,
                 "jitter bound must stay below the period"
             );
         }
-        self.arrivals = Some(arrivals);
+        self.sys.arrivals = Some(arrivals);
         self
     }
 
@@ -238,7 +373,6 @@ impl Simulator {
             period: Some(period),
             tag,
         });
-        self.timer_fires.push(0);
         id
     }
 
@@ -251,23 +385,45 @@ impl Simulator {
             period: None,
             tag,
         });
-        self.timer_fires.push(0);
         id
     }
 
     /// Read-only state (exposed for tests and harnesses).
     pub fn state(&self) -> &SimState {
-        &self.state
+        &self.sys.state
     }
 
     /// The trace recorded so far.
     pub fn trace(&self) -> &TraceLog {
-        &self.trace
+        &self.sys.trace
     }
 
     /// Consume the simulator, returning the trace.
     pub fn into_trace(self) -> TraceLog {
-        self.trace
+        self.sys.trace
+    }
+
+    /// Consume the simulator, returning the trace and handing the wake
+    /// queue and occurrence storage back to `bufs` for the next run.
+    pub fn finish(mut self, bufs: &mut SimBuffers) -> TraceLog {
+        self.sys.occurrences.clear();
+        bufs.wakes = self.wakes;
+        bufs.occurrences = self.sys.occurrences;
+        self.sys.trace
+    }
+
+    /// Wakes processed by the engine loop (engine introspection; with
+    /// the component engine this is an *event* count — idle tasks
+    /// contribute nothing between their wakes).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Component id of the one-shot multiplexer. The CPU has no heap
+    /// id: its single completion wake lives in a register beside the
+    /// queue (see `run`).
+    fn oneshot_cid(&self) -> usize {
+        self.tasks.len() + self.timer_components.len()
     }
 
     /// Run to the horizon under `supervisor`. May be called once.
@@ -276,246 +432,197 @@ impl Simulator {
     /// Panics on a second call.
     pub fn run(&mut self, supervisor: &mut dyn Supervisor) -> &TraceLog {
         assert!(!self.finished, "run() called twice");
-        // Initial releases and timer arms.
-        for rank in 0..self.state.set.len() {
-            let offset = self.state.set.by_rank(rank).offset;
-            let jitter = self
-                .arrivals
-                .as_ref()
-                .map_or(Duration::ZERO, |a| a.jitter(rank, 0));
-            self.queue.push(
-                Instant::EPOCH + offset + jitter,
-                SimEventKind::Release { rank },
-            );
+        self.sys.observe = supervisor.observes();
+        let n = self.sys.state.set.len();
+        let n_timers = self.timers.len();
+        self.wakes.reset(n + n_timers + 1);
+        self.sys
+            .trace
+            .reserve(trace_estimate(&self.sys.state.set, self.config.horizon));
+
+        // Build the components with their first wakes armed: tasks in
+        // rank order, then timers in registration order (the sequence
+        // numbers drawn here are the golden-trace tie-break for
+        // simultaneous initial releases).
+        self.tasks.clear();
+        self.tasks.reserve(n);
+        for rank in 0..n {
+            let spec = self.sys.state.set.by_rank(rank);
+            let (id, period, deadline, offset) = (spec.id, spec.period, spec.deadline, spec.offset);
+            let jitter = self.sys.jitter(rank, 0);
+            let seq = self.sys.next_seq();
+            let first = Wake::new(Instant::EPOCH + offset + jitter, WakeClass::Release, seq);
+            self.wakes.set(rank, first);
+            self.tasks
+                .push(TaskComponent::new(rank, id, period, deadline, Instant::EPOCH + offset, first));
         }
-        for (id, t) in self.timers.iter().enumerate() {
-            self.queue.push(t.first, SimEventKind::Timer { id });
+        self.timer_components.clear();
+        self.timer_components.reserve(n_timers);
+        for (id, spec) in self.timers.iter().enumerate() {
+            let seq = self.sys.next_seq();
+            let comp = TimerComponent::new(id, *spec, seq);
+            self.wakes
+                .set(n + id, comp.next_tick().expect("fresh timer is armed"));
+            self.timer_components.push(comp);
         }
 
-        let mut occurrences: VecDeque<Occurrence> = VecDeque::new();
-        while let Some(ev) = self.queue.pop() {
-            if ev.at > self.config.horizon {
+        let oneshot_cid = n + n_timers;
+        // The ticked component is always the heap root and never wakes
+        // earlier than the key just consumed, so each iteration re-keys
+        // the root in place (`rekey_min`) instead of popping and
+        // re-pushing — one sift per event. Wakes armed *during* a tick
+        // (a completion charge, a cancelled deadline) are always keyed
+        // later than the root, so the root entry stays put until its
+        // rekey.
+        //
+        // The CPU stays out of the heap altogether: its single
+        // completion wake is the most frequently re-armed key in the
+        // system (every dispatch, preemption and overhead charge), so
+        // it lives in a register (`CpuComponent::next_tick`) compared
+        // against the heap root here — completion traffic costs no
+        // sifts at all. Keys are unique (one sequence number per
+        // scheduling decision), so `<` is an exact tie-break.
+        loop {
+            let (wake, cid) = match (self.wakes.peek(), self.cpu.next_tick()) {
+                (Some((hw, hc)), Some(cw)) => {
+                    if cw < hw {
+                        (cw, usize::MAX)
+                    } else {
+                        (hw, hc)
+                    }
+                }
+                (Some((hw, hc)), None) => (hw, hc),
+                (None, Some(cw)) => (cw, usize::MAX),
+                (None, None) => break,
+            };
+            let now = wake.at();
+            if now > self.config.horizon {
                 break;
             }
-            self.state.now = ev.at;
-            self.handle_event(ev.kind, &mut occurrences);
-            self.drain_occurrences(&mut occurrences, supervisor);
+            self.sys.state.now = now;
+            self.events_processed += 1;
+            if cid < n {
+                self.tasks[cid].tick(now, &mut self.sys);
+                let next = self.tasks[cid].next_tick();
+                self.wakes.rekey_min(cid, next);
+            } else if cid < oneshot_cid {
+                // A firing preempts the running job for the handler's
+                // duration (paper §6.2: "that of a pre-emption") — the
+                // charge (a completion re-arm) precedes the timer
+                // re-arm in sequence order.
+                self.charge_running(self.config.overheads.detector_fire);
+                let timer = &mut self.timer_components[cid - n];
+                timer.tick(now, &mut self.sys);
+                let next = timer.next_tick();
+                self.wakes.rekey_min(cid, next);
+            } else if cid == oneshot_cid {
+                self.oneshots.tick(now, &mut self.sys);
+                self.wakes.rekey_min(cid, self.oneshots.next_tick());
+            } else {
+                // Capture the retiring job before the tick so an
+                // on-time completion can cancel its deadline check.
+                let before = self
+                    .sys
+                    .state
+                    .running
+                    .map(|r| (r, self.sys.state.procs[r].front().expect("running job").index));
+                self.cpu.tick(now, &mut self.sys);
+                if let Some((rank, job)) = before {
+                    if self.sys.state.procs[rank].is_finished(job) {
+                        self.tasks[rank].cancel_deadline(job);
+                        self.wakes.arm(rank, self.tasks[rank].next_tick());
+                    }
+                }
+            }
+            self.drain_occurrences(supervisor);
             self.reschedule_cpu();
         }
-        self.state.now = self.config.horizon;
-        self.trace.push(self.config.horizon, EventKind::SimEnd);
+        self.sys.state.now = self.config.horizon;
+        self.sys.trace.push(self.config.horizon, EventKind::SimEnd);
         self.finished = true;
-        &self.trace
+        &self.sys.trace
     }
 
-    fn task_id(&self, rank: usize) -> rtft_core::task::TaskId {
-        self.state.set.by_rank(rank).id
-    }
-
-    fn handle_event(&mut self, kind: SimEventKind, out: &mut VecDeque<Occurrence>) {
-        match kind {
-            SimEventKind::Release { rank } => self.handle_release(rank, out),
-            SimEventKind::Completion { rank, gen } => self.handle_completion(rank, gen, out),
-            SimEventKind::DeadlineCheck { rank, job } => self.handle_deadline(rank, job, out),
-            SimEventKind::Timer { id } => {
-                // A firing preempts the running job for the handler's
-                // duration (paper §6.2: "that of a pre-emption").
-                self.charge_running(self.config.overheads.detector_fire);
-                let count = self.timer_fires[id];
-                self.timer_fires[id] += 1;
-                let spec = self.timers[id];
-                if let Some(next) = spec.fire_at(count + 1) {
-                    self.queue.push(next, SimEventKind::Timer { id });
-                }
-                out.push_back(Occurrence::TimerFired {
-                    id,
-                    tag: spec.tag,
-                    count,
-                });
-            }
-            SimEventKind::OneShot { tag } => {
-                out.push_back(Occurrence::OneShotFired { tag });
-            }
-        }
-    }
-
-    fn handle_release(&mut self, rank: usize, out: &mut VecDeque<Occurrence>) {
-        if self.state.procs[rank].is_dead() {
-            return; // a stopped thread makes no further releases
-        }
-        let now = self.state.now;
-        // Copy the scalar parameters instead of cloning the whole spec
-        // (the name allocation dominated this hot path).
-        let spec = self.state.set.by_rank(rank);
-        let (task, period, deadline, offset) = (spec.id, spec.period, spec.deadline, spec.offset);
-        let job = self.state.procs[rank].released();
-        let demand = self.fault_plan.demand(&self.state.set, task, job);
-        self.state.procs[rank].release(now, demand);
-        self.sync_policy(rank);
-        self.trace.push(now, EventKind::JobRelease { task, job });
-        self.queue
-            .push(now + deadline, SimEventKind::DeadlineCheck { rank, job });
-        // The next release steps from the NOMINAL grid, not from the
-        // (possibly jittered) activation — jitter never accumulates.
-        let nominal_next = Instant::EPOCH + offset + period * (job as i64 + 1);
-        let jitter = self
-            .arrivals
-            .as_ref()
-            .map_or(Duration::ZERO, |a| a.jitter(rank, job + 1));
-        self.queue
-            .push(nominal_next + jitter, SimEventKind::Release { rank });
-        out.push_back(Occurrence::JobReleased { rank, job });
-    }
-
-    /// Refresh the policy's view of `rank` after its job queue changed.
-    fn sync_policy(&mut self, rank: usize) {
-        let proc = &self.state.procs[rank];
-        let ready = proc.is_ready();
-        let head = proc.front().map(|j| j.released_at);
-        self.policy.update(rank, ready, head);
-    }
-
-    fn handle_completion(&mut self, rank: usize, gen: u64, out: &mut VecDeque<Occurrence>) {
-        // Stale completions (preempted or re-dispatched since) are ignored.
-        if self.state.running != Some(rank) || gen != self.dispatch_gen {
-            return;
-        }
-        let now = self.state.now;
-        let task = self.task_id(rank);
-        let elapsed = now - self.state.dispatched_at;
-        self.state.procs[rank].account(elapsed);
-        let doomed = self.state.procs[rank].front().is_some_and(|j| j.doomed);
-        let outcome = if doomed {
-            JobOutcome::Abandoned
-        } else {
-            JobOutcome::Finished
-        };
-        let job = self.state.procs[rank].retire_front(outcome);
-        self.sync_policy(rank);
-        self.state.running = None;
-        if doomed {
-            self.trace.push(
-                now,
-                EventKind::TaskStopped {
-                    task,
-                    job: job.index,
-                },
-            );
-            out.push_back(Occurrence::JobAbandoned {
-                rank,
-                job: job.index,
-            });
-        } else {
-            self.trace.push(
-                now,
-                EventKind::JobEnd {
-                    task,
-                    job: job.index,
-                },
-            );
-            out.push_back(Occurrence::JobFinished {
-                rank,
-                job: job.index,
-            });
-        }
-    }
-
-    fn handle_deadline(&mut self, rank: usize, job: u64, out: &mut VecDeque<Occurrence>) {
-        if self.state.procs[rank].is_finished(job) {
-            return;
-        }
-        let task = self.task_id(rank);
-        self.trace
-            .push(self.state.now, EventKind::DeadlineMiss { task, job });
-        out.push_back(Occurrence::DeadlineMissed { rank, job });
-    }
-
-    fn drain_occurrences(
-        &mut self,
-        occurrences: &mut VecDeque<Occurrence>,
-        supervisor: &mut dyn Supervisor,
-    ) {
-        while let Some(occ) = occurrences.pop_front() {
-            let commands = supervisor.on_occurrence(&self.state, occ);
+    fn drain_occurrences(&mut self, supervisor: &mut dyn Supervisor) {
+        while let Some(occ) = self.sys.occurrences.pop_front() {
+            let commands = supervisor.on_occurrence(&self.sys.state, occ);
             for cmd in commands {
-                self.apply_command(cmd, occurrences);
+                self.apply_command(cmd);
             }
         }
     }
 
-    fn apply_command(&mut self, cmd: Command, out: &mut VecDeque<Occurrence>) {
+    fn apply_command(&mut self, cmd: Command) {
         match cmd {
-            Command::Trace(kind) => self.trace.push(self.state.now, kind),
+            Command::Trace(kind) => self.sys.trace.push(self.sys.state.now, kind),
             Command::ScheduleOneShot { at, tag } => {
-                let at = at.max(self.state.now);
-                self.queue.push(at, SimEventKind::OneShot { tag });
+                let at = at.max(self.sys.state.now);
+                let seq = self.sys.next_seq();
+                self.oneshots.schedule(at, seq, tag);
+                let cid = self.oneshot_cid();
+                self.wakes.arm(cid, self.oneshots.next_tick());
             }
-            Command::Stop { rank, mode } => self.stop_task(rank, mode, out),
+            Command::Stop { rank, mode } => self.stop_task(rank, mode),
         }
     }
 
-    fn stop_task(&mut self, rank: usize, mode: StopMode, out: &mut VecDeque<Occurrence>) {
-        let now = self.state.now;
-        let task = self.task_id(rank);
-        let was_running = self.state.running == Some(rank);
-        if self.state.procs[rank].front().is_some() {
+    fn stop_task(&mut self, rank: usize, mode: StopMode) {
+        let now = self.sys.state.now;
+        let task = self.sys.task_id(rank);
+        let was_running = self.sys.state.running == Some(rank);
+        if self.sys.state.procs[rank].front().is_some() {
             // CPU consumed by the head job, including the live interval.
             let live = if was_running {
-                now - self.state.dispatched_at
+                now - self.sys.state.dispatched_at
             } else {
                 Duration::ZERO
             };
             if was_running && live.is_positive() {
-                self.state.procs[rank].account(live);
-                self.state.dispatched_at = now;
+                self.sys.state.procs[rank].account(live);
+                self.sys.state.dispatched_at = now;
             }
-            let job = *self.state.procs[rank].front().expect("checked above");
+            let job = *self.sys.state.procs[rank].front().expect("checked above");
             let extra = self.config.stop_model.extra_runtime(job.consumed);
             if extra >= job.remaining && mode == StopMode::JobOnly {
                 // The job finishes naturally before the next poll point;
                 // nothing to doom.
             } else if extra.is_zero() {
-                let retired = self.state.procs[rank].retire_front(JobOutcome::Abandoned);
+                let retired = self.sys.state.procs[rank].retire_front(JobOutcome::Abandoned);
                 if was_running {
-                    self.state.running = None;
+                    self.sys.state.running = None;
+                    self.cpu.disarm();
                 }
-                self.trace.push(
+                self.sys.trace.push(
                     now,
                     EventKind::TaskStopped {
                         task,
                         job: retired.index,
                     },
                 );
-                out.push_back(Occurrence::JobAbandoned {
+                self.sys.notify(Occurrence::JobAbandoned {
                     rank,
                     job: retired.index,
                 });
             } else {
                 // Doom the job: it runs `extra` more CPU, then is abandoned
-                // (by the completion handler) — the polled stop flag.
-                let front = self.state.procs[rank].front_mut().expect("checked above");
+                // (by the CPU component) — the polled stop flag.
+                let front = self.sys.state.procs[rank].front_mut().expect("checked above");
                 front.doomed = true;
                 if extra < front.remaining {
                     front.remaining = extra;
                 }
+                let remaining = front.remaining;
                 if was_running {
-                    // Re-dispatch with the shortened remaining time.
-                    self.dispatch_gen += 1;
-                    let remaining = front.remaining;
-                    self.queue.push(
-                        now + remaining,
-                        SimEventKind::Completion {
-                            rank,
-                            gen: self.dispatch_gen,
-                        },
-                    );
+                    // Re-arm with the shortened remaining time.
+                    let seq = self.sys.next_seq();
+                    self.arm_completion(now + remaining, seq);
                 }
             }
         }
         if mode == StopMode::Permanent {
-            self.state.procs[rank].kill();
+            self.sys.state.procs[rank].kill();
         }
-        self.sync_policy(rank);
+        self.sys.sync_policy(rank);
     }
 
     /// Charge `amount` of extra CPU to the currently running job and
@@ -524,45 +631,45 @@ impl Simulator {
         if amount.is_zero() {
             return;
         }
-        let Some(rank) = self.state.running else {
+        let Some(rank) = self.sys.state.running else {
             return;
         };
-        let now = self.state.now;
-        let elapsed = now - self.state.dispatched_at;
+        let now = self.sys.state.now;
+        let elapsed = now - self.sys.state.dispatched_at;
         if elapsed.is_positive() {
-            self.state.procs[rank].account(elapsed);
-            self.state.dispatched_at = now;
+            self.sys.state.procs[rank].account(elapsed);
+            self.sys.state.dispatched_at = now;
         }
-        let job = self.state.procs[rank]
+        let job = self.sys.state.procs[rank]
             .front_mut()
             .expect("running job present");
         job.remaining += amount;
         job.demand += amount;
         let remaining = job.remaining;
-        self.dispatch_gen += 1;
-        self.queue.push(
-            now + remaining,
-            SimEventKind::Completion {
-                rank,
-                gen: self.dispatch_gen,
-            },
-        );
+        let seq = self.sys.next_seq();
+        self.arm_completion(now + remaining, seq);
+    }
+
+    /// (Re-)arm the CPU's completion wake (a register, not a heap
+    /// entry — see the loop in `run`).
+    fn arm_completion(&mut self, at: Instant, seq: u64) {
+        self.cpu.arm(Wake::new(at, WakeClass::Completion, seq));
     }
 
     fn reschedule_cpu(&mut self) {
         // The policy's ready structure answers in O(1)–O(log n); the
         // running task stays in it, so `pick` may return the incumbent
         // (which is a no-op here).
-        let best = self.policy.pick();
-        match (self.state.running, best) {
+        let best = self.sys.policy.pick();
+        match (self.sys.state.running, best) {
             (_, None) => {
-                if self.state.running.is_none() {
+                if self.sys.state.running.is_none() {
                     self.note_idle();
                 }
             }
             (None, Some(b)) => self.dispatch(b),
             (Some(r), Some(b)) => {
-                if b != r && self.policy.preempts(r, b) {
+                if b != r && self.sys.policy.preempts(r, b) {
                     self.preempt(r, b);
                     self.dispatch(b);
                 }
@@ -572,21 +679,20 @@ impl Simulator {
 
     fn note_idle(&mut self) {
         if self.cpu_ever_busy && self.idle_since.is_none() {
-            self.idle_since = Some(self.state.now);
-            self.trace.push(self.state.now, EventKind::CpuIdle);
+            self.idle_since = Some(self.sys.state.now);
+            self.sys.trace.push(self.sys.state.now, EventKind::CpuIdle);
         }
     }
 
     fn dispatch(&mut self, rank: usize) {
-        let now = self.state.now;
-        let task = self.task_id(rank);
+        let now = self.sys.state.now;
+        let task = self.sys.task_id(rank);
         self.cpu_ever_busy = true;
         self.idle_since = None;
-        self.state.running = Some(rank);
-        self.state.dispatched_at = now;
-        self.dispatch_gen += 1;
+        self.sys.state.running = Some(rank);
+        self.sys.state.dispatched_at = now;
         let ctx = self.config.overheads.dispatch;
-        let job = self.state.procs[rank]
+        let job = self.sys.state.procs[rank]
             .front_mut()
             .expect("dispatch on empty queue");
         if ctx.is_positive() {
@@ -596,34 +702,31 @@ impl Simulator {
         let (index, remaining, started) = (job.index, job.remaining, job.started);
         job.started = true;
         if started {
-            self.trace
+            self.sys
+                .trace
                 .push(now, EventKind::Resumed { task, job: index });
         } else {
-            self.trace
+            self.sys
+                .trace
                 .push(now, EventKind::JobStart { task, job: index });
         }
-        self.queue.push(
-            now + remaining,
-            SimEventKind::Completion {
-                rank,
-                gen: self.dispatch_gen,
-            },
-        );
+        let seq = self.sys.next_seq();
+        self.arm_completion(now + remaining, seq);
     }
 
     fn preempt(&mut self, rank: usize, by: usize) {
-        let now = self.state.now;
-        let task = self.task_id(rank);
-        let by_id = self.task_id(by);
-        let elapsed = now - self.state.dispatched_at;
+        let now = self.sys.state.now;
+        let task = self.sys.task_id(rank);
+        let by_id = self.sys.task_id(by);
+        let elapsed = now - self.sys.state.dispatched_at;
         if elapsed.is_positive() {
-            self.state.procs[rank].account(elapsed);
+            self.sys.state.procs[rank].account(elapsed);
         }
-        let job = self.state.procs[rank]
+        let job = self.sys.state.procs[rank]
             .front()
             .expect("preempt on empty queue")
             .index;
-        self.trace.push(
+        self.sys.trace.push(
             now,
             EventKind::Preempted {
                 task,
@@ -631,8 +734,29 @@ impl Simulator {
                 by: by_id,
             },
         );
-        self.state.running = None;
+        // The stale completion wake is overwritten by the immediately
+        // following dispatch of `by` (reschedule_cpu only preempts when
+        // it dispatches the winner in the same breath).
+        self.sys.state.running = None;
     }
+}
+
+/// A per-run trace-capacity estimate: ~4 trace events per job
+/// (release, start, end, plus slack for preemptions/misses), capped so
+/// degenerate horizons cannot trigger an absurd preallocation.
+fn trace_estimate(set: &TaskSet, horizon: Instant) -> usize {
+    let span = horizon.since_epoch();
+    let mut total = 16usize;
+    for rank in 0..set.len() {
+        let spec = set.by_rank(rank);
+        let avail = (span - spec.offset).as_nanos();
+        if avail < 0 {
+            continue;
+        }
+        let jobs = (avail / spec.period.as_nanos().max(1)) as usize + 1;
+        total = total.saturating_add(jobs.saturating_mul(4));
+    }
+    total.min(1 << 20)
 }
 
 /// Convenience: run `set` fault-free with no supervision until `horizon`.
@@ -1223,5 +1347,84 @@ mod tests {
         let mut sup = NullSupervisor;
         sim.run(&mut sup);
         sim.run(&mut sup);
+    }
+
+    #[test]
+    fn buffered_runs_reuse_storage_and_match_fresh_runs() {
+        let mut bufs = SimBuffers::new();
+        let fresh = run_plain(table2(), t(3000)).content_hash();
+        for _ in 0..3 {
+            let mut sim = Simulator::new_in(table2(), SimConfig::until(t(3000)), &mut bufs);
+            sim.run(&mut NullSupervisor);
+            let log = sim.finish(&mut bufs);
+            assert_eq!(log.content_hash(), fresh, "buffer reuse must not leak state");
+            bufs.recycle_log(log);
+        }
+    }
+
+    #[test]
+    fn on_time_jobs_never_wake_at_their_deadline() {
+        // One task, one on-time job per period: the engine should see
+        // release + completion per job (plus the final horizon-break
+        // pop), never a deadline wake.
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(100), ms(10))
+            .deadline(ms(50))
+            .build()]);
+        let mut sim = Simulator::new(set, SimConfig::until(t(1000)));
+        sim.run(&mut NullSupervisor);
+        // 11 releases (t=0..1000 inclusive) + 10 completions within the
+        // horizon; the 11th job (released at t=1000) completes at 1010,
+        // past the horizon.
+        assert_eq!(sim.events_processed(), 21);
+    }
+
+    #[test]
+    fn equal_time_timer_wakes_fire_in_registration_order() {
+        // Two timers armed for the same instant coalesce at one pop time;
+        // registration order (sequence numbers) breaks the tie.
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(200), ms(5)).build()]);
+        let mut sim = Simulator::new(set, SimConfig::until(t(100)));
+        sim.add_one_shot_timer(ms(40), 7);
+        sim.add_one_shot_timer(ms(40), 8);
+        sim.add_periodic_timer(ms(40), ms(30), 9);
+        struct Record(Vec<(Instant, u64)>);
+        impl Supervisor for Record {
+            fn on_occurrence(&mut self, state: &SimState, occ: Occurrence) -> Vec<Command> {
+                if let Occurrence::TimerFired { tag, .. } = occ {
+                    self.0.push((state.now(), tag));
+                }
+                Vec::new()
+            }
+        }
+        let mut sup = Record(Vec::new());
+        sim.run(&mut sup);
+        assert_eq!(
+            sup.0,
+            vec![
+                (t(40), 7),
+                (t(40), 8),
+                (t(40), 9),
+                (t(70), 9),
+                (t(100), 9)
+            ]
+        );
+    }
+
+    #[test]
+    fn fault_on_idle_task_applies_at_its_release() {
+        // The faulty job belongs to a task that is *asleep* when the
+        // fault plan is consulted — the overrun must surface when the
+        // component wakes for that release, not before.
+        let set = TaskSet::from_specs(vec![TaskBuilder::new(1, 20, ms(100), ms(10))
+            .deadline(ms(50))
+            .build()]);
+        let plan = FaultPlan::none().overrun(TaskId(1), 3, ms(25));
+        let mut sim = Simulator::new(set, SimConfig::until(t(600))).with_faults(plan);
+        sim.run(&mut NullSupervisor);
+        let log = sim.into_trace();
+        assert_eq!(log.job_end(TaskId(1), 2), Some(t(210)));
+        assert_eq!(log.job_end(TaskId(1), 3), Some(t(335)), "10+25 ms job");
+        assert_eq!(log.job_end(TaskId(1), 4), Some(t(410)));
+        assert!(log.misses(TaskId(1)).is_empty());
     }
 }

@@ -1,7 +1,9 @@
-//! Internal simulator events and the deterministic event queue.
+//! Wake keys and the indexed wake queue of the component engine.
 //!
-//! Total ordering is the soul of a reproducible discrete-event simulator:
-//! events are ordered by `(time, kind class, sequence number)`. The kind
+//! Total ordering is the soul of a reproducible discrete-event simulator.
+//! A [`Wake`] is a packed `(time, class, seq)` key; components sleep in a
+//! [`WakeQueue`] — an indexed 4-ary min-heap with one entry per component
+//! — and the engine pops the minimum key to decide who ticks next. The
 //! class encodes the paper-relevant tie-breaks at equal timestamps:
 //!
 //! 1. **completions** before anything else — a job finishing exactly at its
@@ -12,124 +14,281 @@
 //!    activation inspects the *previous* job;
 //! 4. **supervisor one-shots** (allowance stop points);
 //! 5. **deadline checks** last, so same-instant completions are honoured.
+//!
+//! The final tie-break is a global scheduling sequence number: at equal
+//! `(time, class)` the wake *scheduled first* fires first. The engine
+//! draws one sequence number per scheduling decision, so simultaneous
+//! releases fire in the order they were armed — exactly the insertion
+//! order of the historical global event queue, which the golden traces
+//! pin (at t = 1000 in the paper system the three releases fire τ3, τ2,
+//! τ1: arm order, not rank order).
+//!
+//! The key packs into a single `u128` — `(biased time) ∥ class ∥ seq` —
+//! with the low 16 bits left zero so the queue can graft the component
+//! id into them: a heap node is then one 16-byte integer whose
+//! comparison decides time, class, seq and owner in a single `cmp`.
 
 use rtft_core::time::Instant;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-/// What the engine scheduled.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum SimEventKind {
-    /// Completion of the currently dispatched job of `rank`; stale if
-    /// `gen` no longer matches the dispatch generation.
-    Completion {
-        /// Task rank.
-        rank: usize,
-        /// Dispatch generation that scheduled this completion.
-        gen: u64,
-    },
-    /// Periodic release of the next job of `rank`.
-    Release {
-        /// Task rank.
-        rank: usize,
-    },
-    /// A registered timer fires (detectors use these).
-    Timer {
-        /// Timer identity.
-        id: usize,
-    },
-    /// A supervisor-scheduled one-shot (allowance stop points).
-    OneShot {
-        /// Supervisor-chosen tag.
-        tag: u64,
-    },
-    /// Absolute-deadline check of a specific job.
-    DeadlineCheck {
-        /// Task rank.
-        rank: usize,
-        /// Job index.
-        job: u64,
-    },
+/// Tie-break class of a wake at equal timestamps (lower fires first).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+pub enum WakeClass {
+    /// The running job's completion.
+    Completion = 0,
+    /// A task's next release.
+    Release = 1,
+    /// A registered timer firing (detectors).
+    Timer = 2,
+    /// A supervisor-armed one-shot (allowance stop points).
+    OneShot = 3,
+    /// An absolute-deadline check.
+    Deadline = 4,
 }
 
-impl SimEventKind {
-    /// Tie-break class at equal timestamps (lower runs first).
-    fn class(&self) -> u8 {
-        match self {
-            SimEventKind::Completion { .. } => 0,
-            SimEventKind::Release { .. } => 1,
-            SimEventKind::Timer { .. } => 2,
-            SimEventKind::OneShot { .. } => 3,
-            SimEventKind::DeadlineCheck { .. } => 4,
+/// Bias flipping the sign bit so an `i64` time compares correctly as
+/// an unsigned field.
+const TIME_BIAS: u64 = 1 << 63;
+/// Low bits reserved for the queue's component-id graft.
+const CID_BITS: u32 = 16;
+const CID_MASK: u128 = (1 << CID_BITS) - 1;
+/// Bits of the sequence-number field (between the cid and the class).
+const SEQ_BITS: u32 = 45;
+const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+
+/// A packed wake key: `(time, class, seq)` compared as one `u128`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Wake(u128);
+
+impl Wake {
+    /// Pack a wake key.
+    ///
+    /// # Panics
+    /// Debug-panics when `seq` overflows its 45-bit field (unreachable
+    /// in practice: one sequence number per scheduling decision).
+    pub fn new(at: Instant, class: WakeClass, seq: u64) -> Self {
+        debug_assert!(seq <= SEQ_MASK, "wake seq overflow");
+        let t = (at.as_nanos() as u64) ^ TIME_BIAS;
+        Wake(
+            ((t as u128) << 64)
+                | ((class as u128) << (SEQ_BITS + CID_BITS))
+                | ((seq as u128) << CID_BITS),
+        )
+    }
+
+    /// Fire time.
+    pub fn at(self) -> Instant {
+        Instant::from_nanos((((self.0 >> 64) as u64) ^ TIME_BIAS) as i64)
+    }
+
+    /// Tie-break class.
+    pub fn class(self) -> WakeClass {
+        match (self.0 >> (SEQ_BITS + CID_BITS)) & 0b111 {
+            0 => WakeClass::Completion,
+            1 => WakeClass::Release,
+            2 => WakeClass::Timer,
+            3 => WakeClass::OneShot,
+            _ => WakeClass::Deadline,
         }
     }
-}
 
-/// A scheduled event.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct SimEvent {
-    /// Fire time.
-    pub at: Instant,
-    /// Payload.
-    pub kind: SimEventKind,
-    /// Insertion sequence, the final tie-break.
-    pub seq: u64,
-}
-
-impl Ord for SimEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.at
-            .cmp(&other.at)
-            .then(self.kind.class().cmp(&other.kind.class()))
-            .then(self.seq.cmp(&other.seq))
+    /// Scheduling sequence number (the final tie-break).
+    pub fn seq(self) -> u64 {
+        ((self.0 >> CID_BITS) as u64) & SEQ_MASK
     }
 }
 
-impl PartialOrd for SimEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// `pos` sentinel for a component with no queued wake.
+const ABSENT: u32 = u32::MAX;
+
+/// Heap fan-out. Four children per node halves the depth of the sift
+/// paths relative to a binary heap (64 components: 3 levels instead
+/// of 6), and the sibling scan is branch-predictable sequential reads.
+const ARITY: usize = 4;
+
+/// Indexed 4-ary min-heap of wakes with a position map: one entry per
+/// component, O(log n) re-key/remove by id. The heap holds at most
+/// `n_components` entries — a task set of 64 sleeps in a 66-slot heap no
+/// matter how many jobs are in flight, where the old global event queue
+/// grew with every pending release, deadline check and stale completion.
+///
+/// Each node is the wake key with the component id grafted into its low
+/// 16 bits, so sifts move one 16-byte integer; sifting is hole-based
+/// (one store per level, not a swap) and the engine's hot path replaces
+/// the root in place ([`WakeQueue::rekey_min`]) instead of popping and
+/// re-pushing — one sift per event.
+#[derive(Clone, Debug, Default)]
+pub struct WakeQueue {
+    heap: Vec<u128>,
+    pos: Vec<u32>,
 }
 
-/// Min-queue over [`SimEvent`] with stable sequence numbering.
-#[derive(Debug, Default)]
-pub struct EventQueue {
-    heap: BinaryHeap<std::cmp::Reverse<SimEvent>>,
-    next_seq: u64,
-}
-
-impl EventQueue {
-    /// Empty queue.
+impl WakeQueue {
+    /// Empty queue (size it with [`WakeQueue::reset`]).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Schedule `kind` at `at`.
-    pub fn push(&mut self, at: Instant, kind: SimEventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap
-            .push(std::cmp::Reverse(SimEvent { at, kind, seq }));
+    /// Prepare for `n` component ids, dropping any previous content but
+    /// keeping the allocations (buffer reuse across runs).
+    pub fn reset(&mut self, n: usize) {
+        assert!(n < CID_MASK as usize, "component id space overflow");
+        self.heap.clear();
+        self.pos.clear();
+        self.pos.resize(n, ABSENT);
     }
 
-    /// Remove and return the earliest event.
-    pub fn pop(&mut self) -> Option<SimEvent> {
-        self.heap.pop().map(|r| r.0)
-    }
-
-    /// Earliest event time without removing it.
-    pub fn peek_time(&self) -> Option<Instant> {
-        self.heap.peek().map(|r| r.0.at)
-    }
-
-    /// Number of pending events.
+    /// Number of queued wakes.
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// `true` when nothing is pending.
+    /// `true` when no component is scheduled.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// `true` iff `cid` currently has a queued wake.
+    pub fn contains(&self, cid: usize) -> bool {
+        self.pos[cid] != ABSENT
+    }
+
+    #[inline]
+    fn split(entry: u128) -> (Wake, usize) {
+        (Wake(entry & !CID_MASK), (entry & CID_MASK) as usize)
+    }
+
+    /// Insert or re-key component `cid`.
+    pub fn set(&mut self, cid: usize, wake: Wake) {
+        let entry = wake.0 | cid as u128;
+        let p = self.pos[cid];
+        if p == ABSENT {
+            let i = self.heap.len();
+            self.heap.push(entry);
+            self.sift_up(i, entry);
+        } else {
+            let i = p as usize;
+            let old = self.heap[i];
+            if entry < old {
+                self.sift_up(i, entry);
+            } else {
+                self.sift_down(i, entry);
+            }
+        }
+    }
+
+    /// Set `cid`'s wake, or remove it when `wake` is `None`.
+    pub fn arm(&mut self, cid: usize, wake: Option<Wake>) {
+        match wake {
+            Some(w) => self.set(cid, w),
+            None => self.remove(cid),
+        }
+    }
+
+    /// Remove component `cid`'s wake, if any.
+    pub fn remove(&mut self, cid: usize) {
+        let p = self.pos[cid];
+        if p == ABSENT {
+            return;
+        }
+        let i = p as usize;
+        self.pos[cid] = ABSENT;
+        let last = self.heap.pop().expect("occupied position implies entries");
+        if i < self.heap.len() {
+            // The displaced last entry may need to move either way.
+            if last < self.heap[i] {
+                self.sift_up(i, last);
+            } else {
+                self.sift_down(i, last);
+            }
+        }
+    }
+
+    /// Earliest wake without removing it.
+    pub fn peek(&self) -> Option<(Wake, usize)> {
+        self.heap.first().map(|&e| Self::split(e))
+    }
+
+    /// Remove and return the earliest wake and its component.
+    pub fn pop(&mut self) -> Option<(Wake, usize)> {
+        let &first = self.heap.first()?;
+        let (wake, cid) = Self::split(first);
+        self.pos[cid] = ABSENT;
+        let last = self.heap.pop().expect("heap is non-empty");
+        if !self.heap.is_empty() {
+            self.sift_down(0, last);
+        }
+        Some((wake, cid))
+    }
+
+    /// Re-key the current minimum — which must belong to `cid` — to its
+    /// next wake, or drop it when `wake` is `None`. This is the engine's
+    /// hot path: the ticked component is always the root, and its next
+    /// wake is never earlier than the one just consumed, so one
+    /// sift-down replaces a pop/push pair.
+    pub fn rekey_min(&mut self, cid: usize, wake: Option<Wake>) {
+        debug_assert_eq!(
+            self.heap.first().map(|&e| Self::split(e).1),
+            Some(cid),
+            "rekey_min caller must own the heap minimum"
+        );
+        match wake {
+            Some(w) => self.sift_down(0, w.0 | cid as u128),
+            None => {
+                self.pos[cid] = ABSENT;
+                let last = self.heap.pop().expect("heap is non-empty");
+                if !self.heap.is_empty() {
+                    self.sift_down(0, last);
+                }
+            }
+        }
+    }
+
+    /// Hole-based bubble-up: place `entry` starting from slot `i`.
+    fn sift_up(&mut self, mut i: usize, entry: u128) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if entry >= self.heap[parent] {
+                break;
+            }
+            let moved = self.heap[parent];
+            self.heap[i] = moved;
+            self.pos[(moved & CID_MASK) as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = entry;
+        self.pos[(entry & CID_MASK) as usize] = i as u32;
+    }
+
+    /// Hole-based bubble-down: place `entry` starting from slot `i`.
+    /// The wider fan-out halves the tree depth versus a binary heap;
+    /// the extra sibling compares stay within one or two cache lines.
+    fn sift_down(&mut self, mut i: usize, entry: u128) {
+        let n = self.heap.len();
+        loop {
+            let first = ARITY * i + 1;
+            if first >= n {
+                break;
+            }
+            let last = (first + ARITY).min(n);
+            let mut c = first;
+            let mut best = self.heap[first];
+            for k in first + 1..last {
+                let e = self.heap[k];
+                if e < best {
+                    best = e;
+                    c = k;
+                }
+            }
+            if best >= entry {
+                break;
+            }
+            self.heap[i] = best;
+            self.pos[(best & CID_MASK) as usize] = i as u32;
+            i = c;
+        }
+        self.heap[i] = entry;
+        self.pos[(entry & CID_MASK) as usize] = i as u32;
     }
 }
 
@@ -142,59 +301,134 @@ mod tests {
     }
 
     #[test]
-    fn orders_by_time() {
-        let mut q = EventQueue::new();
-        q.push(t(30), SimEventKind::Release { rank: 0 });
-        q.push(t(10), SimEventKind::Release { rank: 1 });
-        q.push(t(20), SimEventKind::Release { rank: 2 });
-        assert_eq!(q.pop().unwrap().at, t(10));
-        assert_eq!(q.pop().unwrap().at, t(20));
-        assert_eq!(q.pop().unwrap().at, t(30));
+    fn wake_roundtrips_its_fields() {
+        let w = Wake::new(t(123), WakeClass::Timer, 42);
+        assert_eq!(w.at(), t(123));
+        assert_eq!(w.class(), WakeClass::Timer);
+        assert_eq!(w.seq(), 42);
+        // Negative times (pre-epoch) still order correctly.
+        let neg = Wake::new(t(-5), WakeClass::Deadline, 0);
+        assert_eq!(neg.at(), t(-5));
+        assert!(neg < w);
+    }
+
+    #[test]
+    fn wake_orders_by_time_then_class_then_seq() {
+        let a = Wake::new(t(10), WakeClass::Completion, 9);
+        let b = Wake::new(t(10), WakeClass::Release, 1);
+        let c = Wake::new(t(10), WakeClass::Release, 2);
+        let d = Wake::new(t(11), WakeClass::Completion, 0);
+        assert!(a < b && b < c && c < d);
+    }
+
+    #[test]
+    fn queue_pops_in_key_order() {
+        let mut q = WakeQueue::new();
+        q.reset(4);
+        q.set(0, Wake::new(t(30), WakeClass::Release, 3));
+        q.set(1, Wake::new(t(10), WakeClass::Release, 1));
+        q.set(2, Wake::new(t(20), WakeClass::Release, 2));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().map(|(w, c)| (w.at(), c)), Some((t(10), 1)));
+        assert_eq!(q.pop().map(|(w, c)| (w.at(), c)), Some((t(20), 2)));
+        assert_eq!(q.pop().map(|(w, c)| (w.at(), c)), Some((t(30), 0)));
         assert!(q.pop().is_none());
     }
 
     #[test]
+    fn rekey_moves_an_entry_both_ways() {
+        let mut q = WakeQueue::new();
+        q.reset(3);
+        q.set(0, Wake::new(t(10), WakeClass::Release, 0));
+        q.set(1, Wake::new(t(20), WakeClass::Release, 1));
+        q.set(2, Wake::new(t(30), WakeClass::Release, 2));
+        // Later…
+        q.set(0, Wake::new(t(40), WakeClass::Release, 3));
+        // …and earlier again.
+        q.set(2, Wake::new(t(5), WakeClass::Release, 4));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, c)| c).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn remove_keeps_the_heap_consistent() {
+        let mut q = WakeQueue::new();
+        q.reset(5);
+        for (cid, ms) in [(0, 50), (1, 10), (2, 40), (3, 20), (4, 30)] {
+            q.set(cid, Wake::new(t(ms), WakeClass::Release, cid as u64));
+        }
+        q.remove(1); // the minimum
+        q.remove(2); // an interior entry
+        q.remove(2); // double-remove is a no-op
+        assert!(!q.contains(1));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, c)| c).collect();
+        assert_eq!(order, vec![3, 4, 0]);
+    }
+
+    #[test]
     fn class_tie_break_at_equal_time() {
-        let mut q = EventQueue::new();
-        q.push(t(10), SimEventKind::DeadlineCheck { rank: 0, job: 0 });
-        q.push(t(10), SimEventKind::Timer { id: 0 });
-        q.push(t(10), SimEventKind::Release { rank: 0 });
-        q.push(t(10), SimEventKind::Completion { rank: 0, gen: 0 });
-        q.push(t(10), SimEventKind::OneShot { tag: 7 });
-        let order: Vec<u8> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                SimEventKind::Completion { .. } => 0,
-                SimEventKind::Release { .. } => 1,
-                SimEventKind::Timer { .. } => 2,
-                SimEventKind::OneShot { .. } => 3,
-                SimEventKind::DeadlineCheck { .. } => 4,
-            })
-            .collect();
-        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        let mut q = WakeQueue::new();
+        q.reset(5);
+        q.set(0, Wake::new(t(10), WakeClass::Deadline, 0));
+        q.set(1, Wake::new(t(10), WakeClass::Timer, 1));
+        q.set(2, Wake::new(t(10), WakeClass::Release, 2));
+        q.set(3, Wake::new(t(10), WakeClass::Completion, 3));
+        q.set(4, Wake::new(t(10), WakeClass::OneShot, 4));
+        let classes: Vec<WakeClass> =
+            std::iter::from_fn(|| q.pop()).map(|(w, _)| w.class()).collect();
+        assert_eq!(
+            classes,
+            vec![
+                WakeClass::Completion,
+                WakeClass::Release,
+                WakeClass::Timer,
+                WakeClass::OneShot,
+                WakeClass::Deadline,
+            ]
+        );
     }
 
     #[test]
-    fn seq_preserves_insertion_order() {
-        let mut q = EventQueue::new();
-        q.push(t(5), SimEventKind::Release { rank: 0 });
-        q.push(t(5), SimEventKind::Release { rank: 1 });
-        q.push(t(5), SimEventKind::Release { rank: 2 });
-        let ranks: Vec<usize> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                SimEventKind::Release { rank } => rank,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(ranks, vec![0, 1, 2]);
+    fn seq_preserves_arm_order_at_equal_time_and_class() {
+        let mut q = WakeQueue::new();
+        q.reset(3);
+        // Armed 2, 0, 1: fire order must follow the seq, not the id.
+        q.set(2, Wake::new(t(5), WakeClass::Release, 0));
+        q.set(0, Wake::new(t(5), WakeClass::Release, 1));
+        q.set(1, Wake::new(t(5), WakeClass::Release, 2));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, c)| c).collect();
+        assert_eq!(order, vec![2, 0, 1]);
     }
 
     #[test]
-    fn peek_and_len() {
-        let mut q = EventQueue::new();
+    fn rekey_min_replaces_the_root_in_place() {
+        let mut q = WakeQueue::new();
+        q.reset(3);
+        q.set(0, Wake::new(t(10), WakeClass::Release, 0));
+        q.set(1, Wake::new(t(20), WakeClass::Release, 1));
+        q.set(2, Wake::new(t(30), WakeClass::Release, 2));
+        // Component 0 consumed its wake and sleeps until t = 25.
+        q.rekey_min(0, Some(Wake::new(t(25), WakeClass::Release, 3)));
+        assert_eq!(q.peek().map(|(w, c)| (w.at(), c)), Some((t(20), 1)));
+        assert!(q.contains(0));
+        // Component 1 consumed its wake and has nothing further.
+        q.rekey_min(1, None);
+        assert!(!q.contains(1));
+        let order: Vec<(i64, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|(w, c)| (w.at().as_nanos() / 1_000_000, c))
+            .collect();
+        assert_eq!(order, vec![(25, 0), (30, 2)]);
+    }
+
+    #[test]
+    fn reset_reuses_without_leaking_state() {
+        let mut q = WakeQueue::new();
+        q.reset(2);
+        q.set(0, Wake::new(t(1), WakeClass::Release, 0));
+        q.reset(3);
         assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
-        q.push(t(9), SimEventKind::Timer { id: 1 });
-        assert_eq!(q.peek_time(), Some(t(9)));
-        assert_eq!(q.len(), 1);
+        assert!(!q.contains(0));
+        q.set(2, Wake::new(t(2), WakeClass::Release, 1));
+        assert_eq!(q.pop().map(|(_, c)| c), Some(2));
     }
 }

@@ -42,6 +42,7 @@
 
 pub mod aperiodic;
 pub mod arrival;
+pub mod component;
 pub mod engine;
 pub mod event;
 pub mod fault;
@@ -56,7 +57,9 @@ pub mod timer;
 pub mod prelude {
     pub use crate::aperiodic::{attach as attach_aperiodics, AperiodicJob};
     pub use crate::arrival::ArrivalModel;
-    pub use crate::engine::{run_plain, SimConfig, SimState, Simulator};
+    pub use crate::component::Component;
+    pub use crate::engine::{run_plain, SimBuffers, SimConfig, SimState, Simulator, System};
+    pub use crate::event::{Wake, WakeClass, WakeQueue};
     pub use crate::fault::{FaultPlan, RandomFaults};
     pub use crate::overhead::Overheads;
     pub use crate::policy::{PolicyKind, SchedPolicy};

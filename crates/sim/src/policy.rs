@@ -49,10 +49,61 @@ pub trait SchedPolicy: std::fmt::Debug + Send {
 
 /// Build the policy implementation for `kind` over `set`.
 pub fn build_policy(kind: PolicyKind, set: &TaskSet) -> Box<dyn SchedPolicy> {
-    match kind {
-        PolicyKind::FixedPriority => Box::new(FixedPriority::new(set)),
-        PolicyKind::Edf => Box::new(Edf::new(set)),
-        PolicyKind::NonPreemptiveFp => Box::new(NonPreemptiveFp::new(set)),
+    Box::new(PolicyImpl::build(kind, set))
+}
+
+/// Closed-world policy dispatch for the engine's hot path: the three
+/// provided rules behind a `match` instead of a vtable, so `update`,
+/// `pick` and `preempts` (called once or more per event) inline into
+/// the engine loop. [`SchedPolicy`] remains the open extension trait;
+/// this enum is what the engine actually stores.
+#[derive(Clone, Debug)]
+pub enum PolicyImpl {
+    /// Preemptive fixed priority (the paper's platform).
+    FixedPriority(FixedPriority),
+    /// Earliest deadline first.
+    Edf(Edf),
+    /// Non-preemptive fixed priority.
+    NonPreemptiveFp(NonPreemptiveFp),
+}
+
+impl PolicyImpl {
+    /// Build the implementation for `kind` over `set`.
+    pub fn build(kind: PolicyKind, set: &TaskSet) -> Self {
+        match kind {
+            PolicyKind::FixedPriority => PolicyImpl::FixedPriority(FixedPriority::new(set)),
+            PolicyKind::Edf => PolicyImpl::Edf(Edf::new(set)),
+            PolicyKind::NonPreemptiveFp => PolicyImpl::NonPreemptiveFp(NonPreemptiveFp::new(set)),
+        }
+    }
+}
+
+impl SchedPolicy for PolicyImpl {
+    #[inline]
+    fn update(&mut self, rank: usize, ready: bool, head_release: Option<Instant>) {
+        match self {
+            PolicyImpl::FixedPriority(p) => p.update(rank, ready, head_release),
+            PolicyImpl::Edf(p) => p.update(rank, ready, head_release),
+            PolicyImpl::NonPreemptiveFp(p) => p.update(rank, ready, head_release),
+        }
+    }
+
+    #[inline]
+    fn pick(&self) -> Option<usize> {
+        match self {
+            PolicyImpl::FixedPriority(p) => p.pick(),
+            PolicyImpl::Edf(p) => p.pick(),
+            PolicyImpl::NonPreemptiveFp(p) => p.pick(),
+        }
+    }
+
+    #[inline]
+    fn preempts(&self, incumbent: usize, challenger: usize) -> bool {
+        match self {
+            PolicyImpl::FixedPriority(p) => p.preempts(incumbent, challenger),
+            PolicyImpl::Edf(p) => p.preempts(incumbent, challenger),
+            PolicyImpl::NonPreemptiveFp(p) => p.preempts(incumbent, challenger),
+        }
     }
 }
 

@@ -94,6 +94,14 @@ pub trait Supervisor {
     /// outcomes, queue heads, the task set); returned commands are applied
     /// immediately, in order.
     fn on_occurrence(&mut self, state: &SimState, occ: Occurrence) -> Vec<Command>;
+
+    /// `false` lets the engine skip occurrence delivery entirely — the
+    /// components then never construct or queue [`Occurrence`]s, which
+    /// matters on plain-throughput runs. Defaults to `true`; only a
+    /// supervisor whose `on_occurrence` is a no-op should override it.
+    fn observes(&self) -> bool {
+        true
+    }
 }
 
 /// A supervisor that does nothing — the paper's "execution without
@@ -104,5 +112,9 @@ pub struct NullSupervisor;
 impl Supervisor for NullSupervisor {
     fn on_occurrence(&mut self, _state: &SimState, _occ: Occurrence) -> Vec<Command> {
         Vec::new()
+    }
+
+    fn observes(&self) -> bool {
+        false
     }
 }

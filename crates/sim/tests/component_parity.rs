@@ -1,0 +1,224 @@
+//! Differential property test: the component engine against a reference
+//! reimplementation of the pre-refactor semantics.
+//!
+//! The original engine kept ONE global event queue — every release,
+//! absolute-deadline check and completion of every task lived in it,
+//! keyed `(time, class, seq)`, with stale completions (from preempted
+//! dispatches) invalidated by a per-task generation counter and skipped
+//! on pop. The component engine replaces that with per-component wake
+//! queues, eager deadline cancellation and a completion register, but
+//! the produced trace must be **bit-for-bit identical**: the golden
+//! figures, the campaign digests and the differential oracle all hang
+//! off that contract.
+//!
+//! `reference_run` below IS the old architecture, reimplemented in ~100
+//! lines against the same public [`SchedPolicy`] dispatch layer. The
+//! property: on randomized UUniFast systems × fault plans × all three
+//! policies, the component engine's trace text equals the reference's,
+//! and it processes **no more** events than the global queue popped
+//! (laziness can only remove wakes — dead deadline checks, stale
+//! completions — never add them).
+
+use proptest::prelude::*;
+use rtft_core::task::TaskSet;
+use rtft_core::time::{Duration, Instant};
+use rtft_sim::engine::{SimConfig, Simulator};
+use rtft_sim::fault::{FaultPlan, RandomFaults};
+use rtft_sim::policy::{build_policy, PolicyKind};
+use rtft_sim::supervisor::NullSupervisor;
+use rtft_taskgen::GeneratorConfig;
+use rtft_trace::format::to_text;
+use rtft_trace::{EventKind, TraceLog};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Event classes of the historical global queue, in tie-break order.
+const COMPLETION: u8 = 0;
+const RELEASE: u8 = 1;
+const DEADLINE: u8 = 4;
+
+/// One queued event: `(time, class, seq)` is the total order; `rank`
+/// addresses the task; `aux` is the job index (deadlines) or the
+/// dispatch generation (completions).
+type Ev = (i64, u8, u64, usize, u64);
+
+struct RefJob {
+    index: u64,
+    released_at: Instant,
+    remaining: Duration,
+    started: bool,
+}
+
+/// The pre-refactor engine: one global queue, every wake popped and
+/// inspected, stale completions skipped by generation. Plain periodic
+/// runs (no timers, stops, overheads or jitter), faults included.
+fn reference_run(set: &TaskSet, plan: &FaultPlan, policy: PolicyKind, horizon: Instant) -> (TraceLog, u64) {
+    let n = set.len();
+    let mut pol = build_policy(policy, set);
+    let mut trace = TraceLog::new();
+    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let mut next_seq = || {
+        let s = seq;
+        seq += 1;
+        s
+    };
+
+    let mut queues: Vec<std::collections::VecDeque<RefJob>> = (0..n).map(|_| Default::default()).collect();
+    let mut releases: Vec<u64> = vec![0; n];
+    let mut finished: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut gen: Vec<u64> = vec![0; n];
+
+    for rank in 0..n {
+        let base = Instant::EPOCH + set.by_rank(rank).offset;
+        let s = next_seq();
+        heap.push(Reverse((base.as_nanos(), RELEASE, s, rank, 0)));
+    }
+
+    let mut running: Option<usize> = None;
+    let mut dispatched_at = Instant::EPOCH;
+    let mut cpu_ever_busy = false;
+    let mut idle_since: Option<Instant> = None;
+    let mut pops: u64 = 0;
+
+    while let Some(Reverse((at, class, _s, rank, aux))) = heap.pop() {
+        let now = Instant::from_nanos(at);
+        if now > horizon {
+            break;
+        }
+        pops += 1;
+        match class {
+            RELEASE => {
+                let spec = set.by_rank(rank);
+                let job = releases[rank];
+                releases[rank] += 1;
+                let demand = (spec.cost + plan.delta(spec.id, job)).max(Duration::NANO);
+                queues[rank].push_back(RefJob {
+                    index: job,
+                    released_at: now,
+                    remaining: demand,
+                    started: false,
+                });
+                pol.update(rank, true, queues[rank].front().map(|j| j.released_at));
+                trace.push(now, EventKind::JobRelease { task: spec.id, job });
+                let dl = next_seq();
+                heap.push(Reverse(((now + spec.deadline).as_nanos(), DEADLINE, dl, rank, job)));
+                let base = Instant::EPOCH + spec.offset;
+                let next = base + spec.period * (job as i64 + 1);
+                let rs = next_seq();
+                heap.push(Reverse((next.as_nanos(), RELEASE, rs, rank, 0)));
+            }
+            DEADLINE => {
+                if !finished[rank].contains(&aux) {
+                    let task = set.by_rank(rank).id;
+                    trace.push(now, EventKind::DeadlineMiss { task, job: aux });
+                }
+            }
+            COMPLETION => {
+                if aux != gen[rank] {
+                    continue; // stale: the dispatch it belonged to was preempted
+                }
+                let task = set.by_rank(rank).id;
+                let job = queues[rank].pop_front().expect("completion of a queued job");
+                finished[rank].push(job.index);
+                pol.update(rank, !queues[rank].is_empty(), queues[rank].front().map(|j| j.released_at));
+                running = None;
+                trace.push(now, EventKind::JobEnd { task, job: job.index });
+            }
+            _ => unreachable!("unknown class"),
+        }
+
+        // Reschedule after every event, exactly like the engine.
+        let best = pol.pick();
+        match (running, best) {
+            (None, None) => {
+                if cpu_ever_busy && idle_since.is_none() {
+                    idle_since = Some(now);
+                    trace.push(now, EventKind::CpuIdle);
+                }
+            }
+            (Some(_), None) => {}
+            (Some(r), Some(b)) if b == r || !pol.preempts(r, b) => {}
+            (incumbent, Some(b)) => {
+                if let Some(r) = incumbent {
+                    // Preempt: account the elapsed slice, invalidate the
+                    // in-flight completion.
+                    gen[r] += 1;
+                    let elapsed = now - dispatched_at;
+                    let front = queues[r].front_mut().expect("preempted job queued");
+                    front.remaining -= elapsed;
+                    let by = set.by_rank(b).id;
+                    let task = set.by_rank(r).id;
+                    trace.push(now, EventKind::Preempted { task, job: front.index, by });
+                }
+                cpu_ever_busy = true;
+                idle_since = None;
+                running = Some(b);
+                dispatched_at = now;
+                let task = set.by_rank(b).id;
+                let front = queues[b].front_mut().expect("dispatch on empty queue");
+                let kind = if front.started {
+                    EventKind::Resumed { task, job: front.index }
+                } else {
+                    EventKind::JobStart { task, job: front.index }
+                };
+                front.started = true;
+                trace.push(now, kind);
+                gen[b] += 1;
+                let cs = next_seq();
+                heap.push(Reverse(((now + front.remaining).as_nanos(), COMPLETION, cs, b, gen[b])));
+            }
+        }
+    }
+    trace.push(horizon, EventKind::SimEnd);
+    (trace, pops)
+}
+
+fn uunifast_set(n: usize, util_pct: u32, seed: u64) -> TaskSet {
+    GeneratorConfig::new(n)
+        .with_utilization(f64::from(util_pct) / 100.0)
+        .with_periods(Duration::millis(10), Duration::millis(120))
+        .generate(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The component engine's trace equals the global-queue reference's,
+    /// byte for byte, and it never processes more events.
+    #[test]
+    fn component_engine_matches_the_global_queue_reference(
+        n in 2usize..10,
+        util_pct in 20u32..85,
+        set_seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        policy in prop_oneof![
+            Just(PolicyKind::FixedPriority),
+            Just(PolicyKind::Edf),
+            Just(PolicyKind::NonPreemptiveFp),
+        ],
+    ) {
+        let set = uunifast_set(n, util_pct, set_seed);
+        let plan = RandomFaults {
+            overrun_probability: 0.2,
+            magnitude: (Duration::millis(1), Duration::millis(10)),
+            jobs_per_task: 12,
+        }
+        .sample(&set, fault_seed);
+        let horizon = Instant::from_millis(1_000);
+
+        let (ref_log, ref_pops) = reference_run(&set, &plan, policy, horizon);
+
+        let mut sim = Simulator::new(set, SimConfig::until(horizon).with_policy(policy))
+            .with_faults(plan);
+        sim.run(&mut NullSupervisor);
+
+        prop_assert_eq!(to_text(sim.trace()), to_text(&ref_log));
+        prop_assert!(
+            sim.events_processed() <= ref_pops,
+            "component engine processed {} events, reference popped {}",
+            sim.events_processed(),
+            ref_pops
+        );
+    }
+}

@@ -30,6 +30,16 @@ impl TraceLog {
         }
     }
 
+    /// Reserve room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.events.reserve(additional);
+    }
+
+    /// Drop all records, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
     /// Append an event.
     ///
     /// # Panics
