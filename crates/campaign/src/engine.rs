@@ -25,8 +25,8 @@ use rtft_part::analyzer::PartitionedAnalyzer;
 use rtft_part::multicore::{
     run_partitioned, run_partitioned_buffered, MulticoreError, MulticoreOutcome,
 };
-use rtft_sim::engine::SimBuffers;
 use rtft_part::workbench::Workbench;
+use rtft_sim::engine::SimBuffers;
 use rtft_trace::EventKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -190,15 +190,56 @@ pub fn digest_job_buffered(
     }
     if let Some(analyzer) = bench.uni_session_mut() {
         run_uni_job(job, oracle, analyzer, bufs)
+    } else if let Some(session) = bench.global_mut() {
+        run_global_job(job, oracle, session, bufs)
     } else {
         let sessions = bench.partitioned_mut().expect("multicore backend");
         run_multicore_job(job, oracle, sessions, bufs)
     }
 }
 
+/// The global job path: one migrating engine over the whole set, the
+/// digest reduced from the merged core-tagged trace. Only systems the
+/// global sufficient test proves ever run (unproven sets surface as
+/// [`JobStatus::InfeasibleBase`]), so the differential oracle's bound
+/// is unconditionally certified for every job that reaches it.
+fn run_global_job(
+    job: &JobSpec,
+    oracle: bool,
+    session: &mut rtft_global::GlobalAnalyzer,
+    bufs: &mut SimBuffers,
+) -> JobDigest {
+    let scenario = job.scenario();
+    match rtft_global::run_global_buffered(&scenario, session, bufs) {
+        Ok(global) => {
+            let oracle_outcome = if oracle {
+                oracle::check_global(job, &global.outcome, session)
+            } else {
+                OracleOutcome::NotRun
+            };
+            let mut digest = digest_outcome(job, &global.outcome, oracle_outcome);
+            // The flat log hash is worker-count-stable already, but the
+            // merged core-tagged hash is what a partitioned run of the
+            // same cell reports — keep the column comparable.
+            digest.trace_hash = global.merged_hash;
+            bufs.recycle_log(global.outcome.log);
+            digest
+        }
+        Err(HarnessError::InfeasibleBase) => empty_digest(job, JobStatus::InfeasibleBase),
+        Err(HarnessError::Analysis(e)) => {
+            empty_digest(job, JobStatus::AnalysisError(e.to_string()))
+        }
+    }
+}
+
 /// The uniprocessor job path — unchanged from the single-core engine, so
 /// `cores = 1` traces stay bit-identical to the pre-multicore pipeline.
-fn run_uni_job(job: &JobSpec, oracle: bool, analyzer: &mut Analyzer, bufs: &mut SimBuffers) -> JobDigest {
+fn run_uni_job(
+    job: &JobSpec,
+    oracle: bool,
+    analyzer: &mut Analyzer,
+    bufs: &mut SimBuffers,
+) -> JobDigest {
     let scenario = job.scenario();
     match run_scenario_buffered(&scenario, analyzer, bufs) {
         Ok(outcome) => {
@@ -234,6 +275,7 @@ fn core_job(job: &JobSpec, sessions: &PartitionedAnalyzer, core: usize) -> JobSp
         set: Arc::new(set),
         policy: job.policy,
         cores: 1,
+        placement: rtft_core::query::Placement::Partitioned,
         alloc: job.alloc,
         fault_label: job.fault_label.clone(),
         faults,
@@ -459,6 +501,7 @@ fn single_job_spec(sc: &rtft_ft::harness::Scenario, cores: usize, alloc: AllocPo
         set: Arc::new(sc.set.clone()),
         policy: sc.policy,
         cores,
+        placement: rtft_core::query::Placement::Partitioned,
         alloc,
         fault_label: "explicit".to_string(),
         faults: sc.faults.clone(),
@@ -498,6 +541,31 @@ pub fn run_single_partitioned(
         }
     }
     Ok((multi, merge_oracle(outcomes), partition))
+}
+
+/// Run one scenario globally over `cores` migrating cores — the global
+/// counterpart of [`run_single_partitioned`], used by
+/// `rtft run --placement global`.
+///
+/// # Errors
+/// [`HarnessError::InfeasibleBase`] when the global sufficient test
+/// cannot prove the base system (unproven sets never run — see
+/// [`rtft_global::run_global_with`]).
+pub fn run_single_global(
+    sc: &rtft_ft::harness::Scenario,
+    cores: usize,
+    oracle: bool,
+) -> Result<(rtft_global::GlobalOutcome, OracleOutcome), HarnessError> {
+    let mut session = rtft_global::GlobalAnalyzer::new(sc.set.clone(), cores, sc.policy);
+    let global = rtft_global::run_global_with(sc, &mut session)?;
+    let mut job = single_job_spec(sc, cores, AllocPolicy::FirstFitDecreasing);
+    job.placement = rtft_core::query::Placement::Global;
+    let oracle_outcome = if oracle {
+        oracle::check_global(&job, &global.outcome, &mut session)
+    } else {
+        OracleOutcome::NotRun
+    };
+    Ok((global, oracle_outcome))
 }
 
 #[cfg(test)]
@@ -616,6 +684,83 @@ platform exact
             assert!(d.oracle.was_checked(), "{:?}", d.oracle);
         }
         assert!(report.oracle_clean());
+    }
+
+    /// Two light tasks the global sufficient test proves on two cores
+    /// (each sees fewer than `m` interferers, so its bound is its
+    /// cost), swept over both placements.
+    const PLACEMENT_GRID: &str = "\
+campaign placement
+horizon 500ms
+task a 9 100ms 100ms 30ms
+task b 8 100ms 100ms 30ms
+cores 2
+placement all
+treatment detect
+platform exact
+";
+
+    #[test]
+    fn global_jobs_run_and_certify_against_the_global_oracle() {
+        let spec = parse_spec(PLACEMENT_GRID).unwrap();
+        let jobs = spec.expand().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].placement, rtft_core::query::Placement::Partitioned);
+        assert_eq!(jobs[1].placement, rtft_core::query::Placement::Global);
+        // Distinct placements are distinct analysis states: the worker
+        // must not reuse the partitioned workbench for the global job.
+        assert_ne!(jobs[0].set_ordinal, jobs[1].set_ordinal);
+        let report = run_campaign(&spec, &RunConfig::sequential()).unwrap();
+        assert_eq!(report.ran, 2);
+        for d in &report.jobs {
+            assert_eq!(d.status, JobStatus::Ran);
+            assert_eq!(d.released, 12);
+            assert_eq!(d.missed, 0);
+            assert!(d.oracle.was_checked(), "{:?}", d.oracle);
+        }
+        assert!(report.oracle_clean());
+        // Both cells produced a real (merged, core-tagged) trace hash.
+        assert!(report.jobs.iter().all(|d| d.trace_hash != 0));
+    }
+
+    #[test]
+    fn global_jobs_are_deterministic_across_worker_counts() {
+        let spec = parse_spec(PLACEMENT_GRID).unwrap();
+        let a = run_campaign(&spec, &RunConfig::sequential()).unwrap();
+        let b = run_campaign(&spec, &RunConfig::default().with_workers(4)).unwrap();
+        let hashes = |r: &CampaignReport| r.jobs.iter().map(|d| d.trace_hash).collect::<Vec<_>>();
+        assert_eq!(hashes(&a), hashes(&b));
+    }
+
+    #[test]
+    fn run_single_global_matches_the_campaign_path() {
+        let spec = parse_spec(PLACEMENT_GRID).unwrap();
+        let job = &spec.expand().unwrap()[1]; // the global cell
+        let (global, oracle) = run_single_global(&job.scenario(), job.cores, true).unwrap();
+        assert_eq!(global.cores, 2);
+        assert!(oracle.was_checked());
+        assert!(oracle.violations().is_empty());
+        let report = run_campaign(&spec, &RunConfig::sequential()).unwrap();
+        assert_eq!(report.jobs[1].trace_hash, global.merged_hash);
+    }
+
+    #[test]
+    fn unproven_global_jobs_surface_as_infeasible() {
+        // Two heavy tasks plus a light third: the allocator places them
+        // (a|c on one core, b on the other) and the partitioned cell
+        // runs, but task c's global BC fixed point diverges — two 60 ms
+        // interferers share its whole window — so the global cell is
+        // unproven and refuses to run. Sufficient-only pessimism,
+        // surfaced exactly like an infeasible uniprocessor base.
+        let spec = parse_spec(
+            "horizon 500ms\ntask a 9 100ms 100ms 60ms\ntask b 8 100ms 100ms 60ms\n\
+             task c 7 100ms 100ms 25ms\ncores 2\nplacement all\ntreatment detect\nplatform exact\n",
+        )
+        .unwrap();
+        let report = run_campaign(&spec, &RunConfig::sequential()).unwrap();
+        assert_eq!(report.jobs.len(), 2);
+        assert_eq!(report.jobs[0].status, JobStatus::Ran);
+        assert_eq!(report.jobs[1].status, JobStatus::InfeasibleBase);
     }
 
     #[test]

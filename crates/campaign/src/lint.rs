@@ -3,15 +3,16 @@
 //! axes, duplicate axis values, repeated scalar directives).
 //!
 //! [`lint_campaign`] never expands the full job grid: it walks the
-//! unique `(set instance, policy, cores)` cells — the cross product's
-//! other axes (allocator, fault instance, treatment, platform) cannot
-//! change any static rule's verdict — and lints each cell once with
-//! [`rtft_core::diag::lint_system`]. Per-cell *necessary-condition
-//! failures* (RT010/RT011/RT012) are demoted to the campaign-scoped
-//! note `RT033`: an overloaded grid cell is often the experiment's
-//! point (the shipped multicore sweep deliberately crosses U = 1.3
-//! sets with a 1-core column), and the engine already reports such
-//! jobs as infeasible/unplaceable rather than failing.
+//! unique `(set instance, policy, cores, placement)` cells — the cross
+//! product's other axes (allocator, fault instance, treatment,
+//! platform) cannot change any static rule's verdict — and lints each
+//! cell once with [`rtft_core::diag::lint_system`]. Per-cell
+//! *necessary-condition failures* (RT010/RT011/RT012/RT013) are
+//! demoted to the campaign-scoped note `RT033`: an overloaded grid
+//! cell is often the experiment's point (the shipped multicore sweep
+//! deliberately crosses U = 1.3 sets with a 1-core column), and the
+//! engine already reports such jobs as infeasible/unplaceable rather
+//! than failing.
 //!
 //! [`lint_campaign_text`] is the file-level entry `rtft lint` uses: it
 //! folds parse errors (`RT000`-classified) and the parser's duplicate
@@ -21,7 +22,7 @@ use crate::spec::{
     fsource_targets, parse_spec_with_warnings, CampaignSpec, FaultSource, SetSource,
 };
 use rtft_core::diag::{self, Diagnostic, Span};
-use rtft_core::query::SystemSpec;
+use rtft_core::query::{Placement, SystemSpec};
 use rtft_core::task::TaskId;
 use std::collections::BTreeSet;
 
@@ -47,6 +48,11 @@ pub fn lint_campaign(spec: &CampaignSpec) -> Vec<Diagnostic> {
     } else {
         spec.cores.clone()
     };
+    let placements = if spec.placements.is_empty() {
+        vec![Placement::Partitioned]
+    } else {
+        spec.placements.clone()
+    };
     let faults = if spec.faults.is_empty() {
         vec![FaultSource::None]
     } else {
@@ -62,33 +68,47 @@ pub fn lint_campaign(spec: &CampaignSpec) -> Vec<Diagnostic> {
             for fsource in &faults {
                 fault_plan_rules(fsource, &set_label, &set, &mut out);
             }
-            // The static system rules per unique (set, policy, cores)
-            // cell. Allocator, fault instance, treatment and platform
-            // never change a static verdict, so they are not iterated.
+            // The static system rules per unique (set, policy, cores,
+            // placement) cell. Allocator, fault instance, treatment
+            // and platform never change a static verdict, so they are
+            // not iterated (the alloc-under-global note is grid-level
+            // RT034, raised by `axis_rules`).
             for &policy in dedup(&policies) {
                 for &core_count in dedup(&cores) {
-                    let label = format!("{set_label}/{policy}/{core_count}c");
-                    let sys = SystemSpec {
-                        name: set_label.clone(),
-                        set: set.clone(),
-                        policy,
-                        cores: core_count,
-                        alloc: rtft_core::query::AllocPolicy::FirstFitDecreasing,
-                        faults: Vec::new(),
-                        platform: rtft_core::query::PlatformModel::EXACT,
-                    };
-                    for d in diag::lint_system(&sys) {
-                        let lifted = lift_cell_diag(&label, d);
-                        if seen.insert(format!(
-                            "{} {} {}",
-                            lifted.code,
-                            match &lifted.span {
-                                Span::Task(id, _) => id.0.to_string(),
-                                _ => "-".into(),
-                            },
-                            lifted.message
-                        )) {
-                            out.push(lifted);
+                    for &placement in dedup(&placements) {
+                        // Partitioned cells keep the historical label so
+                        // pinned lint output stays byte-identical.
+                        let label = match placement {
+                            Placement::Partitioned => {
+                                format!("{set_label}/{policy}/{core_count}c")
+                            }
+                            Placement::Global => {
+                                format!("{set_label}/{policy}/{core_count}c/global")
+                            }
+                        };
+                        let sys = SystemSpec {
+                            name: set_label.clone(),
+                            set: set.clone(),
+                            policy,
+                            cores: core_count,
+                            placement,
+                            alloc: rtft_core::query::AllocPolicy::FirstFitDecreasing,
+                            faults: Vec::new(),
+                            platform: rtft_core::query::PlatformModel::EXACT,
+                        };
+                        for d in diag::lint_system(&sys) {
+                            let lifted = lift_cell_diag(&label, d);
+                            if seen.insert(format!(
+                                "{} {} {}",
+                                lifted.code,
+                                match &lifted.span {
+                                    Span::Task(id, _) => id.0.to_string(),
+                                    _ => "-".into(),
+                                },
+                                lifted.message
+                            )) {
+                                out.push(lifted);
+                            }
                         }
                     }
                 }
@@ -133,8 +153,10 @@ fn dedup<T: PartialEq>(values: &[T]) -> Vec<&T> {
     out
 }
 
-/// RT031 (repeated axis values expand identical jobs) and RT032 (an
-/// allocator axis that cannot matter because every cell has 1 core).
+/// RT031 (repeated axis values expand identical jobs), RT032 (an
+/// allocator axis that cannot matter because every cell has 1 core)
+/// and RT034 (an allocator axis dead because every multicore cell is
+/// globally scheduled).
 fn axis_rules(spec: &CampaignSpec, out: &mut Vec<Diagnostic>) {
     fn repeated<T: PartialEq>(values: &[T], label: impl Fn(&T) -> String) -> Vec<String> {
         let mut dup = Vec::new();
@@ -155,6 +177,10 @@ fn axis_rules(spec: &CampaignSpec, out: &mut Vec<Diagnostic>) {
             repeated(&spec.policies, |p| p.label().to_string()),
         ),
         ("cores", repeated(&spec.cores, usize::to_string)),
+        (
+            "placement",
+            repeated(&spec.placements, |p| p.label().to_string()),
+        ),
         ("alloc", repeated(&spec.allocs, |a| a.label().to_string())),
         ("faults", repeated(&spec.faults, fault_source_label)),
         (
@@ -183,6 +209,22 @@ fn axis_rules(spec: &CampaignSpec, out: &mut Vec<Diagnostic>) {
                 spec.allocs.len()
             ),
             "on 1 core every allocator yields the trivial partition; drop the axis or add cores",
+        ));
+    }
+    // An alloc axis crossed only with global cells never partitions
+    // anything (the grid-level face of the per-system RT034 note).
+    let every_cell_global =
+        !spec.placements.is_empty() && spec.placements.iter().all(|&p| p == Placement::Global);
+    if !spec.allocs.is_empty() && every_cell_global && !every_cell_uniprocessor {
+        out.push(Diagnostic::new(
+            "RT034",
+            Span::Whole,
+            format!(
+                "`alloc` axis lists {} allocator(s) but every grid cell is globally scheduled",
+                spec.allocs.len()
+            ),
+            "global placement migrates tasks instead of partitioning; drop the axis or add \
+             `placement partitioned`",
         ));
     }
 }
@@ -252,7 +294,7 @@ fn fault_plan_rules(
 /// structural defects stay fatal at campaign level.
 fn lift_cell_diag(label: &str, d: Diagnostic) -> Diagnostic {
     match d.code {
-        "RT010" | "RT011" | "RT012" => Diagnostic::new(
+        "RT010" | "RT011" | "RT012" | "RT013" => Diagnostic::new(
             "RT033",
             d.span,
             format!("cell {label}: {} [{}]", d.message, d.code),

@@ -188,6 +188,61 @@ pub fn check(job: &JobSpec, outcome: &ScenarioOutcome, session: &mut Analyzer) -
     }
 }
 
+/// Run the oracle on one executed *global* job. `session` must be the
+/// global analysis session for the job's task set and core count.
+///
+/// Same shape as [`check`], with the global sufficient-only twist: the
+/// global runner only ever executes systems the sufficient test
+/// *proved*, so the bound is unconditionally certified for the jobs
+/// that run — an observed response above it is a hard analysis/sim
+/// disagreement, never expected pessimism. (Pessimism shows up
+/// upstream, as jobs that refuse to run at all.) The bounds mirror the
+/// runner's thresholds: the Δmax-inflated Bertogna–Cirinei fixed point
+/// under fixed-priority dispatch, the relative deadline under EDF and
+/// non-preemptive dispatch — wherever `Δmax` is admitted by the global
+/// equitable allowance, the inflated set passes the sufficient test,
+/// so those bounds hold for every completed job.
+pub fn check_global(
+    job: &JobSpec,
+    outcome: &ScenarioOutcome,
+    session: &mut rtft_global::GlobalAnalyzer,
+) -> OracleOutcome {
+    if !job.platform.overheads.is_free() {
+        return OracleOutcome::Skipped(OracleSkip::Overheads);
+    }
+    let dmax = max_overrun(&job.faults);
+
+    let bounds = if dmax.is_zero() {
+        // Fault-free (or pure under-runs): the runner's baseline stop
+        // bounds cover every response of the proven system.
+        outcome.analysis.wcrt.clone()
+    } else {
+        let allowance = match session.equitable_allowance() {
+            Some(a) => a,
+            None => return OracleOutcome::Skipped(OracleSkip::OutOfAllowance),
+        };
+        if dmax > allowance {
+            return OracleOutcome::Skipped(OracleSkip::OutOfAllowance);
+        }
+        // Δmax admitted: the Δmax-inflated set passes the sufficient
+        // test, so its stop bounds (inflated BC fixed points under FP,
+        // deadlines otherwise) hold unconditionally.
+        session.stop_thresholds_at(dmax)
+    };
+
+    let violations = collect_violations(job, &outcome.stats, &bounds, dmax);
+    if violations.is_empty() {
+        let checked = outcome
+            .stats
+            .jobs()
+            .filter(|j| j.response().is_some())
+            .count();
+        OracleOutcome::Clean { checked }
+    } else {
+        OracleOutcome::Violated(violations)
+    }
+}
+
 fn collect_violations(
     job: &JobSpec,
     stats: &TraceStats,

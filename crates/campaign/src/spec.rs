@@ -1,8 +1,8 @@
 //! Declarative campaign descriptions and their grid expansion.
 //!
-//! A [`CampaignSpec`] names *sources* along seven axes — task sets,
-//! scheduling policies, core counts, allocators, fault plans,
-//! treatments, platform models — and
+//! A [`CampaignSpec`] names *sources* along eight axes — task sets,
+//! scheduling policies, core counts, placements, allocators, fault
+//! plans, treatments, platform models — and
 //! the engine runs their full cross product. The spec has a line-based
 //! file format (see [`parse_spec`]) designed so that a **repro artifact
 //! is itself a spec**: a violation found by the differential oracle is
@@ -10,7 +10,7 @@
 //! directly.
 
 use rtft_core::policy::PolicyKind;
-use rtft_core::query::{FaultEntry, PlatformModel, SystemSpec};
+use rtft_core::query::{FaultEntry, Placement, PlatformModel, SystemSpec};
 use rtft_core::task::{TaskBuilder, TaskId, TaskSet, TaskSpec};
 use rtft_core::time::{Duration, Instant};
 use rtft_ft::treatment::Treatment;
@@ -226,8 +226,9 @@ impl PlatformSpec {
     }
 }
 
-/// A declarative campaign: the grid is the cross product
-/// `sets × policies × cores × allocs × faults × treatments × platforms`.
+/// A declarative campaign: the grid is the cross product `sets ×
+/// policies × cores × placements × allocs × faults × treatments ×
+/// platforms`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CampaignSpec {
     /// Campaign label used in reports and artifacts.
@@ -237,11 +238,17 @@ pub struct CampaignSpec {
     /// Scheduling policies (empty = fixed priority only).
     pub policies: Vec<PolicyKind>,
     /// Core counts (empty = uniprocessor only). A `cores > 1` job is
-    /// partitioned by its allocator and runs one engine per core.
+    /// partitioned by its allocator and runs one engine per core, or —
+    /// under [`Placement::Global`] — runs one migrating engine over all
+    /// cores.
     pub cores: Vec<usize>,
+    /// Multiprocessor placements (empty = partitioned only, the
+    /// historical grid). Moot on 1 core, where both kinds collapse to
+    /// the uniprocessor pipeline.
+    pub placements: Vec<Placement>,
     /// Partitioning allocators (empty = first-fit decreasing only).
     /// Irrelevant on 1 core, where every allocator yields the trivial
-    /// partition.
+    /// partition, and under global placement, which does not partition.
     pub allocs: Vec<AllocPolicy>,
     /// Fault-plan sources.
     pub faults: Vec<FaultSource>,
@@ -262,6 +269,7 @@ impl Default for CampaignSpec {
             sets: Vec::new(),
             policies: Vec::new(),
             cores: Vec::new(),
+            placements: Vec::new(),
             allocs: Vec::new(),
             faults: Vec::new(),
             treatments: Vec::new(),
@@ -277,10 +285,12 @@ impl Default for CampaignSpec {
 pub struct JobSpec {
     /// Position in the expanded grid (stable across runs).
     pub index: usize,
-    /// Ordinal of the concrete `(set instance, policy, cores, alloc)`
-    /// tuple — engine workers key their memoized analysis sessions on
-    /// it (a uniprocessor [`rtft_core::analyzer::Analyzer`] for 1-core
-    /// jobs, a [`rtft_part::PartitionedAnalyzer`] otherwise; either is
+    /// Ordinal of the concrete `(set instance, policy, cores,
+    /// placement, alloc)` tuple — engine workers key their memoized
+    /// analysis sessions on it (a uniprocessor
+    /// [`rtft_core::analyzer::Analyzer`] for 1-core jobs, a
+    /// [`rtft_part::PartitionedAnalyzer`] for partitioned multicore, a
+    /// [`rtft_global::GlobalAnalyzer`] for global multicore; each is
     /// built for one policy over one placement of one set).
     pub set_ordinal: usize,
     /// Label of the set instance.
@@ -292,7 +302,10 @@ pub struct JobSpec {
     /// Core count (1 = the uniprocessor engine, bit-identical to the
     /// pre-multicore pipeline).
     pub cores: usize,
-    /// Allocator partitioning the set when `cores > 1`.
+    /// Multiprocessor placement kind when `cores > 1`.
+    pub placement: Placement,
+    /// Allocator partitioning the set when `cores > 1` (unused under
+    /// [`Placement::Global`]).
     pub alloc: AllocPolicy,
     /// Label of the fault instance.
     pub fault_label: String,
@@ -340,6 +353,7 @@ impl JobSpec {
             set: (*self.set).clone(),
             policy: self.policy,
             cores: self.cores,
+            placement: self.placement,
             alloc: self.alloc,
             faults: self
                 .faults
@@ -373,10 +387,10 @@ impl JobSpec {
 
 impl CampaignSpec {
     /// Expand the grid into concrete jobs, in a deterministic order
-    /// (sets outermost, then policies, cores, allocators, faults,
-    /// treatments, platforms — jobs of one `(set instance, policy,
-    /// cores, alloc)` tuple are contiguous so engine workers can reuse
-    /// one analysis session per tuple).
+    /// (sets outermost, then policies, cores, placements, allocators,
+    /// faults, treatments, platforms — jobs of one `(set instance,
+    /// policy, cores, placement, alloc)` tuple are contiguous so engine
+    /// workers can reuse one analysis session per tuple).
     ///
     /// # Errors
     /// [`SpecError`] when a fault source names a task absent from a set,
@@ -395,6 +409,11 @@ impl CampaignSpec {
             vec![1]
         } else {
             self.cores.clone()
+        };
+        let placements: Vec<Placement> = if self.placements.is_empty() {
+            vec![Placement::Partitioned]
+        } else {
+            self.placements.clone()
         };
         let allocs: Vec<AllocPolicy> = if self.allocs.is_empty() {
             vec![AllocPolicy::FirstFitDecreasing]
@@ -435,30 +454,33 @@ impl CampaignSpec {
                 }
                 for &policy in &policies {
                     for &core_count in &cores {
-                        for &alloc in &allocs {
-                            for fsource in &faults {
-                                for (fault_label, plan) in fsource.instances(&set) {
-                                    for &treatment in &treatments {
-                                        for &platform in &platforms {
-                                            jobs.push(JobSpec {
-                                                index: jobs.len(),
-                                                set_ordinal,
-                                                set_label: set_label.clone(),
-                                                set: Arc::clone(&set),
-                                                policy,
-                                                cores: core_count,
-                                                alloc,
-                                                fault_label: fault_label.clone(),
-                                                faults: plan.clone(),
-                                                treatment,
-                                                platform,
-                                                horizon: self.horizon,
-                                            });
+                        for &placement in &placements {
+                            for &alloc in &allocs {
+                                for fsource in &faults {
+                                    for (fault_label, plan) in fsource.instances(&set) {
+                                        for &treatment in &treatments {
+                                            for &platform in &platforms {
+                                                jobs.push(JobSpec {
+                                                    index: jobs.len(),
+                                                    set_ordinal,
+                                                    set_label: set_label.clone(),
+                                                    set: Arc::clone(&set),
+                                                    policy,
+                                                    cores: core_count,
+                                                    placement,
+                                                    alloc,
+                                                    fault_label: fault_label.clone(),
+                                                    faults: plan.clone(),
+                                                    treatment,
+                                                    platform,
+                                                    horizon: self.horizon,
+                                                });
+                                            }
                                         }
                                     }
                                 }
+                                set_ordinal += 1;
                             }
-                            set_ordinal += 1;
                         }
                     }
                 }
@@ -497,8 +519,9 @@ impl CampaignSpec {
         let platforms = self.platforms.len().max(1);
         let policies = self.policies.len().max(1);
         let cores = self.cores.len().max(1);
+        let placements = self.placements.len().max(1);
         let allocs = self.allocs.len().max(1);
-        sets * policies * cores * allocs * faults * treatments * platforms
+        sets * policies * cores * placements * allocs * faults * treatments * platforms
     }
 }
 
@@ -616,6 +639,7 @@ fn parse_duration_range(v: &str) -> Result<(Duration, Duration), String> {
 /// faults random p=<float> mag=<dur>..<dur> jobs=<n> seeds=<a>..<b>
 /// policy fp|edf|npfp... | all       # scheduling policies (grid axis)
 /// cores <n>...                      # core counts (grid axis)
+/// placement partitioned|global... | all   # multiprocessor placement (grid axis)
 /// alloc ffd|bfd|wfd|exhaustive... | all   # partition allocators (grid axis)
 /// treatment none|detect|stop|equitable|system|all
 /// platform exact|jrate|quantum=<dur> [poll=<dur>] [pollovh=<dur>]
@@ -627,13 +651,16 @@ fn parse_duration_range(v: &str) -> Result<(Duration, Duration), String> {
 /// job per listed policy — analysis, detector thresholds and the
 /// differential oracle all follow the policy.
 ///
-/// `cores` and `alloc` lines expand the grid the same way: a `cores n`
-/// job with `n > 1` is partitioned by its allocator (per-core
-/// feasibility probes under the job's policy) and runs one engine per
-/// core; `alloc all` lists the three bin-packing heuristics (ffd, bfd,
-/// wfd). With `cores 1` every allocator yields the trivial partition
-/// and the job runs the plain uniprocessor pipeline, bit-identical to a
-/// spec without these lines.
+/// `cores`, `placement` and `alloc` lines expand the grid the same
+/// way: a partitioned `cores n` job with `n > 1` is partitioned by its
+/// allocator (per-core feasibility probes under the job's policy) and
+/// runs one engine per core, while a `placement global` job skips the
+/// allocator and runs one migrating engine over all `n` cores (its
+/// analysis is the sufficient global test — see `rtft-global`); `alloc
+/// all` lists the three bin-packing heuristics (ffd, bfd, wfd) and
+/// `placement all` both placement kinds. With `cores 1` every
+/// allocator and placement yields the uniprocessor pipeline,
+/// bit-identical to a spec without these lines.
 ///
 /// Inline `task` lines form one [`SetSource::Inline`]; inline `fault`
 /// lines form one [`FaultSource::Explicit`]. Omitted axes default to
@@ -930,6 +957,18 @@ pub fn parse_spec_with_warnings(text: &str) -> Result<(CampaignSpec, Vec<SpecWar
                         return Err(err("cores: counts must be ≥ 1".into()));
                     }
                     spec.cores.push(n);
+                }
+            }
+            "placement" => {
+                if words.len() < 2 {
+                    return Err(err("placement: expected partitioned|global|all".into()));
+                }
+                for word in &words[1..] {
+                    if *word == "all" {
+                        spec.placements.extend(Placement::ALL);
+                    } else {
+                        spec.placements.push(word.parse().map_err(&err)?);
+                    }
                 }
             }
             "alloc" => {

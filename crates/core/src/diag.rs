@@ -39,7 +39,7 @@
 //! ```
 
 use crate::policy::PolicyKind;
-use crate::query::{json_escape, Query, SystemSpec};
+use crate::query::{json_escape, AllocPolicy, Placement, Query, SystemSpec};
 use crate::task::{TaskId, TaskSet, TaskSpec};
 use crate::time::Duration;
 use std::collections::{BTreeMap, BTreeSet};
@@ -217,6 +217,11 @@ pub const RULES: &[Rule] = &[
         summary: "npfp blocking makes a deadline unreachable (C + max lower-priority C > D)",
     },
     Rule {
+        code: "RT013",
+        severity: Severity::Error,
+        summary: "global placement fails a necessary condition (U > m, or a task density > 1)",
+    },
+    Rule {
         code: "RT020",
         severity: Severity::Warning,
         summary: "priorities are not deadline-monotonic under FP with constrained deadlines",
@@ -255,6 +260,11 @@ pub const RULES: &[Rule] = &[
         code: "RT033",
         severity: Severity::Note,
         summary: "grid cell fails a necessary feasibility condition (job reports infeasible)",
+    },
+    Rule {
+        code: "RT034",
+        severity: Severity::Note,
+        summary: "allocator named alongside global placement (the alloc axis is dead)",
     },
 ];
 
@@ -605,7 +615,8 @@ fn fault_rules(spec: &SystemSpec, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// RT010 (U > 1 on one core), RT011 (U > m over m cores), RT012
+/// RT010 (U > 1 on one core), RT011 (U > m over m cores, partitioned),
+/// RT013 (U > m or a task density > 1 under global placement), RT012
 /// (npfp blocking + cost above a deadline). Error severity, so each is
 /// a *sound* infeasibility proof, never a heuristic.
 fn necessary_conditions(spec: &SystemSpec, out: &mut Vec<Diagnostic>) {
@@ -619,7 +630,8 @@ fn necessary_conditions(spec: &SystemSpec, out: &mut Vec<Diagnostic>) {
             "the load test fails under every policy; shed load or add cores",
         ));
     }
-    if spec.cores > 1 && u > spec.cores as f64 + U_EPS {
+    let global = spec.placement == Placement::Global && spec.cores > 1;
+    if spec.cores > 1 && !global && u > spec.cores as f64 + U_EPS {
         out.push(Diagnostic::new(
             "RT011",
             Span::Whole,
@@ -629,6 +641,39 @@ fn necessary_conditions(spec: &SystemSpec, out: &mut Vec<Diagnostic>) {
             ),
             "no partitioning can place the set; shed load or add cores",
         ));
+    }
+    if global {
+        // Necessary conditions for *any* global scheduler: total work
+        // cannot exceed m processors, and a single job can occupy only
+        // one core at a time, so a density C/min(D, T) above 1 misses
+        // even with the whole platform to itself.
+        if u > spec.cores as f64 + U_EPS {
+            out.push(Diagnostic::new(
+                "RT013",
+                Span::Whole,
+                format!(
+                    "utilization {u:.4} exceeds the {} available cores under global placement",
+                    spec.cores
+                ),
+                "no global scheduler can serve the load; shed load or add cores",
+            ));
+        }
+        for t in set.tasks() {
+            let window = t.deadline.min(t.period);
+            let density = t.cost.as_nanos() as f64 / window.as_nanos() as f64;
+            if density > 1.0 + U_EPS {
+                out.push(Diagnostic::new(
+                    "RT013",
+                    task_span(t),
+                    format!(
+                        "density {density:.4} exceeds 1: cost {} does not fit the {window} \
+                         scheduling window on any single core",
+                        t.cost
+                    ),
+                    "a migrating job still runs on one core at a time; shrink C or relax D",
+                ));
+            }
+        }
     }
     if spec.policy == PolicyKind::NonPreemptiveFp {
         // Non-preemptive blocking: a task's response time is at least
@@ -661,9 +706,25 @@ fn necessary_conditions(spec: &SystemSpec, out: &mut Vec<Diagnostic>) {
 }
 
 /// RT020 (non-deadline-monotonic FP priorities), RT021 (hyperperiod /
-/// EDF demand-frontier blowup). Warnings: suspicious, not fatal.
+/// EDF demand-frontier blowup) — warnings: suspicious, not fatal —
+/// plus RT034, a note when a non-default allocator is named on a
+/// global-placement spec (tasks migrate, so no allocator ever runs).
 fn hygiene_rules(spec: &SystemSpec, out: &mut Vec<Diagnostic>) {
     let set = &spec.set;
+    if spec.placement == Placement::Global
+        && spec.cores > 1
+        && spec.alloc != AllocPolicy::FirstFitDecreasing
+    {
+        out.push(Diagnostic::new(
+            "RT034",
+            Span::Whole,
+            format!(
+                "allocator `{}` has no effect under global placement",
+                spec.alloc
+            ),
+            "drop the alloc directive, or switch to partitioned placement",
+        ));
+    }
     if spec.policy == PolicyKind::FixedPriority && set.all_constrained() {
         // Ranks are priority-descending; DM demands deadlines
         // non-decreasing along them (Leung & Whitehead: DM is optimal
@@ -804,6 +865,53 @@ mod tests {
         ])
         .with_cores(2, AllocPolicy::FirstFitDecreasing);
         assert_eq!(codes(&lint_system(&multi)), vec!["RT011"]);
+    }
+
+    #[test]
+    fn global_necessary_conditions_fire() {
+        // U = 2.7 over 2 cores: RT013 under global, RT011 partitioned.
+        let over = spec_of(vec![
+            task(1, 3, 10, 10, 9),
+            task(2, 2, 10, 10, 9),
+            task(3, 1, 10, 10, 9),
+        ])
+        .with_cores(2, AllocPolicy::FirstFitDecreasing);
+        assert_eq!(codes(&lint_system(&over)), vec!["RT011"]);
+        let over = over.with_placement(Placement::Global);
+        assert_eq!(codes(&lint_system(&over)), vec!["RT013"]);
+
+        // Arbitrary deadline D > T: density uses the period window, so
+        // C = 12 > T = 10 is a per-task RT013 (alongside RT003).
+        let dense = spec_of(vec![task(1, 2, 10, 40, 12), task(2, 1, 100, 100, 1)])
+            .with_cores(2, AllocPolicy::FirstFitDecreasing)
+            .with_placement(Placement::Global);
+        let diags = lint_system(&dense);
+        assert!(codes(&diags).contains(&"RT013"), "{diags:?}");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "RT013" && matches!(d.span, Span::Task(TaskId(1), _))),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dead_allocator_under_global_placement_notes() {
+        let spec = spec_of(vec![task(1, 1, 100, 100, 10)])
+            .with_cores(2, AllocPolicy::WorstFitDecreasing)
+            .with_placement(Placement::Global);
+        let diags = lint_system(&spec);
+        assert_eq!(codes(&diags), vec!["RT034"]);
+        assert_eq!(diags[0].severity, Severity::Note);
+        // The default allocator rides along silently, and partitioned
+        // specs keep their allocator without comment.
+        let quiet = spec_of(vec![task(1, 1, 100, 100, 10)])
+            .with_cores(2, AllocPolicy::FirstFitDecreasing)
+            .with_placement(Placement::Global);
+        assert!(lint_system(&quiet).is_empty());
+        let part =
+            spec_of(vec![task(1, 1, 100, 100, 10)]).with_cores(2, AllocPolicy::WorstFitDecreasing);
+        assert!(lint_system(&part).is_empty());
     }
 
     #[test]

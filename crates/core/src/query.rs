@@ -141,6 +141,58 @@ impl FromStr for AllocPolicy {
     }
 }
 
+/// How tasks are mapped onto cores when a [`SystemSpec`] names more
+/// than one: partitioned (each task pinned to one core by the
+/// [`AllocPolicy`]) or global (one shared ready queue, free migration).
+/// On a single core the two coincide. The default is partitioned, so
+/// specs that never mention placement keep their historical meaning.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Placement {
+    /// Tasks are statically allocated onto cores (the default).
+    #[default]
+    Partitioned,
+    /// One shared ready queue; jobs migrate freely between cores.
+    Global,
+}
+
+impl Placement {
+    /// Both placement kinds, in the stable grid-expansion order used by
+    /// campaign specs (`placement all`).
+    pub const ALL: [Placement; 2] = [Placement::Partitioned, Placement::Global];
+
+    /// Short stable label (spec files, report columns, bench ids).
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::Partitioned => "partitioned",
+            Placement::Global => "global",
+        }
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Placement {
+    type Err = String;
+
+    /// Parse a placement keyword: `partitioned` (alias `part`) or
+    /// `global`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "partitioned" | "part" => Placement::Partitioned,
+            "global" => Placement::Global,
+            other => {
+                return Err(format!(
+                    "unknown placement `{other}` (expected partitioned|global)"
+                ))
+            }
+        })
+    }
+}
+
 /// One injected fault: a signed cost delta on one job of one task
 /// (positive = overrun, negative = underrun). The executable
 /// counterpart is `rtft_sim::fault::FaultPlan`; this is its
@@ -277,8 +329,11 @@ pub struct SystemSpec {
     pub policy: PolicyKind,
     /// Core count (1 = uniprocessor, the paper's platform).
     pub cores: usize,
-    /// Allocator placing tasks onto cores when `cores > 1`.
+    /// Allocator placing tasks onto cores when `cores > 1` (dead axis
+    /// under [`Placement::Global`]).
     pub alloc: AllocPolicy,
+    /// Partitioned or global multiprocessor placement (moot at 1 core).
+    pub placement: Placement,
     /// Injected faults (ignored by analysis queries).
     pub faults: Vec<FaultEntry>,
     /// Timer grid and overhead charges (ignored by analysis queries).
@@ -295,6 +350,7 @@ impl SystemSpec {
             policy: PolicyKind::FixedPriority,
             cores: 1,
             alloc: AllocPolicy::FirstFitDecreasing,
+            placement: Placement::Partitioned,
             faults: Vec::new(),
             platform: PlatformModel::EXACT,
         }
@@ -314,6 +370,12 @@ impl SystemSpec {
         self
     }
 
+    /// Replace the multiprocessor placement kind.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
     /// Display name of a task (its spec name; falls back to `t<id>` for
     /// ids not in the set).
     pub fn task_name(&self, id: TaskId) -> String {
@@ -323,8 +385,9 @@ impl SystemSpec {
     }
 
     /// Append the system's body lines — `task`, `fault`, `policy`,
-    /// `cores`, `alloc`, `platform` — in the shared line grammar. This
-    /// is the single rendering behind both query batches
+    /// `cores`, `alloc`, `placement` (only when global, so legacy
+    /// renderings stay byte-identical), `platform` — in the shared line
+    /// grammar. This is the single rendering behind both query batches
     /// ([`render_batch`]) and campaign repro artifacts, which wrap the
     /// same body in their own header/trailer lines.
     pub fn render_lines(&self, out: &mut String) {
@@ -360,6 +423,9 @@ impl SystemSpec {
         let _ = writeln!(out, "policy {}", self.policy.label());
         let _ = writeln!(out, "cores {}", self.cores);
         let _ = writeln!(out, "alloc {}", self.alloc.label());
+        if self.placement != Placement::Partitioned {
+            let _ = writeln!(out, "placement {}", self.placement.label());
+        }
         let _ = writeln!(out, "platform {}", self.platform.spec_line());
     }
 }
@@ -795,9 +861,15 @@ pub fn render_responses_text(
     responses: &[Response],
 ) -> String {
     let mut out = String::new();
+    // Global placement is called out explicitly; the partitioned header
+    // stays byte-identical to the pinned pre-placement golden.
+    let placement_tag = match spec.placement {
+        Placement::Partitioned => String::new(),
+        Placement::Global => format!(", placement {}", spec.placement),
+    };
     let _ = writeln!(
         out,
-        "system {} ({} tasks, policy {}, {} cores, alloc {})",
+        "system {} ({} tasks, policy {}, {} cores, alloc {}{placement_tag})",
         spec.name,
         spec.set.len(),
         spec.policy,
@@ -815,9 +887,15 @@ pub fn render_responses_text(
 /// `rtft query --json` output).
 pub fn render_responses_json(spec: &SystemSpec, responses: &[Response]) -> String {
     let items: Vec<String> = responses.iter().map(Response::to_json).collect();
+    // As in the text header, the placement field appears only on global
+    // specs so the pinned partitioned golden stays byte-identical.
+    let placement_field = match spec.placement {
+        Placement::Partitioned => String::new(),
+        Placement::Global => format!("\n  \"placement\": \"{}\",", spec.placement.label()),
+    };
     format!(
-        "{{\n  \"system\": {},\n  \"policy\": \"{}\",\n  \"cores\": {},\n  \"alloc\": \"{}\",\n  \
-         \"responses\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"system\": {},\n  \"policy\": \"{}\",\n  \"cores\": {},\n  \"alloc\": \"{}\",\
+         {placement_field}\n  \"responses\": [\n    {}\n  ]\n}}\n",
         json_string(&spec.name),
         spec.policy.label(),
         spec.cores,
@@ -865,7 +943,7 @@ pub fn render_batch(spec: &SystemSpec, queries: &[Query]) -> String {
 }
 
 /// Parse a query batch: `system` + `task`/`fault`/`policy`/`cores`/
-/// `alloc`/`platform` lines followed by `query` lines (see the
+/// `alloc`/`placement`/`platform` lines followed by `query` lines (see the
 /// [module docs](self) for the grammar). Task ids are assigned in file
 /// order starting at 1, exactly as campaign inline sets do.
 ///
@@ -879,6 +957,7 @@ pub fn parse_batch(text: &str) -> Result<(SystemSpec, Vec<Query>), QueryParseErr
     let mut policy = PolicyKind::FixedPriority;
     let mut cores = 1usize;
     let mut alloc = AllocPolicy::FirstFitDecreasing;
+    let mut placement = Placement::Partitioned;
     let mut platform = PlatformModel::EXACT;
     let mut queries: Vec<Query> = Vec::new();
     let mut next_id: u32 = 1;
@@ -978,6 +1057,12 @@ pub fn parse_batch(text: &str) -> Result<(SystemSpec, Vec<Query>), QueryParseErr
                     .ok_or_else(|| err("alloc: expected ffd|bfd|wfd|exhaustive".into()))?;
                 alloc = word.parse().map_err(&err)?;
             }
+            "placement" => {
+                let word = words
+                    .get(1)
+                    .ok_or_else(|| err("placement: expected partitioned|global".into()))?;
+                placement = word.parse().map_err(&err)?;
+            }
             "platform" => platform = PlatformModel::parse_tokens(&words[1..]).map_err(&err)?,
             "query" => {
                 let word = words
@@ -1022,6 +1107,7 @@ pub fn parse_batch(text: &str) -> Result<(SystemSpec, Vec<Query>), QueryParseErr
             policy,
             cores,
             alloc,
+            placement,
             faults,
             platform,
         },
@@ -1147,6 +1233,41 @@ mod tests {
         let doc = render_responses_json(&paper_spec(), &[r]);
         assert!(doc.starts_with("{\n  \"system\": \"paper\""), "{doc}");
         assert!(doc.ends_with("]\n}\n"), "{doc}");
+    }
+
+    #[test]
+    fn placement_round_trips_and_defaults_render_nothing() {
+        // Default placement emits no line, so legacy renderings are
+        // byte-identical to the pre-placement grammar.
+        let spec = paper_spec();
+        let text = render_batch(&spec, &[Query::Feasibility]);
+        assert!(!text.contains("placement"), "{text}");
+        assert_eq!(
+            parse_batch(&text).unwrap().0.placement,
+            Placement::Partitioned
+        );
+
+        let spec = paper_spec()
+            .with_cores(2, AllocPolicy::FirstFitDecreasing)
+            .with_placement(Placement::Global);
+        let text = render_batch(&spec, &[Query::Feasibility]);
+        assert!(text.contains("placement global"), "{text}");
+        let (back, _) = parse_batch(&text).unwrap();
+        assert_eq!(back, spec);
+
+        // The alias and the error path.
+        assert_eq!("part".parse::<Placement>().unwrap(), Placement::Partitioned);
+        assert!("sideways".parse::<Placement>().is_err());
+        let e = parse_batch("task a 1 10ms 10ms 1ms\nplacement sideways\n").unwrap_err();
+        assert!(e.message.contains("unknown placement"), "{e}");
+
+        // Global headers are tagged; partitioned headers stay pinned.
+        let doc = render_responses_text(&spec, &[], &[]);
+        assert!(doc.contains(", placement global)"), "{doc}");
+        let json = render_responses_json(&spec, &[]);
+        assert!(json.contains("\"placement\": \"global\""), "{json}");
+        let json = render_responses_json(&paper_spec(), &[]);
+        assert!(!json.contains("placement"), "{json}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use rtft_core::allowance::SlackPolicy;
 use rtft_core::policy::PolicyKind;
 use rtft_core::query::{
-    parse_batch, render_batch, AllocPolicy, FaultEntry, PlatformModel, Query, SystemSpec,
+    parse_batch, render_batch, AllocPolicy, FaultEntry, Placement, PlatformModel, Query, SystemSpec,
 };
 use rtft_core::task::{TaskBuilder, TaskId, TaskSet};
 use rtft_core::time::Duration;
@@ -51,6 +51,7 @@ fn batch_from_seed(
     policy: PolicyKind,
     cores: usize,
     alloc: AllocPolicy,
+    placement: Placement,
 ) -> (SystemSpec, Vec<Query>) {
     let mut rng = Rng(seed);
     let mut specs = Vec::with_capacity(n);
@@ -99,6 +100,7 @@ fn batch_from_seed(
         policy,
         cores,
         alloc,
+        placement,
         faults,
         platform,
     };
@@ -130,6 +132,7 @@ proptest! {
         policy_idx in 0usize..3,
         cores in 1usize..=4,
         alloc_idx in 0usize..4,
+        placement_idx in 0usize..2,
     ) {
         let (raw_spec, queries) = batch_from_seed(
             seed,
@@ -137,6 +140,7 @@ proptest! {
             PolicyKind::ALL[policy_idx],
             cores,
             ALLOCS[alloc_idx],
+            Placement::ALL[placement_idx],
         );
         // Normalize once: rendering emits tasks in rank order and the
         // parser assigns ids in file order, so one round trip settles
@@ -148,6 +152,7 @@ proptest! {
         prop_assert_eq!(spec.policy, raw_spec.policy);
         prop_assert_eq!(spec.cores, raw_spec.cores);
         prop_assert_eq!(spec.alloc, raw_spec.alloc);
+        prop_assert_eq!(spec.placement, raw_spec.placement);
         prop_assert_eq!(spec.platform, raw_spec.platform);
         prop_assert_eq!(spec.faults.len(), raw_spec.faults.len());
 
@@ -173,6 +178,7 @@ proptest! {
             PolicyKind::FixedPriority,
             1,
             AllocPolicy::FirstFitDecreasing,
+            Placement::Partitioned,
         );
         let text = render_batch(&raw_spec, &queries);
         let (spec, _) = parse_batch(&text).expect("rendered batches parse");

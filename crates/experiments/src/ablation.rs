@@ -30,6 +30,7 @@ pub fn treatment_sweep() -> String {
         sets: vec![SetSource::Paper],
         policies: Vec::new(),
         cores: Vec::new(),
+        placements: Vec::new(),
         allocs: Vec::new(),
         faults: vec![FaultSource::Single {
             task: TaskId(1),
@@ -111,6 +112,7 @@ pub fn detector_overhead() -> String {
             .collect(),
         policies: Vec::new(),
         cores: Vec::new(),
+        placements: Vec::new(),
         allocs: Vec::new(),
         faults: vec![FaultSource::None],
         treatments: vec![Treatment::DetectOnly],

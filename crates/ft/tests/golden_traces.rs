@@ -126,9 +126,8 @@ fn figures_3_to_7_match_their_golden_traces() {
 fn figures_3_to_7_are_byte_identical_without_repinning() {
     for (fig, text) in lineup_traces() {
         let path = golden_path(&fig);
-        let golden = std::fs::read(&path).unwrap_or_else(|e| {
-            panic!("missing golden file {} ({e})", path.display())
-        });
+        let golden = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {} ({e})", path.display()));
         assert!(
             golden == text.as_bytes(),
             "{fig}: rendered trace is not byte-identical to {} \

@@ -1,0 +1,302 @@
+//! The schedulability arithmetic behind the global tests: task
+//! densities, the Bertogna–Cirinei workload/interference bounds for
+//! global fixed-priority scheduling, and the density condition for
+//! global EDF.
+//!
+//! Everything here is *sufficient-only*: an accepting answer is a proof
+//! of schedulability on `m` identical cores under free migration, a
+//! rejecting answer proves nothing (unlike the exact uniprocessor
+//! analysis in `rtft_core::response`). The one exception is
+//! [`envelope`], the trivially-sound necessary conditions `U ≤ m` and
+//! `max density ≤ 1` — failing *those* is a proof of infeasibility.
+//!
+//! Every function takes the costs as a separate slice (rank order,
+//! like [`rtft_core::response::ResponseAnalysis`] does) so the
+//! allowance and sensitivity searches can probe inflated costs without
+//! rebuilding a [`TaskSet`].
+
+use rtft_core::policy::PolicyKind;
+use rtft_core::task::TaskSet;
+use rtft_core::time::Duration;
+
+/// Float guard for the density comparisons, applied *conservatively*:
+/// the sufficient tests under-accept by this margin and the necessary
+/// envelope under-rejects by it, so rounding error can never flip an
+/// answer to the unsound side.
+pub const DENSITY_EPS: f64 = 1e-9;
+
+/// Iteration guard for the GFP response bound. The descent from the
+/// deadline shrinks by whole workload steps, so this only trips on
+/// pathological sets; every iterate is already a sound witness, so the
+/// guard merely stops tightening, it never flips an answer.
+const RTA_ITERATION_GUARD: u32 = 1_000;
+
+/// A task's scheduling window: `min(D, T)`, the span one job must fit
+/// in for the density bound to apply.
+pub fn window(set: &TaskSet, rank: usize) -> Duration {
+    let t = set.by_rank(rank);
+    t.deadline.min(t.period)
+}
+
+/// Density of one task at a probed cost: `C / min(D, T)`.
+pub fn density(set: &TaskSet, costs: &[Duration], rank: usize) -> f64 {
+    costs[rank].as_nanos() as f64 / window(set, rank).as_nanos() as f64
+}
+
+/// `(total utilization, max density)` at the probed costs.
+pub fn load(set: &TaskSet, costs: &[Duration]) -> (f64, f64) {
+    let mut u = 0.0;
+    let mut dmax = 0.0f64;
+    for rank in 0..set.len() {
+        u += costs[rank].as_nanos() as f64 / set.by_rank(rank).period.as_nanos() as f64;
+        dmax = dmax.max(density(set, costs, rank));
+    }
+    (u, dmax)
+}
+
+/// The necessary envelope for *any* global scheduler on `m` cores:
+/// total utilization at most `m` and every density at most 1 (a
+/// migrating job still occupies one core at a time). Returns `true`
+/// when the envelope holds; a `false` here is a sound infeasibility
+/// proof. Lenient by [`DENSITY_EPS`] so float rounding never condemns a
+/// boundary set.
+pub fn envelope(set: &TaskSet, costs: &[Duration], m: usize) -> bool {
+    let (u, dmax) = load(set, costs);
+    u <= m as f64 + DENSITY_EPS && dmax <= 1.0 + DENSITY_EPS
+}
+
+/// Exact integer form of "every density is at most 1": each probed
+/// cost fits its task's scheduling window.
+fn fits_windows(set: &TaskSet, costs: &[Duration]) -> bool {
+    (0..set.len()).all(|rank| costs[rank] <= window(set, rank))
+}
+
+/// Trivial sufficiency shared by every work-conserving global policy:
+/// with `n ≤ m` tasks and constrained deadlines, at most one job per
+/// task is active at a time (inductively), so every job starts on a
+/// free core immediately and completes within its window whenever its
+/// cost fits it.
+fn few_tasks(set: &TaskSet, costs: &[Duration], m: usize) -> bool {
+    set.len() <= m && set.all_constrained() && fits_windows(set, costs)
+}
+
+/// Bertogna–Cirinei workload upper bound of an interfering task over a
+/// window of length `l` nanoseconds, carry-in included:
+/// `N·C + min(C, L + D − C − N·T)` with `N = ⌊(L + D − C)/T⌋`.
+/// Computed in `i128` — `N` can be huge for short periods.
+fn workload(period: i64, deadline: i64, cost: i64, l: i128) -> i128 {
+    let (t, d, c) = (period as i128, deadline as i128, cost as i128);
+    let span = l + d - c;
+    if span < 0 {
+        return 0;
+    }
+    let n = span / t;
+    n * c + (c).min(span - n * t)
+}
+
+/// Upper bound on the response time of one task under *global
+/// preemptive fixed-priority* scheduling on `m` cores, via Bertogna &
+/// Cirinei's interference bound for constrained deadlines:
+/// `G(x) = C_i + ⌊Σ_{j ∈ hp} min(W_j(x), x − C_i + 1) / m⌋`, where any
+/// window `x` with `G(x) ≤ x` certifies `R_i ≤ x`. `None` when even
+/// the deadline window fails, i.e. no bound.
+///
+/// The recurrence is iterated *downward* from the deadline: `G` is
+/// monotone in `x`, so each iterate stays a valid witness and the
+/// sequence converges to the greatest fixed point below the deadline
+/// in large workload-sized jumps. (Iterating upward from `C_i`, the
+/// textbook direction, creeps 1 ns per step while the `x − C_i + 1`
+/// slot cap binds — hopeless at nanosecond granularity.)
+///
+/// With fewer than `m` higher-priority tasks the bound collapses to
+/// the bare cost — some core is always free of higher-priority work.
+pub fn gfp_response_bound(
+    set: &TaskSet,
+    costs: &[Duration],
+    m: usize,
+    rank: usize,
+) -> Option<Duration> {
+    let t = set.by_rank(rank);
+    let c_i = costs[rank].as_nanos();
+    let d_i = t.deadline.min(t.period).as_nanos();
+    if c_i > d_i {
+        return None;
+    }
+    let hp = set.hp_ranks(rank);
+    if hp.len() < m {
+        return Some(Duration::nanos(c_i));
+    }
+    let g = |x: i64| -> i128 {
+        let slot = (x - c_i + 1) as i128;
+        let mut interference: i128 = 0;
+        for &j in &hp {
+            let tj = set.by_rank(j);
+            interference += workload(
+                tj.period.as_nanos(),
+                tj.deadline.as_nanos(),
+                costs[j].as_nanos(),
+                x as i128,
+            )
+            .min(slot)
+            .max(0);
+        }
+        c_i as i128 + interference / m as i128
+    };
+    let mut x = d_i;
+    if g(x) > x as i128 {
+        return None;
+    }
+    for _ in 0..RTA_ITERATION_GUARD {
+        let next = g(x) as i64; // `g(x) ≤ x ≤ d_i` here, so it fits.
+        if next == x {
+            break;
+        }
+        x = next;
+    }
+    Some(Duration::nanos(x))
+}
+
+/// Global preemptive fixed-priority sufficiency on `m` cores: every
+/// task's [`gfp_response_bound`] lands at or under its deadline.
+/// Restricted to constrained deadlines (the workload bound's domain);
+/// arbitrary-deadline sets are conservatively rejected.
+pub fn gfp_schedulable(set: &TaskSet, costs: &[Duration], m: usize) -> bool {
+    if few_tasks(set, costs, m) {
+        return true;
+    }
+    set.all_constrained()
+        && (0..set.len()).all(|rank| gfp_response_bound(set, costs, m, rank).is_some())
+}
+
+/// Global EDF sufficiency on `m` cores, the Baker/Goossens-lineage
+/// density condition: `Σδ ≤ m − (m−1)·max δ` with `δ = C/min(D, T)`,
+/// restricted to constrained deadlines. Under-accepts by
+/// [`DENSITY_EPS`] so float rounding stays on the sound side.
+pub fn gedf_schedulable(set: &TaskSet, costs: &[Duration], m: usize) -> bool {
+    if few_tasks(set, costs, m) {
+        return true;
+    }
+    if !set.all_constrained() || !fits_windows(set, costs) {
+        return false;
+    }
+    let mut sum = 0.0;
+    let mut dmax = 0.0f64;
+    for rank in 0..set.len() {
+        let d = density(set, costs, rank);
+        sum += d;
+        dmax = dmax.max(d);
+    }
+    sum <= m as f64 - (m - 1) as f64 * dmax - DENSITY_EPS
+}
+
+/// The policy-dispatched sufficient test: GFP interference bounds for
+/// preemptive fixed priorities, the density condition for EDF, and the
+/// `n ≤ m` triviality alone for non-preemptive FP (no richer
+/// non-preemptive global test is implemented — rejection just means
+/// "unproven").
+pub fn schedulable(set: &TaskSet, costs: &[Duration], m: usize, policy: PolicyKind) -> bool {
+    match policy {
+        PolicyKind::FixedPriority => gfp_schedulable(set, costs, m),
+        PolicyKind::Edf => gedf_schedulable(set, costs, m),
+        PolicyKind::NonPreemptiveFp => few_tasks(set, costs, m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::task::TaskBuilder;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    fn set_of(params: &[(i64, i64, i64)]) -> (TaskSet, Vec<Duration>) {
+        // (period, deadline, cost), priorities descending in list order.
+        let specs = params
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, d, c))| {
+                TaskBuilder::new(i as u32 + 1, 100 - i as i32, ms(t), ms(c))
+                    .deadline(ms(d))
+                    .build()
+            })
+            .collect();
+        let set = TaskSet::from_specs(specs);
+        let costs: Vec<Duration> = set.tasks().iter().map(|t| t.cost).collect();
+        (set, costs)
+    }
+
+    #[test]
+    fn envelope_is_necessary_only() {
+        let (set, costs) = set_of(&[(10, 10, 9), (10, 10, 9), (10, 10, 9)]);
+        assert!(!envelope(&set, &costs, 2), "U = 2.7 > 2");
+        assert!(envelope(&set, &costs, 3));
+        let (dense, costs) = set_of(&[(100, 10, 20)]);
+        assert!(!envelope(&dense, &costs, 4), "density 2 > 1");
+    }
+
+    #[test]
+    fn few_tasks_accepts_trivially_under_every_policy() {
+        let (set, costs) = set_of(&[(10, 10, 9), (20, 15, 14)]);
+        for policy in PolicyKind::ALL {
+            assert!(schedulable(&set, &costs, 2, policy), "{policy:?}");
+            assert!(schedulable(&set, &costs, 4, policy), "{policy:?}");
+        }
+        // Non-preemptive FP has nothing beyond the triviality.
+        assert!(!schedulable(&set, &costs, 1, PolicyKind::NonPreemptiveFp));
+    }
+
+    #[test]
+    fn gfp_bound_is_the_bare_cost_with_few_interferers() {
+        let (set, costs) = set_of(&[(100, 50, 10), (100, 60, 10), (100, 80, 10)]);
+        // Rank 1 has one higher-priority task; on m = 2 some core is free.
+        assert_eq!(gfp_response_bound(&set, &costs, 2, 1), Some(ms(10)));
+        // Rank 2 has two: the interference iteration must run.
+        let r2 = gfp_response_bound(&set, &costs, 2, 2).unwrap();
+        assert!(r2 >= ms(10) && r2 <= ms(80), "{r2}");
+    }
+
+    #[test]
+    fn gfp_accepts_light_sets_and_rejects_overload() {
+        let (light, costs) = set_of(&[
+            (100, 100, 10),
+            (150, 150, 10),
+            (200, 200, 10),
+            (250, 250, 10),
+        ]);
+        assert!(gfp_schedulable(&light, &costs, 2));
+        let (heavy, costs) = set_of(&[(10, 10, 9), (10, 10, 9), (10, 10, 9)]);
+        assert!(!gfp_schedulable(&heavy, &costs, 2));
+    }
+
+    #[test]
+    fn gedf_density_rejects_the_dhall_shape() {
+        // One heavy task (density ~1) + light tasks: the classic
+        // Dhall-effect shape the density condition must reject at m ≥ 2.
+        let (set, costs) = set_of(&[(10, 10, 1), (10, 10, 1), (100, 100, 97)]);
+        assert!(!gedf_schedulable(&set, &costs, 2));
+        // Balanced densities pass comfortably.
+        let (even, costs) = set_of(&[(100, 100, 30), (100, 100, 30), (100, 100, 30)]);
+        assert!(gedf_schedulable(&even, &costs, 2));
+    }
+
+    #[test]
+    fn arbitrary_deadlines_are_conservatively_rejected() {
+        let (set, costs) = set_of(&[(10, 40, 1), (10, 10, 1), (10, 10, 1), (10, 10, 1)]);
+        assert!(!set.all_constrained());
+        assert!(!gfp_schedulable(&set, &costs, 2));
+        assert!(!gedf_schedulable(&set, &costs, 2));
+        // But n ≤ m cannot rescue them either (not all constrained).
+        let (two, costs) = set_of(&[(10, 40, 1), (10, 10, 1)]);
+        assert!(!schedulable(&two, &costs, 2, PolicyKind::FixedPriority));
+    }
+
+    #[test]
+    fn probed_costs_decide_not_the_set_costs() {
+        let (set, _) = set_of(&[(10, 10, 9), (10, 10, 9), (10, 10, 9)]);
+        let light = vec![ms(1); 3];
+        assert!(gfp_schedulable(&set, &light, 2));
+        assert!(gedf_schedulable(&set, &light, 2));
+    }
+}

@@ -1,0 +1,329 @@
+//! The global scenario runner: task set × fault plan × treatment →
+//! core-tagged trace, executed on the migrating engine.
+//!
+//! This mirrors `rtft_ft::harness::run_scenario_buffered` step for step
+//! — admission gate, treatment-derived detector thresholds, detector
+//! timer grid, supervised simulation, trace reduction — but drives the
+//! [`GlobalSimulator`] (one shared
+//! wake queue, `m` core slots, free migration) and parameterizes the
+//! treatments from the sufficient-only [`GlobalAnalyzer`] instead of
+//! the exact uniprocessor analysis.
+//!
+//! The admission gate is strict: a set the sufficient test cannot prove
+//! maps to [`HarnessError::InfeasibleBase`] and never runs. That keeps
+//! the differential-oracle contract crisp — every global job that
+//! *does* run is analysis-feasible, so an observed deadline miss is a
+//! hard oracle violation rather than expected noise.
+//!
+//! Treatment mapping (global flavours of the paper's Figures 3–7):
+//!
+//! - **NoDetection / DetectOnly / ImmediateStop** — thresholds are the
+//!   baseline stop bounds ([`GlobalAnalyzer::stop_thresholds_at`] with a
+//!   zero allowance): the Bertogna–Cirinei response bound where the
+//!   fixed point converges, the deadline elsewhere.
+//! - **EquitableAllowance** — the uniform allowance is the largest `A`
+//!   for which the inflated set still passes the sufficient test
+//!   ([`GlobalAnalyzer::equitable_allowance`]); thresholds are the
+//!   inflated bounds. `None` (no provable slack) is `InfeasibleBase`.
+//! - **SystemAllowance** — per-rank maxima come from
+//!   [`GlobalAnalyzer::max_single_overrun`]. The paper's
+//!   [`SlackPolicy`](rtft_core::allowance::SlackPolicy) parameter is
+//!   ignored: the global bound already charges the overrun against
+//!   every lower-priority task on every core, so the only sound grant
+//!   policy is protect-all.
+
+use rtft_core::time::Duration;
+use rtft_ft::harness::{AnalysisSummary, HarnessError, Scenario, ScenarioOutcome};
+use rtft_ft::manager::AllowanceManager;
+use rtft_ft::prelude::{FtSupervisor, Treatment, Verdict};
+use rtft_sim::engine::{SimBuffers, SimConfig};
+use rtft_sim::global::GlobalSimulator;
+use rtft_sim::supervisor::NullSupervisor;
+use rtft_trace::TraceStats;
+
+use crate::analyzer::GlobalAnalyzer;
+
+/// Everything a global run produced: the merged scenario outcome plus
+/// the multiprocessor-specific extras.
+#[derive(Debug)]
+pub struct GlobalOutcome {
+    /// The merged, core-tagged outcome (trace, stats, verdicts and the
+    /// analysis numbers that parameterized the run).
+    pub outcome: ScenarioOutcome,
+    /// Core count the scenario ran on.
+    pub cores: usize,
+    /// Order-insensitive hash over the per-core projections of the
+    /// trace — comparable across worker counts and with a partitioned
+    /// run's merged hash ([`GlobalSimulator::merged_hash`]).
+    pub merged_hash: u64,
+}
+
+/// Run a scenario on `cores` migrating cores with a throwaway analysis
+/// session.
+pub fn run_global(sc: &Scenario, cores: usize) -> Result<GlobalOutcome, HarnessError> {
+    let mut session = GlobalAnalyzer::new(sc.set.clone(), cores, sc.policy);
+    run_global_with(sc, &mut session)
+}
+
+/// Run a scenario against a caller-held [`GlobalAnalyzer`] session —
+/// the memoized bounds and allowances are then shared across scenarios,
+/// exactly as the uniprocessor harness shares its `Analyzer`.
+///
+/// # Panics
+/// Panics if `session` analyses a different task set, or was built for
+/// a different scheduling policy, than the scenario.
+pub fn run_global_with(
+    sc: &Scenario,
+    session: &mut GlobalAnalyzer,
+) -> Result<GlobalOutcome, HarnessError> {
+    run_global_buffered(sc, session, &mut SimBuffers::new())
+}
+
+/// [`run_global_with`], reusing caller-held simulation storage (see
+/// `rtft_ft::harness::run_scenario_buffered` for the recycling
+/// contract — it is identical here).
+///
+/// # Panics
+/// Panics if `session` analyses a different task set, or was built for
+/// a different scheduling policy, than the scenario.
+pub fn run_global_buffered(
+    sc: &Scenario,
+    session: &mut GlobalAnalyzer,
+    bufs: &mut SimBuffers,
+) -> Result<GlobalOutcome, HarnessError> {
+    assert_eq!(
+        session.task_set(),
+        &sc.set,
+        "run_global_with: session and scenario disagree on the task set"
+    );
+    assert_eq!(
+        session.sched_policy(),
+        sc.policy,
+        "run_global_with: session and scenario disagree on the policy"
+    );
+    let cores = session.cores();
+
+    // Sufficient-only admission gate: unproven systems never run.
+    if !session.is_feasible() {
+        return Err(HarnessError::InfeasibleBase);
+    }
+    // Baseline stop bound per rank: the Bertogna–Cirinei fixed point
+    // where it converges, the deadline elsewhere (always the deadline
+    // under EDF). This plays the role the exact WCRT plays on one core.
+    let wcrt = session.stop_thresholds_at(Duration::ZERO);
+
+    let mut thresholds = Vec::new();
+    let mut equitable = None;
+    let mut manager = None;
+    let mut system_max = None;
+
+    match sc.treatment {
+        Treatment::NoDetection => {}
+        Treatment::DetectOnly | Treatment::ImmediateStop { .. } => {
+            thresholds = wcrt.clone();
+        }
+        Treatment::EquitableAllowance { .. } => {
+            let eq = session
+                .equitable_allowance()
+                .ok_or(HarnessError::InfeasibleBase)?;
+            equitable = Some(eq);
+            thresholds = session.stop_thresholds_at(eq);
+        }
+        // SlackPolicy is intentionally ignored (see the module doc):
+        // the global interference bound charges an overrun against all
+        // lower-priority work system-wide, so protect-all is the only
+        // sound grant policy.
+        Treatment::SystemAllowance { .. } => {
+            let maxima: Option<Vec<Duration>> = (0..sc.set.len())
+                .map(|rank| session.max_single_overrun(rank))
+                .collect();
+            let maxima = maxima.ok_or(HarnessError::InfeasibleBase)?;
+            thresholds = wcrt.clone();
+            manager = Some(AllowanceManager::new(maxima.clone()));
+            system_max = Some(maxima);
+        }
+    }
+
+    let config = SimConfig::until(sc.horizon)
+        .with_timer_model(sc.timer_model)
+        .with_stop_model(sc.stop_model)
+        .with_overheads(sc.overheads)
+        .with_policy(sc.policy);
+    let mut sim =
+        GlobalSimulator::new_in(sc.set.clone(), cores, config, bufs).with_faults(sc.faults.clone());
+
+    let (merged_hash, log) = if sc.treatment.has_detection() {
+        let mut sup = FtSupervisor::new(sc.treatment, thresholds.clone(), wcrt.clone(), manager);
+        for (first, period, tag) in sup.detector_specs(&sc.set) {
+            sim.add_periodic_timer(first, period, tag);
+        }
+        sim.run(&mut sup);
+        (sim.merged_hash(), sim.finish(bufs))
+    } else {
+        let mut sup = NullSupervisor;
+        sim.run(&mut sup);
+        (sim.merged_hash(), sim.finish(bufs))
+    };
+
+    let stats = TraceStats::from_log(&log, Some(&sc.set));
+    let verdict = Verdict::new(&sc.set, &stats);
+    let mut injected_faulty: Vec<rtft_core::task::TaskId> = sc
+        .faults
+        .entries()
+        .filter(|(_, _, d)| d.is_positive())
+        .map(|(t, _, _)| t)
+        .collect();
+    injected_faulty.sort_unstable();
+    injected_faulty.dedup();
+    Ok(GlobalOutcome {
+        outcome: ScenarioOutcome {
+            name: sc.name.clone(),
+            log,
+            stats,
+            verdict,
+            analysis: AnalysisSummary {
+                wcrt,
+                thresholds,
+                equitable,
+                system_allowance: system_max,
+            },
+            injected_faulty,
+        },
+        cores,
+        merged_hash,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_core::task::{TaskBuilder, TaskId, TaskSet};
+    use rtft_core::time::Instant;
+    use rtft_sim::fault::FaultPlan;
+    use rtft_sim::stop::StopMode;
+    use rtft_trace::event::EventKind;
+
+    fn ms(v: i64) -> Duration {
+        Duration::millis(v)
+    }
+
+    /// The paper's lineup with costs halved to 14 ms — provable by the
+    /// sufficient bound at m = 2 (the full 29 ms costs are not).
+    fn provable_set() -> TaskSet {
+        TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(200), ms(14))
+                .deadline(ms(70))
+                .build(),
+            TaskBuilder::new(2, 18, ms(250), ms(14))
+                .deadline(ms(120))
+                .build(),
+            TaskBuilder::new(3, 16, ms(1500), ms(14))
+                .deadline(ms(120))
+                .build(),
+        ])
+    }
+
+    fn scenario(treatment: Treatment) -> Scenario {
+        Scenario::new(
+            "global",
+            provable_set(),
+            FaultPlan::none().overrun(TaskId(1), 3, ms(30)),
+            treatment,
+            Instant::from_millis(2000),
+        )
+    }
+
+    #[test]
+    fn unproven_base_is_rejected_before_running() {
+        let set = TaskSet::from_specs(vec![
+            TaskBuilder::new(1, 20, ms(100), ms(90)).build(),
+            TaskBuilder::new(2, 18, ms(100), ms(90)).build(),
+            TaskBuilder::new(3, 16, ms(100), ms(90)).build(),
+        ]);
+        let sc = Scenario::new(
+            "overloaded",
+            set,
+            FaultPlan::none(),
+            Treatment::DetectOnly,
+            Instant::from_millis(1000),
+        );
+        assert_eq!(
+            run_global(&sc, 2).unwrap_err(),
+            HarnessError::InfeasibleBase
+        );
+    }
+
+    #[test]
+    fn detect_only_runs_and_reports_the_injected_task() {
+        let out = run_global(&scenario(Treatment::DetectOnly), 2).unwrap();
+        assert_eq!(out.cores, 2);
+        assert_eq!(out.outcome.injected_faulty, vec![TaskId(1)]);
+        assert!(out
+            .outcome
+            .log
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::DetectorRelease { .. })));
+        // The analysis numbers that parameterized the run are echoed.
+        assert_eq!(out.outcome.analysis.thresholds, out.outcome.analysis.wcrt);
+    }
+
+    #[test]
+    fn equitable_inflates_thresholds_above_baseline() {
+        let out = run_global(
+            &scenario(Treatment::EquitableAllowance {
+                mode: StopMode::Permanent,
+            }),
+            2,
+        )
+        .unwrap();
+        let eq = out.outcome.analysis.equitable.expect("provable slack");
+        assert!(eq.is_positive());
+        for (t, w) in out
+            .outcome
+            .analysis
+            .thresholds
+            .iter()
+            .zip(&out.outcome.analysis.wcrt)
+        {
+            assert!(t >= w, "inflated threshold must dominate the baseline");
+        }
+    }
+
+    #[test]
+    fn system_allowance_ignores_slack_policy() {
+        use rtft_core::allowance::SlackPolicy;
+        let a = run_global(
+            &scenario(Treatment::SystemAllowance {
+                mode: StopMode::Permanent,
+                policy: SlackPolicy::ProtectAll,
+            }),
+            2,
+        )
+        .unwrap();
+        let b = run_global(
+            &scenario(Treatment::SystemAllowance {
+                mode: StopMode::Permanent,
+                policy: SlackPolicy::ProtectOthers,
+            }),
+            2,
+        )
+        .unwrap();
+        assert_eq!(
+            a.outcome.analysis.system_allowance,
+            b.outcome.analysis.system_allowance
+        );
+        assert_eq!(a.merged_hash, b.merged_hash);
+    }
+
+    #[test]
+    fn merged_hash_matches_a_replayed_run() {
+        let sc = scenario(Treatment::ImmediateStop {
+            mode: StopMode::Permanent,
+        });
+        let a = run_global(&sc, 2).unwrap();
+        let b = run_global(&sc, 2).unwrap();
+        assert_eq!(a.merged_hash, b.merged_hash);
+        assert_eq!(a.outcome.log.events(), b.outcome.log.events());
+    }
+}

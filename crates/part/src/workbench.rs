@@ -56,8 +56,11 @@ use rtft_core::analyzer::{Analyzer, AnalyzerBuilder};
 use rtft_core::diag::{self, Diagnostic};
 use rtft_core::error::AnalysisError;
 use rtft_core::policy::PolicyKind;
-use rtft_core::query::{CoreAllowance, CoreScale, Query, Response, SystemSpec, TaskValue};
+use rtft_core::query::{
+    CoreAllowance, CoreScale, Placement, Query, Response, SystemSpec, TaskValue,
+};
 use rtft_core::time::Duration;
+use rtft_global::GlobalAnalyzer;
 
 /// The memoized analysis state behind a [`Workbench`], built lazily on
 /// the first query.
@@ -68,6 +71,10 @@ enum Backend {
     /// Several cores: one session per occupied core over the
     /// allocator's partition.
     Multi(Box<PartitionedAnalyzer>),
+    /// Several migrating cores (`placement global`): one shared-queue
+    /// session over the whole set — sufficient-only bounds, no
+    /// partition. Queries report every task on core 0.
+    Global(Box<GlobalAnalyzer>),
     /// The allocator found no placement; the diagnostics answer every
     /// query.
     Unplaceable(String),
@@ -116,6 +123,13 @@ impl Workbench {
                         .build(),
                 ));
             }
+            if self.spec.placement == Placement::Global {
+                return Backend::Global(Box::new(GlobalAnalyzer::new(
+                    self.spec.set.clone(),
+                    self.spec.cores,
+                    self.spec.policy,
+                )));
+            }
             match allocate(
                 &self.spec.set,
                 self.spec.cores,
@@ -145,6 +159,16 @@ impl Workbench {
     pub fn partitioned_mut(&mut self) -> Option<&mut PartitionedAnalyzer> {
         match self.ensure() {
             Backend::Multi(pa) => Some(pa),
+            _ => None,
+        }
+    }
+
+    /// The global session (`None` unless the spec is a multicore
+    /// `placement global` system) — the session the global scenario
+    /// runner consumes.
+    pub fn global_mut(&mut self) -> Option<&mut GlobalAnalyzer> {
+        match self.ensure() {
+            Backend::Global(ga) => Some(ga),
             _ => None,
         }
     }
@@ -188,6 +212,9 @@ impl Workbench {
         }
         if let Some(diag) = self.unplaceable() {
             return Ok(Response::Unplaceable(diag.to_string()));
+        }
+        if matches!(self.ensure(), Backend::Global(_)) {
+            return Ok(self.global_query(query));
         }
         match query {
             Query::Feasibility => self.feasibility(),
@@ -278,7 +305,86 @@ impl Workbench {
                 }
                 Ok(out)
             }
+            Backend::Global(_) => unreachable!("run() routes global specs to global_query"),
             Backend::Unplaceable(_) => unreachable!("run() short-circuits unplaceable specs"),
+        }
+    }
+
+    /// Answer one query over the global session. Globally scheduled
+    /// tasks have no home core, so every row reports core 0; all
+    /// numbers carry the crate's sufficient-only semantics (a `None`
+    /// WCRT is "no convergent bound", infeasible means "unproven").
+    fn global_query(&mut self, query: &Query) -> Response {
+        let ga = match self.ensure() {
+            Backend::Global(ga) => ga,
+            _ => unreachable!("global_query requires the global backend"),
+        };
+        match query {
+            Query::Feasibility => {
+                let v = ga.verdict();
+                Response::Feasibility {
+                    feasible: v.feasible,
+                    overloaded: v.overloaded,
+                    utilization: v.utilization,
+                }
+            }
+            Query::WcrtAll => {
+                let bounds = ga.wcrt_bounds().to_vec();
+                Response::WcrtAll(global_rows(ga.task_set(), &bounds))
+            }
+            Query::Thresholds => {
+                let bounds: Vec<_> = ga
+                    .stop_thresholds_at(Duration::ZERO)
+                    .into_iter()
+                    .map(Some)
+                    .collect();
+                Response::Thresholds(global_rows(ga.task_set(), &bounds))
+            }
+            Query::EquitableAllowance => {
+                let allowance = ga.equitable_allowance();
+                let stop_thresholds = allowance
+                    .map(|a| {
+                        let inflated: Vec<_> =
+                            ga.stop_thresholds_at(a).into_iter().map(Some).collect();
+                        global_rows(ga.task_set(), &inflated)
+                    })
+                    .unwrap_or_default();
+                Response::EquitableAllowance(vec![CoreAllowance {
+                    core: 0,
+                    allowance,
+                    stop_thresholds,
+                }])
+            }
+            // SlackPolicy cannot loosen the global bound (an overrun
+            // interferes with every lower-priority task system-wide),
+            // so both policies answer the protect-all maxima.
+            Query::SystemAllowance(policy) => {
+                let maxima: Vec<_> = (0..ga.task_set().len())
+                    .map(|rank| ga.max_single_overrun(rank))
+                    .collect();
+                Response::SystemAllowance {
+                    policy: *policy,
+                    per_task: global_rows(ga.task_set(), &maxima),
+                }
+            }
+            Query::MaxSingleOverrun(id) => {
+                let rank = ga
+                    .task_set()
+                    .rank_of(*id)
+                    .unwrap_or_else(|| panic!("overrun query names task {id:?} not in the set"));
+                let value = ga.max_single_overrun(rank);
+                let spec = ga.task_set().by_rank(rank);
+                Response::MaxSingleOverrun(TaskValue {
+                    task: spec.id,
+                    name: spec.name.clone(),
+                    core: 0,
+                    value,
+                })
+            }
+            Query::Sensitivity => Response::Sensitivity(vec![CoreScale {
+                core: 0,
+                factor: ga.cost_scaling_margin(),
+            }]),
         }
     }
 
@@ -318,6 +424,7 @@ impl Workbench {
                     utilization,
                 })
             }
+            Backend::Global(_) => unreachable!("run() routes global specs to global_query"),
             Backend::Unplaceable(_) => unreachable!("run() short-circuits unplaceable specs"),
         }
     }
@@ -370,6 +477,22 @@ impl Workbench {
         })?;
         Ok(Response::EquitableAllowance(cores))
     }
+}
+
+/// Rank-ordered [`TaskValue`] rows over a globally scheduled set —
+/// every task on core 0 (global tasks have no home core).
+fn global_rows(set: &rtft_core::task::TaskSet, values: &[Option<Duration>]) -> Vec<TaskValue> {
+    (0..set.len())
+        .map(|rank| {
+            let spec = set.by_rank(rank);
+            TaskValue {
+                task: spec.id,
+                name: spec.name.clone(),
+                core: 0,
+                value: values[rank],
+            }
+        })
+        .collect()
 }
 
 /// Rank-ordered [`TaskValue`] rows over one core's session.
@@ -617,5 +740,137 @@ mod tests {
                 other => panic!("expected unplaceable, got {other:?}"),
             }
         }
+    }
+
+    /// Light twins (costs halved to 14 ms) — inside the global
+    /// sufficient test at m = 2, unlike the full 29 ms twins.
+    fn light_twin_set() -> TaskSet {
+        let mut specs = Vec::new();
+        for base in [0u32, 10] {
+            specs.push(
+                TaskBuilder::new(base + 1, 20 + base as i32, ms(200), ms(14))
+                    .deadline(ms(70))
+                    .build(),
+            );
+            specs.push(
+                TaskBuilder::new(base + 2, 18 + base as i32, ms(250), ms(14))
+                    .deadline(ms(120))
+                    .build(),
+            );
+            specs.push(
+                TaskBuilder::new(base + 3, 16 + base as i32, ms(1500), ms(14))
+                    .deadline(ms(120))
+                    .build(),
+            );
+        }
+        TaskSet::from_specs(specs)
+    }
+
+    #[test]
+    fn global_specs_answer_every_query_on_core_zero() {
+        let spec = SystemSpec::uniprocessor("twin", light_twin_set())
+            .with_cores(2, AllocPolicy::FirstFitDecreasing)
+            .with_placement(Placement::Global);
+        let mut bench = Workbench::new(spec);
+        assert!(bench.global_mut().is_some());
+        assert!(bench.partitioned_mut().is_none());
+        for q in all_queries() {
+            match bench.run(&q).unwrap() {
+                Response::Feasibility {
+                    feasible,
+                    overloaded,
+                    ..
+                } => assert!(feasible && !overloaded),
+                Response::WcrtAll(rows) | Response::Thresholds(rows) => {
+                    assert_eq!(rows.len(), 6);
+                    assert!(rows.iter().all(|r| r.core == 0));
+                    // The top-priority task's bound is its cost.
+                    assert_eq!(rows[0].value, Some(ms(14)));
+                }
+                Response::EquitableAllowance(cores) => {
+                    assert_eq!(cores.len(), 1);
+                    assert_eq!(cores[0].core, 0);
+                    assert!(cores[0].allowance.is_some());
+                    assert!(cores[0].stop_thresholds.iter().all(|r| r.core == 0));
+                }
+                Response::SystemAllowance { per_task, .. } => {
+                    assert_eq!(per_task.len(), 6);
+                    assert!(per_task.iter().all(|r| r.core == 0));
+                }
+                Response::MaxSingleOverrun(row) => {
+                    assert_eq!(row.core, 0);
+                    assert!(row.value.is_some());
+                }
+                Response::Sensitivity(cores) => {
+                    assert_eq!(cores.len(), 1);
+                    assert_eq!(cores[0].core, 0);
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn global_slack_policy_cannot_loosen_the_bound() {
+        let spec = SystemSpec::uniprocessor("twin", light_twin_set())
+            .with_cores(2, AllocPolicy::FirstFitDecreasing)
+            .with_placement(Placement::Global);
+        let mut bench = Workbench::new(spec);
+        let a = bench
+            .run(&Query::SystemAllowance(SlackPolicy::ProtectAll))
+            .unwrap();
+        let b = bench
+            .run(&Query::SystemAllowance(SlackPolicy::ProtectOthers))
+            .unwrap();
+        let (
+            Response::SystemAllowance { per_task: pa, .. },
+            Response::SystemAllowance { per_task: pb, .. },
+        ) = (a, b)
+        else {
+            panic!("system-allowance responses expected");
+        };
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn unproven_global_specs_answer_infeasible_not_unplaceable() {
+        // Full-cost twins with staggered priorities (the second copy
+        // strictly above the first) partition cleanly onto two cores,
+        // but the global sufficient test cannot prove them — the BC
+        // interference bound on the low-copy 70 ms-deadline task
+        // overflows. The workbench must report "unproven" (infeasible),
+        // never route to the allocator.
+        let mut specs = Vec::new();
+        for base in [0u32, 10] {
+            specs.push(
+                TaskBuilder::new(base + 1, 20 + base as i32, ms(200), ms(29))
+                    .deadline(ms(70))
+                    .build(),
+            );
+            specs.push(
+                TaskBuilder::new(base + 2, 18 + base as i32, ms(250), ms(29))
+                    .deadline(ms(120))
+                    .build(),
+            );
+            specs.push(
+                TaskBuilder::new(base + 3, 16 + base as i32, ms(1500), ms(29))
+                    .deadline(ms(120))
+                    .build(),
+            );
+        }
+        let spec = SystemSpec::uniprocessor("twin", TaskSet::from_specs(specs))
+            .with_cores(2, AllocPolicy::FirstFitDecreasing)
+            .with_placement(Placement::Global);
+        let mut bench = Workbench::new(spec);
+        let Response::Feasibility {
+            feasible,
+            overloaded,
+            ..
+        } = bench.run(&Query::Feasibility).unwrap()
+        else {
+            panic!("feasibility response expected");
+        };
+        assert!(!feasible && !overloaded);
+        assert!(bench.unplaceable().is_none());
     }
 }

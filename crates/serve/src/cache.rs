@@ -158,6 +158,28 @@ mod tests {
     }
 
     #[test]
+    fn key_covers_the_placement_token() {
+        // Two multicore specs differing only in placement must never
+        // collide: a warm partitioned Workbench answers from per-core
+        // sessions, a global one from the migrating analysis.
+        let multicore = |placement: &str| {
+            let text = format!(
+                "system s\ntask a 1 100 100 10\ntask b 2 200 200 20\ncores 2\n{placement}query feasibility\n"
+            );
+            parse_batch(&text).expect("test spec parses").0
+        };
+        let partitioned = multicore("");
+        let explicit = multicore("placement partitioned\n");
+        let global = multicore("placement global\n");
+        assert_eq!(
+            spec_key(&partitioned),
+            spec_key(&explicit),
+            "the default placement renders canonically"
+        );
+        assert_ne!(spec_key(&partitioned), spec_key(&global));
+    }
+
+    #[test]
     fn hits_and_misses_are_counted_exactly() {
         let cache = SessionCache::new(4);
         let (_, warm) = cache.get_or_insert(&spec("s", 10));

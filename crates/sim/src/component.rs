@@ -116,7 +116,8 @@ impl TaskComponent {
         let demand = (cost + sys.fault_plan.delta(self.id, job)).max(Duration::NANO);
         sys.state.procs[self.rank].release(now, demand);
         sys.sync_policy(self.rank);
-        sys.trace.push(now, EventKind::JobRelease { task: self.id, job });
+        sys.trace
+            .push(now, EventKind::JobRelease { task: self.id, job });
         let dl_seq = sys.next_seq();
         self.deadlines.push_back((
             Wake::new(now + self.deadline, WakeClass::Deadline, dl_seq),
@@ -127,7 +128,11 @@ impl TaskComponent {
         let nominal_next = self.base + self.period * (job as i64 + 1);
         let jitter = sys.jitter(self.rank, job + 1);
         let rel_seq = sys.next_seq();
-        self.release = Some(Wake::new(nominal_next + jitter, WakeClass::Release, rel_seq));
+        self.release = Some(Wake::new(
+            nominal_next + jitter,
+            WakeClass::Release,
+            rel_seq,
+        ));
         sys.notify(Occurrence::JobReleased {
             rank: self.rank,
             job,

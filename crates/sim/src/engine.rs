@@ -39,9 +39,7 @@
 //!   drawn at scheduling time (see [`crate::event`]).
 
 use crate::arrival::ArrivalModel;
-use crate::component::{
-    Component, CpuComponent, OneShotComponent, TaskComponent, TimerComponent,
-};
+use crate::component::{Component, CpuComponent, OneShotComponent, TaskComponent, TimerComponent};
 use crate::event::{Wake, WakeClass, WakeQueue};
 use crate::fault::FaultPlan;
 use crate::overhead::Overheads;
@@ -257,9 +255,9 @@ impl System {
 /// ```
 #[derive(Default)]
 pub struct SimBuffers {
-    trace: TraceLog,
-    wakes: WakeQueue,
-    occurrences: VecDeque<Occurrence>,
+    pub(crate) trace: TraceLog,
+    pub(crate) wakes: WakeQueue,
+    pub(crate) occurrences: VecDeque<Occurrence>,
 }
 
 impl SimBuffers {
@@ -453,8 +451,14 @@ impl Simulator {
             let seq = self.sys.next_seq();
             let first = Wake::new(Instant::EPOCH + offset + jitter, WakeClass::Release, seq);
             self.wakes.set(rank, first);
-            self.tasks
-                .push(TaskComponent::new(rank, id, period, deadline, Instant::EPOCH + offset, first));
+            self.tasks.push(TaskComponent::new(
+                rank,
+                id,
+                period,
+                deadline,
+                Instant::EPOCH + offset,
+                first,
+            ));
         }
         self.timer_components.clear();
         self.timer_components.reserve(n_timers);
@@ -521,11 +525,12 @@ impl Simulator {
             } else {
                 // Capture the retiring job before the tick so an
                 // on-time completion can cancel its deadline check.
-                let before = self
-                    .sys
-                    .state
-                    .running
-                    .map(|r| (r, self.sys.state.procs[r].front().expect("running job").index));
+                let before = self.sys.state.running.map(|r| {
+                    (
+                        r,
+                        self.sys.state.procs[r].front().expect("running job").index,
+                    )
+                });
                 self.cpu.tick(now, &mut self.sys);
                 if let Some((rank, job)) = before {
                     if self.sys.state.procs[rank].is_finished(job) {
@@ -606,7 +611,9 @@ impl Simulator {
             } else {
                 // Doom the job: it runs `extra` more CPU, then is abandoned
                 // (by the CPU component) — the polled stop flag.
-                let front = self.sys.state.procs[rank].front_mut().expect("checked above");
+                let front = self.sys.state.procs[rank]
+                    .front_mut()
+                    .expect("checked above");
                 front.doomed = true;
                 if extra < front.remaining {
                     front.remaining = extra;
@@ -744,7 +751,7 @@ impl Simulator {
 /// A per-run trace-capacity estimate: ~4 trace events per job
 /// (release, start, end, plus slack for preemptions/misses), capped so
 /// degenerate horizons cannot trigger an absurd preallocation.
-fn trace_estimate(set: &TaskSet, horizon: Instant) -> usize {
+pub(crate) fn trace_estimate(set: &TaskSet, horizon: Instant) -> usize {
     let span = horizon.since_epoch();
     let mut total = 16usize;
     for rank in 0..set.len() {
@@ -1357,7 +1364,11 @@ mod tests {
             let mut sim = Simulator::new_in(table2(), SimConfig::until(t(3000)), &mut bufs);
             sim.run(&mut NullSupervisor);
             let log = sim.finish(&mut bufs);
-            assert_eq!(log.content_hash(), fresh, "buffer reuse must not leak state");
+            assert_eq!(
+                log.content_hash(),
+                fresh,
+                "buffer reuse must not leak state"
+            );
             bufs.recycle_log(log);
         }
     }
@@ -1400,13 +1411,7 @@ mod tests {
         sim.run(&mut sup);
         assert_eq!(
             sup.0,
-            vec![
-                (t(40), 7),
-                (t(40), 8),
-                (t(40), 9),
-                (t(70), 9),
-                (t(100), 9)
-            ]
+            vec![(t(40), 7), (t(40), 8), (t(40), 9), (t(70), 9), (t(100), 9)]
         );
     }
 

@@ -374,8 +374,9 @@ mod tests {
         q.set(2, Wake::new(t(10), WakeClass::Release, 2));
         q.set(3, Wake::new(t(10), WakeClass::Completion, 3));
         q.set(4, Wake::new(t(10), WakeClass::OneShot, 4));
-        let classes: Vec<WakeClass> =
-            std::iter::from_fn(|| q.pop()).map(|(w, _)| w.class()).collect();
+        let classes: Vec<WakeClass> = std::iter::from_fn(|| q.pop())
+            .map(|(w, _)| w.class())
+            .collect();
         assert_eq!(
             classes,
             vec![

@@ -46,6 +46,7 @@ pub mod component;
 pub mod engine;
 pub mod event;
 pub mod fault;
+pub mod global;
 pub mod overhead;
 pub mod policy;
 pub mod process;
@@ -61,6 +62,7 @@ pub mod prelude {
     pub use crate::engine::{run_plain, SimBuffers, SimConfig, SimState, Simulator, System};
     pub use crate::event::{Wake, WakeClass, WakeQueue};
     pub use crate::fault::{FaultPlan, RandomFaults};
+    pub use crate::global::{run_plain_global, GlobalSimulator};
     pub use crate::overhead::Overheads;
     pub use crate::policy::{PolicyKind, SchedPolicy};
     pub use crate::process::JobOutcome;

@@ -76,6 +76,38 @@ impl PolicyImpl {
             PolicyKind::NonPreemptiveFp => PolicyImpl::NonPreemptiveFp(NonPreemptiveFp::new(set)),
         }
     }
+
+    /// The best `k` ready ranks in dispatch order (best first) — the
+    /// global engine's top-`m` selection. At `k = 1` this is `pick`.
+    /// Ranks are priority-sorted, so for the fixed-priority rules the
+    /// ready mask's ascending scan *is* dispatch order (priority
+    /// descending, ties by task id); EDF walks its deadline-ordered set.
+    pub(crate) fn top(&self, k: usize, out: &mut Vec<usize>) {
+        out.clear();
+        match self {
+            PolicyImpl::FixedPriority(p) => p.ready.top(k, out),
+            PolicyImpl::NonPreemptiveFp(p) => p.ready.top(k, out),
+            PolicyImpl::Edf(p) => {
+                out.extend(p.ready.iter().take(k).map(|&(_, _, rank)| rank));
+            }
+        }
+    }
+
+    /// `true` iff ready rank `a` strictly precedes ready rank `b` in
+    /// dispatch order — the total order underlying [`Self::top`],
+    /// including the deterministic tie-breaks (`preempts` is the
+    /// *strict* sub-relation of this order that justifies taking a
+    /// core away).
+    pub(crate) fn ahead(&self, a: usize, b: usize) -> bool {
+        match self {
+            // Ranks are priority-sorted with a stable id tie-break.
+            PolicyImpl::FixedPriority(_) | PolicyImpl::NonPreemptiveFp(_) => a < b,
+            PolicyImpl::Edf(p) => match (p.key[a], p.key[b]) {
+                (Some(ka), Some(kb)) => ka < kb || (ka == kb && a < b),
+                _ => a < b,
+            },
+        }
+    }
 }
 
 impl SchedPolicy for PolicyImpl {
@@ -138,6 +170,20 @@ impl ReadyMask {
             .enumerate()
             .find(|(_, w)| **w != 0)
             .map(|(i, w)| i * 64 + w.trailing_zeros() as usize)
+    }
+
+    /// Append the first `k` set ranks (ascending) to `out`.
+    fn top(&self, k: usize, out: &mut Vec<usize>) {
+        for (i, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                if out.len() == k {
+                    return;
+                }
+                out.push(i * 64 + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
     }
 }
 

@@ -52,7 +52,12 @@ struct RefJob {
 /// The pre-refactor engine: one global queue, every wake popped and
 /// inspected, stale completions skipped by generation. Plain periodic
 /// runs (no timers, stops, overheads or jitter), faults included.
-fn reference_run(set: &TaskSet, plan: &FaultPlan, policy: PolicyKind, horizon: Instant) -> (TraceLog, u64) {
+fn reference_run(
+    set: &TaskSet,
+    plan: &FaultPlan,
+    policy: PolicyKind,
+    horizon: Instant,
+) -> (TraceLog, u64) {
     let n = set.len();
     let mut pol = build_policy(policy, set);
     let mut trace = TraceLog::new();
@@ -64,7 +69,8 @@ fn reference_run(set: &TaskSet, plan: &FaultPlan, policy: PolicyKind, horizon: I
         s
     };
 
-    let mut queues: Vec<std::collections::VecDeque<RefJob>> = (0..n).map(|_| Default::default()).collect();
+    let mut queues: Vec<std::collections::VecDeque<RefJob>> =
+        (0..n).map(|_| Default::default()).collect();
     let mut releases: Vec<u64> = vec![0; n];
     let mut finished: Vec<Vec<u64>> = vec![Vec::new(); n];
     let mut gen: Vec<u64> = vec![0; n];
@@ -102,7 +108,13 @@ fn reference_run(set: &TaskSet, plan: &FaultPlan, policy: PolicyKind, horizon: I
                 pol.update(rank, true, queues[rank].front().map(|j| j.released_at));
                 trace.push(now, EventKind::JobRelease { task: spec.id, job });
                 let dl = next_seq();
-                heap.push(Reverse(((now + spec.deadline).as_nanos(), DEADLINE, dl, rank, job)));
+                heap.push(Reverse((
+                    (now + spec.deadline).as_nanos(),
+                    DEADLINE,
+                    dl,
+                    rank,
+                    job,
+                )));
                 let base = Instant::EPOCH + spec.offset;
                 let next = base + spec.period * (job as i64 + 1);
                 let rs = next_seq();
@@ -119,11 +131,23 @@ fn reference_run(set: &TaskSet, plan: &FaultPlan, policy: PolicyKind, horizon: I
                     continue; // stale: the dispatch it belonged to was preempted
                 }
                 let task = set.by_rank(rank).id;
-                let job = queues[rank].pop_front().expect("completion of a queued job");
+                let job = queues[rank]
+                    .pop_front()
+                    .expect("completion of a queued job");
                 finished[rank].push(job.index);
-                pol.update(rank, !queues[rank].is_empty(), queues[rank].front().map(|j| j.released_at));
+                pol.update(
+                    rank,
+                    !queues[rank].is_empty(),
+                    queues[rank].front().map(|j| j.released_at),
+                );
                 running = None;
-                trace.push(now, EventKind::JobEnd { task, job: job.index });
+                trace.push(
+                    now,
+                    EventKind::JobEnd {
+                        task,
+                        job: job.index,
+                    },
+                );
             }
             _ => unreachable!("unknown class"),
         }
@@ -149,7 +173,14 @@ fn reference_run(set: &TaskSet, plan: &FaultPlan, policy: PolicyKind, horizon: I
                     front.remaining -= elapsed;
                     let by = set.by_rank(b).id;
                     let task = set.by_rank(r).id;
-                    trace.push(now, EventKind::Preempted { task, job: front.index, by });
+                    trace.push(
+                        now,
+                        EventKind::Preempted {
+                            task,
+                            job: front.index,
+                            by,
+                        },
+                    );
                 }
                 cpu_ever_busy = true;
                 idle_since = None;
@@ -158,15 +189,27 @@ fn reference_run(set: &TaskSet, plan: &FaultPlan, policy: PolicyKind, horizon: I
                 let task = set.by_rank(b).id;
                 let front = queues[b].front_mut().expect("dispatch on empty queue");
                 let kind = if front.started {
-                    EventKind::Resumed { task, job: front.index }
+                    EventKind::Resumed {
+                        task,
+                        job: front.index,
+                    }
                 } else {
-                    EventKind::JobStart { task, job: front.index }
+                    EventKind::JobStart {
+                        task,
+                        job: front.index,
+                    }
                 };
                 front.started = true;
                 trace.push(now, kind);
                 gen[b] += 1;
                 let cs = next_seq();
-                heap.push(Reverse(((now + front.remaining).as_nanos(), COMPLETION, cs, b, gen[b])));
+                heap.push(Reverse((
+                    (now + front.remaining).as_nanos(),
+                    COMPLETION,
+                    cs,
+                    b,
+                    gen[b],
+                )));
             }
         }
     }

@@ -37,6 +37,7 @@ fn random_grid() -> CampaignSpec {
         name: "differential-oracle".to_string(),
         policies: rtft_core::policy::PolicyKind::ALL.to_vec(),
         cores: Vec::new(),
+        placements: Vec::new(),
         allocs: Vec::new(),
         sets: vec![
             uunifast(3, 0.45, (0, 28)),

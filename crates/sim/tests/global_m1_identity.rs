@@ -1,0 +1,179 @@
+//! One migrating core IS the uniprocessor: the global engine at
+//! `cores = 1`, driven with *identical* fault-tolerance supervision,
+//! must reproduce the single-core engine's trace byte for byte on the
+//! paper's Figure 3–7 scenarios.
+//!
+//! The scenario harness parameterizes each engine from its own
+//! analysis (exact uniprocessor WCRTs vs the global sufficient
+//! bounds), and those numbers legitimately differ — so this test holds
+//! the *supervision* fixed instead: thresholds, stop baselines and the
+//! allowance manager are all computed once from the exact analyzer
+//! (exactly as `run_scenario_buffered` does), then fed to both engines
+//! along with the same fault plan, jRate timer grid and detector
+//! timers. Any byte of divergence is an engine bug, not analysis
+//! pessimism.
+
+use rtft_core::analyzer::{Analyzer, AnalyzerBuilder};
+use rtft_core::task::{TaskBuilder, TaskId, TaskSet};
+use rtft_core::time::{Duration, Instant};
+use rtft_ft::detector::FtSupervisor;
+use rtft_ft::manager::AllowanceManager;
+use rtft_ft::treatment::Treatment;
+use rtft_sim::engine::{SimConfig, Simulator};
+use rtft_sim::fault::FaultPlan;
+use rtft_sim::global::GlobalSimulator;
+use rtft_sim::supervisor::NullSupervisor;
+use rtft_trace::TraceLog;
+
+fn ms(v: i64) -> Duration {
+    Duration::millis(v)
+}
+
+/// The paper's evaluation system (Table 2) with τ3 phased so a job of
+/// every task is released at t = 1000 — the Figures 3–7 window.
+fn paper_system() -> TaskSet {
+    TaskSet::from_specs(vec![
+        TaskBuilder::new(1, 20, ms(200), ms(29))
+            .deadline(ms(70))
+            .build(),
+        TaskBuilder::new(2, 18, ms(250), ms(29))
+            .deadline(ms(120))
+            .build(),
+        TaskBuilder::new(3, 16, ms(1500), ms(29))
+            .deadline(ms(120))
+            .offset(ms(1000))
+            .build(),
+    ])
+}
+
+/// The paper's injected fault: the 6th job of τ1 (the t = 1000
+/// release) overruns by 40 ms.
+fn paper_fault() -> FaultPlan {
+    FaultPlan::none().overrun(TaskId(1), 5, ms(40))
+}
+
+/// Supervision parameters for one treatment, computed once from the
+/// exact uniprocessor analysis — the same derivation
+/// `run_scenario_buffered` performs.
+fn supervision(
+    session: &mut Analyzer,
+    treatment: Treatment,
+) -> (Vec<Duration>, Vec<Duration>, Option<AllowanceManager>) {
+    let wcrt = session.policy_thresholds().expect("paper system analyses");
+    match treatment {
+        Treatment::NoDetection => (Vec::new(), wcrt, None),
+        Treatment::DetectOnly | Treatment::ImmediateStop { .. } => (wcrt.clone(), wcrt, None),
+        Treatment::EquitableAllowance { .. } => {
+            let eq = session
+                .equitable_allowance()
+                .expect("analysis settles")
+                .expect("the paper system has slack");
+            (eq.inflated_wcrt, wcrt, None)
+        }
+        Treatment::SystemAllowance { policy, .. } => {
+            let sa = session
+                .system_allowance_with(policy)
+                .expect("analysis settles")
+                .expect("the paper system has slack");
+            (
+                wcrt.clone(),
+                wcrt,
+                Some(AllowanceManager::new(sa.max_overrun)),
+            )
+        }
+    }
+}
+
+/// Run one engine (`global` = the migrating engine at one core) under
+/// the given supervision parameters and return its trace.
+fn run_engine(
+    set: &TaskSet,
+    treatment: Treatment,
+    thresholds: &[Duration],
+    wcrt: &[Duration],
+    manager: Option<AllowanceManager>,
+    global: bool,
+) -> TraceLog {
+    let config = SimConfig::until(Instant::from_millis(1300))
+        .with_timer_model(rtft_sim::timer::TimerModel::jrate());
+    let faults = paper_fault();
+    if global {
+        let mut sim = GlobalSimulator::new(set.clone(), 1, config).with_faults(faults);
+        if treatment.has_detection() {
+            let mut sup = FtSupervisor::new(treatment, thresholds.to_vec(), wcrt.to_vec(), manager);
+            for (first, period, tag) in sup.detector_specs(set) {
+                sim.add_periodic_timer(first, period, tag);
+            }
+            sim.run(&mut sup);
+        } else {
+            sim.run(&mut NullSupervisor);
+        }
+        sim.into_trace()
+    } else {
+        let mut sim = Simulator::new(set.clone(), config).with_faults(faults);
+        if treatment.has_detection() {
+            let mut sup = FtSupervisor::new(treatment, thresholds.to_vec(), wcrt.to_vec(), manager);
+            sup.install_detectors(&mut sim, set);
+            sim.run(&mut sup);
+        } else {
+            sim.run(&mut NullSupervisor);
+        }
+        sim.into_trace()
+    }
+}
+
+#[test]
+fn figure_scenarios_are_byte_identical_on_one_migrating_core() {
+    let set = paper_system();
+    let mut session = AnalyzerBuilder::new(&set).build();
+    for treatment in Treatment::paper_lineup() {
+        let (thresholds, wcrt, manager) = supervision(&mut session, treatment);
+        let uni = run_engine(&set, treatment, &thresholds, &wcrt, manager.clone(), false);
+        let global = run_engine(&set, treatment, &thresholds, &wcrt, manager, true);
+        assert_eq!(
+            uni.events(),
+            global.events(),
+            "trace divergence under {treatment:?}"
+        );
+        assert_eq!(uni.content_hash(), global.content_hash());
+    }
+}
+
+#[test]
+fn figure_scenarios_match_under_every_policy() {
+    // The same identity under EDF and non-preemptive FP dispatch: the
+    // policy plumbing of the global engine (deadline keys, in-flight
+    // non-preemption) must collapse to the uniprocessor's at m = 1.
+    // Detection thresholds follow the policy (deadlines under EDF).
+    for policy in rtft_core::policy::PolicyKind::ALL {
+        let set = paper_system();
+        let mut session = AnalyzerBuilder::new(&set).sched_policy(policy).build();
+        if !session.is_feasible().unwrap_or(false) {
+            continue;
+        }
+        let treatment = Treatment::DetectOnly;
+        let (thresholds, wcrt, _) = supervision(&mut session, treatment);
+        let config = || {
+            SimConfig::until(Instant::from_millis(1300))
+                .with_timer_model(rtft_sim::timer::TimerModel::jrate())
+                .with_policy(policy)
+        };
+        let mut uni = Simulator::new(set.clone(), config()).with_faults(paper_fault());
+        let mut sup_u = FtSupervisor::new(treatment, thresholds.clone(), wcrt.clone(), None);
+        sup_u.install_detectors(&mut uni, &set);
+        uni.run(&mut sup_u);
+
+        let mut global = GlobalSimulator::new(set.clone(), 1, config()).with_faults(paper_fault());
+        let mut sup_g = FtSupervisor::new(treatment, thresholds.clone(), wcrt.clone(), None);
+        for (first, period, tag) in sup_g.detector_specs(&set) {
+            global.add_periodic_timer(first, period, tag);
+        }
+        global.run(&mut sup_g);
+
+        assert_eq!(
+            uni.trace().events(),
+            global.trace().events(),
+            "trace divergence under {policy:?}"
+        );
+    }
+}

@@ -14,8 +14,11 @@
 //! run options:
 //!   --treatment <none|detect|stop|equitable|system>   (default: system)
 //!   --policy    <fp|edf|npfp>      dispatch rule      (default: fp)
-//!   --cores     <n>                partitioned cores  (default: 1)
+//!   --cores     <n>                processor cores    (default: 1)
 //!   --alloc     <ffd|bfd|wfd|exhaustive>  allocator   (default: ffd)
+//!   --placement <partitioned|global>  multicore placement kind
+//!                                  (default: partitioned; global runs
+//!                                  one migrating queue, no allocator)
 //!   --horizon   <duration>                            (default: 3000ms)
 //!   --window    <from>..<to>       chart window       (default: whole run)
 //!   --cell      <duration>         chart cell         (default: auto)
@@ -29,6 +32,8 @@
 //!   --policy <fp|edf|npfp>         analyse for that dispatch rule
 //!   --cores  <n>                   partition over n cores first
 //!   --alloc  <ffd|bfd|wfd|exhaustive>  allocator with --cores
+//!   --placement <partitioned|global>  sufficient global tests with
+//!                                  `global` (no partitioning step)
 //!
 //! campaign options:
 //!   --workers <n>                  worker threads     (default: CPU count)
@@ -182,6 +187,14 @@ fn cores_and_alloc(args: &[String]) -> Result<(usize, rtft::part::AllocPolicy), 
     Ok((cores, alloc))
 }
 
+/// Parse `--placement` (partitioned by default).
+fn placement_flag(args: &[String]) -> Result<rtft_core::query::Placement, String> {
+    flag_value(args, "--placement")
+        .unwrap_or("partitioned")
+        .parse()
+        .map_err(|e: String| format!("bad --placement: {e}"))
+}
+
 /// `rtft analyze` is sugar over the query plane: the task file becomes
 /// a [`SystemSpec`], the report becomes a query batch answered by one
 /// [`Workbench`], and the rendering below is a view over the typed
@@ -191,10 +204,15 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     let (set, _) = load_system(path)?;
     let policy: PolicyKind = flag_value(args, "--policy").unwrap_or("fp").parse()?;
     let (cores, alloc) = cores_and_alloc(args)?;
+    let placement = placement_flag(args)?;
     let spec = SystemSpec::uniprocessor(path.clone(), set.clone())
         .with_policy(policy)
-        .with_cores(cores, alloc);
+        .with_cores(cores, alloc)
+        .with_placement(placement);
     if cores > 1 {
+        if placement == rtft_core::query::Placement::Global {
+            return analyze_global(spec);
+        }
         return analyze_partitioned(spec);
     }
     println!("{set}");
@@ -374,6 +392,99 @@ fn analyze_partitioned(spec: SystemSpec) -> CliResult {
     }
     if let Some(done) = last_core {
         allowance_footer(done);
+    }
+    Ok(())
+}
+
+/// `analyze --cores n --placement global`: the sufficient global tests
+/// through the same query batch — no partition to print, every task on
+/// the shared queue, `None` bounds meaning "no convergent sufficient
+/// bound" rather than a proof of a miss.
+fn analyze_global(spec: SystemSpec) -> CliResult {
+    let set = spec.set.clone();
+    let policy = spec.policy;
+    println!("{set}");
+    println!(
+        "global scheduling over {} migrating cores under {policy} (U = {:.4})",
+        spec.cores,
+        set.utilization()
+    );
+    let mut bench = Workbench::new(spec);
+    if diag::has_errors(bench.lint()) {
+        println!("rejected by lint:");
+        for d in bench.lint() {
+            println!("  {}", d.to_line());
+        }
+        return Ok(());
+    }
+    let responses = bench
+        .run_batch(&[Query::Feasibility, Query::WcrtAll])
+        .map_err(|e| e.to_string())?;
+    let Response::Feasibility {
+        feasible,
+        overloaded,
+        ..
+    } = responses[0]
+    else {
+        unreachable!("feasibility query answers with a feasibility response");
+    };
+    if overloaded {
+        println!("NOT FEASIBLE: the necessary envelope fails (U > m, or a task density > 1)");
+        return Ok(());
+    }
+    let Response::WcrtAll(wcrt) = &responses[1] else {
+        unreachable!("wcrt query answers with a wcrt response");
+    };
+    for line in wcrt {
+        let deadline = set.by_id(line.task).expect("task from the set").deadline;
+        match line.value {
+            Some(w) => println!(
+                "  {}: bound = {}  D = {}  slack = {}  [{}]",
+                line.task,
+                w,
+                deadline,
+                deadline - w,
+                if w <= deadline { "ok" } else { "UNPROVEN" },
+            ),
+            None => println!(
+                "  {}: no convergent sufficient bound  D = {deadline}",
+                line.task
+            ),
+        }
+    }
+    if !feasible {
+        println!("NOT PROVEN FEASIBLE (sufficient test)");
+        return Ok(());
+    }
+    println!("feasible (sufficient {} test)", policy.label());
+    let responses = bench
+        .run_batch(&[
+            Query::EquitableAllowance,
+            Query::SystemAllowance(SlackPolicy::ProtectAll),
+        ])
+        .map_err(|e| e.to_string())?;
+    let Response::EquitableAllowance(eq_cores) = &responses[0] else {
+        unreachable!("equitable query answers with an equitable response");
+    };
+    if let Some(a) = eq_cores[0].allowance {
+        println!("equitable allowance A = {a}");
+        for stop in &eq_cores[0].stop_thresholds {
+            println!(
+                "  {}: stop threshold {}",
+                stop.task,
+                stop.value.expect("stop thresholds are always defined")
+            );
+        }
+    }
+    let Response::SystemAllowance { per_task, .. } = &responses[1] else {
+        unreachable!("system-allowance query answers with a system-allowance response");
+    };
+    if per_task.iter().all(|v| v.value.is_some()) {
+        let m: Vec<String> = per_task
+            .iter()
+            .map(|v| v.value.expect("checked above").to_string())
+            .collect();
+        println!("system allowance M = [{}]", m.join(", "));
     }
     Ok(())
 }
@@ -620,6 +731,9 @@ fn cmd_run(args: &[String]) -> Result<bool, CliError> {
         scenario = scenario.with_jrate_timers();
     }
     if cores > 1 {
+        if placement_flag(args)? == rtft_core::query::Placement::Global {
+            return run_global_cmd(args, &scenario, cores, horizon);
+        }
         return run_partitioned_cmd(args, &scenario, cores, alloc, horizon);
     }
     // A single run is a one-job campaign: same execution path, plus the
@@ -710,6 +824,59 @@ fn run_partitioned_cmd(
         std::fs::write(file, rtft::trace::merge::to_text(&multi.merged_events()))
             .map_err(|e| format!("write {file}: {e}"))?;
         println!("core-tagged trace written to {file}");
+    }
+    for v in oracle.violations() {
+        println!("ORACLE VIOLATION: {v}");
+    }
+    Ok(oracle.violations().is_empty())
+}
+
+/// `run --cores n --placement global`: the migrating-queue execution
+/// path — one chart over the whole set (jobs may overlap in time:
+/// that's `m` cores executing in parallel), the merged core-tagged
+/// hash, and the global differential oracle.
+fn run_global_cmd(
+    args: &[String],
+    scenario: &Scenario,
+    cores: usize,
+    horizon: rtft_core::time::Duration,
+) -> Result<bool, CliError> {
+    if flag_value(args, "--svg").is_some() {
+        return Err("--svg is not supported with --cores > 1".into());
+    }
+    let (global, oracle) =
+        rtft_campaign::run_single_global(scenario, cores, true).map_err(|e| e.to_string())?;
+    let (from, to) = match flag_value(args, "--window") {
+        Some(w) => {
+            let (a, b) = w.split_once("..").ok_or("window: expected <from>..<to>")?;
+            (
+                Instant::EPOCH + parse_duration(a)?,
+                Instant::EPOCH + parse_duration(b)?,
+            )
+        }
+        None => (Instant::EPOCH, Instant::EPOCH + horizon),
+    };
+    let cell = match flag_value(args, "--cell") {
+        Some(c) => parse_duration(c)?,
+        None => Duration::nanos((((to - from).as_nanos()) / 120).max(1)),
+    };
+    println!("{}", global.outcome.chart(&scenario.set, from, to, cell));
+    println!("{}", global.outcome.verdict);
+    println!(
+        "global over {cores} migrating cores: merged hash {:016x}",
+        global.merged_hash
+    );
+    if !global.outcome.injected_faulty.is_empty() {
+        println!(
+            "injected faults on {:?}; collateral failures: {:?}",
+            global.outcome.injected_faulty,
+            global.outcome.collateral_failures()
+        );
+    }
+    if let Some(file) = flag_value(args, "--save-trace") {
+        std::fs::write(file, rtft::trace::format::to_text(&global.outcome.log))
+            .map_err(|e| format!("write {file}: {e}"))?;
+        println!("trace written to {file}");
     }
     for v in oracle.violations() {
         println!("ORACLE VIOLATION: {v}");

@@ -443,6 +443,84 @@ fn analyze_reports_the_partition_and_per_core_numbers() {
 }
 
 #[test]
+fn placement_flag_routes_analyze_and_run_to_the_global_plane() {
+    let dir = temp_dir("placement");
+    let file = write_paper_file(&dir);
+    let out = rtft()
+        .args([
+            "analyze",
+            file.to_str().unwrap(),
+            "--cores",
+            "2",
+            "--placement",
+            "global",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("global scheduling over 2 migrating cores under fp"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("feasible (sufficient fp test)"), "{stdout}");
+    assert!(stdout.contains("equitable allowance A ="), "{stdout}");
+
+    let out = rtft()
+        .args([
+            "run",
+            file.to_str().unwrap(),
+            "--cores",
+            "2",
+            "--placement",
+            "global",
+            "--treatment",
+            "detect",
+            "--horizon",
+            "1300ms",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("global over 2 migrating cores: merged hash"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("verdict"), "{stdout}");
+
+    // A bad placement name fails cleanly.
+    let bad = rtft()
+        .args([
+            "run",
+            file.to_str().unwrap(),
+            "--cores",
+            "2",
+            "--placement",
+            "bogus",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(1));
+}
+
+#[test]
+fn placement_example_spec_runs_clean() {
+    let spec = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/global_vs_partitioned.campaign");
+    let out = rtft()
+        .args(["campaign", spec.to_str().unwrap(), "--workers", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // 2 sets × 2 policies × 2 core counts × 2 placements, one
+    // treatment: every cell is provable under both placements.
+    assert!(stdout.contains("jobs: 16 total, 16 ran"), "{stdout}");
+    assert!(stdout.contains("0 violations"), "{stdout}");
+}
+
+#[test]
 fn multicore_sweep_example_spec_runs_clean() {
     let spec =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/multicore_sweep.campaign");
