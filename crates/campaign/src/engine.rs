@@ -568,6 +568,155 @@ pub fn run_single_global(
     Ok((global, oracle_outcome))
 }
 
+/// Re-run one job deterministically and capture its trace as an
+/// importable [`rtft_trace::TraceCapture`] — flat for uniprocessor
+/// jobs, core-tagged merged for partitioned and global multicore — with
+/// the provenance header (`spec-hash`, policy, placement, cores,
+/// treatment, content hash) that `rtft replay` verifies. Simulation is
+/// deterministic, so capturing the same job twice yields byte-identical
+/// renderings.
+///
+/// # Errors
+/// A message when the job cannot run (infeasible base system, no
+/// partition).
+pub fn capture_job(job: &JobSpec) -> Result<rtft_trace::TraceCapture, String> {
+    use rtft_trace::{TraceCapture, TraceLog};
+    let sc = job.scenario();
+    let hash = rtft_core::query::spec_hash(&job.system_spec());
+    let policy = job.policy.label();
+    let kw = crate::spec::treatment_keyword(job.treatment);
+    if job.cores <= 1 {
+        let outcome = rtft_ft::harness::run_scenario(&sc).map_err(|e| e.to_string())?;
+        return Ok(TraceCapture::flat(hash, policy, kw, outcome.log));
+    }
+    match job.placement {
+        rtft_core::query::Placement::Global => {
+            let global = rtft_global::run_global(&sc, job.cores).map_err(|e| e.to_string())?;
+            let refs: Vec<(usize, &TraceLog)> =
+                global.core_logs.iter().map(|(c, l)| (*c, l)).collect();
+            Ok(TraceCapture::merged(
+                hash, policy, "global", job.cores, kw, &refs,
+            ))
+        }
+        rtft_core::query::Placement::Partitioned => {
+            let partition =
+                allocate(&sc.set, job.cores, job.policy, job.alloc).map_err(|e| e.to_string())?;
+            let mut sessions = PartitionedAnalyzer::new(partition, job.policy);
+            let multi = run_partitioned(&sc, &mut sessions).map_err(|e| e.to_string())?;
+            Ok(TraceCapture::merged(
+                hash,
+                policy,
+                "partitioned",
+                job.cores,
+                kw,
+                &multi.logs(),
+            ))
+        }
+    }
+}
+
+/// [`capture_job`], additionally feeding every recorded event to `sink`
+/// as the run produces it — the live path behind `rtft serve`'s
+/// streaming trace route. Execution events arrive tagged with their
+/// core (`None` on one core and for global platform-level events); the
+/// returned capture is byte-identical to [`capture_job`]'s.
+///
+/// # Errors
+/// As [`capture_job`].
+pub fn capture_job_streamed(
+    job: &JobSpec,
+    sink: &mut dyn rtft_sim::sink::TraceSink,
+) -> Result<rtft_trace::TraceCapture, String> {
+    use rtft_trace::{TraceCapture, TraceLog};
+    let sc = job.scenario();
+    let hash = rtft_core::query::spec_hash(&job.system_spec());
+    let policy = job.policy.label();
+    let kw = crate::spec::treatment_keyword(job.treatment);
+    if job.cores <= 1 {
+        let mut session = rtft_core::analyzer::AnalyzerBuilder::new(&sc.set)
+            .sched_policy(sc.policy)
+            .build();
+        let outcome = rtft_ft::harness::run_scenario_streamed(
+            &sc,
+            &mut session,
+            &mut SimBuffers::new(),
+            sink,
+        )
+        .map_err(|e| e.to_string())?;
+        return Ok(TraceCapture::flat(hash, policy, kw, outcome.log));
+    }
+    match job.placement {
+        rtft_core::query::Placement::Global => {
+            let mut session =
+                rtft_global::GlobalAnalyzer::new(sc.set.clone(), job.cores, sc.policy);
+            let global =
+                rtft_global::run_global_streamed(&sc, &mut session, &mut SimBuffers::new(), sink)
+                    .map_err(|e| e.to_string())?;
+            let refs: Vec<(usize, &TraceLog)> =
+                global.core_logs.iter().map(|(c, l)| (*c, l)).collect();
+            Ok(TraceCapture::merged(
+                hash, policy, "global", job.cores, kw, &refs,
+            ))
+        }
+        rtft_core::query::Placement::Partitioned => {
+            let partition =
+                allocate(&sc.set, job.cores, job.policy, job.alloc).map_err(|e| e.to_string())?;
+            let mut sessions = PartitionedAnalyzer::new(partition, job.policy);
+            let multi = rtft_part::multicore::run_partitioned_streamed(
+                &sc,
+                &mut sessions,
+                &mut SimBuffers::new(),
+                sink,
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(TraceCapture::merged(
+                hash,
+                policy,
+                "partitioned",
+                job.cores,
+                kw,
+                &multi.logs(),
+            ))
+        }
+    }
+}
+
+/// Re-run the grid job an oracle violation names and capture its trace
+/// — campaign artifact writers save this next to the repro spec, so the
+/// divergence replays (`rtft replay`) without re-running the grid.
+///
+/// # Errors
+/// A message when the grid cannot be expanded, the violation names a
+/// job outside it, or the job cannot run.
+pub fn capture_violation(
+    spec: &CampaignSpec,
+    v: &crate::oracle::OracleViolation,
+) -> Result<rtft_trace::TraceCapture, String> {
+    let jobs = spec.expand().map_err(|e| e.to_string())?;
+    if v.job_index >= jobs.len() {
+        return Err(format!(
+            "violation names job {} of a {}-job grid",
+            v.job_index,
+            jobs.len()
+        ));
+    }
+    // Capture through the violation's repro artifact, not the grid job:
+    // the artifact renames the system (`campaign repro-jobN`, inline
+    // tasks), and the saved trace sits next to that spec — its header
+    // must carry the hash `rtft replay` will recompute from it. The
+    // events are identical either way (same system, deterministic sim).
+    let repro = crate::parse_spec(&v.repro).map_err(|e| format!("repro artifact: {e}"))?;
+    let rejobs = repro.expand().map_err(|e| format!("repro artifact: {e}"))?;
+    match rejobs.as_slice() {
+        [job] => capture_job(job),
+        other => Err(format!(
+            "repro artifact for job {} expands to {} jobs, not 1",
+            v.job_index,
+            other.len()
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,13 +53,14 @@ pub mod report;
 pub mod spec;
 
 pub use engine::{
-    available_workers, digest_job, run_campaign, run_single, run_single_global,
-    run_single_partitioned, RunConfig,
+    available_workers, capture_job, capture_job_streamed, capture_violation, digest_job,
+    run_campaign, run_single, run_single_global, run_single_partitioned, RunConfig,
 };
 pub use report::{CampaignReport, JobDigest, JobStatus};
 pub use rtft_part::workbench::Workbench;
 pub use spec::{
-    parse_spec, CampaignSpec, FaultSource, JobSpec, PlatformSpec, SetSource, SpecError,
+    parse_spec, treatment_keyword, CampaignSpec, FaultSource, JobSpec, PlatformSpec, SetSource,
+    SpecError,
 };
 
 /// One-stop imports.

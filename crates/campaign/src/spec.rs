@@ -562,7 +562,10 @@ impl std::fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
-fn treatment_keyword(t: Treatment) -> &'static str {
+/// The spec-file keyword of a treatment (`none|detect|stop|equitable|
+/// system`) — the inverse of [`parse_treatment`], also used to label
+/// trace captures.
+pub fn treatment_keyword(t: Treatment) -> &'static str {
     match t {
         Treatment::NoDetection => "none",
         Treatment::DetectOnly => "detect",

@@ -266,6 +266,11 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Note,
         summary: "allocator named alongside global placement (the alloc axis is dead)",
     },
+    Rule {
+        code: "RT035",
+        severity: Severity::Error,
+        summary: "trace hash mismatch: the capture disagrees with its header or the replayed spec",
+    },
 ];
 
 /// Look up a rule by code.

@@ -430,6 +430,28 @@ impl SystemSpec {
     }
 }
 
+/// A stable content hash of a [`SystemSpec`]: FNV-1a over the system
+/// name plus the canonical [`SystemSpec::render_lines`] serialization.
+/// The name is deliberately part of the hash (two otherwise identical
+/// systems with different names are different specs); the separator
+/// byte after it is one no rendering contains, so `("ab", "c")` and
+/// `("a", "bc")` never collide.
+///
+/// This is the hash the serve cache keys warm sessions by and the hash
+/// a trace capture header pins its originating spec with — byte-equal
+/// specs share a key, any edit gets a fresh one.
+pub fn spec_hash(spec: &SystemSpec) -> u64 {
+    let mut text = spec.name.clone();
+    text.push('\0');
+    spec.render_lines(&mut text);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
 /// An analytical question about a [`SystemSpec`]. Every variant maps to
 /// a memoized `Analyzer` computation; on a partitioned spec the answer
 /// is assembled core by core.

@@ -28,6 +28,7 @@ use rtft_core::time::{Duration, Instant};
 use rtft_sim::engine::{SimBuffers, SimConfig, Simulator};
 use rtft_sim::fault::FaultPlan;
 use rtft_sim::overhead::Overheads;
+use rtft_sim::sink::TraceSink;
 use rtft_sim::stop::StopModel;
 use rtft_sim::supervisor::NullSupervisor;
 use rtft_sim::timer::TimerModel;
@@ -245,6 +246,32 @@ pub fn run_scenario_buffered(
     session: &mut Analyzer,
     bufs: &mut SimBuffers,
 ) -> Result<ScenarioOutcome, HarnessError> {
+    run_scenario_sunk(sc, session, bufs, None)
+}
+
+/// [`run_scenario_buffered`], additionally feeding every recorded event
+/// to `sink` as the simulation produces it (the live-streaming path of
+/// `rtft serve`; see [`rtft_sim::sink::TraceSink`]). The outcome — and
+/// its trace — is byte-identical to the unsunk run.
+///
+/// # Panics
+/// Panics if `session` analyses a different task set, or was built for
+/// a different scheduling policy, than the scenario.
+pub fn run_scenario_streamed(
+    sc: &Scenario,
+    session: &mut Analyzer,
+    bufs: &mut SimBuffers,
+    sink: &mut dyn TraceSink,
+) -> Result<ScenarioOutcome, HarnessError> {
+    run_scenario_sunk(sc, session, bufs, Some(sink))
+}
+
+fn run_scenario_sunk(
+    sc: &Scenario,
+    session: &mut Analyzer,
+    bufs: &mut SimBuffers,
+    sink: Option<&mut dyn TraceSink>,
+) -> Result<ScenarioOutcome, HarnessError> {
     assert_eq!(
         session.task_set(),
         &sc.set,
@@ -307,11 +334,17 @@ pub fn run_scenario_buffered(
     let log = if sc.treatment.has_detection() {
         let mut sup = FtSupervisor::new(sc.treatment, thresholds.clone(), wcrt.clone(), manager);
         sup.install_detectors(&mut sim, &sc.set);
-        sim.run(&mut sup);
+        match sink {
+            Some(s) => sim.run_streamed(&mut sup, s),
+            None => sim.run(&mut sup),
+        };
         sim.finish(bufs)
     } else {
         let mut sup = NullSupervisor;
-        sim.run(&mut sup);
+        match sink {
+            Some(s) => sim.run_streamed(&mut sup, s),
+            None => sim.run(&mut sup),
+        };
         sim.finish(bufs)
     };
 

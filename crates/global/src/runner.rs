@@ -38,8 +38,9 @@ use rtft_ft::manager::AllowanceManager;
 use rtft_ft::prelude::{FtSupervisor, Treatment, Verdict};
 use rtft_sim::engine::{SimBuffers, SimConfig};
 use rtft_sim::global::GlobalSimulator;
+use rtft_sim::sink::TraceSink;
 use rtft_sim::supervisor::NullSupervisor;
-use rtft_trace::TraceStats;
+use rtft_trace::{TraceLog, TraceStats};
 
 use crate::analyzer::GlobalAnalyzer;
 
@@ -56,6 +57,12 @@ pub struct GlobalOutcome {
     /// trace — comparable across worker counts and with a partitioned
     /// run's merged hash ([`GlobalSimulator::merged_hash`]).
     pub merged_hash: u64,
+    /// The per-core projections themselves, ascending core index, with
+    /// one extra trailing log (index `cores`) holding the platform-level
+    /// events (releases, deadline checks, `SimEnd`). Folding these with
+    /// [`rtft_trace::merge::merged_content_hash`] reproduces
+    /// `merged_hash`; trace exporters persist them core-tagged.
+    pub core_logs: Vec<(usize, TraceLog)>,
 }
 
 /// Run a scenario on `cores` migrating cores with a throwaway analysis
@@ -90,6 +97,37 @@ pub fn run_global_buffered(
     sc: &Scenario,
     session: &mut GlobalAnalyzer,
     bufs: &mut SimBuffers,
+) -> Result<GlobalOutcome, HarnessError> {
+    run_global_sunk(sc, session, bufs, None)
+}
+
+/// [`run_global_buffered`], additionally feeding every recorded event to
+/// `sink` as the simulation produces it: execution events arrive tagged
+/// with their executing core, platform-level events (releases, detector
+/// fires, `SimEnd`) with `None` — the same attribution
+/// [`GlobalSimulator::core_of`](rtft_sim::global::GlobalSimulator)
+/// persists in the core-tagged trace. The outcome is byte-identical to
+/// the unsunk run.
+///
+/// # Errors
+/// As [`run_global`].
+///
+/// # Panics
+/// As [`run_global_with`].
+pub fn run_global_streamed(
+    sc: &Scenario,
+    session: &mut GlobalAnalyzer,
+    bufs: &mut SimBuffers,
+    sink: &mut dyn TraceSink,
+) -> Result<GlobalOutcome, HarnessError> {
+    run_global_sunk(sc, session, bufs, Some(sink))
+}
+
+fn run_global_sunk(
+    sc: &Scenario,
+    session: &mut GlobalAnalyzer,
+    bufs: &mut SimBuffers,
+    sink: Option<&mut dyn TraceSink>,
 ) -> Result<GlobalOutcome, HarnessError> {
     assert_eq!(
         session.task_set(),
@@ -152,17 +190,23 @@ pub fn run_global_buffered(
     let mut sim =
         GlobalSimulator::new_in(sc.set.clone(), cores, config, bufs).with_faults(sc.faults.clone());
 
-    let (merged_hash, log) = if sc.treatment.has_detection() {
+    let (merged_hash, core_logs, log) = if sc.treatment.has_detection() {
         let mut sup = FtSupervisor::new(sc.treatment, thresholds.clone(), wcrt.clone(), manager);
         for (first, period, tag) in sup.detector_specs(&sc.set) {
             sim.add_periodic_timer(first, period, tag);
         }
-        sim.run(&mut sup);
-        (sim.merged_hash(), sim.finish(bufs))
+        match sink {
+            Some(s) => sim.run_streamed(&mut sup, s),
+            None => sim.run(&mut sup),
+        };
+        (sim.merged_hash(), sim.core_logs(), sim.finish(bufs))
     } else {
         let mut sup = NullSupervisor;
-        sim.run(&mut sup);
-        (sim.merged_hash(), sim.finish(bufs))
+        match sink {
+            Some(s) => sim.run_streamed(&mut sup, s),
+            None => sim.run(&mut sup),
+        };
+        (sim.merged_hash(), sim.core_logs(), sim.finish(bufs))
     };
 
     let stats = TraceStats::from_log(&log, Some(&sc.set));
@@ -191,6 +235,7 @@ pub fn run_global_buffered(
         },
         cores,
         merged_hash,
+        core_logs,
     })
 }
 

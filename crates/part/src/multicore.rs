@@ -18,8 +18,11 @@
 use crate::alloc::AllocError;
 use crate::analyzer::PartitionedAnalyzer;
 use rtft_core::task::TaskId;
-use rtft_ft::harness::{run_scenario_buffered, HarnessError, Scenario, ScenarioOutcome};
+use rtft_ft::harness::{
+    run_scenario_buffered, run_scenario_streamed, HarnessError, Scenario, ScenarioOutcome,
+};
 use rtft_sim::engine::SimBuffers;
+use rtft_sim::sink::{CoreTag, TraceSink};
 use rtft_trace::merge::{merge_core_traces, merged_content_hash, CoreEvent};
 use rtft_trace::TraceLog;
 
@@ -183,6 +186,36 @@ pub fn run_partitioned_buffered(
     session: &mut PartitionedAnalyzer,
     bufs: &mut SimBuffers,
 ) -> Result<MulticoreOutcome, HarnessError> {
+    run_partitioned_sunk(sc, session, bufs, None)
+}
+
+/// [`run_partitioned_buffered`], additionally feeding every recorded
+/// event to `sink`, tagged with its core (via
+/// [`rtft_sim::sink::CoreTag`]). Cores run sequentially, so the sink
+/// sees core 0's whole run, then core 1's, and so on — chronological
+/// *within* each core, exactly like the per-core logs the merge
+/// recombines. The outcome is byte-identical to the unsunk run.
+///
+/// # Errors
+/// As [`run_partitioned`].
+///
+/// # Panics
+/// As [`run_partitioned`].
+pub fn run_partitioned_streamed(
+    sc: &Scenario,
+    session: &mut PartitionedAnalyzer,
+    bufs: &mut SimBuffers,
+    sink: &mut dyn TraceSink,
+) -> Result<MulticoreOutcome, HarnessError> {
+    run_partitioned_sunk(sc, session, bufs, Some(sink))
+}
+
+fn run_partitioned_sunk(
+    sc: &Scenario,
+    session: &mut PartitionedAnalyzer,
+    bufs: &mut SimBuffers,
+    mut sink: Option<&mut dyn TraceSink>,
+) -> Result<MulticoreOutcome, HarnessError> {
     let partition = session.partition();
     assert_eq!(
         partition.len(),
@@ -200,11 +233,22 @@ pub fn run_partitioned_buffered(
     let mut cores = Vec::with_capacity(occupied.len());
     for core in occupied {
         let csc = core_scenario(sc, session, core);
-        let outcome = run_scenario_buffered(
-            &csc,
-            session.core_session_mut(core).expect("occupied core"),
-            bufs,
-        )?;
+        let outcome = match sink.as_mut() {
+            Some(s) => {
+                let mut tagged = CoreTag::new(core, *s);
+                run_scenario_streamed(
+                    &csc,
+                    session.core_session_mut(core).expect("occupied core"),
+                    bufs,
+                    &mut tagged,
+                )?
+            }
+            None => run_scenario_buffered(
+                &csc,
+                session.core_session_mut(core).expect("occupied core"),
+                bufs,
+            )?,
+        };
         cores.push(CoreOutcome { core, outcome });
     }
     Ok(MulticoreOutcome {

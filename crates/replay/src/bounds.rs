@@ -1,0 +1,373 @@
+//! Resolving the thresholds a trace must respect.
+//!
+//! Replay asks the analysis plane the same questions the execution
+//! stack asked before the run: the detector thresholds the treatment
+//! prescribed (the harness recipe) and the certified response bound the
+//! differential oracle would check completions against (the
+//! `rtft_campaign::oracle` recipe, including its out-of-allowance
+//! skip). Both are resolved **per task**, so the stepping checker never
+//! cares which placement produced an event — a partitioned job simply
+//! resolves each core's subset through its own session, exactly as the
+//! multicore runner built one session per core.
+
+use crate::ReplayError;
+use rtft_campaign::oracle::max_overrun;
+use rtft_campaign::JobSpec;
+use rtft_core::analyzer::Analyzer;
+use rtft_core::policy::PolicyKind;
+use rtft_core::query::Placement;
+use rtft_core::task::{TaskId, TaskSet};
+use rtft_core::time::Duration;
+use rtft_ft::treatment::Treatment;
+use rtft_sim::fault::FaultPlan;
+use rtft_sim::timer::TimerModel;
+use std::collections::BTreeMap;
+
+/// Whether completions can be held to a certified response bound — the
+/// oracle's applicability verdict, mirrored.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Certification {
+    /// Every completion must respond within the Δmax-inflated bound.
+    Certified {
+        /// The inflation the bounds were computed at.
+        dmax: Duration,
+    },
+    /// No certified bound applies (fault plan out of allowance, or the
+    /// inflated analysis failed); only the detection-line checks run.
+    Uncertified {
+        /// Largest injected overrun.
+        dmax: Duration,
+        /// Why certification was declined.
+        reason: String,
+    },
+    /// The platform charges overheads the analysis does not model.
+    Overheads,
+}
+
+impl Certification {
+    /// `true` iff completions are checked against a certified bound.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, Certification::Certified { .. })
+    }
+}
+
+impl std::fmt::Display for Certification {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Certification::Certified { dmax } => {
+                write!(f, "certified at Δmax = {dmax}")
+            }
+            Certification::Uncertified { dmax, reason } => {
+                write!(f, "uncertified (Δmax = {dmax}: {reason})")
+            }
+            Certification::Overheads => write!(f, "uncertified (charged overheads)"),
+        }
+    }
+}
+
+/// What one task's events are held to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TaskBounds {
+    /// Detection threshold the treatment configured (`None` under
+    /// [`Treatment::NoDetection`]).
+    pub threshold: Option<Duration>,
+    /// Quantization delay of this task's detector line: its first fire
+    /// is rounded up to the platform's timer grid, subsequent fires
+    /// step exactly, so every job's detection instant is
+    /// `release + threshold + detect_delay`.
+    pub detect_delay: Duration,
+    /// Certified response bound for completed jobs, when certification
+    /// applies to this task's core.
+    pub certified: Option<Duration>,
+}
+
+/// Per-task bounds plus the job-wide certification verdict.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReplayBounds {
+    /// Bounds of every task of the set.
+    pub per_task: BTreeMap<TaskId, TaskBounds>,
+    /// Job-wide certification face (the worst core's, under
+    /// partitioned placement).
+    pub certification: Certification,
+    /// `true` iff the treatment is allowed to stop faulty tasks — a
+    /// `stop` event in a trace of a non-stopping treatment is always a
+    /// divergence.
+    pub stops: bool,
+}
+
+impl ReplayBounds {
+    /// Bounds of one task (`None` for tasks outside the job's set).
+    pub fn of(&self, task: TaskId) -> Option<&TaskBounds> {
+        self.per_task.get(&task)
+    }
+}
+
+/// Resolve the bounds a trace of `job` must respect, per placement:
+/// one uniprocessor session for 1-core jobs, one session per occupied
+/// core under partitioned placement (with each core's own fault slice
+/// deciding its certification), the global sufficient test under
+/// global placement.
+///
+/// # Errors
+/// [`ReplayError::Analysis`] when the base system is infeasible (an
+/// infeasible system never ran, so no honest trace of it exists), the
+/// allocator finds no partition, or an analysis query fails.
+pub fn resolve_bounds(job: &JobSpec) -> Result<ReplayBounds, ReplayError> {
+    let overheads_free = job.platform.overheads.is_free();
+    let timer = job.platform.timer;
+    let stops = job.treatment.stops_faulty_tasks();
+
+    if job.cores <= 1 {
+        let dmax = max_overrun(&job.faults);
+        let (per_task, certification) = set_bounds(
+            &job.set,
+            job.policy,
+            job.treatment,
+            timer,
+            dmax,
+            overheads_free,
+        )?;
+        return Ok(ReplayBounds {
+            per_task,
+            certification,
+            stops,
+        });
+    }
+
+    match job.placement {
+        Placement::Global => global_bounds(job, overheads_free, timer, stops),
+        Placement::Partitioned => partitioned_bounds(job, overheads_free, timer, stops),
+    }
+}
+
+/// The uniprocessor recipe over one (sub)set — also each partitioned
+/// core's recipe, with the core's own Δmax.
+fn set_bounds(
+    set: &TaskSet,
+    policy: PolicyKind,
+    treatment: Treatment,
+    timer: TimerModel,
+    dmax: Duration,
+    overheads_free: bool,
+) -> Result<(BTreeMap<TaskId, TaskBounds>, Certification), ReplayError> {
+    let analysis = |e: &dyn std::fmt::Display| ReplayError::Analysis(e.to_string());
+    let mut session = Analyzer::for_policy(set, policy);
+    match session.is_feasible() {
+        Ok(true) => {}
+        Ok(false) => {
+            return Err(ReplayError::Analysis(
+                "base system is not feasible — it cannot have produced a trace".into(),
+            ))
+        }
+        Err(e) => return Err(analysis(&e)),
+    }
+    let wcrt = session.policy_thresholds().map_err(|e| analysis(&e))?;
+
+    // The detection thresholds the treatment configured — the harness
+    // recipe, verbatim.
+    let thresholds: Option<Vec<Duration>> = match treatment {
+        Treatment::NoDetection => None,
+        Treatment::DetectOnly
+        | Treatment::ImmediateStop { .. }
+        | Treatment::SystemAllowance { .. } => Some(wcrt.clone()),
+        Treatment::EquitableAllowance { .. } => Some(
+            session
+                .equitable_allowance()
+                .map_err(|e| analysis(&e))?
+                .ok_or_else(|| {
+                    ReplayError::Analysis("the set admits no equitable allowance".into())
+                })?
+                .inflated_wcrt,
+        ),
+    };
+
+    // The certified response bound — the differential oracle's recipe,
+    // including its out-of-allowance skip.
+    let (certified, certification): (Option<Vec<Duration>>, Certification) = if !overheads_free {
+        (None, Certification::Overheads)
+    } else if dmax.is_zero() {
+        (Some(wcrt.clone()), Certification::Certified { dmax })
+    } else {
+        match session.equitable_allowance() {
+            Ok(Some(eq)) if dmax <= eq.allowance => {
+                if policy == PolicyKind::Edf {
+                    // Deadlines do not move under inflation.
+                    (Some(wcrt.clone()), Certification::Certified { dmax })
+                } else {
+                    session.inflate_all(dmax);
+                    let inflated = session.policy_thresholds();
+                    session.reset_costs();
+                    match inflated {
+                        Ok(w) => (Some(w), Certification::Certified { dmax }),
+                        Err(e) => (
+                            None,
+                            Certification::Uncertified {
+                                dmax,
+                                reason: e.to_string(),
+                            },
+                        ),
+                    }
+                }
+            }
+            Ok(_) => (
+                None,
+                Certification::Uncertified {
+                    dmax,
+                    reason: "fault plan exceeds the admitted allowance".into(),
+                },
+            ),
+            Err(e) => (
+                None,
+                Certification::Uncertified {
+                    dmax,
+                    reason: e.to_string(),
+                },
+            ),
+        }
+    };
+
+    let per_task = (0..set.len())
+        .map(|rank| {
+            let spec = set.by_rank(rank);
+            let threshold = thresholds.as_ref().map(|t| t[rank]);
+            (
+                spec.id,
+                TaskBounds {
+                    threshold,
+                    detect_delay: threshold
+                        .map(|t| timer.delay(spec.offset + t))
+                        .unwrap_or(Duration::ZERO),
+                    certified: certified.as_ref().map(|c| c[rank]),
+                },
+            )
+        })
+        .collect();
+    Ok((per_task, certification))
+}
+
+fn partitioned_bounds(
+    job: &JobSpec,
+    overheads_free: bool,
+    timer: TimerModel,
+    stops: bool,
+) -> Result<ReplayBounds, ReplayError> {
+    let partition = rtft_part::alloc::allocate(&job.set, job.cores, job.policy, job.alloc)
+        .map_err(|e| ReplayError::Analysis(e.to_string()))?;
+    let mut per_task = BTreeMap::new();
+    let mut certification: Option<Certification> = None;
+    let dmax_all = max_overrun(&job.faults);
+    for core in partition.occupied_cores() {
+        let subset = partition.core_set(core).expect("occupied core");
+        let dmax_core = core_dmax(&job.faults, &partition, core);
+        let (rows, cert) = set_bounds(
+            subset,
+            job.policy,
+            job.treatment,
+            timer,
+            dmax_core,
+            overheads_free,
+        )?;
+        per_task.extend(rows);
+        certification = Some(match (certification.take(), cert) {
+            (None, c) => c,
+            // The job-wide face is the worst core's, reported at the
+            // job-wide Δmax.
+            (Some(Certification::Overheads), _) | (_, Certification::Overheads) => {
+                Certification::Overheads
+            }
+            (Some(Certification::Uncertified { reason, .. }), _)
+            | (_, Certification::Uncertified { reason, .. }) => Certification::Uncertified {
+                dmax: dmax_all,
+                reason,
+            },
+            (Some(Certification::Certified { .. }), Certification::Certified { .. }) => {
+                Certification::Certified { dmax: dmax_all }
+            }
+        });
+    }
+    Ok(ReplayBounds {
+        per_task,
+        certification: certification.unwrap_or(Certification::Certified {
+            dmax: Duration::ZERO,
+        }),
+        stops,
+    })
+}
+
+/// Largest positive delta injected into tasks placed on `core`.
+fn core_dmax(faults: &FaultPlan, partition: &rtft_part::Partition, core: usize) -> Duration {
+    faults
+        .entries()
+        .filter(|(task, _, delta)| delta.is_positive() && partition.core_of(*task) == Some(core))
+        .map(|(_, _, delta)| delta)
+        .max()
+        .unwrap_or(Duration::ZERO)
+}
+
+fn global_bounds(
+    job: &JobSpec,
+    overheads_free: bool,
+    timer: TimerModel,
+    stops: bool,
+) -> Result<ReplayBounds, ReplayError> {
+    let mut session = rtft_global::GlobalAnalyzer::new((*job.set).clone(), job.cores, job.policy);
+    if !session.is_feasible() {
+        return Err(ReplayError::Analysis(
+            "the global sufficient test cannot prove the base system — it never ran".into(),
+        ));
+    }
+    let wcrt = session.stop_thresholds_at(Duration::ZERO);
+    let thresholds: Option<Vec<Duration>> = match job.treatment {
+        Treatment::NoDetection => None,
+        Treatment::DetectOnly
+        | Treatment::ImmediateStop { .. }
+        | Treatment::SystemAllowance { .. } => Some(wcrt.clone()),
+        Treatment::EquitableAllowance { .. } => {
+            let eq = session.equitable_allowance().ok_or_else(|| {
+                ReplayError::Analysis("the set admits no global equitable allowance".into())
+            })?;
+            Some(session.stop_thresholds_at(eq))
+        }
+    };
+    let dmax = max_overrun(&job.faults);
+    let (certified, certification): (Option<Vec<Duration>>, Certification) = if !overheads_free {
+        (None, Certification::Overheads)
+    } else if dmax.is_zero() {
+        (Some(wcrt.clone()), Certification::Certified { dmax })
+    } else {
+        match session.equitable_allowance() {
+            Some(a) if dmax <= a => (
+                Some(session.stop_thresholds_at(dmax)),
+                Certification::Certified { dmax },
+            ),
+            _ => (
+                None,
+                Certification::Uncertified {
+                    dmax,
+                    reason: "fault plan exceeds the admitted allowance".into(),
+                },
+            ),
+        }
+    };
+    let per_task = (0..job.set.len())
+        .map(|rank| {
+            let spec = job.set.by_rank(rank);
+            let threshold = thresholds.as_ref().map(|t| t[rank]);
+            (
+                spec.id,
+                TaskBounds {
+                    threshold,
+                    detect_delay: threshold
+                        .map(|t| timer.delay(spec.offset + t))
+                        .unwrap_or(Duration::ZERO),
+                    certified: certified.as_ref().map(|c| c[rank]),
+                },
+            )
+        })
+        .collect();
+    Ok(ReplayBounds {
+        per_task,
+        certification,
+        stops,
+    })
+}

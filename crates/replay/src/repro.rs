@@ -1,0 +1,41 @@
+//! Divergence minimization into the campaign repro-artifact format.
+//!
+//! A diverging replay is minimized the same way an oracle violation is:
+//! a standalone one-job campaign spec (`# repro:` header, system lines,
+//! treatment) that `rtft campaign` — and [`crate::job_from_campaign`] —
+//! replays directly, paired with the capture truncated right after the
+//! diverging event. Truncation only drops a suffix, so the divergence
+//! index in the minimized capture is the index in the original.
+
+use crate::divergence::Divergence;
+use rtft_campaign::JobSpec;
+use rtft_core::query::spec_hash;
+use rtft_trace::TraceCapture;
+
+/// A minimized divergence: a one-job campaign spec plus the shortest
+/// prefix of the capture that still diverges at the same event index.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Repro {
+    /// One-job campaign spec text (parses via
+    /// [`rtft_campaign::parse_spec`]).
+    pub spec: String,
+    /// The capture truncated to `divergence.index + 1` events.
+    pub capture: TraceCapture,
+}
+
+/// Minimize `capture`'s divergence against `job`: keep the event prefix
+/// up to and including the diverging event, and render the job as a
+/// standalone repro spec.
+///
+/// The repro spec names a *new* system (`campaign repro-jobN` with
+/// inline task lines), so the truncated capture's header is restamped
+/// with that system's spec hash — the minimized pair is
+/// self-consistent and replays without a hash override.
+pub fn minimize(capture: &TraceCapture, job: &JobSpec, divergence: &Divergence) -> Repro {
+    let spec = job.repro_spec();
+    let mut capture = capture.truncated(divergence.index + 1);
+    if let (Some(h), Ok(reparsed)) = (capture.header.as_mut(), crate::job_from_campaign(&spec)) {
+        h.spec_hash = spec_hash(&reparsed.system_spec());
+    }
+    Repro { spec, capture }
+}

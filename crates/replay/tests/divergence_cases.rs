@@ -1,0 +1,180 @@
+//! Synthetic captures exercising each divergence face in isolation.
+
+use rtft_campaign::JobSpec;
+use rtft_core::task::TaskId;
+use rtft_core::time::Instant;
+use rtft_replay::{
+    job_from_campaign, job_from_system, replay, spec_matches, DivergenceKind, ReplayError,
+};
+use rtft_trace::{EventKind, TraceCapture, TraceEvent, TraceLog};
+
+/// A one-task job (WCRT = 10 ms, exact platform) under `treatment`.
+fn one_task_job(treatment: &str) -> JobSpec {
+    job_from_campaign(&format!(
+        "campaign synth\n\
+         horizon 500ms\n\
+         task t1 10 100ms 100ms 10ms\n\
+         treatment {treatment}\n\
+         platform exact\n"
+    ))
+    .expect("synthetic spec is one job")
+}
+
+fn capture_of(events: &[(i64, EventKind)]) -> TraceCapture {
+    let log: TraceLog = events
+        .iter()
+        .map(|&(ms, kind)| TraceEvent {
+            at: Instant::from_millis(ms),
+            kind,
+        })
+        .collect();
+    TraceCapture::flat(0, "fp", "synth", log)
+}
+
+const T1: TaskId = TaskId(1);
+
+fn release(job: u64) -> EventKind {
+    EventKind::JobRelease { task: T1, job }
+}
+fn start(job: u64) -> EventKind {
+    EventKind::JobStart { task: T1, job }
+}
+fn end(job: u64) -> EventKind {
+    EventKind::JobEnd { task: T1, job }
+}
+fn stop(job: u64) -> EventKind {
+    EventKind::TaskStopped { task: T1, job }
+}
+
+fn first_divergence(job: &JobSpec, events: &[(i64, EventKind)]) -> Option<(usize, DivergenceKind)> {
+    replay(&capture_of(events), job)
+        .expect("synthetic job analyses")
+        .divergence
+        .map(|d| (d.index, d.kind))
+}
+
+#[test]
+fn stop_under_a_non_stopping_treatment_is_uncertified() {
+    let job = one_task_job("detect");
+    let (index, kind) =
+        first_divergence(&job, &[(0, release(0)), (0, start(0)), (20, stop(0))]).unwrap();
+    assert_eq!(index, 2);
+    assert!(
+        matches!(
+            kind,
+            DivergenceKind::UncertifiedStop {
+                threshold: None,
+                ..
+            }
+        ),
+        "got {kind}"
+    );
+}
+
+#[test]
+fn stop_before_the_detection_threshold_is_uncertified() {
+    let job = one_task_job("stop");
+    // WCRT (= threshold) is 10 ms; a stop 5 ms after release is earlier
+    // than any detector could have fired.
+    let (index, kind) =
+        first_divergence(&job, &[(0, release(0)), (0, start(0)), (5, stop(0))]).unwrap();
+    assert_eq!(index, 2);
+    match kind {
+        DivergenceKind::UncertifiedStop {
+            latency,
+            threshold: Some(t),
+            ..
+        } => assert!(latency < t),
+        other => panic!("expected an early stop, got {other}"),
+    }
+    // At the threshold the stop is legitimate (quantization and
+    // allowance can only delay it further).
+    assert_eq!(
+        first_divergence(&job, &[(0, release(0)), (0, start(0)), (10, stop(0))]),
+        None
+    );
+}
+
+#[test]
+fn order_mismatches_flag_the_offending_event() {
+    let job = one_task_job("stop");
+    for (label, events) in [
+        ("end without release", vec![(0, end(0))]),
+        ("duplicate release", vec![(0, release(0)), (0, release(0))]),
+        (
+            "duplicate end",
+            vec![(0, release(0)), (0, start(0)), (5, end(0)), (5, end(0))],
+        ),
+        (
+            "start after stop",
+            vec![
+                (0, release(0)),
+                (0, start(0)),
+                (10, stop(0)),
+                (12, start(0)),
+            ],
+        ),
+        (
+            "end after stop",
+            vec![(0, release(0)), (0, start(0)), (10, stop(0)), (12, end(0))],
+        ),
+        (
+            "stop after end",
+            vec![(0, release(0)), (0, start(0)), (5, end(0)), (10, stop(0))],
+        ),
+        (
+            "start for unreleased job",
+            vec![(0, release(0)), (0, start(1))],
+        ),
+    ] {
+        let (index, kind) = first_divergence(&job, &events)
+            .unwrap_or_else(|| panic!("{label}: expected a divergence"));
+        assert_eq!(index, events.len() - 1, "{label}: wrong event flagged");
+        assert!(
+            matches!(kind, DivergenceKind::OrderMismatch { .. }),
+            "{label}: got {kind}"
+        );
+    }
+}
+
+#[test]
+fn a_well_formed_completion_within_bounds_is_clean() {
+    let job = one_task_job("stop");
+    let report = replay(
+        &capture_of(&[(0, release(0)), (0, start(0)), (10, end(0))]),
+        &job,
+    )
+    .unwrap();
+    assert!(report.is_clean());
+    assert_eq!(report.checked, 1);
+    assert_eq!(report.events, 3);
+}
+
+#[test]
+fn multi_job_specs_are_rejected() {
+    let err = job_from_campaign("taskgen paper\ntreatment all\n").unwrap_err();
+    assert!(
+        matches!(&err, ReplayError::Spec(m) if m.contains("expands to 5 jobs")),
+        "got {err}"
+    );
+}
+
+#[test]
+fn spec_matches_compares_header_hashes() {
+    let job = one_task_job("detect");
+    let hash = rtft_core::query::spec_hash(&job.system_spec());
+    let log: TraceLog = TraceLog::new();
+    let good = TraceCapture::flat(hash, "fp", "detect", log.clone());
+    let bad = TraceCapture::flat(hash ^ 1, "fp", "detect", log.clone());
+    let headerless = TraceCapture {
+        header: None,
+        ..good.clone()
+    };
+    assert_eq!(spec_matches(&good, &job), Some(true));
+    assert_eq!(spec_matches(&bad, &job), Some(false));
+    assert_eq!(spec_matches(&headerless, &job), None);
+    // Lifting the job's own SystemSpec back into a job preserves the
+    // hash identity.
+    let lifted = job_from_system(&job.system_spec(), job.treatment, job.horizon);
+    assert_eq!(spec_matches(&good, &lifted), Some(true));
+}

@@ -18,19 +18,10 @@ use rtft_part::workbench::Workbench;
 /// canonical `render_lines` serialization. The name is deliberately
 /// part of the key (it is part of the rendering) so benchmarks and
 /// tests can force cold misses by renaming an otherwise identical
-/// system.
+/// system. Delegates to [`rtft_core::query::spec_hash`], the same hash
+/// trace capture headers pin their spec with.
 pub fn spec_key(spec: &SystemSpec) -> u64 {
-    // `render_lines` canonicalizes everything but the name, so feed
-    // the name first with a separator byte no rendering contains.
-    let mut text = spec.name.clone();
-    text.push('\0');
-    spec.render_lines(&mut text);
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
+    rtft_core::query::spec_hash(spec)
 }
 
 /// Monotonic counters describing cache behaviour, snapshotted for

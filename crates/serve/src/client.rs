@@ -55,6 +55,17 @@ impl Client {
         self.request("POST", path, batch.as_bytes())
     }
 
+    /// `POST /trace`: subscribe to a live run of a one-job campaign
+    /// spec. The reply body is the whole event stream (the server
+    /// flushes it per event; this blocking client reads the
+    /// close-delimited body to EOF, so it returns when the run ends).
+    ///
+    /// # Errors
+    /// Socket failures and malformed responses, as `io::Error`.
+    pub fn post_trace(&self, spec: &str) -> std::io::Result<Reply> {
+        self.request("POST", "/trace", spec.as_bytes())
+    }
+
     /// `GET /stats`, text or JSON.
     ///
     /// # Errors

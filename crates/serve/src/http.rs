@@ -178,6 +178,26 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Write only the head of a `Connection: close` response with **no**
+/// `Content-Length`: the body that follows is streamed incrementally
+/// and delimited by the connection close (what the live trace route
+/// emits; the [`crate::client::Client`] reads such bodies to EOF).
+///
+/// # Errors
+/// Propagates socket write failures.
+pub fn write_stream_head(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n",
+        reason(status),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
 /// Write one complete `Connection: close` response.
 ///
 /// # Errors

@@ -10,7 +10,10 @@
 //! - [`server::Server`] — accept pool of `std::thread` workers; routes
 //!   `POST /query` (the line batch wire format in, the standard
 //!   [`Response`](rtft_core::query::Response) renderings out),
-//!   `GET /stats`, and `POST /shutdown` (graceful drain).
+//!   `POST /trace` (live event subscription: a one-job campaign spec
+//!   in, every simulation event streamed down the socket as it is
+//!   recorded — see [`live`]), `GET /stats`, and `POST /shutdown`
+//!   (graceful drain).
 //! - [`cache::SessionCache`] — keyed LRU of warm workbenches,
 //!   content-hashed by [`cache::spec_key`]; per-session mutexes let
 //!   distinct specs analyze in parallel.
@@ -39,6 +42,7 @@ pub mod cache;
 pub mod client;
 pub mod fan;
 pub mod http;
+pub mod live;
 pub mod server;
 pub mod stats;
 

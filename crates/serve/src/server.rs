@@ -202,6 +202,13 @@ fn handle_connection(mut stream: TcpStream, state: &Shared, cfg: &ServeConfig) {
     };
 
     state.stats.record_request(&request.path);
+    // The live trace route writes its own (close-delimited, per-event
+    // flushed) response, so it bypasses the buffered route dispatch.
+    if request.method == "POST" && request.path == "/trace" {
+        let status = crate::live::handle_trace_stream(&mut stream, &request);
+        state.stats.record_status(status);
+        return;
+    }
     let started = Instant::now();
     let (status, content_type, body) = route(&request, state, cfg);
     if request.path == "/query" {
@@ -229,7 +236,7 @@ fn route(request: &Request, state: &Shared, cfg: &ServeConfig) -> (u16, &'static
             state.stop.store(true, Ordering::Relaxed);
             (200, "text/plain", "draining\n".to_string())
         }
-        (_, "/query" | "/stats" | "/shutdown") => {
+        (_, "/query" | "/stats" | "/shutdown" | "/trace") => {
             (405, "text/plain", "method not allowed\n".to_string())
         }
         (_, path) => (404, "text/plain", format!("no route for `{path}`\n")),

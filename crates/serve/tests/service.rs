@@ -274,3 +274,77 @@ fn warm_sessions_beat_cold_daemons_on_the_allowance_batch() {
     );
     handle.shutdown();
 }
+
+const ONE_JOB_SPEC: &str = "\
+campaign live
+horizon 1300ms
+taskgen paper
+faults paper
+policy fp
+cores 1
+treatment detect
+platform jrate
+";
+
+#[test]
+fn trace_route_streams_a_run_that_reassembles_into_a_valid_capture() {
+    let (handle, client) = spawn(|_| {});
+    let reply = client.post_trace(ONE_JOB_SPEC).expect("trace");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(
+        reply.body.starts_with("# rtft trace stream\n"),
+        "{}",
+        reply.body
+    );
+    // The content hash folds over the events, so it arrives as the
+    // stream's trailer; moving that one line up into the header slot
+    // must yield an importable, hash-consistent capture.
+    let trailer = reply.body.lines().last().expect("stream has a trailer");
+    assert!(trailer.starts_with("# content-hash "), "{}", reply.body);
+    let mut text = String::from("# rtft trace v2\n");
+    for line in reply.body.lines().skip(1) {
+        if line.starts_with("# content-hash") || !line.starts_with('#') {
+            continue;
+        }
+        text.push_str(line);
+        text.push('\n');
+    }
+    text.push_str(trailer);
+    text.push('\n');
+    for line in reply.body.lines().filter(|l| !l.starts_with('#')) {
+        text.push_str(line);
+        text.push('\n');
+    }
+    let capture = rtft_trace::TraceCapture::parse_text(&text).expect("reassembled capture parses");
+    assert_eq!(capture.hash_matches(), Some(true));
+    assert!(!capture.is_empty());
+    // Byte-identical to the buffered capture of the same job: the sink
+    // observes the run, it does not perturb it.
+    let job = &rtft_campaign::parse_spec(ONE_JOB_SPEC)
+        .unwrap()
+        .expand()
+        .unwrap()[0];
+    assert_eq!(
+        capture.render_text(),
+        rtft_campaign::capture_job(job).unwrap().render_text()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn trace_route_rejects_garbage_and_grids() {
+    let (handle, client) = spawn(|_| {});
+    let reply = client.post_trace("not a campaign spec\n").expect("reply");
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    assert!(reply.body.starts_with("RT000"), "{}", reply.body);
+    // A whole grid is not a subscription: the route wants one job.
+    let grid = ONE_JOB_SPEC.replace("policy fp", "policy all");
+    let reply = client.post_trace(&grid).expect("reply");
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    assert!(
+        reply.body.contains("one-job campaign spec"),
+        "{}",
+        reply.body
+    );
+    handle.shutdown();
+}

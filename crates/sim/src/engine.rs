@@ -45,6 +45,7 @@ use crate::fault::FaultPlan;
 use crate::overhead::Overheads;
 use crate::policy::{PolicyImpl, PolicyKind, SchedPolicy};
 use crate::process::{JobOutcome, TaskProcess};
+use crate::sink::TraceSink;
 use crate::stop::{StopMode, StopModel};
 use crate::supervisor::{Command, Occurrence, Supervisor};
 use crate::timer::{TimerModel, TimerSpec};
@@ -429,7 +430,35 @@ impl Simulator {
     /// # Panics
     /// Panics on a second call.
     pub fn run(&mut self, supervisor: &mut dyn Supervisor) -> &TraceLog {
+        self.run_with(supervisor, None)
+    }
+
+    /// Like [`Self::run`], but also feed every recorded event to `sink`
+    /// as soon as the wake that produced it is processed (`core: None`
+    /// — this engine is single-CPU). The recorded trace is
+    /// byte-identical with and without a sink: the sink observes the
+    /// log, it never alters it.
+    ///
+    /// # Panics
+    /// Panics on a second call.
+    pub fn run_streamed(
+        &mut self,
+        supervisor: &mut dyn Supervisor,
+        sink: &mut dyn TraceSink,
+    ) -> &TraceLog {
+        self.run_with(supervisor, Some(sink))
+    }
+
+    fn run_with(
+        &mut self,
+        supervisor: &mut dyn Supervisor,
+        mut sink: Option<&mut dyn TraceSink>,
+    ) -> &TraceLog {
         assert!(!self.finished, "run() called twice");
+        // Sink cursor: events up to (but excluding) `fed` have been
+        // streamed. Drained after every processed wake and once more
+        // after the final SimEnd.
+        let mut fed = 0usize;
         self.sys.observe = supervisor.observes();
         let n = self.sys.state.set.len();
         let n_timers = self.timers.len();
@@ -541,9 +570,23 @@ impl Simulator {
             }
             self.drain_occurrences(supervisor);
             self.reschedule_cpu();
+            if let Some(s) = sink.as_mut() {
+                while fed < self.sys.trace.len() {
+                    let e = self.sys.trace.events()[fed];
+                    s.record(None, e.at, e.kind);
+                    fed += 1;
+                }
+            }
         }
         self.sys.state.now = self.config.horizon;
         self.sys.trace.push(self.config.horizon, EventKind::SimEnd);
+        if let Some(s) = sink.as_mut() {
+            while fed < self.sys.trace.len() {
+                let e = self.sys.trace.events()[fed];
+                s.record(None, e.at, e.kind);
+                fed += 1;
+            }
+        }
         self.finished = true;
         &self.sys.trace
     }

@@ -51,6 +51,7 @@ use crate::event::{Wake, WakeClass, WakeQueue};
 use crate::fault::FaultPlan;
 use crate::policy::{PolicyImpl, SchedPolicy};
 use crate::process::{JobOutcome, TaskProcess};
+use crate::sink::TraceSink;
 use crate::stop::StopMode;
 use crate::supervisor::{Command, Supervisor};
 use rtft_core::task::TaskSet;
@@ -310,7 +311,34 @@ impl GlobalSimulator {
     /// # Panics
     /// Panics on a second call.
     pub fn run(&mut self, supervisor: &mut dyn Supervisor) -> &TraceLog {
+        self.run_with(supervisor, None)
+    }
+
+    /// Like [`Self::run`], but also feed every recorded event to `sink`
+    /// as soon as the wake that produced it is processed. `core` is the
+    /// executing core for execution events and `None` for
+    /// platform-level ones — the same attribution [`Self::core_of`]
+    /// reports. The recorded trace (and its tags) are byte-identical
+    /// with and without a sink.
+    ///
+    /// # Panics
+    /// Panics on a second call.
+    pub fn run_streamed(
+        &mut self,
+        supervisor: &mut dyn Supervisor,
+        sink: &mut dyn TraceSink,
+    ) -> &TraceLog {
+        self.run_with(supervisor, Some(sink))
+    }
+
+    fn run_with(
+        &mut self,
+        supervisor: &mut dyn Supervisor,
+        mut sink: Option<&mut dyn TraceSink>,
+    ) -> &TraceLog {
         assert!(!self.finished, "run() called twice");
+        // Sink cursor: events below `fed` have been streamed already.
+        let mut fed = 0usize;
         self.sys.observe = supervisor.observes();
         let n = self.sys.state.set.len();
         let n_timers = self.timers.len();
@@ -411,10 +439,28 @@ impl GlobalSimulator {
             }
             self.drain_occurrences(supervisor);
             self.reschedule();
+            if let Some(s) = sink.as_mut() {
+                while fed < self.sys.trace.len() {
+                    let e = self.sys.trace.events()[fed];
+                    let core = match self.core_tags.get(fed) {
+                        Some(&PLATFORM) | None => None,
+                        Some(&c) => Some(c as usize),
+                    };
+                    s.record(core, e.at, e.kind);
+                    fed += 1;
+                }
+            }
         }
         self.sys.state.now = self.config.horizon;
         self.sys.trace.push(self.config.horizon, EventKind::SimEnd);
         self.tag(PLATFORM);
+        if let Some(s) = sink.as_mut() {
+            while fed < self.sys.trace.len() {
+                let e = self.sys.trace.events()[fed];
+                s.record(None, e.at, e.kind);
+                fed += 1;
+            }
+        }
         self.finished = true;
         &self.sys.trace
     }

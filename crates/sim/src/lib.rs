@@ -50,6 +50,7 @@ pub mod global;
 pub mod overhead;
 pub mod policy;
 pub mod process;
+pub mod sink;
 pub mod stop;
 pub mod supervisor;
 pub mod timer;
@@ -66,6 +67,7 @@ pub mod prelude {
     pub use crate::overhead::Overheads;
     pub use crate::policy::{PolicyKind, SchedPolicy};
     pub use crate::process::JobOutcome;
+    pub use crate::sink::{CoreTag, TraceSink};
     pub use crate::stop::{StopMode, StopModel};
     pub use crate::supervisor::{Command, NullSupervisor, Occurrence, Supervisor};
     pub use crate::timer::TimerModel;

@@ -27,7 +27,17 @@ pub fn to_text(log: &TraceLog) -> String {
     out
 }
 
-fn write_line(out: &mut String, e: &TraceEvent) {
+/// Serialize one event as its machine line (trailing newline included)
+/// — what live streamers (`rtft serve`'s trace route) emit per event so
+/// their output re-parses with [`from_text`] /
+/// [`crate::capture::TraceCapture::parse_text`].
+pub fn event_line(e: &TraceEvent) -> String {
+    let mut out = String::with_capacity(40);
+    write_line(&mut out, e);
+    out
+}
+
+pub(crate) fn write_line(out: &mut String, e: &TraceEvent) {
     let ns = e.at.as_nanos();
     match e.kind {
         EventKind::JobRelease { task, job }
@@ -104,7 +114,7 @@ pub fn from_text(text: &str) -> Result<TraceLog, ParseError> {
     Ok(log)
 }
 
-fn parse_line(line: &str) -> Result<TraceEvent, String> {
+pub(crate) fn parse_line(line: &str) -> Result<TraceEvent, String> {
     let mut words = line.split_ascii_whitespace();
     let ns: i64 = words
         .next()
@@ -145,6 +155,20 @@ fn parse_line(line: &str) -> Result<TraceEvent, String> {
         }
     }
 
+    let kind = kind_from_parts(tag, task, job, amount, by)?;
+    Ok(TraceEvent::new(at, kind))
+}
+
+/// Assemble an [`EventKind`] from a parsed tag and its optional fields —
+/// shared by the text-line parser and the JSON capture parser so both
+/// enforce identical field requirements per tag.
+pub(crate) fn kind_from_parts(
+    tag: &str,
+    task: Option<TaskId>,
+    job: Option<u64>,
+    amount: Option<Duration>,
+    by: Option<TaskId>,
+) -> Result<EventKind, String> {
     let need_task_job = |kind: fn(TaskId, u64) -> EventKind| -> Result<EventKind, String> {
         match (task, job) {
             (Some(t), Some(j)) => Ok(kind(t, j)),
@@ -175,7 +199,7 @@ fn parse_line(line: &str) -> Result<TraceEvent, String> {
         "simend" => EventKind::SimEnd,
         other => return Err(format!("unknown event tag `{other}`")),
     };
-    Ok(TraceEvent::new(at, kind))
+    Ok(kind)
 }
 
 #[cfg(test)]

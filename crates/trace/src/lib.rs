@@ -10,6 +10,9 @@
 //!
 //! * [`event`] / [`log`] — in-memory append-only trace ([`log::TraceLog`]);
 //! * `format` — the log-file interchange format, with a strict parser;
+//! * [`capture`] — the persisted capture format (v2): events plus a
+//!   provenance header (spec hash, policy/placement/cores, treatment,
+//!   content hash) in line and JSON renderings, imported by `rtft replay`;
 //! * [`stats`] — per-job lifecycle reconstruction and task summaries;
 //! * [`chart`] — the text time-series chart with the paper's glyphs
 //!   (↑ releases, ↓ deadlines, ◆ detectors, `>` WCRTs);
@@ -23,6 +26,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod capture;
 pub mod chart;
 pub mod clock;
 pub mod csv;
@@ -35,6 +39,7 @@ pub mod stats;
 pub mod svg;
 pub mod validate;
 
+pub use capture::{CaptureBody, TraceCapture, TraceHeader};
 pub use chart::{render, ChartConfig};
 pub use event::{EventKind, JobIndex, TraceEvent};
 pub use log::TraceLog;

@@ -10,6 +10,8 @@
 //! rtft query    <batch.query|-> [--json]      # answer a query batch
 //! rtft lint     <file|->         [options]    # static diagnostics only
 //! rtft serve    [options]                     # warm-session analysis daemon
+//! rtft trace    export|info ...               # capture persistence
+//! rtft replay   <trace> [options]             # step a capture to divergence
 //!
 //! run options:
 //!   --treatment <none|detect|stop|equitable|system>   (default: system)
@@ -23,8 +25,10 @@
 //!   --window    <from>..<to>       chart window       (default: whole run)
 //!   --cell      <duration>         chart cell         (default: auto)
 //!   --jrate                        10 ms timer grid
-//!   --save-trace <file>            write the trace log (core-tagged
-//!                                  merged format with --cores > 1)
+//!   --save-trace <file>            write the trace capture: provenance
+//!                                  header + events (core-tagged merged
+//!                                  format with --cores > 1), importable
+//!                                  by `rtft replay`
 //!   --svg <file>                   write an SVG chart of the window
 //!                                  (single-core runs only)
 //!
@@ -39,7 +43,8 @@
 //!   --workers <n>                  worker threads     (default: CPU count)
 //!   --report <file>                also write the report text to a file
 //!   --json <file>                  write the machine-readable JSON report
-//!   --repro-dir <dir>              write oracle-violation repro specs here
+//!   --repro-dir <dir>              write oracle-violation repro specs
+//!                                  (plus the offending traces) here
 //!   --no-oracle                    disable the differential oracle
 //!
 //! query:
@@ -59,7 +64,7 @@
 //!   directives in the spec always warn on stderr.
 //!
 //! lint options:
-//!   --kind <spec|batch|campaign>   force the input kind (default:
+//!   --kind <spec|batch|campaign|trace>  force the input kind (default:
 //!                                  by extension, then content sniff)
 //!   --json                         machine-readable diagnostics
 //!   --deny-warnings                exit 4 on warnings, not just errors
@@ -76,8 +81,38 @@
 //!
 //!   `serve` answers `POST /query` with the same renderings as
 //!   `rtft query` (`?json` for JSON), `GET /stats` with cache and
-//!   latency counters, and drains gracefully on `POST /shutdown`.
+//!   latency counters, streams a live run's events on `POST /trace`
+//!   (body: a one-job campaign spec; one line per event, flushed as the
+//!   simulation records it), and drains gracefully on `POST /shutdown`.
 //!   Exits 0 after a graceful shutdown, 1 on bind/config errors.
+//!
+//! trace:
+//!   `trace export <tasks.rtft|repro.campaign>` re-runs the system
+//!   deterministically and writes an importable capture — provenance
+//!   header (spec hash, policy, placement, cores, treatment, content
+//!   hash) plus the events. Flags: `-o <file>` (default: stdout),
+//!   `--json` for the JSON rendering, and the `run` system flags
+//!   (`--treatment`, `--policy`, `--cores`, `--alloc`, `--placement`,
+//!   `--horizon`, `--jrate`) for task files — a one-job campaign spec
+//!   carries its own. `trace info <file>` prints the header fields,
+//!   the event count and the hash check of a saved capture.
+//!
+//! replay options:
+//!   --spec <file>       the system to replay against (default: the
+//!                       sibling <trace>.campaign, then <trace>.rtft)
+//!   --step              print every event as it is checked
+//!   --minimize <out>    on divergence, write the one-job repro spec to
+//!                       <out> plus the truncated capture next to it
+//!   --force             replay despite an RT035 hash mismatch
+//!
+//!   `replay` steps a saved capture event-by-event against the
+//!   analyzer's thresholds: exit 0 when the whole trace respects them,
+//!   3 at the first divergence (the oracle-violation code, so CI gates
+//!   the same way on `run`, `campaign` and `replay`), and 4 — the lint
+//!   gate — when the capture's content hash or spec hash contradicts
+//!   the replayed system (rule RT035, overridable with `--force`).
+//!   Task-file replays accept the same system flags as `run`; header
+//!   fields fill whatever the flags leave unset.
 //!
 //! `run` and `campaign` exit 0 on a clean run, 3 when the differential
 //! oracle found sim-vs-analysis violations (so CI can gate on either).
@@ -136,8 +171,13 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("lint") => return cmd_lint(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("replay") => return exit_on_oracle(cmd_replay(&args[1..])),
         _ => {
-            eprintln!("usage: rtft <analyze|run|chart|campaign|query|lint|serve> <file> [options]");
+            eprintln!(
+                "usage: rtft <analyze|run|chart|campaign|query|lint|serve|trace|replay> \
+                 <file> [options]"
+            );
             return ExitCode::from(2);
         }
     };
@@ -498,10 +538,13 @@ enum LintKind {
     Batch,
     /// A campaign grid (`.campaign`).
     Campaign,
+    /// A saved trace capture (`.trace`).
+    Trace,
 }
 
 /// Guess the input kind: extension first, then a content sniff over
-/// the directive vocabulary (campaign-only keywords, then the batch's
+/// the directive vocabulary (the capture header or all-numeric
+/// timestamps of a trace, campaign-only keywords, then the batch's
 /// `system`/`query` lines, else a task file).
 fn lint_kind(path: &str, text: &str) -> LintKind {
     if path.ends_with(".campaign") {
@@ -512,6 +555,9 @@ fn lint_kind(path: &str, text: &str) -> LintKind {
     }
     if path.ends_with(".rtft") {
         return LintKind::Spec;
+    }
+    if path.ends_with(".trace") || text.trim_start().starts_with("# rtft trace") {
+        return LintKind::Trace;
     }
     let mut first_words = text.lines().filter_map(|l| {
         let l = l.split('#').next().unwrap_or("").trim();
@@ -524,8 +570,12 @@ fn lint_kind(path: &str, text: &str) -> LintKind {
         )
     }) {
         LintKind::Campaign
-    } else if first_words.any(|w| matches!(w, "system" | "query")) {
+    } else if first_words.clone().any(|w| matches!(w, "system" | "query")) {
         LintKind::Batch
+    } else if first_words.next().is_some_and(|w| w.parse::<i64>().is_ok()) {
+        // Trace event lines lead with a nanosecond timestamp; no other
+        // input kind starts a line with a bare integer.
+        LintKind::Trace
     } else {
         LintKind::Spec
     }
@@ -575,6 +625,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             Some("spec") => LintKind::Spec,
             Some("batch") => LintKind::Batch,
             Some("campaign") => LintKind::Campaign,
+            Some("trace") => LintKind::Trace,
             Some(other) => return Err(format!("lint: unknown --kind `{other}`")),
             None => lint_kind(path, &text),
         };
@@ -585,6 +636,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
                 Err(e) => vec![diag::parse_failure(e.line, e.message)],
             },
             LintKind::Spec => lint_task_file(&text),
+            LintKind::Trace => rtft::trace::capture::lint_trace_text(&text),
         })
     };
     let diags = match inner() {
@@ -711,6 +763,45 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Build the one-job [`rtft::campaign::JobSpec`] behind a task-file
+/// invocation. `run --save-trace`, `trace export` and `replay --spec
+/// <tasks.rtft>` all construct the job here, so a capture's spec hash
+/// (which covers the spec name — the file path as given) matches on
+/// re-import.
+#[allow(clippy::too_many_arguments)]
+fn cli_job(
+    path: &str,
+    set: &TaskSet,
+    faults: &FaultPlan,
+    policy: PolicyKind,
+    treatment: Treatment,
+    cores: usize,
+    placement: rtft_core::query::Placement,
+    alloc: rtft::part::AllocPolicy,
+    horizon: Instant,
+    jrate: bool,
+) -> rtft::campaign::JobSpec {
+    rtft::campaign::JobSpec {
+        index: 0,
+        set_ordinal: 0,
+        set_label: path.to_string(),
+        set: std::sync::Arc::new(set.clone()),
+        policy,
+        cores,
+        placement,
+        alloc,
+        fault_label: "explicit".to_string(),
+        faults: faults.clone(),
+        treatment,
+        platform: if jrate {
+            rtft::campaign::PlatformSpec::jrate()
+        } else {
+            rtft::campaign::PlatformSpec::EXACT
+        },
+        horizon,
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<bool, CliError> {
     let path = args.first().ok_or("run: missing task file")?;
     let (set, faults) = load_system(path)?;
@@ -719,6 +810,20 @@ fn cmd_run(args: &[String]) -> Result<bool, CliError> {
     let policy: PolicyKind = flag_value(args, "--policy").unwrap_or("fp").parse()?;
     let horizon = parse_duration(flag_value(args, "--horizon").unwrap_or("3000ms"))?;
     let (cores, alloc) = cores_and_alloc(args)?;
+    let placement = placement_flag(args)?;
+    let jrate = args.iter().any(|a| a == "--jrate");
+    let job = cli_job(
+        path,
+        &set,
+        &faults,
+        policy,
+        treatment,
+        cores,
+        placement,
+        alloc,
+        Instant::EPOCH + horizon,
+        jrate,
+    );
     let mut scenario = Scenario::new(
         path.to_string(),
         set.clone(),
@@ -727,14 +832,14 @@ fn cmd_run(args: &[String]) -> Result<bool, CliError> {
         Instant::EPOCH + horizon,
     )
     .with_policy(policy);
-    if args.iter().any(|a| a == "--jrate") {
+    if jrate {
         scenario = scenario.with_jrate_timers();
     }
     if cores > 1 {
-        if placement_flag(args)? == rtft_core::query::Placement::Global {
-            return run_global_cmd(args, &scenario, cores, horizon);
+        if placement == rtft_core::query::Placement::Global {
+            return run_global_cmd(args, &scenario, &job, cores, horizon);
         }
-        return run_partitioned_cmd(args, &scenario, cores, alloc, horizon);
+        return run_partitioned_cmd(args, &scenario, &job, cores, alloc, horizon);
     }
     // A single run is a one-job campaign: same execution path, plus the
     // differential oracle for free.
@@ -770,8 +875,13 @@ fn cmd_run(args: &[String]) -> Result<bool, CliError> {
         println!("SVG chart written to {file}");
     }
     if let Some(file) = flag_value(args, "--save-trace") {
-        std::fs::write(file, rtft::trace::format::to_text(&out.log))
-            .map_err(|e| format!("write {file}: {e}"))?;
+        let capture = rtft::trace::TraceCapture::flat(
+            rtft_core::query::spec_hash(&job.system_spec()),
+            job.policy.label(),
+            rtft::campaign::treatment_keyword(job.treatment),
+            out.log.clone(),
+        );
+        std::fs::write(file, capture.render_text()).map_err(|e| format!("write {file}: {e}"))?;
         println!("trace written to {file}");
     }
     for v in oracle.violations() {
@@ -785,6 +895,7 @@ fn cmd_run(args: &[String]) -> Result<bool, CliError> {
 fn run_partitioned_cmd(
     args: &[String],
     scenario: &Scenario,
+    job: &rtft::campaign::JobSpec,
     cores: usize,
     alloc: rtft::part::AllocPolicy,
     horizon: rtft_core::time::Duration,
@@ -821,8 +932,17 @@ fn run_partitioned_cmd(
     let collateral = multi.collateral_failures();
     println!("collateral failures: {collateral:?}");
     if let Some(file) = flag_value(args, "--save-trace") {
-        std::fs::write(file, rtft::trace::merge::to_text(&multi.merged_events()))
-            .map_err(|e| format!("write {file}: {e}"))?;
+        // The capture format, not the old `merge` Display dump: header
+        // plus `c<idx>`-tagged event lines, so the file re-imports.
+        let capture = rtft::trace::TraceCapture::merged(
+            rtft_core::query::spec_hash(&job.system_spec()),
+            job.policy.label(),
+            "partitioned",
+            cores,
+            rtft::campaign::treatment_keyword(job.treatment),
+            &multi.logs(),
+        );
+        std::fs::write(file, capture.render_text()).map_err(|e| format!("write {file}: {e}"))?;
         println!("core-tagged trace written to {file}");
     }
     for v in oracle.violations() {
@@ -838,6 +958,7 @@ fn run_partitioned_cmd(
 fn run_global_cmd(
     args: &[String],
     scenario: &Scenario,
+    job: &rtft::campaign::JobSpec,
     cores: usize,
     horizon: rtft_core::time::Duration,
 ) -> Result<bool, CliError> {
@@ -874,9 +995,20 @@ fn run_global_cmd(
         );
     }
     if let Some(file) = flag_value(args, "--save-trace") {
-        std::fs::write(file, rtft::trace::format::to_text(&global.outcome.log))
-            .map_err(|e| format!("write {file}: {e}"))?;
-        println!("trace written to {file}");
+        // Core-tagged per-core projections, not the interleaved flat
+        // log (which breaks the strict v1 parser on overlap), with the
+        // merged content hash the header pins.
+        let refs: Vec<(usize, &TraceLog)> = global.core_logs.iter().map(|(c, l)| (*c, l)).collect();
+        let capture = rtft::trace::TraceCapture::merged(
+            rtft_core::query::spec_hash(&job.system_spec()),
+            job.policy.label(),
+            "global",
+            cores,
+            rtft::campaign::treatment_keyword(job.treatment),
+            &refs,
+        );
+        std::fs::write(file, capture.render_text()).map_err(|e| format!("write {file}: {e}"))?;
+        println!("core-tagged trace written to {file}");
     }
     for v in oracle.violations() {
         println!("ORACLE VIOLATION: {v}");
@@ -943,6 +1075,19 @@ fn run_campaign_cmd(args: &[String]) -> Result<bool, CliError> {
             std::fs::write(&file, &v.repro)
                 .map_err(|e| format!("write {}: {e}", file.display()))?;
             println!("repro written to {}", file.display());
+            // Re-run the offending job and save its capture next to the
+            // spec, so the violation replays (`rtft replay`) without
+            // re-running the grid. Capture failure is not a new error:
+            // the repro spec above is already the durable artifact.
+            match rtft::campaign::capture_violation(&spec, v) {
+                Ok(capture) => {
+                    let tf = dir.join(format!("repro-job{}.trace", v.job_index));
+                    std::fs::write(&tf, capture.render_text())
+                        .map_err(|e| format!("write {}: {e}", tf.display()))?;
+                    println!("offending trace written to {}", tf.display());
+                }
+                Err(e) => eprintln!("rtft: trace capture for job {}: {e}", v.job_index),
+            }
         }
     }
     Ok(report.oracle_clean())
@@ -951,7 +1096,12 @@ fn run_campaign_cmd(args: &[String]) -> Result<bool, CliError> {
 fn cmd_chart(args: &[String]) -> CliResult {
     let path = args.first().ok_or("chart: missing trace file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let log = rtft::trace::format::from_text(&text).map_err(|e| e.to_string())?;
+    // The capture parser accepts every save format: v2 captures (flat
+    // or core-tagged, header comments skipped) and legacy headerless
+    // v1 files. Charting flattens core tags away.
+    let log = parse_capture(&text)
+        .map_err(|e| format!("parse {path}: {e}"))?
+        .flat_log();
     let end = log.end().unwrap_or(Instant::EPOCH);
     let (from, to) = match flag_value(args, "--window") {
         Some(w) => {
@@ -972,4 +1122,261 @@ fn cmd_chart(args: &[String]) -> CliResult {
     let stats = TraceStats::from_log(&log, None);
     println!("{}", stats.render_table());
     Ok(())
+}
+
+/// Parse a saved capture in either rendering: JSON when the text leads
+/// with `{`, the line format (v2 header or legacy headerless v1)
+/// otherwise.
+fn parse_capture(text: &str) -> Result<rtft::trace::TraceCapture, String> {
+    if text.trim_start().starts_with('{') {
+        rtft::trace::TraceCapture::parse_json(text).map_err(|e| e.to_string())
+    } else {
+        rtft::trace::TraceCapture::parse_text(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Resolve the spec side of `trace export` / `replay`: a one-job
+/// campaign file is self-contained; a task file takes the `run` system
+/// flags, with the capture header (when replaying) filling whatever the
+/// flags leave unset.
+fn job_for_spec(
+    path: &str,
+    args: &[String],
+    header: Option<&rtft::trace::TraceHeader>,
+) -> Result<rtft::campaign::JobSpec, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if lint_kind(path, &text) == LintKind::Campaign {
+        return rtft::replay::job_from_campaign(&text).map_err(|e| e.to_string().into());
+    }
+    let desc = parse_tasks(&text).map_err(|e| e.to_string())?;
+    let set = desc.task_set().map_err(|e| e.to_string())?;
+    let policy: PolicyKind = flag_value(args, "--policy")
+        .or_else(|| header.map(|h| h.policy.as_str()))
+        .unwrap_or("fp")
+        .parse()?;
+    let treatment = rtft::campaign::spec::parse_treatment(
+        flag_value(args, "--treatment")
+            .or_else(|| header.map(|h| h.treatment.as_str()))
+            .unwrap_or("system"),
+    )?;
+    let cores: usize = match flag_value(args, "--cores") {
+        Some(c) => {
+            let c = c.parse().map_err(|e| format!("bad --cores: {e}"))?;
+            if c == 0 {
+                return Err("--cores must be at least 1".into());
+            }
+            c
+        }
+        None => header.map_or(1, |h| h.cores),
+    };
+    let alloc: rtft::part::AllocPolicy = flag_value(args, "--alloc").unwrap_or("ffd").parse()?;
+    let placement: rtft_core::query::Placement = flag_value(args, "--placement")
+        .or_else(|| header.map(|h| h.placement.as_str()))
+        .unwrap_or("partitioned")
+        .parse()
+        .map_err(|e: String| format!("bad placement: {e}"))?;
+    let horizon = parse_duration(flag_value(args, "--horizon").unwrap_or("3000ms"))?;
+    let jrate = args.iter().any(|a| a == "--jrate");
+    Ok(cli_job(
+        path,
+        &set,
+        &desc.faults,
+        policy,
+        treatment,
+        cores,
+        placement,
+        alloc,
+        Instant::EPOCH + horizon,
+        jrate,
+    ))
+}
+
+/// `rtft trace`: capture persistence — `export` re-runs a system
+/// deterministically and writes the importable capture, `info`
+/// inspects a saved one.
+fn cmd_trace(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("export") => trace_export(&args[1..]),
+        Some("info") => trace_info(&args[1..]),
+        _ => Err(CliError {
+            exit: 2,
+            message: "trace: expected `trace export <spec>` or `trace info <file>`".to_string(),
+        }),
+    }
+}
+
+/// `rtft trace export`: re-run the named system and persist the capture
+/// (header + events) — the deterministic producer behind every
+/// replayable artifact.
+fn trace_export(args: &[String]) -> CliResult {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("trace export: missing spec file (a task file or a one-job campaign)")?;
+    let job = job_for_spec(path, args, None)?;
+    let capture = rtft::campaign::capture_job(&job).map_err(CliError::from)?;
+    let rendered = if args.iter().any(|a| a == "--json") {
+        capture.render_json()
+    } else {
+        capture.render_text()
+    };
+    match flag_value(args, "-o").or_else(|| flag_value(args, "--out")) {
+        Some(file) => {
+            std::fs::write(file, rendered).map_err(|e| format!("write {file}: {e}"))?;
+            let h = capture
+                .header
+                .as_ref()
+                .expect("fresh captures carry a header");
+            println!(
+                "capture written to {file} ({} events, spec hash {:016x})",
+                capture.len(),
+                h.spec_hash
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// `rtft trace info`: the header fields, hash check and event count of
+/// a saved capture.
+fn trace_info(args: &[String]) -> CliResult {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("trace info: missing trace file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let capture = parse_capture(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    match &capture.header {
+        Some(h) => {
+            println!("spec hash    {:016x}", h.spec_hash);
+            println!("policy       {}", h.policy);
+            println!("placement    {}", h.placement);
+            println!("cores        {}", h.cores);
+            println!("treatment    {}", h.treatment);
+            match capture.hash_matches() {
+                Some(true) => {
+                    println!("content hash {:016x} (matches the events)", h.content_hash);
+                }
+                _ => println!(
+                    "content hash {:016x} MISMATCH: the events recompute to {:016x}",
+                    h.content_hash,
+                    capture.recomputed_hash()
+                ),
+            }
+        }
+        None => println!("headerless legacy trace (v1): no provenance to check"),
+    }
+    let core_logs = capture.core_logs();
+    println!(
+        "{} events over {} core log{}",
+        capture.len(),
+        core_logs.len(),
+        if core_logs.len() == 1 { "" } else { "s" }
+    );
+    let log = capture.flat_log();
+    if let (Some(first), Some(end)) = (log.events().first(), log.end()) {
+        println!("span         {} .. {end}", first.at);
+    }
+    Ok(())
+}
+
+/// Default spec for `replay` when `--spec` is absent: the sibling
+/// `<trace>.campaign` (the campaign repro-artifact layout), then
+/// `<trace>.rtft`.
+fn sibling_spec(trace_path: &str) -> Result<String, CliError> {
+    let p = std::path::Path::new(trace_path);
+    for ext in ["campaign", "rtft"] {
+        let cand = p.with_extension(ext);
+        if cand.exists() {
+            return Ok(cand.to_string_lossy().into_owned());
+        }
+    }
+    Err(format!(
+        "replay: no --spec given and no sibling {} / {} next to the trace",
+        p.with_extension("campaign").display(),
+        p.with_extension("rtft").display()
+    )
+    .into())
+}
+
+/// `rtft replay`: step a saved capture event-by-event against the
+/// analyzer's thresholds — exit 0 when the trace holds, 3 at the first
+/// divergence (via [`exit_on_oracle`], the oracle-violation code), 4
+/// when the capture's hashes contradict the header or the replayed
+/// spec (rule RT035) and `--force` is absent.
+fn cmd_replay(args: &[String]) -> Result<bool, CliError> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("replay: missing trace file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let capture = parse_capture(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let force = args.iter().any(|a| a == "--force");
+    if capture.hash_matches() == Some(false) && !force {
+        return Err(gate(format!(
+            "RT035: trace content hash {:016x} disagrees with the header's {:016x} — \
+             the events were edited after capture (replay them deliberately with --force)",
+            capture.recomputed_hash(),
+            capture
+                .header
+                .as_ref()
+                .expect("mismatch implies header")
+                .content_hash,
+        )));
+    }
+    let spec_path = match flag_value(args, "--spec") {
+        Some(s) => s.to_string(),
+        None => sibling_spec(path)?,
+    };
+    let job = job_for_spec(&spec_path, args, capture.header.as_ref())?;
+    if rtft::replay::spec_matches(&capture, &job) == Some(false) && !force {
+        return Err(gate(format!(
+            "RT035: the capture's spec hash {:016x} disagrees with `{spec_path}` \
+             ({:016x}) — a replay against a different system proves nothing \
+             (override with --force)",
+            capture
+                .header
+                .as_ref()
+                .expect("match implies header")
+                .spec_hash,
+            rtft_core::query::spec_hash(&job.system_spec()),
+        )));
+    }
+    let report = rtft::replay::replay(&capture, &job).map_err(|e| e.to_string())?;
+    if args.iter().any(|a| a == "--step") {
+        for (i, ce) in capture.events().iter().enumerate() {
+            let marker = match &report.divergence {
+                Some(d) if d.index == i => "   <-- DIVERGENCE",
+                _ => "",
+            };
+            println!("{i:>6}  {ce}{marker}");
+        }
+    }
+    println!(
+        "replayed {} events ({} completions checked) against `{spec_path}` [{}]",
+        report.events, report.checked, report.certification
+    );
+    match &report.divergence {
+        None => {
+            println!("clean: the trace respects every threshold");
+            println!("{}", report.verdict);
+            Ok(true)
+        }
+        Some(d) => {
+            println!("DIVERGENCE at {d}");
+            if let Some(out) = flag_value(args, "--minimize") {
+                let repro = rtft::replay::minimize(&capture, &job, d);
+                std::fs::write(out, &repro.spec).map_err(|e| format!("write {out}: {e}"))?;
+                let trace_out = std::path::Path::new(out).with_extension("trace");
+                std::fs::write(&trace_out, repro.capture.render_text())
+                    .map_err(|e| format!("write {}: {e}", trace_out.display()))?;
+                println!(
+                    "minimized repro written to {out} (+ {})",
+                    trace_out.display()
+                );
+            }
+            Ok(false)
+        }
+    }
 }

@@ -18,6 +18,7 @@
 //! | [`trace`] | trace log, file format, statistics, time-series charts |
 //! | [`taskgen`] | the paper's example systems, a task-file parser, UUniFast generators |
 //! | [`campaign`] | parallel scenario-campaign engine with a differential sim-vs-analysis oracle |
+//! | [`replay`] | trace-driven replay: step a saved capture against the analyzer's thresholds to the first divergence, minimized to a repro artifact |
 //! | [`serve`] | warm-session analysis daemon: std-only HTTP/1.1 front end over the query-plane `Workbench`, with a keyed LRU of memoized sessions |
 //!
 //! ## Quickstart
@@ -92,6 +93,7 @@ pub use rtft_campaign as campaign;
 pub use rtft_core as core;
 pub use rtft_ft as ft;
 pub use rtft_part as part;
+pub use rtft_replay as replay;
 pub use rtft_rtsj as rtsj;
 pub use rtft_serve as serve;
 pub use rtft_sim as sim;

@@ -749,3 +749,114 @@ fn serve_daemon_answers_the_paper_batch_and_drains() {
     let rest: Vec<String> = lines.map(|l| l.unwrap()).collect();
     assert!(rest.iter().any(|l| l == "rtft serve drained"), "{rest:?}");
 }
+
+#[test]
+fn capture_tamper_replay_minimize_round_trip() {
+    // The whole forensic loop through the real binary: export a capture
+    // of an out-of-allowance run, verify it replays clean, tamper with
+    // the events (RT035 gate), force-replay to the divergence, minimize
+    // it, and re-replay the minimized pair at the same event index.
+    let dir = temp_dir("replay-loop");
+    let tasks = dir.join("tasks.rtft");
+    std::fs::write(
+        &tasks,
+        "tau1 20 200ms 70ms 29ms\n\
+         tau2 15 450ms 450ms 50ms\n\
+         tau3 10 900ms 900ms 87ms\n\
+         fault tau1 job 5 overrun 40ms\n",
+    )
+    .unwrap();
+    let trace = dir.join("run.trace");
+    let out = rtft()
+        .args(["trace", "export", tasks.to_str().unwrap()])
+        .args([
+            "--treatment",
+            "detect",
+            "--jrate",
+            "-o",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = rtft()
+        .args(["trace", "info", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let info = String::from_utf8(out.stdout).unwrap();
+    assert!(info.contains("matches the events"), "{info}");
+
+    // Faithful capture + same system and flags = clean replay.
+    let replay = |extra: &[&str]| {
+        rtft()
+            .args(["replay", trace.to_str().unwrap()])
+            .args(["--spec", tasks.to_str().unwrap()])
+            .args(["--treatment", "detect", "--jrate"])
+            .args(extra)
+            .output()
+            .unwrap()
+    };
+    let out = replay(&[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+
+    // Tampering (dropping the `fault` evidence) trips the RT035 gate...
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let tampered: String =
+        text.lines()
+            .filter(|l| !l.contains(" fault "))
+            .fold(String::new(), |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            });
+    assert_ne!(tampered, text, "the capture records the fault");
+    std::fs::write(&trace, tampered).unwrap();
+    let out = replay(&[]);
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("RT035"));
+
+    // ...and `--force` steps to the divergence: the overrunning job now
+    // completes past an unpoliced detection line.
+    let repro = dir.join("repro.campaign");
+    let out = replay(&["--force", "--minimize", repro.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let event = stdout
+        .lines()
+        .find_map(|l| l.split_once("DIVERGENCE at event ").map(|(_, r)| r))
+        .and_then(|r| r.split_whitespace().next())
+        .expect("divergence names its event index");
+
+    // The minimized pair is self-contained: the truncated capture next
+    // to the repro spec re-diverges at the same index, no flags needed.
+    let mini = repro.with_extension("trace");
+    assert!(repro.exists() && mini.exists());
+    let out = rtft()
+        .args(["replay", mini.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8(out.stdout)
+            .unwrap()
+            .contains(&format!("DIVERGENCE at event {event} ")),
+        "minimized pair must re-diverge at event {event}"
+    );
+}

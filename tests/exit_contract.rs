@@ -19,6 +19,9 @@ const CONTRACT: &[(&str, u8, &str)] = &[
     ("lint", 4, "gate"),
     ("serve", 0, "graceful shutdown"),
     ("serve", 1, "bind/config error"),
+    ("trace", 1, "operational error"),
+    ("replay", 3, "divergence"),
+    ("replay", 4, "RT035"),
 ];
 
 /// The `| command | 0 | 1 | 2 | 3 | 4 |` table rows from README.md,
@@ -48,7 +51,9 @@ fn readme_table() -> Vec<(String, Vec<String>)> {
 #[test]
 fn readme_table_covers_every_command_and_matches_the_contract() {
     let rows = readme_table();
-    for cmd in ["run", "campaign", "query", "lint", "serve"] {
+    for cmd in [
+        "run", "campaign", "query", "lint", "serve", "trace", "replay",
+    ] {
         assert!(
             rows.iter()
                 .any(|(c, _)| c.contains(&format!("`rtft {cmd}`"))),
@@ -121,6 +126,16 @@ fn live_binary_honors_the_documented_codes() {
     assert_eq!(out.status.code(), Some(1));
     let out = rtft().args(["lint", "/nonexistent"]).output().unwrap();
     assert_eq!(out.status.code(), Some(1));
+    let out = rtft().args(["replay", "/nonexistent"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let out = rtft()
+        .args(["trace", "export", "/nonexistent"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // Unknown trace subcommand: usage, exit 2.
+    let out = rtft().args(["trace", "frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
 
     // serve config error: exit 1 (unparsable bind address).
     let out = rtft()
